@@ -1,0 +1,102 @@
+//! The custom-function adaptor (§5.3).
+//!
+//! ALDSP lets developers register external Java functions for use in
+//! queries (the `int2date` example of §4.4). Here the externals are Rust
+//! closures over XQuery sequences — the same role: opaque computations
+//! the optimizer can only see through registered inverse declarations.
+
+use crate::{AdaptorError, Result};
+use aldsp_xdm::item::Sequence;
+use std::sync::Arc;
+
+/// A registered custom function.
+#[derive(Clone)]
+pub struct NativeFunction {
+    id: String,
+    f: Arc<dyn Fn(&[Sequence]) -> Result<Sequence> + Send + Sync>,
+}
+
+impl NativeFunction {
+    /// Register a closure under `id` (matched by
+    /// `SourceBinding::Native`).
+    pub fn new(
+        id: &str,
+        f: impl Fn(&[Sequence]) -> Result<Sequence> + Send + Sync + 'static,
+    ) -> NativeFunction {
+        NativeFunction { id: id.to_string(), f: Arc::new(f) }
+    }
+
+    /// The registration id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Invoke the function.
+    pub fn call(&self, args: &[Sequence]) -> Result<Sequence> {
+        (self.f)(args)
+    }
+}
+
+impl std::fmt::Debug for NativeFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NativeFunction({})", self.id)
+    }
+}
+
+/// The §4.4 example pair: `int2date` (seconds since the epoch →
+/// `xs:dateTime`) and its inverse `date2int`, ready to register.
+pub fn int2date_pair() -> (NativeFunction, NativeFunction) {
+    use aldsp_xdm::item::{atomize, Item};
+    use aldsp_xdm::value::{AtomicType, AtomicValue, DateTime};
+    let int2date = NativeFunction::new("int2date", |args| {
+        let vals = atomize(&args[0]);
+        match vals.first() {
+            None => Ok(vec![]),
+            Some(v) => {
+                let secs = v
+                    .cast_to(AtomicType::Integer)
+                    .map_err(|e| AdaptorError::Invocation(e.to_string()))?;
+                let AtomicValue::Integer(s) = secs else { unreachable!("cast to integer") };
+                Ok(vec![Item::Atomic(AtomicValue::DateTime(DateTime(s)))])
+            }
+        }
+    });
+    let date2int = NativeFunction::new("date2int", |args| {
+        let vals = atomize(&args[0]);
+        match vals.first() {
+            None => Ok(vec![]),
+            Some(v) => {
+                let dt = v
+                    .cast_to(AtomicType::DateTime)
+                    .map_err(|e| AdaptorError::Invocation(e.to_string()))?;
+                let AtomicValue::DateTime(d) = dt else { unreachable!("cast to dateTime") };
+                Ok(vec![Item::Atomic(AtomicValue::Integer(d.0))])
+            }
+        }
+    });
+    (int2date, date2int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_xdm::item::Item;
+    use aldsp_xdm::value::{AtomicValue, DateTime};
+
+    #[test]
+    fn int2date_roundtrip() {
+        let (i2d, d2i) = int2date_pair();
+        let secs = vec![Item::int(1_118_836_205)];
+        let date = i2d.call(&[secs.clone()]).unwrap();
+        assert_eq!(
+            date,
+            vec![Item::Atomic(AtomicValue::DateTime(DateTime(1_118_836_205)))]
+        );
+        let back = d2i.call(&[date]).unwrap();
+        assert_eq!(back, secs);
+        // empty propagates
+        assert!(i2d.call(&[vec![]]).unwrap().is_empty());
+        // non-numeric input errors
+        assert!(i2d.call(&[vec![Item::str("soon")]]).is_err());
+    }
+}

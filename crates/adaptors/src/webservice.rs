@@ -1,0 +1,210 @@
+//! The web service adaptor (§5.3), simulated.
+//!
+//! **Substitution note (see DESIGN.md):** the paper's functional sources
+//! are real WSDL endpoints; what ALDSP's runtime depends on is their
+//! *behavior* — a typed request/response exchange with network latency
+//! and occasional failure. [`SimulatedWebService`] reproduces exactly
+//! that: operations are Rust handler functions over XML nodes, requests
+//! and responses are validated against the introspected shapes to
+//! produce typed token data ("data coming from Web services is validated
+//! according to the schema described in their WSDL"), and latency /
+//! failure are injectable for the async, caching and failover
+//! experiments (§5.4–5.6).
+
+use crate::{AdaptorError, Result};
+use aldsp_xdm::node::NodeRef;
+use aldsp_xdm::schema::validate;
+use aldsp_xdm::types::ElementType;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One operation handler: typed request element in, response element out.
+pub type OperationHandler = Arc<dyn Fn(&NodeRef) -> Result<NodeRef> + Send + Sync>;
+
+struct Operation {
+    input_shape: ElementType,
+    output_shape: ElementType,
+    handler: OperationHandler,
+}
+
+/// A simulated document-style web service.
+pub struct SimulatedWebService {
+    name: String,
+    operations: HashMap<String, Operation>,
+    latency: RwLock<Duration>,
+    available: AtomicBool,
+    calls: AtomicU64,
+}
+
+impl SimulatedWebService {
+    /// Create a service with no operations.
+    pub fn new(name: &str) -> SimulatedWebService {
+        SimulatedWebService {
+            name: name.to_string(),
+            operations: HashMap::new(),
+            latency: RwLock::new(Duration::ZERO),
+            available: AtomicBool::new(true),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The service name (matched against `SourceBinding::WebService`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register an operation with its request/response shapes.
+    pub fn operation(
+        mut self,
+        name: &str,
+        input_shape: ElementType,
+        output_shape: ElementType,
+        handler: OperationHandler,
+    ) -> Self {
+        self.operations.insert(
+            name.to_string(),
+            Operation { input_shape, output_shape, handler },
+        );
+        self
+    }
+
+    /// Simulate network + processing latency per call.
+    pub fn set_latency(&self, d: Duration) {
+        *self.latency.write() = d;
+    }
+
+    /// Mark the service (un)available — drives failover tests (§5.6).
+    pub fn set_available(&self, up: bool) {
+        self.available.store(up, Ordering::SeqCst);
+    }
+
+    /// Number of calls served.
+    pub fn call_count(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    /// Invoke an operation. Follows the §5.3 lifecycle: the connection is
+    /// implicit (step 1/5), the request is validated into the service's
+    /// data model (step 2), invoked (step 3), and the response validated
+    /// back into typed XML (step 4).
+    pub fn call(&self, operation: &str, request: &NodeRef) -> Result<NodeRef> {
+        if !self.available.load(Ordering::SeqCst) {
+            return Err(AdaptorError::Unavailable(self.name.clone()));
+        }
+        let op = self.operations.get(operation).ok_or_else(|| {
+            AdaptorError::Unresolved(format!("{}.{operation}", self.name))
+        })?;
+        let typed_request = validate(request, &op.input_shape)
+            .map_err(|e| AdaptorError::Invocation(format!("bad request: {e}")))?;
+        let latency = *self.latency.read();
+        if latency > Duration::ZERO {
+            std::thread::sleep(latency);
+        }
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let response = (op.handler)(&typed_request)?;
+        validate(&response, &op.output_shape)
+            .map_err(|e| AdaptorError::Invocation(format!("bad response: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_xdm::node::Node;
+    use aldsp_xdm::schema::ShapeBuilder;
+    use aldsp_xdm::value::{AtomicType, AtomicValue};
+    use aldsp_xdm::QName;
+
+    fn rating_service() -> SimulatedWebService {
+        let ns = "urn:ratingTypes";
+        let input = ShapeBuilder::element(QName::new(ns, "getRating"))
+            .required("lName", AtomicType::String)
+            .required("ssn", AtomicType::String)
+            .build();
+        let output = ShapeBuilder::element(QName::new(ns, "getRatingResponse"))
+            .required("getRatingResult", AtomicType::Integer)
+            .build();
+        SimulatedWebService::new("ratingWS").operation(
+            "getRating",
+            input,
+            output,
+            Arc::new(move |req| {
+                let ssn = req
+                    .child_elements(&QName::new("urn:ratingTypes", "ssn"))
+                    .next()
+                    .map(|n| n.string_value())
+                    .unwrap_or_default();
+                // deterministic fake rating derived from the SSN
+                let rating = 600 + (ssn.bytes().map(u64::from).sum::<u64>() % 250) as i64;
+                Ok(Node::element(
+                    QName::new("urn:ratingTypes", "getRatingResponse"),
+                    vec![],
+                    vec![Node::simple_element(
+                        QName::new("urn:ratingTypes", "getRatingResult"),
+                        AtomicValue::Integer(rating),
+                    )],
+                ))
+            }),
+        )
+    }
+
+    fn request(lname: &str, ssn: &str) -> NodeRef {
+        Node::element(
+            QName::new("urn:ratingTypes", "getRating"),
+            vec![],
+            vec![
+                Node::simple_element(QName::new("urn:ratingTypes", "lName"), AtomicValue::str(lname)),
+                Node::simple_element(QName::new("urn:ratingTypes", "ssn"), AtomicValue::str(ssn)),
+            ],
+        )
+    }
+
+    #[test]
+    fn call_validates_and_types_response() {
+        let ws = rating_service();
+        let resp = ws.call("getRating", &request("Jones", "123-45-6789")).unwrap();
+        let rating = resp
+            .child_elements(&QName::new("urn:ratingTypes", "getRatingResult"))
+            .next()
+            .unwrap()
+            .typed_value()
+            .unwrap();
+        assert!(matches!(rating, AtomicValue::Integer(r) if (600..850).contains(&r)));
+        assert_eq!(ws.call_count(), 1);
+    }
+
+    #[test]
+    fn bad_request_rejected_before_invocation() {
+        let ws = rating_service();
+        let bad = Node::element(QName::new("urn:ratingTypes", "getRating"), vec![], vec![]);
+        let err = ws.call("getRating", &bad).unwrap_err();
+        assert!(matches!(err, AdaptorError::Invocation(_)));
+        assert_eq!(ws.call_count(), 0, "handler must not run on bad input");
+    }
+
+    #[test]
+    fn unavailable_and_unknown_operation() {
+        let ws = rating_service();
+        assert!(matches!(
+            ws.call("nope", &request("a", "b")).unwrap_err(),
+            AdaptorError::Unresolved(_)
+        ));
+        ws.set_available(false);
+        assert!(matches!(
+            ws.call("getRating", &request("a", "b")).unwrap_err(),
+            AdaptorError::Unavailable(_)
+        ));
+    }
+
+    #[test]
+    fn latency_is_simulated() {
+        let ws = rating_service();
+        ws.set_latency(Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        ws.call("getRating", &request("a", "b")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+}

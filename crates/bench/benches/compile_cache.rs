@@ -1,0 +1,50 @@
+//! Compilation caching (§2.2 plan cache, §4.2 view sub-optimizer):
+//! "ALDSP maintains a query plan cache in order to avoid repeatedly
+//! compiling popular queries", and view plans are partially optimized
+//! once and reused per query.
+
+use aldsp::security::Principal;
+use aldsp_bench::fixtures::{build_world, WorldSize, PROLOG};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const VIEW_MODULE_TEMPLATE: &str = r#"
+    declare namespace v = "urn:views";
+    declare function v:profiles() as element(P)* {
+      for $c in c:CUSTOMER()
+      return <P><CID>{fn:data($c/CID)}</CID><N>{fn:data($c/LAST_NAME)}</N></P>
+    };
+"#;
+
+fn bench(c: &mut Criterion) {
+    let size = WorldSize { customers: 10, orders_per_customer: 1, cards_per_customer: 0 };
+    let world = build_world(size);
+    world
+        .server
+        .deploy(&format!("{PROLOG}{VIEW_MODULE_TEMPLATE}"))
+        .expect("deploys");
+    let user = Principal::new("bench", &[]);
+    let query = format!(
+        "{PROLOG}
+         declare namespace v = \"urn:views\";
+         for $p in v:profiles() where $p/CID eq \"C000003\" return $p"
+    );
+    let mut group = c.benchmark_group("compile_cache");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // full compilation every time (bypassing the plan cache by calling
+    // the compiler directly)
+    group.bench_function("compile_from_scratch", |b| {
+        b.iter(|| world.server.compiler().compile_query(&query).expect("compiles"))
+    });
+
+    // plan-cache hit: compile once, then the server reuses the plan
+    world.server.query(&user, &query, &[]).expect("warms the plan cache");
+    group.bench_function("plan_cache_hit_execute", |b| {
+        b.iter(|| world.server.query(&user, &query, &[]).expect("query"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

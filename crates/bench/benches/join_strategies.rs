@@ -1,0 +1,54 @@
+//! Join method repertoire (§5.2): "nested loop, index nested loop, PP-k
+//! using nested loops, and PP-k using index nested loops … with the most
+//! performant one being PP-k using index nested loops" — plus the
+//! baseline that beats them all where applicable: pushing the whole join
+//! into one source as SQL.
+
+use aldsp::compiler::LocalJoinMethod;
+use aldsp::security::Principal;
+use aldsp_bench::fixtures::{build_world_opts, WorldSize, PROLOG};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const CROSS_SOURCE: &str = r#"
+    for $c in c:CUSTOMER()
+    return <P>{ $c/CID, <CARDS>{
+      for $k in cc:CREDIT_CARD() where $k/CID eq $c/CID return $k/CCN
+    }</CARDS> }</P>"#;
+
+const SAME_SOURCE: &str = r#"
+    for $c in c:CUSTOMER(), $o in c:ORDER()
+    where $c/CID eq $o/CID
+    return <CO>{ $c/CID, $o/OID }</CO>"#;
+
+fn bench(c: &mut Criterion) {
+    let size = WorldSize { customers: 500, orders_per_customer: 2, cards_per_customer: 2 };
+    let user = Principal::new("bench", &[]);
+    let mut group = c.benchmark_group("join_strategies");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // PP-k with index-nested-loop local join (the paper's best)
+    let inl = build_world_opts(size, 20, LocalJoinMethod::IndexNestedLoop);
+    let q = format!("{PROLOG}\n{CROSS_SOURCE}");
+    group.bench_function("ppk20_index_nested_loop", |b| {
+        b.iter(|| inl.server.query(&user, &q, &[]).expect("query"))
+    });
+
+    // PP-k with plain nested-loop local join
+    let nl = build_world_opts(size, 20, LocalJoinMethod::NestedLoop);
+    group.bench_function("ppk20_nested_loop", |b| {
+        b.iter(|| nl.server.query(&user, &q, &[]).expect("query"))
+    });
+
+    // the SQL-pushdown "join method" (§5.2: "SQL pushdown is also a join
+    // method of sorts"): same-source join runs as ONE statement
+    let push = build_world_opts(size, 20, LocalJoinMethod::IndexNestedLoop);
+    let q2 = format!("{PROLOG}\n{SAME_SOURCE}");
+    group.bench_function("same_source_sql_pushdown", |b| {
+        b.iter(|| push.server.query(&user, &q2, &[]).expect("query"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

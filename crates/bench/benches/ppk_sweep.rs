@@ -1,0 +1,46 @@
+//! PP-k block-size sweep (§4.2): "A small value of k means many
+//! roundtrips, while large k approximates a full middleware index join;
+//! by default, ALDSP uses a medium-sized k value (20)."
+//!
+//! The cross-source profile query runs against db2 with a simulated
+//! per-roundtrip latency; block size is the compiler knob. Expectation:
+//! k=1 is dominated by roundtrips, large k converges, k=20 sits at the
+//! paper's sweet spot.
+
+use aldsp::compiler::LocalJoinMethod;
+use aldsp::relational::LatencyModel;
+use aldsp::security::Principal;
+use aldsp_bench::fixtures::{build_world_opts, WorldSize, PROLOG};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const QUERY: &str = r#"
+    for $c in c:CUSTOMER()
+    return <P>{ $c/CID, <CARDS>{
+      for $k in cc:CREDIT_CARD() where $k/CID eq $c/CID return $k/CCN
+    }</CARDS> }</P>"#;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppk_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for k in [1usize, 5, 20, 100] {
+        // a fresh world per k: the block size is a compile-time knob
+        let size = WorldSize { customers: 200, orders_per_customer: 0, cards_per_customer: 2 };
+        let world = build_world_opts(size, k, LocalJoinMethod::IndexNestedLoop);
+        world.db2.set_latency(LatencyModel::lan(200)); // 200µs per roundtrip
+        let q = format!("{PROLOG}\n{QUERY}");
+        let user = Principal::new("bench", &[]);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| world.server.query(&user, &q, &[]).expect("query"))
+        });
+        let stats = world.db2.stats();
+        eprintln!(
+            "k={k}: {} roundtrips to db2 across the measured runs",
+            stats.roundtrips
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

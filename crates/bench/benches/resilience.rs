@@ -1,0 +1,62 @@
+//! Async and cache behavior of the runtime extensions (§5.4–5.5):
+//! overlapping independent service latencies with `fn-bea:async`, and
+//! turning a slow service call into a lookup with the function cache.
+
+use aldsp::security::Principal;
+use aldsp::xdm::QName;
+use aldsp_bench::fixtures::{build_world, WorldSize, PROLOG};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let size = WorldSize { customers: 1, orders_per_customer: 0, cards_per_customer: 0 };
+    let mut group = c.benchmark_group("resilience");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // two independent 300µs service calls: sequential vs async
+    let world = build_world(size);
+    world.rating.set_latency(Duration::from_micros(300));
+    let user = Principal::new("bench", &[]);
+    let sync_q = format!(
+        r#"{PROLOG}
+        for $c in c:CUSTOMER()
+        return <B>{{
+          <A1>{{fn:data(ws:getRating(<r:getRating><r:lName>x</r:lName><r:ssn>1</r:ssn></r:getRating>)/r:getRatingResult)}}</A1>,
+          <A2>{{fn:data(ws:getRating(<r:getRating><r:lName>y</r:lName><r:ssn>2</r:ssn></r:getRating>)/r:getRatingResult)}}</A2>
+        }}</B>"#
+    );
+    let async_q = sync_q
+        .replace("<A1>{", "fn-bea:async(<A1>{")
+        .replace("}</A1>", "}</A1>)")
+        .replace("<A2>{", "fn-bea:async(<A2>{")
+        .replace("}</A2>", "}</A2>)");
+    group.bench_function("two_calls_sequential", |b| {
+        b.iter(|| world.server.query(&user, &sync_q, &[]).expect("query"))
+    });
+    group.bench_function("two_calls_async", |b| {
+        b.iter(|| world.server.query(&user, &async_q, &[]).expect("query"))
+    });
+
+    // the function cache: slow call vs cached lookup (§5.5)
+    let world = build_world(size);
+    world.rating.set_latency(Duration::from_micros(500));
+    let q = format!(
+        r#"{PROLOG}
+        fn:data(ws:getRating(<r:getRating><r:lName>a</r:lName><r:ssn>7</r:ssn></r:getRating>)/r:getRatingResult)"#
+    );
+    group.bench_function("service_call_uncached", |b| {
+        b.iter(|| world.server.query(&user, &q, &[]).expect("query"))
+    });
+    world
+        .server
+        .enable_function_cache(QName::new("urn:ratingWS", "getRating"), Duration::from_secs(600));
+    world.server.query(&user, &q, &[]).expect("warm the cache");
+    group.bench_function("service_call_cached", |b| {
+        b.iter(|| world.server.query(&user, &q, &[]).expect("query"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

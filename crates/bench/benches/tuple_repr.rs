@@ -1,0 +1,69 @@
+//! Figure 4: the three tuple representations. "The stream representation
+//! … has fairly low memory requirements but … expensive processing if
+//! some of the content of a tuple … needs to be skipped over. The single
+//! token representation … is cheap when content can be skipped. The
+//! array version … has higher memory requirements but provides cheap
+//! access to all fields."
+
+use aldsp::xdm::tokens::{approx_size, encode_tuple, extract_field, Token, TupleRepr};
+use aldsp::xdm::value::AtomicValue;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const WIDTH: usize = 32;
+
+fn fields() -> Vec<Vec<Token>> {
+    (0..WIDTH)
+        .map(|i| {
+            vec![Token::Atomic(if i % 2 == 0 {
+                AtomicValue::Integer(i as i64)
+            } else {
+                AtomicValue::str(&format!("value-{i:04}"))
+            })]
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let fs = fields();
+    let reprs = [
+        ("stream", TupleRepr::Stream),
+        ("single_token", TupleRepr::SingleToken),
+        ("array", TupleRepr::Array),
+    ];
+    let mut encode = c.benchmark_group("tuple_encode");
+    for (name, repr) in reprs {
+        encode.bench_with_input(BenchmarkId::from_parameter(name), &repr, |b, r| {
+            b.iter(|| encode_tuple(black_box(&fs), *r))
+        });
+    }
+    encode.finish();
+
+    // field access: last field — the stream form must scan everything,
+    // the array form indexes directly
+    let mut access = c.benchmark_group("tuple_extract_last_field");
+    for (name, repr) in reprs {
+        let enc = encode_tuple(&fs, repr);
+        access.bench_with_input(BenchmarkId::from_parameter(name), &enc, |b, e| {
+            b.iter(|| extract_field(black_box(e), WIDTH - 1).expect("field"))
+        });
+    }
+    access.finish();
+
+    // copy/skip cost: cloning the whole tuple (what a pass-through
+    // operator does) — single token is one refcount bump
+    let mut skip = c.benchmark_group("tuple_passthrough_clone");
+    for (name, repr) in reprs {
+        let enc = encode_tuple(&fs, repr);
+        skip.bench_with_input(BenchmarkId::from_parameter(name), &enc, |b, e| {
+            b.iter(|| black_box(e.clone()))
+        });
+    }
+    skip.finish();
+
+    for (name, repr) in reprs {
+        eprintln!("{name}: approx heap size {} bytes", approx_size(&encode_tuple(&fs, repr)));
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

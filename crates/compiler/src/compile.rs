@@ -1,0 +1,293 @@
+//! The compilation pipeline (§3.3) and the view sub-optimizer (§4.2).
+//!
+//! Query processing in ALDSP runs parsing → expression-tree construction
+//! → normalization → type checking → optimization → code generation.
+//! Because data services are layered views, ALDSP factors view
+//! optimization in two stages: a *query-independent* partial optimization
+//! of each data-service function, cached and reused, followed by
+//! query-specific optimization (inlining, predicate motion, SQL
+//! pushdown) per query. [`Compiler`] owns that cache; `deploy_module`
+//! runs the partial stage, `compile_query`/`compile_call` run the
+//! per-query stage.
+
+use crate::context::{Context, InverseRegistry, Mode, UserFunction};
+use crate::ir::{CExpr, CKind};
+use crate::translate::{translate_module, translate_query_with_vars, ModuleEnv};
+use crate::{rules, sqlgen, typecheck};
+use aldsp_metadata::Registry;
+use aldsp_parser::{parse_module, parse_module_strict, Diagnostic};
+use aldsp_relational::Dialect;
+use aldsp_xdm::QName;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Compiler configuration.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Error-handling mode (§4.1).
+    pub mode: Mode,
+    /// Per-connection SQL dialects (§4.3).
+    pub dialects: HashMap<String, Dialect>,
+    /// Use the partially-optimized-view cache (§4.2)? Disable to measure
+    /// its benefit.
+    pub view_cache: bool,
+    /// PP-k block size (§4.2: "by default, ALDSP uses a medium-sized k
+    /// value (20) that has been empirically shown to work well").
+    pub ppk_block_size: usize,
+    /// The local join method PP-k uses within a block (§5.2).
+    pub ppk_local_method: crate::ir::LocalJoinMethod,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            mode: Mode::FailFast,
+            dialects: HashMap::new(),
+            view_cache: true,
+            ppk_block_size: 20,
+            ppk_local_method: crate::ir::LocalJoinMethod::IndexNestedLoop,
+        }
+    }
+}
+
+/// A compiled, executable query plan.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The optimized expression tree — the plan the runtime interprets.
+    pub plan: CExpr,
+    /// External variable names the plan expects bound at execution.
+    pub external_vars: Vec<String>,
+    /// Diagnostics gathered during compilation (empty in fail-fast mode).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Cache/statistics counters for the view sub-optimizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompilerStats {
+    /// Functions partially optimized (view-cache misses).
+    pub partial_optimizations: u64,
+    /// View-cache hits during inlining.
+    pub view_cache_hits: u64,
+    /// Queries compiled.
+    pub queries_compiled: u64,
+}
+
+/// The ALDSP query compiler.
+pub struct Compiler {
+    registry: Arc<Registry>,
+    options: Options,
+    inverses: InverseRegistry,
+    views: Mutex<HashMap<QName, UserFunction>>,
+    stats: Mutex<CompilerStats>,
+}
+
+impl Compiler {
+    /// Create a compiler over the given metadata.
+    pub fn new(registry: Arc<Registry>, options: Options) -> Compiler {
+        Compiler {
+            registry,
+            options,
+            inverses: InverseRegistry::default(),
+            views: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CompilerStats::default()),
+        }
+    }
+
+    /// Register `inverse` as the inverse of `f` and enable the §4.4
+    /// rewrite rules for it.
+    pub fn declare_inverse(&mut self, f: QName, inverse: QName) {
+        self.inverses.declare(f, inverse);
+    }
+
+    /// Snapshot the compiler statistics.
+    pub fn stats(&self) -> CompilerStats {
+        *self.stats.lock()
+    }
+
+    fn new_context(&self) -> Context<'_> {
+        let mut ctx = Context::new(&self.registry, self.options.mode);
+        ctx.dialects = self.options.dialects.clone();
+        ctx.inverses = self.inverses.clone();
+        ctx.ppk_block_size = self.options.ppk_block_size;
+        ctx.ppk_local_method = self.options.ppk_local_method;
+        // seed with deployed (partially optimized) functions
+        for (name, f) in self.views.lock().iter() {
+            ctx.functions.insert(name.clone(), f.clone());
+        }
+        ctx
+    }
+
+    /// Deploy a data-service module: parse, translate, type-check and
+    /// *partially optimize* each function (the query-independent stage of
+    /// §4.2), caching the results for reuse by later queries. Returns the
+    /// deployed function names.
+    pub fn deploy_module(&self, src: &str) -> Result<Vec<QName>, Vec<Diagnostic>> {
+        let (module, mut diags) = match self.options.mode {
+            Mode::FailFast => match parse_module_strict(src) {
+                Ok(m) => (m, Vec::new()),
+                Err(d) => return Err(vec![d]),
+            },
+            Mode::Recover => parse_module(src),
+        };
+        let mut ctx = self.new_context();
+        let _body = translate_module(&mut ctx, &module);
+        diags.extend(ctx.diags.drain(..));
+        // partial optimization of each newly declared function body
+        let env = ModuleEnv::of(&module);
+        let _ = env;
+        let mut deployed = Vec::new();
+        let names: Vec<QName> = module
+            .functions
+            .iter()
+            .filter_map(|f| {
+                aldsp_parser::ast::Name::parse(&f.name.to_string()).resolve(
+                    &|p| {
+                        module
+                            .namespaces
+                            .iter()
+                            .find(|(pp, _)| pp == p)
+                            .map(|(_, u)| u.clone())
+                            .or_else(|| {
+                                module
+                                    .schema_imports
+                                    .iter()
+                                    .find(|si| si.prefix.as_deref() == Some(p))
+                                    .map(|si| si.uri.clone())
+                            })
+                    },
+                    None,
+                )
+            })
+            .collect();
+        for name in names {
+            let Some(mut f) = ctx.functions.get(&name).cloned() else { continue };
+            if let Some(body) = &mut f.body {
+                let mut tenv: typecheck::TypeEnv = f.params.iter().cloned().collect();
+                typecheck::typecheck(&mut ctx, body, &mut tenv);
+                if self.options.view_cache {
+                    rules::optimize(&mut ctx, body);
+                    self.stats.lock().partial_optimizations += 1;
+                }
+            }
+            deployed.push(name.clone());
+            self.views.lock().insert(name, f);
+        }
+        diags.extend(ctx.diags);
+        if self.options.mode == Mode::FailFast && !diags.is_empty() {
+            return Err(diags);
+        }
+        Ok(deployed)
+    }
+
+    /// Compile an ad-hoc query. The source is a module whose main body is
+    /// the query; its prolog may declare namespaces, import schemas, and
+    /// declare external variables (which become the plan's
+    /// `external_vars`).
+    pub fn compile_query(&self, src: &str) -> Result<CompiledQuery, Vec<Diagnostic>> {
+        let (module, mut diags) = match self.options.mode {
+            Mode::FailFast => match parse_module_strict(src) {
+                Ok(m) => (m, Vec::new()),
+                Err(d) => return Err(vec![d]),
+            },
+            Mode::Recover => parse_module(src),
+        };
+        let mut ctx = self.new_context();
+        // local function declarations in the query module
+        let body_from_module = {
+            // translate functions first (translate_module handles both)
+            let externals: Vec<String> =
+                module.variables.iter().map(|v| v.name.clone()).collect();
+            let mut m2 = module.clone();
+            m2.body = None;
+            translate_module(&mut ctx, &m2);
+            module.body.as_ref().map(|b| {
+                let env = ModuleEnv::of(&module);
+                translate_query_with_vars(&mut ctx, &env, b, &externals)
+            })
+        };
+        let Some(mut plan) = body_from_module else {
+            diags.push(Diagnostic {
+                span: Default::default(),
+                message: "query module has no main expression".into(),
+            });
+            return Err(diags);
+        };
+        let external_vars: Vec<String> =
+            module.variables.iter().map(|v| v.name.clone()).collect();
+        self.finish(&mut ctx, &mut plan, &external_vars)?;
+        diags.extend(ctx.diags);
+        if self.options.mode == Mode::FailFast && !diags.is_empty() {
+            return Err(diags);
+        }
+        self.stats.lock().queries_compiled += 1;
+        Ok(CompiledQuery { plan, external_vars, diagnostics: diags })
+    }
+
+    /// Compile an invocation of a deployed data-service function: the
+    /// plan calls `name` with external variables `arg0 … argN-1` (the
+    /// method-call API of §2.2).
+    pub fn compile_call(&self, name: &QName) -> Result<CompiledQuery, Vec<Diagnostic>> {
+        let (arity, known) = {
+            let views = self.views.lock();
+            match views.get(name) {
+                Some(f) => (f.params.len(), true),
+                None => (
+                    self.registry.function(name).map(|p| p.params.len()).unwrap_or(0),
+                    self.registry.function(name).is_some(),
+                ),
+            }
+        };
+        if !known {
+            return Err(vec![Diagnostic {
+                span: Default::default(),
+                message: format!("unknown data-service function {name}"),
+            }]);
+        }
+        let mut ctx = self.new_context();
+        let span = crate::ir::Span::default();
+        let external_vars: Vec<String> = (0..arity).map(|i| format!("arg{i}")).collect();
+        let args: Vec<CExpr> =
+            external_vars.iter().map(|v| CExpr::var(v, span)).collect();
+        let kind = if ctx.functions.contains_key(name) {
+            self.stats.lock().view_cache_hits += 1;
+            CKind::UserCall { name: name.clone(), args }
+        } else {
+            CKind::PhysicalCall { name: name.clone(), args }
+        };
+        let mut plan = CExpr::new(kind, span);
+        self.finish(&mut ctx, &mut plan, &external_vars)?;
+        let diags = std::mem::take(&mut ctx.diags);
+        if self.options.mode == Mode::FailFast && !diags.is_empty() {
+            return Err(diags);
+        }
+        self.stats.lock().queries_compiled += 1;
+        Ok(CompiledQuery { plan, external_vars, diagnostics: diags })
+    }
+
+    /// The per-query stages: type check, inline/optimize, push down SQL.
+    fn finish(
+        &self,
+        ctx: &mut Context<'_>,
+        plan: &mut CExpr,
+        external_vars: &[String],
+    ) -> Result<(), Vec<Diagnostic>> {
+        let mut tenv: typecheck::TypeEnv = external_vars
+            .iter()
+            .map(|v| (v.clone(), aldsp_xdm::types::SequenceType::any()))
+            .collect();
+        typecheck::typecheck(ctx, plan, &mut tenv);
+        if self.options.mode == Mode::FailFast && ctx.has_errors() {
+            return Err(std::mem::take(&mut ctx.diags));
+        }
+        rules::optimize(ctx, plan);
+        // re-infer types after rewriting (rewrites preserve or refine)
+        let mut tenv2: typecheck::TypeEnv = external_vars
+            .iter()
+            .map(|v| (v.clone(), aldsp_xdm::types::SequenceType::any()))
+            .collect();
+        typecheck::typecheck(ctx, plan, &mut tenv2);
+        sqlgen::push_down(ctx, plan);
+        Ok(())
+    }
+}

@@ -1,0 +1,2198 @@
+//! SQL plan preparation, pushdown analysis and SQL generation (§4.3–4.4).
+//!
+//! After view unfolding and predicate normalization, this pass looks at
+//! regions of the expression tree "that involve data that all comes from
+//! the same relational database" (determined from the metadata on the
+//! physical functions) and replaces them with [`Clause::SqlFor`] nodes
+//! carrying generated SQL:
+//!
+//! * consecutive `for` clauses over tables/navigation functions of one
+//!   connection become a join tree (Table 1(b));
+//! * pushable `where` conjuncts go into the `ON`/`WHERE`; expressions
+//!   without pushed variables are shipped as *parameters* evaluated in
+//!   the XQuery engine (§4.3) — which is how the inverse-function
+//!   rewrite's `date2int($start)` reaches the source (§4.4);
+//! * correlated nested FLWORs in constructor content are hoisted:
+//!   same-connection, single-outer-table cases merge into a **left
+//!   outer join** with a clustered middleware group-by (Tables 1(c),
+//!   2(g)); cross-source cases become **PP-k** dependent joins (§4.2);
+//! * `group by` over pushed fields becomes SQL `GROUP BY`/`DISTINCT`
+//!   (Tables 1(e), 1(f)), aggregates over group bindings push as SQL
+//!   aggregates;
+//! * trailing `order by` and `fn:subsequence` push as `ORDER BY` and
+//!   dialect-specific pagination (Table 2(i)) when the vendor supports
+//!   it;
+//! * quantified expressions over one source become `EXISTS` semi-joins
+//!   (Table 2(h)).
+
+use crate::context::Context;
+use crate::ir::{Builtin, CExpr, CKind, Clause, PpkSpec};
+use aldsp_metadata::SourceBinding;
+use aldsp_relational::{
+    AggFunc, JoinKind, OrderBy, ScalarExpr, Select, SqlType, SqlValue, TableRef,
+};
+use aldsp_xdm::item::CompOp;
+use aldsp_xdm::types::{ContentType, ElementType};
+use aldsp_xdm::value::AtomicType;
+use aldsp_xdm::QName;
+use std::collections::HashMap;
+
+/// Insertion-ordered variable map — SQL column order must be
+/// deterministic for the dialect goldens.
+#[derive(Debug, Default)]
+struct VarMap {
+    entries: Vec<(String, PushedVar)>,
+}
+
+impl VarMap {
+    fn insert(&mut self, k: String, v: PushedVar) {
+        self.entries.push((k, v));
+    }
+    fn get(&self, k: &str) -> Option<&PushedVar> {
+        self.entries.iter().find(|(n, _)| n == k).map(|(_, v)| v)
+    }
+    fn remove(&mut self, k: &str) {
+        self.entries.retain(|(n, _)| n != k);
+    }
+    fn contains_key(&self, k: &str) -> bool {
+        self.get(k).is_some()
+    }
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+    fn iter(&self) -> impl Iterator<Item = (&String, &PushedVar)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+    fn values(&self) -> impl Iterator<Item = &PushedVar> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+/// The synthetic tuple-id bind appended by PP-k outer joins; see
+/// [`PpkSpec`].
+pub const TID_TYPE: AtomicType = AtomicType::Integer;
+
+/// Run pushdown over the whole tree (bottom-up so nested FLWORs are
+/// processed before their parents try to hoist them).
+pub fn push_down(ctx: &mut Context<'_>, e: &mut CExpr) {
+    e.for_each_child_mut(&mut |c| push_down(ctx, c));
+    if let CKind::Flwor { clauses, ret } = &mut e.kind {
+        form_regions(ctx, clauses, ret);
+    }
+    // fold the rewritten field references (Data(<COL>{$f}</COL>) → $f)
+    // before the pattern passes below match on them
+    crate::rules::optimize(ctx, e);
+    if let CKind::Flwor { clauses, ret } = &mut e.kind {
+        let span = e.span;
+        absorb_wheres(clauses);
+        push_scalar_projections(ctx, clauses, ret);
+        hoist_dependent_joins(ctx, clauses, ret, span);
+        push_trailing_group_by(ctx, clauses, ret);
+        push_trailing_order_by(clauses);
+        prune_unused_columns(clauses, ret);
+    }
+    // clean up after the pattern passes, then try pagination pushdown on
+    // the (possibly collapsed) node
+    crate::rules::optimize(ctx, e);
+    push_subsequence(ctx, e);
+}
+
+/// Metadata about one pushed FLWOR variable.
+#[derive(Debug, Clone)]
+struct PushedVar {
+    alias: String,
+    #[allow(dead_code)] // kept for diagnostics/debugging of regions
+    table: String,
+    #[allow(dead_code)]
+    connection: String,
+    element: QName,
+    columns: Vec<(String, AtomicType, bool)>, // (name, xml type, nullable)
+    #[allow(dead_code)]
+    primary_key: Vec<String>,
+}
+
+impl PushedVar {
+    fn column(&self, local: &str) -> Option<(&str, AtomicType, bool)> {
+        self.columns
+            .iter()
+            .find(|(n, _, _)| n == local)
+            .map(|(n, t, nl)| (n.as_str(), *t, *nl))
+    }
+}
+
+/// The in-progress SQL region for one connection.
+struct Region {
+    connection: String,
+    from: TableRef,
+    wheres: Vec<ScalarExpr>,
+    params: Vec<CExpr>,
+    vars: VarMap,
+    alias_counter: usize,
+    /// correlation equalities `(outer key expr, inner column)` that make
+    /// this region a dependent join
+    correlations: Vec<(CExpr, ScalarExpr)>,
+}
+
+impl Region {
+    fn next_alias(&mut self) -> String {
+        self.alias_counter += 1;
+        format!("t{}", self.alias_counter)
+    }
+}
+
+/// Extract table metadata from a physical read/navigation call.
+fn table_of_call(
+    ctx: &Context<'_>,
+    e: &CExpr,
+) -> Option<(String, String, QName, Vec<(String, AtomicType, bool)>, Vec<String>, Option<(String, Vec<(String, String)>)>)>
+{
+    let CKind::PhysicalCall { name, args } = &e.kind else { return None };
+    let f = ctx.registry.function(name)?;
+    match &f.source {
+        SourceBinding::RelationalTable { connection, table, primary_key, shape } => Some((
+            connection.clone(),
+            table.clone(),
+            shape.name.clone()?,
+            shape_columns(shape),
+            primary_key.clone(),
+            None,
+        )),
+        SourceBinding::RelationalNavigation {
+            connection,
+            to_table,
+            key_pairs,
+            shape,
+            from_table: _,
+            ..
+        } => {
+            // navigation: the argument must be a pushed row variable; the
+            // caller checks that and supplies the join
+            let arg_var = match &args[0].kind {
+                CKind::Var(v) => v.clone(),
+                _ => return None,
+            };
+            Some((
+                connection.clone(),
+                to_table.clone(),
+                shape.name.clone()?,
+                shape_columns(shape),
+                Vec::new(),
+                Some((arg_var, key_pairs.clone())),
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn shape_columns(shape: &ElementType) -> Vec<(String, AtomicType, bool)> {
+    let ContentType::Complex(c) = &shape.content else { return Vec::new() };
+    c.children
+        .iter()
+        .filter_map(|ch| {
+            let name = ch.elem.name.as_ref()?.local_name().to_string();
+            let ContentType::Simple(t) = ch.elem.content else { return None };
+            Some((name, t, ch.occ.allows_empty()))
+        })
+        .collect()
+}
+
+/// Phase 1: scan the clause list, forming SQL regions out of
+/// for-over-table/navigation clauses plus pushable wheres, then replace
+/// each region with a `SqlFor` and rewrite downstream field references.
+fn form_regions(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret: &mut CExpr) {
+    let mut i = 0;
+    while i < clauses.len() {
+        // try to start a region at clause i
+        let Some(start) = try_start_region(ctx, &clauses[i]) else {
+            i += 1;
+            continue;
+        };
+        let mut region = start;
+        let mut consumed = vec![i];
+        let mut j = i + 1;
+        while j < clauses.len() {
+            match &clauses[j] {
+                Clause::For { var, pos: None, source } => {
+                    if let Some((conn, table, element, columns, pk, nav)) =
+                        table_of_call(ctx, source)
+                    {
+                        if conn != region.connection {
+                            break;
+                        }
+                        let alias = region.next_alias();
+                        let tref = TableRef::table(&table, &alias);
+                        match nav {
+                            Some((arg_var, key_pairs)) => {
+                                let Some(from_pv) = region.vars.get(&arg_var).cloned() else {
+                                    break; // navigation from an unpushed var
+                                };
+                                let mut on: Option<ScalarExpr> = None;
+                                for (fc, tc) in &key_pairs {
+                                    let term = ScalarExpr::col(&from_pv.alias, fc)
+                                        .eq(ScalarExpr::col(&alias, tc));
+                                    on = Some(match on {
+                                        Some(p) => p.and(term),
+                                        None => term,
+                                    });
+                                }
+                                region.from = region.from.clone().join(
+                                    JoinKind::Inner,
+                                    tref,
+                                    on.expect("nav has key pairs"),
+                                );
+                            }
+                            None => {
+                                // cross join for now; join conditions are
+                                // folded in from where clauses below
+                                region.from = region.from.clone().join(
+                                    JoinKind::Inner,
+                                    tref,
+                                    ScalarExpr::lit(SqlValue::Bool(true)),
+                                );
+                            }
+                        }
+                        region.vars.insert(
+                            var.clone(),
+                            PushedVar {
+                                alias,
+                                table,
+                                connection: conn,
+                                element,
+                                columns,
+                                primary_key: pk,
+                            },
+                        );
+                        consumed.push(j);
+                        j += 1;
+                        continue;
+                    }
+                    break;
+                }
+                Clause::Where(w) => {
+                    let mut translated = None;
+                    {
+                        let mut tr = Translator {
+                            ctx,
+                            region: &mut region,
+                            allow_params: true,
+                        };
+                        if let Some(sql) = tr.pushable(w) {
+                            translated = Some(sql);
+                        }
+                    }
+                    match translated {
+                        Some(sql) => {
+                            attach_condition(&mut region, sql);
+                            consumed.push(j);
+                            j += 1;
+                            continue;
+                        }
+                        None => {
+                            // a correlation equality? col op outer-expr
+                            if let Some((outer, col)) = correlation_of(ctx, &region, w) {
+                                region.correlations.push((outer, col));
+                                consumed.push(j);
+                                j += 1;
+                                continue;
+                            }
+                            // an unpushable where referencing pushed vars
+                            // only blocks pushes *behind* it if it uses a
+                            // var bound later; stop conservatively
+                            break;
+                        }
+                    }
+                }
+                // lets/others end the region
+                _ => break,
+            }
+        }
+        if region.vars.is_empty() {
+            i += 1;
+            continue;
+        }
+        // decide the fetched columns by scanning downstream usage
+        let mut usage: HashMap<String, ColumnUsage> = HashMap::new();
+        for (v, _) in region.vars.iter() {
+            usage.insert(v.clone(), ColumnUsage::default());
+        }
+        for (idx, c) in clauses.iter().enumerate() {
+            if consumed.contains(&idx) {
+                continue;
+            }
+            collect_usage_clause(c, &mut usage);
+        }
+        collect_usage(ret, &mut usage);
+        // materialize the SqlFor clause
+        let sql_for = build_sql_for(ctx, &mut region, &usage);
+        let Some((sql_for, rewrites)) = sql_for else {
+            i += 1;
+            continue;
+        };
+        // splice: remove consumed clauses, insert the SqlFor at position i
+        let mut kept = Vec::with_capacity(clauses.len());
+        for (idx, c) in clauses.drain(..).enumerate() {
+            if idx == i {
+                kept.push(sql_for.clone());
+            }
+            if !consumed.contains(&idx) {
+                kept.push(c);
+            }
+        }
+        if consumed.contains(&(clauses.len())) { /* unreachable */ }
+        *clauses = kept;
+        // rewrite downstream references
+        for c in clauses.iter_mut().skip(i + 1) {
+            rewrite_clause_refs(c, &rewrites);
+        }
+        rewrite_refs(ret, &rewrites);
+        // group-by bindings that regroup a whole pushed row need the row
+        // value as a variable: bind a reconstruction let after the SqlFor
+        // (it is dropped as dead code if grouping pushes fully)
+        let mut row_lets: Vec<Clause> = Vec::new();
+        for c in clauses.iter_mut().skip(i + 1) {
+            if let Clause::GroupBy { bindings, .. } = c {
+                for (from, _) in bindings.iter_mut() {
+                    if let Some(rw) = rewrites.iter().find(|r| &r.var == from) {
+                        let row_var = ctx.fresh(&format!("{}_row", rw.var));
+                        row_lets.push(Clause::Let {
+                            var: row_var.clone(),
+                            value: reconstruct_row(rw, crate::ir::Span::default()),
+                        });
+                        *from = row_var;
+                    }
+                }
+            }
+        }
+        for (off, l) in row_lets.into_iter().enumerate() {
+            clauses.insert(i + 1 + off, l);
+        }
+        i += 1;
+    }
+}
+
+/// A typed `<COL>{$field}</COL>` constructor for a rewritten field
+/// reference; the types let the Data-folding rule fire without a fresh
+/// type-inference pass.
+fn typed_field_element(
+    col: &str,
+    fvar: &str,
+    ty: AtomicType,
+    nullable: bool,
+    span: crate::ir::Span,
+) -> CExpr {
+    use aldsp_xdm::types::{ItemType, Occurrence, SequenceType};
+    let mut content = CExpr::var(fvar, span);
+    content.ty = SequenceType::Seq(ItemType::Atomic(ty), Occurrence::Optional);
+    let mut ctor = CExpr::new(
+        CKind::ElementCtor {
+            name: QName::local(col),
+            conditional: nullable,
+            attributes: vec![],
+            content: Box::new(content),
+        },
+        span,
+    );
+    ctor.ty = SequenceType::Seq(
+        ItemType::element_simple(QName::local(col), ty),
+        if nullable { Occurrence::Optional } else { Occurrence::One },
+    );
+    ctor
+}
+
+/// Build the reconstructed row element for a rewritten variable.
+fn reconstruct_row(rw: &Rewrite, span: crate::ir::Span) -> CExpr {
+    use aldsp_xdm::types::{ItemType, Occurrence, SequenceType};
+    let parts: Vec<CExpr> = rw
+        .fields
+        .iter()
+        .map(|(col, fvar, ty, nullable)| typed_field_element(col, fvar, *ty, *nullable, span))
+        .collect();
+    let mut ctor = CExpr::new(
+        CKind::ElementCtor {
+            name: rw.element.clone(),
+            conditional: false,
+            attributes: vec![],
+            content: Box::new(CExpr::new(CKind::Seq(parts), span)),
+        },
+        span,
+    );
+    ctor.ty = SequenceType::Seq(
+        ItemType::element_any(rw.element.clone()),
+        Occurrence::One,
+    );
+    ctor
+}
+
+/// Per-variable downstream usage.
+#[derive(Debug, Clone, Default)]
+struct ColumnUsage {
+    cols: Vec<String>,
+    whole: bool,
+}
+
+fn collect_usage_clause(c: &Clause, usage: &mut HashMap<String, ColumnUsage>) {
+    match c {
+        Clause::For { source, .. } => collect_usage(source, usage),
+        Clause::Let { value, .. } => collect_usage(value, usage),
+        Clause::Where(w) => collect_usage(w, usage),
+        Clause::GroupBy { keys, bindings, carry, .. } => {
+            for (k, _) in keys {
+                collect_usage(k, usage);
+            }
+            for (from, _) in bindings.iter().chain(carry.iter()) {
+                if let Some(u) = usage.get_mut(from) {
+                    u.whole = true;
+                }
+            }
+        }
+        Clause::OrderBy(specs) => {
+            for s in specs {
+                collect_usage(&s.expr, usage);
+            }
+        }
+        Clause::SqlFor { params, ppk, .. } => {
+            for p in params {
+                collect_usage(p, usage);
+            }
+            if let Some(p) = ppk {
+                for k in &p.outer_keys {
+                    collect_usage(k, usage);
+                }
+            }
+        }
+    }
+}
+
+fn collect_usage(e: &CExpr, usage: &mut HashMap<String, ColumnUsage>) {
+    match &e.kind {
+        CKind::ChildStep { input, name: Some(n) } => {
+            if let CKind::Var(v) = &input.kind {
+                if let Some(u) = usage.get_mut(v) {
+                    if !u.cols.contains(&n.local_name().to_string()) {
+                        u.cols.push(n.local_name().to_string());
+                    }
+                    return;
+                }
+            }
+            collect_usage(input, usage);
+        }
+        CKind::Var(v) => {
+            if let Some(u) = usage.get_mut(v) {
+                u.whole = true;
+            }
+        }
+        _ => e.for_each_child(&mut |c| collect_usage(c, usage)),
+    }
+}
+
+/// Start a region from a `for` over a table function.
+fn try_start_region(ctx: &Context<'_>, c: &Clause) -> Option<Region> {
+    let Clause::For { var, pos: None, source } = c else { return None };
+    let (connection, table, element, columns, pk, nav) = table_of_call(ctx, source)?;
+    if nav.is_some() {
+        return None; // navigation can't begin a region (needs its source)
+    }
+    let mut region = Region {
+        connection,
+        from: TableRef::table(&table, "t1"),
+        wheres: Vec::new(),
+        params: Vec::new(),
+        vars: VarMap::default(),
+        alias_counter: 1,
+        correlations: Vec::new(),
+    };
+    region.vars.insert(
+        var.clone(),
+        PushedVar {
+            alias: "t1".into(),
+            table,
+            connection: region.connection.clone(),
+            element,
+            columns,
+            primary_key: pk,
+        },
+    );
+    Some(region)
+}
+
+/// Fold a pushed condition into the deepest join whose sides it
+/// connects, or the WHERE list otherwise (makes Table 1(b)'s `JOIN … ON`
+/// shape).
+fn attach_condition(region: &mut Region, cond: ScalarExpr) {
+    fn aliases_in(e: &ScalarExpr) -> Vec<String> {
+        let mut out = Vec::new();
+        e.walk(&mut |n| {
+            if let ScalarExpr::Column { table, .. } = n {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+        });
+        out
+    }
+    let needed = aliases_in(&cond);
+    if needed.len() >= 2 {
+        // attach to the top join if it spans both sides
+        if let TableRef::Join { left, right, on, .. } = &mut region.from {
+            let mut laliases = Vec::new();
+            left.aliases(&mut laliases);
+            let mut raliases = Vec::new();
+            right.aliases(&mut raliases);
+            let spans = needed.iter().any(|a| laliases.contains(a))
+                && needed.iter().any(|a| raliases.contains(a));
+            if spans {
+                if matches!(on, ScalarExpr::Literal(SqlValue::Bool(true))) {
+                    *on = cond;
+                } else {
+                    let prev = on.clone();
+                    *on = prev.and(cond);
+                }
+                return;
+            }
+        }
+    }
+    region.wheres.push(cond);
+}
+
+/// Detect `inner-col op outer-expr` equality correlations.
+fn correlation_of(
+    ctx: &Context<'_>,
+    region: &Region,
+    w: &CExpr,
+) -> Option<(CExpr, ScalarExpr)> {
+    let CKind::Compare { op: CompOp::Eq, lhs, rhs, .. } = &w.kind else { return None };
+    let col_of = |e: &CExpr| -> Option<ScalarExpr> {
+        let core = match &e.kind {
+            CKind::Data(i) => i,
+            _ => return col_expr(region, e),
+        };
+        col_expr(region, core)
+    };
+    let is_outer = |e: &CExpr| -> bool {
+        // no pushed vars and no free use of region tables
+        e.free_vars().iter().all(|v| !region.vars.contains_key(v))
+    };
+    let _ = ctx;
+    if let Some(c) = col_of(lhs) {
+        if is_outer(rhs) {
+            return Some(((**rhs).clone(), c));
+        }
+    }
+    if let Some(c) = col_of(rhs) {
+        if is_outer(lhs) {
+            return Some(((**lhs).clone(), c));
+        }
+    }
+    None
+}
+
+fn col_expr(region: &Region, e: &CExpr) -> Option<ScalarExpr> {
+    let core = match &e.kind {
+        CKind::Data(i) => i.as_ref(),
+        _ => e,
+    };
+    let CKind::ChildStep { input, name: Some(n) } = &core.kind else { return None };
+    let CKind::Var(v) = &input.kind else { return None };
+    let pv = region.vars.get(v)?;
+    let (col, _, _) = pv.column(n.local_name())?;
+    Some(ScalarExpr::col(&pv.alias, col))
+}
+
+/// Build the final `SqlFor` clause and the downstream rewrite map.
+#[allow(clippy::type_complexity)]
+fn build_sql_for(
+    ctx: &mut Context<'_>,
+    region: &mut Region,
+    usage: &HashMap<String, ColumnUsage>,
+) -> Option<(Clause, Vec<Rewrite>)> {
+    let mut select = Select::new(region.from.clone());
+    let mut where_: Option<ScalarExpr> = None;
+    for w in region.wheres.drain(..) {
+        where_ = Some(match where_ {
+            Some(p) => p.and(w),
+            None => w,
+        });
+    }
+    select.where_ = where_;
+    let mut binds: Vec<(String, AtomicType)> = Vec::new();
+    let mut rewrites: Vec<Rewrite> = Vec::new();
+    let mut col_no = 0usize;
+    for (var, pv) in region.vars.iter() {
+        let u = usage.get(var).cloned().unwrap_or_default();
+        let fetch: Vec<(String, AtomicType, bool)> = if u.whole {
+            pv.columns.clone()
+        } else {
+            pv.columns
+                .iter()
+                .filter(|(n, _, _)| u.cols.contains(n))
+                .cloned()
+                .collect()
+        };
+        let mut fields = Vec::new();
+        for (cname, cty, nullable) in &fetch {
+            col_no += 1;
+            let alias = format!("c{col_no}");
+            select.columns.push(aldsp_relational::OutputColumn {
+                expr: ScalarExpr::col(&pv.alias, cname),
+                alias,
+            });
+            let fvar = ctx.fresh(&format!("{var}#{cname}"));
+            binds.push((fvar.clone(), *cty));
+            fields.push((cname.clone(), fvar, *cty, *nullable));
+        }
+        rewrites.push(Rewrite {
+            var: var.clone(),
+            element: pv.element.clone(),
+            fields,
+            whole: u.whole,
+        });
+    }
+    if binds.is_empty() {
+        // nothing consumed: still fetch one column (existence/cardinality
+        // matters — each row is one tuple)
+        let (var, pv) = region.vars.iter().next()?;
+        let (cname, cty, _) = pv.columns.first()?.clone();
+        select.columns.push(aldsp_relational::OutputColumn {
+            expr: ScalarExpr::col(&pv.alias, &cname),
+            alias: "c1".into(),
+        });
+        let fvar = ctx.fresh(&format!("{var}#{cname}"));
+        binds.push((fvar, cty));
+    }
+    // correlations → PP-k spec (keys must also be fetched for the local
+    // block join)
+    let ppk = if region.correlations.is_empty() {
+        None
+    } else {
+        let mut outer_keys = Vec::new();
+        let mut key_columns = Vec::new();
+        let mut bind_key_indices = Vec::new();
+        for (outer, col) in region.correlations.drain(..) {
+            outer_keys.push(outer);
+            key_columns.push(col.clone());
+            // ensure the key column is among the outputs
+            let pos = select
+                .columns
+                .iter()
+                .position(|c| c.expr == col)
+                .unwrap_or_else(|| {
+                    let alias = format!("c{}", select.columns.len() + 1);
+                    select
+                        .columns
+                        .push(aldsp_relational::OutputColumn { expr: col.clone(), alias });
+                    let ScalarExpr::Column { column, .. } = &col else { unreachable!() };
+                    let ty = region
+                        .vars
+                        .values()
+                        .find_map(|pv| pv.column(column).map(|(_, t, _)| t))
+                        .unwrap_or(AtomicType::AnyAtomic);
+                    binds.push((ctx.fresh(&format!("key#{column}")), ty));
+                    select.columns.len() - 1
+                });
+            bind_key_indices.push(pos);
+        }
+        Some(PpkSpec {
+            k: ctx.ppk_block_size, // default 20, the paper's empirically-good value (§4.2)
+            outer_keys,
+            key_columns,
+            bind_key_indices,
+            local_method: ctx.ppk_local_method,
+            outer_join: false,
+        })
+    };
+    Some((
+        Clause::SqlFor {
+            connection: region.connection.clone(),
+            select: Box::new(select),
+            params: std::mem::take(&mut region.params),
+            binds,
+            ppk,
+        },
+        rewrites,
+    ))
+}
+
+/// How downstream references to a pushed variable are rewritten.
+#[derive(Debug, Clone)]
+struct Rewrite {
+    var: String,
+    element: QName,
+    /// `(column, field var, type, nullable)`.
+    fields: Vec<(String, String, AtomicType, bool)>,
+    whole: bool,
+}
+
+fn rewrite_clause_refs(c: &mut Clause, rewrites: &[Rewrite]) {
+    match c {
+        Clause::For { source, .. } => rewrite_refs(source, rewrites),
+        Clause::Let { value, .. } => rewrite_refs(value, rewrites),
+        Clause::Where(w) => rewrite_refs(w, rewrites),
+        Clause::GroupBy { keys, .. } => {
+            for (k, _) in keys.iter_mut() {
+                rewrite_refs(k, rewrites);
+            }
+        }
+        Clause::OrderBy(specs) => {
+            for s in specs.iter_mut() {
+                rewrite_refs(&mut s.expr, rewrites);
+            }
+        }
+        Clause::SqlFor { params, ppk, .. } => {
+            for p in params.iter_mut() {
+                rewrite_refs(p, rewrites);
+            }
+            if let Some(pk) = ppk {
+                for k in pk.outer_keys.iter_mut() {
+                    rewrite_refs(k, rewrites);
+                }
+            }
+        }
+    }
+}
+
+/// Rewrite `$v/COL` → field variables and whole-row uses of `$v` →
+/// reconstructed row elements (the runtime's extract-field / construct
+/// tuple ops in IR form, §5.2).
+fn rewrite_refs(e: &mut CExpr, rewrites: &[Rewrite]) {
+    let span = e.span;
+    // $v/COL
+    if let CKind::ChildStep { input, name: Some(n) } = &e.kind {
+        if let CKind::Var(v) = &input.kind {
+            if let Some(rw) = rewrites.iter().find(|r| &r.var == v) {
+                if let Some((col, fvar, fty, nullable)) =
+                    rw.fields.iter().find(|(c, _, _, _)| c == n.local_name())
+                {
+                    // the source element: <COL>{value}</COL>, omitted when
+                    // the column is NULL → conditional construction
+                    // (column elements are unqualified, see row_shape)
+                    *e = typed_field_element(col, fvar, *fty, *nullable, span);
+                    return;
+                }
+            }
+        }
+    }
+    // whole $v
+    if let CKind::Var(v) = &e.kind {
+        if let Some(rw) = rewrites.iter().find(|r| &r.var == v && r.whole) {
+            *e = reconstruct_row(rw, span);
+            return;
+        }
+    }
+    e.for_each_child_mut(&mut |c| rewrite_refs(c, rewrites));
+}
+
+// ---- predicate translation ---------------------------------------------------
+
+struct Translator<'a, 'r> {
+    ctx: &'a Context<'r>,
+    region: &'a mut Region,
+    allow_params: bool,
+}
+
+impl Translator<'_, '_> {
+    /// Translate a predicate to SQL if pushable; `None` leaves it in the
+    /// middleware.
+    fn pushable(&mut self, e: &CExpr) -> Option<ScalarExpr> {
+        let saved_params = self.region.params.len();
+        match self.try_expr(e) {
+            Some(s) => Some(s),
+            None => {
+                self.region.params.truncate(saved_params);
+                None
+            }
+        }
+    }
+
+    fn try_expr(&mut self, e: &CExpr) -> Option<ScalarExpr> {
+        match &e.kind {
+            CKind::Data(inner) => self.try_expr(inner),
+            CKind::Const(v) => {
+                Some(ScalarExpr::Literal(SqlValue::from_xml(Some(v), sql_type_of(v.type_of())?).ok()?))
+            }
+            CKind::ChildStep { .. } => col_expr(self.region, e),
+            CKind::And(a, b) => Some(self.try_expr(a)?.and(self.try_expr(b)?)),
+            CKind::Or(a, b) => Some(self.try_expr(a)?.or(self.try_expr(b)?)),
+            CKind::Compare { op, lhs, rhs, .. } => {
+                let l = self.try_expr(lhs)?;
+                let r = self.try_expr(rhs)?;
+                Some(ScalarExpr::Compare { op: *op, lhs: Box::new(l), rhs: Box::new(r) })
+            }
+            CKind::Arith { op, lhs, rhs } => {
+                let l = self.try_expr(lhs)?;
+                let r = self.try_expr(rhs)?;
+                Some(ScalarExpr::Arith { op: *op, lhs: Box::new(l), rhs: Box::new(r) })
+            }
+            CKind::If { cond, then, els } => {
+                let c = self.try_expr(cond)?;
+                let t = self.try_expr(then)?;
+                let x = self.try_expr(els)?;
+                Some(ScalarExpr::Case { when: vec![(c, t)], els: Some(Box::new(x)) })
+            }
+            CKind::Builtin { op, args } => match op {
+                Builtin::Not => Some(ScalarExpr::Not(Box::new(self.try_expr(&args[0])?))),
+                Builtin::Empty => {
+                    // empty($v/COL) → COL IS NULL
+                    let c = col_expr(self.region, &args[0])?;
+                    Some(ScalarExpr::IsNull(Box::new(c)))
+                }
+                Builtin::Exists => {
+                    let c = col_expr(self.region, &args[0])?;
+                    Some(ScalarExpr::Not(Box::new(ScalarExpr::IsNull(Box::new(c)))))
+                }
+                Builtin::UpperCase => Some(ScalarExpr::Func {
+                    name: "UPPER".into(),
+                    args: vec![self.try_expr(&args[0])?],
+                }),
+                Builtin::LowerCase => Some(ScalarExpr::Func {
+                    name: "LOWER".into(),
+                    args: vec![self.try_expr(&args[0])?],
+                }),
+                Builtin::StringLength => Some(ScalarExpr::Func {
+                    name: "LENGTH".into(),
+                    args: vec![self.try_expr(&args[0])?],
+                }),
+                Builtin::Substring => {
+                    let mut sargs = Vec::with_capacity(args.len());
+                    for a in args {
+                        sargs.push(self.try_expr(a)?);
+                    }
+                    Some(ScalarExpr::Func { name: "SUBSTR".into(), args: sargs })
+                }
+                Builtin::Concat => {
+                    let mut sargs = Vec::with_capacity(args.len());
+                    for a in args {
+                        sargs.push(self.try_expr(a)?);
+                    }
+                    Some(ScalarExpr::Func { name: "CONCAT".into(), args: sargs })
+                }
+                Builtin::Abs => Some(ScalarExpr::Func {
+                    name: "ABS".into(),
+                    args: vec![self.try_expr(&args[0])?],
+                }),
+                Builtin::True => Some(ScalarExpr::Literal(SqlValue::Bool(true))),
+                Builtin::False => Some(ScalarExpr::Literal(SqlValue::Bool(false))),
+                _ => self.as_param(e),
+            },
+            // a quantified expression over the same source → EXISTS
+            // semi-join (Table 2(h))
+            CKind::Quantified { every: false, var, source, satisfies } => {
+                self.try_exists(var, source, satisfies)
+            }
+            CKind::Cast { input, target, .. } => {
+                // pushable as a typed parameter when independent; else
+                // translate through (types line up via SQL affinity)
+                match self.try_expr(input) {
+                    Some(s) => {
+                        let _ = target;
+                        Some(s)
+                    }
+                    None => self.as_param(e),
+                }
+            }
+            _ => self.as_param(e),
+        }
+    }
+
+    /// "Other expressions can first be evaluated in the XQuery runtime
+    /// engine and then pushed as SQL parameters" (§4.3).
+    fn as_param(&mut self, e: &CExpr) -> Option<ScalarExpr> {
+        if !self.allow_params {
+            return None;
+        }
+        // only expressions independent of the pushed region qualify
+        let free = e.free_vars();
+        if free.iter().any(|v| self.region.vars.contains_key(v)) {
+            return None;
+        }
+        // node constructors etc. are non-pushable even as params; require
+        // an atomizable expression — conservatively accept everything
+        // whose type is atomic or unknown-but-data-wrapped
+        let idx = self.region.params.len();
+        self.region.params.push(CExpr::new(
+            CKind::Data(Box::new(e.clone())),
+            e.span,
+        ));
+        Some(ScalarExpr::Param(idx))
+    }
+
+    fn try_exists(
+        &mut self,
+        var: &str,
+        source: &CExpr,
+        satisfies: &CExpr,
+    ) -> Option<ScalarExpr> {
+        let (conn, table, element, columns, pk, nav) = table_of_call(self.ctx, source)?;
+        if conn != self.region.connection || nav.is_some() {
+            return None;
+        }
+        let alias = self.region.next_alias();
+        // temporarily extend the region's var map so the inner predicate
+        // resolves both inner and outer columns
+        self.region.vars.insert(
+            var.to_string(),
+            PushedVar {
+                alias: alias.clone(),
+                table: table.clone(),
+                connection: conn,
+                element,
+                columns,
+                primary_key: pk,
+            },
+        );
+        let inner_pred = self.try_expr(satisfies);
+        self.region.vars.remove(var);
+        let inner_pred = inner_pred?;
+        let mut sub = Select::new(TableRef::table(&table, &alias))
+            .column(ScalarExpr::lit(SqlValue::Int(1)), "c1");
+        sub.where_ = Some(inner_pred);
+        Some(ScalarExpr::Exists(Box::new(sub)))
+    }
+}
+
+fn sql_type_of(t: AtomicType) -> Option<SqlType> {
+    SqlType::from_xml_type(t)
+}
+
+// ---- phase 2: dependent-join hoisting ---------------------------------------
+
+/// Find correlated single-`SqlFor` FLWORs nested in the return
+/// expression and hoist them into the outer clause list: merged as a
+/// LEFT OUTER JOIN when same-connection (Tables 1(c)/2(g)), or as a
+/// PP-k dependent join with middleware re-nesting otherwise (§4.2).
+fn hoist_dependent_joins(
+    ctx: &mut Context<'_>,
+    clauses: &mut Vec<Clause>,
+    ret: &mut CExpr,
+    span: crate::ir::Span,
+) {
+    // an existing group clause is a hard barrier (scope changes)
+    if clauses.iter().any(|c| matches!(c, Clause::GroupBy { .. })) {
+        return;
+    }
+    // hoisting is only useful (and only batches) when this FLWOR owns the
+    // driving tuple loop; a let/where-only block should stay simple so an
+    // enclosing FLWOR can flatten it and hoist at the right level
+    if !clauses
+        .iter()
+        .any(|c| matches!(c, Clause::For { .. } | Clause::SqlFor { .. }))
+    {
+        return;
+    }
+    loop {
+        let has_order = clauses.iter().any(|c| matches!(c, Clause::OrderBy(_)));
+        // locate the outer SqlFor: single table, uncorrelated, followed
+        // only by non-binding-loop clauses (lets / wheres / order by)
+        let outer_info: Option<(usize, String, String, String)> =
+            clauses.iter().enumerate().find_map(|(i, c)| {
+                if let Clause::SqlFor { connection, select, ppk: None, params, .. } = c {
+                    if params.is_empty()
+                        && clauses[i + 1..].iter().all(|t| {
+                            matches!(t, Clause::Let { .. } | Clause::Where(_) | Clause::OrderBy(_))
+                        })
+                    {
+                        if let TableRef::Table { name, alias } = &select.from {
+                            return Some((i, connection.clone(), name.clone(), alias.clone()));
+                        }
+                    }
+                }
+                None
+            });
+        let outer_is_last =
+            outer_info.as_ref().is_some_and(|(i, ..)| *i + 1 == clauses.len());
+        // search the return, then let values, for a hoistable nested FLWOR
+        let (found, slot) = {
+            match find_nested_dependent(ret) {
+                Some(f) => (Some(f), Slot::Ret),
+                None => {
+                    let mut hit = None;
+                    for (li, c) in clauses.iter().enumerate() {
+                        if let Clause::Let { value, .. } = c {
+                            if let Some(f) = find_nested_dependent(value) {
+                                // let-slot hoisting is aggregate-only (the
+                                // Table 2(i) `let $oc := count(…)` shape)
+                                if f.agg.is_some() {
+                                    hit = Some((f, Slot::Let(li)));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    match hit {
+                        Some((f, sl)) => (Some(f), sl),
+                        None => (None, Slot::Ret),
+                    }
+                }
+            }
+        };
+        let Some(NestedDependent { path_marker, inner_clause, inner_ret, agg }) = found
+        else {
+            break;
+        };
+        // temporarily take the slot expression so merges can mutate the
+        // clause list while rewriting it
+        let mut slot_expr = match slot {
+            Slot::Ret => std::mem::replace(ret, CExpr::empty(span)),
+            Slot::Let(li) => {
+                let Clause::Let { value, .. } = &mut clauses[li] else { unreachable!() };
+                std::mem::replace(value, CExpr::empty(span))
+            }
+        };
+        let hoisted = match (&outer_info, &inner_clause) {
+            (
+                Some((outer_idx, oconn, otable, oalias)),
+                Clause::SqlFor { connection, select, params, binds, ppk: Some(ppk) },
+            ) if oconn == connection && params.is_empty() => {
+                // the re-nesting (non-aggregate) variant inserts a group
+                // clause, which is only sound when nothing follows the
+                // outer SqlFor and the slot is the return
+                if agg.is_none() && !(outer_is_last && matches!(slot, Slot::Ret)) {
+                    false
+                } else {
+                    merge_same_connection(
+                        ctx,
+                        clauses,
+                        *outer_idx,
+                        otable,
+                        oalias,
+                        select,
+                        binds,
+                        ppk,
+                        inner_ret.clone(),
+                        agg,
+                        &mut slot_expr,
+                        &path_marker,
+                        span,
+                    )
+                }
+            }
+            (_, Clause::SqlFor { ppk: Some(_), .. })
+                if matches!(slot, Slot::Ret) && !has_order =>
+            {
+                hoist_cross_source(
+                    ctx,
+                    clauses,
+                    inner_clause.clone(),
+                    inner_ret.clone(),
+                    agg,
+                    &mut slot_expr,
+                    &path_marker,
+                    span,
+                )
+            }
+            _ => false,
+        };
+        // restore the slot
+        match slot {
+            Slot::Ret => *ret = slot_expr,
+            Slot::Let(li) => {
+                let Clause::Let { value, .. } = &mut clauses[li] else { unreachable!() };
+                *value = slot_expr;
+            }
+        }
+        drain_pending_insertions(clauses);
+        if !hoisted {
+            clear_marker(ret, &path_marker);
+            break;
+        }
+    }
+}
+
+/// Which expression a nested dependent was found in.
+enum Slot {
+    Ret,
+    Let(usize),
+}
+
+/// A located nested dependent join. `path_marker` is the span used to
+/// find the node again for replacement.
+struct NestedDependent {
+    path_marker: crate::ir::Span,
+    inner_clause: Clause,
+    inner_ret: CExpr,
+    agg: Option<Builtin>,
+}
+
+/// Search `e` for `Flwor{[SqlFor(ppk)], ret}` (optionally under a
+/// count/sum aggregate).
+fn find_nested_dependent(e: &CExpr) -> Option<NestedDependent> {
+    // aggregate form first: count(Flwor{[SqlFor(ppk)]})
+    if let CKind::Builtin { op: op @ (Builtin::Count | Builtin::Sum | Builtin::Min | Builtin::Max | Builtin::Avg), args } = &e.kind {
+        if let CKind::Flwor { clauses, ret } = &args[0].kind {
+            if clauses.len() == 1 {
+                if let Clause::SqlFor { ppk: Some(_), .. } = &clauses[0] {
+                    return Some(NestedDependent {
+                        path_marker: e.span,
+                        inner_clause: clauses[0].clone(),
+                        inner_ret: (**ret).clone(),
+                        agg: Some(*op),
+                    });
+                }
+            }
+        }
+    }
+    if let CKind::Flwor { clauses, ret } = &e.kind {
+        if clauses.len() == 1 {
+            if let Clause::SqlFor { ppk: Some(_), .. } = &clauses[0] {
+                return Some(NestedDependent {
+                    path_marker: e.span,
+                    inner_clause: clauses[0].clone(),
+                    inner_ret: (**ret).clone(),
+                    agg: None,
+                });
+            }
+        }
+    }
+    // never hoist across the async/timeout/fail-over boundaries (§5.4,
+    // §5.6): those functions own their operands' evaluation — moving a
+    // source access out of them would strip their protection
+    if matches!(
+        &e.kind,
+        CKind::Builtin { op: Builtin::Async | Builtin::Timeout | Builtin::FailOver, .. }
+    ) {
+        return None;
+    }
+    let mut found = None;
+    e.for_each_child(&mut |c| {
+        if found.is_none() {
+            found = find_nested_dependent(c);
+        }
+    });
+    found
+}
+
+/// Replace the marked nested node with `replacement`.
+fn replace_marked(e: &mut CExpr, marker: &crate::ir::Span, replacement: &CExpr) -> bool {
+    let is_target = e.span == *marker
+        && matches!(
+            &e.kind,
+            CKind::Flwor { .. } | CKind::Builtin { .. }
+        );
+    if is_target {
+        *e = replacement.clone();
+        return true;
+    }
+    let mut done = false;
+    e.for_each_child_mut(&mut |c| {
+        if !done {
+            done = replace_marked(c, marker, replacement);
+        }
+    });
+    done
+}
+
+fn clear_marker(_e: &mut CExpr, _marker: &crate::ir::Span) {
+    // nothing to clear — the search is deterministic, so a failed hoist
+    // simply terminates the loop (see caller)
+}
+
+/// Same-connection merge: extend the outer select with a LEFT OUTER JOIN
+/// of the inner table, then either push the aggregate entirely (GROUP BY
+/// in SQL — Table 2(g)) or re-nest in the middleware with a clustered
+/// group-by (Table 1(c) + §4.2's streaming grouping).
+#[allow(clippy::too_many_arguments)]
+fn merge_same_connection(
+    ctx: &mut Context<'_>,
+    clauses: &mut [Clause],
+    outer_idx: usize,
+    otable: &str,
+    oalias: &str,
+    inner_select: &Select,
+    inner_binds: &[(String, AtomicType)],
+    ppk: &PpkSpec,
+    inner_ret: CExpr,
+    agg: Option<Builtin>,
+    ret: &mut CExpr,
+    marker: &crate::ir::Span,
+    span: crate::ir::Span,
+) -> bool {
+    // the inner select must be a single table with no pagination
+    let TableRef::Table { name: itable, alias: _ } = &inner_select.from else {
+        return false;
+    };
+    // outer PK columns (needed for grouping identity)
+    let pk_cols: Vec<String> = {
+        let f = ctx.registry.functions().find_map(|f| match &f.source {
+            SourceBinding::RelationalTable { table, primary_key, .. } if table == otable => {
+                Some(primary_key.clone())
+            }
+            _ => None,
+        });
+        match f {
+            Some(pk) if !pk.is_empty() => pk,
+            _ => return false,
+        }
+    };
+    // correlation: outer_keys must be field vars bound by the outer SqlFor
+    let Clause::SqlFor { select: outer_select, binds: outer_binds, .. } =
+        &mut clauses[outer_idx]
+    else {
+        return false;
+    };
+    let mut on: Option<ScalarExpr> = None;
+    let ialias = "t_inner".to_string();
+    for (outer_key, key_col) in ppk.outer_keys.iter().zip(&ppk.key_columns) {
+        // outer key must be (data of) an outer bind var
+        let kv = match &outer_key.kind {
+            CKind::Var(v) => v.clone(),
+            CKind::Data(inner) => match &inner.kind {
+                CKind::Var(v) => v.clone(),
+                _ => return false,
+            },
+            _ => return false,
+        };
+        let Some(pos) = outer_binds.iter().position(|(b, _)| *b == kv) else {
+            return false;
+        };
+        let outer_col = outer_select.columns[pos].expr.clone();
+        let ScalarExpr::Column { column, .. } = key_col else { return false };
+        let term = outer_col.eq(ScalarExpr::col(&ialias, column));
+        on = Some(match on {
+            Some(p) => p.and(term),
+            None => term,
+        });
+    }
+    let Some(on) = on else { return false };
+    // splice the join in
+    outer_select.from = outer_select.from.clone().join(
+        JoinKind::LeftOuter,
+        TableRef::table(itable, &ialias),
+        match &inner_select.where_ {
+            Some(w) => {
+                let rebased = rebase_aliases(w, inner_select, &ialias);
+                on.and(rebased)
+            }
+            None => on,
+        },
+    );
+    match agg {
+        Some(op) => {
+            // full SQL aggregation (Table 2(g)): GROUP BY outer columns
+            let group_cols: Vec<ScalarExpr> =
+                outer_select.columns.iter().map(|c| c.expr.clone()).collect();
+            outer_select.group_by = group_cols;
+            // aggregate argument: first inner output column (or * count)
+            let inner_col =
+                rebase_aliases(&inner_select.columns[0].expr, inner_select, &ialias);
+            let func = match op {
+                Builtin::Count => AggFunc::Count,
+                Builtin::Sum => AggFunc::Sum,
+                Builtin::Avg => AggFunc::Avg,
+                Builtin::Min => AggFunc::Min,
+                Builtin::Max => AggFunc::Max,
+                _ => unreachable!("agg matched above"),
+            };
+            let alias = format!("c{}", outer_select.columns.len() + 1);
+            outer_select.columns.push(aldsp_relational::OutputColumn {
+                expr: ScalarExpr::Agg {
+                    func,
+                    arg: Some(Box::new(inner_col)),
+                    distinct: false,
+                },
+                alias,
+            });
+            let agg_var = ctx.fresh("agg");
+            outer_binds.push((agg_var.clone(), AtomicType::Integer));
+            replace_marked(ret, marker, &CExpr::var(&agg_var, span))
+        }
+        None => {
+            // middleware re-nesting: fetch inner fields, ORDER BY outer
+            // PK, then a *pre-clustered* streaming group-by (§4.2)
+            let mut inner_field_vars = Vec::with_capacity(inner_binds.len());
+            for (i, col) in inner_select.columns.iter().enumerate() {
+                let alias = format!("c{}", outer_select.columns.len() + 1);
+                outer_select.columns.push(aldsp_relational::OutputColumn {
+                    expr: rebase_aliases(&col.expr, inner_select, &ialias),
+                    alias,
+                });
+                let (bvar, bty) = inner_binds[i].clone();
+                outer_binds.push((bvar.clone(), bty));
+                inner_field_vars.push(bvar);
+            }
+            // ensure PK columns are fetched & ordered
+            let mut pk_field_vars = Vec::new();
+            for pk in &pk_cols {
+                let col = ScalarExpr::col(oalias, pk);
+                let pos = outer_select.columns.iter().position(|c| c.expr == col);
+                let pos = match pos {
+                    Some(p) => p,
+                    None => {
+                        let alias = format!("c{}", outer_select.columns.len() + 1);
+                        outer_select
+                            .columns
+                            .push(aldsp_relational::OutputColumn { expr: col.clone(), alias });
+                        outer_binds.push((ctx.fresh(&format!("pk#{pk}")), AtomicType::AnyAtomic));
+                        outer_select.columns.len() - 1
+                    }
+                };
+                pk_field_vars.push(outer_binds[pos].0.clone());
+                outer_select
+                    .order_by
+                    .push(OrderBy { expr: col, descending: false });
+            }
+            // per-joined-row value of the nested return, then regroup
+            let val_var = ctx.fresh("nestval");
+            // guard: an unmatched outer row produces NULL inner fields; the
+            // nested value must then be empty. All-inner-fields-null test:
+            let mut guard: Option<CExpr> = None;
+            for fv in &inner_field_vars {
+                let t = CExpr::new(
+                    CKind::Builtin {
+                        op: Builtin::Exists,
+                        args: vec![CExpr::var(fv, span)],
+                    },
+                    span,
+                );
+                guard = Some(match guard {
+                    Some(g) => CExpr::new(CKind::Or(Box::new(g), Box::new(t)), span),
+                    None => t,
+                });
+            }
+            let guarded = match guard {
+                Some(g) => CExpr::new(
+                    CKind::If {
+                        cond: Box::new(g),
+                        then: Box::new(inner_ret),
+                        els: Box::new(CExpr::empty(span)),
+                    },
+                    span,
+                ),
+                None => inner_ret,
+            };
+            let grouped_var = ctx.fresh("nested");
+            // group keys: outer PK fields plus every outer bind still used
+            let outer_bind_names: Vec<(String, AtomicType)> = outer_binds.clone();
+            let mut keys: Vec<(CExpr, String)> = Vec::new();
+            let mut key_renames: Vec<(String, String)> = Vec::new();
+            for pkv in &pk_field_vars {
+                let alias = ctx.fresh("gk");
+                keys.push((CExpr::var(pkv, span), alias.clone()));
+                key_renames.push((pkv.clone(), alias));
+            }
+            for (b, _) in &outer_bind_names {
+                if pk_field_vars.contains(b) || inner_field_vars.contains(b) {
+                    continue;
+                }
+                let alias = ctx.fresh("gk");
+                keys.push((CExpr::var(b, span), alias.clone()));
+                key_renames.push((b.clone(), alias));
+            }
+            let extra = vec![
+                Clause::Let { var: val_var.clone(), value: guarded },
+                Clause::GroupBy {
+                    bindings: vec![(val_var, grouped_var.clone())],
+                    keys,
+                    carry: Vec::new(),
+                    pre_clustered: true,
+                },
+            ];
+            // replace the nested expression and rename outer binds to
+            // their group-key aliases in the return
+            if !replace_marked(ret, marker, &CExpr::var(&grouped_var, span)) {
+                return false;
+            }
+            for (old, new) in &key_renames {
+                ret.substitute(old, &CExpr::var(new, span));
+            }
+            // append the new clauses right after the outer SqlFor —
+            // ownership dance: we only have &mut [Clause]; signal via a
+            // sentinel and let the caller… simpler: we re-enter with Vec
+            // access below.
+            PENDING.with(|p| p.borrow_mut().push((outer_idx + 1, extra)));
+            true
+        }
+    }
+}
+
+thread_local! {
+    /// Clause insertions requested during a merge (the merge only holds a
+    /// slice borrow); drained by [`hoist_dependent_joins`]'s caller wrapper.
+    static PENDING: std::cell::RefCell<Vec<(usize, Vec<Clause>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Rewrite inner-select column aliases to the joined alias.
+fn rebase_aliases(e: &ScalarExpr, inner: &Select, new_alias: &str) -> ScalarExpr {
+    let TableRef::Table { alias, .. } = &inner.from else { return e.clone() };
+    let mut out = e.clone();
+    fn rec(e: &mut ScalarExpr, from: &str, to: &str) {
+        if let ScalarExpr::Column { table, .. } = e {
+            if table == from {
+                *table = to.to_string();
+            }
+        }
+        match e {
+            ScalarExpr::Compare { lhs, rhs, .. } | ScalarExpr::Arith { lhs, rhs, .. } => {
+                rec(lhs, from, to);
+                rec(rhs, from, to);
+            }
+            ScalarExpr::And(a, b) | ScalarExpr::Or(a, b) => {
+                rec(a, from, to);
+                rec(b, from, to);
+            }
+            ScalarExpr::Not(a) | ScalarExpr::IsNull(a) => rec(a, from, to),
+            ScalarExpr::Case { when, els } => {
+                for (c, v) in when {
+                    rec(c, from, to);
+                    rec(v, from, to);
+                }
+                if let Some(x) = els {
+                    rec(x, from, to);
+                }
+            }
+            ScalarExpr::InList { expr, list } => {
+                rec(expr, from, to);
+                for i in list {
+                    rec(i, from, to);
+                }
+            }
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    rec(a, from, to);
+                }
+            }
+            ScalarExpr::Agg { arg: Some(a), .. } => rec(a, from, to),
+            _ => {}
+        }
+    }
+    rec(&mut out, alias, new_alias);
+    out
+}
+
+/// Cross-source hoist: move the dependent `SqlFor` into the outer clause
+/// list so the runtime can batch it (PP-k), re-nesting via a tuple-id
+/// keyed, pre-clustered group-by.
+#[allow(clippy::too_many_arguments)]
+fn hoist_cross_source(
+    ctx: &mut Context<'_>,
+    clauses: &mut Vec<Clause>,
+    inner_clause: Clause,
+    inner_ret: CExpr,
+    agg: Option<Builtin>,
+    ret: &mut CExpr,
+    marker: &crate::ir::Span,
+    span: crate::ir::Span,
+) -> bool {
+    let Clause::SqlFor { connection, select, params, mut binds, ppk: Some(mut ppk) } =
+        inner_clause
+    else {
+        return false;
+    };
+    // the PP-k operator emits a synthetic outer-tuple ordinal so grouping
+    // can re-nest per outer tuple
+    ppk.outer_join = true;
+    let tid = ctx.fresh("tid");
+    binds.push((tid.clone(), TID_TYPE));
+    let val_var = ctx.fresh("nestval");
+    // unmatched outer tuples surface with all inner fields empty
+    let inner_field_vars: Vec<String> =
+        binds.iter().take(binds.len() - 1).map(|(b, _)| b.clone()).collect();
+    let mut guard: Option<CExpr> = None;
+    for fv in &inner_field_vars {
+        let t = CExpr::new(
+            CKind::Builtin { op: Builtin::Exists, args: vec![CExpr::var(fv, span)] },
+            span,
+        );
+        guard = Some(match guard {
+            Some(g) => CExpr::new(CKind::Or(Box::new(g), Box::new(t)), span),
+            None => t,
+        });
+    }
+    let guarded = match guard {
+        Some(g) => CExpr::new(
+            CKind::If {
+                cond: Box::new(g),
+                then: Box::new(inner_ret),
+                els: Box::new(CExpr::empty(span)),
+            },
+            span,
+        ),
+        None => inner_ret,
+    };
+    let grouped_var = ctx.fresh("nested");
+    // keys: the tuple id plus every variable the return still needs
+    let replacement = match agg {
+        Some(Builtin::Count) => CExpr::new(
+            CKind::Builtin {
+                op: Builtin::Count,
+                args: vec![CExpr::var(&grouped_var, span)],
+            },
+            span,
+        ),
+        Some(op) => CExpr::new(
+            CKind::Builtin { op, args: vec![CExpr::var(&grouped_var, span)] },
+            span,
+        ),
+        None => CExpr::var(&grouped_var, span),
+    };
+    if !replace_marked(ret, marker, &replacement) {
+        return false;
+    }
+    let keys: Vec<(CExpr, String)> = vec![(CExpr::var(&tid, span), ctx.fresh("gk"))];
+    // every other variable the return still needs is functionally
+    // dependent on the tuple id: *carry* it (no atomization)
+    let mut carry = Vec::new();
+    let mut renames = Vec::new();
+    let needed: Vec<String> = {
+        let mut free = ret.free_vars();
+        free.remove(&grouped_var);
+        let bound_before: Vec<String> =
+            clauses.iter().flat_map(|c| crate::rules::clause_bindings(c)).collect();
+        bound_before.into_iter().filter(|b| free.contains(b)).collect()
+    };
+    for b in needed {
+        let alias = ctx.fresh("gk");
+        renames.push((b.clone(), alias.clone()));
+        carry.push((b.clone(), alias));
+    }
+    for (old, new) in &renames {
+        ret.substitute(old, &CExpr::var(new, span));
+    }
+    clauses.push(Clause::SqlFor {
+        connection,
+        select,
+        params,
+        binds,
+        ppk: Some(ppk),
+    });
+    clauses.push(Clause::Let { var: val_var.clone(), value: guarded });
+    clauses.push(Clause::GroupBy {
+        bindings: vec![(val_var, grouped_var)],
+        keys,
+        carry,
+        pre_clustered: true,
+    });
+    true
+}
+
+// ---- phase 3: trailing clause pushdowns --------------------------------------
+
+/// `[SqlFor, GroupBy]` → SQL GROUP BY / DISTINCT (Tables 1(e)/1(f)),
+/// with aggregates over group bindings pushed when that is all the
+/// bindings are used for; otherwise ORDER BY the keys and mark the
+/// group-by pre-clustered (backend sort, §4.2).
+fn push_trailing_group_by(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret: &mut CExpr) {
+    // pattern: SqlFor, zero or more row-reconstruction Lets, GroupBy last
+    if clauses.len() < 2 || !matches!(clauses[0], Clause::SqlFor { .. }) {
+        return;
+    }
+    let last = clauses.len() - 1;
+    if !matches!(clauses[last], Clause::GroupBy { .. }) {
+        return;
+    }
+    // intermediate clauses must be lets (their vars may feed bindings)
+    let mut row_let_vars: Vec<String> = Vec::new();
+    for c in &clauses[1..last] {
+        match c {
+            Clause::Let { var, value } if matches!(value.kind, CKind::ElementCtor { .. }) => {
+                row_let_vars.push(var.clone())
+            }
+            _ => return,
+        }
+    }
+    let (first, rest) = clauses.split_at_mut(1);
+    let Clause::SqlFor { select, binds, ppk: None, .. } = &mut first[0] else { return };
+    let Clause::GroupBy { bindings, keys, carry, pre_clustered } =
+        rest.last_mut().expect("checked")
+    else {
+        return;
+    };
+    if !carry.is_empty() {
+        return; // carried values need the middleware group operator
+    }
+    // keys must be pushed field vars
+    let mut key_cols = Vec::new();
+    for (k, _) in keys.iter() {
+        let kv = match &k.kind {
+            CKind::Var(v) => v,
+            CKind::Data(i) => match &i.kind {
+                CKind::Var(v) => v,
+                _ => return,
+            },
+            _ => return,
+        };
+        let Some(pos) = binds.iter().position(|(b, _)| b == kv) else { return };
+        key_cols.push(select.columns[pos].expr.clone());
+    }
+    if bindings.is_empty() {
+        // DISTINCT form (Table 1(f)) — only when the return uses keys only
+        select.distinct = true;
+        // prune outputs to the keys
+        let mut new_cols = Vec::new();
+        let mut new_binds = Vec::new();
+        for (k, alias) in keys.iter() {
+            let kv = match &k.kind {
+                CKind::Var(v) => v.clone(),
+                CKind::Data(i) => match &i.kind {
+                    CKind::Var(v) => v.clone(),
+                    _ => unreachable!("checked above"),
+                },
+                _ => unreachable!("checked above"),
+            };
+            let pos = binds.iter().position(|(b, _)| *b == kv).expect("checked");
+            new_cols.push(aldsp_relational::OutputColumn {
+                expr: select.columns[pos].expr.clone(),
+                alias: format!("c{}", new_cols.len() + 1),
+            });
+            new_binds.push((alias.clone(), binds[pos].1));
+        }
+        select.columns = new_cols;
+        *binds = new_binds;
+        clauses.truncate(clauses.len() - 1);
+        return;
+    }
+    // aggregate-only bindings? check every use of each binding var in ret
+    let mut agg_rewrites: Vec<(String, Builtin, Option<usize>)> = Vec::new();
+    for (from, to) in bindings.iter() {
+        // a binding over a pushed field pushes any aggregate; a binding
+        // over a reconstructed row pushes COUNT (as COUNT(*)) only
+        let from_pos = binds.iter().position(|(b, _)| b == from);
+        if from_pos.is_none() && !row_let_vars.contains(from) {
+            push_order_for_clustering(select, &key_cols, pre_clustered);
+            return;
+        }
+        match sole_aggregate_use(ret, to) {
+            Some(Builtin::Count) => agg_rewrites.push((to.clone(), Builtin::Count, from_pos)),
+            Some(op) if from_pos.is_some() => agg_rewrites.push((to.clone(), op, from_pos)),
+            _ => {
+                push_order_for_clustering(select, &key_cols, pre_clustered);
+                return;
+            }
+        }
+    }
+    // full push: SELECT keys, AGG(field) … GROUP BY keys
+    let mut new_cols = Vec::new();
+    let mut new_binds = Vec::new();
+    for (k, alias) in keys.iter() {
+        let kv = match &k.kind {
+            CKind::Var(v) => v.clone(),
+            CKind::Data(i) => match &i.kind {
+                CKind::Var(v) => v.clone(),
+                _ => unreachable!("checked above"),
+            },
+            _ => unreachable!("checked above"),
+        };
+        let pos = binds.iter().position(|(b, _)| *b == kv).expect("checked");
+        new_cols.push(aldsp_relational::OutputColumn {
+            expr: select.columns[pos].expr.clone(),
+            alias: format!("c{}", new_cols.len() + 1),
+        });
+        new_binds.push((alias.clone(), binds[pos].1));
+    }
+    let mut ret_rewrites = Vec::new();
+    for (gvar, op, from_pos) in &agg_rewrites {
+        let func = match op {
+            Builtin::Count => AggFunc::Count,
+            Builtin::Sum => AggFunc::Sum,
+            Builtin::Avg => AggFunc::Avg,
+            Builtin::Min => AggFunc::Min,
+            Builtin::Max => AggFunc::Max,
+            _ => return,
+        };
+        // count($g) over a row variable is COUNT(*)
+        let arg = if *op == Builtin::Count {
+            None
+        } else {
+            Some(Box::new(
+                select.columns[from_pos.expect("non-count aggregates need a field")]
+                    .expr
+                    .clone(),
+            ))
+        };
+        let alias = format!("c{}", new_cols.len() + 1);
+        new_cols.push(aldsp_relational::OutputColumn {
+            expr: ScalarExpr::Agg { func, arg, distinct: false },
+            alias,
+        });
+        let fresh = ctx.fresh("aggv");
+        new_binds.push((fresh.clone(), AtomicType::Integer));
+        ret_rewrites.push((gvar.clone(), *op, fresh));
+    }
+    select.group_by = key_cols;
+    select.columns = new_cols;
+    *binds = new_binds;
+    // replace aggregate calls in the return
+    for (gvar, op, fresh) in &ret_rewrites {
+        replace_aggregate_use(ret, gvar, *op, fresh);
+    }
+    clauses.truncate(clauses.len() - 1);
+}
+
+fn push_order_for_clustering(
+    select: &mut Select,
+    key_cols: &[ScalarExpr],
+    pre_clustered: &mut bool,
+) {
+    // "in the worst case, ALDSP falls back on sorting for grouping, which
+    // then can possibly be pushed to the backend" (§4.2)
+    for k in key_cols {
+        if !select.order_by.iter().any(|o| &o.expr == k) {
+            select.order_by.push(OrderBy { expr: k.clone(), descending: false });
+        }
+    }
+    *pre_clustered = true;
+}
+
+/// Does `ret` use `$var` exclusively as `agg($var)`? Returns the single
+/// aggregate op if so.
+fn sole_aggregate_use(ret: &CExpr, var: &str) -> Option<Builtin> {
+    let mut ops: Vec<Builtin> = Vec::new();
+    let mut bare = false;
+    fn scan(e: &CExpr, var: &str, ops: &mut Vec<Builtin>, bare: &mut bool) {
+        if let CKind::Builtin {
+            op: op @ (Builtin::Count | Builtin::Sum | Builtin::Avg | Builtin::Min | Builtin::Max),
+            args,
+        } = &e.kind
+        {
+            if args.len() == 1 {
+                let inner = match &args[0].kind {
+                    CKind::Data(i) => i.as_ref(),
+                    _ => &args[0],
+                };
+                if matches!(&inner.kind, CKind::Var(v) if v == var) {
+                    ops.push(*op);
+                    return;
+                }
+            }
+        }
+        if matches!(&e.kind, CKind::Var(v) if v == var) {
+            *bare = true;
+        }
+        e.for_each_child(&mut |c| scan(c, var, ops, bare));
+    }
+    scan(ret, var, &mut ops, &mut bare);
+    if bare || ops.is_empty() || !ops.iter().all(|o| *o == ops[0]) {
+        return None;
+    }
+    Some(ops[0])
+}
+
+fn replace_aggregate_use(e: &mut CExpr, var: &str, op: Builtin, fresh: &str) {
+    if let CKind::Builtin { op: eop, args } = &e.kind {
+        if *eop == op && args.len() == 1 {
+            let inner = match &args[0].kind {
+                CKind::Data(i) => i.as_ref(),
+                _ => &args[0],
+            };
+            if matches!(&inner.kind, CKind::Var(v) if v == var) {
+                *e = CExpr::var(fresh, e.span);
+                return;
+            }
+        }
+    }
+    e.for_each_child_mut(&mut |c| replace_aggregate_use(c, var, op, fresh));
+}
+
+/// Drop output columns whose field variables are no longer referenced
+/// (computed-projection pushdown can orphan the raw columns it replaced)
+/// — "any unused information not be fetched at all" (§4.2).
+fn prune_unused_columns(clauses: &mut [Clause], ret: &CExpr) {
+    // collect every variable still used anywhere
+    let mut used: std::collections::HashSet<String> = ret.free_vars();
+    for c in clauses.iter() {
+        match c {
+            Clause::For { source, .. } => used.extend(source.free_vars()),
+            Clause::Let { value, .. } => used.extend(value.free_vars()),
+            Clause::Where(w) => used.extend(w.free_vars()),
+            Clause::GroupBy { keys, bindings, carry, .. } => {
+                for (k, _) in keys {
+                    used.extend(k.free_vars());
+                }
+                for (from, _) in bindings.iter().chain(carry.iter()) {
+                    used.insert(from.clone());
+                }
+            }
+            Clause::OrderBy(specs) => {
+                for s in specs {
+                    used.extend(s.expr.free_vars());
+                }
+            }
+            Clause::SqlFor { params, ppk, .. } => {
+                for p in params {
+                    used.extend(p.free_vars());
+                }
+                if let Some(pk) = ppk {
+                    for k in &pk.outer_keys {
+                        used.extend(k.free_vars());
+                    }
+                }
+            }
+        }
+    }
+    for c in clauses.iter_mut() {
+        // PP-k statements keep their key columns (indices are positional);
+        // only plain statements prune
+        let Clause::SqlFor { select, binds, ppk: None, .. } = c else { continue };
+        if binds.len() <= 1 {
+            continue;
+        }
+        let keep: Vec<bool> = binds.iter().map(|(b, _)| used.contains(b)).collect();
+        if keep.iter().all(|k| *k) || keep.iter().all(|k| !*k) {
+            continue; // nothing to do, or degenerate (cardinality-only scan)
+        }
+        let mut new_binds = Vec::new();
+        let mut new_cols = Vec::new();
+        for (i, k) in keep.iter().enumerate() {
+            if *k {
+                new_binds.push(binds[i].clone());
+                let mut col = select.columns[i].clone();
+                col.alias = format!("c{}", new_cols.len() + 1);
+                new_cols.push(col);
+            }
+        }
+        *binds = new_binds;
+        select.columns = new_cols;
+    }
+}
+
+/// Fold `where` clauses that follow a `SqlFor` and reference only its
+/// bind variables (they surface when view unfolding flattens a nested
+/// FLWOR *after* region formation) back into the statement's WHERE.
+fn absorb_wheres(clauses: &mut Vec<Clause>) {
+    let mut i = 1;
+    while i < clauses.len() {
+        let absorbable = matches!(clauses[i], Clause::Where(_))
+            && matches!(clauses[i - 1], Clause::SqlFor { ppk: None, .. });
+        if absorbable {
+            let Clause::Where(w) = clauses[i].clone() else { unreachable!() };
+            let (head, _) = clauses.split_at_mut(i);
+            let Clause::SqlFor { select, binds, params, .. } = &mut head[i - 1] else {
+                unreachable!()
+            };
+            let saved_params = params.len();
+            if let Some(sql) = translate_bound(&w, select, binds, params) {
+                select.where_ = Some(match select.where_.take() {
+                    Some(prev) => prev.and(sql),
+                    None => sql,
+                });
+                clauses.remove(i);
+                continue;
+            }
+            params.truncate(saved_params);
+        }
+        i += 1;
+    }
+}
+
+/// Translate a predicate over a `SqlFor`'s bind variables into SQL;
+/// bind-independent sub-expressions ship as parameters (§4.3).
+fn translate_bound(
+    e: &CExpr,
+    select: &Select,
+    binds: &[(String, AtomicType)],
+    params: &mut Vec<CExpr>,
+) -> Option<ScalarExpr> {
+    let bind_col = |v: &str| -> Option<ScalarExpr> {
+        binds
+            .iter()
+            .position(|(b, _)| b == v)
+            .map(|pos| select.columns[pos].expr.clone())
+    };
+    match &e.kind {
+        CKind::Data(inner) | CKind::TypeMatch { input: inner, .. } => {
+            translate_bound(inner, select, binds, params)
+        }
+        CKind::Var(v) => bind_col(v).or_else(|| as_bound_param(e, binds, params)),
+        CKind::Const(v) => Some(ScalarExpr::Literal(
+            SqlValue::from_xml(Some(v), sql_type_of(v.type_of())?).ok()?,
+        )),
+        CKind::Compare { op, lhs, rhs, .. } => {
+            let l = translate_bound(lhs, select, binds, params)?;
+            let r = translate_bound(rhs, select, binds, params)?;
+            Some(ScalarExpr::Compare { op: *op, lhs: Box::new(l), rhs: Box::new(r) })
+        }
+        CKind::And(a, b) => Some(
+            translate_bound(a, select, binds, params)?
+                .and(translate_bound(b, select, binds, params)?),
+        ),
+        CKind::Or(a, b) => Some(
+            translate_bound(a, select, binds, params)?
+                .or(translate_bound(b, select, binds, params)?),
+        ),
+        CKind::Arith { op, lhs, rhs } => {
+            let l = translate_bound(lhs, select, binds, params)?;
+            let r = translate_bound(rhs, select, binds, params)?;
+            Some(ScalarExpr::Arith { op: *op, lhs: Box::new(l), rhs: Box::new(r) })
+        }
+        CKind::If { cond, then, els } => {
+            let c = translate_bound(cond, select, binds, params)?;
+            let t = translate_bound(then, select, binds, params)?;
+            let x = translate_bound(els, select, binds, params)?;
+            Some(ScalarExpr::Case { when: vec![(c, t)], els: Some(Box::new(x)) })
+        }
+        CKind::Builtin { op: Builtin::Not, args } => Some(ScalarExpr::Not(Box::new(
+            translate_bound(&args[0], select, binds, params)?,
+        ))),
+        CKind::Builtin {
+            op:
+                op @ (Builtin::UpperCase
+                | Builtin::LowerCase
+                | Builtin::StringLength
+                | Builtin::Substring
+                | Builtin::Concat
+                | Builtin::Abs),
+            args,
+        } => {
+            let name = match op {
+                Builtin::UpperCase => "UPPER",
+                Builtin::LowerCase => "LOWER",
+                Builtin::StringLength => "LENGTH",
+                Builtin::Substring => "SUBSTR",
+                Builtin::Concat => "CONCAT",
+                Builtin::Abs => "ABS",
+                _ => unreachable!("matched above"),
+            };
+            let mut sargs = Vec::with_capacity(args.len());
+            for a in args {
+                sargs.push(translate_bound(a, select, binds, params)?);
+            }
+            Some(ScalarExpr::Func { name: name.into(), args: sargs })
+        }
+        CKind::Builtin { op: Builtin::Empty, args } => {
+            let inner = strip_data(&args[0]);
+            if let CKind::Var(v) = &inner.kind {
+                return bind_col(v).map(|c| ScalarExpr::IsNull(Box::new(c)));
+            }
+            as_bound_param(e, binds, params)
+        }
+        CKind::Builtin { op: Builtin::Exists, args } => {
+            let inner = strip_data(&args[0]);
+            if let CKind::Var(v) = &inner.kind {
+                return bind_col(v)
+                    .map(|c| ScalarExpr::Not(Box::new(ScalarExpr::IsNull(Box::new(c)))));
+            }
+            as_bound_param(e, binds, params)
+        }
+        _ => as_bound_param(e, binds, params),
+    }
+}
+
+fn strip_data(e: &CExpr) -> &CExpr {
+    match &e.kind {
+        CKind::Data(inner) => strip_data(inner),
+        _ => e,
+    }
+}
+
+/// Ship a bind-independent expression as a parameter.
+fn as_bound_param(
+    e: &CExpr,
+    binds: &[(String, AtomicType)],
+    params: &mut Vec<CExpr>,
+) -> Option<ScalarExpr> {
+    let free = e.free_vars();
+    if free.iter().any(|v| binds.iter().any(|(b, _)| b == v)) {
+        return None;
+    }
+    let idx = params.len();
+    params.push(CExpr::new(CKind::Data(Box::new(e.clone())), e.span));
+    Some(ScalarExpr::Param(idx))
+}
+
+/// Push *computed scalar projections* into the statement: a pushable
+/// `if/then/else`, arithmetic or string expression in the return that
+/// reads only one `SqlFor`'s fields becomes an output column (the exact
+/// published form of Table 1(d), where the `CASE` sits in the SELECT
+/// list). "Things considered to be pushable to SQL include … if-then-
+/// else expressions" (§4.3).
+fn push_scalar_projections(ctx: &mut Context<'_>, clauses: &mut [Clause], ret: &mut CExpr) {
+    // single uncorrelated SqlFor only (multi-region attribution is the
+    // compiler's job elsewhere)
+    let mut target = None;
+    for (i, c) in clauses.iter().enumerate() {
+        if let Clause::SqlFor { ppk: None, .. } = c {
+            if target.is_some() {
+                return;
+            }
+            target = Some(i);
+        }
+    }
+    let Some(i) = target else { return };
+    let Clause::SqlFor { select, binds, params, .. } = &mut clauses[i] else {
+        unreachable!()
+    };
+    push_scalars_in(ctx, ret, select, binds, params);
+}
+
+/// Recursively replace pushable computed subexpressions with fresh field
+/// variables backed by new output columns.
+fn push_scalars_in(
+    ctx: &mut Context<'_>,
+    e: &mut CExpr,
+    select: &mut Select,
+    binds: &mut Vec<(String, AtomicType)>,
+    params: &mut Vec<CExpr>,
+) {
+    let pushable_shape = matches!(
+        &e.kind,
+        CKind::If { .. } | CKind::Arith { .. } | CKind::Builtin {
+            op: Builtin::UpperCase
+                | Builtin::LowerCase
+                | Builtin::StringLength
+                | Builtin::Substring
+                | Builtin::Concat
+                | Builtin::Abs,
+            ..
+        }
+    );
+    if pushable_shape {
+        // must read at least one of this statement's fields, and all its
+        // branches/operands must translate
+        let uses_bind = e
+            .free_vars()
+            .iter()
+            .any(|v| binds.iter().any(|(b, _)| b == v));
+        if uses_bind {
+            let saved = params.len();
+            if let Some(sql) = translate_bound(e, select, binds, params) {
+                let ty = match e.ty.item_type() {
+                    Some(aldsp_xdm::types::ItemType::Atomic(t)) => *t,
+                    _ => AtomicType::AnyAtomic,
+                };
+                if let Some(sqlty) = SqlType::from_xml_type(ty) {
+                    let _ = sqlty;
+                    let alias = format!("c{}", select.columns.len() + 1);
+                    select
+                        .columns
+                        .push(aldsp_relational::OutputColumn { expr: sql, alias });
+                    let fvar = ctx.fresh("proj");
+                    binds.push((fvar.clone(), ty));
+                    let mut var = CExpr::var(&fvar, e.span);
+                    var.ty = e.ty.clone();
+                    *e = var;
+                    return;
+                }
+            }
+            params.truncate(saved);
+        }
+    }
+    // don't descend into nested FLWORs that own their own statements
+    if matches!(&e.kind, CKind::Flwor { .. }) {
+        return;
+    }
+    e.for_each_child_mut(&mut |c| push_scalars_in(ctx, c, select, binds, params));
+}
+
+/// `[SqlFor, (Let|Where)*, OrderBy(fields)]` → `ORDER BY` in the SQL.
+/// Order keys may reference the SqlFor's binds directly or through
+/// simple `let` aliases (`let $oc := $aggvar`).
+fn push_trailing_order_by(clauses: &mut Vec<Clause>) {
+    // find the single uncorrelated SqlFor
+    let Some(sf_idx) = clauses.iter().position(|c| {
+        matches!(c, Clause::SqlFor { ppk: None, params, .. } if params.is_empty())
+    }) else {
+        return;
+    };
+    // alias map through intermediate lets
+    let mut aliases: Vec<(String, String)> = Vec::new(); // let var → bind var
+    let mut order_idx = None;
+    for (i, c) in clauses.iter().enumerate().skip(sf_idx + 1) {
+        match c {
+            Clause::Let { var, value } => {
+                let inner = match &value.kind {
+                    CKind::Data(x) => x.as_ref(),
+                    _ => value,
+                };
+                if let CKind::Var(v) = &inner.kind {
+                    aliases.push((var.clone(), v.clone()));
+                }
+            }
+            Clause::Where(_) => {}
+            Clause::OrderBy(_) => {
+                order_idx = Some(i);
+                break;
+            }
+            _ => return, // another loop intervenes
+        }
+    }
+    let Some(oi) = order_idx else { return };
+    let resolve = |mut v: String, aliases: &[(String, String)]| -> String {
+        while let Some((_, to)) = aliases.iter().find(|(from, _)| *from == v) {
+            v = to.clone();
+        }
+        v
+    };
+    let Clause::OrderBy(specs) = clauses[oi].clone() else { unreachable!() };
+    let mut pushed = Vec::new();
+    {
+        let Clause::SqlFor { select, binds, .. } = &clauses[sf_idx] else { unreachable!() };
+        for s in &specs {
+            let v = match &s.expr.kind {
+                CKind::Var(v) => v.clone(),
+                CKind::Data(inner) => match &inner.kind {
+                    CKind::Var(v) => v.clone(),
+                    _ => return,
+                },
+                _ => return,
+            };
+            let v = resolve(v, &aliases);
+            let Some(pos) = binds.iter().position(|(b, _)| *b == v) else { return };
+            pushed.push(OrderBy {
+                expr: select.columns[pos].expr.clone(),
+                descending: s.descending,
+            });
+        }
+    }
+    let Clause::SqlFor { select, .. } = &mut clauses[sf_idx] else { unreachable!() };
+    select.order_by.extend(pushed);
+    clauses.remove(oi);
+}
+
+/// `subsequence(Flwor{[SqlFor]}, start, len)` → OFFSET/FETCH pushed into
+/// the SQL when the connection's dialect supports pagination (Table
+/// 2(i)); otherwise the builtin stays in the middleware.
+fn push_subsequence(ctx: &mut Context<'_>, e: &mut CExpr) {
+    let CKind::Builtin { op: Builtin::Subsequence, args } = &mut e.kind else { return };
+    let (start, len) = {
+        let s = match args.get(1).map(|a| &a.kind) {
+            Some(CKind::Const(v)) => match v.cast_to(AtomicType::Integer) {
+                Ok(aldsp_xdm::value::AtomicValue::Integer(i)) => i,
+                _ => return,
+            },
+            _ => return,
+        };
+        let l = match args.get(2).map(|a| &a.kind) {
+            Some(CKind::Const(v)) => match v.cast_to(AtomicType::Integer) {
+                Ok(aldsp_xdm::value::AtomicValue::Integer(i)) => Some(i),
+                _ => return,
+            },
+            None => None,
+            _ => return,
+        };
+        (s, l)
+    };
+    if start < 1 || len.is_some_and(|l| l < 0) {
+        return; // non-canonical ranges stay in the middleware
+    }
+    let CKind::Flwor { clauses, .. } = &mut args[0].kind else { return };
+    let all_pushed = clauses.len() == 1;
+    if !all_pushed {
+        return;
+    }
+    let Clause::SqlFor { connection, select, ppk: None, params, .. } = &mut clauses[0] else {
+        return;
+    };
+    if !params.is_empty() || !ctx.dialect_of(connection).supports_pagination() {
+        return;
+    }
+    select.offset = Some((start - 1) as u64);
+    select.fetch = len.map(|l| l as u64);
+    // the builtin is now redundant
+    let inner = args.remove(0);
+    *e = inner;
+}
+
+/// Drain the pending clause insertions requested by same-connection
+/// merges (see `merge_same_connection`).
+pub fn drain_pending_insertions(clauses: &mut Vec<Clause>) {
+    PENDING.with(|p| {
+        let mut pending = p.borrow_mut();
+        // apply in reverse order so indices stay valid
+        pending.sort_by(|a, b| b.0.cmp(&a.0));
+        for (idx, extra) in pending.drain(..) {
+            let at = idx.min(clauses.len());
+            for (off, c) in extra.into_iter().enumerate() {
+                clauses.insert(at + off, c);
+            }
+        }
+    });
+}

@@ -1,0 +1,520 @@
+//! Static typing (§3.1, §4.1): structural and optimistic.
+//!
+//! Two deliberate departures from the XQuery specification, both from
+//! the paper:
+//!
+//! 1. **Structural typing of constructors**: the static type of
+//!    `<E>{expr}</E>` is an element named `E` whose content type is the
+//!    *structural* type of `expr` — annotations survive construction, so
+//!    view unfolding is type-preserving.
+//! 2. **Optimistic call typing**: `f($x)` is accepted iff the static
+//!    type of `$x` has a non-empty intersection with `f`'s parameter
+//!    type. A runtime `typematch` operator is inserted to enforce the
+//!    XQuery semantics — unless `$x` is provably a subtype, in which
+//!    case no check is needed.
+//!
+//! Expressions that fail checking get the *error type* and a diagnostic;
+//! in recover mode analysis continues (§4.1).
+
+use crate::context::Context;
+use crate::ir::{Builtin, CExpr, CKind, Clause};
+use aldsp_xdm::types::{
+    ChildDecl, ComplexContent, ContentType, ElementType, ItemType, Occurrence, SequenceType,
+};
+use aldsp_xdm::value::AtomicType;
+use std::collections::HashMap;
+
+/// Variable typing environment.
+pub type TypeEnv = HashMap<String, SequenceType>;
+
+fn err_ty() -> SequenceType {
+    SequenceType::Seq(ItemType::Error, Occurrence::Star)
+}
+
+fn boolean1() -> SequenceType {
+    SequenceType::atomic(AtomicType::Boolean)
+}
+
+/// Infer (and record) the type of `e`, inserting `typematch` operators
+/// at optimistic call sites and classifying positional filters.
+pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
+    let span = e.span;
+    let ty: SequenceType = match &mut e.kind {
+        CKind::Const(v) => SequenceType::atomic(v.type_of()),
+        CKind::Var(v) => env.get(v.as_str()).cloned().unwrap_or_else(SequenceType::any),
+        CKind::Seq(items) => {
+            let mut ty = SequenceType::Empty;
+            for i in items.iter_mut() {
+                typecheck(ctx, i, env);
+                ty = ty.sequence_with(&i.ty);
+            }
+            ty
+        }
+        CKind::Range(a, b) => {
+            typecheck(ctx, a, env);
+            typecheck(ctx, b, env);
+            SequenceType::Seq(ItemType::Atomic(AtomicType::Integer), Occurrence::Star)
+        }
+        CKind::Flwor { clauses, ret } => {
+            let saved = env.clone();
+            let mut iterates = false;
+            for c in clauses.iter_mut() {
+                match c {
+                    Clause::For { var, pos, source } => {
+                        typecheck(ctx, source, env);
+                        iterates = true;
+                        let item_ty = match source.ty.item_type() {
+                            Some(i) => SequenceType::one(i.clone()),
+                            None => SequenceType::Empty,
+                        };
+                        env.insert(var.clone(), item_ty);
+                        if let Some(p) = pos {
+                            env.insert(p.clone(), SequenceType::atomic(AtomicType::Integer));
+                        }
+                    }
+                    Clause::Let { var, value } => {
+                        typecheck(ctx, value, env);
+                        env.insert(var.clone(), value.ty.clone());
+                    }
+                    Clause::Where(w) => typecheck(ctx, w, env),
+                    Clause::GroupBy { bindings, keys, carry, .. } => {
+                        for (k, alias) in keys.iter_mut() {
+                            typecheck(ctx, k, env);
+                            env.insert(alias.clone(), k.ty.clone());
+                        }
+                        for (from, to) in bindings.iter() {
+                            let from_ty =
+                                env.get(from.as_str()).cloned().unwrap_or_else(SequenceType::any);
+                            env.insert(to.clone(), from_ty.with_occurrence(Occurrence::Star));
+                        }
+                        for (from, to) in carry.iter() {
+                            let from_ty =
+                                env.get(from.as_str()).cloned().unwrap_or_else(SequenceType::any);
+                            env.insert(to.clone(), from_ty);
+                        }
+                    }
+                    Clause::OrderBy(specs) => {
+                        for s in specs.iter_mut() {
+                            typecheck(ctx, &mut s.expr, env);
+                        }
+                    }
+                    Clause::SqlFor { params, binds, ppk, .. } => {
+                        for p in params.iter_mut() {
+                            typecheck(ctx, p, env);
+                        }
+                        if let Some(p) = ppk {
+                            for k in p.outer_keys.iter_mut() {
+                                typecheck(ctx, k, env);
+                            }
+                        }
+                        iterates = true;
+                        for (b, t) in binds.iter() {
+                            env.insert(
+                                b.clone(),
+                                SequenceType::Seq(ItemType::Atomic(*t), Occurrence::Optional),
+                            );
+                        }
+                    }
+                }
+            }
+            typecheck(ctx, ret, env);
+            *env = saved;
+            if iterates {
+                ret.ty.with_occurrence(ret.ty.occurrence().iterated_by(Occurrence::Star))
+            } else {
+                ret.ty.clone()
+            }
+        }
+        CKind::If { cond, then, els } => {
+            typecheck(ctx, cond, env);
+            typecheck(ctx, then, env);
+            typecheck(ctx, els, env);
+            then.ty.union(&els.ty)
+        }
+        CKind::Quantified { var, source, satisfies, .. } => {
+            typecheck(ctx, source, env);
+            let saved = env.clone();
+            let item_ty = match source.ty.item_type() {
+                Some(i) => SequenceType::one(i.clone()),
+                None => SequenceType::Empty,
+            };
+            env.insert(var.clone(), item_ty);
+            typecheck(ctx, satisfies, env);
+            *env = saved;
+            boolean1()
+        }
+        CKind::Typeswitch { operand, cases, default } => {
+            typecheck(ctx, operand, env);
+            let mut ty: Option<SequenceType> = None;
+            for (case_ty, var, body) in cases.iter_mut() {
+                let saved = env.clone();
+                env.insert(var.clone(), case_ty.clone());
+                typecheck(ctx, body, env);
+                *env = saved;
+                ty = Some(match ty {
+                    None => body.ty.clone(),
+                    Some(t) => t.union(&body.ty),
+                });
+            }
+            let saved = env.clone();
+            env.insert(default.0.clone(), operand.ty.clone());
+            typecheck(ctx, &mut default.1, env);
+            *env = saved;
+            match ty {
+                Some(t) => t.union(&default.1.ty),
+                None => default.1.ty.clone(),
+            }
+        }
+        CKind::And(a, b) | CKind::Or(a, b) => {
+            typecheck(ctx, a, env);
+            typecheck(ctx, b, env);
+            boolean1()
+        }
+        CKind::Compare { general, lhs, rhs, .. } => {
+            typecheck(ctx, lhs, env);
+            typecheck(ctx, rhs, env);
+            if !*general {
+                // value comparison: statically disjoint atomic operand
+                // types are a type error (the optimistic rule still
+                // rejects *provable* mismatches)
+                let l = lhs.ty.atomized();
+                let r = rhs.ty.atomized();
+                if let (Some(li), Some(ri)) = (l.item_type(), r.item_type()) {
+                    if !li.intersects(ri) {
+                        ctx.diag(
+                            span,
+                            format!("cannot compare {} with {}", lhs.ty, rhs.ty),
+                        );
+                        e.ty = err_ty();
+                    }
+                }
+                SequenceType::Seq(ItemType::Atomic(AtomicType::Boolean), Occurrence::Optional)
+            } else {
+                boolean1()
+            }
+        }
+        CKind::Arith { lhs, rhs, .. } => {
+            typecheck(ctx, lhs, env);
+            typecheck(ctx, rhs, env);
+            let result = numeric_result(&lhs.ty, &rhs.ty);
+            let occ = if lhs.ty.occurrence().allows_empty() || rhs.ty.occurrence().allows_empty()
+            {
+                Occurrence::Optional
+            } else {
+                Occurrence::One
+            };
+            SequenceType::Seq(ItemType::Atomic(result), occ)
+        }
+        CKind::Data(inner) => {
+            typecheck(ctx, inner, env);
+            inner.ty.atomized()
+        }
+        CKind::ChildStep { input, name } => {
+            typecheck(ctx, input, env);
+            child_step_type(ctx, e_span_ty(&input.ty), name.as_ref(), span)
+        }
+        CKind::AttrStep { input, name } => {
+            typecheck(ctx, input, env);
+            let _ = name;
+            SequenceType::Seq(
+                ItemType::Atomic(AtomicType::AnyAtomic),
+                Occurrence::Optional,
+            )
+        }
+        CKind::DescendantStep { input } => {
+            typecheck(ctx, input, env);
+            SequenceType::Seq(ItemType::AnyNode, Occurrence::Star)
+        }
+        CKind::Filter { input, predicate, ctx_var, positional } => {
+            typecheck(ctx, input, env);
+            let saved = env.clone();
+            let item_ty = match input.ty.item_type() {
+                Some(i) => SequenceType::one(i.clone()),
+                None => SequenceType::Empty,
+            };
+            env.insert(ctx_var.clone(), item_ty);
+            typecheck(ctx, predicate, env);
+            *env = saved;
+            // numeric predicate → positional selection ([3])
+            *positional = matches!(
+                predicate.ty.item_type(),
+                Some(ItemType::Atomic(t)) if t.is_numeric()
+            );
+            let occ = if *positional {
+                Occurrence::Optional
+            } else {
+                input.ty.occurrence().union(Occurrence::Optional)
+            };
+            input.ty.with_occurrence(occ)
+        }
+        CKind::ElementCtor { name, conditional, attributes, content } => {
+            for (_, _, v) in attributes.iter_mut() {
+                typecheck(ctx, v, env);
+            }
+            typecheck(ctx, content, env);
+            // STRUCTURAL TYPING (§3.1): the content type is the structural
+            // type of the content expression, not ANYTYPE
+            let content_ty = structural_content_type(content);
+            let occ = if *conditional { Occurrence::Optional } else { Occurrence::One };
+            SequenceType::Seq(
+                ItemType::Element(ElementType { name: Some(name.clone()), content: content_ty }),
+                occ,
+            )
+        }
+        CKind::Builtin { op, args } => {
+            for a in args.iter_mut() {
+                typecheck(ctx, a, env);
+            }
+            builtin_type(*op, args)
+        }
+        CKind::PhysicalCall { name, args } => {
+            let sig: Option<(Vec<SequenceType>, SequenceType)> =
+                ctx.registry.function(name).map(|p| {
+                    (
+                        p.params.iter().map(|q| q.ty.clone()).collect(),
+                        p.return_type.clone(),
+                    )
+                });
+            match sig {
+                Some((params, ret)) => {
+                    check_call_args(ctx, name.to_string(), args, &params, env, span);
+                    ret
+                }
+                None => {
+                    ctx.diag(span, format!("unknown physical function {name}"));
+                    err_ty()
+                }
+            }
+        }
+        CKind::UserCall { name, args } => {
+            let sig: Option<(Vec<SequenceType>, SequenceType)> = ctx
+                .functions
+                .get(name)
+                .map(|f| (f.params.iter().map(|(_, t)| t.clone()).collect(), f.return_type.clone()));
+            match sig {
+                Some((params, ret)) => {
+                    check_call_args(ctx, name.to_string(), args, &params, env, span);
+                    ret
+                }
+                None => {
+                    ctx.diag(span, format!("unknown function {name}"));
+                    err_ty()
+                }
+            }
+        }
+        CKind::TypeMatch { input, ty } => {
+            typecheck(ctx, input, env);
+            ty.clone()
+        }
+        CKind::Cast { target, optional, input } => {
+            typecheck(ctx, input, env);
+            SequenceType::Seq(
+                ItemType::Atomic(*target),
+                if *optional { Occurrence::Optional } else { Occurrence::One },
+            )
+        }
+        CKind::Castable { input, .. } => {
+            typecheck(ctx, input, env);
+            boolean1()
+        }
+        CKind::InstanceOf { input, .. } => {
+            typecheck(ctx, input, env);
+            boolean1()
+        }
+        CKind::Error(inputs) => {
+            for i in inputs.iter_mut() {
+                typecheck(ctx, i, env);
+            }
+            err_ty()
+        }
+    };
+    // don't overwrite an error type set mid-branch
+    if e.ty.item_type() != Some(&ItemType::Error) {
+        e.ty = ty;
+    }
+}
+
+fn e_span_ty(t: &SequenceType) -> &SequenceType {
+    t
+}
+
+/// The optimistic call rule (§4.1): subtype → accept; non-empty
+/// intersection → accept and wrap the argument in `typematch`;
+/// provably disjoint → type error.
+fn check_call_args(
+    ctx: &mut Context<'_>,
+    fname: String,
+    args: &mut [CExpr],
+    params: &[SequenceType],
+    env: &mut TypeEnv,
+    span: crate::ir::Span,
+) {
+    for (arg, pty) in args.iter_mut().zip(params) {
+        typecheck(ctx, arg, env);
+        // function conversion rules: an atomic-typed parameter atomizes
+        // its argument before the subtype test
+        if matches!(pty.item_type(), Some(ItemType::Atomic(_)))
+            && !matches!(arg.ty.item_type(), Some(ItemType::Atomic(_)) | None)
+            && !matches!(arg.kind, CKind::Data(_))
+        {
+            let inner = arg.clone();
+            let span = arg.span;
+            *arg = CExpr::new(CKind::Data(Box::new(inner)), span);
+            typecheck(ctx, arg, env);
+        }
+        if arg.ty.is_subtype_of(pty) {
+            continue; // statically safe: no typematch needed
+        }
+        if arg.ty.intersects(pty) {
+            // optimistic acceptance with a runtime typematch
+            let inner = arg.clone();
+            *arg = CExpr {
+                kind: CKind::TypeMatch { input: Box::new(inner), ty: pty.clone() },
+                ty: pty.clone(),
+                span: arg.span,
+            };
+        } else {
+            ctx.diag(
+                span,
+                format!(
+                    "argument of type {} can never match parameter type {} of {fname}",
+                    arg.ty, pty
+                ),
+            );
+            arg.ty = err_ty();
+        }
+    }
+}
+
+fn numeric_result(a: &SequenceType, b: &SequenceType) -> AtomicType {
+    let at = atomic_of(a);
+    let bt = atomic_of(b);
+    match (at, bt) {
+        (AtomicType::Double, _) | (_, AtomicType::Double) => AtomicType::Double,
+        (AtomicType::Decimal, _) | (_, AtomicType::Decimal) => AtomicType::Decimal,
+        (AtomicType::Integer, AtomicType::Integer) => AtomicType::Integer,
+        (AtomicType::Untyped, _) | (_, AtomicType::Untyped) => AtomicType::Double,
+        _ => AtomicType::AnyAtomic,
+    }
+}
+
+fn atomic_of(t: &SequenceType) -> AtomicType {
+    match t.item_type() {
+        Some(ItemType::Atomic(a)) => *a,
+        _ => AtomicType::AnyAtomic,
+    }
+}
+
+/// Navigate the structural type through a child step. This is where
+/// structural typing pays off: stepping into a constructed element
+/// recovers the content's precise type (the view-unfolding enabler of
+/// §3.1).
+fn child_step_type(
+    ctx: &mut Context<'_>,
+    input: &SequenceType,
+    name: Option<&aldsp_xdm::QName>,
+    span: crate::ir::Span,
+) -> SequenceType {
+    let input_occ = input.occurrence();
+    match input.item_type() {
+        None => SequenceType::Empty,
+        Some(ItemType::Element(et)) => match (&et.content, name) {
+            (ContentType::Complex(c), Some(n)) => match c.child(n) {
+                Some(decl) => {
+                    let occ = decl.occ.iterated_by(input_occ);
+                    SequenceType::Seq(ItemType::Element(decl.elem.clone()), occ)
+                }
+                None => {
+                    // statically known absent child: empty (a common
+                    // outcome of aggressive structural typing); warn
+                    ctx.diag(
+                        span,
+                        format!(
+                            "child {n} is not declared in the content of element {}",
+                            et.name.as_ref().map(|q| q.to_string()).unwrap_or_else(|| "*".into())
+                        ),
+                    );
+                    SequenceType::Empty
+                }
+            },
+            (ContentType::Complex(_), None) => SequenceType::Seq(
+                ItemType::Element(ElementType::any()),
+                Occurrence::Star,
+            ),
+            (ContentType::Simple(_), _) => SequenceType::Empty,
+            (ContentType::Any, _) => {
+                SequenceType::Seq(ItemType::Element(ElementType::any()), Occurrence::Star)
+            }
+        },
+        Some(ItemType::Document) | Some(ItemType::AnyNode) | Some(ItemType::AnyItem) => {
+            SequenceType::Seq(ItemType::Element(ElementType::any()), Occurrence::Star)
+        }
+        Some(ItemType::Error) => err_ty(),
+        Some(other) => {
+            ctx.diag(span, format!("cannot apply a child step to {other}"));
+            err_ty()
+        }
+    }
+}
+
+/// The structural content type of a constructor's content expression.
+fn structural_content_type(content: &CExpr) -> ContentType {
+    // single atomic-typed content → typed simple content
+    match (&content.kind, &content.ty) {
+        (_, SequenceType::Empty) => ContentType::Complex(ComplexContent::default()),
+        (CKind::Seq(parts), _) => {
+            // a sequence of element-typed parts → complex content
+            let mut children = Vec::new();
+            for p in parts {
+                match p.ty.item_type() {
+                    Some(ItemType::Element(et)) => children.push(ChildDecl {
+                        elem: et.clone(),
+                        occ: p.ty.occurrence(),
+                    }),
+                    Some(ItemType::Atomic(a)) if parts.len() == 1 => {
+                        return ContentType::Simple(*a)
+                    }
+                    _ => return ContentType::Any,
+                }
+            }
+            ContentType::Complex(ComplexContent { attributes: vec![], children })
+        }
+        (_, SequenceType::Seq(ItemType::Atomic(a), _)) => ContentType::Simple(*a),
+        (_, SequenceType::Seq(ItemType::Element(et), occ)) => {
+            ContentType::Complex(ComplexContent {
+                attributes: vec![],
+                children: vec![ChildDecl { elem: et.clone(), occ: *occ }],
+            })
+        }
+        _ => ContentType::Any,
+    }
+}
+
+fn builtin_type(op: Builtin, args: &[CExpr]) -> SequenceType {
+    use Builtin as B;
+    match op {
+        B::Count | B::StringLength => SequenceType::atomic(AtomicType::Integer),
+        B::Sum => SequenceType::Seq(
+            ItemType::Atomic(atomic_of(&args[0].ty)),
+            Occurrence::One,
+        ),
+        B::Avg | B::Min | B::Max => SequenceType::Seq(
+            ItemType::Atomic(atomic_of(&args[0].ty)),
+            Occurrence::Optional,
+        ),
+        B::Exists | B::Empty | B::Not | B::Boolean | B::Contains | B::StartsWith => boolean1(),
+        B::True | B::False => boolean1(),
+        B::String | B::Concat | B::UpperCase | B::LowerCase | B::Substring => {
+            SequenceType::atomic(AtomicType::String)
+        }
+        B::Subsequence => args[0].ty.with_occurrence(Occurrence::Star),
+        B::DistinctValues => args[0].ty.atomized().with_occurrence(Occurrence::Star),
+        B::Abs => SequenceType::Seq(
+            ItemType::Atomic(atomic_of(&args[0].ty)),
+            Occurrence::Optional,
+        ),
+        B::Async => args[0].ty.clone(),
+        B::FailOver => args[0].ty.union(&args[1].ty),
+        B::Timeout => args[0].ty.union(&args[2].ty),
+    }
+}

@@ -1,0 +1,625 @@
+//! # aldsp — the AquaLogic Data Services Platform server
+//!
+//! The top of Figure 2: one facade over the query compiler (with its
+//! plan cache), the runtime, the adaptor framework, data-service and
+//! security metadata, and update processing. A downstream user builds a
+//! server with [`ServerBuilder`] (registering relational connections,
+//! web services, custom functions and files — each introspected into
+//! physical data services, §2.1), deploys XQuery data-service modules,
+//! and then:
+//!
+//! * runs ad-hoc queries ([`AldspServer::query`]) — compiled once and
+//!   reused via the **query plan cache** (§2.2),
+//! * invokes data-service methods ([`AldspServer::call`]) with optional
+//!   client-side filtering/sorting criteria (the SDO mediator API's
+//!   "degree of query flexibility", §2.2),
+//! * reads change-tracked data objects and submits updates
+//!   ([`AldspServer::submit`], §6),
+//! * with function- and element-level security enforced around every
+//!   result (§7), applied *after* caches so plans and cached results
+//!   stay shared across users.
+
+pub use aldsp_adaptors as adaptors;
+pub use aldsp_compiler as compiler;
+pub use aldsp_metadata as metadata;
+pub use aldsp_parser as parser;
+pub use aldsp_relational as relational;
+pub use aldsp_runtime as runtime;
+pub use aldsp_security as security;
+pub use aldsp_updates as updates;
+pub use aldsp_xdm as xdm;
+
+use aldsp_adaptors::{
+    AdaptorRegistry, CsvFileSource, NativeFunction, SimulatedWebService, XmlFileSource,
+};
+use aldsp_compiler::{CompiledQuery, Compiler, Mode, Options};
+use aldsp_metadata::{
+    introspect_relational, introspect_web_service, FunctionKind, ParamDecl, PhysicalFunction,
+    Registry, SourceBinding, WebServiceDescription,
+};
+use aldsp_parser::Diagnostic;
+use aldsp_relational::{Catalog, RelationalServer};
+use aldsp_runtime::{Runtime, StatsSnapshot};
+use aldsp_security::{AccessDenied, AuditLog, Principal, SecurityPolicy};
+use aldsp_updates::{
+    analyze, ConcurrencyPolicy, DataObject, Lineage, SubmitError, SubmitProcessor, SubmitReport,
+};
+use aldsp_xdm::item::{Item, Sequence};
+use aldsp_xdm::types::SequenceType;
+use aldsp_xdm::value::AtomicValue;
+use aldsp_xdm::QName;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Server-level errors.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Compilation failed.
+    Compile(Vec<Diagnostic>),
+    /// Execution failed.
+    Execute(aldsp_runtime::RtError),
+    /// The caller is not allowed.
+    Security(AccessDenied),
+    /// A submit failed.
+    Submit(SubmitError),
+    /// Anything else.
+    Other(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Compile(ds) => {
+                write!(f, "compilation failed:")?;
+                for d in ds {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            ServerError::Execute(e) => write!(f, "{e}"),
+            ServerError::Security(e) => write!(f, "{e}"),
+            ServerError::Submit(e) => write!(f, "{e}"),
+            ServerError::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<AccessDenied> for ServerError {
+    fn from(e: AccessDenied) -> Self {
+        ServerError::Security(e)
+    }
+}
+
+/// Builds an [`AldspServer`] by registering data sources (the design-time
+/// introspection flow of §2.1) and configuration.
+pub struct ServerBuilder {
+    metadata: Registry,
+    adaptors: AdaptorRegistry,
+    security: SecurityPolicy,
+    inverses: Vec<(QName, QName)>,
+    mode: Mode,
+    ppk_block_size: usize,
+    ppk_local_method: aldsp_compiler::LocalJoinMethod,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder::new()
+    }
+}
+
+impl ServerBuilder {
+    /// Start building.
+    pub fn new() -> ServerBuilder {
+        ServerBuilder {
+            metadata: Registry::new(),
+            adaptors: AdaptorRegistry::new(),
+            security: SecurityPolicy::new(),
+            inverses: Vec::new(),
+            mode: Mode::FailFast,
+            ppk_block_size: 20,
+            ppk_local_method: aldsp_compiler::LocalJoinMethod::IndexNestedLoop,
+        }
+    }
+
+    /// Override the PP-k block size (the paper's default is 20, §4.2).
+    pub fn ppk_block_size(mut self, k: usize) -> Self {
+        self.ppk_block_size = k;
+        self
+    }
+
+    /// Override the PP-k local join method (§5.2).
+    pub fn ppk_local_method(mut self, m: aldsp_compiler::LocalJoinMethod) -> Self {
+        self.ppk_local_method = m;
+        self
+    }
+
+    /// Compile in design-time recover mode (§4.1) instead of fail-fast.
+    pub fn recover_mode(mut self) -> Self {
+        self.mode = Mode::Recover;
+        self
+    }
+
+    /// Register a relational source: introspects `catalog` into a
+    /// physical data service under `namespace` (one read function per
+    /// table, navigation functions per foreign key) and binds the
+    /// connection for runtime access.
+    pub fn relational_source(
+        mut self,
+        server: Arc<RelationalServer>,
+        catalog: &Catalog,
+        namespace: &str,
+    ) -> Result<Self, String> {
+        let ds = introspect_relational(catalog, server.name(), namespace)?;
+        self.metadata.register_service(&ds)?;
+        self.adaptors.register_connection(server);
+        Ok(self)
+    }
+
+    /// Register a (simulated) web service with its description.
+    pub fn web_service(
+        mut self,
+        description: &WebServiceDescription,
+        service: Arc<SimulatedWebService>,
+    ) -> Result<Self, String> {
+        self.metadata
+            .register_service(&introspect_web_service(description))?;
+        self.adaptors.register_service(service);
+        Ok(self)
+    }
+
+    /// Register a custom library function (the paper's external Java
+    /// functions, §4.4) with a typed signature.
+    pub fn native_function(
+        mut self,
+        name: QName,
+        param: SequenceType,
+        ret: SequenceType,
+        f: NativeFunction,
+    ) -> Result<Self, String> {
+        self.metadata.register_function(PhysicalFunction {
+            name,
+            kind: FunctionKind::Library,
+            params: vec![ParamDecl { name: "x".into(), ty: param }],
+            return_type: ret,
+            source: SourceBinding::Native { id: f.id().to_string() },
+        })?;
+        self.adaptors.register_native(f);
+        Ok(self)
+    }
+
+    /// Register an XML file source under a data-service function name.
+    pub fn xml_file(
+        mut self,
+        function: QName,
+        source: Arc<XmlFileSource>,
+        shape: aldsp_xdm::types::ElementType,
+    ) -> Result<Self, String> {
+        self.metadata.register_function(PhysicalFunction {
+            name: function,
+            kind: FunctionKind::Read,
+            params: vec![],
+            return_type: SequenceType::Seq(
+                aldsp_xdm::types::ItemType::Element(shape.clone()),
+                aldsp_xdm::types::Occurrence::Star,
+            ),
+            source: SourceBinding::XmlFile { path: source.name().to_string(), shape },
+        })?;
+        self.adaptors.register_xml_file(source);
+        Ok(self)
+    }
+
+    /// Register a CSV file source under a data-service function name.
+    pub fn csv_file(
+        mut self,
+        function: QName,
+        source: Arc<CsvFileSource>,
+        shape: aldsp_xdm::types::ElementType,
+    ) -> Result<Self, String> {
+        self.metadata.register_function(PhysicalFunction {
+            name: function,
+            kind: FunctionKind::Read,
+            params: vec![],
+            return_type: SequenceType::Seq(
+                aldsp_xdm::types::ItemType::Element(shape.clone()),
+                aldsp_xdm::types::Occurrence::Star,
+            ),
+            source: SourceBinding::CsvFile { path: source.name().to_string(), shape },
+        })?;
+        self.adaptors.register_csv_file(source);
+        Ok(self)
+    }
+
+    /// Declare `inverse` as the inverse of `f` (§4.4), enabling pushdown
+    /// and updates through the transformation.
+    pub fn inverse(mut self, f: QName, inverse: QName) -> Self {
+        self.inverses.push((f, inverse));
+        self
+    }
+
+    /// Install the security policy (§7).
+    pub fn security(mut self, policy: SecurityPolicy) -> Self {
+        self.security = policy;
+        self
+    }
+
+    /// Finish: wire the compiler (with per-connection dialects), runtime
+    /// and caches together.
+    pub fn build(self) -> AldspServer {
+        let metadata = Arc::new(self.metadata);
+        let adaptors = Arc::new(self.adaptors);
+        let mut options = Options::default();
+        options.mode = self.mode;
+        options.dialects = adaptors.connection_dialects();
+        options.ppk_block_size = self.ppk_block_size;
+        options.ppk_local_method = self.ppk_local_method;
+        let mut compiler = Compiler::new(metadata.clone(), options);
+        let mut inverse_registry = aldsp_compiler::InverseRegistry::default();
+        for (f, inv) in self.inverses {
+            inverse_registry.declare(f.clone(), inv.clone());
+            compiler.declare_inverse(f, inv);
+        }
+        let runtime = Runtime::new(metadata.clone(), adaptors.clone());
+        AldspServer {
+            metadata,
+            adaptors,
+            compiler,
+            runtime,
+            security: self.security,
+            audit: AuditLog::new(),
+            inverses: inverse_registry,
+            plan_cache: Mutex::new(HashMap::new()),
+            plan_cache_stats: Mutex::new((0, 0)),
+            lineage_cache: Mutex::new(HashMap::new()),
+            update_overrides: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Client-side filtering/sorting criteria a mediator call may attach to
+/// a data-service method invocation (§2.2).
+#[derive(Debug, Clone, Default)]
+pub struct CallCriteria {
+    /// Keep only instances whose named child equals the value.
+    pub filter: Vec<(String, AtomicValue)>,
+    /// Sort instances by a child value.
+    pub sort_by: Option<String>,
+    /// Sort descending?
+    pub descending: bool,
+    /// Return at most this many instances.
+    pub limit: Option<usize>,
+}
+
+/// The ALDSP server (Figure 2).
+pub struct AldspServer {
+    metadata: Arc<Registry>,
+    adaptors: Arc<AdaptorRegistry>,
+    compiler: Compiler,
+    runtime: Runtime,
+    security: SecurityPolicy,
+    audit: AuditLog,
+    inverses: aldsp_compiler::InverseRegistry,
+    plan_cache: Mutex<HashMap<String, Arc<CompiledQuery>>>,
+    plan_cache_stats: Mutex<(u64, u64)>, // (hits, misses)
+    lineage_cache: Mutex<HashMap<QName, Arc<Lineage>>>,
+    update_overrides: Mutex<HashMap<QName, UpdateOverride>>,
+}
+
+/// A user-supplied update handler (§6: "an update override facility that
+/// allows user code to extend or replace ALDSP's default update
+/// handling"). Returning `Ok(Some(report))` replaces the default
+/// decomposition entirely; `Ok(None)` falls through to it.
+pub type UpdateOverride = Arc<
+    dyn Fn(&DataObject, &Lineage) -> Result<Option<SubmitReport>, String> + Send + Sync,
+>;
+
+impl AldspServer {
+    /// Deploy a data-service module (XQuery function declarations);
+    /// functions are partially optimized and cached for reuse (§4.2).
+    pub fn deploy(&self, source: &str) -> Result<Vec<QName>, ServerError> {
+        self.compiler.deploy_module(source).map_err(ServerError::Compile)
+    }
+
+    /// Run an ad-hoc query. The compiled plan is cached by source text —
+    /// "ALDSP maintains a query plan cache in order to avoid repeatedly
+    /// compiling popular queries from the same or different users"
+    /// (§2.2) — which is safe precisely because security filtering
+    /// happens per-user *after* execution.
+    pub fn query(
+        &self,
+        principal: &Principal,
+        source: &str,
+        bindings: &[(&str, Sequence)],
+    ) -> Result<Sequence, ServerError> {
+        let plan = self.cached_plan(source)?;
+        let raw = self
+            .runtime
+            .execute(&plan, bindings)
+            .map_err(ServerError::Execute)?;
+        Ok(self.security.filter_result(principal, raw, &self.audit))
+    }
+
+    /// Invoke a data-service function by name with positional arguments,
+    /// optionally applying mediator call criteria (§2.2).
+    pub fn call(
+        &self,
+        principal: &Principal,
+        function: &QName,
+        args: Vec<Sequence>,
+        criteria: &CallCriteria,
+    ) -> Result<Sequence, ServerError> {
+        self.security
+            .check_function_access(principal, function, &self.audit)?;
+        let key = format!("call:{function}");
+        let plan = {
+            let cached = self.plan_cache.lock().get(&key).cloned();
+            match cached {
+                Some(p) => {
+                    self.plan_cache_stats.lock().0 += 1;
+                    p
+                }
+                None => {
+                    self.plan_cache_stats.lock().1 += 1;
+                    let p = Arc::new(
+                        self.compiler
+                            .compile_call(function)
+                            .map_err(ServerError::Compile)?,
+                    );
+                    self.plan_cache.lock().insert(key, p.clone());
+                    p
+                }
+            }
+        };
+        let bindings: Vec<(String, Sequence)> = plan
+            .external_vars
+            .iter()
+            .cloned()
+            .zip(args.into_iter())
+            .collect();
+        let borrowed: Vec<(&str, Sequence)> =
+            bindings.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let raw = self
+            .runtime
+            .execute(&plan, &borrowed)
+            .map_err(ServerError::Execute)?;
+        let filtered = self.security.filter_result(principal, raw, &self.audit);
+        Ok(apply_criteria(filtered, criteria))
+    }
+
+    /// Read one instance from a data-service function as a change-tracked
+    /// [`DataObject`] (the SDO read side of Figure 5).
+    pub fn read_object(
+        &self,
+        principal: &Principal,
+        function: &QName,
+        args: Vec<Sequence>,
+        criteria: &CallCriteria,
+    ) -> Result<Option<DataObject>, ServerError> {
+        let items = self.call(principal, function, args, criteria)?;
+        Ok(items.into_iter().find_map(|i| match i {
+            Item::Node(n) => Some(DataObject::new(n)),
+            _ => None,
+        }))
+    }
+
+    /// The lineage of a data-service function (computed from its compiled
+    /// body — the function is its own lineage provider, §6).
+    pub fn lineage_of(&self, function: &QName) -> Result<Arc<Lineage>, ServerError> {
+        if let Some(l) = self.lineage_cache.lock().get(function) {
+            return Ok(l.clone());
+        }
+        let plan = self
+            .compiler
+            .compile_call(function)
+            .map_err(ServerError::Compile)?;
+        let lineage = Arc::new(
+            analyze(&self.metadata, &plan).map_err(ServerError::Other)?,
+        );
+        self.lineage_cache
+            .lock()
+            .insert(function.clone(), lineage.clone());
+        Ok(lineage)
+    }
+
+    /// Submit a changed data object (Figure 5's `ProfileDS.submit(sdo)`),
+    /// decomposing the change log via the lineage of `provider` and
+    /// applying per-source conditioned updates under 2PC (§6). A
+    /// registered [`UpdateOverride`] runs first and may replace the
+    /// default handling entirely.
+    pub fn submit(
+        &self,
+        principal: &Principal,
+        provider: &QName,
+        sdo: &DataObject,
+        policy: ConcurrencyPolicy,
+    ) -> Result<SubmitReport, ServerError> {
+        self.security
+            .check_function_access(principal, provider, &self.audit)?;
+        let lineage = self.lineage_of(provider)?;
+        let override_fn = self.update_overrides.lock().get(provider).cloned();
+        if let Some(f) = override_fn {
+            match f(sdo, &lineage).map_err(ServerError::Other)? {
+                Some(report) => return Ok(report),
+                None => {} // fall through to the default decomposition
+            }
+        }
+        let proc =
+            SubmitProcessor::new(&self.adaptors, &self.metadata, &lineage, &self.inverses, policy);
+        proc.submit(sdo).map_err(ServerError::Submit)
+    }
+
+    /// Register an update override for a data-service provider (§6).
+    pub fn register_update_override(&self, provider: QName, f: UpdateOverride) {
+        self.update_overrides.lock().insert(provider, f);
+    }
+
+    /// Run a query and stream its results to `on_item` as they are
+    /// produced — "consume the results of a data service call or query
+    /// incrementally, as a stream" (§2.2). Security filtering applies
+    /// per item; returning `false` stops early. Returns the number of
+    /// items delivered.
+    pub fn query_streaming(
+        &self,
+        principal: &Principal,
+        source: &str,
+        bindings: &[(&str, Sequence)],
+        on_item: &mut dyn FnMut(Item) -> bool,
+    ) -> Result<u64, ServerError> {
+        let plan = self.cached_plan(source)?;
+        let mut sink_err: Option<ServerError> = None;
+        let delivered = self
+            .runtime
+            .execute_streaming(&plan, bindings, &mut |item| {
+                let filtered =
+                    self.security
+                        .filter_result(principal, vec![item], &self.audit);
+                for f in filtered {
+                    if !on_item(f) {
+                        return false;
+                    }
+                }
+                true
+            })
+            .map_err(ServerError::Execute)?;
+        if let Some(e) = sink_err.take() {
+            return Err(e);
+        }
+        Ok(delivered)
+    }
+
+    /// Run a query and serialize the results incrementally to a writer —
+    /// "or to redirect them to a file, without materializing them first"
+    /// (§2.2).
+    pub fn query_to_writer(
+        &self,
+        principal: &Principal,
+        source: &str,
+        bindings: &[(&str, Sequence)],
+        out: &mut dyn std::io::Write,
+    ) -> Result<u64, ServerError> {
+        let mut io_err = None;
+        let n = self.query_streaming(principal, source, bindings, &mut |item| {
+            let text = aldsp_xdm::xml::serialize_sequence(&[item]);
+            match out.write_all(text.as_bytes()) {
+                Ok(()) => true,
+                Err(e) => {
+                    io_err = Some(e);
+                    false
+                }
+            }
+        })?;
+        match io_err {
+            Some(e) => Err(ServerError::Other(format!("write failed: {e}"))),
+            None => Ok(n),
+        }
+    }
+
+    /// Enable result caching for a data-service function with a TTL
+    /// (§5.5 — designer permits, administrator enables).
+    pub fn enable_function_cache(&self, function: QName, ttl: std::time::Duration) {
+        self.runtime.cache().enable(function, ttl);
+    }
+
+    /// Runtime execution statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.runtime.stats()
+    }
+
+    /// Reset runtime statistics.
+    pub fn reset_stats(&self) {
+        self.runtime.reset_stats()
+    }
+
+    /// `(hits, misses)` of the query plan cache (§2.2).
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        *self.plan_cache_stats.lock()
+    }
+
+    /// The audit log (§7).
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The compiler (for inspection and benches).
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// The runtime (for inspection and benches).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// The metadata registry.
+    pub fn metadata(&self) -> &Arc<Registry> {
+        &self.metadata
+    }
+
+    /// The adaptor registry.
+    pub fn adaptors(&self) -> &Arc<AdaptorRegistry> {
+        &self.adaptors
+    }
+
+    fn cached_plan(&self, source: &str) -> Result<Arc<CompiledQuery>, ServerError> {
+        if let Some(p) = self.plan_cache.lock().get(source) {
+            self.plan_cache_stats.lock().0 += 1;
+            return Ok(p.clone());
+        }
+        self.plan_cache_stats.lock().1 += 1;
+        let plan = Arc::new(
+            self.compiler
+                .compile_query(source)
+                .map_err(ServerError::Compile)?,
+        );
+        self.plan_cache
+            .lock()
+            .insert(source.to_string(), plan.clone());
+        Ok(plan)
+    }
+}
+
+/// Apply mediator call criteria to a method-call result (§2.2).
+fn apply_criteria(items: Sequence, criteria: &CallCriteria) -> Sequence {
+    let mut out: Vec<Item> = items
+        .into_iter()
+        .filter(|item| {
+            let Item::Node(n) = item else { return true };
+            criteria.filter.iter().all(|(child, expect)| {
+                n.child_elements(&QName::local(child))
+                    .next()
+                    .and_then(|c| c.typed_value())
+                    .map(|v| v.compare(expect) == Some(std::cmp::Ordering::Equal))
+                    .unwrap_or(false)
+            })
+        })
+        .collect();
+    if let Some(key) = &criteria.sort_by {
+        let kq = QName::local(key);
+        out.sort_by(|a, b| {
+            let ka = a.as_node().and_then(|n| {
+                n.child_elements(&kq).next().and_then(|c| c.typed_value())
+            });
+            let kb = b.as_node().and_then(|n| {
+                n.child_elements(&kq).next().and_then(|c| c.typed_value())
+            });
+            let ord = match (ka, kb) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (Some(x), Some(y)) => x.compare(&y).unwrap_or(std::cmp::Ordering::Equal),
+            };
+            if criteria.descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(n) = criteria.limit {
+        out.truncate(n);
+    }
+    out
+}

@@ -1,0 +1,303 @@
+//! Data-source introspection (§2.1, §3.2).
+//!
+//! "When pointed at an enterprise data source by a developer, ALDSP
+//! introspects the data source's metadata. … Applying introspection to a
+//! relational data source yields one data service (with one read method
+//! and one update method) per table or view. … In the presence of
+//! foreign key constraints, introspection also produces navigation
+//! functions that encapsulate the join paths provided by the
+//! constraints." This module reproduces that: it reads a
+//! [`aldsp_relational::Catalog`] (or a web-service description)
+//! and emits the corresponding [`PhysicalDataService`].
+
+use crate::model::{FunctionKind, ParamDecl, PhysicalDataService, PhysicalFunction, SourceBinding};
+use aldsp_relational::{Catalog, TableSchema};
+use aldsp_xdm::schema::ShapeBuilder;
+use aldsp_xdm::types::{ElementType, ItemType, Occurrence, SequenceType};
+use aldsp_xdm::QName;
+
+/// The natural typed XML-ification of a row of `schema` (§2.1): one
+/// element per table row, one simple-typed child per column, nullable
+/// columns optional (NULLs are missing elements, §4.3).
+pub fn row_shape(schema: &TableSchema, namespace: &str) -> ElementType {
+    // the row element is namespaced (it belongs to the data service);
+    // column elements are unqualified, matching the paper's Figure 3
+    // paths ($CUSTOMER/CID with no prefix)
+    let mut b = ShapeBuilder::element(QName::new(namespace, &schema.name));
+    for col in &schema.columns {
+        b = if col.nullable {
+            b.optional_local(&col.name, col.ty.xml_type())
+        } else {
+            b.required_local(&col.name, col.ty.xml_type())
+        };
+    }
+    b.build()
+}
+
+/// Introspect a relational catalog into a physical data service:
+/// a read function per table plus navigation functions per foreign key,
+/// in both directions.
+pub fn introspect_relational(
+    catalog: &Catalog,
+    connection: &str,
+    namespace: &str,
+) -> Result<PhysicalDataService, String> {
+    catalog.validate()?;
+    let mut ds = PhysicalDataService { namespace: namespace.to_string(), functions: Vec::new() };
+    for table in catalog.tables() {
+        let shape = row_shape(table, namespace);
+        ds.functions.push(PhysicalFunction {
+            name: QName::new(namespace, &table.name),
+            kind: FunctionKind::Read,
+            params: Vec::new(),
+            return_type: SequenceType::Seq(ItemType::Element(shape.clone()), Occurrence::Star),
+            source: SourceBinding::RelationalTable {
+                connection: connection.to_string(),
+                table: table.name.clone(),
+                primary_key: table.primary_key.clone(),
+                shape,
+            },
+        });
+    }
+    // navigation functions from foreign keys, both directions
+    for table in catalog.tables() {
+        for fk in &table.foreign_keys {
+            let target = catalog
+                .table(&fk.ref_table)
+                .expect("validated catalog");
+            // many-to-one: FROM row → its referenced TARGET row
+            ds.functions.push(navigation(
+                catalog,
+                connection,
+                namespace,
+                table,
+                target,
+                fk.columns.iter().cloned().zip(fk.ref_columns.iter().cloned()).collect(),
+                false,
+            ));
+            // one-to-many: TARGET row → the FROM rows referencing it
+            // (the paper's getORDER($CUSTOMER) in Figure 3)
+            ds.functions.push(navigation(
+                catalog,
+                connection,
+                namespace,
+                target,
+                table,
+                fk.ref_columns.iter().cloned().zip(fk.columns.iter().cloned()).collect(),
+                true,
+            ));
+        }
+    }
+    Ok(ds)
+}
+
+fn navigation(
+    _catalog: &Catalog,
+    connection: &str,
+    namespace: &str,
+    from: &TableSchema,
+    to: &TableSchema,
+    key_pairs: Vec<(String, String)>,
+    to_many: bool,
+) -> PhysicalFunction {
+    let from_shape = row_shape(from, namespace);
+    let to_shape = row_shape(to, namespace);
+    let occ = if to_many { Occurrence::Star } else { Occurrence::Optional };
+    PhysicalFunction {
+        name: QName::new(namespace, &format!("get{}", to.name)),
+        kind: FunctionKind::Navigate,
+        params: vec![ParamDecl {
+            name: "arg".to_string(),
+            ty: SequenceType::one(ItemType::Element(from_shape)),
+        }],
+        return_type: SequenceType::Seq(ItemType::Element(to_shape.clone()), occ),
+        source: SourceBinding::RelationalNavigation {
+            connection: connection.to_string(),
+            from_table: from.name.clone(),
+            to_table: to.name.clone(),
+            key_pairs,
+            shape: to_shape,
+            to_many,
+        },
+    }
+}
+
+/// A declarative description of a simulated web service (the WSDL
+/// analogue): document-style operations with typed request/response
+/// elements.
+#[derive(Debug, Clone)]
+pub struct WebServiceDescription {
+    /// Service name.
+    pub name: String,
+    /// Target namespace for the generated functions.
+    pub namespace: String,
+    /// Operations.
+    pub operations: Vec<WebServiceOperation>,
+}
+
+/// One web-service operation.
+#[derive(Debug, Clone)]
+pub struct WebServiceOperation {
+    /// Operation name (becomes the function's local name).
+    pub name: String,
+    /// Request element shape.
+    pub input: ElementType,
+    /// Response element shape.
+    pub output: ElementType,
+}
+
+/// Introspect a web service description: one function per operation
+/// ("Introspecting a Web service yields one data service per distinct
+/// Web service operation return type", §2.1).
+pub fn introspect_web_service(desc: &WebServiceDescription) -> PhysicalDataService {
+    let functions = desc
+        .operations
+        .iter()
+        .map(|op| PhysicalFunction {
+            name: QName::new(&desc.namespace, &op.name),
+            kind: FunctionKind::Read,
+            params: vec![ParamDecl {
+                name: "request".to_string(),
+                ty: SequenceType::one(ItemType::Element(op.input.clone())),
+            }],
+            return_type: SequenceType::one(ItemType::Element(op.output.clone())),
+            source: SourceBinding::WebService {
+                service: desc.name.clone(),
+                operation: op.name.clone(),
+                input: op.input.clone(),
+                output: op.output.clone(),
+            },
+        })
+        .collect();
+    PhysicalDataService { namespace: desc.namespace.clone(), functions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_relational::SqlType;
+    use aldsp_xdm::types::ContentType;
+    use aldsp_xdm::value::AtomicType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            TableSchema::builder("CUSTOMER")
+                .col("CID", SqlType::Varchar)
+                .col("LAST_NAME", SqlType::Varchar)
+                .col_null("FIRST_NAME", SqlType::Varchar)
+                .pk(&["CID"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.add(
+            TableSchema::builder("ORDER")
+                .col("OID", SqlType::Integer)
+                .col("CID", SqlType::Varchar)
+                .pk(&["OID"])
+                .fk(&["CID"], "CUSTOMER", &["CID"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn one_read_function_per_table() {
+        let ds = introspect_relational(&catalog(), "db1", "urn:custDS").unwrap();
+        let cust = ds.function("CUSTOMER").unwrap();
+        assert_eq!(cust.kind, FunctionKind::Read);
+        assert!(cust.params.is_empty());
+        // element(CUSTOMER)* with structural row shape
+        let SequenceType::Seq(ItemType::Element(e), Occurrence::Star) = &cust.return_type
+        else {
+            panic!("unexpected return type {:?}", cust.return_type)
+        };
+        assert_eq!(e.name.as_ref().unwrap().local_name(), "CUSTOMER");
+        let ContentType::Complex(c) = &e.content else { panic!() };
+        assert_eq!(c.children.len(), 3);
+        // nullable column → optional element
+        assert_eq!(c.children[2].occ, Occurrence::Optional);
+        assert_eq!(c.children[0].occ, Occurrence::One);
+        assert!(ds.function("ORDER").is_some());
+    }
+
+    #[test]
+    fn navigation_functions_from_foreign_keys() {
+        let ds = introspect_relational(&catalog(), "db1", "urn:custDS").unwrap();
+        // Figure 3's ns3:getORDER($CUSTOMER): one-to-many
+        let nav = ds.function("getORDER").unwrap();
+        assert_eq!(nav.kind, FunctionKind::Navigate);
+        assert_eq!(nav.params.len(), 1);
+        let SourceBinding::RelationalNavigation { key_pairs, to_many, from_table, to_table, .. } =
+            &nav.source
+        else {
+            panic!()
+        };
+        assert!(*to_many);
+        assert_eq!(from_table, "CUSTOMER");
+        assert_eq!(to_table, "ORDER");
+        assert_eq!(key_pairs, &[("CID".to_string(), "CID".to_string())]);
+        // and the many-to-one direction
+        let back = ds.function("getCUSTOMER").unwrap();
+        let SourceBinding::RelationalNavigation { to_many, .. } = &back.source else { panic!() };
+        assert!(!*to_many);
+        assert_eq!(back.return_type.occurrence(), Occurrence::Optional);
+    }
+
+    #[test]
+    fn pragma_rendering() {
+        let ds = introspect_relational(&catalog(), "db1", "urn:custDS").unwrap();
+        let p = ds.function("CUSTOMER").unwrap().to_pragma();
+        assert!(p.contains("kind=\"read\""), "{p}");
+        assert!(p.contains("connection=\"db1\""), "{p}");
+        assert!(p.contains("key=\"CID\""), "{p}");
+        let p = ds.function("getORDER").unwrap().to_pragma();
+        assert!(p.contains("kind=\"navigate\""), "{p}");
+        assert!(p.contains("joinKeys=\"CID=CID\""), "{p}");
+        // the pragma text parses back with the parser's pragma scanner
+        let parsed = aldsp_parser::Pragma::parse(&p);
+        assert_eq!(parsed.get("kind"), Some("navigate"));
+    }
+
+    #[test]
+    fn web_service_introspection() {
+        // the Figure 3 credit-rating service
+        let input = ShapeBuilder::element(QName::new("urn:ratingTypes", "getRating"))
+            .required("lName", AtomicType::String)
+            .required("ssn", AtomicType::String)
+            .build();
+        let output = ShapeBuilder::element(QName::new("urn:ratingTypes", "getRatingResponse"))
+            .required("getRatingResult", AtomicType::Integer)
+            .build();
+        let ds = introspect_web_service(&WebServiceDescription {
+            name: "ratingWS".into(),
+            namespace: "urn:ratingWS".into(),
+            operations: vec![WebServiceOperation {
+                name: "getRating".into(),
+                input,
+                output,
+            }],
+        });
+        let f = ds.function("getRating").unwrap();
+        assert_eq!(f.params.len(), 1);
+        assert!(matches!(&f.source, SourceBinding::WebService { operation, .. } if operation == "getRating"));
+        assert!(!f.source.is_queryable());
+    }
+
+    #[test]
+    fn invalid_catalog_rejected() {
+        let mut c = Catalog::new();
+        c.add(
+            TableSchema::builder("X")
+                .col("A", SqlType::Integer)
+                .fk(&["A"], "MISSING", &["A"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(introspect_relational(&c, "db1", "urn:x").is_err());
+    }
+}

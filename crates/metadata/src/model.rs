@@ -1,0 +1,209 @@
+//! The metadata model for physical data services.
+//!
+//! "Backend data source accesses are modeled as XQuery functions with
+//! typed signatures" (§3.2). A [`PhysicalFunction`] is one such function:
+//! its resolved signature plus a [`SourceBinding`] that tells the
+//! compiler and runtime *what* it reads (which table/operation/file,
+//! over which connection, with which keys). ALDSP persists this in
+//! pragma annotations; [`PhysicalFunction::to_pragma`] reproduces that
+//! surface form.
+
+use aldsp_xdm::types::{ElementType, SequenceType};
+use aldsp_xdm::QName;
+
+/// The role of a data-service function (the pragma `kind` attribute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionKind {
+    /// A read method — returns instances of the service's shape.
+    Read,
+    /// A navigation method — traverses a relationship from one business
+    /// object to another (§2.1).
+    Navigate,
+    /// A library/helper function registered for use in queries (e.g. the
+    /// `int2date` example of §4.4).
+    Library,
+}
+
+impl FunctionKind {
+    /// The pragma attribute value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FunctionKind::Read => "read",
+            FunctionKind::Navigate => "navigate",
+            FunctionKind::Library => "library",
+        }
+    }
+}
+
+/// One declared parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: SequenceType,
+}
+
+/// What a physical function is bound to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceBinding {
+    /// A relational table surfaced as `TABLE() as element(TABLE)*`:
+    /// queryable — SQL can be pushed to it (§4.3).
+    RelationalTable {
+        /// Connection name (resolved to a server by the adaptor layer).
+        connection: String,
+        /// Table name.
+        table: String,
+        /// Primary-key column names (drives PP-k and lineage).
+        primary_key: Vec<String>,
+        /// The typed row shape.
+        shape: ElementType,
+    },
+    /// A navigation function derived from a foreign key (§2.1): given a
+    /// row element of `from_table`, return the joined rows of `to_table`.
+    RelationalNavigation {
+        /// Connection name.
+        connection: String,
+        /// Source table of the traversal.
+        from_table: String,
+        /// Target table of the traversal.
+        to_table: String,
+        /// `(from_column, to_column)` join pairs from the constraint.
+        key_pairs: Vec<(String, String)>,
+        /// The target row shape.
+        shape: ElementType,
+        /// `true` for the one-to-many direction.
+        to_many: bool,
+    },
+    /// A web-service operation (functional source, §2.2): call-only.
+    WebService {
+        /// Service name (resolved by the adaptor layer).
+        service: String,
+        /// Operation name.
+        operation: String,
+        /// Input message shape.
+        input: ElementType,
+        /// Output message shape.
+        output: ElementType,
+    },
+    /// A registered custom function (the paper's external Java functions;
+    /// Rust closures here).
+    Native {
+        /// Registration id resolved by the adaptor layer.
+        id: String,
+    },
+    /// An XML file validated against a registered schema (§5.3).
+    XmlFile {
+        /// File path.
+        path: String,
+        /// Root-element shape.
+        shape: ElementType,
+    },
+    /// A delimited (CSV) file with a declared row shape (§5.3).
+    CsvFile {
+        /// File path.
+        path: String,
+        /// Row shape (one element per record).
+        shape: ElementType,
+    },
+}
+
+impl SourceBinding {
+    /// The connection/service identifier, if the binding has one.
+    pub fn connection(&self) -> Option<&str> {
+        match self {
+            SourceBinding::RelationalTable { connection, .. }
+            | SourceBinding::RelationalNavigation { connection, .. } => Some(connection),
+            SourceBinding::WebService { service, .. } => Some(service),
+            _ => None,
+        }
+    }
+
+    /// Is this a queryable (SQL-pushable) source?
+    pub fn is_queryable(&self) -> bool {
+        matches!(
+            self,
+            SourceBinding::RelationalTable { .. } | SourceBinding::RelationalNavigation { .. }
+        )
+    }
+}
+
+/// One physical data-service function: typed signature + source binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalFunction {
+    /// The function's qualified name.
+    pub name: QName,
+    /// Its role.
+    pub kind: FunctionKind,
+    /// Parameters.
+    pub params: Vec<ParamDecl>,
+    /// Return type.
+    pub return_type: SequenceType,
+    /// What it reads/calls.
+    pub source: SourceBinding,
+}
+
+impl PhysicalFunction {
+    /// Render the pragma annotation ALDSP would persist for this
+    /// function (§3.2) — `(::pragma function … ::)` attribute content.
+    pub fn to_pragma(&self) -> String {
+        let mut s = format!("function kind=\"{}\"", self.kind.as_str());
+        match &self.source {
+            SourceBinding::RelationalTable { connection, table, primary_key, .. } => {
+                s.push_str(&format!(
+                    " sourceType=\"relational\" connection=\"{connection}\" nativeName=\"{table}\""
+                ));
+                if !primary_key.is_empty() {
+                    s.push_str(&format!(" key=\"{}\"", primary_key.join(",")));
+                }
+            }
+            SourceBinding::RelationalNavigation {
+                connection,
+                from_table,
+                to_table,
+                key_pairs,
+                ..
+            } => {
+                let pairs: Vec<String> =
+                    key_pairs.iter().map(|(a, b)| format!("{a}={b}")).collect();
+                s.push_str(&format!(
+                    " sourceType=\"relational\" connection=\"{connection}\" from=\"{from_table}\" to=\"{to_table}\" joinKeys=\"{}\"",
+                    pairs.join(",")
+                ));
+            }
+            SourceBinding::WebService { service, operation, .. } => {
+                s.push_str(&format!(
+                    " sourceType=\"webService\" service=\"{service}\" operation=\"{operation}\""
+                ));
+            }
+            SourceBinding::Native { id } => {
+                s.push_str(&format!(" sourceType=\"native\" id=\"{id}\""));
+            }
+            SourceBinding::XmlFile { path, .. } => {
+                s.push_str(&format!(" sourceType=\"xmlFile\" path=\"{path}\""));
+            }
+            SourceBinding::CsvFile { path, .. } => {
+                s.push_str(&format!(" sourceType=\"csvFile\" path=\"{path}\""));
+            }
+        }
+        s
+    }
+}
+
+/// A physical data service: the functions introspection produced for one
+/// data source (§2.1 — e.g. one read method and navigation methods per
+/// table).
+#[derive(Debug, Clone, Default)]
+pub struct PhysicalDataService {
+    /// The service's target namespace.
+    pub namespace: String,
+    /// Its functions.
+    pub functions: Vec<PhysicalFunction>,
+}
+
+impl PhysicalDataService {
+    /// Find a function by local name.
+    pub fn function(&self, local: &str) -> Option<&PhysicalFunction> {
+        self.functions.iter().find(|f| f.name.local_name() == local)
+    }
+}

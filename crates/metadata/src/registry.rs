@@ -1,0 +1,115 @@
+//! The metadata registry the compiler resolves against.
+//!
+//! Captured source metadata "is used by the ALDSP compiler, graphical
+//! UI, query optimizer, and runtime" (§3.2). The [`Registry`] is that
+//! shared lookup surface: physical functions by qualified name, plus
+//! imported schemas by target namespace (for `schema-element(N)` and
+//! shape resolution).
+
+use crate::model::{PhysicalDataService, PhysicalFunction};
+use aldsp_xdm::schema::Schema;
+use aldsp_xdm::QName;
+use std::collections::HashMap;
+
+/// Shared metadata: physical functions and schemas.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    functions: HashMap<QName, PhysicalFunction>,
+    schemas: HashMap<String, Schema>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register every function of a physical data service. Duplicate
+    /// names are an error: data-service function names are global.
+    pub fn register_service(&mut self, ds: &PhysicalDataService) -> Result<(), String> {
+        for f in &ds.functions {
+            self.register_function(f.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Register a single physical function.
+    pub fn register_function(&mut self, f: PhysicalFunction) -> Result<(), String> {
+        if self.functions.contains_key(&f.name) {
+            return Err(format!("duplicate physical function {}", f.name));
+        }
+        self.functions.insert(f.name.clone(), f);
+        Ok(())
+    }
+
+    /// Register an imported schema by target namespace.
+    pub fn register_schema(&mut self, schema: Schema) {
+        let ns = schema.target_namespace.clone().unwrap_or_default();
+        self.schemas.insert(ns, schema);
+    }
+
+    /// Look up a physical function.
+    pub fn function(&self, name: &QName) -> Option<&PhysicalFunction> {
+        self.functions.get(name)
+    }
+
+    /// Look up a schema by target namespace.
+    pub fn schema(&self, namespace: &str) -> Option<&Schema> {
+        self.schemas.get(namespace)
+    }
+
+    /// Resolve a global element declaration across all schemas.
+    pub fn schema_element(&self, name: &QName) -> Option<&aldsp_xdm::types::ElementType> {
+        let ns = name.uri().unwrap_or_default();
+        self.schemas.get(ns).and_then(|s| s.element(name))
+    }
+
+    /// Iterate all registered functions.
+    pub fn functions(&self) -> impl Iterator<Item = &PhysicalFunction> {
+        self.functions.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FunctionKind, SourceBinding};
+    use aldsp_xdm::schema::ShapeBuilder;
+    use aldsp_xdm::types::SequenceType;
+    use aldsp_xdm::value::AtomicType;
+
+    fn func(name: &str) -> PhysicalFunction {
+        PhysicalFunction {
+            name: QName::new("urn:t", name),
+            kind: FunctionKind::Read,
+            params: vec![],
+            return_type: SequenceType::any(),
+            source: SourceBinding::Native { id: name.to_string() },
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = Registry::new();
+        r.register_function(func("A")).unwrap();
+        assert!(r.function(&QName::new("urn:t", "A")).is_some());
+        assert!(r.function(&QName::new("urn:other", "A")).is_none());
+        assert!(r.register_function(func("A")).is_err());
+        assert_eq!(r.functions().count(), 1);
+    }
+
+    #[test]
+    fn schema_element_resolution() {
+        let mut r = Registry::new();
+        let mut s = Schema::new(Some("urn:shapes"));
+        s.declare(
+            ShapeBuilder::element(QName::new("urn:shapes", "PROFILE"))
+                .required("CID", AtomicType::String)
+                .build(),
+        );
+        r.register_schema(s);
+        assert!(r.schema_element(&QName::new("urn:shapes", "PROFILE")).is_some());
+        assert!(r.schema_element(&QName::new("urn:shapes", "NOPE")).is_none());
+        assert!(r.schema("urn:shapes").is_some());
+    }
+}

@@ -1,0 +1,561 @@
+//! Abstract syntax for the ALDSP XQuery dialect.
+//!
+//! The AST mirrors the July-2004 XQuery working draft subset ALDSP 2.1
+//! supports (§3.1), plus the ALDSP extensions: the FLWGOR `group … by`
+//! clause, conditional construction (`<E?>`), and `(::pragma …::)`
+//! annotations carrying data-source metadata (§3.2).
+
+use aldsp_xdm::item::CompOp;
+use aldsp_xdm::value::{ArithOp, AtomicValue};
+use aldsp_xdm::QName;
+
+/// A half-open byte range into the source text, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte offset.
+    pub start: u32,
+    /// End byte offset (exclusive).
+    pub end: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start: start as u32, end: end as u32 }
+    }
+
+    /// The union of two spans.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// A parsed XQuery module: prolog plus an optional main query body.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// `xquery version "…"` if present.
+    pub version: Option<String>,
+    /// `declare namespace p = "uri"` bindings, in order.
+    pub namespaces: Vec<(String, String)>,
+    /// `declare default element namespace "uri"`.
+    pub default_element_ns: Option<String>,
+    /// `import schema namespace p = "uri" (at "loc")?`.
+    pub schema_imports: Vec<SchemaImport>,
+    /// Function declarations (a data service file is a set of these).
+    pub functions: Vec<FunctionDecl>,
+    /// `declare variable $x as T external` declarations.
+    pub variables: Vec<VarDecl>,
+    /// The main query expression, if any.
+    pub body: Option<Expr>,
+}
+
+/// One `import schema` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaImport {
+    /// Bound prefix, if given.
+    pub prefix: Option<String>,
+    /// Target namespace URI.
+    pub uri: String,
+    /// `at` location hint, if given (captured, not dereferenced).
+    pub location: Option<String>,
+}
+
+/// A `(::pragma … ::)` annotation. ALDSP uses these to carry source
+/// metadata on system-generated functions (§3.2): kind (`read`,
+/// `navigate`, …), RDBMS vendor/version/connection, key info, WSDL
+/// location, and so on. The content is stored raw plus parsed into
+/// `key="value"` pairs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pragma {
+    /// Raw pragma content (after `::pragma`, before the closing `::)`).
+    pub raw: String,
+    /// `key="value"` attributes extracted from the raw content.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Pragma {
+    /// Parse a raw pragma body into attributes.
+    pub fn parse(raw: &str) -> Pragma {
+        let mut attrs = Vec::new();
+        let bytes = raw.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // find `key="value"` pairs
+            while i < bytes.len() && !(bytes[i].is_ascii_alphabetic() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let ks = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'_' | b'-' | b':'))
+            {
+                i += 1;
+            }
+            let key = &raw[ks..i];
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'=' {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'"' {
+                    i += 1;
+                    let vs = i;
+                    while i < bytes.len() && bytes[i] != b'"' {
+                        i += 1;
+                    }
+                    attrs.push((key.to_string(), raw[vs..i].to_string()));
+                    i += 1;
+                }
+            }
+        }
+        Pragma { raw: raw.to_string(), attrs }
+    }
+
+    /// Look up an attribute value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A lexical (possibly prefixed) name, resolved to a [`QName`] during
+/// compilation against the module's namespace environment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Name {
+    /// The prefix as written, if any.
+    pub prefix: Option<String>,
+    /// The local part.
+    pub local: String,
+}
+
+impl Name {
+    /// An unprefixed name.
+    pub fn local(s: &str) -> Name {
+        Name { prefix: None, local: s.to_string() }
+    }
+
+    /// A prefixed name.
+    pub fn prefixed(p: &str, l: &str) -> Name {
+        Name { prefix: Some(p.to_string()), local: l.to_string() }
+    }
+
+    /// Parse `p:l` or `l`.
+    pub fn parse(lexical: &str) -> Name {
+        match lexical.split_once(':') {
+            Some((p, l)) => Name::prefixed(p, l),
+            None => Name::local(lexical),
+        }
+    }
+
+    /// Resolve against a prefix→uri mapping; unprefixed names take
+    /// `default_ns` when provided.
+    pub fn resolve(
+        &self,
+        lookup: &dyn Fn(&str) -> Option<String>,
+        default_ns: Option<&str>,
+    ) -> Option<QName> {
+        match &self.prefix {
+            Some(p) => lookup(p).map(|u| QName::with_prefix(p, &u, &self.local)),
+            None => Some(match default_ns {
+                Some(u) => QName::new(u, &self.local),
+                None => QName::local(&self.local),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{p}:{}", self.local),
+            None => f.write_str(&self.local),
+        }
+    }
+}
+
+/// A function declaration.
+#[derive(Debug, Clone)]
+pub struct FunctionDecl {
+    /// Pragmas immediately preceding the declaration.
+    pub pragmas: Vec<Pragma>,
+    /// The function name.
+    pub name: Name,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Declared return type, if any.
+    pub return_type: Option<SeqTypeAst>,
+    /// The body; `None` when declared `external` **or** when the body
+    /// failed to parse (the paper keeps error-free signatures available
+    /// for checking other functions, §4.1 — `external` distinguishes).
+    pub body: Option<Expr>,
+    /// `true` when declared `external`.
+    pub external: bool,
+    /// Source span of the whole declaration.
+    pub span: Span,
+}
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Parameter variable name (without `$`).
+    pub name: String,
+    /// Declared type, if any.
+    pub ty: Option<SeqTypeAst>,
+}
+
+/// An external variable declaration.
+#[derive(Debug, Clone)]
+pub struct VarDecl {
+    /// Variable name (without `$`).
+    pub name: String,
+    /// Declared type, if any.
+    pub ty: Option<SeqTypeAst>,
+}
+
+/// Occurrence indicator in a sequence-type annotation.
+pub use aldsp_xdm::types::Occurrence;
+
+/// Syntactic sequence type, resolved by the compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqTypeAst {
+    /// The item-type part.
+    pub item: ItemTypeAst,
+    /// Occurrence indicator.
+    pub occ: Occurrence,
+}
+
+/// Syntactic item type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemTypeAst {
+    /// `item()`.
+    AnyItem,
+    /// `node()`.
+    AnyNode,
+    /// `text()`.
+    Text,
+    /// `document-node()`.
+    Document,
+    /// `empty-sequence()` (only valid as a whole sequence type).
+    EmptySequence,
+    /// A named atomic type, e.g. `xs:string`.
+    Atomic(Name),
+    /// `element()` / `element(N)` — content `ANYTYPE`.
+    Element(Option<Name>),
+    /// `schema-element(N)` — N must be declared in an imported schema.
+    SchemaElement(Name),
+    /// `attribute()` / `attribute(N)`.
+    Attribute(Option<Name>),
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression kind.
+    pub kind: ExprKind,
+    /// Source span.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Construct an expression.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+}
+
+/// Expression kinds of the ALDSP XQuery subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// A literal atomic value.
+    Literal(AtomicValue),
+    /// `$x`.
+    VarRef(String),
+    /// `.` — the context item.
+    ContextItem,
+    /// `()` or `(a, b, …)` — sequence construction (flattening).
+    Sequence(Vec<Expr>),
+    /// `a to b`.
+    Range(Box<Expr>, Box<Expr>),
+    /// A FLWOR (or FLWGOR) expression.
+    Flwor {
+        /// The clause list in source order.
+        clauses: Vec<Clause>,
+        /// The `return` expression.
+        ret: Box<Expr>,
+    },
+    /// `if (c) then t else e`.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Box<Expr>,
+        /// Else branch.
+        els: Box<Expr>,
+    },
+    /// `some`/`every` `$v in e … satisfies p`.
+    Quantified {
+        /// `true` for `every`, `false` for `some`.
+        every: bool,
+        /// `(variable, domain)` bindings.
+        bindings: Vec<(String, Expr)>,
+        /// The `satisfies` predicate.
+        satisfies: Box<Expr>,
+    },
+    /// `typeswitch (e) case … default …`.
+    Typeswitch {
+        /// The operand.
+        operand: Box<Expr>,
+        /// `case ($v as)? T return e` branches.
+        cases: Vec<TypeswitchCase>,
+        /// Default branch variable, if bound.
+        default_var: Option<String>,
+        /// Default branch body.
+        default: Box<Expr>,
+    },
+    /// `a or b`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `a and b`.
+    And(Box<Expr>, Box<Expr>),
+    /// Value (`eq`) or general (`=`) comparison.
+    Comparison {
+        /// The operator.
+        op: CompOp,
+        /// `true` for general (`=`), `false` for value (`eq`) form.
+        general: bool,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Arithmetic.
+    Arith {
+        /// The operator.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// A path: a start expression followed by steps.
+    Path {
+        /// The origin (`ContextItem` for relative paths).
+        start: Box<Expr>,
+        /// The navigation steps.
+        steps: Vec<Step>,
+    },
+    /// Predicates applied to a non-path primary: `expr[p1][p2]`.
+    Filter {
+        /// The filtered expression.
+        base: Box<Expr>,
+        /// The predicate list.
+        predicates: Vec<Expr>,
+    },
+    /// A function call.
+    Call {
+        /// The function name.
+        name: Name,
+        /// Arguments in order.
+        args: Vec<Expr>,
+    },
+    /// A direct element constructor, with the ALDSP `<E?>` extension.
+    DirectElement {
+        /// The element name.
+        name: Name,
+        /// `true` when written `<E?>` — construct only if content
+        /// is non-empty (§3.1).
+        conditional: bool,
+        /// Attribute constructors.
+        attributes: Vec<AttrConstructor>,
+        /// Child content: text chunks and enclosed expressions.
+        content: Vec<Expr>,
+        /// Namespace declarations written on the tag.
+        namespaces: Vec<(String, String)>,
+        /// Default-namespace declaration written on the tag, if any.
+        default_ns: Option<String>,
+    },
+    /// `e instance of T`.
+    InstanceOf(Box<Expr>, SeqTypeAst),
+    /// `e cast as T`.
+    CastAs(Box<Expr>, SeqTypeAst),
+    /// `e castable as T`.
+    CastableAs(Box<Expr>, SeqTypeAst),
+    /// `e treat as T`.
+    TreatAs(Box<Expr>, SeqTypeAst),
+    /// The error placeholder substituted during design-time error
+    /// recovery (§4.1); carries the salvageable sub-expressions.
+    Error(Vec<Expr>),
+}
+
+/// One `typeswitch` case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeswitchCase {
+    /// Case variable, if bound.
+    pub var: Option<String>,
+    /// The matched type.
+    pub ty: SeqTypeAst,
+    /// The branch body.
+    pub body: Expr,
+}
+
+/// An attribute constructor inside a direct element constructor. The
+/// value is a list of literal/enclosed parts; `conditional` marks the
+/// ALDSP `name?="…"` extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrConstructor {
+    /// The attribute name.
+    pub name: Name,
+    /// `true` when written `name?=…` — emit only if the value is
+    /// non-empty.
+    pub conditional: bool,
+    /// Value parts: string literals and enclosed expressions.
+    pub value: Vec<Expr>,
+}
+
+/// One FLW(G)OR clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `for $v (at $p)? in e`.
+    For {
+        /// Binding variable.
+        var: String,
+        /// Positional variable, if any.
+        pos_var: Option<String>,
+        /// Declared type annotation, if any.
+        ty: Option<SeqTypeAst>,
+        /// The domain expression.
+        source: Expr,
+    },
+    /// `let $v := e`.
+    Let {
+        /// Binding variable.
+        var: String,
+        /// Declared type annotation, if any.
+        ty: Option<SeqTypeAst>,
+        /// The bound expression.
+        value: Expr,
+    },
+    /// `where e`.
+    Where(Expr),
+    /// The ALDSP group clause:
+    /// `group ($v1 as $v2 (, …)*)? by e1 (as $k1)? (, e2 (as $k2)?)*`.
+    GroupBy {
+        /// Regrouped variables: each `(source var, sequence var)` pair.
+        bindings: Vec<GroupBinding>,
+        /// Grouping keys.
+        keys: Vec<GroupKey>,
+    },
+    /// `order by e (ascending|descending)? (, …)*`.
+    OrderBy(Vec<OrderSpec>),
+}
+
+/// One `group $a as $b` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBinding {
+    /// The pre-grouping variable.
+    pub from: String,
+    /// The variable bound to the per-group sequence.
+    pub to: String,
+}
+
+/// One grouping key `expr (as $name)?`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupKey {
+    /// The grouping expression.
+    pub expr: Expr,
+    /// The key's binding name, if given.
+    pub alias: Option<String>,
+}
+
+/// One `order by` specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    /// The ordering key expression.
+    pub expr: Expr,
+    /// `true` for `descending`.
+    pub descending: bool,
+    /// `true` for `empty least` (the default).
+    pub empty_least: bool,
+}
+
+/// A node-name test in a step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NameTest {
+    /// A specific name.
+    Name(Name),
+    /// `*`.
+    Wildcard,
+}
+
+/// One path step with its predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node-name test.
+    pub test: NameTest,
+    /// Predicates applied to the step result.
+    pub predicates: Vec<Expr>,
+}
+
+/// Supported axes — the data-centric subset (the paper notes "complex
+/// path expressions" are simply not pushable, §4.3; descendant is kept
+/// for in-memory navigation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::` (default).
+    Child,
+    /// `attribute::` / `@`.
+    Attribute,
+    /// `descendant-or-self::node()/` — the `//` abbreviation.
+    DescendantOrSelf,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_attr_parsing() {
+        let p = Pragma::parse(
+            r#"function dsml:CUSTOMER kind="read" sourceType="relational" connection="db1""#,
+        );
+        assert_eq!(p.get("kind"), Some("read"));
+        assert_eq!(p.get("connection"), Some("db1"));
+        assert_eq!(p.get("missing"), None);
+    }
+
+    #[test]
+    fn pragma_tolerates_noise() {
+        let p = Pragma::parse("   ...  kind=\"navigate\" <xml>junk</xml> key=\"CID\"");
+        assert_eq!(p.get("kind"), Some("navigate"));
+        assert_eq!(p.get("key"), Some("CID"));
+    }
+
+    #[test]
+    fn name_parse_and_resolve() {
+        let n = Name::parse("tns:getProfile");
+        assert_eq!(n.prefix.as_deref(), Some("tns"));
+        let lookup = |p: &str| (p == "tns").then(|| "urn:profile".to_string());
+        let q = n.resolve(&lookup, None).unwrap();
+        assert_eq!(q.uri(), Some("urn:profile"));
+        assert_eq!(q.local_name(), "getProfile");
+        // unprefixed with default
+        let u = Name::parse("CUSTOMER").resolve(&lookup, Some("urn:d")).unwrap();
+        assert_eq!(u.uri(), Some("urn:d"));
+        // unbound prefix
+        assert!(Name::parse("zz:x").resolve(&lookup, None).is_none());
+    }
+
+    #[test]
+    fn span_union() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+    }
+}

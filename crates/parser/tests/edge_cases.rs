@@ -1,0 +1,110 @@
+//! Parser edge cases: tricky lexical boundaries, recovery behavior,
+//! and constructor corner cases.
+
+use aldsp_parser::ast::{Clause, ExprKind};
+use aldsp_parser::{parse_expr, parse_module, parse_module_strict};
+
+#[test]
+fn less_than_vs_constructor_disambiguation() {
+    // `$a < $b` is a comparison; `<b/>` is a constructor — the decisive
+    // character is what immediately follows '<'
+    let cmp = parse_expr("$a < $b").expect("comparison parses");
+    assert!(matches!(cmp.kind, ExprKind::Comparison { .. }));
+    let ctor = parse_expr("<b/>").expect("constructor parses");
+    assert!(matches!(ctor.kind, ExprKind::DirectElement { .. }));
+    let ok = parse_expr("($a) < ($b)").expect("parenthesized comparison");
+    assert!(matches!(ok.kind, ExprKind::Comparison { .. }));
+}
+
+#[test]
+fn nested_flwors_and_keyword_names() {
+    let e = parse_expr(
+        "for $for in (1,2) return for $let in (3) return $for + $let",
+    )
+    .expect("keywords are valid variable names");
+    let ExprKind::Flwor { ret, .. } = &e.kind else { panic!() };
+    assert!(matches!(&ret.kind, ExprKind::Flwor { .. }));
+}
+
+#[test]
+fn multi_variable_for_desugars_to_clauses() {
+    let e = parse_expr("for $a in (1), $b in (2), $c in (3) return $a").expect("parses");
+    let ExprKind::Flwor { clauses, .. } = &e.kind else { panic!() };
+    assert_eq!(clauses.len(), 3);
+    assert!(clauses.iter().all(|c| matches!(c, Clause::For { .. })));
+}
+
+#[test]
+fn positional_variable() {
+    let e = parse_expr("for $x at $i in (10,20) return $i").expect("parses");
+    let ExprKind::Flwor { clauses, .. } = &e.kind else { panic!() };
+    let Clause::For { pos_var, .. } = &clauses[0] else { panic!() };
+    assert_eq!(pos_var.as_deref(), Some("i"));
+}
+
+#[test]
+fn constructor_with_comment_inside() {
+    let e = parse_expr("<a><!-- note --><b/></a>").expect("parses");
+    let ExprKind::DirectElement { content, .. } = &e.kind else { panic!() };
+    assert_eq!(content.len(), 1, "comment skipped");
+}
+
+#[test]
+fn deeply_nested_parens_and_sequences() {
+    let e = parse_expr("(((1, (2, (3))), 4))").expect("parses");
+    assert!(matches!(e.kind, ExprKind::Sequence(_)));
+}
+
+#[test]
+fn recovery_survives_garbage_between_declarations() {
+    let src = r#"
+        declare namespace a = "u1";
+        THIS IS NOT XQUERY AT ALL ;;;
+        declare function f:ok() { 42 };
+    "#;
+    let (m, diags) = parse_module(src);
+    assert!(!diags.is_empty());
+    assert_eq!(m.functions.len(), 1);
+    assert_eq!(m.namespaces.len(), 1);
+}
+
+#[test]
+fn strict_mode_positions_are_meaningful() {
+    let err = parse_module_strict("declare namespace = \"u\";").expect_err("bad prolog");
+    assert!(err.span.start > 0);
+    assert!(err.message.contains("expected a name"), "{}", err.message);
+}
+
+#[test]
+fn empty_module_is_valid() {
+    let m = parse_module_strict("").expect("empty module");
+    assert!(m.functions.is_empty() && m.body.is_none());
+}
+
+#[test]
+fn trailing_semicolons_and_whitespace() {
+    let m = parse_module_strict(
+        "declare namespace a = \"u\";\n\n   (: comment :)\n   1 + 1",
+    )
+    .expect("parses");
+    assert!(m.body.is_some());
+}
+
+#[test]
+fn attribute_value_with_both_quote_styles() {
+    let e = parse_expr(r#"<e a='single' b="double"/>"#).expect("parses");
+    let ExprKind::DirectElement { attributes, .. } = &e.kind else { panic!() };
+    assert_eq!(attributes.len(), 2);
+}
+
+#[test]
+fn very_long_flwor_pipeline() {
+    let mut src = String::from("for $x0 in (1) ");
+    for i in 1..40 {
+        src.push_str(&format!("let $x{i} := $x{} + 1 ", i - 1));
+    }
+    src.push_str("return $x39");
+    let e = parse_expr(&src).expect("parses");
+    let ExprKind::Flwor { clauses, .. } = &e.kind else { panic!() };
+    assert_eq!(clauses.len(), 40);
+}

@@ -1,0 +1,284 @@
+//! Catalog: table schemas, keys and constraints.
+//!
+//! ALDSP introspects relational catalogs to build physical data services
+//! (§2.1, §3.2): one read function per table plus navigation functions
+//! derived from foreign keys. This module is the catalog those
+//! introspections read.
+
+use crate::types::SqlType;
+use std::collections::HashMap;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// SQL type.
+    pub ty: SqlType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A NOT NULL column.
+    pub fn required(name: &str, ty: SqlType) -> Column {
+        Column { name: name.to_string(), ty, nullable: false }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, ty: SqlType) -> Column {
+        Column { name: name.to_string(), ty, nullable: true }
+    }
+}
+
+/// A foreign-key constraint: `columns` reference `ref_columns` of
+/// `ref_table`. Introspection turns these into navigation functions
+/// encapsulating the join path (§2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForeignKey {
+    /// Referencing columns (in this table).
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns (normally the referenced table's primary key).
+    pub ref_columns: Vec<String>,
+}
+
+/// One table's schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// Primary-key column names (empty when the table has no PK).
+    pub primary_key: Vec<String>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Start building a schema.
+    pub fn builder(name: &str) -> TableSchemaBuilder {
+        TableSchemaBuilder {
+            schema: TableSchema {
+                name: name.to_string(),
+                columns: Vec::new(),
+                primary_key: Vec::new(),
+                foreign_keys: Vec::new(),
+            },
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Indices of the primary-key columns.
+    pub fn pk_indices(&self) -> Vec<usize> {
+        self.primary_key
+            .iter()
+            .filter_map(|n| self.column_index(n))
+            .collect()
+    }
+}
+
+/// Fluent builder for [`TableSchema`].
+pub struct TableSchemaBuilder {
+    schema: TableSchema,
+}
+
+impl TableSchemaBuilder {
+    /// Add a NOT NULL column.
+    pub fn col(mut self, name: &str, ty: SqlType) -> Self {
+        self.schema.columns.push(Column::required(name, ty));
+        self
+    }
+
+    /// Add a nullable column.
+    pub fn col_null(mut self, name: &str, ty: SqlType) -> Self {
+        self.schema.columns.push(Column::nullable(name, ty));
+        self
+    }
+
+    /// Set the primary key.
+    pub fn pk(mut self, cols: &[&str]) -> Self {
+        self.schema.primary_key = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Add a foreign key.
+    pub fn fk(mut self, cols: &[&str], ref_table: &str, ref_cols: &[&str]) -> Self {
+        self.schema.foreign_keys.push(ForeignKey {
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+            ref_table: ref_table.to_string(),
+            ref_columns: ref_cols.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Finish, validating key references.
+    pub fn build(self) -> Result<TableSchema, String> {
+        let s = self.schema;
+        for k in &s.primary_key {
+            if s.column_index(k).is_none() {
+                return Err(format!("primary key column '{k}' not in table '{}'", s.name));
+            }
+            if s.column(k).expect("checked").nullable {
+                return Err(format!("primary key column '{k}' must be NOT NULL"));
+            }
+        }
+        for fk in &s.foreign_keys {
+            if fk.columns.len() != fk.ref_columns.len() {
+                return Err(format!(
+                    "foreign key on '{}' has mismatched column counts",
+                    s.name
+                ));
+            }
+            for c in &fk.columns {
+                if s.column_index(c).is_none() {
+                    return Err(format!("foreign key column '{c}' not in table '{}'", s.name));
+                }
+            }
+        }
+        Ok(s)
+    }
+}
+
+/// A database catalog: the set of table schemas, introspectable by name.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableSchema>,
+    order: Vec<String>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Add a table schema; cross-table FK targets are validated lazily by
+    /// [`Catalog::validate`].
+    pub fn add(&mut self, schema: TableSchema) -> Result<(), String> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(format!("duplicate table '{}'", schema.name));
+        }
+        self.order.push(schema.name.clone());
+        self.tables.insert(schema.name.clone(), schema);
+        Ok(())
+    }
+
+    /// Look up a table schema.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(name)
+    }
+
+    /// Iterate schemas in registration order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.order.iter().map(|n| &self.tables[n])
+    }
+
+    /// Check that all foreign keys reference existing tables/columns.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in self.tables.values() {
+            for fk in &t.foreign_keys {
+                let target = self.tables.get(&fk.ref_table).ok_or_else(|| {
+                    format!(
+                        "table '{}' references missing table '{}'",
+                        t.name, fk.ref_table
+                    )
+                })?;
+                for c in &fk.ref_columns {
+                    if target.column_index(c).is_none() {
+                        return Err(format!(
+                            "foreign key from '{}' references missing column '{}.{c}'",
+                            t.name, fk.ref_table
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer() -> TableSchema {
+        TableSchema::builder("CUSTOMER")
+            .col("CID", SqlType::Varchar)
+            .col("LAST_NAME", SqlType::Varchar)
+            .col_null("FIRST_NAME", SqlType::Varchar)
+            .col_null("SINCE", SqlType::Integer)
+            .pk(&["CID"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_lookup() {
+        let c = customer();
+        assert_eq!(c.column_index("LAST_NAME"), Some(1));
+        assert_eq!(c.pk_indices(), vec![0]);
+        assert!(c.column("FIRST_NAME").unwrap().nullable);
+    }
+
+    #[test]
+    fn pk_must_exist_and_be_not_null() {
+        assert!(TableSchema::builder("T")
+            .col("A", SqlType::Integer)
+            .pk(&["B"])
+            .build()
+            .is_err());
+        assert!(TableSchema::builder("T")
+            .col_null("A", SqlType::Integer)
+            .pk(&["A"])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn catalog_fk_validation() {
+        let mut cat = Catalog::new();
+        cat.add(customer()).unwrap();
+        cat.add(
+            TableSchema::builder("ORDER")
+                .col("OID", SqlType::Integer)
+                .col("CID", SqlType::Varchar)
+                .pk(&["OID"])
+                .fk(&["CID"], "CUSTOMER", &["CID"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(cat.validate().is_ok());
+        assert_eq!(cat.tables().count(), 2);
+        // dangling FK caught
+        let mut bad = Catalog::new();
+        bad.add(
+            TableSchema::builder("X")
+                .col("A", SqlType::Integer)
+                .fk(&["A"], "MISSING", &["A"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.add(customer()).unwrap();
+        assert!(cat.add(customer()).is_err());
+    }
+}

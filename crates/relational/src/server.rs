@@ -1,0 +1,341 @@
+//! The simulated relational server.
+//!
+//! The paper's experiments ran against real Oracle/DB2/SQL Server/Sybase
+//! installations reached over JDBC; the behaviours ALDSP's query
+//! processor actually depends on are (a) which SQL text the backend
+//! accepts — modeled by [`Dialect`] — and (b) the *cost shape* of
+//! talking to it: a per-roundtrip latency plus a per-row transfer cost.
+//! [`RelationalServer`] wraps the in-memory [`Database`] with exactly
+//! those: a configurable latency model, roundtrip/row counters, a SQL
+//! statement log (used by the Table 1–2 goldens), availability/failure
+//! injection (for `fn-bea:fail-over` / `fn-bea:timeout`, §5.6), and an
+//! XA-style two-phase-commit interface (§6).
+
+use crate::dialect::{render_select, Dialect};
+use crate::dml::{render_dml, Dml};
+use crate::exec::ResultSet;
+use crate::sql::Select;
+use crate::store::Database;
+use crate::types::SqlValue;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The simulated cost of one interaction with the backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyModel {
+    /// Fixed cost per statement execution (network + parse + plan).
+    pub per_roundtrip: Duration,
+    /// Incremental cost per returned row (transfer).
+    pub per_row: Duration,
+}
+
+impl LatencyModel {
+    /// No simulated latency (unit tests).
+    pub fn none() -> LatencyModel {
+        LatencyModel::default()
+    }
+
+    /// A typical LAN database: fixed per-roundtrip cost.
+    pub fn lan(roundtrip_micros: u64) -> LatencyModel {
+        LatencyModel {
+            per_roundtrip: Duration::from_micros(roundtrip_micros),
+            per_row: Duration::ZERO,
+        }
+    }
+}
+
+/// Execution statistics — the observable side of the PP-k trade-off
+/// (§4.2: "k trades roundtrips against middleware memory").
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Number of statement executions.
+    pub roundtrips: u64,
+    /// Total rows returned.
+    pub rows_returned: u64,
+    /// Rendered SQL texts, in execution order.
+    pub statements: Vec<String>,
+}
+
+/// A simulated relational backend.
+pub struct RelationalServer {
+    name: String,
+    dialect: Dialect,
+    db: RwLock<Database>,
+    latency: RwLock<LatencyModel>,
+    stats: Mutex<ServerStats>,
+    available: AtomicBool,
+    fail_on_prepare: AtomicBool,
+    supports_xa: bool,
+    next_tx: AtomicU64,
+    pending: Mutex<HashMap<u64, Vec<(Dml, Vec<SqlValue>)>>>,
+}
+
+impl RelationalServer {
+    /// Wrap a database as a server speaking `dialect`.
+    pub fn new(name: &str, dialect: Dialect, db: Database) -> RelationalServer {
+        RelationalServer {
+            name: name.to_string(),
+            dialect,
+            db: RwLock::new(db),
+            latency: RwLock::new(LatencyModel::none()),
+            stats: Mutex::new(ServerStats::default()),
+            available: AtomicBool::new(true),
+            fail_on_prepare: AtomicBool::new(false),
+            supports_xa: true,
+            next_tx: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The connection name (ALDSP's pragma `connection` attribute, §3.2).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The vendor dialect.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Whether this source can participate in two-phase commit (§6).
+    pub fn supports_xa(&self) -> bool {
+        self.supports_xa
+    }
+
+    /// Install a latency model.
+    pub fn set_latency(&self, l: LatencyModel) {
+        *self.latency.write() = l;
+    }
+
+    /// Mark the server (un)available — drives failover experiments.
+    pub fn set_available(&self, up: bool) {
+        self.available.store(up, Ordering::SeqCst);
+    }
+
+    /// Make the next `prepare` fail — drives 2PC abort tests.
+    pub fn fail_next_prepare(&self) {
+        self.fail_on_prepare.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot the statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.lock().clone()
+    }
+
+    /// Reset counters and the statement log.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = ServerStats::default();
+    }
+
+    /// Direct read access to the underlying database (tests, loaders).
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db.read())
+    }
+
+    /// Direct write access to the underlying database (loaders).
+    pub fn with_db_mut<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.db.write())
+    }
+
+    fn charge(&self, rows: usize, sql: String) -> Result<(), String> {
+        if !self.available.load(Ordering::SeqCst) {
+            return Err(format!("data source '{}' is unavailable", self.name));
+        }
+        let l = *self.latency.read();
+        if l.per_roundtrip > Duration::ZERO {
+            std::thread::sleep(l.per_roundtrip);
+        }
+        if l.per_row > Duration::ZERO && rows > 0 {
+            std::thread::sleep(l.per_row * rows as u32);
+        }
+        let mut s = self.stats.lock();
+        s.roundtrips += 1;
+        s.rows_returned += rows as u64;
+        s.statements.push(sql);
+        Ok(())
+    }
+
+    /// Execute a SELECT (one roundtrip).
+    pub fn execute_select(
+        &self,
+        q: &Select,
+        params: &[SqlValue],
+    ) -> Result<ResultSet, String> {
+        if !self.available.load(Ordering::SeqCst) {
+            return Err(format!("data source '{}' is unavailable", self.name));
+        }
+        let rs = self.db.read().execute_select(q, params)?;
+        self.charge(rs.rows.len(), render_select(q, self.dialect))?;
+        Ok(rs)
+    }
+
+    /// Execute a single autocommitted DML statement (one roundtrip).
+    pub fn execute_dml(&self, stmt: &Dml, params: &[SqlValue]) -> Result<usize, String> {
+        if !self.available.load(Ordering::SeqCst) {
+            return Err(format!("data source '{}' is unavailable", self.name));
+        }
+        let n = self.db.write().execute_dml(stmt, params)?;
+        self.charge(n, render_dml(stmt, self.dialect))?;
+        Ok(n)
+    }
+
+    // ---- XA-style two-phase commit (§6) ---------------------------------
+
+    /// Phase 1: validate the statements (dry-run against a snapshot) and
+    /// buffer them. Returns a transaction id for `commit`/`rollback`.
+    pub fn prepare(&self, stmts: Vec<(Dml, Vec<SqlValue>)>) -> Result<u64, String> {
+        if !self.available.load(Ordering::SeqCst) {
+            return Err(format!("data source '{}' is unavailable", self.name));
+        }
+        if self.fail_on_prepare.swap(false, Ordering::SeqCst) {
+            return Err(format!("injected prepare failure on '{}'", self.name));
+        }
+        // dry run on a snapshot so prepare guarantees commit will succeed
+        let mut snapshot = self.db.read().clone();
+        for (stmt, params) in &stmts {
+            snapshot.execute_dml(stmt, params)?;
+        }
+        let tx = self.next_tx.fetch_add(1, Ordering::SeqCst);
+        self.pending.lock().insert(tx, stmts);
+        Ok(tx)
+    }
+
+    /// Phase 2: apply a prepared transaction.
+    pub fn commit(&self, tx: u64) -> Result<usize, String> {
+        let stmts = self
+            .pending
+            .lock()
+            .remove(&tx)
+            .ok_or_else(|| format!("unknown transaction {tx} on '{}'", self.name))?;
+        let mut total = 0;
+        let mut db = self.db.write();
+        for (stmt, params) in &stmts {
+            total += db.execute_dml(stmt, params)?;
+            record_commit_statement(self, stmt);
+        }
+        Ok(total)
+    }
+
+    /// Abort a prepared transaction.
+    pub fn rollback(&self, tx: u64) {
+        self.pending.lock().remove(&tx);
+    }
+}
+
+fn record_commit_statement(server: &RelationalServer, stmt: &Dml) {
+    let mut s = server.stats.lock();
+    s.roundtrips += 1;
+    s.statements.push(render_dml(stmt, server.dialect));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableSchema;
+    use crate::dml::{Delete, Update};
+    use crate::sql::{ScalarExpr, TableRef};
+    use crate::types::SqlType;
+
+    fn server() -> RelationalServer {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("CUSTOMER")
+                .col("CID", SqlType::Varchar)
+                .col("LAST_NAME", SqlType::Varchar)
+                .pk(&["CID"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("Jones")])
+            .unwrap();
+        RelationalServer::new("db1", Dialect::Oracle, db)
+    }
+
+    fn select_all() -> Select {
+        Select::new(TableRef::table("CUSTOMER", "t1"))
+            .column(ScalarExpr::col("t1", "CID"), "c1")
+    }
+
+    #[test]
+    fn select_records_stats_and_sql() {
+        let s = server();
+        let rs = s.execute_select(&select_all(), &[]).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        let st = s.stats();
+        assert_eq!(st.roundtrips, 1);
+        assert_eq!(st.rows_returned, 1);
+        assert!(st.statements[0].starts_with("SELECT t1.\"CID\" AS c1"));
+    }
+
+    #[test]
+    fn unavailable_server_errors() {
+        let s = server();
+        s.set_available(false);
+        assert!(s.execute_select(&select_all(), &[]).is_err());
+        s.set_available(true);
+        assert!(s.execute_select(&select_all(), &[]).is_ok());
+    }
+
+    #[test]
+    fn latency_is_charged() {
+        let s = server();
+        s.set_latency(LatencyModel::lan(2000)); // 2ms per roundtrip
+        let t0 = std::time::Instant::now();
+        for _ in 0..5 {
+            s.execute_select(&select_all(), &[]).unwrap();
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(s.stats().roundtrips, 5);
+    }
+
+    #[test]
+    fn two_phase_commit_applies_atomically() {
+        let s = server();
+        let upd = Dml::Update(Update {
+            table: "CUSTOMER".into(),
+            alias: "t1".into(),
+            set: vec![("LAST_NAME".into(), ScalarExpr::lit(SqlValue::str("Smith")))],
+            where_: Some(ScalarExpr::col("t1", "CID").eq(ScalarExpr::Param(0))),
+        });
+        let tx = s.prepare(vec![(upd, vec![SqlValue::str("C1")])]).unwrap();
+        // not yet applied
+        assert_eq!(
+            s.with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
+            SqlValue::str("Jones")
+        );
+        s.commit(tx).unwrap();
+        assert_eq!(
+            s.with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
+            SqlValue::str("Smith")
+        );
+        assert!(s.commit(tx).is_err(), "double commit rejected");
+    }
+
+    #[test]
+    fn prepare_dry_runs_and_can_fail() {
+        let s = server();
+        // invalid statement caught at prepare time
+        let bad = Dml::Delete(Delete {
+            table: "NOPE".into(),
+            alias: "t1".into(),
+            where_: None,
+        });
+        assert!(s.prepare(vec![(bad, vec![])]).is_err());
+        // injected failure
+        s.fail_next_prepare();
+        let ok = Dml::Delete(Delete {
+            table: "CUSTOMER".into(),
+            alias: "t1".into(),
+            where_: None,
+        });
+        assert!(s.prepare(vec![(ok.clone(), vec![])]).is_err());
+        // next prepare succeeds and rollback discards
+        let tx = s.prepare(vec![(ok, vec![])]).unwrap();
+        s.rollback(tx);
+        assert!(s.commit(tx).is_err());
+        assert_eq!(s.with_db(|d| d.table("CUSTOMER").unwrap().len()), 1);
+    }
+}

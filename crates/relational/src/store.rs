@@ -1,0 +1,370 @@
+//! Row storage: tables and databases.
+//!
+//! Tables enforce their schema on insert (arity, types, NOT NULL, primary
+//! key uniqueness); the [`Database`] additionally checks foreign keys.
+//! A primary-key hash index backs both constraint checking and the
+//! runtime's index-nested-loop joins.
+
+use crate::catalog::{Catalog, TableSchema};
+use crate::types::SqlValue;
+use std::collections::HashMap;
+
+/// One stored row.
+pub type Row = Vec<SqlValue>;
+
+/// Hashable rendering of a key tuple (PKs never contain NULLs, and the
+/// literal rendering is injective per type).
+fn key_string(vals: &[SqlValue]) -> String {
+    let mut s = String::new();
+    for v in vals {
+        s.push_str(&v.sql_literal());
+        s.push('\u{1}');
+    }
+    s
+}
+
+/// A table: schema plus rows plus a primary-key index.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+    pk_index: HashMap<String, usize>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Table {
+        Table { schema, rows: Vec::new(), pk_index: HashMap::new() }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The stored rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn check_row(&self, row: &Row) -> Result<(), String> {
+        if row.len() != self.schema.columns.len() {
+            return Err(format!(
+                "table '{}': expected {} values, got {}",
+                self.schema.name,
+                self.schema.columns.len(),
+                row.len()
+            ));
+        }
+        for (v, c) in row.iter().zip(&self.schema.columns) {
+            if v.is_null() && !c.nullable {
+                return Err(format!(
+                    "table '{}': column '{}' is NOT NULL",
+                    self.schema.name, c.name
+                ));
+            }
+            if !v.conforms_to(c.ty) {
+                return Err(format!(
+                    "table '{}': value {v} does not conform to {} {}",
+                    self.schema.name, c.name, c.ty
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn pk_key(&self, row: &Row) -> Option<String> {
+        let idx = self.schema.pk_indices();
+        if idx.is_empty() {
+            return None;
+        }
+        let vals: Vec<SqlValue> = idx.iter().map(|&i| row[i].clone()).collect();
+        Some(key_string(&vals))
+    }
+
+    /// Insert a row, enforcing schema and PK uniqueness.
+    pub fn insert(&mut self, row: Row) -> Result<(), String> {
+        self.check_row(&row)?;
+        if let Some(key) = self.pk_key(&row) {
+            if self.pk_index.contains_key(&key) {
+                return Err(format!(
+                    "table '{}': duplicate primary key {key:?}",
+                    self.schema.name
+                ));
+            }
+            self.pk_index.insert(key, self.rows.len());
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Look up a row index by primary-key values.
+    pub fn lookup_pk(&self, key_vals: &[SqlValue]) -> Option<usize> {
+        self.pk_index.get(&key_string(key_vals)).copied()
+    }
+
+    /// In-place update of row `i` (used by the DML executor). The caller
+    /// must re-validate; PK changes rebuild the index entry.
+    pub(crate) fn replace_row(&mut self, i: usize, new: Row) -> Result<(), String> {
+        self.check_row(&new)?;
+        let old_key = self.pk_key(&self.rows[i]);
+        let new_key = self.pk_key(&new);
+        if old_key != new_key {
+            if let Some(nk) = &new_key {
+                if self.pk_index.contains_key(nk) {
+                    return Err(format!(
+                        "table '{}': duplicate primary key after update",
+                        self.schema.name
+                    ));
+                }
+            }
+            if let Some(ok) = old_key {
+                self.pk_index.remove(&ok);
+            }
+            if let Some(nk) = new_key {
+                self.pk_index.insert(nk, i);
+            }
+        }
+        self.rows[i] = new;
+        Ok(())
+    }
+
+    /// Delete rows by indices (sorted ascending); rebuilds the PK index.
+    pub(crate) fn delete_rows(&mut self, indices: &[usize]) {
+        let mut keep = Vec::with_capacity(self.rows.len() - indices.len());
+        let mut del = indices.iter().peekable();
+        for (i, row) in self.rows.drain(..).enumerate() {
+            if del.peek() == Some(&&i) {
+                del.next();
+            } else {
+                keep.push(row);
+            }
+        }
+        self.rows = keep;
+        self.pk_index.clear();
+        for i in 0..self.rows.len() {
+            if let Some(k) = {
+                let idx = self.schema.pk_indices();
+                if idx.is_empty() {
+                    None
+                } else {
+                    let vals: Vec<SqlValue> = idx.iter().map(|&j| self.rows[i][j].clone()).collect();
+                    Some(key_string(&vals))
+                }
+            } {
+                self.pk_index.insert(k, i);
+            }
+        }
+    }
+}
+
+/// An in-memory database: a catalog plus table storage.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    order: Vec<String>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create a table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), String> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(format!("table '{}' already exists", schema.name));
+        }
+        self.order.push(schema.name.clone());
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Access a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// The catalog view of this database (schemas only).
+    pub fn catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for name in &self.order {
+            c.add(self.tables[name].schema().clone()).expect("names unique");
+        }
+        c
+    }
+
+    /// Insert a row with foreign-key checking.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<(), String> {
+        // FK existence checks against current contents
+        let schema = self
+            .tables
+            .get(table)
+            .ok_or_else(|| format!("no table '{table}'"))?
+            .schema()
+            .clone();
+        for fk in &schema.foreign_keys {
+            let vals: Vec<SqlValue> = fk
+                .columns
+                .iter()
+                .map(|c| row[schema.column_index(c).expect("validated")].clone())
+                .collect();
+            if vals.iter().any(SqlValue::is_null) {
+                continue; // NULL FK values are exempt per SQL
+            }
+            let target = self
+                .tables
+                .get(&fk.ref_table)
+                .ok_or_else(|| format!("foreign key references missing table '{}'", fk.ref_table))?;
+            // only indexable when referencing the PK, which is the
+            // introspection-relevant case
+            if fk.ref_columns == target.schema().primary_key {
+                if target.lookup_pk(&vals).is_none() {
+                    return Err(format!(
+                        "foreign key violation: {table} → {}({:?})",
+                        fk.ref_table, fk.ref_columns
+                    ));
+                }
+            } else {
+                let idx: Vec<usize> = fk
+                    .ref_columns
+                    .iter()
+                    .map(|c| target.schema().column_index(c).expect("validated"))
+                    .collect();
+                if !target.rows().iter().any(|r| {
+                    idx.iter().zip(&vals).all(|(&i, v)| r[i].group_eq(v))
+                }) {
+                    return Err(format!(
+                        "foreign key violation: {table} → {}({:?})",
+                        fk.ref_table, fk.ref_columns
+                    ));
+                }
+            }
+        }
+        self.tables
+            .get_mut(table)
+            .expect("checked above")
+            .insert(row)
+    }
+
+    /// Total rows across all tables (diagnostics).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableSchema;
+    use crate::types::SqlType;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_table(
+            TableSchema::builder("CUSTOMER")
+                .col("CID", SqlType::Varchar)
+                .col("LAST_NAME", SqlType::Varchar)
+                .col_null("SINCE", SqlType::Integer)
+                .pk(&["CID"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        d.create_table(
+            TableSchema::builder("ORDER")
+                .col("OID", SqlType::Integer)
+                .col("CID", SqlType::Varchar)
+                .pk(&["OID"])
+                .fk(&["CID"], "CUSTOMER", &["CID"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn insert_and_pk_lookup() {
+        let mut d = db();
+        d.insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("Jones"), SqlValue::Int(5)])
+            .unwrap();
+        d.insert("CUSTOMER", vec![SqlValue::str("C2"), SqlValue::str("Smith"), SqlValue::Null])
+            .unwrap();
+        let t = d.table("CUSTOMER").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup_pk(&[SqlValue::str("C2")]), Some(1));
+        assert_eq!(t.lookup_pk(&[SqlValue::str("C9")]), None);
+    }
+
+    #[test]
+    fn constraint_violations() {
+        let mut d = db();
+        d.insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("J"), SqlValue::Null])
+            .unwrap();
+        // duplicate PK
+        assert!(d
+            .insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("K"), SqlValue::Null])
+            .is_err());
+        // NOT NULL
+        assert!(d
+            .insert("CUSTOMER", vec![SqlValue::str("C2"), SqlValue::Null, SqlValue::Null])
+            .is_err());
+        // type mismatch
+        assert!(d
+            .insert("CUSTOMER", vec![SqlValue::Int(3), SqlValue::str("K"), SqlValue::Null])
+            .is_err());
+        // arity
+        assert!(d.insert("CUSTOMER", vec![SqlValue::str("C3")]).is_err());
+    }
+
+    #[test]
+    fn foreign_keys_enforced() {
+        let mut d = db();
+        d.insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("J"), SqlValue::Null])
+            .unwrap();
+        d.insert("ORDER", vec![SqlValue::Int(1), SqlValue::str("C1")]).unwrap();
+        assert!(d.insert("ORDER", vec![SqlValue::Int(2), SqlValue::str("C9")]).is_err());
+    }
+
+    #[test]
+    fn replace_and_delete_maintain_pk_index() {
+        let mut d = db();
+        for i in 0..5 {
+            d.insert(
+                "CUSTOMER",
+                vec![SqlValue::str(&format!("C{i}")), SqlValue::str("X"), SqlValue::Null],
+            )
+            .unwrap();
+        }
+        let t = d.table_mut("CUSTOMER").unwrap();
+        t.replace_row(1, vec![SqlValue::str("C1b"), SqlValue::str("Y"), SqlValue::Null])
+            .unwrap();
+        assert_eq!(t.lookup_pk(&[SqlValue::str("C1b")]), Some(1));
+        assert_eq!(t.lookup_pk(&[SqlValue::str("C1")]), None);
+        // PK collision on update
+        assert!(t
+            .replace_row(2, vec![SqlValue::str("C1b"), SqlValue::str("Z"), SqlValue::Null])
+            .is_err());
+        t.delete_rows(&[0, 2]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup_pk(&[SqlValue::str("C1b")]), Some(0));
+        assert_eq!(t.lookup_pk(&[SqlValue::str("C4")]), Some(2));
+    }
+}

@@ -1,0 +1,379 @@
+//! SQL types, values and three-valued logic.
+//!
+//! The substrate's value model mirrors what ALDSP's relational adaptors
+//! see through JDBC (§5.3): typed column values plus SQL NULL. The
+//! SQL↔XML type mapping (§4.3) lives here too: each SQL type maps to an
+//! XQuery atomic type, and `NULL` maps to a *missing element* on the XML
+//! side.
+
+use aldsp_xdm::value::{AtomicType, AtomicValue, Date, DateTime, Decimal};
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// SQL column types supported by the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// `VARCHAR` / `CHAR`.
+    Varchar,
+    /// `INTEGER` / `BIGINT`.
+    Integer,
+    /// `DECIMAL` / `NUMERIC`.
+    Decimal,
+    /// `FLOAT` / `DOUBLE`.
+    Double,
+    /// `DATE`.
+    Date,
+    /// `TIMESTAMP`.
+    Timestamp,
+    /// `BOOLEAN` (SQL:1999; rendered as such for engines that have it).
+    Boolean,
+}
+
+impl SqlType {
+    /// The XQuery atomic type this SQL type surfaces as (§4.3's
+    /// "well-defined set of SQL to XML data type mappings").
+    pub fn xml_type(self) -> AtomicType {
+        match self {
+            SqlType::Varchar => AtomicType::String,
+            SqlType::Integer => AtomicType::Integer,
+            SqlType::Decimal => AtomicType::Decimal,
+            SqlType::Double => AtomicType::Double,
+            SqlType::Date => AtomicType::Date,
+            SqlType::Timestamp => AtomicType::DateTime,
+            SqlType::Boolean => AtomicType::Boolean,
+        }
+    }
+
+    /// The SQL type an XQuery atomic type pushes down as (for parameters).
+    pub fn from_xml_type(t: AtomicType) -> Option<SqlType> {
+        Some(match t {
+            AtomicType::String | AtomicType::Untyped => SqlType::Varchar,
+            AtomicType::Integer => SqlType::Integer,
+            AtomicType::Decimal => SqlType::Decimal,
+            AtomicType::Double => SqlType::Double,
+            AtomicType::Date => SqlType::Date,
+            AtomicType::DateTime => SqlType::Timestamp,
+            AtomicType::Boolean => SqlType::Boolean,
+            AtomicType::AnyAtomic => return None,
+        })
+    }
+
+    /// DDL keyword for diagnostics.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SqlType::Varchar => "VARCHAR",
+            SqlType::Integer => "INTEGER",
+            SqlType::Decimal => "DECIMAL",
+            SqlType::Double => "DOUBLE",
+            SqlType::Date => "DATE",
+            SqlType::Timestamp => "TIMESTAMP",
+            SqlType::Boolean => "BOOLEAN",
+        }
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A SQL value, including NULL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// Character data.
+    Str(Arc<str>),
+    /// Integer data.
+    Int(i64),
+    /// Exact numeric data.
+    Dec(Decimal),
+    /// Approximate numeric data.
+    Dbl(f64),
+    /// Date.
+    Date(Date),
+    /// Timestamp.
+    Timestamp(DateTime),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl SqlValue {
+    /// Convenience string constructor.
+    pub fn str(s: &str) -> SqlValue {
+        SqlValue::Str(Arc::from(s))
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+
+    /// SQL comparison: `None` when either side is NULL (UNKNOWN) or the
+    /// types are incomparable.
+    pub fn compare(&self, other: &SqlValue) -> Option<Ordering> {
+        use SqlValue::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Str(a), Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Dec(a), Dec(b)) => Some(a.cmp(b)),
+            (Int(a), Dec(b)) => Some(Decimal::from_int(*a).cmp(b)),
+            (Dec(a), Int(b)) => Some(a.cmp(&Decimal::from_int(*b))),
+            (Dbl(a), Dbl(b)) => a.partial_cmp(b),
+            (Int(a), Dbl(b)) => (*a as f64).partial_cmp(b),
+            (Dbl(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Dec(a), Dbl(b)) => a.to_f64().partial_cmp(b),
+            (Dbl(a), Dec(b)) => a.partial_cmp(&b.to_f64()),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Timestamp(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Ordering for ORDER BY / GROUP BY, with NULLs ordered first
+    /// ("NULLs least"), so sorting is total.
+    pub fn order_cmp(&self, other: &SqlValue) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => self.compare(other).unwrap_or(Ordering::Equal),
+        }
+    }
+
+    /// Grouping equality: NULLs group together (SQL GROUP BY semantics,
+    /// unlike WHERE's UNKNOWN).
+    pub fn group_eq(&self, other: &SqlValue) -> bool {
+        self.order_cmp(other) == Ordering::Equal
+    }
+
+    /// Convert to the XML-side typed atomic value; NULL yields `None`
+    /// (a missing element).
+    pub fn to_xml(&self) -> Option<AtomicValue> {
+        Some(match self {
+            SqlValue::Null => return None,
+            SqlValue::Str(s) => AtomicValue::String(s.clone()),
+            SqlValue::Int(i) => AtomicValue::Integer(*i),
+            SqlValue::Dec(d) => AtomicValue::Decimal(*d),
+            SqlValue::Dbl(d) => AtomicValue::Double(*d),
+            SqlValue::Date(d) => AtomicValue::Date(*d),
+            SqlValue::Timestamp(t) => AtomicValue::DateTime(*t),
+            SqlValue::Bool(b) => AtomicValue::Boolean(*b),
+        })
+    }
+
+    /// Convert an XML-side atomic value to a SQL value, coercing to the
+    /// column type; `None` (empty sequence) becomes NULL.
+    pub fn from_xml(v: Option<&AtomicValue>, ty: SqlType) -> Result<SqlValue, String> {
+        let Some(v) = v else { return Ok(SqlValue::Null) };
+        let target = ty.xml_type();
+        let cast = v
+            .cast_to(target)
+            .map_err(|e| format!("cannot bind {} as {ty}: {e}", v.string_value()))?;
+        Ok(match cast {
+            AtomicValue::String(s) | AtomicValue::Untyped(s) => SqlValue::Str(s),
+            AtomicValue::Integer(i) => SqlValue::Int(i),
+            AtomicValue::Decimal(d) => SqlValue::Dec(d),
+            AtomicValue::Double(d) => SqlValue::Dbl(d),
+            AtomicValue::Date(d) => SqlValue::Date(d),
+            AtomicValue::DateTime(t) => SqlValue::Timestamp(t),
+            AtomicValue::Boolean(b) => SqlValue::Bool(b),
+        })
+    }
+
+    /// Does this value conform to the column type (modulo integer/decimal
+    /// widening)?
+    pub fn conforms_to(&self, ty: SqlType) -> bool {
+        matches!(
+            (self, ty),
+            (SqlValue::Null, _)
+                | (SqlValue::Str(_), SqlType::Varchar)
+                | (SqlValue::Int(_), SqlType::Integer)
+                | (SqlValue::Int(_), SqlType::Decimal)
+                | (SqlValue::Dec(_), SqlType::Decimal)
+                | (SqlValue::Dbl(_), SqlType::Double)
+                | (SqlValue::Date(_), SqlType::Date)
+                | (SqlValue::Timestamp(_), SqlType::Timestamp)
+                | (SqlValue::Bool(_), SqlType::Boolean)
+        )
+    }
+
+    /// Render as a SQL literal (used by dialect rendering for constants).
+    pub fn sql_literal(&self) -> String {
+        match self {
+            SqlValue::Null => "NULL".into(),
+            SqlValue::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            SqlValue::Int(i) => i.to_string(),
+            SqlValue::Dec(d) => d.to_string(),
+            SqlValue::Dbl(d) => format!("{d}"),
+            SqlValue::Date(d) => format!("DATE '{d}'"),
+            SqlValue::Timestamp(t) => format!("TIMESTAMP '{t}'"),
+            SqlValue::Bool(b) => if *b { "1" } else { "0" }.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => f.write_str("NULL"),
+            SqlValue::Str(s) => f.write_str(s),
+            SqlValue::Int(i) => write!(f, "{i}"),
+            SqlValue::Dec(d) => write!(f, "{d}"),
+            SqlValue::Dbl(d) => write!(f, "{d}"),
+            SqlValue::Date(d) => write!(f, "{d}"),
+            SqlValue::Timestamp(t) => write!(f, "{t}"),
+            SqlValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Three-valued logic truth values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// TRUE.
+    True,
+    /// FALSE.
+    False,
+    /// UNKNOWN (NULL involved).
+    Unknown,
+}
+
+impl Truth {
+    /// From a two-valued bool.
+    pub fn of(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// From an optional comparison result.
+    pub fn from_option(o: Option<bool>) -> Truth {
+        match o {
+            Some(true) => Truth::True,
+            Some(false) => Truth::False,
+            None => Truth::Unknown,
+        }
+    }
+
+    /// 3VL AND.
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// 3VL OR.
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// 3VL NOT.
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// WHERE-clause acceptance: only TRUE passes.
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(SqlValue::Null.compare(&SqlValue::Int(1)), None);
+        assert_eq!(SqlValue::Int(1).compare(&SqlValue::Null), None);
+        assert_eq!(
+            Truth::from_option(SqlValue::Null.compare(&SqlValue::Null).map(|o| o == Ordering::Equal)),
+            Truth::Unknown
+        );
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            SqlValue::Int(2).compare(&SqlValue::Dec(Decimal::parse("2.0").unwrap())),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            SqlValue::Dbl(1.5).compare(&SqlValue::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn order_cmp_puts_nulls_first_and_group_eq_groups_them() {
+        assert_eq!(SqlValue::Null.order_cmp(&SqlValue::Int(0)), Ordering::Less);
+        assert!(SqlValue::Null.group_eq(&SqlValue::Null));
+        assert!(!SqlValue::Null.group_eq(&SqlValue::Int(0)));
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+        assert!(!Unknown.is_true());
+    }
+
+    #[test]
+    fn xml_mapping_roundtrip() {
+        let v = SqlValue::Int(42);
+        let x = v.to_xml().unwrap();
+        assert_eq!(x, AtomicValue::Integer(42));
+        let back = SqlValue::from_xml(Some(&x), SqlType::Integer).unwrap();
+        assert_eq!(back, v);
+        // NULL ↔ missing element
+        assert_eq!(SqlValue::Null.to_xml(), None);
+        assert_eq!(SqlValue::from_xml(None, SqlType::Varchar).unwrap(), SqlValue::Null);
+        // coercion: xs:string "7" binds to INTEGER
+        let s = AtomicValue::str("7");
+        assert_eq!(
+            SqlValue::from_xml(Some(&s), SqlType::Integer).unwrap(),
+            SqlValue::Int(7)
+        );
+        assert!(SqlValue::from_xml(Some(&AtomicValue::str("x")), SqlType::Integer).is_err());
+    }
+
+    #[test]
+    fn literals_escape() {
+        assert_eq!(SqlValue::str("O'Brien").sql_literal(), "'O''Brien'");
+        assert_eq!(SqlValue::Null.sql_literal(), "NULL");
+        assert_eq!(
+            SqlValue::Date(Date::parse("2006-09-12").unwrap()).sql_literal(),
+            "DATE '2006-09-12'"
+        );
+    }
+
+    #[test]
+    fn conformance() {
+        assert!(SqlValue::Int(1).conforms_to(SqlType::Decimal));
+        assert!(!SqlValue::str("x").conforms_to(SqlType::Integer));
+        assert!(SqlValue::Null.conforms_to(SqlType::Date));
+    }
+}

@@ -1,0 +1,215 @@
+//! Deeper SQL-engine tests: HAVING, derived tables, hash-join edge
+//! cases (NULL keys, residual predicates), correlated EXISTS through
+//! derived tables, and transaction isolation corners.
+
+use aldsp_relational::{
+    AggFunc, Catalog, Database, Dialect, Dml, JoinKind, OrderBy, RelationalServer, ScalarExpr,
+    Select, SqlType, SqlValue, TableRef, TableSchema, Update,
+};
+use aldsp_xdm::item::CompOp;
+use aldsp_xdm::value::Decimal;
+use std::sync::Arc;
+
+fn col(t: &str, c: &str) -> ScalarExpr {
+    ScalarExpr::col(t, c)
+}
+
+fn db() -> Database {
+    let mut cat = Catalog::new();
+    cat.add(
+        TableSchema::builder("EMP")
+            .col("ID", SqlType::Integer)
+            .col("DEPT", SqlType::Varchar)
+            .col_null("SALARY", SqlType::Decimal)
+            .col_null("MGR", SqlType::Integer)
+            .pk(&["ID"])
+            .build()
+            .expect("schema"),
+    )
+    .expect("catalog");
+    let mut d = Database::new();
+    for t in cat.tables() {
+        d.create_table(t.clone()).expect("fresh");
+    }
+    for (id, dept, sal, mgr) in [
+        (1, "eng", Some("100"), None),
+        (2, "eng", Some("80"), Some(1)),
+        (3, "eng", None, Some(1)),
+        (4, "sales", Some("90"), Some(1)),
+        (5, "sales", Some("90"), Some(4)),
+        (6, "hr", Some("50"), None),
+    ] {
+        d.insert(
+            "EMP",
+            vec![
+                SqlValue::Int(id),
+                SqlValue::str(dept),
+                sal.map(|s| SqlValue::Dec(Decimal::parse(s).expect("lit")))
+                    .unwrap_or(SqlValue::Null),
+                mgr.map(SqlValue::Int).unwrap_or(SqlValue::Null),
+            ],
+        )
+        .expect("row");
+    }
+    d
+}
+
+#[test]
+fn having_filters_groups() {
+    let d = db();
+    let mut q = Select::new(TableRef::table("EMP", "t1"))
+        .column(col("t1", "DEPT"), "c1")
+        .column(ScalarExpr::count_star(), "c2");
+    q.group_by = vec![col("t1", "DEPT")];
+    q.having = Some(ScalarExpr::Compare {
+        op: CompOp::Ge,
+        lhs: Box::new(ScalarExpr::count_star()),
+        rhs: Box::new(ScalarExpr::lit(SqlValue::Int(2))),
+    });
+    q.order_by = vec![OrderBy { expr: col("t1", "DEPT"), descending: false }];
+    let rs = d.execute_select(&q, &[]).expect("executes");
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![SqlValue::str("eng"), SqlValue::Int(3)],
+            vec![SqlValue::str("sales"), SqlValue::Int(2)],
+        ]
+    );
+}
+
+#[test]
+fn self_join_on_manager() {
+    // hash-join path with NULL keys: employees with no manager don't
+    // match; LEFT OUTER keeps them
+    let d = db();
+    let q = Select::new(TableRef::table("EMP", "e").join(
+        JoinKind::LeftOuter,
+        TableRef::table("EMP", "m"),
+        col("e", "MGR").eq(col("m", "ID")),
+    ))
+    .column(col("e", "ID"), "c1")
+    .column(col("m", "ID"), "c2");
+    let rs = d.execute_select(&q, &[]).expect("executes");
+    assert_eq!(rs.rows.len(), 6);
+    let no_mgr: Vec<_> = rs.rows.iter().filter(|r| r[1].is_null()).collect();
+    assert_eq!(no_mgr.len(), 2, "employees 1 and 6 have NULL managers");
+}
+
+#[test]
+fn hash_join_with_residual_predicate() {
+    // equi key plus a residual non-equi condition
+    let d = db();
+    let on = col("e", "MGR")
+        .eq(col("m", "ID"))
+        .and(ScalarExpr::Compare {
+            op: CompOp::Gt,
+            lhs: Box::new(col("m", "SALARY")),
+            rhs: Box::new(col("e", "SALARY")),
+        });
+    let q = Select::new(TableRef::table("EMP", "e").join(
+        JoinKind::Inner,
+        TableRef::table("EMP", "m"),
+        on,
+    ))
+    .column(col("e", "ID"), "c1");
+    let rs = d.execute_select(&q, &[]).expect("executes");
+    // only emp 2 has a manager (1: 100) strictly richer than them (80);
+    // emp 3's NULL salary compares UNKNOWN; 4's mgr earns 100 > 90 ✓;
+    // 5's mgr earns 90 = 90 ✗
+    assert_eq!(rs.rows.len(), 2);
+}
+
+#[test]
+fn derived_table_feeding_aggregate() {
+    // SELECT AVG(c) FROM (SELECT COUNT(*) c FROM EMP GROUP BY DEPT) t
+    let d = db();
+    let mut inner = Select::new(TableRef::table("EMP", "t1"))
+        .column(ScalarExpr::count_star(), "c");
+    inner.group_by = vec![col("t1", "DEPT")];
+    let outer = Select::new(TableRef::Derived { query: Box::new(inner), alias: "t".into() })
+        .column(
+            ScalarExpr::Agg {
+                func: AggFunc::Avg,
+                arg: Some(Box::new(col("t", "c"))),
+                distinct: false,
+            },
+            "c1",
+        );
+    let rs = d.execute_select(&outer, &[]).expect("executes");
+    assert_eq!(rs.rows[0][0].to_string(), "2"); // (3+2+1)/3
+}
+
+#[test]
+fn distinct_aggregate() {
+    let d = db();
+    let q = Select::new(TableRef::table("EMP", "t1")).column(
+        ScalarExpr::Agg {
+            func: AggFunc::Count,
+            arg: Some(Box::new(col("t1", "SALARY"))),
+            distinct: true,
+        },
+        "c1",
+    );
+    let rs = d.execute_select(&q, &[]).expect("executes");
+    // distinct non-null salaries: 100, 80, 90, 50
+    assert_eq!(rs.rows[0][0], SqlValue::Int(4));
+}
+
+#[test]
+fn update_set_from_other_column_and_rollback_path() {
+    let d = db();
+    let server = Arc::new(RelationalServer::new("hr", Dialect::Sql92, d));
+    // prepared-but-rolled-back work leaves no trace
+    let raise = Dml::Update(Update {
+        table: "EMP".into(),
+        alias: "t1".into(),
+        set: vec![(
+            "SALARY".into(),
+            ScalarExpr::Arith {
+                op: aldsp_xdm::value::ArithOp::Mul,
+                lhs: Box::new(col("t1", "SALARY")),
+                rhs: Box::new(ScalarExpr::lit(SqlValue::Int(2))),
+            },
+        )],
+        where_: Some(col("t1", "DEPT").eq(ScalarExpr::lit(SqlValue::str("hr")))),
+    });
+    let tx = server.prepare(vec![(raise.clone(), vec![])]).expect("prepares");
+    server.rollback(tx);
+    let hr_salary = server.with_db(|d| d.table("EMP").expect("t").rows()[5][2].clone());
+    assert_eq!(hr_salary.to_string(), "50");
+    // committed work applies
+    let tx = server.prepare(vec![(raise, vec![])]).expect("prepares");
+    assert_eq!(server.commit(tx).expect("commits"), 1);
+    let hr_salary = server.with_db(|d| d.table("EMP").expect("t").rows()[5][2].clone());
+    assert_eq!(hr_salary.to_string(), "100");
+}
+
+#[test]
+fn pagination_offset_beyond_end() {
+    let d = db();
+    let mut q = Select::new(TableRef::table("EMP", "t1")).column(col("t1", "ID"), "c1");
+    q.order_by = vec![OrderBy { expr: col("t1", "ID"), descending: false }];
+    q.offset = Some(100);
+    q.fetch = Some(5);
+    let rs = d.execute_select(&q, &[]).expect("executes");
+    assert!(rs.rows.is_empty());
+    q.offset = Some(4);
+    q.fetch = Some(10);
+    let rs = d.execute_select(&q, &[]).expect("executes");
+    assert_eq!(rs.rows.len(), 2);
+}
+
+#[test]
+fn in_list_and_case_in_where() {
+    let d = db();
+    let mut q = Select::new(TableRef::table("EMP", "t1")).column(col("t1", "ID"), "c1");
+    q.where_ = Some(ScalarExpr::InList {
+        expr: Box::new(col("t1", "DEPT")),
+        list: vec![
+            ScalarExpr::lit(SqlValue::str("eng")),
+            ScalarExpr::lit(SqlValue::str("hr")),
+        ],
+    });
+    let rs = d.execute_select(&q, &[]).expect("executes");
+    assert_eq!(rs.rows.len(), 4);
+}

@@ -1,0 +1,157 @@
+//! The mid-tier function cache (§5.5).
+//!
+//! "The ALDSP mid-tier cache can be thought of as a persistent,
+//! distributed map that maps a function and a set of argument values to
+//! the corresponding function result." Caching is opt-in per data-service
+//! function (the designer allows it; an administrator enables it with a
+//! TTL). On a hit the cached result is returned; on a miss the call runs
+//! and its result is cached. It is a *function* cache, not a queryable
+//! materialized view — appropriate for turning high-latency service
+//! calls into lookups.
+//!
+//! The paper's implementation persists the map in a relational database
+//! shared by an ALDSP cluster; this reproduction keeps the same
+//! map-with-TTL semantics in process memory (the distribution mechanics
+//! are orthogonal to query processing — see DESIGN.md).
+
+use aldsp_xdm::item::Sequence;
+use aldsp_xdm::xml::serialize_sequence;
+use aldsp_xdm::QName;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// TTL-based cache of data-service function results.
+#[derive(Default)]
+pub struct FunctionCache {
+    policies: Mutex<HashMap<QName, Duration>>,
+    entries: Mutex<HashMap<String, (Sequence, Instant)>>,
+}
+
+impl FunctionCache {
+    /// An empty cache with no functions enabled.
+    pub fn new() -> FunctionCache {
+        FunctionCache::default()
+    }
+
+    /// Administratively enable caching for `function` with the given TTL
+    /// (the designer-permits / admin-enables split of §5.5 is collapsed
+    /// into this one call).
+    pub fn enable(&self, function: QName, ttl: Duration) {
+        self.policies.lock().insert(function, ttl);
+    }
+
+    /// Disable caching for a function (existing entries lapse naturally).
+    pub fn disable(&self, function: &QName) {
+        self.policies.lock().remove(function);
+    }
+
+    /// Is caching enabled for this function?
+    pub fn enabled(&self, function: &QName) -> bool {
+        self.policies.lock().contains_key(function)
+    }
+
+    /// The cache key: function name plus serialized argument values.
+    fn key(function: &QName, args: &[Sequence]) -> String {
+        let mut k = function.lexical();
+        for a in args {
+            k.push('\u{1}');
+            k.push_str(&serialize_sequence(a));
+        }
+        k
+    }
+
+    /// Look up a non-stale entry.
+    pub fn get(&self, function: &QName, args: &[Sequence]) -> Option<Sequence> {
+        let ttl = *self.policies.lock().get(function)?;
+        let key = Self::key(function, args);
+        let mut entries = self.entries.lock();
+        match entries.get(&key) {
+            Some((value, at)) if at.elapsed() < ttl => Some(value.clone()),
+            Some(_) => {
+                entries.remove(&key); // stale
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Store a result (no-op when the function isn't cache-enabled).
+    pub fn put(&self, function: &QName, args: &[Sequence], value: Sequence) {
+        if !self.enabled(function) {
+            return;
+        }
+        let key = Self::key(function, args);
+        self.entries.lock().insert(key, (value, Instant::now()));
+    }
+
+    /// Drop every entry (administrative flush).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_xdm::item::Item;
+
+    fn f() -> QName {
+        QName::new("urn:ws", "getRating")
+    }
+
+    #[test]
+    fn miss_put_hit() {
+        let c = FunctionCache::new();
+        c.enable(f(), Duration::from_secs(60));
+        let args = vec![vec![Item::str("Jones")]];
+        assert!(c.get(&f(), &args).is_none());
+        c.put(&f(), &args, vec![Item::int(700)]);
+        assert_eq!(c.get(&f(), &args), Some(vec![Item::int(700)]));
+        // different args are a different entry
+        assert!(c.get(&f(), &[vec![Item::str("Smith")]]).is_none());
+    }
+
+    #[test]
+    fn disabled_functions_never_cache() {
+        let c = FunctionCache::new();
+        let args = vec![vec![Item::int(1)]];
+        c.put(&f(), &args, vec![Item::int(2)]);
+        assert!(c.get(&f(), &args).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let c = FunctionCache::new();
+        c.enable(f(), Duration::from_millis(10));
+        let args = vec![vec![Item::int(1)]];
+        c.put(&f(), &args, vec![Item::int(2)]);
+        assert!(c.get(&f(), &args).is_some());
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(c.get(&f(), &args).is_none(), "stale entry must miss");
+        assert!(c.is_empty(), "stale entry evicted on lookup");
+    }
+
+    #[test]
+    fn clear_and_disable() {
+        let c = FunctionCache::new();
+        c.enable(f(), Duration::from_secs(60));
+        c.put(&f(), &[], vec![Item::int(1)]);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        c.disable(&f());
+        assert!(!c.enabled(&f()));
+    }
+}

@@ -1,0 +1,104 @@
+//! Variable environments.
+//!
+//! The runtime's FLWOR tuples are variable bindings (§5.1 notes that
+//! "XQuery's FLWOR variable bindings imply support for tuples internally
+//! in the runtime"). [`Env`] is a persistent (shared-tail) binding list:
+//! extending it is O(1) and cloning is a refcount bump, so millions of
+//! tuples can flow through the clause pipeline without copying maps —
+//! the IR-level analogue of the paper's `concat-tuples` discipline.
+
+use aldsp_xdm::item::Sequence;
+use std::sync::Arc;
+
+/// A persistent variable environment.
+#[derive(Clone, Default)]
+pub struct Env(Option<Arc<EnvNode>>);
+
+struct EnvNode {
+    var: String,
+    value: Sequence,
+    parent: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Extend with one binding (shadows earlier bindings of the same
+    /// name, though translation makes names unique).
+    pub fn bind(&self, var: &str, value: Sequence) -> Env {
+        Env(Some(Arc::new(EnvNode {
+            var: var.to_string(),
+            value,
+            parent: self.clone(),
+        })))
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, var: &str) -> Option<&Sequence> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.var == var {
+                return Some(&node.value);
+            }
+            cur = &node.parent;
+        }
+        None
+    }
+
+    /// Number of bindings (diagnostics).
+    pub fn depth(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            n += 1;
+            cur = &node.parent;
+        }
+        n
+    }
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names = Vec::new();
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            names.push(node.var.as_str());
+            cur = &node.parent;
+        }
+        write!(f, "Env[{}]", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_xdm::item::Item;
+
+    #[test]
+    fn bind_lookup_shadow() {
+        let e = Env::empty();
+        assert!(e.get("x").is_none());
+        let e1 = e.bind("x", vec![Item::int(1)]);
+        let e2 = e1.bind("y", vec![Item::int(2)]);
+        let e3 = e2.bind("x", vec![Item::int(3)]);
+        assert_eq!(e1.get("x"), Some(&vec![Item::int(1)]));
+        assert_eq!(e3.get("x"), Some(&vec![Item::int(3)]));
+        assert_eq!(e3.get("y"), Some(&vec![Item::int(2)]));
+        assert_eq!(e3.depth(), 3);
+        // e1 unaffected by later extension
+        assert_eq!(e1.depth(), 1);
+    }
+
+    #[test]
+    fn clone_shares_tail() {
+        let base = Env::empty().bind("a", vec![Item::int(1)]);
+        let b1 = base.bind("b", vec![Item::int(2)]);
+        let b2 = base.bind("b", vec![Item::int(3)]);
+        assert_eq!(b1.get("b"), Some(&vec![Item::int(2)]));
+        assert_eq!(b2.get("b"), Some(&vec![Item::int(3)]));
+        assert_eq!(b1.get("a"), b2.get("a"));
+    }
+}

@@ -1,0 +1,1373 @@
+//! The plan interpreter (§5).
+//!
+//! Evaluates the compiler's optimized expression tree. FLWOR clause
+//! lists run as a *streaming tuple pipeline* (iterators of environments
+//! — the token-iterator discipline of §5.2 at IR granularity), with the
+//! operators the paper adds for data-centric use:
+//!
+//! * [`Clause::SqlFor`] — executes generated SQL through the adaptor
+//!   layer; with a [`PpkSpec`] it runs the **PP-k** distributed join
+//!   (§4.2): k outer tuples per block, one disjunctive parameterized
+//!   fetch per block, local nested-loop or index-nested-loop join;
+//! * the single **group operator** (§5.2): streaming over pre-clustered
+//!   input, sorting first otherwise;
+//! * `fn-bea:async` (§5.4) — sibling async calls evaluate concurrently;
+//! * `fn-bea:timeout` / `fn-bea:fail-over` (§5.6);
+//! * the function cache (§5.5) wraps physical calls.
+
+use crate::cache::FunctionCache;
+use crate::env::Env;
+use crate::stats::ExecStats;
+use aldsp_adaptors::{AdaptorError, AdaptorRegistry};
+use aldsp_compiler::ir::{
+    Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec,
+};
+use aldsp_metadata::Registry;
+use aldsp_relational::{ppk_block_predicate, ResultSet, Select, SqlType, SqlValue};
+use aldsp_xdm::item::{
+    arithmetic, atomize, effective_boolean_value, general_compare, value_compare, Item, Sequence,
+};
+use aldsp_xdm::node::{Node, NodeKind, NodeRef};
+use aldsp_xdm::value::{AtomicType, AtomicValue};
+use aldsp_xdm::{QName, XdmError};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runtime errors.
+#[derive(Debug, Clone)]
+pub enum RtError {
+    /// A data-model error (type match, cast, comparison…).
+    Xdm(XdmError),
+    /// A source-access error.
+    Adaptor(AdaptorError),
+    /// A malformed or unexecutable plan.
+    Plan(String),
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::Xdm(e) => write!(f, "{e}"),
+            RtError::Adaptor(e) => write!(f, "{e}"),
+            RtError::Plan(s) => write!(f, "plan error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+impl From<XdmError> for RtError {
+    fn from(e: XdmError) -> RtError {
+        RtError::Xdm(e)
+    }
+}
+
+impl From<AdaptorError> for RtError {
+    fn from(e: AdaptorError) -> RtError {
+        RtError::Adaptor(e)
+    }
+}
+
+/// Result alias.
+pub type RtResult<T> = Result<T, RtError>;
+
+/// Shared runtime state (wrapped in `Arc` so async/timeout evaluation
+/// can move to detached threads).
+pub struct RuntimeInner {
+    /// Source metadata.
+    pub metadata: Arc<Registry>,
+    /// Live adaptors.
+    pub adaptors: Arc<AdaptorRegistry>,
+    /// The mid-tier function cache (§5.5).
+    pub cache: FunctionCache,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+type TupleIter<'a> = Box<dyn Iterator<Item = RtResult<Env>> + 'a>;
+
+/// Evaluate an expression to a sequence.
+pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> {
+    match &e.kind {
+        CKind::Const(v) => Ok(vec![Item::Atomic(v.clone())]),
+        CKind::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| RtError::Plan(format!("unbound variable ${v}"))),
+        CKind::Seq(parts) => eval_sequence(rt, parts, env),
+        CKind::Range(a, b) => {
+            let lo = single_integer(rt, a, env)?;
+            let hi = single_integer(rt, b, env)?;
+            match (lo, hi) {
+                (Some(lo), Some(hi)) if lo <= hi => {
+                    Ok((lo..=hi).map(Item::int).collect())
+                }
+                _ => Ok(vec![]),
+            }
+        }
+        CKind::Flwor { clauses, ret } => {
+            let mut out = Vec::new();
+            for tuple in flwor_tuples(rt, clauses, env) {
+                let tenv = tuple?;
+                out.extend(eval(rt, ret, &tenv)?);
+            }
+            Ok(out)
+        }
+        CKind::If { cond, then, els } => {
+            let c = eval(rt, cond, env)?;
+            if effective_boolean_value(&c)? {
+                eval(rt, then, env)
+            } else {
+                eval(rt, els, env)
+            }
+        }
+        CKind::Quantified { every, var, source, satisfies } => {
+            let domain = eval(rt, source, env)?;
+            for item in domain {
+                let benv = env.bind(var, vec![item]);
+                let holds = effective_boolean_value(&eval(rt, satisfies, &benv)?)?;
+                if *every && !holds {
+                    return Ok(vec![Item::Atomic(AtomicValue::Boolean(false))]);
+                }
+                if !*every && holds {
+                    return Ok(vec![Item::Atomic(AtomicValue::Boolean(true))]);
+                }
+            }
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(*every))])
+        }
+        CKind::Typeswitch { operand, cases, default } => {
+            let value = eval(rt, operand, env)?;
+            for (ty, var, body) in cases {
+                if ty.matches(&value) {
+                    let benv = env.bind(var, value);
+                    return eval(rt, body, &benv);
+                }
+            }
+            let benv = env.bind(&default.0, value);
+            eval(rt, &default.1, &benv)
+        }
+        CKind::And(a, b) => {
+            let la = effective_boolean_value(&eval(rt, a, env)?)?;
+            if !la {
+                return Ok(vec![Item::Atomic(AtomicValue::Boolean(false))]);
+            }
+            let lb = effective_boolean_value(&eval(rt, b, env)?)?;
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(lb))])
+        }
+        CKind::Or(a, b) => {
+            let la = effective_boolean_value(&eval(rt, a, env)?)?;
+            if la {
+                return Ok(vec![Item::Atomic(AtomicValue::Boolean(true))]);
+            }
+            let lb = effective_boolean_value(&eval(rt, b, env)?)?;
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(lb))])
+        }
+        CKind::Compare { op, general, lhs, rhs } => {
+            let l = eval(rt, lhs, env)?;
+            let r = eval(rt, rhs, env)?;
+            if *general {
+                Ok(vec![Item::Atomic(AtomicValue::Boolean(general_compare(
+                    &l, *op, &r,
+                )?))])
+            } else {
+                Ok(match value_compare(&l, *op, &r)? {
+                    Some(b) => vec![Item::Atomic(AtomicValue::Boolean(b))],
+                    None => vec![],
+                })
+            }
+        }
+        CKind::Arith { op, lhs, rhs } => {
+            let l = eval(rt, lhs, env)?;
+            let r = eval(rt, rhs, env)?;
+            Ok(match arithmetic(&l, *op, &r)? {
+                Some(v) => vec![Item::Atomic(v)],
+                None => vec![],
+            })
+        }
+        CKind::Data(inner) => {
+            let v = eval(rt, inner, env)?;
+            Ok(atomize(&v).into_iter().map(Item::Atomic).collect())
+        }
+        CKind::ChildStep { input, name } => {
+            let v = eval(rt, input, env)?;
+            let mut out = Vec::new();
+            for item in &v {
+                if let Item::Node(n) = item {
+                    match name {
+                        Some(q) => out.extend(n.child_elements(q).cloned().map(Item::Node)),
+                        None => out.extend(n.all_child_elements().cloned().map(Item::Node)),
+                    }
+                }
+            }
+            Ok(out)
+        }
+        CKind::AttrStep { input, name } => {
+            let v = eval(rt, input, env)?;
+            let mut out = Vec::new();
+            for item in &v {
+                if let Item::Node(n) = item {
+                    match name {
+                        Some(q) => {
+                            if let Some(a) = n.attribute_named(q) {
+                                out.push(Item::Node(a.clone()));
+                            }
+                        }
+                        None => out.extend(n.attributes().iter().cloned().map(Item::Node)),
+                    }
+                }
+            }
+            Ok(out)
+        }
+        CKind::DescendantStep { input } => {
+            let v = eval(rt, input, env)?;
+            let mut out = Vec::new();
+            for item in &v {
+                if let Item::Node(n) = item {
+                    descend(n, &mut out);
+                }
+            }
+            Ok(out)
+        }
+        CKind::Filter { input, predicate, ctx_var, positional } => {
+            let v = eval(rt, input, env)?;
+            let mut out = Vec::new();
+            for (i, item) in v.iter().enumerate() {
+                let benv = env.bind(ctx_var, vec![item.clone()]);
+                let p = eval(rt, predicate, &benv)?;
+                if *positional {
+                    let pos = atomize(&p);
+                    if let Some(v) = pos.first() {
+                        if let Ok(AtomicValue::Integer(n)) = v.cast_to(AtomicType::Integer) {
+                            if n == (i + 1) as i64 {
+                                out.push(item.clone());
+                            }
+                        }
+                    }
+                } else if effective_boolean_value(&p)? {
+                    out.push(item.clone());
+                }
+            }
+            Ok(out)
+        }
+        CKind::ElementCtor { name, conditional, attributes, content } => {
+            construct_element(rt, name, *conditional, attributes, content, env)
+        }
+        CKind::Builtin { op, args } => eval_builtin(rt, *op, args, env),
+        CKind::PhysicalCall { name, args } => {
+            let mut arg_vals = Vec::with_capacity(args.len());
+            for a in args {
+                arg_vals.push(eval(rt, a, env)?);
+            }
+            call_physical(rt, name, &arg_vals)
+        }
+        CKind::UserCall { name, .. } => Err(RtError::Plan(format!(
+            "call to {name} was not unfolded (recursive data-service functions are not executable)"
+        ))),
+        CKind::TypeMatch { input, ty } => {
+            let v = eval(rt, input, env)?;
+            if ty.matches(&v) {
+                Ok(v)
+            } else {
+                Err(XdmError::TypeMatch {
+                    expected: ty.to_string(),
+                    actual: format!("a sequence of {} item(s)", v.len()),
+                }
+                .into())
+            }
+        }
+        CKind::Cast { input, target, optional } => {
+            let v = atomize(&eval(rt, input, env)?);
+            match v.as_slice() {
+                [] if *optional => Ok(vec![]),
+                [] => Err(XdmError::Cast { value: "()".into(), target: *target }.into()),
+                [one] => Ok(vec![Item::Atomic(one.cast_to(*target)?)]),
+                _ => Err(XdmError::NotSingleton(v.len()).into()),
+            }
+        }
+        CKind::Castable { input, target } => {
+            let v = atomize(&eval(rt, input, env)?);
+            let ok = match v.as_slice() {
+                [] => true,
+                [one] => one.cast_to(*target).is_ok(),
+                _ => false,
+            };
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(ok))])
+        }
+        CKind::InstanceOf { input, ty } => {
+            let v = eval(rt, input, env)?;
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(ty.matches(&v)))])
+        }
+        CKind::Error(_) => Err(RtError::Plan(
+            "the query contains compile-time errors and cannot be executed".into(),
+        )),
+    }
+}
+
+/// Evaluate a sequence of parts; immediate `fn-bea:async(...)` parts run
+/// concurrently on scoped threads (§5.4), overlapping their latencies.
+fn eval_sequence(rt: &Arc<RuntimeInner>, parts: &[CExpr], env: &Env) -> RtResult<Sequence> {
+    let any_async = parts
+        .iter()
+        .any(|p| matches!(&p.kind, CKind::Builtin { op: Builtin::Async, .. }));
+    if !any_async {
+        let mut out = Vec::new();
+        for p in parts {
+            out.extend(eval(rt, p, env)?);
+        }
+        return Ok(out);
+    }
+    let mut slots: Vec<Option<RtResult<Sequence>>> = (0..parts.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            if let CKind::Builtin { op: Builtin::Async, args } = &p.kind {
+                rt.stats.inc(&rt.stats.async_spawns);
+                let arg = &args[0];
+                let env = env.clone();
+                let rt2 = rt.clone();
+                handles.push((i, scope.spawn(move || eval(&rt2, arg, &env))));
+            }
+        }
+        for (i, p) in parts.iter().enumerate() {
+            if !matches!(&p.kind, CKind::Builtin { op: Builtin::Async, .. }) {
+                slots[i] = Some(eval(rt, p, env));
+            }
+        }
+        for (i, h) in handles {
+            slots[i] = Some(h.join().unwrap_or_else(|_| {
+                Err(RtError::Plan("async evaluation thread panicked".into()))
+            }));
+        }
+    });
+    let mut out = Vec::new();
+    for s in slots {
+        out.extend(s.expect("every slot filled")?);
+    }
+    Ok(out)
+}
+
+fn descend(n: &NodeRef, out: &mut Vec<Item>) {
+    for c in n.children() {
+        if matches!(c.kind(), NodeKind::Element { .. }) {
+            out.push(Item::Node(c.clone()));
+            descend(c, out);
+        }
+    }
+}
+
+fn single_integer(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Option<i64>> {
+    let v = atomize(&eval(rt, e, env)?);
+    match v.as_slice() {
+        [] => Ok(None),
+        [one] => match one.cast_to(AtomicType::Integer)? {
+            AtomicValue::Integer(i) => Ok(Some(i)),
+            _ => unreachable!("cast to integer"),
+        },
+        _ => Err(XdmError::NotSingleton(v.len()).into()),
+    }
+}
+
+// ---- element construction -----------------------------------------------------
+
+fn construct_element(
+    rt: &Arc<RuntimeInner>,
+    name: &QName,
+    conditional: bool,
+    attributes: &[(QName, bool, CExpr)],
+    content: &CExpr,
+    env: &Env,
+) -> RtResult<Sequence> {
+    let mut attr_nodes: Vec<NodeRef> = Vec::new();
+    for (aname, acond, value) in attributes {
+        match attr_string(rt, value, env)? {
+            Some(s) => {
+                attr_nodes.push(Node::attribute(aname.clone(), AtomicValue::str(&s)))
+            }
+            None if *acond => {} // conditional attribute omitted (§3.1)
+            None => attr_nodes.push(Node::attribute(aname.clone(), AtomicValue::str(""))),
+        }
+    }
+    let items = eval(rt, content, env)?;
+    if conditional && items.is_empty() {
+        // <E?> with empty content constructs nothing (§3.1)
+        return Ok(vec![]);
+    }
+    let mut children: Vec<NodeRef> = Vec::new();
+    let mut pending_atomic: Option<String> = None;
+    for item in items {
+        match item {
+            Item::Atomic(v) => {
+                // adjacent atomics join with a single space (XQuery
+                // constructor semantics); a *single* atomic keeps its
+                // type annotation so annotations survive construction
+                match pending_atomic.take() {
+                    Some(prev) => {
+                        pending_atomic = Some(format!("{prev} {}", v.string_value()));
+                        // the merged text is untyped
+                        children.pop();
+                        children.push(Node::text(AtomicValue::untyped(
+                            pending_atomic.as_ref().expect("just set"),
+                        )));
+                    }
+                    None => {
+                        pending_atomic = Some(v.string_value());
+                        children.push(Node::text(v));
+                    }
+                }
+            }
+            Item::Node(n) => {
+                pending_atomic = None;
+                match n.kind() {
+                    NodeKind::Attribute { name, value } => {
+                        attr_nodes.push(Node::attribute(name.clone(), value.clone()))
+                    }
+                    NodeKind::Document { .. } => {
+                        children.extend(n.children().iter().cloned())
+                    }
+                    _ => children.push(n),
+                }
+            }
+        }
+    }
+    Ok(vec![Item::Node(Node::element(name.clone(), attr_nodes, children))])
+}
+
+/// Evaluate an attribute-value template; `None` when every dynamic part
+/// evaluated to the empty sequence and there is no literal text (the
+/// `a?=` conditional-omission trigger).
+fn attr_string(rt: &Arc<RuntimeInner>, value: &CExpr, env: &Env) -> RtResult<Option<String>> {
+    let parts: Vec<&CExpr> = match &value.kind {
+        CKind::Seq(parts) => parts.iter().collect(),
+        _ => vec![value],
+    };
+    let mut s = String::new();
+    let mut any = false;
+    for p in parts {
+        match &p.kind {
+            CKind::Const(v) => {
+                s.push_str(&v.string_value());
+                any = true;
+            }
+            _ => {
+                let items = atomize(&eval(rt, p, env)?);
+                if !items.is_empty() {
+                    any = true;
+                }
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push(' ');
+                    }
+                    s.push_str(&v.string_value());
+                }
+            }
+        }
+    }
+    Ok(if any { Some(s) } else { None })
+}
+
+// ---- builtins -------------------------------------------------------------------
+
+fn eval_builtin(
+    rt: &Arc<RuntimeInner>,
+    op: Builtin,
+    args: &[CExpr],
+    env: &Env,
+) -> RtResult<Sequence> {
+    use Builtin as B;
+    match op {
+        B::Count => {
+            let v = eval(rt, &args[0], env)?;
+            Ok(vec![Item::int(v.len() as i64)])
+        }
+        B::Sum | B::Avg | B::Min | B::Max => {
+            let vals = atomize(&eval(rt, &args[0], env)?);
+            aggregate(op, &vals)
+        }
+        B::Exists => {
+            let v = eval(rt, &args[0], env)?;
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(!v.is_empty()))])
+        }
+        B::Empty => {
+            let v = eval(rt, &args[0], env)?;
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(v.is_empty()))])
+        }
+        B::Not => {
+            let v = effective_boolean_value(&eval(rt, &args[0], env)?)?;
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(!v))])
+        }
+        B::Boolean => {
+            let v = effective_boolean_value(&eval(rt, &args[0], env)?)?;
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(v))])
+        }
+        B::True => Ok(vec![Item::Atomic(AtomicValue::Boolean(true))]),
+        B::False => Ok(vec![Item::Atomic(AtomicValue::Boolean(false))]),
+        B::String => {
+            let v = eval(rt, &args[0], env)?;
+            Ok(match v.as_slice() {
+                [] => vec![Item::str("")],
+                [one] => vec![Item::str(&one.string_value())],
+                _ => return Err(XdmError::NotSingleton(v.len()).into()),
+            })
+        }
+        B::Concat => {
+            let mut s = String::new();
+            for a in args {
+                let v = atomize(&eval(rt, a, env)?);
+                for item in v {
+                    s.push_str(&item.string_value());
+                }
+            }
+            Ok(vec![Item::str(&s)])
+        }
+        B::StringLength => {
+            let v = single_string(rt, &args[0], env)?.unwrap_or_default();
+            Ok(vec![Item::int(v.chars().count() as i64)])
+        }
+        B::UpperCase => {
+            let v = single_string(rt, &args[0], env)?.unwrap_or_default();
+            Ok(vec![Item::str(&v.to_uppercase())])
+        }
+        B::LowerCase => {
+            let v = single_string(rt, &args[0], env)?.unwrap_or_default();
+            Ok(vec![Item::str(&v.to_lowercase())])
+        }
+        B::Substring => {
+            let s = single_string(rt, &args[0], env)?.unwrap_or_default();
+            let chars: Vec<char> = s.chars().collect();
+            let start = single_number(rt, &args[1], env)?.unwrap_or(f64::NAN);
+            let len = match args.get(2) {
+                Some(a) => single_number(rt, a, env)?.unwrap_or(f64::NAN),
+                None => f64::INFINITY,
+            };
+            if start.is_nan() || len.is_nan() {
+                return Ok(vec![Item::str("")]);
+            }
+            let from = (start.round() as i64 - 1).max(0) as usize;
+            let to = if len.is_infinite() {
+                chars.len()
+            } else {
+                ((start.round() + len.round() - 1.0).max(0.0) as usize).min(chars.len())
+            };
+            let out: String = chars[from.min(chars.len())..to.max(from.min(chars.len()))]
+                .iter()
+                .collect();
+            Ok(vec![Item::str(&out)])
+        }
+        B::Contains => {
+            let a = single_string(rt, &args[0], env)?.unwrap_or_default();
+            let b = single_string(rt, &args[1], env)?.unwrap_or_default();
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(a.contains(&b)))])
+        }
+        B::StartsWith => {
+            let a = single_string(rt, &args[0], env)?.unwrap_or_default();
+            let b = single_string(rt, &args[1], env)?.unwrap_or_default();
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(a.starts_with(&b)))])
+        }
+        B::Subsequence => {
+            let v = eval(rt, &args[0], env)?;
+            let start = single_number(rt, &args[1], env)?.unwrap_or(f64::NAN);
+            let len = match args.get(2) {
+                Some(a) => single_number(rt, a, env)?.unwrap_or(f64::NAN),
+                None => f64::INFINITY,
+            };
+            if start.is_nan() || len.is_nan() {
+                return Ok(vec![]);
+            }
+            let s = start.round();
+            let e = s + if len.is_infinite() { f64::INFINITY } else { len.round() };
+            Ok(v
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    let p = (*i + 1) as f64;
+                    p >= s && p < e
+                })
+                .map(|(_, item)| item)
+                .collect())
+        }
+        B::DistinctValues => {
+            let vals = atomize(&eval(rt, &args[0], env)?);
+            let mut out: Vec<AtomicValue> = Vec::new();
+            for v in vals {
+                if !out.iter().any(|w| w.compare(&v) == Some(Ordering::Equal)) {
+                    out.push(v);
+                }
+            }
+            Ok(out.into_iter().map(Item::Atomic).collect())
+        }
+        B::Abs => {
+            let vals = atomize(&eval(rt, &args[0], env)?);
+            match vals.as_slice() {
+                [] => Ok(vec![]),
+                [v] => Ok(vec![Item::Atomic(match v {
+                    AtomicValue::Integer(i) => AtomicValue::Integer(i.abs()),
+                    AtomicValue::Decimal(d) => {
+                        AtomicValue::Decimal(aldsp_xdm::value::Decimal(d.0.abs()))
+                    }
+                    AtomicValue::Double(d) => AtomicValue::Double(d.abs()),
+                    other => {
+                        return Err(XdmError::Arithmetic(other.type_of(), other.type_of())
+                            .into())
+                    }
+                })]),
+                _ => Err(XdmError::NotSingleton(vals.len()).into()),
+            }
+        }
+        // a lone async (not in sequence position) evaluates inline — the
+        // concurrency win comes from sibling asyncs (see eval_sequence)
+        B::Async => eval(rt, &args[0], env),
+        B::FailOver => match eval(rt, &args[0], env) {
+            Ok(v) => Ok(v),
+            Err(_) => {
+                rt.stats.inc(&rt.stats.failovers_taken);
+                eval(rt, &args[1], env)
+            }
+        },
+        B::Timeout => {
+            let millis = single_number(rt, &args[1], env)?.unwrap_or(0.0) as u64;
+            let (tx, rx) = std::sync::mpsc::channel();
+            let prim = args[0].clone();
+            let env2 = env.clone();
+            let rt2 = rt.clone();
+            // a detached worker: if it outlives the timeout we abandon it
+            // (the paper's semantics: "when the time is up, the system
+            // fails over to the alternate expression")
+            std::thread::spawn(move || {
+                let _ = tx.send(eval(&rt2, &prim, &env2));
+            });
+            match rx.recv_timeout(Duration::from_millis(millis)) {
+                Ok(Ok(v)) => Ok(v),
+                Ok(Err(_)) | Err(_) => {
+                    rt.stats.inc(&rt.stats.timeouts_fired);
+                    eval(rt, &args[2], env)
+                }
+            }
+        }
+    }
+}
+
+fn aggregate(op: Builtin, vals: &[AtomicValue]) -> RtResult<Sequence> {
+    if vals.is_empty() {
+        return Ok(vec![]);
+    }
+    match op {
+        Builtin::Min | Builtin::Max => {
+            let mut best = &vals[0];
+            for v in &vals[1..] {
+                let ord = v
+                    .compare(best)
+                    .ok_or(XdmError::Comparison(v.type_of(), best.type_of()))?;
+                if (op == Builtin::Min && ord == Ordering::Less)
+                    || (op == Builtin::Max && ord == Ordering::Greater)
+                {
+                    best = v;
+                }
+            }
+            Ok(vec![Item::Atomic(best.clone())])
+        }
+        Builtin::Sum | Builtin::Avg => {
+            let mut acc = AtomicValue::Integer(0);
+            for v in vals {
+                acc = acc.arithmetic(aldsp_xdm::value::ArithOp::Add, v)?;
+            }
+            if op == Builtin::Avg {
+                acc = acc.arithmetic(
+                    aldsp_xdm::value::ArithOp::Div,
+                    &AtomicValue::Integer(vals.len() as i64),
+                )?;
+            }
+            Ok(vec![Item::Atomic(acc)])
+        }
+        _ => unreachable!("aggregate() called with non-aggregate builtin"),
+    }
+}
+
+fn single_string(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Option<String>> {
+    let v = atomize(&eval(rt, e, env)?);
+    match v.as_slice() {
+        [] => Ok(None),
+        [one] => Ok(Some(one.string_value())),
+        _ => Err(XdmError::NotSingleton(v.len()).into()),
+    }
+}
+
+fn single_number(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Option<f64>> {
+    let v = atomize(&eval(rt, e, env)?);
+    match v.as_slice() {
+        [] => Ok(None),
+        [one] => match one.cast_to(AtomicType::Double)? {
+            AtomicValue::Double(d) => Ok(Some(d)),
+            _ => unreachable!("cast to double"),
+        },
+        _ => Err(XdmError::NotSingleton(v.len()).into()),
+    }
+}
+
+// ---- physical calls with the function cache (§5.5) ---------------------------
+
+fn call_physical(
+    rt: &Arc<RuntimeInner>,
+    name: &QName,
+    args: &[Sequence],
+) -> RtResult<Sequence> {
+    if rt.cache.enabled(name) {
+        if let Some(hit) = rt.cache.get(name, args) {
+            rt.stats.inc(&rt.stats.cache_hits);
+            return Ok(hit);
+        }
+        rt.stats.inc(&rt.stats.cache_misses);
+    }
+    rt.stats.inc(&rt.stats.source_calls);
+    let result = rt.adaptors.call_physical(&rt.metadata, name, args)?;
+    rt.cache.put(name, args, result.clone());
+    Ok(result)
+}
+
+// ---- the FLWOR tuple pipeline -------------------------------------------------
+
+/// Run a clause list as a streaming tuple pipeline rooted at `base`.
+pub fn flwor_tuples<'a>(
+    rt: &'a Arc<RuntimeInner>,
+    clauses: &'a [Clause],
+    base: &Env,
+) -> TupleIter<'a> {
+    let mut it: TupleIter<'a> = Box::new(std::iter::once(Ok(base.clone())));
+    for c in clauses {
+        it = apply_clause(rt, c, it, base.clone());
+    }
+    it
+}
+
+fn apply_clause<'a>(
+    rt: &'a Arc<RuntimeInner>,
+    clause: &'a Clause,
+    input: TupleIter<'a>,
+    flwor_base: Env,
+) -> TupleIter<'a> {
+    match clause {
+        Clause::For { var, pos, source } => Box::new(input.flat_map(move |tuple| {
+            let env = match tuple {
+                Ok(e) => e,
+                Err(e) => return one_err(e),
+            };
+            match eval(rt, source, &env) {
+                Ok(seq) => Box::new(seq.into_iter().enumerate().map(move |(i, item)| {
+                    let mut benv = env.bind(var, vec![item]);
+                    if let Some(p) = pos {
+                        benv = benv.bind(p, vec![Item::int((i + 1) as i64)]);
+                    }
+                    Ok(benv)
+                })) as TupleIter<'a>,
+                Err(e) => one_err(e),
+            }
+        })),
+        Clause::Let { var, value } => Box::new(input.map(move |tuple| {
+            let env = tuple?;
+            let v = eval(rt, value, &env)?;
+            Ok(env.bind(var, v))
+        })),
+        Clause::Where(cond) => Box::new(input.filter_map(move |tuple| match tuple {
+            Err(e) => Some(Err(e)),
+            Ok(env) => match eval(rt, cond, &env)
+                .and_then(|v| effective_boolean_value(&v).map_err(RtError::from))
+            {
+                Ok(true) => Some(Ok(env)),
+                Ok(false) => None,
+                Err(e) => Some(Err(e)),
+            },
+        })),
+        Clause::OrderBy(specs) => order_by(rt, specs, input),
+        Clause::GroupBy { bindings, keys, carry, pre_clustered } => {
+            if *pre_clustered {
+                rt.stats.inc(&rt.stats.streaming_groups);
+                Box::new(StreamingGroups {
+                    rt,
+                    input,
+                    keys,
+                    bindings,
+                    carry,
+                    base: flwor_base,
+                    current: None,
+                    done: false,
+                })
+            } else {
+                sorted_group_by(rt, bindings, keys, carry, input, flwor_base)
+            }
+        }
+        Clause::SqlFor { connection, select, params, binds, ppk } => match ppk {
+            Some(spec) => Box::new(PpkIter {
+                rt,
+                input,
+                connection,
+                select,
+                base_params: params,
+                binds,
+                spec,
+                buffer: std::collections::VecDeque::new(),
+                tid: 0,
+                exhausted: false,
+            }),
+            None => sql_for_plain(rt, connection, select, params, binds, input),
+        },
+    }
+}
+
+fn one_err<'a>(e: RtError) -> TupleIter<'a> {
+    Box::new(std::iter::once(Err(e)))
+}
+
+// ---- order by -------------------------------------------------------------------
+
+fn order_by<'a>(
+    rt: &'a Arc<RuntimeInner>,
+    specs: &'a [OrderSpec],
+    input: TupleIter<'a>,
+) -> TupleIter<'a> {
+    let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
+    for tuple in input {
+        let env = match tuple {
+            Ok(e) => e,
+            Err(e) => return one_err(e),
+        };
+        let mut key = Vec::with_capacity(specs.len());
+        for s in specs {
+            match eval(rt, &s.expr, &env) {
+                Ok(v) => key.push(atomize(&v).into_iter().next()),
+                Err(e) => return one_err(e),
+            }
+        }
+        rows.push((key, env));
+    }
+    rows.sort_by(|(a, _), (b, _)| {
+        for (i, s) in specs.iter().enumerate() {
+            let mut ord = cmp_keys(&a[i], &b[i], s.empty_least);
+            if s.descending {
+                ord = ord.reverse();
+            }
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Box::new(rows.into_iter().map(|(_, e)| Ok(e)))
+}
+
+fn cmp_keys(a: &Option<AtomicValue>, b: &Option<AtomicValue>, empty_least: bool) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => {
+            if empty_least {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        }
+        (Some(_), None) => {
+            if empty_least {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }
+        }
+        (Some(x), Some(y)) => x.compare(y).unwrap_or(Ordering::Equal),
+    }
+}
+
+// ---- the group operator (§5.2) ---------------------------------------------------
+
+/// The streaming group operator: "relies on input that is pre-clustered
+/// with respect to the grouping expressions. Its job is thus to simply
+/// form groups while watching for the grouping expressions to change."
+/// Memory is bounded by the largest single group.
+struct StreamingGroups<'a> {
+    rt: &'a Arc<RuntimeInner>,
+    input: TupleIter<'a>,
+    keys: &'a [(CExpr, String)],
+    bindings: &'a [(String, String)],
+    carry: &'a [(String, String)],
+    base: Env,
+    current: Option<GroupAccum>,
+    done: bool,
+}
+
+/// One in-progress group: key values, per-binding accumulators, carried
+/// first-tuple values, and size (for the memory high-water mark).
+struct GroupAccum {
+    key: Vec<Option<AtomicValue>>,
+    accums: Vec<Sequence>,
+    carried: Vec<Sequence>,
+    size: u64,
+}
+
+impl StreamingGroups<'_> {
+    fn emit(&mut self, g: GroupAccum) -> Env {
+        let mut env = self.base.clone();
+        for ((_, alias), k) in self.keys.iter().zip(&g.key) {
+            env = env.bind(
+                alias,
+                k.clone().map(|v| vec![Item::Atomic(v)]).unwrap_or_default(),
+            );
+        }
+        for ((_, to), acc) in self.bindings.iter().zip(g.accums) {
+            env = env.bind(to, acc);
+        }
+        for ((_, to), v) in self.carry.iter().zip(g.carried) {
+            env = env.bind(to, v);
+        }
+        env
+    }
+}
+
+impl Iterator for StreamingGroups<'_> {
+    type Item = RtResult<Env>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.input.next() {
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(env)) => {
+                    // evaluate the grouping keys on this tuple
+                    let mut key = Vec::with_capacity(self.keys.len());
+                    for (kexpr, _) in self.keys {
+                        match eval(self.rt, kexpr, &env) {
+                            Ok(v) => key.push(atomize(&v).into_iter().next()),
+                            Err(e) => {
+                                self.done = true;
+                                return Some(Err(e));
+                            }
+                        }
+                    }
+                    let mut values = Vec::with_capacity(self.bindings.len());
+                    for (from, _) in self.bindings {
+                        values.push(env.get(from).cloned().unwrap_or_default());
+                    }
+                    let carried: Vec<Sequence> = self
+                        .carry
+                        .iter()
+                        .map(|(from, _)| env.get(from).cloned().unwrap_or_default())
+                        .collect();
+                    match &mut self.current {
+                        Some(g)
+                            if g.key.len() == key.len()
+                                && g.key
+                                    .iter()
+                                    .zip(&key)
+                                    .all(|(a, b)| cmp_keys(a, b, true) == Ordering::Equal) =>
+                        {
+                            for (acc, v) in g.accums.iter_mut().zip(values) {
+                                acc.extend(v);
+                            }
+                            g.size += 1;
+                            self.rt.stats.peak(&self.rt.stats.peak_grouped_tuples, g.size);
+                        }
+                        Some(_) => {
+                            // group boundary: emit the finished group
+                            let g = self.current.take().expect("matched Some");
+                            self.current =
+                                Some(GroupAccum { key, accums: values, carried, size: 1 });
+                            return Some(Ok(self.emit(g)));
+                        }
+                        None => {
+                            self.rt.stats.peak(&self.rt.stats.peak_grouped_tuples, 1);
+                            self.current =
+                                Some(GroupAccum { key, accums: values, carried, size: 1 });
+                        }
+                    }
+                }
+                None => {
+                    self.done = true;
+                    let last = self.current.take();
+                    return last.map(|g| Ok(self.emit(g)));
+                }
+            }
+        }
+    }
+}
+
+/// The fallback: materialize, sort by the keys, then stream-group —
+/// "in the worst case, ALDSP falls back on sorting for grouping" (§4.2).
+fn sorted_group_by<'a>(
+    rt: &'a Arc<RuntimeInner>,
+    bindings: &'a [(String, String)],
+    keys: &'a [(CExpr, String)],
+    carry: &'a [(String, String)],
+    input: TupleIter<'a>,
+    base: Env,
+) -> TupleIter<'a> {
+    rt.stats.inc(&rt.stats.sorted_groups);
+    let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
+    for tuple in input {
+        let env = match tuple {
+            Ok(e) => e,
+            Err(e) => return one_err(e),
+        };
+        let mut key = Vec::with_capacity(keys.len());
+        for (kexpr, _) in keys {
+            match eval(rt, kexpr, &env) {
+                Ok(v) => key.push(atomize(&v).into_iter().next()),
+                Err(e) => return one_err(e),
+            }
+        }
+        rows.push((key, env));
+    }
+    rt.stats.peak(&rt.stats.peak_grouped_tuples, rows.len() as u64);
+    rows.sort_by(|(a, _), (b, _)| {
+        for (x, y) in a.iter().zip(b) {
+            let ord = cmp_keys(x, y, true);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    // group consecutive equal keys
+    let mut out: Vec<Env> = Vec::new();
+    let mut i = 0;
+    while i < rows.len() {
+        let key = rows[i].0.clone();
+        let mut accums: Vec<Sequence> = vec![Vec::new(); bindings.len()];
+        let carried: Vec<Sequence> = carry
+            .iter()
+            .map(|(from, _)| rows[i].1.get(from).cloned().unwrap_or_default())
+            .collect();
+        let mut j = i;
+        while j < rows.len()
+            && rows[j]
+                .0
+                .iter()
+                .zip(&key)
+                .all(|(a, b)| cmp_keys(a, b, true) == Ordering::Equal)
+        {
+            for ((from, _), acc) in bindings.iter().zip(accums.iter_mut()) {
+                acc.extend(rows[j].1.get(from).cloned().unwrap_or_default());
+            }
+            j += 1;
+        }
+        let mut env = base.clone();
+        for ((_, alias), k) in keys.iter().zip(&key) {
+            env = env.bind(
+                alias,
+                k.clone().map(|v| vec![Item::Atomic(v)]).unwrap_or_default(),
+            );
+        }
+        for ((_, to), acc) in bindings.iter().zip(accums) {
+            env = env.bind(to, acc);
+        }
+        for ((_, to), v) in carry.iter().zip(carried) {
+            env = env.bind(to, v);
+        }
+        out.push(env);
+        i = j;
+    }
+    Box::new(out.into_iter().map(Ok))
+}
+
+// ---- SQL clauses ------------------------------------------------------------------
+
+fn eval_sql_params(
+    rt: &Arc<RuntimeInner>,
+    params: &[CExpr],
+    env: &Env,
+) -> RtResult<Vec<SqlValue>> {
+    let mut out = Vec::with_capacity(params.len());
+    for p in params {
+        let v = atomize(&eval(rt, p, env)?);
+        let first = v.first();
+        let ty = first
+            .and_then(|f| SqlType::from_xml_type(f.type_of()))
+            .unwrap_or(SqlType::Varchar);
+        out.push(SqlValue::from_xml(first, ty).map_err(RtError::Plan)?);
+    }
+    Ok(out)
+}
+
+fn exec_sql(
+    rt: &Arc<RuntimeInner>,
+    connection: &str,
+    select: &Select,
+    params: &[SqlValue],
+) -> RtResult<ResultSet> {
+    rt.stats.inc(&rt.stats.sql_statements);
+    Ok(rt.adaptors.execute_sql(connection, select, params)?)
+}
+
+fn bind_row(env: &Env, binds: &[(String, AtomicType)], row: &[SqlValue]) -> Env {
+    let mut out = env.clone();
+    for ((var, _), v) in binds.iter().zip(row) {
+        out = out.bind(
+            var,
+            v.to_xml().map(|x| vec![Item::Atomic(x)]).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+/// A `SqlFor` without PP-k: uncorrelated statements execute once;
+/// correlated ones execute per outer tuple (block size 1).
+fn sql_for_plain<'a>(
+    rt: &'a Arc<RuntimeInner>,
+    connection: &'a str,
+    select: &'a Select,
+    params: &'a [CExpr],
+    binds: &'a [(String, AtomicType)],
+    input: TupleIter<'a>,
+) -> TupleIter<'a> {
+    Box::new(input.flat_map(move |tuple| {
+        let env = match tuple {
+            Ok(e) => e,
+            Err(e) => return one_err(e),
+        };
+        let param_vals = match eval_sql_params(rt, params, &env) {
+            Ok(v) => v,
+            Err(e) => return one_err(e),
+        };
+        match exec_sql(rt, connection, select, &param_vals) {
+            Ok(rs) => Box::new(
+                rs.rows
+                    .into_iter()
+                    .map(move |row| Ok(bind_row(&env, binds, &row))),
+            ) as TupleIter<'a>,
+            Err(e) => one_err(e),
+        }
+    }))
+}
+
+// ---- the PP-k distributed join (§4.2, §5.2) ---------------------------------------
+
+/// PP-k: pull up to `k` outer tuples, fetch all joining inner rows with
+/// one disjunctive parameterized query, join locally (nested loop or
+/// index nested loop), repeat. "This method provides an excellent
+/// tradeoff between the required middleware join memory footprint …
+/// and the latency imposed by roundtrips to the source" — the
+/// `ppk_sweep` bench measures exactly that.
+struct PpkIter<'a> {
+    rt: &'a Arc<RuntimeInner>,
+    input: TupleIter<'a>,
+    connection: &'a str,
+    select: &'a Select,
+    base_params: &'a [CExpr],
+    binds: &'a [(String, AtomicType)],
+    spec: &'a PpkSpec,
+    buffer: std::collections::VecDeque<RtResult<Env>>,
+    tid: u64,
+    exhausted: bool,
+}
+
+impl PpkIter<'_> {
+    fn fill_block(&mut self) {
+        // per-tuple base params force block size 1 (they may vary)
+        let k = if self.base_params.is_empty() { self.spec.k.max(1) } else { 1 };
+        let mut block: Vec<(Env, Vec<Option<AtomicValue>>)> = Vec::with_capacity(k);
+        while block.len() < k {
+            match self.input.next() {
+                Some(Ok(env)) => {
+                    let mut keys = Vec::with_capacity(self.spec.outer_keys.len());
+                    for kexpr in &self.spec.outer_keys {
+                        match eval(self.rt, kexpr, &env) {
+                            Ok(v) => keys.push(atomize(&v).into_iter().next()),
+                            Err(e) => {
+                                self.buffer.push_back(Err(e));
+                                self.exhausted = true;
+                                return;
+                            }
+                        }
+                    }
+                    block.push((env, keys));
+                }
+                Some(Err(e)) => {
+                    self.buffer.push_back(Err(e));
+                    self.exhausted = true;
+                    return;
+                }
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        if block.is_empty() {
+            return;
+        }
+        self.rt
+            .stats
+            .ppk_outer_tuples
+            .fetch_add(block.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        // tuples whose keys contain an empty value can't join
+        let fetchable: Vec<usize> = block
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, keys))| keys.iter().all(Option::is_some))
+            .map(|(i, _)| i)
+            .collect();
+        let rows: Vec<Vec<SqlValue>> = if fetchable.is_empty() {
+            Vec::new()
+        } else {
+            // build the disjunctive block predicate and parameter list
+            let mut select = self.select.clone();
+            let base = match eval_sql_params(
+                self.rt,
+                self.base_params,
+                &block[fetchable[0]].0,
+            ) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.buffer.push_back(Err(e));
+                    self.exhausted = true;
+                    return;
+                }
+            };
+            let pred = ppk_block_predicate(
+                &self.spec.key_columns,
+                fetchable.len(),
+                base.len(),
+            );
+            select.where_ = Some(match select.where_.take() {
+                Some(w) => w.and(pred),
+                None => pred,
+            });
+            let mut params = base;
+            for &i in &fetchable {
+                for key in &block[i].1 {
+                    let v = key.as_ref().expect("fetchable keys are non-empty");
+                    let ty = SqlType::from_xml_type(v.type_of()).unwrap_or(SqlType::Varchar);
+                    match SqlValue::from_xml(Some(v), ty) {
+                        Ok(s) => params.push(s),
+                        Err(e) => {
+                            self.buffer.push_back(Err(RtError::Plan(e)));
+                            self.exhausted = true;
+                            return;
+                        }
+                    }
+                }
+            }
+            self.rt.stats.inc(&self.rt.stats.ppk_blocks);
+            match exec_sql(self.rt, self.connection, &select, &params) {
+                Ok(rs) => rs.rows,
+                Err(e) => {
+                    self.buffer.push_back(Err(e));
+                    self.exhausted = true;
+                    return;
+                }
+            }
+        };
+        // local join: index nested loop builds a hash on the block's rows
+        let index: Option<HashMap<String, Vec<usize>>> = match self.spec.local_method {
+            LocalJoinMethod::IndexNestedLoop => {
+                let mut idx: HashMap<String, Vec<usize>> = HashMap::new();
+                for (ri, row) in rows.iter().enumerate() {
+                    let key = row_key_string(row, &self.spec.bind_key_indices);
+                    idx.entry(key).or_default().push(ri);
+                }
+                Some(idx)
+            }
+            LocalJoinMethod::NestedLoop => None,
+        };
+        let field_binds = if self.spec.outer_join {
+            &self.binds[..self.binds.len() - 1] // last bind is the tuple id
+        } else {
+            &self.binds[..]
+        };
+        for (env, keys) in block {
+            let tid = self.tid;
+            self.tid += 1;
+            let joinable = keys.iter().all(Option::is_some);
+            let matches: Vec<usize> = if !joinable {
+                Vec::new()
+            } else {
+                let key_vals: Vec<SqlValue> = keys
+                    .iter()
+                    .map(|k| {
+                        let v = k.as_ref().expect("joinable");
+                        let ty =
+                            SqlType::from_xml_type(v.type_of()).unwrap_or(SqlType::Varchar);
+                        SqlValue::from_xml(Some(v), ty).unwrap_or(SqlValue::Null)
+                    })
+                    .collect();
+                match &index {
+                    Some(idx) => {
+                        let key = values_key_string(&key_vals);
+                        idx.get(&key).cloned().unwrap_or_default()
+                    }
+                    None => rows
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, row)| {
+                            self.spec
+                                .bind_key_indices
+                                .iter()
+                                .zip(&key_vals)
+                                .all(|(&ci, kv)| row[ci].group_eq(kv))
+                        })
+                        .map(|(i, _)| i)
+                        .collect(),
+                }
+            };
+            if matches.is_empty() && self.spec.outer_join {
+                // unmatched outer tuple: empty fields + tuple id
+                let mut out = env.clone();
+                for (var, _) in field_binds {
+                    out = out.bind(var, vec![]);
+                }
+                out = out.bind(&self.binds[self.binds.len() - 1].0, vec![Item::int(tid as i64)]);
+                self.buffer.push_back(Ok(out));
+            } else {
+                for ri in matches {
+                    let mut out = bind_row(&env, field_binds, &rows[ri]);
+                    if self.spec.outer_join {
+                        out = out.bind(
+                            &self.binds[self.binds.len() - 1].0,
+                            vec![Item::int(tid as i64)],
+                        );
+                    }
+                    self.buffer.push_back(Ok(out));
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for PpkIter<'_> {
+    type Item = RtResult<Env>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(x) = self.buffer.pop_front() {
+                return Some(x);
+            }
+            if self.exhausted {
+                return None;
+            }
+            self.fill_block();
+            if self.buffer.is_empty() && self.exhausted {
+                return None;
+            }
+        }
+    }
+}
+
+fn row_key_string(row: &[SqlValue], indices: &[usize]) -> String {
+    let mut s = String::new();
+    for &i in indices {
+        s.push_str(&row[i].sql_literal());
+        s.push('\u{1}');
+    }
+    s
+}
+
+fn values_key_string(vals: &[SqlValue]) -> String {
+    let mut s = String::new();
+    for v in vals {
+        s.push_str(&v.sql_literal());
+        s.push('\u{1}');
+    }
+    s
+}

@@ -1,0 +1,108 @@
+//! Execution statistics.
+//!
+//! The observable counters behind the paper's performance claims: PP-k
+//! block counts (roundtrips, §4.2), grouping memory behavior (§4.2/§5.2
+//! — streaming vs sort), async offloads (§5.4), cache effectiveness
+//! (§5.5) and failovers taken (§5.6). All counters are atomic; snapshot
+//! with [`ExecStats::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic execution counters (lives inside the runtime).
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Physical source invocations (table scans, nav calls, services…).
+    pub source_calls: AtomicU64,
+    /// SQL statements executed (includes PP-k block fetches).
+    pub sql_statements: AtomicU64,
+    /// PP-k blocks fetched.
+    pub ppk_blocks: AtomicU64,
+    /// Tuples that flowed through PP-k operators.
+    pub ppk_outer_tuples: AtomicU64,
+    /// Group operator invocations that ran in streaming (pre-clustered)
+    /// mode.
+    pub streaming_groups: AtomicU64,
+    /// Group operator invocations that had to sort first (§4.2's
+    /// "worst case").
+    pub sorted_groups: AtomicU64,
+    /// Peak number of tuples held by any single group/sort operator.
+    pub peak_grouped_tuples: AtomicU64,
+    /// Expressions evaluated on async threads (§5.4).
+    pub async_spawns: AtomicU64,
+    /// Timeouts that fired (§5.6).
+    pub timeouts_fired: AtomicU64,
+    /// Failovers taken (§5.6).
+    pub failovers_taken: AtomicU64,
+    /// Function-cache hits (§5.5).
+    pub cache_hits: AtomicU64,
+    /// Function-cache misses.
+    pub cache_misses: AtomicU64,
+}
+
+impl ExecStats {
+    /// Bump a counter.
+    pub fn inc(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise a high-water mark.
+    pub fn peak(&self, c: &AtomicU64, value: u64) {
+        c.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            source_calls: self.source_calls.load(Ordering::Relaxed),
+            sql_statements: self.sql_statements.load(Ordering::Relaxed),
+            ppk_blocks: self.ppk_blocks.load(Ordering::Relaxed),
+            ppk_outer_tuples: self.ppk_outer_tuples.load(Ordering::Relaxed),
+            streaming_groups: self.streaming_groups.load(Ordering::Relaxed),
+            sorted_groups: self.sorted_groups.load(Ordering::Relaxed),
+            peak_grouped_tuples: self.peak_grouped_tuples.load(Ordering::Relaxed),
+            async_spawns: self.async_spawns.load(Ordering::Relaxed),
+            timeouts_fired: self.timeouts_fired.load(Ordering::Relaxed),
+            failovers_taken: self.failovers_taken.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        for c in [
+            &self.source_calls,
+            &self.sql_statements,
+            &self.ppk_blocks,
+            &self.ppk_outer_tuples,
+            &self.streaming_groups,
+            &self.sorted_groups,
+            &self.peak_grouped_tuples,
+            &self.async_spawns,
+            &self.timeouts_fired,
+            &self.failovers_taken,
+            &self.cache_hits,
+            &self.cache_misses,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain-value statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub source_calls: u64,
+    pub sql_statements: u64,
+    pub ppk_blocks: u64,
+    pub ppk_outer_tuples: u64,
+    pub streaming_groups: u64,
+    pub sorted_groups: u64,
+    pub peak_grouped_tuples: u64,
+    pub async_spawns: u64,
+    pub timeouts_fired: u64,
+    pub failovers_taken: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}

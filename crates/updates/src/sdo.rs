@@ -1,0 +1,298 @@
+//! Service Data Objects (§6, Figure 5).
+//!
+//! "When updates affect an SDO object … the affected SDO object tracks
+//! the changes. When a changed SDO is sent back to ALDSP, what is sent
+//! back is the new XML data plus a serialized change log identifying the
+//! portions of the XML data that were changed and what their previous
+//! values were." [`DataObject`] is that change-tracked wrapper; its
+//! [`ChangeLog`] is what submit processing consumes.
+
+use aldsp_xdm::node::{Node, NodeKind, NodeRef};
+use aldsp_xdm::value::AtomicValue;
+use aldsp_xdm::QName;
+
+/// A location inside a data object: a path of `(child name, occurrence
+/// index)` steps from the root element.
+pub type Path = Vec<(QName, usize)>;
+
+/// Render a path for diagnostics and change-log serialization.
+pub fn path_string(path: &[(QName, usize)]) -> String {
+    let mut s = String::new();
+    for (q, i) in path {
+        s.push('/');
+        s.push_str(q.local_name());
+        if *i > 0 {
+            s.push_str(&format!("[{}]", i + 1));
+        }
+    }
+    s
+}
+
+/// One recorded change: the path, the value read, and the new value.
+/// `None` models element absence (the NULL convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Change {
+    /// Where in the object.
+    pub path: Path,
+    /// The value at read time.
+    pub old: Option<AtomicValue>,
+    /// The value now.
+    pub new: Option<AtomicValue>,
+}
+
+/// The serialized change log sent back with the data (§6).
+#[derive(Debug, Clone, Default)]
+pub struct ChangeLog {
+    /// Changes in the order they were made (collapsed per path).
+    pub changes: Vec<Change>,
+}
+
+impl ChangeLog {
+    /// Is the log empty (nothing to submit)?
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// A change-tracked data object: the XML read from a data service plus
+/// the change log accumulated by setters.
+#[derive(Debug, Clone)]
+pub struct DataObject {
+    original: NodeRef,
+    current: NodeRef,
+    log: ChangeLog,
+}
+
+impl DataObject {
+    /// Wrap a freshly read instance.
+    pub fn new(node: NodeRef) -> DataObject {
+        DataObject { original: node.clone(), current: node, log: ChangeLog::default() }
+    }
+
+    /// The data as read.
+    pub fn original(&self) -> &NodeRef {
+        &self.original
+    }
+
+    /// The data with changes applied.
+    pub fn current(&self) -> &NodeRef {
+        &self.current
+    }
+
+    /// The accumulated change log.
+    pub fn change_log(&self) -> &ChangeLog {
+        &self.log
+    }
+
+    /// Read the typed value at a top-level child (the common accessor:
+    /// `sdo.get("LAST_NAME")`).
+    pub fn get(&self, child: &str) -> Option<AtomicValue> {
+        self.get_path(&[(QName::local(child), 0)])
+    }
+
+    /// Read the typed value at a path.
+    pub fn get_path(&self, path: &[(QName, usize)]) -> Option<AtomicValue> {
+        locate(&self.current, path).and_then(|n| n.typed_value())
+    }
+
+    /// Set the value of a top-level simple child (Figure 5's
+    /// `sdo.setLAST_NAME("Smith")`).
+    pub fn set(&mut self, child: &str, value: Option<AtomicValue>) -> Result<(), String> {
+        self.set_path(vec![(QName::local(child), 0)], value)
+    }
+
+    /// Set the value at a path, recording the change. Setting `None`
+    /// removes the element (writes NULL); setting a value on an absent
+    /// (declared) child materializes it.
+    pub fn set_path(
+        &mut self,
+        path: Path,
+        value: Option<AtomicValue>,
+    ) -> Result<(), String> {
+        let old = locate(&self.current, &path).and_then(|n| n.typed_value());
+        if old == value {
+            return Ok(()); // no-op writes don't dirty the log
+        }
+        self.current = rewrite(&self.current, &path, &value)?;
+        // collapse repeated writes to the same path, preserving the
+        // ORIGINAL old value (what was read — that is what optimistic
+        // verification needs)
+        if let Some(prev) = self.log.changes.iter_mut().find(|c| c.path == path) {
+            prev.new = value;
+            if prev.old == prev.new {
+                let p = path.clone();
+                self.log.changes.retain(|c| c.path != p);
+            }
+        } else {
+            self.log.changes.push(Change { path, old, new: value });
+        }
+        Ok(())
+    }
+
+    /// Has anything changed?
+    pub fn is_dirty(&self) -> bool {
+        !self.log.is_empty()
+    }
+}
+
+/// Find the node at `path` under `root`.
+pub fn locate(root: &NodeRef, path: &[(QName, usize)]) -> Option<NodeRef> {
+    let mut cur = root.clone();
+    for (name, idx) in path {
+        let next = cur.child_elements(name).nth(*idx)?.clone();
+        cur = next;
+    }
+    Some(cur)
+}
+
+/// Produce a copy of `root` with the simple content at `path` replaced
+/// (or the element removed/created for `None`/newly-set values).
+fn rewrite(
+    root: &NodeRef,
+    path: &[(QName, usize)],
+    value: &Option<AtomicValue>,
+) -> Result<NodeRef, String> {
+    let NodeKind::Element { name, attributes, children } = root.kind() else {
+        return Err("can only rewrite elements".into());
+    };
+    let Some(((target, idx), rest)) = path.split_first() else {
+        return Err("empty path".into());
+    };
+    let mut new_children = Vec::with_capacity(children.len());
+    let mut seen = 0usize;
+    let mut handled = false;
+    for c in children {
+        let is_match = c.name() == Some(target) && {
+            let m = seen == *idx;
+            if c.name() == Some(target) {
+                seen += 1;
+            }
+            m
+        };
+        if is_match {
+            handled = true;
+            if rest.is_empty() {
+                match value {
+                    Some(v) => {
+                        new_children.push(Node::simple_element(target.clone(), v.clone()))
+                    }
+                    None => {} // remove: NULL is a missing element
+                }
+            } else {
+                new_children.push(rewrite(c, rest, value)?);
+            }
+        } else {
+            new_children.push(c.clone());
+        }
+    }
+    if !handled {
+        if !rest.is_empty() {
+            return Err(format!(
+                "no element at {} to descend into",
+                path_string(&[(target.clone(), *idx)])
+            ));
+        }
+        match value {
+            Some(v) => new_children.push(Node::simple_element(target.clone(), v.clone())),
+            None => {} // removing an absent element is a no-op
+        }
+    }
+    Ok(Node::element(name.clone(), attributes.clone(), new_children))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aldsp_xdm::value::AtomicValue as V;
+
+    fn profile() -> NodeRef {
+        Node::element(
+            QName::local("PROFILE"),
+            vec![],
+            vec![
+                Node::simple_element(QName::local("CID"), V::str("0815")),
+                Node::simple_element(QName::local("LAST_NAME"), V::str("Jones")),
+                Node::element(
+                    QName::local("ORDERS"),
+                    vec![],
+                    vec![
+                        Node::element(
+                            QName::local("ORDER"),
+                            vec![],
+                            vec![Node::simple_element(QName::local("OID"), V::Integer(1))],
+                        ),
+                        Node::element(
+                            QName::local("ORDER"),
+                            vec![],
+                            vec![Node::simple_element(QName::local("OID"), V::Integer(2))],
+                        ),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure5_set_last_name() {
+        let mut sdo = DataObject::new(profile());
+        assert_eq!(sdo.get("LAST_NAME"), Some(V::str("Jones")));
+        sdo.set("LAST_NAME", Some(V::str("Smith"))).unwrap();
+        assert_eq!(sdo.get("LAST_NAME"), Some(V::str("Smith")));
+        assert!(sdo.is_dirty());
+        let log = sdo.change_log();
+        assert_eq!(log.changes.len(), 1);
+        assert_eq!(log.changes[0].old, Some(V::str("Jones")));
+        assert_eq!(log.changes[0].new, Some(V::str("Smith")));
+        // the original is untouched
+        assert_eq!(
+            sdo.original().child_elements(&QName::local("LAST_NAME")).next().unwrap().string_value(),
+            "Jones"
+        );
+    }
+
+    #[test]
+    fn repeated_writes_collapse_keeping_read_value() {
+        let mut sdo = DataObject::new(profile());
+        sdo.set("LAST_NAME", Some(V::str("Smith"))).unwrap();
+        sdo.set("LAST_NAME", Some(V::str("Brown"))).unwrap();
+        assert_eq!(sdo.change_log().changes.len(), 1);
+        assert_eq!(sdo.change_log().changes[0].old, Some(V::str("Jones")));
+        assert_eq!(sdo.change_log().changes[0].new, Some(V::str("Brown")));
+        // writing back the original value clears the change
+        sdo.set("LAST_NAME", Some(V::str("Jones"))).unwrap();
+        assert!(!sdo.is_dirty());
+    }
+
+    #[test]
+    fn null_handling_and_materialization() {
+        let mut sdo = DataObject::new(profile());
+        // remove → NULL
+        sdo.set("LAST_NAME", None).unwrap();
+        assert_eq!(sdo.get("LAST_NAME"), None);
+        assert_eq!(sdo.change_log().changes[0].new, None);
+        // set a previously absent child
+        sdo.set("FIRST_NAME", Some(V::str("Ann"))).unwrap();
+        assert_eq!(sdo.get("FIRST_NAME"), Some(V::str("Ann")));
+        // no-op write records nothing
+        let n = sdo.change_log().changes.len();
+        sdo.set("CID", Some(V::str("0815"))).unwrap();
+        assert_eq!(sdo.change_log().changes.len(), n);
+    }
+
+    #[test]
+    fn nested_paths_with_indices() {
+        let mut sdo = DataObject::new(profile());
+        let path = vec![
+            (QName::local("ORDERS"), 0),
+            (QName::local("ORDER"), 1),
+            (QName::local("OID"), 0),
+        ];
+        assert_eq!(sdo.get_path(&path), Some(V::Integer(2)));
+        sdo.set_path(path.clone(), Some(V::Integer(99))).unwrap();
+        assert_eq!(sdo.get_path(&path), Some(V::Integer(99)));
+        assert_eq!(path_string(&path), "/ORDERS/ORDER[2]/OID");
+        // descending into a missing element errors
+        let bad = vec![(QName::local("NOPE"), 0), (QName::local("X"), 0)];
+        assert!(sdo.set_path(bad, Some(V::Integer(1))).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Qualified names and namespaces.
+//!
+//! ALDSP data services make heavy use of namespaces (each data service and
+//! each imported schema lives in its own target namespace — see the prolog
+//! of Figure 3 in the paper). `QName` is the interned, cheaply clonable
+//! name type used across the whole stack: nodes, schema components, data
+//! service functions and compiler expressions.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A qualified XML name: optional namespace URI plus local part.
+///
+/// Both parts are `Arc<str>` so cloning a `QName` is two refcount bumps —
+/// names flow through every token and every compiled expression, so this is
+/// a hot type (see the perf-book guidance on oft-instantiated types).
+///
+/// Equality and hashing are on `(uri, local)`; the original lexical prefix
+/// is kept only for serialization fidelity and ignored for comparisons.
+#[derive(Clone)]
+pub struct QName {
+    uri: Option<Arc<str>>,
+    local: Arc<str>,
+    prefix: Option<Arc<str>>,
+}
+
+impl QName {
+    /// Create a name with no namespace.
+    pub fn local(local: &str) -> Self {
+        QName { uri: None, local: Arc::from(local), prefix: None }
+    }
+
+    /// Create a name in a namespace, without a lexical prefix.
+    pub fn new(uri: &str, local: &str) -> Self {
+        QName { uri: Some(Arc::from(uri)), local: Arc::from(local), prefix: None }
+    }
+
+    /// Create a name in a namespace with a preferred lexical prefix.
+    pub fn with_prefix(prefix: &str, uri: &str, local: &str) -> Self {
+        QName {
+            uri: Some(Arc::from(uri)),
+            local: Arc::from(local),
+            prefix: Some(Arc::from(prefix)),
+        }
+    }
+
+    /// The namespace URI, if any.
+    pub fn uri(&self) -> Option<&str> {
+        self.uri.as_deref()
+    }
+
+    /// The local part of the name.
+    pub fn local_name(&self) -> &str {
+        &self.local
+    }
+
+    /// The lexical prefix the name was written with, if any.
+    pub fn prefix(&self) -> Option<&str> {
+        self.prefix.as_deref()
+    }
+
+    /// Lexical form used in diagnostics: `prefix:local` or `{uri}local`.
+    pub fn lexical(&self) -> String {
+        match (&self.prefix, &self.uri) {
+            (Some(p), _) => format!("{p}:{}", self.local),
+            (None, Some(u)) => format!("{{{u}}}{}", self.local),
+            (None, None) => self.local.to_string(),
+        }
+    }
+
+    /// True if `self` matches `other` on (uri, local).
+    pub fn matches(&self, other: &QName) -> bool {
+        self == other
+    }
+}
+
+impl PartialEq for QName {
+    fn eq(&self, other: &Self) -> bool {
+        self.local == other.local
+            && match (&self.uri, &other.uri) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            }
+    }
+}
+
+impl Eq for QName {}
+
+impl std::hash::Hash for QName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.uri.as_deref().hash(state);
+        self.local.hash(state);
+    }
+}
+
+impl PartialOrd for QName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.uri.as_deref(), &*self.local).cmp(&(other.uri.as_deref(), &*other.local))
+    }
+}
+
+impl fmt::Debug for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QName({})", self.lexical())
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.lexical())
+    }
+}
+
+impl From<&str> for QName {
+    fn from(s: &str) -> Self {
+        QName::local(s)
+    }
+}
+
+/// Well-known namespace URIs used throughout ALDSP.
+pub mod ns {
+    /// The XML Schema namespace (`xs:` types).
+    pub const XS: &str = "http://www.w3.org/2001/XMLSchema";
+    /// Standard XQuery function namespace (`fn:`).
+    pub const FN: &str = "http://www.w3.org/2005/xpath-functions";
+    /// BEA's extension function namespace (`fn-bea:`), home of
+    /// `fn-bea:async`, `fn-bea:timeout` and `fn-bea:fail-over` (§5.4–5.6).
+    pub const FN_BEA: &str = "http://www.bea.com/xquery/xquery-functions";
+}
+
+/// A static namespace environment: prefix → URI bindings plus the default
+/// element namespace, as established by `declare namespace` prologs and
+/// direct constructor attributes.
+#[derive(Debug, Clone, Default)]
+pub struct Namespaces {
+    bindings: Vec<(Arc<str>, Arc<str>)>,
+    default_element_ns: Option<Arc<str>>,
+}
+
+impl Namespaces {
+    /// Environment with the built-in `xs`, `fn` and `fn-bea` prefixes bound.
+    pub fn with_defaults() -> Self {
+        let mut n = Namespaces::default();
+        n.bind("xs", ns::XS);
+        n.bind("fn", ns::FN);
+        n.bind("fn-bea", ns::FN_BEA);
+        n
+    }
+
+    /// Bind `prefix` to `uri`, shadowing any previous binding.
+    pub fn bind(&mut self, prefix: &str, uri: &str) {
+        self.bindings.push((Arc::from(prefix), Arc::from(uri)));
+    }
+
+    /// Set the default element namespace.
+    pub fn set_default_element_ns(&mut self, uri: &str) {
+        self.default_element_ns = Some(Arc::from(uri));
+    }
+
+    /// Resolve a prefix to its URI, innermost binding wins.
+    pub fn resolve(&self, prefix: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(p, _)| &**p == prefix)
+            .map(|(_, u)| &**u)
+    }
+
+    /// Resolve a lexical `prefix:local` or `local` name to a [`QName`].
+    ///
+    /// Unprefixed names take the default element namespace when
+    /// `use_default` is true (element names) and no namespace otherwise
+    /// (attribute names, per XML namespace rules).
+    pub fn expand(&self, lexical: &str, use_default: bool) -> Option<QName> {
+        match lexical.split_once(':') {
+            Some((p, l)) => self
+                .resolve(p)
+                .map(|u| QName::with_prefix(p, u, l)),
+            None => Some(match (&self.default_element_ns, use_default) {
+                (Some(u), true) => QName::new(u, lexical),
+                _ => QName::local(lexical),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_prefix() {
+        let a = QName::with_prefix("tns", "urn:x", "PROFILE");
+        let b = QName::new("urn:x", "PROFILE");
+        assert_eq!(a, b);
+        let c = QName::new("urn:y", "PROFILE");
+        assert_ne!(a, c);
+        assert_ne!(QName::local("PROFILE"), b);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(QName::with_prefix("a", "urn:x", "N"));
+        assert!(s.contains(&QName::new("urn:x", "N")));
+    }
+
+    #[test]
+    fn namespace_resolution_innermost_wins() {
+        let mut ns = Namespaces::with_defaults();
+        ns.bind("t", "urn:one");
+        ns.bind("t", "urn:two");
+        assert_eq!(ns.resolve("t"), Some("urn:two"));
+        assert_eq!(ns.resolve("xs"), Some(ns::XS));
+        assert_eq!(ns.resolve("nope"), None);
+    }
+
+    #[test]
+    fn expand_uses_default_element_namespace_only_for_elements() {
+        let mut ns = Namespaces::default();
+        ns.set_default_element_ns("urn:d");
+        let e = ns.expand("CUSTOMER", true).unwrap();
+        assert_eq!(e.uri(), Some("urn:d"));
+        let a = ns.expand("id", false).unwrap();
+        assert_eq!(a.uri(), None);
+    }
+
+    #[test]
+    fn expand_unknown_prefix_fails() {
+        let ns = Namespaces::default();
+        assert!(ns.expand("zz:X", true).is_none());
+    }
+
+    #[test]
+    fn lexical_forms() {
+        assert_eq!(QName::local("A").lexical(), "A");
+        assert_eq!(QName::new("u", "A").lexical(), "{u}A");
+        assert_eq!(QName::with_prefix("p", "u", "A").lexical(), "p:A");
+    }
+
+    #[test]
+    fn ordering_is_by_uri_then_local() {
+        let a = QName::local("A");
+        let b = QName::new("u", "A");
+        assert!(a < b);
+    }
+}

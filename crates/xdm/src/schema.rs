@@ -1,0 +1,392 @@
+//! XML Schema subset: shape declarations and validation.
+//!
+//! Each ALDSP data service has a *shape* described by XML Schema (§2.1),
+//! and file/service adaptors validate incoming data against registered
+//! schemas to produce *typed* token streams (§5.3). This module provides
+//! a registry of global element declarations ([`Schema`]), a fluent
+//! builder for the record-like shapes data services use, and
+//! [`validate`], which turns an untyped parsed tree into a typed tree
+//! according to a declared [`ElementType`].
+
+use crate::node::{Node, NodeKind, NodeRef};
+use crate::qname::QName;
+use crate::types::{
+    AttributeDecl, ChildDecl, ComplexContent, ContentType, ElementType, Occurrence,
+};
+use crate::value::{AtomicType, AtomicValue};
+use crate::{Result, XdmError};
+use std::collections::HashMap;
+
+/// A compiled schema: a target namespace plus global element declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    /// The schema's target namespace, if any.
+    pub target_namespace: Option<String>,
+    elements: HashMap<QName, ElementType>,
+}
+
+impl Schema {
+    /// An empty schema with the given target namespace.
+    pub fn new(target_namespace: Option<&str>) -> Schema {
+        Schema {
+            target_namespace: target_namespace.map(str::to_string),
+            elements: HashMap::new(),
+        }
+    }
+
+    /// Register a global element declaration.
+    pub fn declare(&mut self, elem: ElementType) {
+        let name = elem
+            .name
+            .clone()
+            .expect("global element declarations must be named");
+        self.elements.insert(name, elem);
+    }
+
+    /// Look up a global element declaration (`schema-element(E)`).
+    pub fn element(&self, name: &QName) -> Option<&ElementType> {
+        self.elements.get(name)
+    }
+
+    /// Iterate over all global declarations.
+    pub fn elements(&self) -> impl Iterator<Item = &ElementType> {
+        self.elements.values()
+    }
+
+    /// Validate a document's root element against its global declaration.
+    pub fn validate_root(&self, doc: &Node) -> Result<NodeRef> {
+        let root = doc
+            .children()
+            .first()
+            .ok_or_else(|| XdmError::Other("empty document".into()))?;
+        let name = root
+            .name()
+            .ok_or_else(|| XdmError::Other("document root is not an element".into()))?;
+        let decl = self.element(name).ok_or_else(|| {
+            XdmError::Other(format!("no global element declaration for {name}"))
+        })?;
+        validate(root, decl)
+    }
+}
+
+/// Fluent builder for record-like element shapes — the natural XML-ification
+/// of a relational row or a data-service business object.
+#[derive(Debug, Clone)]
+pub struct ShapeBuilder {
+    name: QName,
+    attributes: Vec<AttributeDecl>,
+    children: Vec<ChildDecl>,
+}
+
+impl ShapeBuilder {
+    /// Start a shape for element `name`.
+    pub fn element(name: QName) -> ShapeBuilder {
+        ShapeBuilder { name, attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Add a required simple-typed child (a NOT NULL column).
+    pub fn required(mut self, name: &str, t: AtomicType) -> Self {
+        self.children.push(ChildDecl::required(self.child_name(name), t));
+        self
+    }
+
+    /// Add a required child with an *unqualified* name (relational
+    /// column elements are unqualified, per Figure 3's paths).
+    pub fn required_local(mut self, name: &str, t: AtomicType) -> Self {
+        self.children.push(ChildDecl::required(QName::local(name), t));
+        self
+    }
+
+    /// Add an optional child with an unqualified name.
+    pub fn optional_local(mut self, name: &str, t: AtomicType) -> Self {
+        self.children.push(ChildDecl::optional(QName::local(name), t));
+        self
+    }
+
+    /// Add an optional simple-typed child (a nullable column — NULLs are
+    /// missing elements, §4.3).
+    pub fn optional(mut self, name: &str, t: AtomicType) -> Self {
+        self.children.push(ChildDecl::optional(self.child_name(name), t));
+        self
+    }
+
+    /// Add a repeated complex child with the given shape.
+    pub fn repeated(mut self, child: ElementType) -> Self {
+        self.children.push(ChildDecl { elem: child, occ: Occurrence::Star });
+        self
+    }
+
+    /// Add a child with an explicit occurrence.
+    pub fn child(mut self, child: ElementType, occ: Occurrence) -> Self {
+        self.children.push(ChildDecl { elem: child, occ });
+        self
+    }
+
+    /// Add an attribute declaration.
+    pub fn attribute(mut self, name: &str, t: AtomicType, required: bool) -> Self {
+        self.attributes.push(AttributeDecl { name: QName::local(name), typ: t, required });
+        self
+    }
+
+    fn child_name(&self, local: &str) -> QName {
+        // children live in the same namespace as the parent shape
+        match self.name.uri() {
+            Some(u) => QName::new(u, local),
+            None => QName::local(local),
+        }
+    }
+
+    /// Finish, producing the structural element type.
+    pub fn build(self) -> ElementType {
+        ElementType {
+            name: Some(self.name),
+            content: ContentType::Complex(ComplexContent {
+                attributes: self.attributes,
+                children: self.children,
+            }),
+        }
+    }
+}
+
+/// Validate `node` against `decl`, producing a **typed** copy of the tree:
+/// untyped text leaves are cast to the declared atomic types, required
+/// children/attributes are checked, undeclared children are rejected.
+pub fn validate(node: &Node, decl: &ElementType) -> Result<NodeRef> {
+    let NodeKind::Element { name, attributes, children } = node.kind() else {
+        return Err(XdmError::Other("can only validate elements".into()));
+    };
+    if let Some(expect) = &decl.name {
+        if expect != name {
+            return Err(XdmError::Other(format!(
+                "expected element {expect}, found {name}"
+            )));
+        }
+    }
+    match &decl.content {
+        ContentType::Any => Ok(Node::element(
+            name.clone(),
+            attributes.clone(),
+            children.clone(),
+        )),
+        ContentType::Simple(t) => {
+            let text = node.string_value();
+            let typed = if text.is_empty() && children.is_empty() {
+                vec![]
+            } else {
+                vec![Node::text(AtomicValue::untyped(&text).cast_to(*t)?)]
+            };
+            Ok(Node::element(name.clone(), attributes.clone(), typed))
+        }
+        ContentType::Complex(content) => {
+            let typed_attrs = validate_attributes(name, attributes, content)?;
+            let typed_children = validate_children(name, node, content)?;
+            Ok(Node::element(name.clone(), typed_attrs, typed_children))
+        }
+    }
+}
+
+fn validate_attributes(
+    elem: &QName,
+    attrs: &[NodeRef],
+    content: &ComplexContent,
+) -> Result<Vec<NodeRef>> {
+    let mut out = Vec::with_capacity(attrs.len());
+    for decl in &content.attributes {
+        match attrs.iter().find(|a| a.name() == Some(&decl.name)) {
+            Some(a) => {
+                let NodeKind::Attribute { value, .. } = a.kind() else {
+                    unreachable!("attributes() yields attribute nodes");
+                };
+                out.push(Node::attribute(decl.name.clone(), value.cast_to(decl.typ)?));
+            }
+            None if decl.required => {
+                return Err(XdmError::Other(format!(
+                    "element {elem} is missing required attribute {}",
+                    decl.name
+                )))
+            }
+            None => {}
+        }
+    }
+    for a in attrs {
+        let name = a.name().expect("attribute has a name");
+        if !content.attributes.iter().any(|d| &d.name == name) {
+            return Err(XdmError::Other(format!(
+                "element {elem} has undeclared attribute {name}"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+fn validate_children(
+    elem: &QName,
+    node: &Node,
+    content: &ComplexContent,
+) -> Result<Vec<NodeRef>> {
+    let kids: Vec<&NodeRef> = node.all_child_elements().collect();
+    // reject stray non-whitespace text in complex content
+    for c in node.children() {
+        if let NodeKind::Text { value } = c.kind() {
+            if !value.string_value().trim().is_empty() {
+                return Err(XdmError::Other(format!(
+                    "element {elem} has text content but a complex type"
+                )));
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(kids.len());
+    let mut i = 0;
+    for decl in &content.children {
+        let mut count = 0;
+        while i < kids.len() && kids[i].name() == decl.elem.name.as_ref() {
+            if count > 0 && !decl.occ.allows_many() {
+                return Err(XdmError::Other(format!(
+                    "element {elem}: too many {} children",
+                    kids[i].name().unwrap()
+                )));
+            }
+            out.push(validate(kids[i], &decl.elem)?);
+            i += 1;
+            count += 1;
+        }
+        if count == 0 && !decl.occ.allows_empty() {
+            let missing = decl.elem.name.as_ref().expect("declared children are named");
+            return Err(XdmError::Other(format!(
+                "element {elem} is missing required child {missing}"
+            )));
+        }
+    }
+    if i != kids.len() {
+        return Err(XdmError::Other(format!(
+            "element {elem} has undeclared or misordered child {}",
+            kids[i].name().expect("element child has a name")
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AtomicValue as V;
+    use crate::xml;
+
+    fn customer_shape() -> ElementType {
+        ShapeBuilder::element(QName::local("CUSTOMER"))
+            .attribute("status", AtomicType::String, false)
+            .required("CID", AtomicType::String)
+            .required("LAST_NAME", AtomicType::String)
+            .optional("SINCE", AtomicType::Integer)
+            .build()
+    }
+
+    #[test]
+    fn validation_assigns_types() {
+        let doc = xml::parse(
+            r#"<CUSTOMER status="gold"><CID>C1</CID><LAST_NAME>Jones</LAST_NAME><SINCE>100</SINCE></CUSTOMER>"#,
+        )
+        .unwrap();
+        let typed = validate(&doc.children()[0], &customer_shape()).unwrap();
+        let since = typed
+            .child_elements(&QName::local("SINCE"))
+            .next()
+            .unwrap()
+            .typed_value()
+            .unwrap();
+        assert_eq!(since, V::Integer(100));
+        let cid = typed
+            .child_elements(&QName::local("CID"))
+            .next()
+            .unwrap()
+            .typed_value()
+            .unwrap();
+        assert_eq!(cid, V::str("C1"));
+    }
+
+    #[test]
+    fn optional_children_may_be_absent() {
+        let doc =
+            xml::parse("<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME></CUSTOMER>").unwrap();
+        assert!(validate(&doc.children()[0], &customer_shape()).is_ok());
+    }
+
+    #[test]
+    fn missing_required_child_rejected() {
+        let doc = xml::parse("<CUSTOMER><CID>C1</CID></CUSTOMER>").unwrap();
+        let err = validate(&doc.children()[0], &customer_shape()).unwrap_err();
+        assert!(err.to_string().contains("LAST_NAME"), "{err}");
+    }
+
+    #[test]
+    fn bad_lexical_value_rejected() {
+        let doc = xml::parse(
+            "<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME><SINCE>soon</SINCE></CUSTOMER>",
+        )
+        .unwrap();
+        assert!(validate(&doc.children()[0], &customer_shape()).is_err());
+    }
+
+    #[test]
+    fn undeclared_child_rejected() {
+        let doc = xml::parse(
+            "<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME><HOBBY>ski</HOBBY></CUSTOMER>",
+        )
+        .unwrap();
+        assert!(validate(&doc.children()[0], &customer_shape()).is_err());
+    }
+
+    #[test]
+    fn cardinality_enforced() {
+        let doc = xml::parse(
+            "<CUSTOMER><CID>C1</CID><CID>C2</CID><LAST_NAME>J</LAST_NAME></CUSTOMER>",
+        )
+        .unwrap();
+        assert!(validate(&doc.children()[0], &customer_shape()).is_err());
+    }
+
+    #[test]
+    fn nested_shapes_validate_recursively() {
+        let orders = ShapeBuilder::element(QName::local("ORDER"))
+            .required("OID", AtomicType::Integer)
+            .build();
+        let shape = ShapeBuilder::element(QName::local("PROFILE"))
+            .required("CID", AtomicType::String)
+            .repeated(orders)
+            .build();
+        let doc = xml::parse(
+            "<PROFILE><CID>C1</CID><ORDER><OID>1</OID></ORDER><ORDER><OID>2</OID></ORDER></PROFILE>",
+        )
+        .unwrap();
+        let typed = validate(&doc.children()[0], &shape).unwrap();
+        assert_eq!(typed.child_elements(&QName::local("ORDER")).count(), 2);
+        // zero orders also fine under *
+        let doc2 = xml::parse("<PROFILE><CID>C1</CID></PROFILE>").unwrap();
+        assert!(validate(&doc2.children()[0], &shape).is_ok());
+    }
+
+    #[test]
+    fn schema_registry_and_root_validation() {
+        let mut s = Schema::new(Some("urn:cust"));
+        s.declare(customer_shape());
+        assert!(s.element(&QName::local("CUSTOMER")).is_some());
+        let doc =
+            xml::parse("<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME></CUSTOMER>").unwrap();
+        assert!(s.validate_root(&doc).is_ok());
+        let other = xml::parse("<ORDER/>").unwrap();
+        assert!(s.validate_root(&other).is_err());
+    }
+
+    #[test]
+    fn typed_tree_matches_structural_type() {
+        // validation output conforms to the declared structural type —
+        // the bridge between schema and the typematch machinery
+        let doc = xml::parse(
+            "<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME><SINCE>5</SINCE></CUSTOMER>",
+        )
+        .unwrap();
+        let shape = customer_shape();
+        let typed = validate(&doc.children()[0], &shape).unwrap();
+        assert!(shape.matches_node(&typed));
+    }
+}

@@ -1,0 +1,789 @@
+//! The structural type system (§3.1, §4.1).
+//!
+//! ALDSP departs from the XQuery specification's name-based, must-validate
+//! typing: when a query constructs `<E>{expr}</E>`, the *static* type of
+//! the result is an element named `E` whose content type is the structural
+//! type of `expr` — type annotations are not reverted to `ANYTYPE`. This
+//! makes view unfolding type-preserving: wrapping an expression in a
+//! constructor and then navigating back into it yields the original type.
+//!
+//! The checker is also *optimistic*: a call `f($x)` is statically valid
+//! iff the type of `$x` has a **non-empty intersection** with `f`'s
+//! parameter type; a runtime `typematch` is inserted unless `$x` is a
+//! proper subtype. This module supplies the subtype / intersection /
+//! union algebra plus the runtime `typematch` check itself.
+
+use crate::item::Item;
+use crate::node::NodeKind;
+use crate::qname::QName;
+use crate::value::AtomicType;
+use std::fmt;
+
+/// Occurrence indicators of XQuery sequence types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Occurrence {
+    /// Exactly one item.
+    One,
+    /// Zero or one (`?`).
+    Optional,
+    /// Zero or more (`*`).
+    Star,
+    /// One or more (`+`).
+    Plus,
+}
+
+impl Occurrence {
+    /// Occurrence subsumption: can a sequence with cardinality `self`
+    /// always be used where `sup` is required?
+    pub fn is_subtype_of(self, sup: Occurrence) -> bool {
+        use Occurrence::*;
+        matches!(
+            (self, sup),
+            (One, _) | (Optional, Optional) | (Optional, Star) | (Plus, Plus) | (Plus, Star) | (Star, Star)
+        )
+    }
+
+    /// Does the cardinality range admit zero items?
+    pub fn allows_empty(self) -> bool {
+        matches!(self, Occurrence::Optional | Occurrence::Star)
+    }
+
+    /// Does the cardinality range admit more than one item?
+    pub fn allows_many(self) -> bool {
+        matches!(self, Occurrence::Star | Occurrence::Plus)
+    }
+
+    /// Cardinality ranges of two occurrences overlap (used by the
+    /// optimistic intersection rule).
+    pub fn intersects(self, other: Occurrence) -> bool {
+        // Every pair of our occurrences admits cardinality 1, so item-level
+        // intersection decides; kept as a method for symmetry/clarity.
+        let _ = other;
+        true
+    }
+
+    /// The occurrence of the concatenation of two sequences.
+    pub fn sequence_with(self, other: Occurrence) -> Occurrence {
+        use Occurrence::*;
+        match (self, other) {
+            (One, _) | (_, One) | (Plus, _) | (_, Plus) => Plus,
+            _ => Star,
+        }
+    }
+
+    /// The occurrence of a `for`-iteration body: the body runs zero or
+    /// more times, so multiply by `*` (or by the binding's occurrence).
+    pub fn iterated_by(self, binding: Occurrence) -> Occurrence {
+        use Occurrence::*;
+        match (binding, self) {
+            (One, s) => s,
+            (Plus, One) | (Plus, Plus) => Plus,
+            (Optional, One) | (Optional, Optional) => Optional,
+            _ => Star,
+        }
+    }
+
+    /// Least upper bound.
+    pub fn union(self, other: Occurrence) -> Occurrence {
+        use Occurrence::*;
+        if self == other {
+            return self;
+        }
+        match (self.allows_empty() || other.allows_empty(), self.allows_many() || other.allows_many()) {
+            (true, true) => Star,
+            (true, false) => Optional,
+            (false, true) => Plus,
+            (false, false) => One,
+        }
+    }
+
+    /// The XQuery occurrence-indicator suffix.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Occurrence::One => "",
+            Occurrence::Optional => "?",
+            Occurrence::Star => "*",
+            Occurrence::Plus => "+",
+        }
+    }
+}
+
+/// A sequence type: `empty-sequence()` or an item type with an occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SequenceType {
+    /// `empty-sequence()`.
+    Empty,
+    /// `ItemType` with an occurrence indicator.
+    Seq(ItemType, Occurrence),
+}
+
+impl SequenceType {
+    /// `item()*` — the universal sequence type.
+    pub fn any() -> SequenceType {
+        SequenceType::Seq(ItemType::AnyItem, Occurrence::Star)
+    }
+
+    /// A singleton of the given item type.
+    pub fn one(item: ItemType) -> SequenceType {
+        SequenceType::Seq(item, Occurrence::One)
+    }
+
+    /// A singleton atomic type.
+    pub fn atomic(t: AtomicType) -> SequenceType {
+        SequenceType::one(ItemType::Atomic(t))
+    }
+
+    /// Replace the occurrence, keeping the item type.
+    pub fn with_occurrence(&self, occ: Occurrence) -> SequenceType {
+        match self {
+            SequenceType::Empty => SequenceType::Empty,
+            SequenceType::Seq(i, _) => SequenceType::Seq(i.clone(), occ),
+        }
+    }
+
+    /// The item type, if non-empty.
+    pub fn item_type(&self) -> Option<&ItemType> {
+        match self {
+            SequenceType::Empty => None,
+            SequenceType::Seq(i, _) => Some(i),
+        }
+    }
+
+    /// The occurrence (Empty reports as `Optional` for convenience).
+    pub fn occurrence(&self) -> Occurrence {
+        match self {
+            SequenceType::Empty => Occurrence::Optional,
+            SequenceType::Seq(_, o) => *o,
+        }
+    }
+
+    /// Structural subtyping: occurrence subsumption plus item subtyping.
+    pub fn is_subtype_of(&self, sup: &SequenceType) -> bool {
+        match (self, sup) {
+            (SequenceType::Empty, SequenceType::Empty) => true,
+            (SequenceType::Empty, SequenceType::Seq(_, o)) => o.allows_empty(),
+            (SequenceType::Seq(..), SequenceType::Empty) => false,
+            (SequenceType::Seq(i1, o1), SequenceType::Seq(i2, o2)) => {
+                o1.is_subtype_of(*o2) && i1.is_subtype_of(i2)
+            }
+        }
+    }
+
+    /// Non-empty intersection — the *optimistic* acceptance rule of §4.1.
+    /// Conservative in the optimistic direction: returns `true` unless the
+    /// two types are provably disjoint.
+    pub fn intersects(&self, other: &SequenceType) -> bool {
+        match (self, other) {
+            (SequenceType::Empty, o) | (o, SequenceType::Empty) => {
+                matches!(o, SequenceType::Empty) || o.occurrence().allows_empty()
+            }
+            (SequenceType::Seq(i1, o1), SequenceType::Seq(i2, o2)) => {
+                // the empty sequence inhabits both types?
+                (o1.allows_empty() && o2.allows_empty()) || i1.intersects(i2)
+            }
+        }
+    }
+
+    /// Least upper bound, used for `if/else` branches and sequence unions.
+    pub fn union(&self, other: &SequenceType) -> SequenceType {
+        match (self, other) {
+            (SequenceType::Empty, SequenceType::Empty) => SequenceType::Empty,
+            (SequenceType::Empty, SequenceType::Seq(i, o))
+            | (SequenceType::Seq(i, o), SequenceType::Empty) => {
+                SequenceType::Seq(i.clone(), o.union(Occurrence::Optional))
+            }
+            (SequenceType::Seq(i1, o1), SequenceType::Seq(i2, o2)) => {
+                SequenceType::Seq(i1.union(i2), o1.union(*o2))
+            }
+        }
+    }
+
+    /// The type of the concatenation `self, other`.
+    pub fn sequence_with(&self, other: &SequenceType) -> SequenceType {
+        match (self, other) {
+            (SequenceType::Empty, t) | (t, SequenceType::Empty) => t.clone(),
+            (SequenceType::Seq(i1, o1), SequenceType::Seq(i2, o2)) => {
+                SequenceType::Seq(i1.union(i2), o1.sequence_with(*o2))
+            }
+        }
+    }
+
+    /// The static type of atomizing this sequence (`fn:data`).
+    pub fn atomized(&self) -> SequenceType {
+        match self {
+            SequenceType::Empty => SequenceType::Empty,
+            SequenceType::Seq(i, o) => match i.atomized() {
+                Some((t, extra_opt)) => {
+                    let occ = if extra_opt { o.union(Occurrence::Optional) } else { *o };
+                    SequenceType::Seq(ItemType::Atomic(t), occ)
+                }
+                None => SequenceType::Seq(ItemType::Atomic(AtomicType::AnyAtomic), *o),
+            },
+        }
+    }
+
+    /// Runtime `typematch`: does a dynamic sequence conform?
+    pub fn matches(&self, seq: &[Item]) -> bool {
+        match self {
+            SequenceType::Empty => seq.is_empty(),
+            SequenceType::Seq(item, occ) => {
+                match seq.len() {
+                    0 => occ.allows_empty(),
+                    1 => item.matches(&seq[0]),
+                    _ => occ.allows_many() && seq.iter().all(|it| item.matches(it)),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for SequenceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceType::Empty => f.write_str("empty-sequence()"),
+            SequenceType::Seq(i, o) => write!(f, "{i}{}", o.suffix()),
+        }
+    }
+}
+
+/// An XQuery item type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemType {
+    /// `item()`.
+    AnyItem,
+    /// `node()`.
+    AnyNode,
+    /// `document-node()`.
+    Document,
+    /// `text()`.
+    Text,
+    /// An atomic type.
+    Atomic(AtomicType),
+    /// `element(N, content)` with structural content.
+    Element(ElementType),
+    /// `attribute(N)` with an atomic value type.
+    Attribute {
+        /// Attribute name; `None` is the wildcard `attribute(*)`.
+        name: Option<QName>,
+        /// Value type.
+        typ: AtomicType,
+    },
+    /// The *error type* assigned to expressions that failed analysis in
+    /// the design-time error-recovery mode (§4.1). It is a subtype of
+    /// everything, so downstream checking proceeds without cascades.
+    Error,
+}
+
+impl ItemType {
+    /// A named element with unconstrained (`ANYTYPE`) content — the static
+    /// type the XQuery spec would give a freshly constructed element.
+    pub fn element_any(name: QName) -> ItemType {
+        ItemType::Element(ElementType { name: Some(name), content: ContentType::Any })
+    }
+
+    /// A named element with typed simple content.
+    pub fn element_simple(name: QName, t: AtomicType) -> ItemType {
+        ItemType::Element(ElementType { name: Some(name), content: ContentType::Simple(t) })
+    }
+
+    /// Structural item subtyping.
+    pub fn is_subtype_of(&self, sup: &ItemType) -> bool {
+        use ItemType::*;
+        match (self, sup) {
+            (Error, _) | (_, AnyItem) => true,
+            (AnyItem, _) => false,
+            (Atomic(a), Atomic(b)) => a.is_subtype_of(*b),
+            (Atomic(_), _) | (_, Atomic(_)) => false,
+            (_, AnyNode) => true,
+            (AnyNode, _) => false,
+            (Document, Document) | (Text, Text) => true,
+            (Element(a), Element(b)) => a.is_subtype_of(b),
+            (
+                Attribute { name: n1, typ: t1 },
+                Attribute { name: n2, typ: t2 },
+            ) => name_subsumes(n2, n1) && t1.is_subtype_of(*t2),
+            _ => false,
+        }
+    }
+
+    /// Provably-non-disjoint test for optimistic typing: `true` unless the
+    /// two item types cannot share an inhabitant.
+    pub fn intersects(&self, other: &ItemType) -> bool {
+        use ItemType::*;
+        match (self, other) {
+            (Error, _) | (_, Error) | (AnyItem, _) | (_, AnyItem) => true,
+            (Atomic(a), Atomic(b)) => a.intersects(*b),
+            (Atomic(_), _) | (_, Atomic(_)) => false,
+            (AnyNode, _) | (_, AnyNode) => true,
+            (Element(a), Element(b)) => a.intersects(b),
+            (Attribute { name: n1, .. }, Attribute { name: n2, .. }) => names_intersect(n1, n2),
+            (Document, Document) | (Text, Text) => true,
+            _ => false,
+        }
+    }
+
+    /// Least upper bound (pragmatic: exact match, name-preserving element
+    /// widening, atomic lattice join, otherwise `item()`).
+    pub fn union(&self, other: &ItemType) -> ItemType {
+        use ItemType::*;
+        if self == other {
+            return self.clone();
+        }
+        match (self, other) {
+            (Error, t) | (t, Error) => t.clone(),
+            (Atomic(a), Atomic(b)) => Atomic(atomic_join(*a, *b)),
+            (Element(a), Element(b)) if a.name.is_some() && a.name == b.name => {
+                Element(ElementType { name: a.name.clone(), content: a.content.union(&b.content) })
+            }
+            (Element(_), Element(_)) => Element(ElementType { name: None, content: ContentType::Any }),
+            (a, b) if a.is_node_type() && b.is_node_type() => AnyNode,
+            _ => AnyItem,
+        }
+    }
+
+    fn is_node_type(&self) -> bool {
+        matches!(
+            self,
+            ItemType::AnyNode
+                | ItemType::Document
+                | ItemType::Text
+                | ItemType::Element(_)
+                | ItemType::Attribute { .. }
+        )
+    }
+
+    /// The atomized type of one item of this type: `(atomic-type,
+    /// may-be-empty)`. `None` means unknown (`anyAtomicType`).
+    fn atomized(&self) -> Option<(AtomicType, bool)> {
+        match self {
+            ItemType::Atomic(t) => Some((*t, false)),
+            ItemType::Attribute { typ, .. } => Some((*typ, false)),
+            ItemType::Text => Some((AtomicType::Untyped, false)),
+            ItemType::Element(e) => match &e.content {
+                ContentType::Simple(t) => Some((*t, true)),
+                ContentType::Any => None,
+                ContentType::Complex(_) => Some((AtomicType::Untyped, true)),
+            },
+            _ => None,
+        }
+    }
+
+    /// Runtime conformance of a single item.
+    pub fn matches(&self, item: &Item) -> bool {
+        use ItemType::*;
+        match (self, item) {
+            (AnyItem, _) | (Error, _) => true,
+            (Atomic(t), Item::Atomic(v)) => v.type_of().is_subtype_of(*t),
+            (AnyNode, Item::Node(_)) => true,
+            (Document, Item::Node(n)) => matches!(n.kind(), NodeKind::Document { .. }),
+            (Text, Item::Node(n)) => matches!(n.kind(), NodeKind::Text { .. }),
+            (Element(et), Item::Node(n)) => et.matches_node(n),
+            (Attribute { name, typ }, Item::Node(n)) => match n.kind() {
+                NodeKind::Attribute { name: an, value } => {
+                    name_subsumes(name, &Some(an.clone()))
+                        && value.type_of().is_subtype_of(*typ)
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+fn atomic_join(a: AtomicType, b: AtomicType) -> AtomicType {
+    if a == b {
+        a
+    } else if a.is_subtype_of(b) {
+        b
+    } else if b.is_subtype_of(a) {
+        a
+    } else {
+        AtomicType::AnyAtomic
+    }
+}
+
+/// Does the (possibly wildcard) `sup` name admit `sub`?
+fn name_subsumes(sup: &Option<QName>, sub: &Option<QName>) -> bool {
+    match (sup, sub) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(a), Some(b)) => a == b,
+    }
+}
+
+fn names_intersect(a: &Option<QName>, b: &Option<QName>) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x == y,
+        _ => true,
+    }
+}
+
+impl fmt::Display for ItemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItemType::AnyItem => f.write_str("item()"),
+            ItemType::AnyNode => f.write_str("node()"),
+            ItemType::Document => f.write_str("document-node()"),
+            ItemType::Text => f.write_str("text()"),
+            ItemType::Atomic(t) => write!(f, "{t}"),
+            ItemType::Element(e) => write!(f, "{e}"),
+            ItemType::Attribute { name, .. } => match name {
+                Some(n) => write!(f, "attribute({n})"),
+                None => f.write_str("attribute(*)"),
+            },
+            ItemType::Error => f.write_str("error()"),
+        }
+    }
+}
+
+/// An element type: optional fixed name plus structural content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementType {
+    /// The element name; `None` is the wildcard `element(*)`.
+    pub name: Option<QName>,
+    /// The structural content type.
+    pub content: ContentType,
+}
+
+impl ElementType {
+    /// Wildcard element with unconstrained content.
+    pub fn any() -> ElementType {
+        ElementType { name: None, content: ContentType::Any }
+    }
+
+    fn is_subtype_of(&self, sup: &ElementType) -> bool {
+        name_subsumes(&sup.name, &self.name) && self.content.is_subtype_of(&sup.content)
+    }
+
+    fn intersects(&self, other: &ElementType) -> bool {
+        names_intersect(&self.name, &other.name)
+    }
+
+    /// Runtime conformance of an element node against this type.
+    pub fn matches_node(&self, n: &crate::node::Node) -> bool {
+        let NodeKind::Element { name, .. } = n.kind() else {
+            return false;
+        };
+        if let Some(expect) = &self.name {
+            if expect != name {
+                return false;
+            }
+        }
+        match &self.content {
+            ContentType::Any => true,
+            ContentType::Simple(t) => match n.typed_value() {
+                Some(v) => v.type_of().is_subtype_of(*t) || v.type_of() == AtomicType::Untyped,
+                None => true, // empty content conforms to optional simple content
+            },
+            ContentType::Complex(c) => c.matches_children(n),
+        }
+    }
+}
+
+impl fmt::Display for ElementType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name, &self.content) {
+            (Some(n), ContentType::Any) => write!(f, "element({n})"),
+            (Some(n), ContentType::Simple(t)) => write!(f, "element({n}, {t})"),
+            (Some(n), ContentType::Complex(_)) => write!(f, "element({n}, complex)"),
+            (None, _) => f.write_str("element(*)"),
+        }
+    }
+}
+
+/// The content model of an element type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentType {
+    /// `ANYTYPE` — unconstrained content (what the XQuery spec would give
+    /// every constructed element; ALDSP avoids this via structural typing).
+    Any,
+    /// Typed simple content (a single typed text leaf).
+    Simple(AtomicType),
+    /// A sequence of named child elements plus attributes.
+    Complex(ComplexContent),
+}
+
+impl ContentType {
+    fn is_subtype_of(&self, sup: &ContentType) -> bool {
+        match (self, sup) {
+            (_, ContentType::Any) => true,
+            (ContentType::Any, _) => false,
+            (ContentType::Simple(a), ContentType::Simple(b)) => a.is_subtype_of(*b),
+            (ContentType::Complex(a), ContentType::Complex(b)) => a.is_subtype_of(b),
+            _ => false,
+        }
+    }
+
+    fn union(&self, other: &ContentType) -> ContentType {
+        if self == other {
+            self.clone()
+        } else {
+            match (self, other) {
+                (ContentType::Simple(a), ContentType::Simple(b)) => {
+                    ContentType::Simple(atomic_join(*a, *b))
+                }
+                _ => ContentType::Any,
+            }
+        }
+    }
+}
+
+/// Structural complex content: an ordered sequence of child element
+/// declarations plus attribute declarations. This is the pragmatic
+/// "sequence of named fields" model that relational row shapes and
+/// data-service shapes need — not full regular tree grammars.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ComplexContent {
+    /// Attribute declarations.
+    pub attributes: Vec<AttributeDecl>,
+    /// Child element declarations, in content-model order.
+    pub children: Vec<ChildDecl>,
+}
+
+impl ComplexContent {
+    fn is_subtype_of(&self, sup: &ComplexContent) -> bool {
+        // positional, name-by-name comparison — sufficient for the
+        // record-like shapes data services use
+        self.children.len() == sup.children.len()
+            && self
+                .children
+                .iter()
+                .zip(&sup.children)
+                .all(|(a, b)| {
+                    a.occ.is_subtype_of(b.occ)
+                        && name_subsumes(&b.elem.name, &a.elem.name)
+                        && a.elem.content.is_subtype_of(&b.elem.content)
+                })
+    }
+
+    /// Runtime check that an element's children conform (greedy matching
+    /// of the sequence model).
+    pub fn matches_children(&self, n: &crate::node::Node) -> bool {
+        let kids: Vec<_> = n.all_child_elements().collect();
+        let mut i = 0;
+        for decl in &self.children {
+            let mut count = 0;
+            while i < kids.len()
+                && kids[i].name() == decl.elem.name.as_ref()
+                && (decl.occ.allows_many() || count == 0)
+            {
+                if !decl.elem.matches_node(kids[i]) {
+                    return false;
+                }
+                i += 1;
+                count += 1;
+            }
+            if count == 0 && !decl.occ.allows_empty() {
+                return false;
+            }
+        }
+        i == kids.len()
+    }
+
+    /// Look up the declaration of child `name`.
+    pub fn child(&self, name: &QName) -> Option<&ChildDecl> {
+        self.children.iter().find(|c| c.elem.name.as_ref() == Some(name))
+    }
+}
+
+/// One attribute declaration inside complex content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDecl {
+    /// Attribute name.
+    pub name: QName,
+    /// Value type.
+    pub typ: AtomicType,
+    /// Whether the attribute must be present.
+    pub required: bool,
+}
+
+/// One child-element declaration inside complex content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChildDecl {
+    /// The child's element type.
+    pub elem: ElementType,
+    /// How many times it may occur.
+    pub occ: Occurrence,
+}
+
+impl ChildDecl {
+    /// A required simple-typed child — the shape of a NOT NULL column.
+    pub fn required(name: QName, t: AtomicType) -> ChildDecl {
+        ChildDecl {
+            elem: ElementType { name: Some(name), content: ContentType::Simple(t) },
+            occ: Occurrence::One,
+        }
+    }
+
+    /// An optional simple-typed child — the shape of a nullable column
+    /// (NULLs are modeled as missing elements, §4.3).
+    pub fn optional(name: QName, t: AtomicType) -> ChildDecl {
+        ChildDecl {
+            elem: ElementType { name: Some(name), content: ContentType::Simple(t) },
+            occ: Occurrence::Optional,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+    use crate::value::AtomicValue as V;
+
+    fn row_type() -> ItemType {
+        ItemType::Element(ElementType {
+            name: Some(QName::local("CUSTOMER")),
+            content: ContentType::Complex(ComplexContent {
+                attributes: vec![],
+                children: vec![
+                    ChildDecl::required(QName::local("CID"), AtomicType::String),
+                    ChildDecl::optional(QName::local("LAST_NAME"), AtomicType::String),
+                ],
+            }),
+        })
+    }
+
+    #[test]
+    fn occurrence_subsumption() {
+        use Occurrence::*;
+        assert!(One.is_subtype_of(Star));
+        assert!(One.is_subtype_of(Optional));
+        assert!(Plus.is_subtype_of(Star));
+        assert!(!Star.is_subtype_of(Plus));
+        assert!(!Optional.is_subtype_of(One));
+    }
+
+    #[test]
+    fn occurrence_algebra() {
+        use Occurrence::*;
+        assert_eq!(One.sequence_with(One), Plus);
+        assert_eq!(Optional.sequence_with(Star), Star);
+        assert_eq!(One.iterated_by(Star), Star);
+        assert_eq!(One.iterated_by(One), One);
+        assert_eq!(Plus.iterated_by(Plus), Plus);
+        assert_eq!(One.union(Optional), Optional);
+        assert_eq!(Plus.union(Optional), Star);
+    }
+
+    #[test]
+    fn sequence_subtyping() {
+        let a = SequenceType::atomic(AtomicType::Integer);
+        let b = SequenceType::Seq(ItemType::Atomic(AtomicType::Decimal), Occurrence::Star);
+        assert!(a.is_subtype_of(&b));
+        assert!(!b.is_subtype_of(&a));
+        assert!(SequenceType::Empty.is_subtype_of(&b));
+        assert!(!SequenceType::Empty
+            .is_subtype_of(&SequenceType::atomic(AtomicType::Integer)));
+    }
+
+    #[test]
+    fn optimistic_intersection() {
+        // the paper's rule: f($x) valid iff types intersect
+        let string1 = SequenceType::atomic(AtomicType::String);
+        let int1 = SequenceType::atomic(AtomicType::Integer);
+        assert!(!string1.intersects(&int1)); // provably disjoint → reject
+        let dec = SequenceType::atomic(AtomicType::Decimal);
+        assert!(int1.intersects(&dec)); // needs typematch only if not subtype
+        // both optional → empty inhabits both
+        let s_opt = string1.with_occurrence(Occurrence::Optional);
+        let i_opt = int1.with_occurrence(Occurrence::Optional);
+        assert!(s_opt.intersects(&i_opt));
+    }
+
+    #[test]
+    fn structural_element_typing_survives_construction() {
+        // element(CUSTOMER, complex) is a subtype of element(CUSTOMER)
+        // (ANYTYPE content) but not vice versa.
+        let structural = row_type();
+        let anytype = ItemType::element_any(QName::local("CUSTOMER"));
+        assert!(structural.is_subtype_of(&anytype));
+        assert!(!anytype.is_subtype_of(&structural));
+        // and the wildcard admits both
+        let wild = ItemType::Element(ElementType::any());
+        assert!(structural.is_subtype_of(&wild));
+    }
+
+    #[test]
+    fn runtime_typematch() {
+        let t = SequenceType::Seq(row_type(), Occurrence::Star);
+        let good = Node::element(
+            QName::local("CUSTOMER"),
+            vec![],
+            vec![Node::simple_element(QName::local("CID"), V::str("C1"))],
+        );
+        assert!(t.matches(&[Item::Node(good)]));
+        let bad_name = Node::element(QName::local("ORDER"), vec![], vec![]);
+        assert!(!t.matches(&[Item::Node(bad_name)]));
+        // missing required CID
+        let missing = Node::element(QName::local("CUSTOMER"), vec![], vec![]);
+        assert!(!t.matches(&[Item::Node(missing)]));
+        // empty sequence ok under *
+        assert!(t.matches(&[]));
+        // cardinality violation under One
+        let one = SequenceType::one(ItemType::Atomic(AtomicType::Integer));
+        assert!(!one.matches(&[]));
+        assert!(!one.matches(&[Item::int(1), Item::int(2)]));
+        assert!(one.matches(&[Item::int(1)]));
+    }
+
+    #[test]
+    fn union_keeps_named_elements() {
+        let a = ItemType::element_simple(QName::local("E"), AtomicType::Integer);
+        let b = ItemType::element_simple(QName::local("E"), AtomicType::Decimal);
+        match a.union(&b) {
+            ItemType::Element(e) => {
+                assert_eq!(e.name, Some(QName::local("E")));
+                assert_eq!(e.content, ContentType::Simple(AtomicType::Decimal));
+            }
+            other => panic!("unexpected union: {other:?}"),
+        }
+        let c = ItemType::element_simple(QName::local("F"), AtomicType::Integer);
+        match a.union(&c) {
+            ItemType::Element(e) => assert_eq!(e.name, None),
+            other => panic!("unexpected union: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomization_types() {
+        // element(E, xs:integer) atomizes to integer? (may be empty)
+        let t = SequenceType::one(ItemType::element_simple(
+            QName::local("E"),
+            AtomicType::Integer,
+        ));
+        match t.atomized() {
+            SequenceType::Seq(ItemType::Atomic(AtomicType::Integer), occ) => {
+                assert!(occ.allows_empty());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // atomic stays put
+        let a = SequenceType::atomic(AtomicType::String).atomized();
+        assert_eq!(a, SequenceType::atomic(AtomicType::String));
+    }
+
+    #[test]
+    fn error_type_is_bottom() {
+        assert!(ItemType::Error.is_subtype_of(&ItemType::Atomic(AtomicType::Date)));
+        assert!(ItemType::Error.intersects(&ItemType::Text));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SequenceType::any().to_string(), "item()*");
+        assert_eq!(
+            SequenceType::atomic(AtomicType::Integer).to_string(),
+            "xs:integer"
+        );
+        assert_eq!(
+            SequenceType::Seq(
+                ItemType::element_any(QName::local("PROFILE")),
+                Occurrence::Star
+            )
+            .to_string(),
+            "element(PROFILE)*"
+        );
+        assert_eq!(SequenceType::Empty.to_string(), "empty-sequence()");
+    }
+}

@@ -1,0 +1,465 @@
+//! XML serialization and parsing.
+//!
+//! ALDSP's non-queryable sources include XML files (§2.2, §5.3): their
+//! content is parsed, validated against a registered schema, and fed into
+//! the runtime as typed tokens. This module supplies the (small,
+//! namespace-aware) parser the XML file adaptor uses and the serializer
+//! used to deliver query results. Text parsed here is `xs:untypedAtomic`
+//! until schema validation assigns types (see [`crate::schema`]).
+
+use crate::node::{Node, NodeKind, NodeRef};
+use crate::qname::{Namespaces, QName};
+use crate::value::AtomicValue;
+use crate::{Result, XdmError};
+use std::fmt::Write as _;
+
+/// Serialize a node to XML text.
+pub fn serialize(node: &Node) -> String {
+    let mut out = String::new();
+    write_node(node, &mut out);
+    out
+}
+
+/// Serialize a sequence of items, space-separating adjacent atomics per the
+/// XQuery serialization rules.
+pub fn serialize_sequence(items: &[crate::item::Item]) -> String {
+    let mut out = String::new();
+    let mut prev_atomic = false;
+    for item in items {
+        match item {
+            crate::item::Item::Atomic(v) => {
+                if prev_atomic {
+                    out.push(' ');
+                }
+                escape_text(&v.string_value(), &mut out);
+                prev_atomic = true;
+            }
+            crate::item::Item::Node(n) => {
+                write_node(n, &mut out);
+                prev_atomic = false;
+            }
+        }
+    }
+    out
+}
+
+fn write_node(node: &Node, out: &mut String) {
+    match node.kind() {
+        NodeKind::Document { children } => {
+            for c in children {
+                write_node(c, out);
+            }
+        }
+        NodeKind::Element { name, attributes, children } => {
+            out.push('<');
+            write_name(name, out);
+            for a in attributes {
+                if let NodeKind::Attribute { name, value } = a.kind() {
+                    out.push(' ');
+                    write_name(name, out);
+                    out.push_str("=\"");
+                    escape_attr(&value.string_value(), out);
+                    out.push('"');
+                }
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    write_node(c, out);
+                }
+                out.push_str("</");
+                write_name(name, out);
+                out.push('>');
+            }
+        }
+        NodeKind::Attribute { name, value } => {
+            write_name(name, out);
+            out.push_str("=\"");
+            escape_attr(&value.string_value(), out);
+            out.push('"');
+        }
+        NodeKind::Text { value } => escape_text(&value.string_value(), out),
+    }
+}
+
+fn write_name(name: &QName, out: &mut String) {
+    if let Some(p) = name.prefix() {
+        let _ = write!(out, "{p}:");
+    }
+    out.push_str(name.local_name());
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Parse an XML document into a node tree. Namespace-aware; comments,
+/// processing instructions and the XML declaration are skipped; DTDs are
+/// rejected. All text becomes `xs:untypedAtomic` pending validation.
+pub fn parse(input: &str) -> Result<NodeRef> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_misc()?;
+    let ns = Namespaces::default();
+    let root = p.parse_element(&ns)?;
+    p.skip_misc()?;
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing content after document element"));
+    }
+    Ok(Node::document(vec![root]))
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> XdmError {
+        XdmError::XmlParse { pos: self.pos, message: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                return Err(self.err("DOCTYPE is not supported"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<()> {
+        while self.pos < self.input.len() {
+            if self.starts_with(end) {
+                self.pos += end.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated construct"))
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in name"))?
+            .to_string())
+    }
+
+    fn parse_element(&mut self, parent_ns: &Namespaces) -> Result<NodeRef> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let raw_name = self.read_name()?;
+        let mut ns = parent_ns.clone();
+        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') => break,
+                Some(_) => {
+                    let aname = self.read_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or_else(|| self.err("unterminated attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err("attribute value must be quoted"));
+                    }
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let value = decode_entities(
+                        std::str::from_utf8(&self.input[vstart..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                    self.pos += 1;
+                    if aname == "xmlns" {
+                        ns.set_default_element_ns(&value);
+                    } else if let Some(p) = aname.strip_prefix("xmlns:") {
+                        ns.bind(p, &value);
+                    } else {
+                        raw_attrs.push((aname, value));
+                    }
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        let name = ns
+            .expand(&raw_name, true)
+            .ok_or_else(|| self.err(&format!("unbound namespace prefix in <{raw_name}>")))?;
+        let attrs: Vec<NodeRef> = raw_attrs
+            .into_iter()
+            .map(|(an, av)| {
+                let qn = ns
+                    .expand(&an, false)
+                    .ok_or_else(|| self.err(&format!("unbound prefix in attribute {an}")))?;
+                Ok(Node::attribute(qn, AtomicValue::untyped(&av)))
+            })
+            .collect::<Result<_>>()?;
+        if self.peek() == Some(b'/') {
+            self.pos += 1;
+            if self.peek() != Some(b'>') {
+                return Err(self.err("expected '>' after '/'"));
+            }
+            self.pos += 1;
+            return Ok(Node::element(name, attrs, vec![]));
+        }
+        self.pos += 1; // '>'
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.read_name()?;
+                if close != raw_name {
+                    return Err(self.err(&format!(
+                        "mismatched close tag: expected </{raw_name}>, found </{close}>"
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in close tag"));
+                }
+                self.pos += 1;
+                // drop whitespace-only text between element children
+                if children.len() > 1 {
+                    prune_ws(&mut children);
+                }
+                return Ok(Node::element(name, attrs, children));
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                children.push(self.parse_element(&ns)?);
+            } else if self.peek().is_none() {
+                return Err(self.err(&format!("unterminated element <{raw_name}>")));
+            } else {
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != b'<') {
+                    self.pos += 1;
+                }
+                let text = decode_entities(
+                    std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in text"))?,
+                );
+                if !text.is_empty() {
+                    children.push(Node::text(AtomicValue::untyped(&text)));
+                }
+            }
+        }
+    }
+}
+
+/// Remove whitespace-only text nodes that sit between element children
+/// (document formatting noise).
+fn prune_ws(children: &mut Vec<NodeRef>) {
+    let has_element = children
+        .iter()
+        .any(|c| matches!(c.kind(), NodeKind::Element { .. }));
+    if has_element {
+        children.retain(|c| match c.kind() {
+            NodeKind::Text { value } => !value.string_value().trim().is_empty(),
+            _ => true,
+        });
+    }
+}
+
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let semi = rest.find(';');
+        match semi {
+            Some(end) => {
+                let ent = &rest[1..end];
+                match ent {
+                    "lt" => out.push('<'),
+                    "gt" => out.push('>'),
+                    "amp" => out.push('&'),
+                    "quot" => out.push('"'),
+                    "apos" => out.push('\''),
+                    _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                        if let Ok(cp) = u32::from_str_radix(&ent[2..], 16) {
+                            if let Some(c) = char::from_u32(cp) {
+                                out.push(c);
+                            }
+                        }
+                    }
+                    _ if ent.starts_with('#') => {
+                        if let Ok(cp) = ent[1..].parse::<u32>() {
+                            if let Some(c) = char::from_u32(cp) {
+                                out.push(c);
+                            }
+                        }
+                    }
+                    _ => {
+                        out.push('&');
+                        out.push_str(ent);
+                        out.push(';');
+                    }
+                }
+                rest = &rest[end + 1..];
+            }
+            None => {
+                out.push_str(rest);
+                break;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AtomicValue as V;
+
+    #[test]
+    fn serialize_simple_tree() {
+        let n = Node::element(
+            QName::local("CUSTOMER"),
+            vec![Node::attribute(QName::local("status"), V::str("a\"b"))],
+            vec![Node::simple_element(QName::local("CID"), V::str("C<1>"))],
+        );
+        assert_eq!(
+            serialize(&n),
+            r#"<CUSTOMER status="a&quot;b"><CID>C&lt;1&gt;</CID></CUSTOMER>"#
+        );
+    }
+
+    #[test]
+    fn serialize_empty_element_self_closes() {
+        let n = Node::element(QName::local("E"), vec![], vec![]);
+        assert_eq!(serialize(&n), "<E/>");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let src = r#"<CUSTOMER status="gold"><CID>C1</CID><LAST_NAME>Jones &amp; co</LAST_NAME></CUSTOMER>"#;
+        let doc = parse(src).unwrap();
+        let root = &doc.children()[0];
+        assert_eq!(root.name().unwrap().local_name(), "CUSTOMER");
+        assert_eq!(
+            root.attribute_named(&QName::local("status")).unwrap().string_value(),
+            "gold"
+        );
+        assert_eq!(
+            root.child_elements(&QName::local("LAST_NAME"))
+                .next()
+                .unwrap()
+                .string_value(),
+            "Jones & co"
+        );
+        // reserialize and reparse: stable
+        let again = parse(&serialize(root)).unwrap();
+        assert!(again.children()[0].deep_equal(root));
+    }
+
+    #[test]
+    fn parse_namespaces() {
+        let src = r#"<t:PROFILE xmlns:t="urn:profile" xmlns="urn:default"><CID>1</CID></t:PROFILE>"#;
+        let doc = parse(src).unwrap();
+        let root = &doc.children()[0];
+        assert_eq!(root.name().unwrap().uri(), Some("urn:profile"));
+        let cid = root.all_child_elements().next().unwrap();
+        assert_eq!(cid.name().unwrap().uri(), Some("urn:default"));
+    }
+
+    #[test]
+    fn parse_skips_decl_comments_and_ws() {
+        let src = "<?xml version=\"1.0\"?>\n<!-- hi -->\n<R>\n  <A>1</A>\n  <A>2</A>\n</R>";
+        let doc = parse(src).unwrap();
+        let root = &doc.children()[0];
+        assert_eq!(root.all_child_elements().count(), 2);
+        // whitespace-only text pruned
+        assert_eq!(root.children().len(), 2);
+    }
+
+    #[test]
+    fn parse_preserves_mixed_text() {
+        let doc = parse("<A>one</A>").unwrap();
+        assert_eq!(doc.children()[0].string_value(), "one");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("<A><B></A>").is_err());
+        assert!(parse("<A attr=x/>").is_err());
+        assert!(parse("<A>").is_err());
+        assert!(parse("<!DOCTYPE foo><A/>").is_err());
+        assert!(parse("<A/><B/>").is_err());
+        assert!(parse("<zz:A/>").is_err()); // unbound prefix
+    }
+
+    #[test]
+    fn entity_decoding() {
+        assert_eq!(decode_entities("a&#65;&#x42;&amp;"), "aAB&");
+        assert_eq!(decode_entities("&unknown;"), "&unknown;");
+        assert_eq!(decode_entities("plain"), "plain");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the data-model crate: randomized trees roundtrip
+//! through serialization, token streams, and validation; the type
+//! algebra obeys lattice laws.
+
+use aldsp_xdm::item::Item;
+use aldsp_xdm::node::{Node, NodeRef};
+use aldsp_xdm::tokens::{node_to_tokens, tokens_to_items};
+use aldsp_xdm::types::Occurrence;
+use aldsp_xdm::value::{AtomicType, AtomicValue, Decimal};
+use aldsp_xdm::{xml, QName};
+use proptest::prelude::*;
+
+/// A strategy for small element trees with typed leaves.
+fn tree_strategy() -> impl Strategy<Value = NodeRef> {
+    let leaf = (0..4usize, -1000i64..1000i64).prop_map(|(n, v)| {
+        let name = QName::local(["A", "B", "C", "D"][n]);
+        match v % 3 {
+            0 => Node::simple_element(name, AtomicValue::Integer(v)),
+            1 => Node::simple_element(name, AtomicValue::str(&format!("s{v}"))),
+            _ => Node::simple_element(name, AtomicValue::Decimal(Decimal::from_int(v))),
+        }
+    });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (0..4usize, prop::collection::vec(inner, 0..4)).prop_map(|(n, children)| {
+            Node::element(QName::local(["R", "S", "T", "U"][n]), vec![], children)
+        })
+    })
+}
+
+proptest! {
+    /// serialize → parse preserves structure and string values.
+    #[test]
+    fn xml_serialize_parse_roundtrip(tree in tree_strategy()) {
+        let text = xml::serialize(&tree);
+        let doc = xml::parse(&text).expect("serializer output must parse");
+        let root = &doc.children()[0];
+        // names and string values are preserved (type annotations become
+        // untyped through the text form, by design — validation restores
+        // them)
+        prop_assert_eq!(root.name(), tree.name());
+        prop_assert_eq!(root.string_value(), tree.string_value());
+        prop_assert_eq!(
+            count_elements(root),
+            count_elements(&tree),
+            "element counts differ:\n{}",
+            text
+        );
+    }
+
+    /// node → tokens → node is the identity (including type annotations).
+    #[test]
+    fn token_stream_roundtrip(tree in tree_strategy()) {
+        let mut tokens = Vec::new();
+        node_to_tokens(&tree, &mut tokens);
+        let items = tokens_to_items(&tokens).expect("own tokens parse");
+        prop_assert_eq!(items.len(), 1);
+        let Item::Node(back) = &items[0] else { panic!("expected a node") };
+        prop_assert!(back.deep_equal(&tree));
+    }
+
+    /// Occurrence algebra: subtyping is reflexive and transitive; union
+    /// is an upper bound.
+    #[test]
+    fn occurrence_lattice_laws(a in 0..4usize, b in 0..4usize, c in 0..4usize) {
+        use Occurrence::*;
+        let occs = [One, Optional, Star, Plus];
+        let (x, y, z) = (occs[a], occs[b], occs[c]);
+        prop_assert!(x.is_subtype_of(x));
+        if x.is_subtype_of(y) && y.is_subtype_of(z) {
+            prop_assert!(x.is_subtype_of(z));
+        }
+        let u = x.union(y);
+        prop_assert!(x.is_subtype_of(u));
+        prop_assert!(y.is_subtype_of(u));
+        prop_assert_eq!(x.union(y), y.union(x));
+    }
+
+    /// Atomic casting: any value casts to string and back to a value
+    /// equal under compare().
+    #[test]
+    fn cast_to_string_roundtrips(v in -1_000_000i64..1_000_000i64, pick in 0..4usize) {
+        let value = match pick {
+            0 => AtomicValue::Integer(v),
+            1 => AtomicValue::Decimal(Decimal(v as i128 * 1000)),
+            2 => AtomicValue::Boolean(v % 2 == 0),
+            _ => AtomicValue::str(&format!("x{v}")),
+        };
+        let t = value.type_of();
+        let s = value.cast_to(AtomicType::String).expect("everything casts to string");
+        let back = s.cast_to(t).expect("canonical form casts back");
+        prop_assert_eq!(
+            value.compare(&back),
+            Some(std::cmp::Ordering::Equal),
+            "{:?} vs {:?}",
+            value,
+            back
+        );
+    }
+
+    /// Value comparison is antisymmetric and consistent with ordering.
+    #[test]
+    fn comparison_consistency(a in -1000i64..1000, b in -1000i64..1000) {
+        let (x, y) = (AtomicValue::Integer(a), AtomicValue::Integer(b));
+        let xy = x.compare(&y).expect("integers compare");
+        let yx = y.compare(&x).expect("integers compare");
+        prop_assert_eq!(xy, yx.reverse());
+        prop_assert_eq!(xy == std::cmp::Ordering::Equal, a == b);
+    }
+}
+
+fn count_elements(n: &Node) -> usize {
+    1 + n
+        .all_child_elements()
+        .map(|c| count_elements(c))
+        .sum::<usize>()
+}

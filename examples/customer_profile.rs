@@ -1,0 +1,213 @@
+//! The paper's running example (Figure 3): an integrated customer
+//! profile composed from two relational databases and a web service.
+//!
+//! `getProfile()` joins CUSTOMER and ORDER (database `db1`), fetches
+//! CREDIT_CARD rows from a *different* database (`db2`, reached with the
+//! PP-k distributed join of §4.2), and calls the credit-rating web
+//! service per customer. `getProfileByID` reuses the view — and the
+//! compiler pushes the predicate all the way into db1's SQL (§4.2).
+//!
+//! ```sh
+//! cargo run --example customer_profile
+//! ```
+
+use aldsp::adaptors::SimulatedWebService;
+use aldsp::metadata::{WebServiceDescription, WebServiceOperation};
+use aldsp::relational::{
+    Catalog, Database, Dialect, RelationalServer, SqlType, SqlValue, TableSchema,
+};
+use aldsp::security::Principal;
+use aldsp::xdm::item::Item;
+use aldsp::xdm::schema::ShapeBuilder;
+use aldsp::xdm::value::{AtomicType, AtomicValue, Decimal};
+use aldsp::xdm::xml::serialize_sequence;
+use aldsp::xdm::{Node, QName};
+use aldsp::{CallCriteria, ServerBuilder};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- db1: CUSTOMER + ORDER (with the FK that generates the
+    //      getORDER navigation function, §2.1) -------------------------
+    let mut cat1 = Catalog::new();
+    cat1.add(
+        TableSchema::builder("CUSTOMER")
+            .col("CID", SqlType::Varchar)
+            .col("LAST_NAME", SqlType::Varchar)
+            .col("SSN", SqlType::Varchar)
+            .pk(&["CID"])
+            .build()?,
+    )?;
+    cat1.add(
+        TableSchema::builder("ORDER")
+            .col("OID", SqlType::Integer)
+            .col("CID", SqlType::Varchar)
+            .col("AMOUNT", SqlType::Decimal)
+            .pk(&["OID"])
+            .fk(&["CID"], "CUSTOMER", &["CID"])
+            .build()?,
+    )?;
+    let mut db1 = Database::new();
+    for t in cat1.tables() {
+        db1.create_table(t.clone())?;
+    }
+    for (cid, last, ssn) in [
+        ("CUST001", "Jones", "111-11-1111"),
+        ("CUST002", "Smith", "222-22-2222"),
+        ("CUST003", "Chen", "333-33-3333"),
+    ] {
+        db1.insert(
+            "CUSTOMER",
+            vec![SqlValue::str(cid), SqlValue::str(last), SqlValue::str(ssn)],
+        )?;
+    }
+    for (oid, cid, amount) in [(1, "CUST001", "99.95"), (2, "CUST001", "12.50"), (3, "CUST003", "45.00")] {
+        db1.insert(
+            "ORDER",
+            vec![
+                SqlValue::Int(oid),
+                SqlValue::str(cid),
+                SqlValue::Dec(Decimal::parse(amount).expect("literal")),
+            ],
+        )?;
+    }
+
+    // ---- db2: CREDIT_CARD (a different vendor: DB2) ---------------------
+    let mut cat2 = Catalog::new();
+    cat2.add(
+        TableSchema::builder("CREDIT_CARD")
+            .col("CCN", SqlType::Varchar)
+            .col("CID", SqlType::Varchar)
+            .pk(&["CCN"])
+            .build()?,
+    )?;
+    let mut db2 = Database::new();
+    for t in cat2.tables() {
+        db2.create_table(t.clone())?;
+    }
+    for (ccn, cid) in [("4000-1111", "CUST001"), ("4000-2222", "CUST001"), ("4000-3333", "CUST002")] {
+        db2.insert("CREDIT_CARD", vec![SqlValue::str(ccn), SqlValue::str(cid)])?;
+    }
+
+    // ---- the credit-rating web service (Figure 3's ns4:getRating) ------
+    let ws_ns = "urn:ratingTypes";
+    let wsin = ShapeBuilder::element(QName::new(ws_ns, "getRating"))
+        .required("lName", AtomicType::String)
+        .required("ssn", AtomicType::String)
+        .build();
+    let wsout = ShapeBuilder::element(QName::new(ws_ns, "getRatingResponse"))
+        .required("getRatingResult", AtomicType::Integer)
+        .build();
+    let rating = Arc::new(SimulatedWebService::new("ratingWS").operation(
+        "getRating",
+        wsin.clone(),
+        wsout.clone(),
+        Arc::new(|req| {
+            let ssn = req
+                .child_elements(&QName::new("urn:ratingTypes", "ssn"))
+                .next()
+                .map(|n| n.string_value())
+                .unwrap_or_default();
+            let score = 600 + (ssn.bytes().map(u64::from).sum::<u64>() % 250) as i64;
+            Ok(Node::element(
+                QName::new("urn:ratingTypes", "getRatingResponse"),
+                vec![],
+                vec![Node::simple_element(
+                    QName::new("urn:ratingTypes", "getRatingResult"),
+                    AtomicValue::Integer(score),
+                )],
+            ))
+        }),
+    ));
+
+    let db1 = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db1));
+    let db2 = Arc::new(RelationalServer::new("db2", Dialect::Db2, db2));
+    let aldsp = ServerBuilder::new()
+        .relational_source(db1.clone(), &cat1, "urn:custDS")?
+        .relational_source(db2.clone(), &cat2, "urn:ccDS")?
+        .web_service(
+            &WebServiceDescription {
+                name: "ratingWS".into(),
+                namespace: "urn:ratingWS".into(),
+                operations: vec![WebServiceOperation {
+                    name: "getRating".into(),
+                    input: wsin,
+                    output: wsout,
+                }],
+            },
+            rating,
+        )?
+        .build();
+
+    // ---- the Figure 3 data service --------------------------------------
+    aldsp.deploy(
+        r#"
+        declare namespace tns = "urn:profileDS";
+        declare namespace ns2 = "urn:ccDS";
+        declare namespace ns3 = "urn:custDS";
+        declare namespace ns4 = "urn:ratingWS";
+        declare namespace ns5 = "urn:ratingTypes";
+
+        (::pragma function kind="read" ::)
+        declare function tns:getProfile() as element(PROFILE)* {
+          for $CUSTOMER in ns3:CUSTOMER()
+          return
+            <PROFILE>
+              <CID>{fn:data($CUSTOMER/CID)}</CID>
+              <LAST_NAME>{fn:data($CUSTOMER/LAST_NAME)}</LAST_NAME>
+              <ORDERS>{
+                for $o in ns3:ORDER() where $o/CID eq $CUSTOMER/CID return $o/OID
+              }</ORDERS>
+              <CREDIT_CARDS>{
+                for $k in ns2:CREDIT_CARD() where $k/CID eq $CUSTOMER/CID return $k/CCN
+              }</CREDIT_CARDS>
+              <RATING>{
+                fn:data(ns4:getRating(
+                  <ns5:getRating>
+                    <ns5:lName>{fn:data($CUSTOMER/LAST_NAME)}</ns5:lName>
+                    <ns5:ssn>{fn:data($CUSTOMER/SSN)}</ns5:ssn>
+                  </ns5:getRating>)/ns5:getRatingResult)
+              }</RATING>
+            </PROFILE>
+        };
+
+        (::pragma function kind="read" ::)
+        declare function tns:getProfileByID($id as xs:string) as element(PROFILE)* {
+          tns:getProfile()[CID eq $id]
+        };
+        "#,
+    )?;
+
+    let user = Principal::new("demo", &[]);
+    let profiles = aldsp.call(
+        &user,
+        &QName::new("urn:profileDS", "getProfile"),
+        vec![],
+        &CallCriteria::default(),
+    )?;
+    println!("== getProfile() ==");
+    for p in &profiles {
+        println!("{}", serialize_sequence(&[p.clone()]));
+    }
+
+    // The view-reuse case: the $id predicate travels through getProfile
+    // and lands in db1's SQL.
+    db1.reset_stats();
+    let one = aldsp.call(
+        &user,
+        &QName::new("urn:profileDS", "getProfileByID"),
+        vec![vec![Item::str("CUST001")]],
+        &CallCriteria::default(),
+    )?;
+    println!("\n== getProfileByID(\"CUST001\") ==");
+    println!("{}", serialize_sequence(&one));
+
+    println!("\nSQL sent to db1 for getProfileByID (note the pushed parameter):");
+    for sql in db1.stats().statements {
+        println!("---\n{sql}");
+    }
+    println!("\nPP-k statements sent to db2 (one disjunctive fetch per block of 20):");
+    for sql in db2.stats().statements {
+        println!("---\n{sql}");
+    }
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Non-queryable and functional sources side by side (§2.2, §5.3):
+//! a relational CUSTOMER table federated with an XML complaint file and
+//! a CSV region file, plus element-level security on the result (§7).
+//!
+//! ```sh
+//! cargo run --example federated_files
+//! ```
+
+use aldsp::adaptors::{CsvFileSource, XmlFileSource};
+use aldsp::adaptors::files::FileContent;
+use aldsp::relational::{Catalog, Database, Dialect, RelationalServer, SqlType, SqlValue, TableSchema};
+use aldsp::security::{DenialAction, ElementResource, Principal, SecurityPolicy};
+use aldsp::xdm::schema::ShapeBuilder;
+use aldsp::xdm::value::{AtomicType, AtomicValue};
+use aldsp::xdm::xml::serialize_sequence;
+use aldsp::xdm::QName;
+use aldsp::ServerBuilder;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // relational customers
+    let mut catalog = Catalog::new();
+    catalog.add(
+        TableSchema::builder("CUSTOMER")
+            .col("CID", SqlType::Varchar)
+            .col("LAST_NAME", SqlType::Varchar)
+            .col("REGION", SqlType::Varchar)
+            .pk(&["CID"])
+            .build()?,
+    )?;
+    let mut db = Database::new();
+    for t in catalog.tables() {
+        db.create_table(t.clone())?;
+    }
+    for (cid, last, region) in [("C1", "Jones", "KR"), ("C2", "Smith", "US")] {
+        db.insert(
+            "CUSTOMER",
+            vec![SqlValue::str(cid), SqlValue::str(last), SqlValue::str(region)],
+        )?;
+    }
+    let server_db = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db));
+
+    // an XML complaint file (non-queryable: read fully, validated
+    // against its registered schema — §5.3)
+    let complaint_shape = ShapeBuilder::element(QName::local("COMPLAINT"))
+        .required_local("ID", AtomicType::Integer)
+        .required_local("CID", AtomicType::String)
+        .optional_local("SEVERITY", AtomicType::Integer)
+        .build();
+    let complaints = Arc::new(XmlFileSource::new(
+        "complaints.xml",
+        FileContent::Inline(
+            "<COMPLAINTS>
+               <COMPLAINT><ID>1</ID><CID>C1</CID><SEVERITY>3</SEVERITY></COMPLAINT>
+               <COMPLAINT><ID>2</ID><CID>C1</CID></COMPLAINT>
+               <COMPLAINT><ID>3</ID><CID>C2</CID><SEVERITY>1</SEVERITY></COMPLAINT>
+             </COMPLAINTS>"
+                .into(),
+        ),
+        complaint_shape.clone(),
+    ));
+
+    // a delimited region file
+    let region_shape = ShapeBuilder::element(QName::local("REGION"))
+        .required_local("CODE", AtomicType::String)
+        .required_local("NAME", AtomicType::String)
+        .build();
+    let regions = Arc::new(CsvFileSource::new(
+        "regions.csv",
+        FileContent::Inline("KR,Korea\nUS,United States\n".into()),
+        region_shape.clone(),
+    ));
+
+    // security: only auditors may see complaint severities (§7)
+    let mut policy = SecurityPolicy::new();
+    policy.add_resource(ElementResource {
+        path: vec![QName::local("COMPLAINTS"), QName::local("COMPLAINT"), QName::local("SEVERITY")],
+        allowed_roles: vec!["auditor".into()],
+        denial: DenialAction::Replace(AtomicValue::str("redacted")),
+    });
+
+    let aldsp = ServerBuilder::new()
+        .relational_source(server_db, &catalog, "urn:custDS")?
+        .xml_file(QName::new("urn:files", "COMPLAINT"), complaints, complaint_shape)?
+        .csv_file(QName::new("urn:files", "REGION"), regions, region_shape)?
+        .security(policy)
+        .build();
+
+    let query = r#"
+        declare namespace c = "urn:custDS";
+        declare namespace f = "urn:files";
+        for $c in c:CUSTOMER()
+        return
+          <CUSTOMER_VIEW>
+            <CID>{fn:data($c/CID)}</CID>
+            <REGION_NAME>{
+              for $r in f:REGION() where $r/CODE eq $c/REGION return fn:data($r/NAME)
+            }</REGION_NAME>
+            <COMPLAINTS>{
+              for $x in f:COMPLAINT() where $x/CID eq $c/CID return $x
+            }</COMPLAINTS>
+          </CUSTOMER_VIEW>"#;
+
+    let intern = Principal::new("intern", &[]);
+    println!("== intern view (severities redacted) ==");
+    for item in aldsp.query(&intern, query, &[])? {
+        println!("{}", serialize_sequence(&[item]));
+    }
+
+    let auditor = Principal::new("auditor", &["auditor"]);
+    println!("\n== auditor view ==");
+    for item in aldsp.query(&auditor, query, &[])? {
+        println!("{}", serialize_sequence(&[item]));
+    }
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Slow and unavailable sources (§5.4–5.6): `fn-bea:async`,
+//! `fn-bea:timeout`, `fn-bea:fail-over`, and the mid-tier function
+//! cache.
+//!
+//! ```sh
+//! cargo run --example resilience
+//! ```
+
+use aldsp::adaptors::SimulatedWebService;
+use aldsp::metadata::{WebServiceDescription, WebServiceOperation};
+use aldsp::security::Principal;
+use aldsp::xdm::schema::ShapeBuilder;
+use aldsp::xdm::value::{AtomicType, AtomicValue};
+use aldsp::xdm::xml::serialize_sequence;
+use aldsp::xdm::{Node, QName};
+use aldsp::ServerBuilder;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn slow_service(name: &str, ns: &str) -> (WebServiceDescription, Arc<SimulatedWebService>) {
+    let input = ShapeBuilder::element(QName::new(ns, "req"))
+        .required("q", AtomicType::String)
+        .build();
+    let output = ShapeBuilder::element(QName::new(ns, "resp"))
+        .required("answer", AtomicType::String)
+        .build();
+    let ns_owned = ns.to_string();
+    let service = Arc::new(SimulatedWebService::new(name).operation(
+        "ask",
+        input.clone(),
+        output.clone(),
+        Arc::new(move |req| {
+            let q = req
+                .child_elements(&QName::new(&ns_owned, "q"))
+                .next()
+                .map(|n| n.string_value())
+                .unwrap_or_default();
+            Ok(Node::element(
+                QName::new(&ns_owned, "resp"),
+                vec![],
+                vec![Node::simple_element(
+                    QName::new(&ns_owned, "answer"),
+                    AtomicValue::str(&format!("answer to {q}")),
+                )],
+            ))
+        }),
+    ));
+    let desc = WebServiceDescription {
+        name: name.into(),
+        namespace: format!("urn:{name}"),
+        operations: vec![WebServiceOperation { name: "ask".into(), input, output }],
+    };
+    (desc, service)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (d1, svc1) = slow_service("alpha", "urn:t");
+    let (d2, svc2) = slow_service("beta", "urn:t");
+    let aldsp = ServerBuilder::new()
+        .web_service(&d1, svc1.clone())?
+        .web_service(&d2, svc2.clone())?
+        .build();
+    let user = Principal::new("demo", &[]);
+    const PROLOG: &str = r#"
+        declare namespace a = "urn:alpha";
+        declare namespace b = "urn:beta";
+        declare namespace t = "urn:t";
+    "#;
+
+    // ---- fn-bea:async: overlap two slow calls (§5.4) --------------------
+    svc1.set_latency(Duration::from_millis(60));
+    svc2.set_latency(Duration::from_millis(60));
+    let q = format!(
+        r#"{PROLOG}
+        <BOTH>{{
+          fn-bea:async(a:ask(<t:req><t:q>alpha</t:q></t:req>)/t:answer),
+          fn-bea:async(b:ask(<t:req><t:q>beta</t:q></t:req>)/t:answer)
+        }}</BOTH>"#
+    );
+    let t0 = Instant::now();
+    let out = aldsp.query(&user, &q, &[])?;
+    println!(
+        "async: two 60ms services answered in {:?} (overlapped)\n  {}",
+        t0.elapsed(),
+        serialize_sequence(&out)
+    );
+
+    // ---- fn-bea:timeout: cap how long we wait (§5.6) --------------------
+    svc1.set_latency(Duration::from_millis(500));
+    let q = format!(
+        r#"{PROLOG}
+        <ANSWER>{{
+          fn-bea:timeout(
+            fn:data(a:ask(<t:req><t:q>slow</t:q></t:req>)/t:answer),
+            50,
+            "n/a (timed out)")
+        }}</ANSWER>"#
+    );
+    let t0 = Instant::now();
+    let out = aldsp.query(&user, &q, &[])?;
+    println!(
+        "\ntimeout: capped a 500ms call at {:?}\n  {}",
+        t0.elapsed(),
+        serialize_sequence(&out)
+    );
+
+    // ---- fn-bea:fail-over: redundant sources (§5.6) ---------------------
+    svc1.set_available(false);
+    svc2.set_latency(Duration::ZERO);
+    let q = format!(
+        r#"{PROLOG}
+        <ANSWER>{{
+          fn-bea:fail-over(
+            fn:data(a:ask(<t:req><t:q>primary</t:q></t:req>)/t:answer),
+            fn:data(b:ask(<t:req><t:q>backup</t:q></t:req>)/t:answer))
+        }}</ANSWER>"#
+    );
+    let out = aldsp.query(&user, &q, &[])?;
+    println!("\nfail-over: primary down, alternate answered\n  {}", serialize_sequence(&out));
+
+    // ---- the function cache (§5.5) ---------------------------------------
+    svc1.set_available(true);
+    svc1.set_latency(Duration::from_millis(40));
+    aldsp.enable_function_cache(QName::new("urn:alpha", "ask"), Duration::from_secs(30));
+    let q = format!(r#"{PROLOG} fn:data(a:ask(<t:req><t:q>cached</t:q></t:req>)/t:answer)"#);
+    let t0 = Instant::now();
+    aldsp.query(&user, &q, &[])?;
+    let cold = t0.elapsed();
+    let t0 = Instant::now();
+    aldsp.query(&user, &q, &[])?;
+    let warm = t0.elapsed();
+    println!(
+        "\nfunction cache: cold call {cold:?}, cached call {warm:?} (hits={}, misses={})",
+        aldsp.stats().cache_hits,
+        aldsp.stats().cache_misses
+    );
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Shared world-building helpers for the integration tests: the paper's
+//! running example (Figure 3) at a configurable size.
+
+use aldsp::adaptors::SimulatedWebService;
+use aldsp::metadata::{WebServiceDescription, WebServiceOperation};
+use aldsp::relational::{
+    Catalog, Database, Dialect, RelationalServer, SqlType, SqlValue, TableSchema,
+};
+use aldsp::xdm::schema::ShapeBuilder;
+use aldsp::xdm::types::{ItemType, Occurrence, SequenceType};
+use aldsp::xdm::value::{AtomicType, AtomicValue, Decimal};
+use aldsp::xdm::{Node, QName};
+use aldsp::{AldspServer, ServerBuilder};
+use std::sync::Arc;
+
+pub struct World {
+    pub server: AldspServer,
+    pub db1: Arc<RelationalServer>,
+    pub db2: Arc<RelationalServer>,
+    pub rating: Arc<SimulatedWebService>,
+}
+
+pub const PROLOG: &str = r#"
+    declare namespace c = "urn:custDS";
+    declare namespace cc = "urn:ccDS";
+    declare namespace ws = "urn:ratingWS";
+    declare namespace lib = "urn:lib";
+    declare namespace r = "urn:ratingTypes";
+"#;
+
+pub fn customer_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(
+        TableSchema::builder("CUSTOMER")
+            .col("CID", SqlType::Varchar)
+            .col("LAST_NAME", SqlType::Varchar)
+            .col_null("FIRST_NAME", SqlType::Varchar)
+            .col_null("SINCE", SqlType::Integer)
+            .col_null("SSN", SqlType::Varchar)
+            .pk(&["CID"])
+            .build()
+            .expect("static schema"),
+    )
+    .expect("fresh catalog");
+    cat.add(
+        TableSchema::builder("ORDER")
+            .col("OID", SqlType::Integer)
+            .col("CID", SqlType::Varchar)
+            .col("AMOUNT", SqlType::Decimal)
+            .pk(&["OID"])
+            .fk(&["CID"], "CUSTOMER", &["CID"])
+            .build()
+            .expect("static schema"),
+    )
+    .expect("fresh catalog");
+    cat
+}
+
+pub fn card_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(
+        TableSchema::builder("CREDIT_CARD")
+            .col("CCN", SqlType::Varchar)
+            .col("CID", SqlType::Varchar)
+            .pk(&["CCN"])
+            .build()
+            .expect("static schema"),
+    )
+    .expect("fresh catalog");
+    cat
+}
+
+/// Build the running-example world with `n` customers (each customer i
+/// has i%3 orders and i%2 cards; every 7th has no FIRST_NAME).
+pub fn world(n: usize) -> World {
+    let cat1 = customer_catalog();
+    let cat2 = card_catalog();
+    let mut db1 = Database::new();
+    for t in cat1.tables() {
+        db1.create_table(t.clone()).expect("fresh db");
+    }
+    let mut oid = 0;
+    for i in 0..n {
+        let cid = format!("C{i:04}");
+        db1.insert(
+            "CUSTOMER",
+            vec![
+                SqlValue::str(&cid),
+                SqlValue::str(["Jones", "Smith", "Chen"][i % 3]),
+                if i % 7 == 0 { SqlValue::Null } else { SqlValue::str(&format!("F{i}")) },
+                SqlValue::Int(1000 + i as i64),
+                SqlValue::str(&format!("{i:09}")),
+            ],
+        )
+        .expect("generated row");
+        for _ in 0..(i % 3) {
+            oid += 1;
+            db1.insert(
+                "ORDER",
+                vec![
+                    SqlValue::Int(oid),
+                    SqlValue::str(&cid),
+                    SqlValue::Dec(Decimal::from_int((i as i64 % 50) + 1)),
+                ],
+            )
+            .expect("generated row");
+        }
+    }
+    let mut db2 = Database::new();
+    for t in cat2.tables() {
+        db2.create_table(t.clone()).expect("fresh db");
+    }
+    let mut ccn = 0;
+    for i in 0..n {
+        let cid = format!("C{i:04}");
+        for _ in 0..(i % 2) {
+            ccn += 1;
+            db2.insert(
+                "CREDIT_CARD",
+                vec![SqlValue::str(&format!("4000-{ccn:06}")), SqlValue::str(&cid)],
+            )
+            .expect("generated row");
+        }
+    }
+    let ws_ns = "urn:ratingTypes";
+    let wsin = ShapeBuilder::element(QName::new(ws_ns, "getRating"))
+        .required("lName", AtomicType::String)
+        .required("ssn", AtomicType::String)
+        .build();
+    let wsout = ShapeBuilder::element(QName::new(ws_ns, "getRatingResponse"))
+        .required("getRatingResult", AtomicType::Integer)
+        .build();
+    let rating = Arc::new(SimulatedWebService::new("ratingWS").operation(
+        "getRating",
+        wsin.clone(),
+        wsout.clone(),
+        Arc::new(|req| {
+            let ssn = req
+                .child_elements(&QName::new("urn:ratingTypes", "ssn"))
+                .next()
+                .map(|x| x.string_value())
+                .unwrap_or_default();
+            let score = 600 + (ssn.bytes().map(u64::from).sum::<u64>() % 250) as i64;
+            Ok(Node::element(
+                QName::new("urn:ratingTypes", "getRatingResponse"),
+                vec![],
+                vec![Node::simple_element(
+                    QName::new("urn:ratingTypes", "getRatingResult"),
+                    AtomicValue::Integer(score),
+                )],
+            ))
+        }),
+    ));
+    let db1 = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db1));
+    let db2 = Arc::new(RelationalServer::new("db2", Dialect::Db2, db2));
+    let (i2d, d2i) = aldsp::adaptors::native::int2date_pair();
+    let opt_int = SequenceType::Seq(ItemType::Atomic(AtomicType::Integer), Occurrence::Optional);
+    let opt_dt =
+        SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
+    let server = ServerBuilder::new()
+        .relational_source(db1.clone(), &cat1, "urn:custDS")
+        .expect("register db1")
+        .relational_source(db2.clone(), &cat2, "urn:ccDS")
+        .expect("register db2")
+        .web_service(
+            &WebServiceDescription {
+                name: "ratingWS".into(),
+                namespace: "urn:ratingWS".into(),
+                operations: vec![WebServiceOperation {
+                    name: "getRating".into(),
+                    input: wsin,
+                    output: wsout,
+                }],
+            },
+            rating.clone(),
+        )
+        .expect("register ws")
+        .native_function(QName::new("urn:lib", "int2date"), opt_int.clone(), opt_dt.clone(), i2d)
+        .expect("register int2date")
+        .native_function(QName::new("urn:lib", "date2int"), opt_dt, opt_int, d2i)
+        .expect("register date2int")
+        .inverse(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"))
+        .build();
+    World { server, db1, db2, rating }
+}

@@ -1,0 +1,276 @@
+//! Property-based tests: data-model invariants and — most importantly —
+//! *optimizer semantics preservation*: for randomized data and
+//! parameters, the fully optimized, SQL-pushing pipeline must produce
+//! exactly what a plain Rust reference computation produces.
+
+mod common;
+
+use aldsp::relational::{Database, Dialect, RelationalServer, SqlValue};
+use aldsp::security::Principal;
+use aldsp::xdm::item::Item;
+use aldsp::xdm::node::Node;
+use aldsp::xdm::tokens::{decode_tuple, encode_tuple, extract_field, Token, TupleRepr};
+use aldsp::xdm::value::{AtomicValue, Date, Decimal};
+use aldsp::xdm::{xml, QName};
+use aldsp::ServerBuilder;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn demo() -> Principal {
+    Principal::new("demo", &[])
+}
+
+// ---- data-model invariants ---------------------------------------------------
+
+proptest! {
+    #[test]
+    fn decimal_display_parse_roundtrip(units in -1_000_000_000_000i64..1_000_000_000_000i64) {
+        let d = Decimal(units as i128);
+        let s = d.to_string();
+        let back = Decimal::parse(&s).expect("own display parses");
+        prop_assert_eq!(d, back);
+    }
+
+    #[test]
+    fn date_roundtrip(days in -40_000i32..40_000i32) {
+        let d = Date(days);
+        let s = d.to_string();
+        let back = Date::parse(&s).expect("own display parses");
+        prop_assert_eq!(d, back);
+    }
+
+    #[test]
+    fn decimal_addition_commutes(a in -1_000_000i64..1_000_000i64, b in -1_000_000i64..1_000_000i64) {
+        let (x, y) = (Decimal(a as i128), Decimal(b as i128));
+        prop_assert_eq!(x.add(y), y.add(x));
+        prop_assert_eq!(x.add(y).sub(y), x);
+    }
+
+    #[test]
+    fn xml_text_roundtrip(content in "[a-zA-Z0-9<>&\"' ]{0,40}") {
+        let n = Node::simple_element(QName::local("T"), AtomicValue::str(&content));
+        let serialized = xml::serialize(&n);
+        let parsed = xml::parse(&serialized).expect("serializer output parses");
+        prop_assert_eq!(parsed.children()[0].string_value(), content);
+    }
+
+    #[test]
+    fn tuple_representations_agree(
+        fields in prop::collection::vec(-1000i64..1000i64, 1..8),
+        pick in 0usize..8
+    ) {
+        let streams: Vec<Vec<Token>> = fields
+            .iter()
+            .map(|i| vec![Token::Atomic(AtomicValue::Integer(*i))])
+            .collect();
+        let idx = pick % fields.len();
+        let mut decoded = Vec::new();
+        for repr in [TupleRepr::Stream, TupleRepr::SingleToken, TupleRepr::Array] {
+            let enc = encode_tuple(&streams, repr);
+            prop_assert_eq!(&decode_tuple(&enc).expect("round trip"), &streams);
+            prop_assert_eq!(
+                extract_field(&enc, idx).expect("field access"),
+                streams[idx].clone()
+            );
+            decoded.push(decode_tuple(&enc).expect("round trip"));
+        }
+        prop_assert_eq!(&decoded[0], &decoded[1]);
+        prop_assert_eq!(&decoded[1], &decoded[2]);
+    }
+}
+
+// ---- optimizer semantics preservation ------------------------------------------
+
+/// Random customer rows: (last_name_idx, amount, has_card).
+#[derive(Debug, Clone)]
+struct Row {
+    last: usize,
+    since: i64,
+    orders: Vec<i64>,
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (
+        0usize..4,
+        0i64..10_000,
+        prop::collection::vec(1i64..500, 0..5),
+    )
+        .prop_map(|(last, since, orders)| Row { last, since, orders })
+}
+
+const LASTS: [&str; 4] = ["Jones", "Smith", "Chen", "Garcia"];
+
+fn build_server(rows: &[Row]) -> (aldsp::AldspServer, Arc<RelationalServer>) {
+    let cat = common::customer_catalog();
+    let mut db = Database::new();
+    for t in cat.tables() {
+        db.create_table(t.clone()).expect("fresh db");
+    }
+    let mut oid = 0;
+    for (i, r) in rows.iter().enumerate() {
+        db.insert(
+            "CUSTOMER",
+            vec![
+                SqlValue::str(&format!("C{i:04}")),
+                SqlValue::str(LASTS[r.last]),
+                SqlValue::Null,
+                SqlValue::Int(r.since),
+                SqlValue::Null,
+            ],
+        )
+        .expect("row");
+        for amt in &r.orders {
+            oid += 1;
+            db.insert(
+                "ORDER",
+                vec![
+                    SqlValue::Int(oid),
+                    SqlValue::str(&format!("C{i:04}")),
+                    SqlValue::Dec(Decimal::from_int(*amt)),
+                ],
+            )
+            .expect("row");
+        }
+    }
+    let server_db = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db));
+    let server = ServerBuilder::new()
+        .relational_source(server_db.clone(), &cat, "urn:custDS")
+        .expect("register")
+        .build();
+    (server, server_db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pushed WHERE ≡ reference filter.
+    #[test]
+    fn filter_pushdown_preserves_semantics(
+        rows in prop::collection::vec(row_strategy(), 0..20),
+        threshold in 0i64..10_000
+    ) {
+        let (server, _) = build_server(&rows);
+        let q = format!(
+            r#"declare namespace c = "urn:custDS";
+               declare variable $t as xs:integer external;
+               for $c in c:CUSTOMER()
+               where $c/SINCE ge $t
+               return $c/CID"#
+        );
+        let out = server
+            .query(&demo(), &q, &[("t", vec![Item::int(threshold)])])
+            .expect("executes");
+        let expected = rows.iter().filter(|r| r.since >= threshold).count();
+        prop_assert_eq!(out.len(), expected);
+    }
+
+    /// Pushed GROUP BY + COUNT ≡ reference hash aggregation.
+    #[test]
+    fn group_count_pushdown_preserves_semantics(
+        rows in prop::collection::vec(row_strategy(), 0..20)
+    ) {
+        let (server, _) = build_server(&rows);
+        let q = r#"declare namespace c = "urn:custDS";
+                   for $c in c:CUSTOMER()
+                   group $c as $p by $c/LAST_NAME as $l
+                   return <G><N>{$l}</N><K>{count($p)}</K></G>"#;
+        let out = server.query(&demo(), q, &[]).expect("executes");
+        let mut expected: HashMap<&str, usize> = HashMap::new();
+        for r in &rows {
+            *expected.entry(LASTS[r.last]).or_default() += 1;
+        }
+        prop_assert_eq!(out.len(), expected.len());
+        for item in &out {
+            let node = item.as_node().expect("group element");
+            let name = node
+                .child_elements(&QName::local("N"))
+                .next()
+                .expect("name")
+                .string_value();
+            let count: usize = node
+                .child_elements(&QName::local("K"))
+                .next()
+                .expect("count")
+                .string_value()
+                .parse()
+                .expect("integer");
+            prop_assert_eq!(expected.get(name.as_str()).copied(), Some(count));
+        }
+    }
+
+    /// The outer-join + clustered-group re-nesting (Table 1(c)'s plan)
+    /// ≡ reference per-customer nesting, including empty groups.
+    #[test]
+    fn outer_join_renesting_preserves_semantics(
+        rows in prop::collection::vec(row_strategy(), 0..16)
+    ) {
+        let (server, db) = build_server(&rows);
+        let q = r#"declare namespace c = "urn:custDS";
+                   for $c in c:CUSTOMER()
+                   return <X><ID>{fn:data($c/CID)}</ID><OIDS>{
+                     for $o in c:ORDER() where $o/CID eq $c/CID return $o/OID
+                   }</OIDS></X>"#;
+        let out = server.query(&demo(), q, &[]).expect("executes");
+        prop_assert_eq!(out.len(), rows.len());
+        // one SQL statement total (the merged LEFT OUTER JOIN)
+        prop_assert_eq!(db.stats().roundtrips, 1);
+        for (i, item) in out.iter().enumerate() {
+            let node = item.as_node().expect("element");
+            let id = node
+                .child_elements(&QName::local("ID"))
+                .next()
+                .expect("id")
+                .string_value();
+            prop_assert_eq!(id, format!("C{i:04}"));
+            let oids = node
+                .child_elements(&QName::local("OIDS"))
+                .next()
+                .expect("oids")
+                .all_child_elements()
+                .count();
+            prop_assert_eq!(oids, rows[i].orders.len());
+        }
+    }
+
+    /// fn:subsequence pushed as pagination ≡ middleware subsequence.
+    #[test]
+    fn pagination_pushdown_preserves_semantics(
+        rows in prop::collection::vec(row_strategy(), 0..30),
+        start in 1i64..12,
+        len in 0i64..12
+    ) {
+        let (server, _) = build_server(&rows);
+        let q = format!(
+            r#"declare namespace c = "urn:custDS";
+               let $cs := for $c in c:CUSTOMER() order by $c/CID return $c/CID
+               return subsequence($cs, {start}, {len})"#
+        );
+        let out = server.query(&demo(), &q, &[]).expect("executes");
+        let total = rows.len() as i64;
+        let expected = ((start + len - 1).min(total) - (start - 1).max(0)).max(0) as usize;
+        prop_assert_eq!(out.len(), expected);
+    }
+
+    /// Aggregate pushdown (SUM) ≡ reference sum, exactly (decimals).
+    #[test]
+    fn sum_aggregation_preserves_exactness(
+        rows in prop::collection::vec(row_strategy(), 1..12)
+    ) {
+        let (server, _) = build_server(&rows);
+        let q = r#"declare namespace c = "urn:custDS";
+                   for $c in c:CUSTOMER()
+                   return <S>{ sum(for $o in c:ORDER() where $o/CID eq $c/CID
+                                   return $o/AMOUNT) }</S>"#;
+        let out = server.query(&demo(), q, &[]).expect("executes");
+        for (i, item) in out.iter().enumerate() {
+            let s = item.as_node().expect("element").string_value();
+            let expected: i64 = rows[i].orders.iter().sum();
+            if rows[i].orders.is_empty() {
+                prop_assert_eq!(s, "");
+            } else {
+                prop_assert_eq!(s, expected.to_string());
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Integration tests for §6 (updates through the server facade) and §7
+//! (security around cached, shared plans and results).
+
+mod common;
+
+use aldsp::security::{DenialAction, ElementResource, Principal, SecurityPolicy};
+use aldsp::updates::ConcurrencyPolicy;
+use aldsp::xdm::value::AtomicValue;
+use aldsp::xdm::xml::serialize_sequence;
+use aldsp::xdm::QName;
+use aldsp::{CallCriteria, ServerError};
+use common::{world, PROLOG};
+
+const PROFILE_MODULE: &str = r#"
+    declare namespace tns = "urn:profileDS";
+    declare namespace ns3 = "urn:custDS";
+    declare namespace lib = "urn:lib";
+
+    declare function tns:getProfile() as element(PROFILE)* {
+      for $c in ns3:CUSTOMER()
+      return
+        <PROFILE>
+          <CID>{fn:data($c/CID)}</CID>
+          <LAST_NAME>{fn:data($c/LAST_NAME)}</LAST_NAME>
+          <SINCE>{lib:int2date($c/SINCE)}</SINCE>
+        </PROFILE>
+    };
+"#;
+
+fn provider() -> QName {
+    QName::new("urn:profileDS", "getProfile")
+}
+
+#[test]
+fn figure5_flow_through_the_server() {
+    let w = world(5);
+    w.server.deploy(PROFILE_MODULE).expect("deploys");
+    let user = Principal::new("demo", &[]);
+    let criteria = CallCriteria {
+        filter: vec![("CID".into(), AtomicValue::str("C0002"))],
+        ..Default::default()
+    };
+    let mut sdo = w
+        .server
+        .read_object(&user, &provider(), vec![], &criteria)
+        .expect("reads")
+        .expect("C0002 exists");
+    sdo.set("LAST_NAME", Some(AtomicValue::str("Smithers"))).expect("writable path");
+    let report = w
+        .server
+        .submit(&user, &provider(), &sdo, ConcurrencyPolicy::UpdatedValues)
+        .expect("submits");
+    assert_eq!(report.rows_affected, 1);
+    assert_eq!(report.sources_touched, vec!["db1"]);
+    // the write really landed
+    let after = w
+        .server
+        .read_object(&user, &provider(), vec![], &criteria)
+        .expect("reads")
+        .expect("still there");
+    assert_eq!(after.get("LAST_NAME"), Some(AtomicValue::str("Smithers")));
+    // the conditioned UPDATE carried the optimistic check
+    let (_, sql) = &report.statements[0];
+    assert!(sql.contains("\"LAST_NAME\" = ?"), "{sql}");
+    assert!(sql.contains("WHERE"), "{sql}");
+}
+
+#[test]
+fn transformed_since_written_through_inverse() {
+    let w = world(3);
+    w.server.deploy(PROFILE_MODULE).expect("deploys");
+    let user = Principal::new("demo", &[]);
+    let criteria = CallCriteria {
+        filter: vec![("CID".into(), AtomicValue::str("C0001"))],
+        ..Default::default()
+    };
+    let mut sdo = w
+        .server
+        .read_object(&user, &provider(), vec![], &criteria)
+        .expect("reads")
+        .expect("C0001 exists");
+    // surfaced as dateTime (SINCE column is 1001)
+    assert_eq!(
+        sdo.get("SINCE"),
+        Some(AtomicValue::DateTime(aldsp::xdm::value::DateTime(1001)))
+    );
+    sdo.set(
+        "SINCE",
+        Some(AtomicValue::DateTime(aldsp::xdm::value::DateTime(2_000))),
+    )
+    .expect("writable");
+    w.server
+        .submit(&user, &provider(), &sdo, ConcurrencyPolicy::UpdatedValues)
+        .expect("submits");
+    let stored = w.db1.with_db(|d| d.table("CUSTOMER").expect("table").rows()[1][3].clone());
+    assert_eq!(stored, aldsp::relational::SqlValue::Int(2000));
+}
+
+#[test]
+fn security_function_level_denial() {
+    let mut policy = SecurityPolicy::new();
+    policy.restrict_function(provider(), &["csr"]);
+    // rebuild a world with the policy (security is configured at build)
+    let w = world_with_policy(policy);
+    w.server.deploy(PROFILE_MODULE).expect("deploys");
+    let intern = Principal::new("intern", &[]);
+    let err = w
+        .server
+        .call(&intern, &provider(), vec![], &CallCriteria::default())
+        .expect_err("denied");
+    assert!(matches!(err, ServerError::Security(_)), "{err}");
+    let csr = Principal::new("csr", &["csr"]);
+    assert!(w.server.call(&csr, &provider(), vec![], &CallCriteria::default()).is_ok());
+}
+
+#[test]
+fn element_security_is_per_user_over_shared_plans() {
+    // §7: plans/results are cached user-independently; filtering applies
+    // per user afterwards
+    let mut policy = SecurityPolicy::new();
+    policy.add_resource(ElementResource {
+        path: vec![QName::local("SSN")],
+        allowed_roles: vec!["admin".into()],
+        denial: DenialAction::Replace(AtomicValue::str("###")),
+    });
+    let w = world_with_policy(policy);
+    let q = format!(
+        "{PROLOG}
+         for $c in c:CUSTOMER()
+         return <P><CID>{{fn:data($c/CID)}}</CID><SSN>{{fn:data($c/SSN)}}</SSN></P>"
+    );
+    let intern = Principal::new("intern", &[]);
+    let admin = Principal::new("admin", &["admin"]);
+    let masked = w.server.query(&intern, &q, &[]).expect("executes");
+    let full = w.server.query(&admin, &q, &[]).expect("executes");
+    assert!(serialize_sequence(&masked).contains("<SSN>###</SSN>"));
+    assert!(!serialize_sequence(&full).contains("###"));
+    // both users shared one compiled plan
+    let (hits, misses) = w.server.plan_cache_stats();
+    assert_eq!((hits, misses), (1, 1));
+}
+
+#[test]
+fn audit_log_records_denials() {
+    let mut policy = SecurityPolicy::new();
+    policy.restrict_function(provider(), &["csr"]);
+    let w = world_with_policy(policy);
+    w.server.deploy(PROFILE_MODULE).expect("deploys");
+    w.server.audit().set_enabled(true);
+    let intern = Principal::new("eve", &[]);
+    let _ = w.server.call(&intern, &provider(), vec![], &CallCriteria::default());
+    let entries = w.server.audit().entries();
+    assert!(entries.iter().any(|e| e.principal == "eve" && !e.allowed), "{entries:?}");
+}
+
+/// A world(5) variant with a security policy installed.
+fn world_with_policy(policy: SecurityPolicy) -> common::World {
+    // common::world builds without policy; rebuild with the same data and
+    // the policy using the underlying pieces
+    let base = world(5);
+    // easiest faithful route: new server over the same adaptors isn't
+    // exposed, so build a fresh world and re-create with policy by
+    // stitching a new builder over fresh databases
+    drop(base);
+    build_with(policy)
+}
+
+fn build_with(policy: SecurityPolicy) -> common::World {
+    use aldsp::relational::{Database, Dialect, RelationalServer, SqlValue};
+    use aldsp::xdm::types::{ItemType, Occurrence, SequenceType};
+    use aldsp::xdm::value::AtomicType;
+    use std::sync::Arc;
+    let cat1 = common::customer_catalog();
+    let cat2 = common::card_catalog();
+    let mut db1 = Database::new();
+    for t in cat1.tables() {
+        db1.create_table(t.clone()).expect("fresh db");
+    }
+    for i in 0..5 {
+        db1.insert(
+            "CUSTOMER",
+            vec![
+                SqlValue::str(&format!("C{i:04}")),
+                SqlValue::str(["Jones", "Smith", "Chen"][i % 3]),
+                SqlValue::str(&format!("F{i}")),
+                SqlValue::Int(1000 + i as i64),
+                SqlValue::str(&format!("{i:09}")),
+            ],
+        )
+        .expect("row");
+    }
+    let mut db2 = Database::new();
+    for t in cat2.tables() {
+        db2.create_table(t.clone()).expect("fresh db");
+    }
+    let db1 = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db1));
+    let db2 = Arc::new(RelationalServer::new("db2", Dialect::Db2, db2));
+    let (i2d, d2i) = aldsp::adaptors::native::int2date_pair();
+    let opt_int = SequenceType::Seq(ItemType::Atomic(AtomicType::Integer), Occurrence::Optional);
+    let opt_dt =
+        SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
+    let rating = Arc::new(aldsp::adaptors::SimulatedWebService::new("ratingWS"));
+    let server = aldsp::ServerBuilder::new()
+        .relational_source(db1.clone(), &cat1, "urn:custDS")
+        .expect("db1")
+        .relational_source(db2.clone(), &cat2, "urn:ccDS")
+        .expect("db2")
+        .native_function(QName::new("urn:lib", "int2date"), opt_int.clone(), opt_dt.clone(), i2d)
+        .expect("i2d")
+        .native_function(QName::new("urn:lib", "date2int"), opt_dt, opt_int, d2i)
+        .expect("d2i")
+        .inverse(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"))
+        .security(policy)
+        .build();
+    common::World { server, db1, db2, rating }
+}
+
+#[test]
+fn update_override_replaces_default_handling() {
+    // §6: "an update override facility that allows user code to extend
+    // or replace ALDSP's default update handling"
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let w = world(3);
+    w.server.deploy(PROFILE_MODULE).expect("deploys");
+    let user = Principal::new("demo", &[]);
+    let called = Arc::new(AtomicBool::new(false));
+    let called2 = called.clone();
+    w.server.register_update_override(
+        provider(),
+        Arc::new(move |sdo, lineage| {
+            called2.store(true, Ordering::SeqCst);
+            // user code can consult the lineage and veto/replace
+            assert!(lineage.entry(&vec![(QName::local("LAST_NAME"), 0)]).is_some());
+            if sdo.get("LAST_NAME") == Some(AtomicValue::str("FORBIDDEN")) {
+                return Err("business rule: that name is not allowed".into());
+            }
+            Ok(None) // fall through to the default decomposition
+        }),
+    );
+    let criteria = CallCriteria {
+        filter: vec![("CID".into(), AtomicValue::str("C0001"))],
+        ..Default::default()
+    };
+    let mut sdo = w
+        .server
+        .read_object(&user, &provider(), vec![], &criteria)
+        .expect("reads")
+        .expect("exists");
+    sdo.set("LAST_NAME", Some(AtomicValue::str("FORBIDDEN"))).expect("writable");
+    let err = w
+        .server
+        .submit(&user, &provider(), &sdo, ConcurrencyPolicy::UpdatedValues)
+        .expect_err("vetoed");
+    assert!(err.to_string().contains("business rule"), "{err}");
+    assert!(called.load(Ordering::SeqCst));
+    // a permitted change falls through and applies normally
+    sdo.set("LAST_NAME", Some(AtomicValue::str("Allowed"))).expect("writable");
+    let report = w
+        .server
+        .submit(&user, &provider(), &sdo, ConcurrencyPolicy::UpdatedValues)
+        .expect("submits");
+    assert_eq!(report.rows_affected, 1);
+}
