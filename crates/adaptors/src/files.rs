@@ -47,7 +47,11 @@ pub struct XmlFileSource {
 impl XmlFileSource {
     /// Register an XML file under `name` with its row/record shape.
     pub fn new(name: &str, content: FileContent, shape: ElementType) -> XmlFileSource {
-        XmlFileSource { name: name.to_string(), content: RwLock::new(content), shape }
+        XmlFileSource {
+            name: name.to_string(),
+            content: RwLock::new(content),
+            shape,
+        }
     }
 
     /// The registration name.
@@ -177,7 +181,11 @@ impl CsvFileSource {
                 })?;
                 children.push(Node::simple_element(cname, typed));
             }
-            out.push(Item::Node(Node::element(record_name.clone(), vec![], children)));
+            out.push(Item::Node(Node::element(
+                record_name.clone(),
+                vec![],
+                children,
+            )));
         }
         Ok(out)
     }
@@ -240,7 +248,11 @@ mod tests {
         assert_eq!(items.len(), 2);
         let first = items[0].as_node().unwrap();
         assert_eq!(
-            first.child_elements(&QName::local("ID")).next().unwrap().typed_value(),
+            first
+                .child_elements(&QName::local("ID"))
+                .next()
+                .unwrap()
+                .typed_value(),
             Some(AtomicValue::Integer(1))
         );
     }
@@ -249,16 +261,24 @@ mod tests {
     fn xml_file_validation_errors_surface() {
         let src = XmlFileSource::new(
             "bad.xml",
-            FileContent::Inline("<COMPLAINTS><COMPLAINT><ID>x</ID><CID>C1</CID></COMPLAINT></COMPLAINTS>".into()),
+            FileContent::Inline(
+                "<COMPLAINTS><COMPLAINT><ID>x</ID><CID>C1</CID></COMPLAINT></COMPLAINTS>".into(),
+            ),
             complaint_shape(),
         );
-        assert!(matches!(src.read().unwrap_err(), AdaptorError::Invocation(_)));
+        assert!(matches!(
+            src.read().unwrap_err(),
+            AdaptorError::Invocation(_)
+        ));
         let missing = XmlFileSource::new(
             "missing.xml",
             FileContent::Path("/nonexistent/file.xml".into()),
             complaint_shape(),
         );
-        assert!(matches!(missing.read().unwrap_err(), AdaptorError::Unavailable(_)));
+        assert!(matches!(
+            missing.read().unwrap_err(),
+            AdaptorError::Unavailable(_)
+        ));
     }
 
     #[test]
@@ -271,9 +291,16 @@ mod tests {
         let items = src.read().unwrap();
         assert_eq!(items.len(), 2);
         let second = items[1].as_node().unwrap();
-        assert!(second.child_elements(&QName::local("SEVERITY")).next().is_none());
+        assert!(second
+            .child_elements(&QName::local("SEVERITY"))
+            .next()
+            .is_none());
         assert_eq!(
-            second.child_elements(&QName::local("ID")).next().unwrap().typed_value(),
+            second
+                .child_elements(&QName::local("ID"))
+                .next()
+                .unwrap()
+                .typed_value(),
             Some(AtomicValue::Integer(2))
         );
     }
@@ -290,12 +317,13 @@ mod tests {
             shape.clone(),
         );
         let items = src.read().unwrap();
-        assert_eq!(
-            items[0].as_node().unwrap().string_value(),
-            "hello, worldb"
-        );
+        assert_eq!(items[0].as_node().unwrap().string_value(), "hello, worldb");
         // wrong arity
-        let bad = CsvFileSource::new("bad.csv", FileContent::Inline("only-one\n".into()), shape.clone());
+        let bad = CsvFileSource::new(
+            "bad.csv",
+            FileContent::Inline("only-one\n".into()),
+            shape.clone(),
+        );
         assert!(bad.read().is_err());
         // required field empty
         let empty = CsvFileSource::new("e.csv", FileContent::Inline(",b\n".into()), shape);

@@ -19,7 +19,6 @@ pub use native::NativeFunction;
 pub use registry::AdaptorRegistry;
 pub use webservice::SimulatedWebService;
 
-
 /// Errors surfaced by source access. `Unavailable` distinguishes the
 /// failures `fn-bea:fail-over` reacts to (§5.6).
 #[derive(Debug, Clone, PartialEq)]

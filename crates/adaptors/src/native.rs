@@ -23,7 +23,10 @@ impl NativeFunction {
         id: &str,
         f: impl Fn(&[Sequence]) -> Result<Sequence> + Send + Sync + 'static,
     ) -> NativeFunction {
-        NativeFunction { id: id.to_string(), f: Arc::new(f) }
+        NativeFunction {
+            id: id.to_string(),
+            f: Arc::new(f),
+        }
     }
 
     /// The registration id.
@@ -56,7 +59,9 @@ pub fn int2date_pair() -> (NativeFunction, NativeFunction) {
                 let secs = v
                     .cast_to(AtomicType::Integer)
                     .map_err(|e| AdaptorError::Invocation(e.to_string()))?;
-                let AtomicValue::Integer(s) = secs else { unreachable!("cast to integer") };
+                let AtomicValue::Integer(s) = secs else {
+                    unreachable!("cast to integer")
+                };
                 Ok(vec![Item::Atomic(AtomicValue::DateTime(DateTime(s)))])
             }
         }
@@ -69,7 +74,9 @@ pub fn int2date_pair() -> (NativeFunction, NativeFunction) {
                 let dt = v
                     .cast_to(AtomicType::DateTime)
                     .map_err(|e| AdaptorError::Invocation(e.to_string()))?;
-                let AtomicValue::DateTime(d) = dt else { unreachable!("cast to dateTime") };
+                let AtomicValue::DateTime(d) = dt else {
+                    unreachable!("cast to dateTime")
+                };
                 Ok(vec![Item::Atomic(AtomicValue::Integer(d.0))])
             }
         }

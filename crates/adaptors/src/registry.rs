@@ -122,7 +122,12 @@ impl AdaptorRegistry {
             .function(name)
             .ok_or_else(|| AdaptorError::Unresolved(name.to_string()))?;
         match &f.source {
-            SourceBinding::RelationalTable { connection, table, shape, .. } => {
+            SourceBinding::RelationalTable {
+                connection,
+                table,
+                shape,
+                ..
+            } => {
                 let select = full_table_select(table, shape);
                 let rs = self.execute_sql(connection, &select, &[])?;
                 Ok(rows_to_elements(shape, &rs))
@@ -151,8 +156,8 @@ impl AdaptorRegistry {
                     let sql_v = SqlValue::from_xml(Some(&v), guess_sql_type(&v))
                         .map_err(AdaptorError::Invocation)?;
                     params.push(sql_v);
-                    let term = ScalarExpr::col("t1", to_col)
-                        .eq(ScalarExpr::Param(params.len() - 1));
+                    let term =
+                        ScalarExpr::col("t1", to_col).eq(ScalarExpr::Param(params.len() - 1));
                     pred = Some(match pred {
                         Some(p) => p.and(term),
                         None => term,
@@ -162,7 +167,9 @@ impl AdaptorRegistry {
                 let rs = self.execute_sql(connection, &select, &params)?;
                 Ok(rows_to_elements(shape, &rs))
             }
-            SourceBinding::WebService { service, operation, .. } => {
+            SourceBinding::WebService {
+                service, operation, ..
+            } => {
                 let Some(Item::Node(request)) = args.first().and_then(|a| a.first()) else {
                     return Err(AdaptorError::Invocation(format!(
                         "{name}: web service call requires a request element"
@@ -281,11 +288,17 @@ mod tests {
         .unwrap();
         db.insert(
             "CUSTOMER",
-            vec![SqlValue::str("C2"), SqlValue::str("Smith"), SqlValue::Int(7)],
+            vec![
+                SqlValue::str("C2"),
+                SqlValue::str("Smith"),
+                SqlValue::Int(7),
+            ],
         )
         .unwrap();
-        db.insert("ORDER", vec![SqlValue::Int(1), SqlValue::str("C1")]).unwrap();
-        db.insert("ORDER", vec![SqlValue::Int(2), SqlValue::str("C1")]).unwrap();
+        db.insert("ORDER", vec![SqlValue::Int(1), SqlValue::str("C1")])
+            .unwrap();
+        db.insert("ORDER", vec![SqlValue::Int(2), SqlValue::str("C1")])
+            .unwrap();
         let server = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db));
         let mut adaptors = AdaptorRegistry::new();
         adaptors.register_connection(server);
@@ -308,7 +321,10 @@ mod tests {
         assert!(c1.child_elements(&QName::local("SINCE")).next().is_none());
         let c2 = rows[1].as_node().unwrap();
         assert_eq!(
-            c2.child_elements(&QName::local("SINCE")).next().unwrap().typed_value(),
+            c2.child_elements(&QName::local("SINCE"))
+                .next()
+                .unwrap()
+                .typed_value(),
             Some(aldsp_xdm::value::AtomicValue::Integer(7))
         );
     }
@@ -345,8 +361,12 @@ mod tests {
     #[test]
     fn sql_execution_and_unavailability() {
         let (adaptors, meta) = setup();
-        let f = meta.function(&QName::new("urn:custDS", "CUSTOMER")).unwrap();
-        let SourceBinding::RelationalTable { shape, .. } = &f.source else { panic!() };
+        let f = meta
+            .function(&QName::new("urn:custDS", "CUSTOMER"))
+            .unwrap();
+        let SourceBinding::RelationalTable { shape, .. } = &f.source else {
+            panic!()
+        };
         let select = full_table_select("CUSTOMER", shape);
         let rs = adaptors.execute_sql("db1", &select, &[]).unwrap();
         assert_eq!(rs.rows.len(), 2);

@@ -66,7 +66,11 @@ impl SimulatedWebService {
     ) -> Self {
         self.operations.insert(
             name.to_string(),
-            Operation { input_shape, output_shape, handler },
+            Operation {
+                input_shape,
+                output_shape,
+                handler,
+            },
         );
         self
     }
@@ -94,9 +98,10 @@ impl SimulatedWebService {
         if !self.available.load(Ordering::SeqCst) {
             return Err(AdaptorError::Unavailable(self.name.clone()));
         }
-        let op = self.operations.get(operation).ok_or_else(|| {
-            AdaptorError::Unresolved(format!("{}.{operation}", self.name))
-        })?;
+        let op = self
+            .operations
+            .get(operation)
+            .ok_or_else(|| AdaptorError::Unresolved(format!("{}.{operation}", self.name)))?;
         let typed_request = validate(request, &op.input_shape)
             .map_err(|e| AdaptorError::Invocation(format!("bad request: {e}")))?;
         let latency = *self.latency.read();
@@ -156,7 +161,10 @@ mod tests {
             QName::new("urn:ratingTypes", "getRating"),
             vec![],
             vec![
-                Node::simple_element(QName::new("urn:ratingTypes", "lName"), AtomicValue::str(lname)),
+                Node::simple_element(
+                    QName::new("urn:ratingTypes", "lName"),
+                    AtomicValue::str(lname),
+                ),
                 Node::simple_element(QName::new("urn:ratingTypes", "ssn"), AtomicValue::str(ssn)),
             ],
         )
@@ -165,7 +173,9 @@ mod tests {
     #[test]
     fn call_validates_and_types_response() {
         let ws = rating_service();
-        let resp = ws.call("getRating", &request("Jones", "123-45-6789")).unwrap();
+        let resp = ws
+            .call("getRating", &request("Jones", "123-45-6789"))
+            .unwrap();
         let rating = resp
             .child_elements(&QName::new("urn:ratingTypes", "getRatingResult"))
             .next()

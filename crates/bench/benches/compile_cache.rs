@@ -16,7 +16,11 @@ const VIEW_MODULE_TEMPLATE: &str = r#"
 "#;
 
 fn bench(c: &mut Criterion) {
-    let size = WorldSize { customers: 10, orders_per_customer: 1, cards_per_customer: 0 };
+    let size = WorldSize {
+        customers: 10,
+        orders_per_customer: 1,
+        cards_per_customer: 0,
+    };
     let world = build_world(size);
     world
         .server
@@ -35,11 +39,20 @@ fn bench(c: &mut Criterion) {
     // full compilation every time (bypassing the plan cache by calling
     // the compiler directly)
     group.bench_function("compile_from_scratch", |b| {
-        b.iter(|| world.server.compiler().compile_query(&query).expect("compiles"))
+        b.iter(|| {
+            world
+                .server
+                .compiler()
+                .compile_query(&query)
+                .expect("compiles")
+        })
     });
 
     // plan-cache hit: compile once, then the server reuses the plan
-    world.server.query(&user, &query, &[]).expect("warms the plan cache");
+    world
+        .server
+        .query(&user, &query, &[])
+        .expect("warms the plan cache");
     group.bench_function("plan_cache_hit_execute", |b| {
         b.iter(|| world.server.query(&user, &query, &[]).expect("query"))
     });

@@ -14,7 +14,11 @@ use aldsp_bench::fixtures::{build_world, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let size = WorldSize { customers: 800, orders_per_customer: 3, cards_per_customer: 0 };
+    let size = WorldSize {
+        customers: 800,
+        orders_per_customer: 3,
+        cards_per_customer: 0,
+    };
     let world = build_world(size);
     let user = Principal::new("bench", &[]);
     let mut group = c.benchmark_group("groupby");

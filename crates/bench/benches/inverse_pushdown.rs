@@ -10,7 +10,11 @@ use aldsp_bench::fixtures::{build_world_opts, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let size = WorldSize { customers: 1500, orders_per_customer: 0, cards_per_customer: 0 };
+    let size = WorldSize {
+        customers: 1500,
+        orders_per_customer: 0,
+        cards_per_customer: 0,
+    };
     let query = format!(
         "{PROLOG}
          declare variable $start as xs:dateTime external;
@@ -47,8 +51,14 @@ fn bench(c: &mut Criterion) {
         })
     });
     // sanity: identical answers
-    let a = world.server.query(&user, &query, &[("start", arg.clone())]).expect("q");
-    let b = plain.server.query(&user, &query, &[("start", arg.clone())]).expect("q");
+    let a = world
+        .server
+        .query(&user, &query, &[("start", arg.clone())])
+        .expect("q");
+    let b = plain
+        .server
+        .query(&user, &query, &[("start", arg.clone())])
+        .expect("q");
     assert_eq!(a.len(), b.len());
     group.finish();
 }

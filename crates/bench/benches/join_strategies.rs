@@ -21,7 +21,11 @@ const SAME_SOURCE: &str = r#"
     return <CO>{ $c/CID, $o/OID }</CO>"#;
 
 fn bench(c: &mut Criterion) {
-    let size = WorldSize { customers: 500, orders_per_customer: 2, cards_per_customer: 2 };
+    let size = WorldSize {
+        customers: 500,
+        orders_per_customer: 2,
+        cards_per_customer: 2,
+    };
     let user = Principal::new("bench", &[]);
     let mut group = c.benchmark_group("join_strategies");
     group.sample_size(10);

@@ -1,0 +1,59 @@
+//! PP-k block prefetch (§5.2 pipelining): while the local join consumes
+//! block N, a background worker fetches block N+1. With a per-roundtrip
+//! source latency and real per-tuple downstream work (a simulated
+//! credit-rating call per customer), depth 1 should hide all but the
+//! first roundtrip; depth 0 is the synchronous baseline that pays
+//! fetch + join serially for every block.
+
+use aldsp::relational::LatencyModel;
+use aldsp::security::Principal;
+use aldsp_bench::fixtures::{build_world_prefetch, WorldSize, PROLOG};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const QUERY: &str = r#"
+    for $c in c:CUSTOMER()
+    return <P>{ $c/CID,
+      <CARDS>{
+        for $k in cc:CREDIT_CARD() where $k/CID eq $c/CID return $k/CCN
+      }</CARDS>,
+      <RATING>{
+        fn:data(ws:getRating(
+          <r:getRating>
+            <r:lName>{fn:data($c/LAST_NAME)}</r:lName>
+            <r:ssn>{fn:data($c/SSN)}</r:ssn>
+          </r:getRating>)/r:getRatingResult)
+      }</RATING> }</P>"#;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_overlap");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for depth in [0usize, 1, 2, 4] {
+        // a fresh world per depth: prefetch depth is a compile-time knob
+        let size = WorldSize {
+            customers: 120,
+            orders_per_customer: 0,
+            cards_per_customer: 2,
+        };
+        let world = build_world_prefetch(size, 20, depth);
+        world.db2.set_latency(LatencyModel::lan(2000)); // 2ms per roundtrip
+        world.rating.set_latency(Duration::from_micros(100));
+        let q = format!("{PROLOG}\n{QUERY}");
+        let user = Principal::new("bench", &[]);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| world.server.query(&user, &q, &[]).expect("query"))
+        });
+        let stats = world.server.stats();
+        eprintln!(
+            "depth={depth}: {} blocks prefetched, consumer blocked {:.2}ms waiting, db2 peak in-flight {}",
+            stats.ppk_prefetched_blocks,
+            stats.ppk_prefetch_wait_ns as f64 / 1e6,
+            world.db2.stats().peak_inflight
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -25,7 +25,11 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     for k in [1usize, 5, 20, 100] {
         // a fresh world per k: the block size is a compile-time knob
-        let size = WorldSize { customers: 200, orders_per_customer: 0, cards_per_customer: 2 };
+        let size = WorldSize {
+            customers: 200,
+            orders_per_customer: 0,
+            cards_per_customer: 2,
+        };
         let world = build_world_opts(size, k, LocalJoinMethod::IndexNestedLoop);
         world.db2.set_latency(LatencyModel::lan(200)); // 200µs per roundtrip
         let q = format!("{PROLOG}\n{QUERY}");

@@ -9,7 +9,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let size = WorldSize { customers: 1, orders_per_customer: 0, cards_per_customer: 0 };
+    let size = WorldSize {
+        customers: 1,
+        orders_per_customer: 0,
+        cards_per_customer: 0,
+    };
     let mut group = c.benchmark_group("resilience");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
@@ -48,9 +52,10 @@ fn bench(c: &mut Criterion) {
     group.bench_function("service_call_uncached", |b| {
         b.iter(|| world.server.query(&user, &q, &[]).expect("query"))
     });
-    world
-        .server
-        .enable_function_cache(QName::new("urn:ratingWS", "getRating"), Duration::from_secs(600));
+    world.server.enable_function_cache(
+        QName::new("urn:ratingWS", "getRating"),
+        Duration::from_secs(600),
+    );
     world.server.query(&user, &q, &[]).expect("warm the cache");
     group.bench_function("service_call_cached", |b| {
         b.iter(|| world.server.query(&user, &q, &[]).expect("query"))

@@ -61,7 +61,10 @@ fn bench(c: &mut Criterion) {
     skip.finish();
 
     for (name, repr) in reprs {
-        eprintln!("{name}: approx heap size {} bytes", approx_size(&encode_tuple(&fs, repr)));
+        eprintln!(
+            "{name}: approx heap size {} bytes",
+            approx_size(&encode_tuple(&fs, repr))
+        );
     }
 }
 

@@ -11,7 +11,11 @@ use aldsp_bench::fixtures::{build_world, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let size = WorldSize { customers: 500, orders_per_customer: 0, cards_per_customer: 0 };
+    let size = WorldSize {
+        customers: 500,
+        orders_per_customer: 0,
+        cards_per_customer: 0,
+    };
     let world = build_world(size);
     world
         .server
@@ -62,8 +66,14 @@ fn bench(c: &mut Criterion) {
         })
     });
     // sanity: both return the same customer
-    let a = world.server.query(&user, &direct, &[("id", arg.clone())]).expect("query");
-    let b = world.server.query(&user, &layered, &[("id", arg.clone())]).expect("query");
+    let a = world
+        .server
+        .query(&user, &direct, &[("id", arg.clone())])
+        .expect("query");
+    let b = world
+        .server
+        .query(&user, &layered, &[("id", arg.clone())])
+        .expect("query");
     assert_eq!(
         aldsp::xdm::xml::serialize_sequence(&a),
         aldsp::xdm::xml::serialize_sequence(&b)

@@ -33,7 +33,11 @@ pub struct WorldSize {
 
 impl Default for WorldSize {
     fn default() -> Self {
-        WorldSize { customers: 100, orders_per_customer: 3, cards_per_customer: 2 }
+        WorldSize {
+            customers: 100,
+            orders_per_customer: 3,
+            cards_per_customer: 2,
+        }
     }
 }
 
@@ -72,7 +76,13 @@ pub fn build_world(size: WorldSize) -> World {
 /// The fixture world *without* the `int2date` inverse declaration — the
 /// §4.4 ablation baseline (the predicate stays in the middleware).
 pub fn build_world_no_inverse(size: WorldSize) -> World {
-    build_world_full(size, 20, aldsp::compiler::LocalJoinMethod::IndexNestedLoop, false)
+    build_world_full(
+        size,
+        20,
+        aldsp::compiler::LocalJoinMethod::IndexNestedLoop,
+        1,
+        false,
+    )
 }
 
 /// Build the world with explicit PP-k knobs (block size and local join
@@ -82,13 +92,30 @@ pub fn build_world_opts(
     ppk_block_size: usize,
     ppk_local_method: aldsp::compiler::LocalJoinMethod,
 ) -> World {
-    build_world_full(size, ppk_block_size, ppk_local_method, true)
+    build_world_full(size, ppk_block_size, ppk_local_method, 1, true)
+}
+
+/// Build the world with an explicit PP-k prefetch depth (0 = fetch each
+/// block on demand) for the pipeline-overlap experiments.
+pub fn build_world_prefetch(
+    size: WorldSize,
+    ppk_block_size: usize,
+    ppk_prefetch_depth: usize,
+) -> World {
+    build_world_full(
+        size,
+        ppk_block_size,
+        aldsp::compiler::LocalJoinMethod::IndexNestedLoop,
+        ppk_prefetch_depth,
+        true,
+    )
 }
 
 fn build_world_full(
     size: WorldSize,
     ppk_block_size: usize,
     ppk_local_method: aldsp::compiler::LocalJoinMethod,
+    ppk_prefetch_depth: usize,
     declare_inverse: bool,
 ) -> World {
     let mut rng = StdRng::seed_from_u64(0x0A1D5);
@@ -129,7 +156,11 @@ fn build_world_full(
             vec![
                 SqlValue::str(&cid),
                 SqlValue::str(LAST_NAMES[i % LAST_NAMES.len()]),
-                if i % 7 == 0 { SqlValue::Null } else { SqlValue::str(&format!("First{i}")) },
+                if i % 7 == 0 {
+                    SqlValue::Null
+                } else {
+                    SqlValue::str(&format!("First{i}"))
+                },
                 SqlValue::Int(rng.gen_range(0..2_000_000_000)),
                 SqlValue::str(&format!("{:03}-{:02}-{:04}", i % 900, i % 90, i % 9000)),
             ],
@@ -216,11 +247,11 @@ fn build_world_full(
     let db2 = Arc::new(RelationalServer::new("db2", Dialect::Db2, db2));
     let (i2d, d2i) = aldsp::adaptors::native::int2date_pair();
     let opt_int = SequenceType::Seq(ItemType::Atomic(AtomicType::Integer), Occurrence::Optional);
-    let opt_dt =
-        SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
+    let opt_dt = SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
     let mut builder = ServerBuilder::new()
         .ppk_block_size(ppk_block_size)
         .ppk_local_method(ppk_local_method)
+        .ppk_prefetch_depth(ppk_prefetch_depth)
         .relational_source(db1.clone(), &cat1, "urn:custDS")
         .expect("register db1")
         .relational_source(db2.clone(), &cat2, "urn:ccDS")
@@ -238,16 +269,28 @@ fn build_world_full(
             rating.clone(),
         )
         .expect("register ws")
-        .native_function(QName::new("urn:lib", "int2date"), opt_int.clone(), opt_dt.clone(), i2d)
+        .native_function(
+            QName::new("urn:lib", "int2date"),
+            opt_int.clone(),
+            opt_dt.clone(),
+            i2d,
+        )
         .expect("register int2date")
         .native_function(QName::new("urn:lib", "date2int"), opt_dt, opt_int, d2i)
         .expect("register date2int");
     if declare_inverse {
-        builder = builder
-            .inverse(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"));
+        builder = builder.inverse(
+            QName::new("urn:lib", "int2date"),
+            QName::new("urn:lib", "date2int"),
+        );
     }
     let server = builder.build();
-    World { server, db1, db2, rating }
+    World {
+        server,
+        db1,
+        db2,
+        rating,
+    }
 }
 
 /// Deterministic per-customer multiplicity around the average (some

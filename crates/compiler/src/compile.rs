@@ -37,6 +37,12 @@ pub struct Options {
     pub ppk_block_size: usize,
     /// The local join method PP-k uses within a block (§5.2).
     pub ppk_local_method: crate::ir::LocalJoinMethod,
+    /// How many PP-k blocks may be fetched ahead of the consumer
+    /// (0 = fully synchronous, fetch each block on demand). With depth
+    /// d, the runtime keeps up to d parameterized block fetches in
+    /// flight on background threads while the local join consumes the
+    /// current block, overlapping source latency with local work.
+    pub ppk_prefetch_depth: usize,
 }
 
 impl Default for Options {
@@ -47,6 +53,7 @@ impl Default for Options {
             view_cache: true,
             ppk_block_size: 20,
             ppk_local_method: crate::ir::LocalJoinMethod::IndexNestedLoop,
+            ppk_prefetch_depth: 1,
         }
     }
 }
@@ -111,6 +118,7 @@ impl Compiler {
         ctx.inverses = self.inverses.clone();
         ctx.ppk_block_size = self.options.ppk_block_size;
         ctx.ppk_local_method = self.options.ppk_local_method;
+        ctx.ppk_prefetch_depth = self.options.ppk_prefetch_depth;
         // seed with deployed (partially optimized) functions
         for (name, f) in self.views.lock().iter() {
             ctx.functions.insert(name.clone(), f.clone());
@@ -161,7 +169,9 @@ impl Compiler {
             })
             .collect();
         for name in names {
-            let Some(mut f) = ctx.functions.get(&name).cloned() else { continue };
+            let Some(mut f) = ctx.functions.get(&name).cloned() else {
+                continue;
+            };
             if let Some(body) = &mut f.body {
                 let mut tenv: typecheck::TypeEnv = f.params.iter().cloned().collect();
                 typecheck::typecheck(&mut ctx, body, &mut tenv);
@@ -196,8 +206,7 @@ impl Compiler {
         // local function declarations in the query module
         let body_from_module = {
             // translate functions first (translate_module handles both)
-            let externals: Vec<String> =
-                module.variables.iter().map(|v| v.name.clone()).collect();
+            let externals: Vec<String> = module.variables.iter().map(|v| v.name.clone()).collect();
             let mut m2 = module.clone();
             m2.body = None;
             translate_module(&mut ctx, &m2);
@@ -213,15 +222,18 @@ impl Compiler {
             });
             return Err(diags);
         };
-        let external_vars: Vec<String> =
-            module.variables.iter().map(|v| v.name.clone()).collect();
+        let external_vars: Vec<String> = module.variables.iter().map(|v| v.name.clone()).collect();
         self.finish(&mut ctx, &mut plan, &external_vars)?;
         diags.extend(ctx.diags);
         if self.options.mode == Mode::FailFast && !diags.is_empty() {
             return Err(diags);
         }
         self.stats.lock().queries_compiled += 1;
-        Ok(CompiledQuery { plan, external_vars, diagnostics: diags })
+        Ok(CompiledQuery {
+            plan,
+            external_vars,
+            diagnostics: diags,
+        })
     }
 
     /// Compile an invocation of a deployed data-service function: the
@@ -233,7 +245,10 @@ impl Compiler {
             match views.get(name) {
                 Some(f) => (f.params.len(), true),
                 None => (
-                    self.registry.function(name).map(|p| p.params.len()).unwrap_or(0),
+                    self.registry
+                        .function(name)
+                        .map(|p| p.params.len())
+                        .unwrap_or(0),
                     self.registry.function(name).is_some(),
                 ),
             }
@@ -247,13 +262,18 @@ impl Compiler {
         let mut ctx = self.new_context();
         let span = crate::ir::Span::default();
         let external_vars: Vec<String> = (0..arity).map(|i| format!("arg{i}")).collect();
-        let args: Vec<CExpr> =
-            external_vars.iter().map(|v| CExpr::var(v, span)).collect();
+        let args: Vec<CExpr> = external_vars.iter().map(|v| CExpr::var(v, span)).collect();
         let kind = if ctx.functions.contains_key(name) {
             self.stats.lock().view_cache_hits += 1;
-            CKind::UserCall { name: name.clone(), args }
+            CKind::UserCall {
+                name: name.clone(),
+                args,
+            }
         } else {
-            CKind::PhysicalCall { name: name.clone(), args }
+            CKind::PhysicalCall {
+                name: name.clone(),
+                args,
+            }
         };
         let mut plan = CExpr::new(kind, span);
         self.finish(&mut ctx, &mut plan, &external_vars)?;
@@ -262,7 +282,11 @@ impl Compiler {
             return Err(diags);
         }
         self.stats.lock().queries_compiled += 1;
-        Ok(CompiledQuery { plan, external_vars, diagnostics: diags })
+        Ok(CompiledQuery {
+            plan,
+            external_vars,
+            diagnostics: diags,
+        })
     }
 
     /// The per-query stages: type check, inline/optimize, push down SQL.

@@ -2,9 +2,9 @@
 
 use crate::ir::CExpr;
 use aldsp_metadata::Registry;
-use aldsp_relational::Dialect;
 use aldsp_parser::ast::Span;
 use aldsp_parser::Diagnostic;
+use aldsp_relational::Dialect;
 use aldsp_xdm::types::SequenceType;
 use aldsp_xdm::QName;
 use std::collections::HashMap;
@@ -85,6 +85,8 @@ pub struct Context<'r> {
     pub ppk_block_size: usize,
     /// PP-k local join method (§5.2).
     pub ppk_local_method: crate::ir::LocalJoinMethod,
+    /// PP-k block prefetch depth (0 = synchronous fetches).
+    pub ppk_prefetch_depth: usize,
     var_counter: u32,
 }
 
@@ -100,13 +102,17 @@ impl<'r> Context<'r> {
             dialects: HashMap::new(),
             ppk_block_size: 20,
             ppk_local_method: crate::ir::LocalJoinMethod::IndexNestedLoop,
+            ppk_prefetch_depth: 1,
             var_counter: 0,
         }
     }
 
     /// The SQL dialect of a connection (base SQL92 when unregistered).
     pub fn dialect_of(&self, connection: &str) -> Dialect {
-        self.dialects.get(connection).copied().unwrap_or(Dialect::Sql92)
+        self.dialects
+            .get(connection)
+            .copied()
+            .unwrap_or(Dialect::Sql92)
     }
 
     /// Generate a fresh unique variable name derived from `base`.
@@ -117,7 +123,10 @@ impl<'r> Context<'r> {
 
     /// Record a diagnostic.
     pub fn diag(&mut self, span: Span, message: impl Into<String>) {
-        self.diags.push(Diagnostic { span, message: message.into() });
+        self.diags.push(Diagnostic {
+            span,
+            message: message.into(),
+        });
     }
 
     /// Did compilation produce any errors?

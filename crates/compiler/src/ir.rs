@@ -34,18 +34,30 @@ pub struct CExpr {
 impl CExpr {
     /// Construct an untyped node (type to be inferred).
     pub fn new(kind: CKind, span: Span) -> CExpr {
-        CExpr { kind, ty: SequenceType::any(), span }
+        CExpr {
+            kind,
+            ty: SequenceType::any(),
+            span,
+        }
     }
 
     /// The empty sequence `()`.
     pub fn empty(span: Span) -> CExpr {
-        CExpr { kind: CKind::Seq(Vec::new()), ty: SequenceType::Empty, span }
+        CExpr {
+            kind: CKind::Seq(Vec::new()),
+            ty: SequenceType::Empty,
+            span,
+        }
     }
 
     /// A constant.
     pub fn constant(v: AtomicValue, span: Span) -> CExpr {
         let ty = SequenceType::atomic(v.type_of());
-        CExpr { kind: CKind::Const(v), ty, span }
+        CExpr {
+            kind: CKind::Const(v),
+            ty,
+            span,
+        }
     }
 
     /// A variable reference.
@@ -313,6 +325,9 @@ pub struct PpkSpec {
     /// `true` when unmatched outer tuples must still produce output
     /// (left-outer semantics from nested constructors).
     pub outer_join: bool,
+    /// How many block fetches the runtime may keep in flight ahead of
+    /// the local join (0 = synchronous).
+    pub prefetch_depth: usize,
 }
 
 /// The middleware-side join method inside a PP-k block (§5.2).
@@ -477,11 +492,17 @@ impl CExpr {
                 f(then);
                 f(els);
             }
-            CKind::Quantified { source, satisfies, .. } => {
+            CKind::Quantified {
+                source, satisfies, ..
+            } => {
                 f(source);
                 f(satisfies);
             }
-            CKind::Typeswitch { operand, cases, default } => {
+            CKind::Typeswitch {
+                operand,
+                cases,
+                default,
+            } => {
                 f(operand);
                 for (_, _, b) in cases {
                     f(b);
@@ -494,11 +515,17 @@ impl CExpr {
             }
             CKind::Data(a) | CKind::DescendantStep { input: a } => f(a),
             CKind::ChildStep { input, .. } | CKind::AttrStep { input, .. } => f(input),
-            CKind::Filter { input, predicate, .. } => {
+            CKind::Filter {
+                input, predicate, ..
+            } => {
                 f(input);
                 f(predicate);
             }
-            CKind::ElementCtor { attributes, content, .. } => {
+            CKind::ElementCtor {
+                attributes,
+                content,
+                ..
+            } => {
                 for (_, _, v) in attributes {
                     f(v);
                 }
@@ -534,7 +561,11 @@ impl CExpr {
                         break;
                     }
                     match c {
-                        Clause::For { var: v, pos, source } => {
+                        Clause::For {
+                            var: v,
+                            pos,
+                            source,
+                        } => {
                             source.substitute(var, replacement);
                             if v == var || pos.as_deref() == Some(var) {
                                 shadowed = true;
@@ -562,7 +593,9 @@ impl CExpr {
                                 s.expr.substitute(var, replacement);
                             }
                         }
-                        Clause::SqlFor { params, ppk, binds, .. } => {
+                        Clause::SqlFor {
+                            params, ppk, binds, ..
+                        } => {
                             for p in params.iter_mut() {
                                 p.substitute(var, replacement);
                             }
@@ -581,19 +614,33 @@ impl CExpr {
                     ret.substitute(var, replacement);
                 }
             }
-            CKind::Quantified { var: v, source, satisfies, .. } => {
+            CKind::Quantified {
+                var: v,
+                source,
+                satisfies,
+                ..
+            } => {
                 source.substitute(var, replacement);
                 if v != var {
                     satisfies.substitute(var, replacement);
                 }
             }
-            CKind::Filter { input, predicate, ctx_var, .. } => {
+            CKind::Filter {
+                input,
+                predicate,
+                ctx_var,
+                ..
+            } => {
                 input.substitute(var, replacement);
                 if ctx_var != var {
                     predicate.substitute(var, replacement);
                 }
             }
-            CKind::Typeswitch { operand, cases, default } => {
+            CKind::Typeswitch {
+                operand,
+                cases,
+                default,
+            } => {
                 operand.substitute(var, replacement);
                 for (_, v, b) in cases.iter_mut() {
                     if v != var {
@@ -626,12 +673,8 @@ impl CExpr {
                         Clause::For { source, .. } => f(source),
                         Clause::Let { value, .. } => f(value),
                         Clause::Where(e) => f(e),
-                        Clause::GroupBy { keys, .. } => {
-                            keys.iter_mut().for_each(|(e, _)| f(e))
-                        }
-                        Clause::OrderBy(specs) => {
-                            specs.iter_mut().for_each(|s| f(&mut s.expr))
-                        }
+                        Clause::GroupBy { keys, .. } => keys.iter_mut().for_each(|(e, _)| f(e)),
+                        Clause::OrderBy(specs) => specs.iter_mut().for_each(|s| f(&mut s.expr)),
                         Clause::SqlFor { params, ppk, .. } => {
                             params.iter_mut().for_each(&mut *f);
                             if let Some(p) = ppk {
@@ -647,11 +690,17 @@ impl CExpr {
                 f(then);
                 f(els);
             }
-            CKind::Quantified { source, satisfies, .. } => {
+            CKind::Quantified {
+                source, satisfies, ..
+            } => {
                 f(source);
                 f(satisfies);
             }
-            CKind::Typeswitch { operand, cases, default } => {
+            CKind::Typeswitch {
+                operand,
+                cases,
+                default,
+            } => {
                 f(operand);
                 for (_, _, b) in cases.iter_mut() {
                     f(b);
@@ -664,11 +713,17 @@ impl CExpr {
             }
             CKind::Data(a) | CKind::DescendantStep { input: a } => f(a),
             CKind::ChildStep { input, .. } | CKind::AttrStep { input, .. } => f(input),
-            CKind::Filter { input, predicate, .. } => {
+            CKind::Filter {
+                input, predicate, ..
+            } => {
                 f(input);
                 f(predicate);
             }
-            CKind::ElementCtor { attributes, content, .. } => {
+            CKind::ElementCtor {
+                attributes,
+                content,
+                ..
+            } => {
                 for (_, _, v) in attributes.iter_mut() {
                     f(v);
                 }
@@ -713,7 +768,12 @@ fn collect_free(e: &CExpr, bound: &mut HashSet<String>, free: &mut HashSet<Strin
                         add(var, bound, &mut local);
                     }
                     Clause::Where(w) => collect_free(w, bound, free),
-                    Clause::GroupBy { bindings, keys, carry, .. } => {
+                    Clause::GroupBy {
+                        bindings,
+                        keys,
+                        carry,
+                        ..
+                    } => {
                         for (k, _) in keys {
                             collect_free(k, bound, free);
                         }
@@ -737,7 +797,9 @@ fn collect_free(e: &CExpr, bound: &mut HashSet<String>, free: &mut HashSet<Strin
                             collect_free(&s.expr, bound, free);
                         }
                     }
-                    Clause::SqlFor { params, binds, ppk, .. } => {
+                    Clause::SqlFor {
+                        params, binds, ppk, ..
+                    } => {
                         for p in params {
                             collect_free(p, bound, free);
                         }
@@ -757,7 +819,12 @@ fn collect_free(e: &CExpr, bound: &mut HashSet<String>, free: &mut HashSet<Strin
                 bound.remove(&v);
             }
         }
-        CKind::Quantified { var, source, satisfies, .. } => {
+        CKind::Quantified {
+            var,
+            source,
+            satisfies,
+            ..
+        } => {
             collect_free(source, bound, free);
             let added = bound.insert(var.clone());
             collect_free(satisfies, bound, free);
@@ -765,7 +832,12 @@ fn collect_free(e: &CExpr, bound: &mut HashSet<String>, free: &mut HashSet<Strin
                 bound.remove(var);
             }
         }
-        CKind::Filter { input, predicate, ctx_var, .. } => {
+        CKind::Filter {
+            input,
+            predicate,
+            ctx_var,
+            ..
+        } => {
             collect_free(input, bound, free);
             let added = bound.insert(ctx_var.clone());
             collect_free(predicate, bound, free);
@@ -773,7 +845,11 @@ fn collect_free(e: &CExpr, bound: &mut HashSet<String>, free: &mut HashSet<Strin
                 bound.remove(ctx_var);
             }
         }
-        CKind::Typeswitch { operand, cases, default } => {
+        CKind::Typeswitch {
+            operand,
+            cases,
+            default,
+        } => {
             collect_free(operand, bound, free);
             for (_, v, b) in cases {
                 let added = bound.insert(v.clone());
@@ -840,22 +916,34 @@ mod tests {
             sp(),
         );
         e.substitute("x", &CExpr::constant(AtomicValue::Integer(1), sp()));
-        let CKind::Flwor { ret, .. } = &e.kind else { panic!() };
+        let CKind::Flwor { ret, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(ret.kind, CKind::Var("x".into()));
         // but substituting a genuinely free var works
         e.substitute("a", &CExpr::constant(AtomicValue::Integer(2), sp()));
-        let CKind::Flwor { clauses, .. } = &e.kind else { panic!() };
-        let Clause::For { source, .. } = &clauses[0] else { panic!() };
+        let CKind::Flwor { clauses, .. } = &e.kind else {
+            panic!()
+        };
+        let Clause::For { source, .. } = &clauses[0] else {
+            panic!()
+        };
         assert_eq!(source.kind, CKind::Const(AtomicValue::Integer(2)));
     }
 
     #[test]
     fn builtin_resolution() {
         use aldsp_xdm::qname::ns;
-        assert_eq!(Builtin::resolve(Some(ns::FN), "count", 1), Some(Builtin::Count));
+        assert_eq!(
+            Builtin::resolve(Some(ns::FN), "count", 1),
+            Some(Builtin::Count)
+        );
         assert_eq!(Builtin::resolve(None, "count", 1), Some(Builtin::Count));
         assert_eq!(Builtin::resolve(Some(ns::FN), "count", 2), None);
-        assert_eq!(Builtin::resolve(Some(ns::FN_BEA), "async", 1), Some(Builtin::Async));
+        assert_eq!(
+            Builtin::resolve(Some(ns::FN_BEA), "async", 1),
+            Some(Builtin::Async)
+        );
         assert_eq!(Builtin::resolve(None, "async", 1), None);
         assert_eq!(
             Builtin::resolve(Some(ns::FN_BEA), "fail-over", 2),

@@ -43,7 +43,13 @@ pub fn collect_sql_regions(plan: &CExpr) -> Vec<SqlRegion> {
     fn walk(e: &CExpr, out: &mut Vec<SqlRegion>) {
         if let CKind::Flwor { clauses, .. } = &e.kind {
             for c in clauses {
-                if let Clause::SqlFor { connection, select, ppk, .. } = c {
+                if let Clause::SqlFor {
+                    connection,
+                    select,
+                    ppk,
+                    ..
+                } = c
+                {
                     out.push(SqlRegion {
                         connection: connection.clone(),
                         select: (**select).clone(),
@@ -74,8 +80,8 @@ pub fn count_physical_calls(plan: &CExpr) -> usize {
 pub(crate) mod tests {
     use super::*;
     use aldsp_metadata::{
-        introspect_relational, introspect_web_service, FunctionKind, ParamDecl,
-        PhysicalFunction, Registry, SourceBinding, WebServiceDescription, WebServiceOperation,
+        introspect_relational, introspect_web_service, FunctionKind, ParamDecl, PhysicalFunction,
+        Registry, SourceBinding, WebServiceDescription, WebServiceOperation,
     };
     use aldsp_relational::{render_select, Catalog, Dialect, SqlType, TableSchema};
     use aldsp_xdm::schema::ShapeBuilder;
@@ -158,7 +164,9 @@ pub(crate) mod tests {
                     ty: SequenceType::Seq(ItemType::Atomic(from), Occurrence::Optional),
                 }],
                 return_type: SequenceType::Seq(ItemType::Atomic(to), Occurrence::Optional),
-                source: SourceBinding::Native { id: name.to_string() },
+                source: SourceBinding::Native {
+                    id: name.to_string(),
+                },
             })
             .unwrap();
         }
@@ -195,9 +203,7 @@ pub(crate) mod tests {
 
     #[test]
     fn table1a_simple_select_project() {
-        let q = compile(
-            r#"for $c in c:CUSTOMER() where $c/CID eq "CUST001" return $c/FIRST_NAME"#,
-        );
+        let q = compile(r#"for $c in c:CUSTOMER() where $c/CID eq "CUST001" return $c/FIRST_NAME"#);
         let sql = oracle_sql(&q);
         assert_eq!(
             sql,
@@ -241,7 +247,11 @@ pub(crate) mod tests {
             q.plan.walk(&mut |e| {
                 if let CKind::Flwor { clauses, .. } = &e.kind {
                     for c in clauses {
-                        if let Clause::GroupBy { pre_clustered: true, .. } = c {
+                        if let Clause::GroupBy {
+                            pre_clustered: true,
+                            ..
+                        } = c
+                        {
                             found = true;
                         }
                     }
@@ -334,7 +344,10 @@ pub(crate) mod tests {
         );
         let sql = oracle_sql(&q);
         assert!(sql.contains("ROWNUM"), "{sql}");
-        assert!(sql.contains("(t_out.rn >= 10) AND (t_out.rn < 30)"), "{sql}");
+        assert!(
+            sql.contains("(t_out.rn >= 10) AND (t_out.rn < 30)"),
+            "{sql}"
+        );
         assert!(sql.contains("ORDER BY t1.\"LAST_NAME\" DESC"), "{sql}");
     }
 
@@ -351,10 +364,19 @@ pub(crate) mod tests {
             ))
             .unwrap();
         let regions = collect_sql_regions(&q.plan);
-        assert!(regions[0].select.offset.is_none(), "subsequence must stay in middleware");
+        assert!(
+            regions[0].select.offset.is_none(),
+            "subsequence must stay in middleware"
+        );
         let mut has_subseq = false;
         q.plan.walk(&mut |e| {
-            if matches!(&e.kind, CKind::Builtin { op: Builtin::Subsequence, .. }) {
+            if matches!(
+                &e.kind,
+                CKind::Builtin {
+                    op: Builtin::Subsequence,
+                    ..
+                }
+            ) {
                 has_subseq = true;
             }
         });
@@ -415,7 +437,10 @@ pub(crate) mod tests {
         );
         // with the inverse: SINCE > ? with a middleware date2int param
         let mut c = compiler();
-        c.declare_inverse(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"));
+        c.declare_inverse(
+            QName::new("urn:lib", "int2date"),
+            QName::new("urn:lib", "date2int"),
+        );
         let q = c.compile_query(&src).unwrap();
         let regions = collect_sql_regions(&q.plan);
         let sql = render_select(&regions[0].select, Dialect::Oracle);
@@ -438,7 +463,10 @@ pub(crate) mod tests {
                 }
             }
         });
-        assert!(has_param_call, "date2int($start) must be a middleware param");
+        assert!(
+            has_param_call,
+            "date2int($start) must be a middleware param"
+        );
     }
 
     #[test]
@@ -485,7 +513,10 @@ pub(crate) mod tests {
         );
         let sql = oracle_sql(&q);
         assert!(sql.contains("LAST_NAME"), "{sql}");
-        assert!(!sql.contains("FIRST_NAME"), "FIRST_NAME must not be fetched: {sql}");
+        assert!(
+            !sql.contains("FIRST_NAME"),
+            "FIRST_NAME must not be fetched: {sql}"
+        );
     }
 
     #[test]

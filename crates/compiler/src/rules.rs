@@ -69,10 +69,15 @@ pub fn inline_user_calls(
             return;
         }
         if stack.contains(name) {
-            ctx.diag(e.span, format!("recursive data-service function {name} cannot be unfolded"));
+            ctx.diag(
+                e.span,
+                format!("recursive data-service function {name} cannot be unfolded"),
+            );
             return;
         }
-        let Some(f) = ctx.functions.get(name) else { return };
+        let Some(f) = ctx.functions.get(name) else {
+            return;
+        };
         let Some(body) = f.body.clone() else {
             // body in error (§4.1) or external-without-binding: leave the
             // call; the signature already type-checked the use site
@@ -90,12 +95,21 @@ pub fn inline_user_calls(
         for ((pvar, _pty), arg) in params.iter().zip(args) {
             let fresh = ctx.fresh(pvar);
             inlined.substitute(pvar, &CExpr::var(&fresh, inlined.span));
-            clauses.push(Clause::Let { var: fresh, value: arg });
+            clauses.push(Clause::Let {
+                var: fresh,
+                value: arg,
+            });
         }
         let mut result = if clauses.is_empty() {
             inlined
         } else {
-            CExpr::new(CKind::Flwor { clauses, ret: Box::new(inlined) }, e.span)
+            CExpr::new(
+                CKind::Flwor {
+                    clauses,
+                    ret: Box::new(inlined),
+                },
+                e.span,
+            )
         };
         // rename *all* bindings introduced by the body so that a second
         // inlining of the same function cannot collide
@@ -140,7 +154,12 @@ fn freshen_bindings(ctx: &mut Context<'_>, e: &mut CExpr) {
                         *var = nv;
                     }
                     Clause::Where(w) => apply(w, &renames, ctx),
-                    Clause::GroupBy { bindings, keys, carry, .. } => {
+                    Clause::GroupBy {
+                        bindings,
+                        keys,
+                        carry,
+                        ..
+                    } => {
                         for (k, alias) in keys.iter_mut() {
                             apply(k, &renames, ctx);
                             let na = ctx.fresh(alias.split("__").next().unwrap_or(alias));
@@ -161,7 +180,9 @@ fn freshen_bindings(ctx: &mut Context<'_>, e: &mut CExpr) {
                             apply(&mut s.expr, &renames, ctx);
                         }
                     }
-                    Clause::SqlFor { params, ppk, binds, .. } => {
+                    Clause::SqlFor {
+                        params, ppk, binds, ..
+                    } => {
                         for p in params.iter_mut() {
                             apply(p, &renames, ctx);
                         }
@@ -180,21 +201,35 @@ fn freshen_bindings(ctx: &mut Context<'_>, e: &mut CExpr) {
             }
             apply(ret, &renames, ctx);
         }
-        CKind::Quantified { var, source, satisfies, .. } => {
+        CKind::Quantified {
+            var,
+            source,
+            satisfies,
+            ..
+        } => {
             freshen_bindings(ctx, source);
             let nv = ctx.fresh(var.split("__").next().unwrap_or(var));
             satisfies.substitute(var, &CExpr::var(&nv, satisfies.span));
             *var = nv;
             freshen_bindings(ctx, satisfies);
         }
-        CKind::Filter { input, predicate, ctx_var, .. } => {
+        CKind::Filter {
+            input,
+            predicate,
+            ctx_var,
+            ..
+        } => {
             freshen_bindings(ctx, input);
             let nv = ctx.fresh("ctx");
             predicate.substitute(ctx_var, &CExpr::var(&nv, predicate.span));
             *ctx_var = nv;
             freshen_bindings(ctx, predicate);
         }
-        CKind::Typeswitch { operand, cases, default } => {
+        CKind::Typeswitch {
+            operand,
+            cases,
+            default,
+        } => {
             freshen_bindings(ctx, operand);
             for (_, v, b) in cases.iter_mut() {
                 let nv = ctx.fresh("tsw");
@@ -203,7 +238,9 @@ fn freshen_bindings(ctx: &mut Context<'_>, e: &mut CExpr) {
                 freshen_bindings(ctx, b);
             }
             let nv = ctx.fresh("tsw");
-            default.1.substitute(&default.0, &CExpr::var(&nv, default.1.span));
+            default
+                .1
+                .substitute(&default.0, &CExpr::var(&nv, default.1.span));
             default.0 = nv;
             freshen_bindings(ctx, &mut default.1);
         }
@@ -220,7 +257,12 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
             // data(<E>{x}</E>) and data(<E?>{x}</E>) both equal data(x)
             // for atomic content: the conditional form omits the element
             // exactly when x is empty, and data of nothing is nothing
-            if let CKind::ElementCtor { attributes, content, .. } = &inner.kind {
+            if let CKind::ElementCtor {
+                attributes,
+                content,
+                ..
+            } = &inner.kind
+            {
                 if attributes.is_empty() && is_atomic_content(content) {
                     let c = (**content).clone();
                     *e = CExpr::new(CKind::Data(Box::new(unwrap_seq1(c))), span);
@@ -236,10 +278,12 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
             // data(FLWOR) → FLWOR wrapping data over the return
             if let CKind::Flwor { clauses, ret } = &inner.kind {
                 if flwor_is_mappable(clauses) {
-                    let new_ret =
-                        CExpr::new(CKind::Data(Box::new((**ret).clone())), ret.span);
+                    let new_ret = CExpr::new(CKind::Data(Box::new((**ret).clone())), ret.span);
                     *e = CExpr::new(
-                        CKind::Flwor { clauses: clauses.clone(), ret: Box::new(new_ret) },
+                        CKind::Flwor {
+                            clauses: clauses.clone(),
+                            ret: Box::new(new_ret),
+                        },
                         span,
                     );
                     return true;
@@ -248,7 +292,10 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
             false
         }
         // <E>…</E>/child — constructor/navigation elimination (§4.2)
-        CKind::ChildStep { input, name: Some(name) } => {
+        CKind::ChildStep {
+            input,
+            name: Some(name),
+        } => {
             match &input.kind {
                 CKind::ElementCtor { content, .. } => {
                     if let Some(projected) = project_content(content, name) {
@@ -267,7 +314,10 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
                         ret.span,
                     );
                     *e = CExpr::new(
-                        CKind::Flwor { clauses: clauses.clone(), ret: Box::new(new_ret) },
+                        CKind::Flwor {
+                            clauses: clauses.clone(),
+                            ret: Box::new(new_ret),
+                        },
                         span,
                     );
                     true
@@ -313,7 +363,12 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
             }
         }
         // filter over FLWOR maps into the return (non-positional)
-        CKind::Filter { input, predicate, ctx_var, positional: false } => {
+        CKind::Filter {
+            input,
+            predicate,
+            ctx_var,
+            positional: false,
+        } => {
             match &input.kind {
                 CKind::Flwor { clauses, ret } if flwor_is_mappable(clauses) => {
                     let new_ret = CExpr::new(
@@ -326,7 +381,10 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
                         ret.span,
                     );
                     *e = CExpr::new(
-                        CKind::Flwor { clauses: clauses.clone(), ret: Box::new(new_ret) },
+                        CKind::Flwor {
+                            clauses: clauses.clone(),
+                            ret: Box::new(new_ret),
+                        },
                         span,
                     );
                     true
@@ -343,7 +401,11 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
                     *e = CExpr::new(
                         CKind::Flwor {
                             clauses: vec![
-                                Clause::For { var: cv.clone(), pos: None, source: iv },
+                                Clause::For {
+                                    var: cv.clone(),
+                                    pos: None,
+                                    source: iv,
+                                },
                                 Clause::Where(pred),
                             ],
                             ret: Box::new(CExpr::var(&cv, span)),
@@ -360,7 +422,10 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
                     let cv = ctx_var.clone();
                     *e = CExpr::new(
                         CKind::Flwor {
-                            clauses: vec![Clause::Let { var: cv.clone(), value: iv }],
+                            clauses: vec![Clause::Let {
+                                var: cv.clone(),
+                                value: iv,
+                            }],
                             ret: Box::new(CExpr::new(
                                 CKind::If {
                                     cond: Box::new(pred),
@@ -380,7 +445,11 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
         CKind::Flwor { .. } => {
             let mut taken = std::mem::replace(e, CExpr::empty(span));
             let changed;
-            if let CKind::Flwor { ref mut clauses, ref mut ret } = taken.kind {
+            if let CKind::Flwor {
+                ref mut clauses,
+                ref mut ret,
+            } = taken.kind
+            {
                 let mut replacement: Option<CExpr> = None;
                 changed = simplify_flwor(ctx, clauses, ret, span, &mut replacement);
                 *e = match replacement {
@@ -395,21 +464,37 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
         // if with constant condition
         CKind::If { cond, then, els } => {
             if let CKind::Const(aldsp_xdm::value::AtomicValue::Boolean(b)) = &cond.kind {
-                let chosen = if *b { (**then).clone() } else { (**els).clone() };
+                let chosen = if *b {
+                    (**then).clone()
+                } else {
+                    (**els).clone()
+                };
                 *e = chosen;
                 return true;
             }
             false
         }
         // inverse-function rewrite (§4.4): f($x) op $y → $x op f⁻¹($y)
-        CKind::Compare { op, general, lhs, rhs } => {
+        CKind::Compare {
+            op,
+            general,
+            lhs,
+            rhs,
+        } => {
             let op = *op;
             let general = *general;
             if let Some((inner, inv, other, swapped)) = match_inverse(ctx, lhs, rhs) {
-                let new_lhs = if swapped { other.clone() } else { inner.clone() };
+                let new_lhs = if swapped {
+                    other.clone()
+                } else {
+                    inner.clone()
+                };
                 let new_rhs_core = if swapped { inner } else { other };
                 let inv_call = CExpr::new(
-                    CKind::PhysicalCall { name: inv, args: vec![new_rhs_core] },
+                    CKind::PhysicalCall {
+                        name: inv,
+                        args: vec![new_rhs_core],
+                    },
                     span,
                 );
                 let (l, r) = if swapped {
@@ -418,7 +503,12 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
                     (new_lhs, inv_call)
                 };
                 *e = CExpr::new(
-                    CKind::Compare { op, general, lhs: Box::new(l), rhs: Box::new(r) },
+                    CKind::Compare {
+                        op,
+                        general,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                     span,
                 );
                 return true;
@@ -494,8 +584,12 @@ fn simplify_flwor(
     //     predicate on it no longer forces construction of the rest —
     //     the §4.2 access-elimination pattern
     for i in 0..clauses.len() {
-        let Clause::Let { var, value } = &clauses[i] else { continue };
-        let CKind::ElementCtor { content, .. } = &value.kind else { continue };
+        let Clause::Let { var, value } = &clauses[i] else {
+            continue;
+        };
+        let CKind::ElementCtor { content, .. } = &value.kind else {
+            continue;
+        };
         let var = var.clone();
         let content = (**content).clone();
         for j in (i + 1)..clauses.len() {
@@ -505,9 +599,7 @@ fn simplify_flwor(
                 Clause::For { source, .. } => {
                     c_changed |= project_var_steps(source, &var, &content)
                 }
-                Clause::Let { value, .. } => {
-                    c_changed |= project_var_steps(value, &var, &content)
-                }
+                Clause::Let { value, .. } => c_changed |= project_var_steps(value, &var, &content),
                 Clause::Where(w) => c_changed |= project_var_steps(w, &var, &content),
                 Clause::GroupBy { keys, .. } => {
                     for (k, _) in keys.iter_mut() {
@@ -550,13 +642,22 @@ fn simplify_flwor(
         }
     }
     // 3. flatten a mappable nested FLWOR in return position
-    if let CKind::Flwor { clauses: inner, ret: iret } = &ret.kind {
+    if let CKind::Flwor {
+        clauses: inner,
+        ret: iret,
+    } = &ret.kind
+    {
         if flwor_is_mappable(inner) && !has_group {
             let mut all = clauses.clone();
             all.extend(inner.clone());
             let new_ret = (**iret).clone();
-            *replacement =
-                Some(CExpr::new(CKind::Flwor { clauses: all, ret: Box::new(new_ret) }, span));
+            *replacement = Some(CExpr::new(
+                CKind::Flwor {
+                    clauses: all,
+                    ret: Box::new(new_ret),
+                },
+                span,
+            ));
             return true;
         }
     }
@@ -598,7 +699,12 @@ fn simplify_flwor(
                 Clause::For { source, .. } => used.extend(source.free_vars()),
                 Clause::Let { value, .. } => used.extend(value.free_vars()),
                 Clause::Where(w) => used.extend(w.free_vars()),
-                Clause::GroupBy { bindings, keys, carry, .. } => {
+                Clause::GroupBy {
+                    bindings,
+                    keys,
+                    carry,
+                    ..
+                } => {
                     for (k, _) in keys {
                         used.extend(k.free_vars());
                     }
@@ -655,7 +761,9 @@ fn hoist_wheres(clauses: &mut Vec<Clause>) -> bool {
     let mut i = 0;
     while i < clauses.len() {
         if matches!(clauses[i], Clause::Where(_)) {
-            let Clause::Where(w) = clauses[i].clone() else { unreachable!() };
+            let Clause::Where(w) = clauses[i].clone() else {
+                unreachable!()
+            };
             let free = w.free_vars();
             // earliest legal position: after the last binding clause that
             // introduces one of `free`, and never across group/order
@@ -689,7 +797,12 @@ pub fn clause_bindings(c: &Clause) -> Vec<String> {
             v
         }
         Clause::Let { var, .. } => vec![var.clone()],
-        Clause::GroupBy { bindings, keys, carry, .. } => bindings
+        Clause::GroupBy {
+            bindings,
+            keys,
+            carry,
+            ..
+        } => bindings
             .iter()
             .map(|(_, to)| to.clone())
             .chain(keys.iter().map(|(_, a)| a.clone()))
@@ -738,7 +851,11 @@ fn unwrap_seq1(e: CExpr) -> CExpr {
 fn project_var_steps(e: &mut CExpr, var: &str, content: &CExpr) -> bool {
     // rebinding can't occur: translation alpha-renamed all bindings unique
     let mut changed = false;
-    if let CKind::ChildStep { input, name: Some(name) } = &e.kind {
+    if let CKind::ChildStep {
+        input,
+        name: Some(name),
+    } = &e.kind
+    {
         if matches!(&input.kind, CKind::Var(v) if v == var) {
             if let Some(projected) = project_content(content, name) {
                 *e = projected;
@@ -805,7 +922,12 @@ fn clause_var_uses(c: &Clause, var: &str) -> usize {
         Clause::For { source, .. } => n += count_var_uses(source, var),
         Clause::Let { value, .. } => n += count_var_uses(value, var),
         Clause::Where(w) => n += count_var_uses(w, var),
-        Clause::GroupBy { keys, bindings, carry, .. } => {
+        Clause::GroupBy {
+            keys,
+            bindings,
+            carry,
+            ..
+        } => {
             for (k, _) in keys {
                 n += count_var_uses(k, var);
             }

@@ -144,12 +144,25 @@ impl Region {
 fn table_of_call(
     ctx: &Context<'_>,
     e: &CExpr,
-) -> Option<(String, String, QName, Vec<(String, AtomicType, bool)>, Vec<String>, Option<(String, Vec<(String, String)>)>)>
-{
-    let CKind::PhysicalCall { name, args } = &e.kind else { return None };
+) -> Option<(
+    String,
+    String,
+    QName,
+    Vec<(String, AtomicType, bool)>,
+    Vec<String>,
+    Option<(String, Vec<(String, String)>)>,
+)> {
+    let CKind::PhysicalCall { name, args } = &e.kind else {
+        return None;
+    };
     let f = ctx.registry.function(name)?;
     match &f.source {
-        SourceBinding::RelationalTable { connection, table, primary_key, shape } => Some((
+        SourceBinding::RelationalTable {
+            connection,
+            table,
+            primary_key,
+            shape,
+        } => Some((
             connection.clone(),
             table.clone(),
             shape.name.clone()?,
@@ -185,12 +198,16 @@ fn table_of_call(
 }
 
 fn shape_columns(shape: &ElementType) -> Vec<(String, AtomicType, bool)> {
-    let ContentType::Complex(c) = &shape.content else { return Vec::new() };
+    let ContentType::Complex(c) = &shape.content else {
+        return Vec::new();
+    };
     c.children
         .iter()
         .filter_map(|ch| {
             let name = ch.elem.name.as_ref()?.local_name().to_string();
-            let ContentType::Simple(t) = ch.elem.content else { return None };
+            let ContentType::Simple(t) = ch.elem.content else {
+                return None;
+            };
             Some((name, t, ch.occ.allows_empty()))
         })
         .collect()
@@ -212,7 +229,11 @@ fn form_regions(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret: &mut CExp
         let mut j = i + 1;
         while j < clauses.len() {
             match &clauses[j] {
-                Clause::For { var, pos: None, source } => {
+                Clause::For {
+                    var,
+                    pos: None,
+                    source,
+                } => {
                     if let Some((conn, table, element, columns, pk, nav)) =
                         table_of_call(ctx, source)
                     {
@@ -394,7 +415,11 @@ fn typed_field_element(
     );
     ctor.ty = SequenceType::Seq(
         ItemType::element_simple(QName::local(col), ty),
-        if nullable { Occurrence::Optional } else { Occurrence::One },
+        if nullable {
+            Occurrence::Optional
+        } else {
+            Occurrence::One
+        },
     );
     ctor
 }
@@ -416,10 +441,7 @@ fn reconstruct_row(rw: &Rewrite, span: crate::ir::Span) -> CExpr {
         },
         span,
     );
-    ctor.ty = SequenceType::Seq(
-        ItemType::element_any(rw.element.clone()),
-        Occurrence::One,
-    );
+    ctor.ty = SequenceType::Seq(ItemType::element_any(rw.element.clone()), Occurrence::One);
     ctor
 }
 
@@ -435,7 +457,12 @@ fn collect_usage_clause(c: &Clause, usage: &mut HashMap<String, ColumnUsage>) {
         Clause::For { source, .. } => collect_usage(source, usage),
         Clause::Let { value, .. } => collect_usage(value, usage),
         Clause::Where(w) => collect_usage(w, usage),
-        Clause::GroupBy { keys, bindings, carry, .. } => {
+        Clause::GroupBy {
+            keys,
+            bindings,
+            carry,
+            ..
+        } => {
             for (k, _) in keys {
                 collect_usage(k, usage);
             }
@@ -465,7 +492,10 @@ fn collect_usage_clause(c: &Clause, usage: &mut HashMap<String, ColumnUsage>) {
 
 fn collect_usage(e: &CExpr, usage: &mut HashMap<String, ColumnUsage>) {
     match &e.kind {
-        CKind::ChildStep { input, name: Some(n) } => {
+        CKind::ChildStep {
+            input,
+            name: Some(n),
+        } => {
             if let CKind::Var(v) = &input.kind {
                 if let Some(u) = usage.get_mut(v) {
                     if !u.cols.contains(&n.local_name().to_string()) {
@@ -487,7 +517,14 @@ fn collect_usage(e: &CExpr, usage: &mut HashMap<String, ColumnUsage>) {
 
 /// Start a region from a `for` over a table function.
 fn try_start_region(ctx: &Context<'_>, c: &Clause) -> Option<Region> {
-    let Clause::For { var, pos: None, source } = c else { return None };
+    let Clause::For {
+        var,
+        pos: None,
+        source,
+    } = c
+    else {
+        return None;
+    };
     let (connection, table, element, columns, pk, nav) = table_of_call(ctx, source)?;
     if nav.is_some() {
         return None; // navigation can't begin a region (needs its source)
@@ -533,7 +570,10 @@ fn attach_condition(region: &mut Region, cond: ScalarExpr) {
     let needed = aliases_in(&cond);
     if needed.len() >= 2 {
         // attach to the top join if it spans both sides
-        if let TableRef::Join { left, right, on, .. } = &mut region.from {
+        if let TableRef::Join {
+            left, right, on, ..
+        } = &mut region.from
+        {
             let mut laliases = Vec::new();
             left.aliases(&mut laliases);
             let mut raliases = Vec::new();
@@ -555,12 +595,16 @@ fn attach_condition(region: &mut Region, cond: ScalarExpr) {
 }
 
 /// Detect `inner-col op outer-expr` equality correlations.
-fn correlation_of(
-    ctx: &Context<'_>,
-    region: &Region,
-    w: &CExpr,
-) -> Option<(CExpr, ScalarExpr)> {
-    let CKind::Compare { op: CompOp::Eq, lhs, rhs, .. } = &w.kind else { return None };
+fn correlation_of(ctx: &Context<'_>, region: &Region, w: &CExpr) -> Option<(CExpr, ScalarExpr)> {
+    let CKind::Compare {
+        op: CompOp::Eq,
+        lhs,
+        rhs,
+        ..
+    } = &w.kind
+    else {
+        return None;
+    };
     let col_of = |e: &CExpr| -> Option<ScalarExpr> {
         let core = match &e.kind {
             CKind::Data(i) => i,
@@ -591,8 +635,16 @@ fn col_expr(region: &Region, e: &CExpr) -> Option<ScalarExpr> {
         CKind::Data(i) => i.as_ref(),
         _ => e,
     };
-    let CKind::ChildStep { input, name: Some(n) } = &core.kind else { return None };
-    let CKind::Var(v) = &input.kind else { return None };
+    let CKind::ChildStep {
+        input,
+        name: Some(n),
+    } = &core.kind
+    else {
+        return None;
+    };
+    let CKind::Var(v) = &input.kind else {
+        return None;
+    };
     let pv = region.vars.get(v)?;
     let (col, _, _) = pv.column(n.local_name())?;
     Some(ScalarExpr::col(&pv.alias, col))
@@ -677,10 +729,13 @@ fn build_sql_for(
                 .position(|c| c.expr == col)
                 .unwrap_or_else(|| {
                     let alias = format!("c{}", select.columns.len() + 1);
-                    select
-                        .columns
-                        .push(aldsp_relational::OutputColumn { expr: col.clone(), alias });
-                    let ScalarExpr::Column { column, .. } = &col else { unreachable!() };
+                    select.columns.push(aldsp_relational::OutputColumn {
+                        expr: col.clone(),
+                        alias,
+                    });
+                    let ScalarExpr::Column { column, .. } = &col else {
+                        unreachable!()
+                    };
                     let ty = region
                         .vars
                         .values()
@@ -698,6 +753,7 @@ fn build_sql_for(
             bind_key_indices,
             local_method: ctx.ppk_local_method,
             outer_join: false,
+            prefetch_depth: ctx.ppk_prefetch_depth,
         })
     };
     Some((
@@ -756,7 +812,11 @@ fn rewrite_clause_refs(c: &mut Clause, rewrites: &[Rewrite]) {
 fn rewrite_refs(e: &mut CExpr, rewrites: &[Rewrite]) {
     let span = e.span;
     // $v/COL
-    if let CKind::ChildStep { input, name: Some(n) } = &e.kind {
+    if let CKind::ChildStep {
+        input,
+        name: Some(n),
+    } = &e.kind
+    {
         if let CKind::Var(v) = &input.kind {
             if let Some(rw) = rewrites.iter().find(|r| &r.var == v) {
                 if let Some((col, fvar, fty, nullable)) =
@@ -806,27 +866,38 @@ impl Translator<'_, '_> {
     fn try_expr(&mut self, e: &CExpr) -> Option<ScalarExpr> {
         match &e.kind {
             CKind::Data(inner) => self.try_expr(inner),
-            CKind::Const(v) => {
-                Some(ScalarExpr::Literal(SqlValue::from_xml(Some(v), sql_type_of(v.type_of())?).ok()?))
-            }
+            CKind::Const(v) => Some(ScalarExpr::Literal(
+                SqlValue::from_xml(Some(v), sql_type_of(v.type_of())?).ok()?,
+            )),
             CKind::ChildStep { .. } => col_expr(self.region, e),
             CKind::And(a, b) => Some(self.try_expr(a)?.and(self.try_expr(b)?)),
             CKind::Or(a, b) => Some(self.try_expr(a)?.or(self.try_expr(b)?)),
             CKind::Compare { op, lhs, rhs, .. } => {
                 let l = self.try_expr(lhs)?;
                 let r = self.try_expr(rhs)?;
-                Some(ScalarExpr::Compare { op: *op, lhs: Box::new(l), rhs: Box::new(r) })
+                Some(ScalarExpr::Compare {
+                    op: *op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                })
             }
             CKind::Arith { op, lhs, rhs } => {
                 let l = self.try_expr(lhs)?;
                 let r = self.try_expr(rhs)?;
-                Some(ScalarExpr::Arith { op: *op, lhs: Box::new(l), rhs: Box::new(r) })
+                Some(ScalarExpr::Arith {
+                    op: *op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                })
             }
             CKind::If { cond, then, els } => {
                 let c = self.try_expr(cond)?;
                 let t = self.try_expr(then)?;
                 let x = self.try_expr(els)?;
-                Some(ScalarExpr::Case { when: vec![(c, t)], els: Some(Box::new(x)) })
+                Some(ScalarExpr::Case {
+                    when: vec![(c, t)],
+                    els: Some(Box::new(x)),
+                })
             }
             CKind::Builtin { op, args } => match op {
                 Builtin::Not => Some(ScalarExpr::Not(Box::new(self.try_expr(&args[0])?))),
@@ -856,14 +927,20 @@ impl Translator<'_, '_> {
                     for a in args {
                         sargs.push(self.try_expr(a)?);
                     }
-                    Some(ScalarExpr::Func { name: "SUBSTR".into(), args: sargs })
+                    Some(ScalarExpr::Func {
+                        name: "SUBSTR".into(),
+                        args: sargs,
+                    })
                 }
                 Builtin::Concat => {
                     let mut sargs = Vec::with_capacity(args.len());
                     for a in args {
                         sargs.push(self.try_expr(a)?);
                     }
-                    Some(ScalarExpr::Func { name: "CONCAT".into(), args: sargs })
+                    Some(ScalarExpr::Func {
+                        name: "CONCAT".into(),
+                        args: sargs,
+                    })
                 }
                 Builtin::Abs => Some(ScalarExpr::Func {
                     name: "ABS".into(),
@@ -875,9 +952,12 @@ impl Translator<'_, '_> {
             },
             // a quantified expression over the same source → EXISTS
             // semi-join (Table 2(h))
-            CKind::Quantified { every: false, var, source, satisfies } => {
-                self.try_exists(var, source, satisfies)
-            }
+            CKind::Quantified {
+                every: false,
+                var,
+                source,
+                satisfies,
+            } => self.try_exists(var, source, satisfies),
             CKind::Cast { input, target, .. } => {
                 // pushable as a typed parameter when independent; else
                 // translate through (types line up via SQL affinity)
@@ -908,19 +988,13 @@ impl Translator<'_, '_> {
         // an atomizable expression — conservatively accept everything
         // whose type is atomic or unknown-but-data-wrapped
         let idx = self.region.params.len();
-        self.region.params.push(CExpr::new(
-            CKind::Data(Box::new(e.clone())),
-            e.span,
-        ));
+        self.region
+            .params
+            .push(CExpr::new(CKind::Data(Box::new(e.clone())), e.span));
         Some(ScalarExpr::Param(idx))
     }
 
-    fn try_exists(
-        &mut self,
-        var: &str,
-        source: &CExpr,
-        satisfies: &CExpr,
-    ) -> Option<ScalarExpr> {
+    fn try_exists(&mut self, var: &str, source: &CExpr, satisfies: &CExpr) -> Option<ScalarExpr> {
         let (conn, table, element, columns, pk, nav) = table_of_call(self.ctx, source)?;
         if conn != self.region.connection || nav.is_some() {
             return None;
@@ -984,10 +1058,20 @@ fn hoist_dependent_joins(
         // only by non-binding-loop clauses (lets / wheres / order by)
         let outer_info: Option<(usize, String, String, String)> =
             clauses.iter().enumerate().find_map(|(i, c)| {
-                if let Clause::SqlFor { connection, select, ppk: None, params, .. } = c {
+                if let Clause::SqlFor {
+                    connection,
+                    select,
+                    ppk: None,
+                    params,
+                    ..
+                } = c
+                {
                     if params.is_empty()
                         && clauses[i + 1..].iter().all(|t| {
-                            matches!(t, Clause::Let { .. } | Clause::Where(_) | Clause::OrderBy(_))
+                            matches!(
+                                t,
+                                Clause::Let { .. } | Clause::Where(_) | Clause::OrderBy(_)
+                            )
                         })
                     {
                         if let TableRef::Table { name, alias } = &select.from {
@@ -997,8 +1081,9 @@ fn hoist_dependent_joins(
                 }
                 None
             });
-        let outer_is_last =
-            outer_info.as_ref().is_some_and(|(i, ..)| *i + 1 == clauses.len());
+        let outer_is_last = outer_info
+            .as_ref()
+            .is_some_and(|(i, ..)| *i + 1 == clauses.len());
         // search the return, then let values, for a hoistable nested FLWOR
         let (found, slot) = {
             match find_nested_dependent(ret) {
@@ -1024,7 +1109,12 @@ fn hoist_dependent_joins(
                 }
             }
         };
-        let Some(NestedDependent { path_marker, inner_clause, inner_ret, agg }) = found
+        let Some(NestedDependent {
+            path_marker,
+            inner_clause,
+            inner_ret,
+            agg,
+        }) = found
         else {
             break;
         };
@@ -1033,14 +1123,22 @@ fn hoist_dependent_joins(
         let mut slot_expr = match slot {
             Slot::Ret => std::mem::replace(ret, CExpr::empty(span)),
             Slot::Let(li) => {
-                let Clause::Let { value, .. } = &mut clauses[li] else { unreachable!() };
+                let Clause::Let { value, .. } = &mut clauses[li] else {
+                    unreachable!()
+                };
                 std::mem::replace(value, CExpr::empty(span))
             }
         };
         let hoisted = match (&outer_info, &inner_clause) {
             (
                 Some((outer_idx, oconn, otable, oalias)),
-                Clause::SqlFor { connection, select, params, binds, ppk: Some(ppk) },
+                Clause::SqlFor {
+                    connection,
+                    select,
+                    params,
+                    binds,
+                    ppk: Some(ppk),
+                },
             ) if oconn == connection && params.is_empty() => {
                 // the re-nesting (non-aggregate) variant inserts a group
                 // clause, which is only sound when nothing follows the
@@ -1065,9 +1163,7 @@ fn hoist_dependent_joins(
                     )
                 }
             }
-            (_, Clause::SqlFor { ppk: Some(_), .. })
-                if matches!(slot, Slot::Ret) && !has_order =>
-            {
+            (_, Clause::SqlFor { ppk: Some(_), .. }) if matches!(slot, Slot::Ret) && !has_order => {
                 hoist_cross_source(
                     ctx,
                     clauses,
@@ -1085,7 +1181,9 @@ fn hoist_dependent_joins(
         match slot {
             Slot::Ret => *ret = slot_expr,
             Slot::Let(li) => {
-                let Clause::Let { value, .. } = &mut clauses[li] else { unreachable!() };
+                let Clause::Let { value, .. } = &mut clauses[li] else {
+                    unreachable!()
+                };
                 *value = slot_expr;
             }
         }
@@ -1116,7 +1214,11 @@ struct NestedDependent {
 /// count/sum aggregate).
 fn find_nested_dependent(e: &CExpr) -> Option<NestedDependent> {
     // aggregate form first: count(Flwor{[SqlFor(ppk)]})
-    if let CKind::Builtin { op: op @ (Builtin::Count | Builtin::Sum | Builtin::Min | Builtin::Max | Builtin::Avg), args } = &e.kind {
+    if let CKind::Builtin {
+        op: op @ (Builtin::Count | Builtin::Sum | Builtin::Min | Builtin::Max | Builtin::Avg),
+        args,
+    } = &e.kind
+    {
         if let CKind::Flwor { clauses, ret } = &args[0].kind {
             if clauses.len() == 1 {
                 if let Clause::SqlFor { ppk: Some(_), .. } = &clauses[0] {
@@ -1147,7 +1249,10 @@ fn find_nested_dependent(e: &CExpr) -> Option<NestedDependent> {
     // source access out of them would strip their protection
     if matches!(
         &e.kind,
-        CKind::Builtin { op: Builtin::Async | Builtin::Timeout | Builtin::FailOver, .. }
+        CKind::Builtin {
+            op: Builtin::Async | Builtin::Timeout | Builtin::FailOver,
+            ..
+        }
     ) {
         return None;
     }
@@ -1162,11 +1267,8 @@ fn find_nested_dependent(e: &CExpr) -> Option<NestedDependent> {
 
 /// Replace the marked nested node with `replacement`.
 fn replace_marked(e: &mut CExpr, marker: &crate::ir::Span, replacement: &CExpr) -> bool {
-    let is_target = e.span == *marker
-        && matches!(
-            &e.kind,
-            CKind::Flwor { .. } | CKind::Builtin { .. }
-        );
+    let is_target =
+        e.span == *marker && matches!(&e.kind, CKind::Flwor { .. } | CKind::Builtin { .. });
     if is_target {
         *e = replacement.clone();
         return true;
@@ -1206,15 +1308,19 @@ fn merge_same_connection(
     span: crate::ir::Span,
 ) -> bool {
     // the inner select must be a single table with no pagination
-    let TableRef::Table { name: itable, alias: _ } = &inner_select.from else {
+    let TableRef::Table {
+        name: itable,
+        alias: _,
+    } = &inner_select.from
+    else {
         return false;
     };
     // outer PK columns (needed for grouping identity)
     let pk_cols: Vec<String> = {
         let f = ctx.registry.functions().find_map(|f| match &f.source {
-            SourceBinding::RelationalTable { table, primary_key, .. } if table == otable => {
-                Some(primary_key.clone())
-            }
+            SourceBinding::RelationalTable {
+                table, primary_key, ..
+            } if table == otable => Some(primary_key.clone()),
             _ => None,
         });
         match f {
@@ -1223,8 +1329,11 @@ fn merge_same_connection(
         }
     };
     // correlation: outer_keys must be field vars bound by the outer SqlFor
-    let Clause::SqlFor { select: outer_select, binds: outer_binds, .. } =
-        &mut clauses[outer_idx]
+    let Clause::SqlFor {
+        select: outer_select,
+        binds: outer_binds,
+        ..
+    } = &mut clauses[outer_idx]
     else {
         return false;
     };
@@ -1244,7 +1353,9 @@ fn merge_same_connection(
             return false;
         };
         let outer_col = outer_select.columns[pos].expr.clone();
-        let ScalarExpr::Column { column, .. } = key_col else { return false };
+        let ScalarExpr::Column { column, .. } = key_col else {
+            return false;
+        };
         let term = outer_col.eq(ScalarExpr::col(&ialias, column));
         on = Some(match on {
             Some(p) => p.and(term),
@@ -1267,12 +1378,14 @@ fn merge_same_connection(
     match agg {
         Some(op) => {
             // full SQL aggregation (Table 2(g)): GROUP BY outer columns
-            let group_cols: Vec<ScalarExpr> =
-                outer_select.columns.iter().map(|c| c.expr.clone()).collect();
+            let group_cols: Vec<ScalarExpr> = outer_select
+                .columns
+                .iter()
+                .map(|c| c.expr.clone())
+                .collect();
             outer_select.group_by = group_cols;
             // aggregate argument: first inner output column (or * count)
-            let inner_col =
-                rebase_aliases(&inner_select.columns[0].expr, inner_select, &ialias);
+            let inner_col = rebase_aliases(&inner_select.columns[0].expr, inner_select, &ialias);
             let func = match op {
                 Builtin::Count => AggFunc::Count,
                 Builtin::Sum => AggFunc::Sum,
@@ -1317,17 +1430,19 @@ fn merge_same_connection(
                     Some(p) => p,
                     None => {
                         let alias = format!("c{}", outer_select.columns.len() + 1);
-                        outer_select
-                            .columns
-                            .push(aldsp_relational::OutputColumn { expr: col.clone(), alias });
+                        outer_select.columns.push(aldsp_relational::OutputColumn {
+                            expr: col.clone(),
+                            alias,
+                        });
                         outer_binds.push((ctx.fresh(&format!("pk#{pk}")), AtomicType::AnyAtomic));
                         outer_select.columns.len() - 1
                     }
                 };
                 pk_field_vars.push(outer_binds[pos].0.clone());
-                outer_select
-                    .order_by
-                    .push(OrderBy { expr: col, descending: false });
+                outer_select.order_by.push(OrderBy {
+                    expr: col,
+                    descending: false,
+                });
             }
             // per-joined-row value of the nested return, then regroup
             let val_var = ctx.fresh("nestval");
@@ -1377,7 +1492,10 @@ fn merge_same_connection(
                 key_renames.push((b.clone(), alias));
             }
             let extra = vec![
-                Clause::Let { var: val_var.clone(), value: guarded },
+                Clause::Let {
+                    var: val_var.clone(),
+                    value: guarded,
+                },
                 Clause::GroupBy {
                     bindings: vec![(val_var, grouped_var.clone())],
                     keys,
@@ -1412,7 +1530,9 @@ thread_local! {
 
 /// Rewrite inner-select column aliases to the joined alias.
 fn rebase_aliases(e: &ScalarExpr, inner: &Select, new_alias: &str) -> ScalarExpr {
-    let TableRef::Table { alias, .. } = &inner.from else { return e.clone() };
+    let TableRef::Table { alias, .. } = &inner.from else {
+        return e.clone();
+    };
     let mut out = e.clone();
     fn rec(e: &mut ScalarExpr, from: &str, to: &str) {
         if let ScalarExpr::Column { table, .. } = e {
@@ -1472,8 +1592,13 @@ fn hoist_cross_source(
     marker: &crate::ir::Span,
     span: crate::ir::Span,
 ) -> bool {
-    let Clause::SqlFor { connection, select, params, mut binds, ppk: Some(mut ppk) } =
-        inner_clause
+    let Clause::SqlFor {
+        connection,
+        select,
+        params,
+        mut binds,
+        ppk: Some(mut ppk),
+    } = inner_clause
     else {
         return false;
     };
@@ -1484,12 +1609,18 @@ fn hoist_cross_source(
     binds.push((tid.clone(), TID_TYPE));
     let val_var = ctx.fresh("nestval");
     // unmatched outer tuples surface with all inner fields empty
-    let inner_field_vars: Vec<String> =
-        binds.iter().take(binds.len() - 1).map(|(b, _)| b.clone()).collect();
+    let inner_field_vars: Vec<String> = binds
+        .iter()
+        .take(binds.len() - 1)
+        .map(|(b, _)| b.clone())
+        .collect();
     let mut guard: Option<CExpr> = None;
     for fv in &inner_field_vars {
         let t = CExpr::new(
-            CKind::Builtin { op: Builtin::Exists, args: vec![CExpr::var(fv, span)] },
+            CKind::Builtin {
+                op: Builtin::Exists,
+                args: vec![CExpr::var(fv, span)],
+            },
             span,
         );
         guard = Some(match guard {
@@ -1519,7 +1650,10 @@ fn hoist_cross_source(
             span,
         ),
         Some(op) => CExpr::new(
-            CKind::Builtin { op, args: vec![CExpr::var(&grouped_var, span)] },
+            CKind::Builtin {
+                op,
+                args: vec![CExpr::var(&grouped_var, span)],
+            },
             span,
         ),
         None => CExpr::var(&grouped_var, span),
@@ -1535,9 +1669,14 @@ fn hoist_cross_source(
     let needed: Vec<String> = {
         let mut free = ret.free_vars();
         free.remove(&grouped_var);
-        let bound_before: Vec<String> =
-            clauses.iter().flat_map(|c| crate::rules::clause_bindings(c)).collect();
-        bound_before.into_iter().filter(|b| free.contains(b)).collect()
+        let bound_before: Vec<String> = clauses
+            .iter()
+            .flat_map(|c| crate::rules::clause_bindings(c))
+            .collect();
+        bound_before
+            .into_iter()
+            .filter(|b| free.contains(b))
+            .collect()
     };
     for b in needed {
         let alias = ctx.fresh("gk");
@@ -1554,7 +1693,10 @@ fn hoist_cross_source(
         binds,
         ppk: Some(ppk),
     });
-    clauses.push(Clause::Let { var: val_var.clone(), value: guarded });
+    clauses.push(Clause::Let {
+        var: val_var.clone(),
+        value: guarded,
+    });
     clauses.push(Clause::GroupBy {
         bindings: vec![(val_var, grouped_var)],
         keys,
@@ -1590,9 +1732,21 @@ fn push_trailing_group_by(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret:
         }
     }
     let (first, rest) = clauses.split_at_mut(1);
-    let Clause::SqlFor { select, binds, ppk: None, .. } = &mut first[0] else { return };
-    let Clause::GroupBy { bindings, keys, carry, pre_clustered } =
-        rest.last_mut().expect("checked")
+    let Clause::SqlFor {
+        select,
+        binds,
+        ppk: None,
+        ..
+    } = &mut first[0]
+    else {
+        return;
+    };
+    let Clause::GroupBy {
+        bindings,
+        keys,
+        carry,
+        pre_clustered,
+    } = rest.last_mut().expect("checked")
     else {
         return;
     };
@@ -1610,7 +1764,9 @@ fn push_trailing_group_by(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret:
             },
             _ => return,
         };
-        let Some(pos) = binds.iter().position(|(b, _)| b == kv) else { return };
+        let Some(pos) = binds.iter().position(|(b, _)| b == kv) else {
+            return;
+        };
         key_cols.push(select.columns[pos].expr.clone());
     }
     if bindings.is_empty() {
@@ -1700,7 +1856,11 @@ fn push_trailing_group_by(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret:
         };
         let alias = format!("c{}", new_cols.len() + 1);
         new_cols.push(aldsp_relational::OutputColumn {
-            expr: ScalarExpr::Agg { func, arg, distinct: false },
+            expr: ScalarExpr::Agg {
+                func,
+                arg,
+                distinct: false,
+            },
             alias,
         });
         let fresh = ctx.fresh("aggv");
@@ -1726,7 +1886,10 @@ fn push_order_for_clustering(
     // then can possibly be pushed to the backend" (§4.2)
     for k in key_cols {
         if !select.order_by.iter().any(|o| &o.expr == k) {
-            select.order_by.push(OrderBy { expr: k.clone(), descending: false });
+            select.order_by.push(OrderBy {
+                expr: k.clone(),
+                descending: false,
+            });
         }
     }
     *pre_clustered = true;
@@ -1793,7 +1956,12 @@ fn prune_unused_columns(clauses: &mut [Clause], ret: &CExpr) {
             Clause::For { source, .. } => used.extend(source.free_vars()),
             Clause::Let { value, .. } => used.extend(value.free_vars()),
             Clause::Where(w) => used.extend(w.free_vars()),
-            Clause::GroupBy { keys, bindings, carry, .. } => {
+            Clause::GroupBy {
+                keys,
+                bindings,
+                carry,
+                ..
+            } => {
                 for (k, _) in keys {
                     used.extend(k.free_vars());
                 }
@@ -1821,7 +1989,15 @@ fn prune_unused_columns(clauses: &mut [Clause], ret: &CExpr) {
     for c in clauses.iter_mut() {
         // PP-k statements keep their key columns (indices are positional);
         // only plain statements prune
-        let Clause::SqlFor { select, binds, ppk: None, .. } = c else { continue };
+        let Clause::SqlFor {
+            select,
+            binds,
+            ppk: None,
+            ..
+        } = c
+        else {
+            continue;
+        };
         if binds.len() <= 1 {
             continue;
         }
@@ -1853,9 +2029,17 @@ fn absorb_wheres(clauses: &mut Vec<Clause>) {
         let absorbable = matches!(clauses[i], Clause::Where(_))
             && matches!(clauses[i - 1], Clause::SqlFor { ppk: None, .. });
         if absorbable {
-            let Clause::Where(w) = clauses[i].clone() else { unreachable!() };
+            let Clause::Where(w) = clauses[i].clone() else {
+                unreachable!()
+            };
             let (head, _) = clauses.split_at_mut(i);
-            let Clause::SqlFor { select, binds, params, .. } = &mut head[i - 1] else {
+            let Clause::SqlFor {
+                select,
+                binds,
+                params,
+                ..
+            } = &mut head[i - 1]
+            else {
                 unreachable!()
             };
             let saved_params = params.len();
@@ -1898,7 +2082,11 @@ fn translate_bound(
         CKind::Compare { op, lhs, rhs, .. } => {
             let l = translate_bound(lhs, select, binds, params)?;
             let r = translate_bound(rhs, select, binds, params)?;
-            Some(ScalarExpr::Compare { op: *op, lhs: Box::new(l), rhs: Box::new(r) })
+            Some(ScalarExpr::Compare {
+                op: *op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            })
         }
         CKind::And(a, b) => Some(
             translate_bound(a, select, binds, params)?
@@ -1911,17 +2099,27 @@ fn translate_bound(
         CKind::Arith { op, lhs, rhs } => {
             let l = translate_bound(lhs, select, binds, params)?;
             let r = translate_bound(rhs, select, binds, params)?;
-            Some(ScalarExpr::Arith { op: *op, lhs: Box::new(l), rhs: Box::new(r) })
+            Some(ScalarExpr::Arith {
+                op: *op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            })
         }
         CKind::If { cond, then, els } => {
             let c = translate_bound(cond, select, binds, params)?;
             let t = translate_bound(then, select, binds, params)?;
             let x = translate_bound(els, select, binds, params)?;
-            Some(ScalarExpr::Case { when: vec![(c, t)], els: Some(Box::new(x)) })
+            Some(ScalarExpr::Case {
+                when: vec![(c, t)],
+                els: Some(Box::new(x)),
+            })
         }
-        CKind::Builtin { op: Builtin::Not, args } => Some(ScalarExpr::Not(Box::new(
-            translate_bound(&args[0], select, binds, params)?,
-        ))),
+        CKind::Builtin {
+            op: Builtin::Not,
+            args,
+        } => Some(ScalarExpr::Not(Box::new(translate_bound(
+            &args[0], select, binds, params,
+        )?))),
         CKind::Builtin {
             op:
                 op @ (Builtin::UpperCase
@@ -1945,16 +2143,25 @@ fn translate_bound(
             for a in args {
                 sargs.push(translate_bound(a, select, binds, params)?);
             }
-            Some(ScalarExpr::Func { name: name.into(), args: sargs })
+            Some(ScalarExpr::Func {
+                name: name.into(),
+                args: sargs,
+            })
         }
-        CKind::Builtin { op: Builtin::Empty, args } => {
+        CKind::Builtin {
+            op: Builtin::Empty,
+            args,
+        } => {
             let inner = strip_data(&args[0]);
             if let CKind::Var(v) = &inner.kind {
                 return bind_col(v).map(|c| ScalarExpr::IsNull(Box::new(c)));
             }
             as_bound_param(e, binds, params)
         }
-        CKind::Builtin { op: Builtin::Exists, args } => {
+        CKind::Builtin {
+            op: Builtin::Exists,
+            args,
+        } => {
             let inner = strip_data(&args[0]);
             if let CKind::Var(v) = &inner.kind {
                 return bind_col(v)
@@ -2007,7 +2214,13 @@ fn push_scalar_projections(ctx: &mut Context<'_>, clauses: &mut [Clause], ret: &
         }
     }
     let Some(i) = target else { return };
-    let Clause::SqlFor { select, binds, params, .. } = &mut clauses[i] else {
+    let Clause::SqlFor {
+        select,
+        binds,
+        params,
+        ..
+    } = &mut clauses[i]
+    else {
         unreachable!()
     };
     push_scalars_in(ctx, ret, select, binds, params);
@@ -2024,15 +2237,17 @@ fn push_scalars_in(
 ) {
     let pushable_shape = matches!(
         &e.kind,
-        CKind::If { .. } | CKind::Arith { .. } | CKind::Builtin {
-            op: Builtin::UpperCase
-                | Builtin::LowerCase
-                | Builtin::StringLength
-                | Builtin::Substring
-                | Builtin::Concat
-                | Builtin::Abs,
-            ..
-        }
+        CKind::If { .. }
+            | CKind::Arith { .. }
+            | CKind::Builtin {
+                op: Builtin::UpperCase
+                    | Builtin::LowerCase
+                    | Builtin::StringLength
+                    | Builtin::Substring
+                    | Builtin::Concat
+                    | Builtin::Abs,
+                ..
+            }
     );
     if pushable_shape {
         // must read at least one of this statement's fields, and all its
@@ -2077,9 +2292,10 @@ fn push_scalars_in(
 /// simple `let` aliases (`let $oc := $aggvar`).
 fn push_trailing_order_by(clauses: &mut Vec<Clause>) {
     // find the single uncorrelated SqlFor
-    let Some(sf_idx) = clauses.iter().position(|c| {
-        matches!(c, Clause::SqlFor { ppk: None, params, .. } if params.is_empty())
-    }) else {
+    let Some(sf_idx) = clauses
+        .iter()
+        .position(|c| matches!(c, Clause::SqlFor { ppk: None, params, .. } if params.is_empty()))
+    else {
         return;
     };
     // alias map through intermediate lets
@@ -2111,10 +2327,14 @@ fn push_trailing_order_by(clauses: &mut Vec<Clause>) {
         }
         v
     };
-    let Clause::OrderBy(specs) = clauses[oi].clone() else { unreachable!() };
+    let Clause::OrderBy(specs) = clauses[oi].clone() else {
+        unreachable!()
+    };
     let mut pushed = Vec::new();
     {
-        let Clause::SqlFor { select, binds, .. } = &clauses[sf_idx] else { unreachable!() };
+        let Clause::SqlFor { select, binds, .. } = &clauses[sf_idx] else {
+            unreachable!()
+        };
         for s in &specs {
             let v = match &s.expr.kind {
                 CKind::Var(v) => v.clone(),
@@ -2125,14 +2345,18 @@ fn push_trailing_order_by(clauses: &mut Vec<Clause>) {
                 _ => return,
             };
             let v = resolve(v, &aliases);
-            let Some(pos) = binds.iter().position(|(b, _)| *b == v) else { return };
+            let Some(pos) = binds.iter().position(|(b, _)| *b == v) else {
+                return;
+            };
             pushed.push(OrderBy {
                 expr: select.columns[pos].expr.clone(),
                 descending: s.descending,
             });
         }
     }
-    let Clause::SqlFor { select, .. } = &mut clauses[sf_idx] else { unreachable!() };
+    let Clause::SqlFor { select, .. } = &mut clauses[sf_idx] else {
+        unreachable!()
+    };
     select.order_by.extend(pushed);
     clauses.remove(oi);
 }
@@ -2141,7 +2365,13 @@ fn push_trailing_order_by(clauses: &mut Vec<Clause>) {
 /// the SQL when the connection's dialect supports pagination (Table
 /// 2(i)); otherwise the builtin stays in the middleware.
 fn push_subsequence(ctx: &mut Context<'_>, e: &mut CExpr) {
-    let CKind::Builtin { op: Builtin::Subsequence, args } = &mut e.kind else { return };
+    let CKind::Builtin {
+        op: Builtin::Subsequence,
+        args,
+    } = &mut e.kind
+    else {
+        return;
+    };
     let (start, len) = {
         let s = match args.get(1).map(|a| &a.kind) {
             Some(CKind::Const(v)) => match v.cast_to(AtomicType::Integer) {
@@ -2163,12 +2393,21 @@ fn push_subsequence(ctx: &mut Context<'_>, e: &mut CExpr) {
     if start < 1 || len.is_some_and(|l| l < 0) {
         return; // non-canonical ranges stay in the middleware
     }
-    let CKind::Flwor { clauses, .. } = &mut args[0].kind else { return };
+    let CKind::Flwor { clauses, .. } = &mut args[0].kind else {
+        return;
+    };
     let all_pushed = clauses.len() == 1;
     if !all_pushed {
         return;
     }
-    let Clause::SqlFor { connection, select, ppk: None, params, .. } = &mut clauses[0] else {
+    let Clause::SqlFor {
+        connection,
+        select,
+        ppk: None,
+        params,
+        ..
+    } = &mut clauses[0]
+    else {
         return;
     };
     if !params.is_empty() || !ctx.dialect_of(connection).supports_pagination() {

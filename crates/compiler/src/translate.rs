@@ -67,28 +67,31 @@ type Scope = HashMap<String, String>;
 
 /// Translate a whole module: every function body plus the main query
 /// body (if any). Returns the translated main body.
-pub fn translate_module(
-    ctx: &mut Context<'_>,
-    module: &Module,
-) -> Option<CExpr> {
+pub fn translate_module(ctx: &mut Context<'_>, module: &Module) -> Option<CExpr> {
     let env = ModuleEnv::of(module);
     // two passes: signatures first so bodies can call forward
-    let mut sigs: Vec<(QName, Vec<(String, SequenceType)>, SequenceType, Vec<(String, String)>)> =
-        Vec::new();
+    let mut sigs: Vec<(
+        QName,
+        Vec<(String, SequenceType)>,
+        SequenceType,
+        Vec<(String, String)>,
+    )> = Vec::new();
     for f in &module.functions {
         let Some(name) = env.function_name(&f.name) else {
-            ctx.diag(f.span, format!("unbound namespace prefix in function name {}", f.name));
+            ctx.diag(
+                f.span,
+                format!("unbound namespace prefix in function name {}", f.name),
+            );
             continue;
         };
         let params: Vec<(String, SequenceType)> = f
             .params
             .iter()
             .map(|p| {
-                let ty = p
-                    .ty
-                    .as_ref()
-                    .map(|t| resolve_seq_type(ctx, &env, t, f.span))
-                    .unwrap_or_else(SequenceType::any);
+                let ty =
+                    p.ty.as_ref()
+                        .map(|t| resolve_seq_type(ctx, &env, t, f.span))
+                        .unwrap_or_else(SequenceType::any);
                 (p.name.clone(), ty)
             })
             .collect();
@@ -113,7 +116,9 @@ pub fn translate_module(
         );
     }
     for f in &module.functions {
-        let Some(name) = env.function_name(&f.name) else { continue };
+        let Some(name) = env.function_name(&f.name) else {
+            continue;
+        };
         if f.external {
             // external: must be backed by a physical function
             if ctx.registry.function(&name).is_none() {
@@ -197,7 +202,12 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
             }
         },
         ExprKind::Sequence(items) => CExpr::new(
-            CKind::Seq(items.iter().map(|i| translate_expr(ctx, env, scope, i)).collect()),
+            CKind::Seq(
+                items
+                    .iter()
+                    .map(|i| translate_expr(ctx, env, scope, i))
+                    .collect(),
+            ),
             span,
         ),
         ExprKind::Range(a, b) => CExpr::new(
@@ -212,7 +222,12 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
             let mut out = Vec::with_capacity(clauses.len());
             for c in clauses {
                 match c {
-                    AClause::For { var, pos_var, ty, source } => {
+                    AClause::For {
+                        var,
+                        pos_var,
+                        ty,
+                        source,
+                    } => {
                         let src = translate_expr(ctx, env, scope, source);
                         let src = match ty {
                             Some(t) => wrap_typematch_iterated(ctx, env, src, t, span),
@@ -225,7 +240,11 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
                             scope.insert(p.clone(), upos.clone());
                             upos
                         });
-                        out.push(Clause::For { var: u, pos: up, source: src });
+                        out.push(Clause::For {
+                            var: u,
+                            pos: up,
+                            source: src,
+                        });
                     }
                     AClause::Let { var, ty, value } => {
                         let val = translate_expr(ctx, env, scope, value);
@@ -302,7 +321,13 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
             }
             let ret = translate_expr(ctx, env, scope, ret);
             *scope = saved;
-            CExpr::new(CKind::Flwor { clauses: out, ret: Box::new(ret) }, span)
+            CExpr::new(
+                CKind::Flwor {
+                    clauses: out,
+                    ret: Box::new(ret),
+                },
+                span,
+            )
         }
         ExprKind::If { cond, then, els } => CExpr::new(
             CKind::If {
@@ -312,7 +337,11 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
             },
             span,
         ),
-        ExprKind::Quantified { every, bindings, satisfies } => {
+        ExprKind::Quantified {
+            every,
+            bindings,
+            satisfies,
+        } => {
             // unnest multi-binding quantifiers: some $a in A, $b in B
             // satisfies P  ≡  some $a in A satisfies (some $b in B satisfies P)
             let saved = scope.clone();
@@ -338,7 +367,12 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
             }
             body
         }
-        ExprKind::Typeswitch { operand, cases, default_var, default } => {
+        ExprKind::Typeswitch {
+            operand,
+            cases,
+            default_var,
+            default,
+        } => {
             let op = translate_expr(ctx, env, scope, operand);
             let mut ccases = Vec::with_capacity(cases.len());
             for c in cases {
@@ -382,7 +416,12 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
             ),
             span,
         ),
-        ExprKind::Comparison { op, general, lhs, rhs } => {
+        ExprKind::Comparison {
+            op,
+            general,
+            lhs,
+            rhs,
+        } => {
             let mut l = translate_expr(ctx, env, scope, lhs);
             let mut r = translate_expr(ctx, env, scope, rhs);
             if !general {
@@ -392,7 +431,12 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
                 r = atomized(r);
             }
             CExpr::new(
-                CKind::Compare { op: *op, general: *general, lhs: Box::new(l), rhs: Box::new(r) },
+                CKind::Compare {
+                    op: *op,
+                    general: *general,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                },
                 span,
             )
         }
@@ -454,7 +498,10 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
                     &|p| local_env.namespaces.resolve(p).map(str::to_string),
                     None,
                 ) else {
-                    ctx.diag(span, format!("unbound namespace prefix in attribute {}", a.name));
+                    ctx.diag(
+                        span,
+                        format!("unbound namespace prefix in attribute {}", a.name),
+                    );
                     continue;
                 };
                 let value = CExpr::new(
@@ -529,7 +576,10 @@ fn translate_expr(ctx: &mut Context<'_>, env: &ModuleEnv, scope: &mut Scope, e: 
             )
         }
         ExprKind::Error(inputs) => error_expr(
-            inputs.iter().map(|i| translate_expr(ctx, env, scope, i)).collect(),
+            inputs
+                .iter()
+                .map(|i| translate_expr(ctx, env, scope, i))
+                .collect(),
             span,
         ),
     }
@@ -554,21 +604,35 @@ fn translate_step(
         },
     };
     let mut cur = match step.axis {
-        Axis::Child => CExpr::new(CKind::ChildStep { input: Box::new(input), name }, span),
+        Axis::Child => CExpr::new(
+            CKind::ChildStep {
+                input: Box::new(input),
+                name,
+            },
+            span,
+        ),
         Axis::Attribute => {
             // attribute names never take the default element namespace
             let aname = match &step.test {
                 NameTest::Wildcard => None,
-                NameTest::Name(n) => n.resolve(
-                    &|p| env.namespaces.resolve(p).map(str::to_string),
-                    None,
-                ),
+                NameTest::Name(n) => {
+                    n.resolve(&|p| env.namespaces.resolve(p).map(str::to_string), None)
+                }
             };
-            CExpr::new(CKind::AttrStep { input: Box::new(input), name: aname }, span)
+            CExpr::new(
+                CKind::AttrStep {
+                    input: Box::new(input),
+                    name: aname,
+                },
+                span,
+            )
         }
-        Axis::DescendantOrSelf => {
-            CExpr::new(CKind::DescendantStep { input: Box::new(input) }, span)
-        }
+        Axis::DescendantOrSelf => CExpr::new(
+            CKind::DescendantStep {
+                input: Box::new(input),
+            },
+            span,
+        ),
     };
     for p in &step.predicates {
         cur = wrap_filter(ctx, env, scope, cur, p, span);
@@ -610,8 +674,10 @@ fn translate_call(
     args: &[Expr],
     span: Span,
 ) -> CExpr {
-    let cargs: Vec<CExpr> =
-        args.iter().map(|a| translate_expr(ctx, env, scope, a)).collect();
+    let cargs: Vec<CExpr> = args
+        .iter()
+        .map(|a| translate_expr(ctx, env, scope, a))
+        .collect();
     let uri = name
         .prefix
         .as_ref()
@@ -622,9 +688,7 @@ fn translate_call(
         return error_expr(cargs, span);
     }
     // fn:data is the atomization node
-    if name.local == "data"
-        && cargs.len() == 1
-        && (uri.is_none() || uri.as_deref() == Some(ns::FN))
+    if name.local == "data" && cargs.len() == 1 && (uri.is_none() || uri.as_deref() == Some(ns::FN))
     {
         return CExpr::new(
             CKind::Data(Box::new(cargs.into_iter().next().expect("one arg"))),
@@ -683,7 +747,13 @@ fn translate_call(
             );
             return error_expr(cargs, span);
         }
-        return CExpr::new(CKind::UserCall { name: qname, args: cargs }, span);
+        return CExpr::new(
+            CKind::UserCall {
+                name: qname,
+                args: cargs,
+            },
+            span,
+        );
     }
     if let Some(p) = ctx.registry.function(&qname) {
         if p.params.len() != cargs.len() {
@@ -697,7 +767,13 @@ fn translate_call(
             );
             return error_expr(cargs, span);
         }
-        return CExpr::new(CKind::PhysicalCall { name: qname, args: cargs }, span);
+        return CExpr::new(
+            CKind::PhysicalCall {
+                name: qname,
+                args: cargs,
+            },
+            span,
+        );
     }
     ctx.diag(span, format!("call to undeclared function {name}()"));
     error_expr(cargs, span)
@@ -723,7 +799,13 @@ fn wrap_typematch(
     span: Span,
 ) -> CExpr {
     let t = resolve_seq_type(ctx, env, ty, span);
-    CExpr::new(CKind::TypeMatch { input: Box::new(e), ty: t }, span)
+    CExpr::new(
+        CKind::TypeMatch {
+            input: Box::new(e),
+            ty: t,
+        },
+        span,
+    )
 }
 
 fn wrap_typematch_iterated(
@@ -735,7 +817,13 @@ fn wrap_typematch_iterated(
 ) -> CExpr {
     // the `for $x as T in …` annotation checks each item: widen to *
     let t = resolve_seq_type(ctx, env, ty, span).with_occurrence(Occurrence::Star);
-    CExpr::new(CKind::TypeMatch { input: Box::new(e), ty: t }, span)
+    CExpr::new(
+        CKind::TypeMatch {
+            input: Box::new(e),
+            ty: t,
+        },
+        span,
+    )
 }
 
 fn resolve_atomic_target(
@@ -762,7 +850,10 @@ fn resolve_atomic_target(
             }
         }
         other => {
-            ctx.diag(span, format!("cast target must be an atomic type, found {other:?}"));
+            ctx.diag(
+                span,
+                format!("cast target must be an atomic type, found {other:?}"),
+            );
             (AtomicType::AnyAtomic, true)
         }
     }
@@ -821,7 +912,10 @@ pub fn resolve_seq_type(
                 None => {
                     // schema-element(E) requires the declaration to exist
                     // (§3.1): error if not found
-                    ctx.diag(span, format!("schema-element({n}) is not declared in any imported schema"));
+                    ctx.diag(
+                        span,
+                        format!("schema-element({n}) is not declared in any imported schema"),
+                    );
                     ItemType::Error
                 }
             },
@@ -831,10 +925,13 @@ pub fn resolve_seq_type(
             }
         },
         ItemTypeAst::Attribute(name) => {
-            let aname = name.as_ref().and_then(|n| {
-                n.resolve(&|p| env.namespaces.resolve(p).map(str::to_string), None)
-            });
-            ItemType::Attribute { name: aname, typ: AtomicType::AnyAtomic }
+            let aname = name
+                .as_ref()
+                .and_then(|n| n.resolve(&|p| env.namespaces.resolve(p).map(str::to_string), None));
+            ItemType::Attribute {
+                name: aname,
+                typ: AtomicType::AnyAtomic,
+            }
         }
     };
     SequenceType::Seq(item, t.occ)

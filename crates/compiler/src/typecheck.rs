@@ -41,7 +41,10 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
     let span = e.span;
     let ty: SequenceType = match &mut e.kind {
         CKind::Const(v) => SequenceType::atomic(v.type_of()),
-        CKind::Var(v) => env.get(v.as_str()).cloned().unwrap_or_else(SequenceType::any),
+        CKind::Var(v) => env
+            .get(v.as_str())
+            .cloned()
+            .unwrap_or_else(SequenceType::any),
         CKind::Seq(items) => {
             let mut ty = SequenceType::Empty;
             for i in items.iter_mut() {
@@ -77,19 +80,28 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
                         env.insert(var.clone(), value.ty.clone());
                     }
                     Clause::Where(w) => typecheck(ctx, w, env),
-                    Clause::GroupBy { bindings, keys, carry, .. } => {
+                    Clause::GroupBy {
+                        bindings,
+                        keys,
+                        carry,
+                        ..
+                    } => {
                         for (k, alias) in keys.iter_mut() {
                             typecheck(ctx, k, env);
                             env.insert(alias.clone(), k.ty.clone());
                         }
                         for (from, to) in bindings.iter() {
-                            let from_ty =
-                                env.get(from.as_str()).cloned().unwrap_or_else(SequenceType::any);
+                            let from_ty = env
+                                .get(from.as_str())
+                                .cloned()
+                                .unwrap_or_else(SequenceType::any);
                             env.insert(to.clone(), from_ty.with_occurrence(Occurrence::Star));
                         }
                         for (from, to) in carry.iter() {
-                            let from_ty =
-                                env.get(from.as_str()).cloned().unwrap_or_else(SequenceType::any);
+                            let from_ty = env
+                                .get(from.as_str())
+                                .cloned()
+                                .unwrap_or_else(SequenceType::any);
                             env.insert(to.clone(), from_ty);
                         }
                     }
@@ -98,7 +110,9 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
                             typecheck(ctx, &mut s.expr, env);
                         }
                     }
-                    Clause::SqlFor { params, binds, ppk, .. } => {
+                    Clause::SqlFor {
+                        params, binds, ppk, ..
+                    } => {
                         for p in params.iter_mut() {
                             typecheck(ctx, p, env);
                         }
@@ -120,7 +134,8 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             typecheck(ctx, ret, env);
             *env = saved;
             if iterates {
-                ret.ty.with_occurrence(ret.ty.occurrence().iterated_by(Occurrence::Star))
+                ret.ty
+                    .with_occurrence(ret.ty.occurrence().iterated_by(Occurrence::Star))
             } else {
                 ret.ty.clone()
             }
@@ -131,7 +146,12 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             typecheck(ctx, els, env);
             then.ty.union(&els.ty)
         }
-        CKind::Quantified { var, source, satisfies, .. } => {
+        CKind::Quantified {
+            var,
+            source,
+            satisfies,
+            ..
+        } => {
             typecheck(ctx, source, env);
             let saved = env.clone();
             let item_ty = match source.ty.item_type() {
@@ -143,7 +163,11 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             *env = saved;
             boolean1()
         }
-        CKind::Typeswitch { operand, cases, default } => {
+        CKind::Typeswitch {
+            operand,
+            cases,
+            default,
+        } => {
             typecheck(ctx, operand, env);
             let mut ty: Option<SequenceType> = None;
             for (case_ty, var, body) in cases.iter_mut() {
@@ -170,7 +194,9 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             typecheck(ctx, b, env);
             boolean1()
         }
-        CKind::Compare { general, lhs, rhs, .. } => {
+        CKind::Compare {
+            general, lhs, rhs, ..
+        } => {
             typecheck(ctx, lhs, env);
             typecheck(ctx, rhs, env);
             if !*general {
@@ -181,10 +207,7 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
                 let r = rhs.ty.atomized();
                 if let (Some(li), Some(ri)) = (l.item_type(), r.item_type()) {
                     if !li.intersects(ri) {
-                        ctx.diag(
-                            span,
-                            format!("cannot compare {} with {}", lhs.ty, rhs.ty),
-                        );
+                        ctx.diag(span, format!("cannot compare {} with {}", lhs.ty, rhs.ty));
                         e.ty = err_ty();
                     }
                 }
@@ -197,8 +220,7 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             typecheck(ctx, lhs, env);
             typecheck(ctx, rhs, env);
             let result = numeric_result(&lhs.ty, &rhs.ty);
-            let occ = if lhs.ty.occurrence().allows_empty() || rhs.ty.occurrence().allows_empty()
-            {
+            let occ = if lhs.ty.occurrence().allows_empty() || rhs.ty.occurrence().allows_empty() {
                 Occurrence::Optional
             } else {
                 Occurrence::One
@@ -225,7 +247,12 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             typecheck(ctx, input, env);
             SequenceType::Seq(ItemType::AnyNode, Occurrence::Star)
         }
-        CKind::Filter { input, predicate, ctx_var, positional } => {
+        CKind::Filter {
+            input,
+            predicate,
+            ctx_var,
+            positional,
+        } => {
             typecheck(ctx, input, env);
             let saved = env.clone();
             let item_ty = match input.ty.item_type() {
@@ -247,7 +274,12 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             };
             input.ty.with_occurrence(occ)
         }
-        CKind::ElementCtor { name, conditional, attributes, content } => {
+        CKind::ElementCtor {
+            name,
+            conditional,
+            attributes,
+            content,
+        } => {
             for (_, _, v) in attributes.iter_mut() {
                 typecheck(ctx, v, env);
             }
@@ -255,9 +287,16 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             // STRUCTURAL TYPING (§3.1): the content type is the structural
             // type of the content expression, not ANYTYPE
             let content_ty = structural_content_type(content);
-            let occ = if *conditional { Occurrence::Optional } else { Occurrence::One };
+            let occ = if *conditional {
+                Occurrence::Optional
+            } else {
+                Occurrence::One
+            };
             SequenceType::Seq(
-                ItemType::Element(ElementType { name: Some(name.clone()), content: content_ty }),
+                ItemType::Element(ElementType {
+                    name: Some(name.clone()),
+                    content: content_ty,
+                }),
                 occ,
             )
         }
@@ -287,10 +326,12 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             }
         }
         CKind::UserCall { name, args } => {
-            let sig: Option<(Vec<SequenceType>, SequenceType)> = ctx
-                .functions
-                .get(name)
-                .map(|f| (f.params.iter().map(|(_, t)| t.clone()).collect(), f.return_type.clone()));
+            let sig: Option<(Vec<SequenceType>, SequenceType)> = ctx.functions.get(name).map(|f| {
+                (
+                    f.params.iter().map(|(_, t)| t.clone()).collect(),
+                    f.return_type.clone(),
+                )
+            });
             match sig {
                 Some((params, ret)) => {
                     check_call_args(ctx, name.to_string(), args, &params, env, span);
@@ -306,11 +347,19 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
             typecheck(ctx, input, env);
             ty.clone()
         }
-        CKind::Cast { target, optional, input } => {
+        CKind::Cast {
+            target,
+            optional,
+            input,
+        } => {
             typecheck(ctx, input, env);
             SequenceType::Seq(
                 ItemType::Atomic(*target),
-                if *optional { Occurrence::Optional } else { Occurrence::One },
+                if *optional {
+                    Occurrence::Optional
+                } else {
+                    Occurrence::One
+                },
             )
         }
         CKind::Castable { input, .. } => {
@@ -369,7 +418,10 @@ fn check_call_args(
             // optimistic acceptance with a runtime typematch
             let inner = arg.clone();
             *arg = CExpr {
-                kind: CKind::TypeMatch { input: Box::new(inner), ty: pty.clone() },
+                kind: CKind::TypeMatch {
+                    input: Box::new(inner),
+                    ty: pty.clone(),
+                },
                 ty: pty.clone(),
                 span: arg.span,
             };
@@ -431,16 +483,18 @@ fn child_step_type(
                         span,
                         format!(
                             "child {n} is not declared in the content of element {}",
-                            et.name.as_ref().map(|q| q.to_string()).unwrap_or_else(|| "*".into())
+                            et.name
+                                .as_ref()
+                                .map(|q| q.to_string())
+                                .unwrap_or_else(|| "*".into())
                         ),
                     );
                     SequenceType::Empty
                 }
             },
-            (ContentType::Complex(_), None) => SequenceType::Seq(
-                ItemType::Element(ElementType::any()),
-                Occurrence::Star,
-            ),
+            (ContentType::Complex(_), None) => {
+                SequenceType::Seq(ItemType::Element(ElementType::any()), Occurrence::Star)
+            }
             (ContentType::Simple(_), _) => SequenceType::Empty,
             (ContentType::Any, _) => {
                 SequenceType::Seq(ItemType::Element(ElementType::any()), Occurrence::Star)
@@ -477,13 +531,19 @@ fn structural_content_type(content: &CExpr) -> ContentType {
                     _ => return ContentType::Any,
                 }
             }
-            ContentType::Complex(ComplexContent { attributes: vec![], children })
+            ContentType::Complex(ComplexContent {
+                attributes: vec![],
+                children,
+            })
         }
         (_, SequenceType::Seq(ItemType::Atomic(a), _)) => ContentType::Simple(*a),
         (_, SequenceType::Seq(ItemType::Element(et), occ)) => {
             ContentType::Complex(ComplexContent {
                 attributes: vec![],
-                children: vec![ChildDecl { elem: et.clone(), occ: *occ }],
+                children: vec![ChildDecl {
+                    elem: et.clone(),
+                    occ: *occ,
+                }],
             })
         }
         _ => ContentType::Any,
@@ -494,10 +554,7 @@ fn builtin_type(op: Builtin, args: &[CExpr]) -> SequenceType {
     use Builtin as B;
     match op {
         B::Count | B::StringLength => SequenceType::atomic(AtomicType::Integer),
-        B::Sum => SequenceType::Seq(
-            ItemType::Atomic(atomic_of(&args[0].ty)),
-            Occurrence::One,
-        ),
+        B::Sum => SequenceType::Seq(ItemType::Atomic(atomic_of(&args[0].ty)), Occurrence::One),
         B::Avg | B::Min | B::Max => SequenceType::Seq(
             ItemType::Atomic(atomic_of(&args[0].ty)),
             Occurrence::Optional,

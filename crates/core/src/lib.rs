@@ -103,6 +103,7 @@ pub struct ServerBuilder {
     mode: Mode,
     ppk_block_size: usize,
     ppk_local_method: aldsp_compiler::LocalJoinMethod,
+    ppk_prefetch_depth: usize,
 }
 
 impl Default for ServerBuilder {
@@ -122,6 +123,7 @@ impl ServerBuilder {
             mode: Mode::FailFast,
             ppk_block_size: 20,
             ppk_local_method: aldsp_compiler::LocalJoinMethod::IndexNestedLoop,
+            ppk_prefetch_depth: 1,
         }
     }
 
@@ -134,6 +136,14 @@ impl ServerBuilder {
     /// Override the PP-k local join method (§5.2).
     pub fn ppk_local_method(mut self, m: aldsp_compiler::LocalJoinMethod) -> Self {
         self.ppk_local_method = m;
+        self
+    }
+
+    /// Override how many PP-k blocks may be prefetched ahead of the
+    /// local join (0 disables prefetch; the default is 1, i.e. double
+    /// buffering).
+    pub fn ppk_prefetch_depth(mut self, depth: usize) -> Self {
+        self.ppk_prefetch_depth = depth;
         self
     }
 
@@ -183,9 +193,14 @@ impl ServerBuilder {
         self.metadata.register_function(PhysicalFunction {
             name,
             kind: FunctionKind::Library,
-            params: vec![ParamDecl { name: "x".into(), ty: param }],
+            params: vec![ParamDecl {
+                name: "x".into(),
+                ty: param,
+            }],
             return_type: ret,
-            source: SourceBinding::Native { id: f.id().to_string() },
+            source: SourceBinding::Native {
+                id: f.id().to_string(),
+            },
         })?;
         self.adaptors.register_native(f);
         Ok(self)
@@ -206,7 +221,10 @@ impl ServerBuilder {
                 aldsp_xdm::types::ItemType::Element(shape.clone()),
                 aldsp_xdm::types::Occurrence::Star,
             ),
-            source: SourceBinding::XmlFile { path: source.name().to_string(), shape },
+            source: SourceBinding::XmlFile {
+                path: source.name().to_string(),
+                shape,
+            },
         })?;
         self.adaptors.register_xml_file(source);
         Ok(self)
@@ -227,7 +245,10 @@ impl ServerBuilder {
                 aldsp_xdm::types::ItemType::Element(shape.clone()),
                 aldsp_xdm::types::Occurrence::Star,
             ),
-            source: SourceBinding::CsvFile { path: source.name().to_string(), shape },
+            source: SourceBinding::CsvFile {
+                path: source.name().to_string(),
+                shape,
+            },
         })?;
         self.adaptors.register_csv_file(source);
         Ok(self)
@@ -256,6 +277,7 @@ impl ServerBuilder {
         options.dialects = adaptors.connection_dialects();
         options.ppk_block_size = self.ppk_block_size;
         options.ppk_local_method = self.ppk_local_method;
+        options.ppk_prefetch_depth = self.ppk_prefetch_depth;
         let mut compiler = Compiler::new(metadata.clone(), options);
         let mut inverse_registry = aldsp_compiler::InverseRegistry::default();
         for (f, inv) in self.inverses {
@@ -312,15 +334,16 @@ pub struct AldspServer {
 /// allows user code to extend or replace ALDSP's default update
 /// handling"). Returning `Ok(Some(report))` replaces the default
 /// decomposition entirely; `Ok(None)` falls through to it.
-pub type UpdateOverride = Arc<
-    dyn Fn(&DataObject, &Lineage) -> Result<Option<SubmitReport>, String> + Send + Sync,
->;
+pub type UpdateOverride =
+    Arc<dyn Fn(&DataObject, &Lineage) -> Result<Option<SubmitReport>, String> + Send + Sync>;
 
 impl AldspServer {
     /// Deploy a data-service module (XQuery function declarations);
     /// functions are partially optimized and cached for reuse (§4.2).
     pub fn deploy(&self, source: &str) -> Result<Vec<QName>, ServerError> {
-        self.compiler.deploy_module(source).map_err(ServerError::Compile)
+        self.compiler
+            .deploy_module(source)
+            .map_err(ServerError::Compile)
     }
 
     /// Run an ad-hoc query. The compiled plan is cached by source text —
@@ -379,8 +402,10 @@ impl AldspServer {
             .cloned()
             .zip(args.into_iter())
             .collect();
-        let borrowed: Vec<(&str, Sequence)> =
-            bindings.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let borrowed: Vec<(&str, Sequence)> = bindings
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect();
         let raw = self
             .runtime
             .execute(&plan, &borrowed)
@@ -415,9 +440,7 @@ impl AldspServer {
             .compiler
             .compile_call(function)
             .map_err(ServerError::Compile)?;
-        let lineage = Arc::new(
-            analyze(&self.metadata, &plan).map_err(ServerError::Other)?,
-        );
+        let lineage = Arc::new(analyze(&self.metadata, &plan).map_err(ServerError::Other)?);
         self.lineage_cache
             .lock()
             .insert(function.clone(), lineage.clone());
@@ -446,8 +469,13 @@ impl AldspServer {
                 None => {} // fall through to the default decomposition
             }
         }
-        let proc =
-            SubmitProcessor::new(&self.adaptors, &self.metadata, &lineage, &self.inverses, policy);
+        let proc = SubmitProcessor::new(
+            &self.adaptors,
+            &self.metadata,
+            &lineage,
+            &self.inverses,
+            policy,
+        );
         proc.submit(sdo).map_err(ServerError::Submit)
     }
 
@@ -473,9 +501,9 @@ impl AldspServer {
         let delivered = self
             .runtime
             .execute_streaming(&plan, bindings, &mut |item| {
-                let filtered =
-                    self.security
-                        .filter_result(principal, vec![item], &self.audit);
+                let filtered = self
+                    .security
+                    .filter_result(principal, vec![item], &self.audit);
                 for f in filtered {
                     if !on_item(f) {
                         return false;
@@ -599,12 +627,12 @@ fn apply_criteria(items: Sequence, criteria: &CallCriteria) -> Sequence {
     if let Some(key) = &criteria.sort_by {
         let kq = QName::local(key);
         out.sort_by(|a, b| {
-            let ka = a.as_node().and_then(|n| {
-                n.child_elements(&kq).next().and_then(|c| c.typed_value())
-            });
-            let kb = b.as_node().and_then(|n| {
-                n.child_elements(&kq).next().and_then(|c| c.typed_value())
-            });
+            let ka = a
+                .as_node()
+                .and_then(|n| n.child_elements(&kq).next().and_then(|c| c.typed_value()));
+            let kb = b
+                .as_node()
+                .and_then(|n| n.child_elements(&kq).next().and_then(|c| c.typed_value()));
             let ord = match (ka, kb) {
                 (None, None) => std::cmp::Ordering::Equal,
                 (None, Some(_)) => std::cmp::Ordering::Less,

@@ -1,0 +1,242 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides a minimal wall-clock harness with criterion's API shape:
+//! [`Criterion`], benchmark groups with `sample_size`/
+//! `measurement_time`, `bench_function`/`bench_with_input`,
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Statistics are deliberately simple — each
+//! sample times a batch of iterations and the harness reports
+//! min/mean/max per iteration — because the workspace's benches compare
+//! configurations against each other rather than chasing
+//! microsecond-grade rigor.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_id` plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Per-iteration durations collected by `iter`.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warmup (also primes caches the measured loop relies on)
+        black_box(f());
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b.times);
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// Benchmark `f` with an input value under `id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { ran: 0 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: 20,
+            budget: Duration::from_secs(3),
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.id, &b.times);
+        self.ran += 1;
+        self
+    }
+}
+
+fn report(name: &str, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = times.iter().min().expect("non-empty");
+    let max = times.iter().max().expect("non-empty");
+    println!(
+        "{name:<48} time: [{} {} {}]  ({} samples)",
+        fmt_dur(*min),
+        fmt_dur(mean),
+        fmt_dur(*max),
+        times.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declare a benchmark group function (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main` (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        let mut runs = 0;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, p| {
+            b.iter(|| black_box(*p * 2))
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+}

@@ -43,7 +43,10 @@ pub fn introspect_relational(
     namespace: &str,
 ) -> Result<PhysicalDataService, String> {
     catalog.validate()?;
-    let mut ds = PhysicalDataService { namespace: namespace.to_string(), functions: Vec::new() };
+    let mut ds = PhysicalDataService {
+        namespace: namespace.to_string(),
+        functions: Vec::new(),
+    };
     for table in catalog.tables() {
         let shape = row_shape(table, namespace);
         ds.functions.push(PhysicalFunction {
@@ -62,9 +65,7 @@ pub fn introspect_relational(
     // navigation functions from foreign keys, both directions
     for table in catalog.tables() {
         for fk in &table.foreign_keys {
-            let target = catalog
-                .table(&fk.ref_table)
-                .expect("validated catalog");
+            let target = catalog.table(&fk.ref_table).expect("validated catalog");
             // many-to-one: FROM row → its referenced TARGET row
             ds.functions.push(navigation(
                 catalog,
@@ -72,7 +73,11 @@ pub fn introspect_relational(
                 namespace,
                 table,
                 target,
-                fk.columns.iter().cloned().zip(fk.ref_columns.iter().cloned()).collect(),
+                fk.columns
+                    .iter()
+                    .cloned()
+                    .zip(fk.ref_columns.iter().cloned())
+                    .collect(),
                 false,
             ));
             // one-to-many: TARGET row → the FROM rows referencing it
@@ -83,7 +88,11 @@ pub fn introspect_relational(
                 namespace,
                 target,
                 table,
-                fk.ref_columns.iter().cloned().zip(fk.columns.iter().cloned()).collect(),
+                fk.ref_columns
+                    .iter()
+                    .cloned()
+                    .zip(fk.columns.iter().cloned())
+                    .collect(),
                 true,
             ));
         }
@@ -102,7 +111,11 @@ fn navigation(
 ) -> PhysicalFunction {
     let from_shape = row_shape(from, namespace);
     let to_shape = row_shape(to, namespace);
-    let occ = if to_many { Occurrence::Star } else { Occurrence::Optional };
+    let occ = if to_many {
+        Occurrence::Star
+    } else {
+        Occurrence::Optional
+    };
     PhysicalFunction {
         name: QName::new(namespace, &format!("get{}", to.name)),
         kind: FunctionKind::Navigate,
@@ -169,7 +182,10 @@ pub fn introspect_web_service(desc: &WebServiceDescription) -> PhysicalDataServi
             },
         })
         .collect();
-    PhysicalDataService { namespace: desc.namespace.clone(), functions }
+    PhysicalDataService {
+        namespace: desc.namespace.clone(),
+        functions,
+    }
 }
 
 #[cfg(test)]
@@ -211,12 +227,13 @@ mod tests {
         assert_eq!(cust.kind, FunctionKind::Read);
         assert!(cust.params.is_empty());
         // element(CUSTOMER)* with structural row shape
-        let SequenceType::Seq(ItemType::Element(e), Occurrence::Star) = &cust.return_type
-        else {
+        let SequenceType::Seq(ItemType::Element(e), Occurrence::Star) = &cust.return_type else {
             panic!("unexpected return type {:?}", cust.return_type)
         };
         assert_eq!(e.name.as_ref().unwrap().local_name(), "CUSTOMER");
-        let ContentType::Complex(c) = &e.content else { panic!() };
+        let ContentType::Complex(c) = &e.content else {
+            panic!()
+        };
         assert_eq!(c.children.len(), 3);
         // nullable column → optional element
         assert_eq!(c.children[2].occ, Occurrence::Optional);
@@ -231,8 +248,13 @@ mod tests {
         let nav = ds.function("getORDER").unwrap();
         assert_eq!(nav.kind, FunctionKind::Navigate);
         assert_eq!(nav.params.len(), 1);
-        let SourceBinding::RelationalNavigation { key_pairs, to_many, from_table, to_table, .. } =
-            &nav.source
+        let SourceBinding::RelationalNavigation {
+            key_pairs,
+            to_many,
+            from_table,
+            to_table,
+            ..
+        } = &nav.source
         else {
             panic!()
         };
@@ -242,7 +264,9 @@ mod tests {
         assert_eq!(key_pairs, &[("CID".to_string(), "CID".to_string())]);
         // and the many-to-one direction
         let back = ds.function("getCUSTOMER").unwrap();
-        let SourceBinding::RelationalNavigation { to_many, .. } = &back.source else { panic!() };
+        let SourceBinding::RelationalNavigation { to_many, .. } = &back.source else {
+            panic!()
+        };
         assert!(!*to_many);
         assert_eq!(back.return_type.occurrence(), Occurrence::Optional);
     }
@@ -283,7 +307,9 @@ mod tests {
         });
         let f = ds.function("getRating").unwrap();
         assert_eq!(f.params.len(), 1);
-        assert!(matches!(&f.source, SourceBinding::WebService { operation, .. } if operation == "getRating"));
+        assert!(
+            matches!(&f.source, SourceBinding::WebService { operation, .. } if operation == "getRating")
+        );
         assert!(!f.source.is_queryable());
     }
 

@@ -16,7 +16,5 @@ pub use introspect::{
     introspect_relational, introspect_web_service, row_shape, WebServiceDescription,
     WebServiceOperation,
 };
-pub use model::{
-    FunctionKind, ParamDecl, PhysicalDataService, PhysicalFunction, SourceBinding,
-};
+pub use model::{FunctionKind, ParamDecl, PhysicalDataService, PhysicalFunction, SourceBinding};
 pub use registry::Registry;

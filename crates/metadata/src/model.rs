@@ -149,7 +149,12 @@ impl PhysicalFunction {
     pub fn to_pragma(&self) -> String {
         let mut s = format!("function kind=\"{}\"", self.kind.as_str());
         match &self.source {
-            SourceBinding::RelationalTable { connection, table, primary_key, .. } => {
+            SourceBinding::RelationalTable {
+                connection,
+                table,
+                primary_key,
+                ..
+            } => {
                 s.push_str(&format!(
                     " sourceType=\"relational\" connection=\"{connection}\" nativeName=\"{table}\""
                 ));
@@ -171,7 +176,9 @@ impl PhysicalFunction {
                     pairs.join(",")
                 ));
             }
-            SourceBinding::WebService { service, operation, .. } => {
+            SourceBinding::WebService {
+                service, operation, ..
+            } => {
                 s.push_str(&format!(
                     " sourceType=\"webService\" service=\"{service}\" operation=\"{operation}\""
                 ));

@@ -84,7 +84,9 @@ mod tests {
             kind: FunctionKind::Read,
             params: vec![],
             return_type: SequenceType::any(),
-            source: SourceBinding::Native { id: name.to_string() },
+            source: SourceBinding::Native {
+                id: name.to_string(),
+            },
         }
     }
 
@@ -108,8 +110,12 @@ mod tests {
                 .build(),
         );
         r.register_schema(s);
-        assert!(r.schema_element(&QName::new("urn:shapes", "PROFILE")).is_some());
-        assert!(r.schema_element(&QName::new("urn:shapes", "NOPE")).is_none());
+        assert!(r
+            .schema_element(&QName::new("urn:shapes", "PROFILE"))
+            .is_some());
+        assert!(r
+            .schema_element(&QName::new("urn:shapes", "NOPE"))
+            .is_none());
         assert!(r.schema("urn:shapes").is_some());
     }
 }

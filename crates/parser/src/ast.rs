@@ -21,12 +21,18 @@ pub struct Span {
 impl Span {
     /// Construct a span.
     pub fn new(start: usize, end: usize) -> Span {
-        Span { start: start as u32, end: end as u32 }
+        Span {
+            start: start as u32,
+            end: end as u32,
+        }
     }
 
     /// The union of two spans.
     pub fn to(self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 }
 
@@ -110,7 +116,10 @@ impl Pragma {
                 }
             }
         }
-        Pragma { raw: raw.to_string(), attrs }
+        Pragma {
+            raw: raw.to_string(),
+            attrs,
+        }
     }
 
     /// Look up an attribute value.
@@ -135,12 +144,18 @@ pub struct Name {
 impl Name {
     /// An unprefixed name.
     pub fn local(s: &str) -> Name {
-        Name { prefix: None, local: s.to_string() }
+        Name {
+            prefix: None,
+            local: s.to_string(),
+        }
     }
 
     /// A prefixed name.
     pub fn prefixed(p: &str, l: &str) -> Name {
-        Name { prefix: Some(p.to_string()), local: l.to_string() }
+        Name {
+            prefix: Some(p.to_string()),
+            local: l.to_string(),
+        }
     }
 
     /// Parse `p:l` or `l`.
@@ -546,7 +561,9 @@ mod tests {
         assert_eq!(q.uri(), Some("urn:profile"));
         assert_eq!(q.local_name(), "getProfile");
         // unprefixed with default
-        let u = Name::parse("CUSTOMER").resolve(&lookup, Some("urn:d")).unwrap();
+        let u = Name::parse("CUSTOMER")
+            .resolve(&lookup, Some("urn:d"))
+            .unwrap();
         assert_eq!(u.uri(), Some("urn:d"));
         // unbound prefix
         assert!(Name::parse("zz:x").resolve(&lookup, None).is_none());

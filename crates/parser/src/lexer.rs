@@ -150,7 +150,11 @@ pub struct Scanner<'a> {
 impl<'a> Scanner<'a> {
     /// Create a scanner over `src`.
     pub fn new(src: &'a str) -> Scanner<'a> {
-        Scanner { src: src.as_bytes(), text: src, pos: 0 }
+        Scanner {
+            src: src.as_bytes(),
+            text: src,
+            pos: 0,
+        }
     }
 
     /// Current byte position.
@@ -207,9 +211,7 @@ impl<'a> Scanner<'a> {
             self.pos += 1;
         }
         // one optional ':' NCName for a QName
-        if self.peek_char() == Some(b':')
-            && self.peek_char_at(1).is_some_and(is_name_start)
-        {
+        if self.peek_char() == Some(b':') && self.peek_char_at(1).is_some_and(is_name_start) {
             self.pos += 2;
             while self.peek_char().is_some_and(is_name_char) {
                 self.pos += 1;
@@ -231,7 +233,10 @@ impl<'a> Scanner<'a> {
                     self.pos += 1;
                 }
                 if !self.at_raw("::)") {
-                    return Err(LexError { pos: start, message: "unterminated pragma".into() });
+                    return Err(LexError {
+                        pos: start,
+                        message: "unterminated pragma".into(),
+                    });
                 }
                 let body = self.text[body_start..self.pos].to_string();
                 self.pos += 3;
@@ -335,7 +340,10 @@ impl<'a> Scanner<'a> {
                     self.pos += 2;
                     Tok::Ne
                 } else {
-                    return Err(LexError { pos: start, message: "unexpected '!'".into() });
+                    return Err(LexError {
+                        pos: start,
+                        message: "unexpected '!'".into(),
+                    });
                 }
             }
             b'<' => {
@@ -370,7 +378,10 @@ impl<'a> Scanner<'a> {
                     self.pos += 2;
                     Tok::Assign
                 } else {
-                    return Err(LexError { pos: start, message: "unexpected ':'".into() });
+                    return Err(LexError {
+                        pos: start,
+                        message: "unexpected ':'".into(),
+                    });
                 }
             }
             b'.' => {
@@ -428,10 +439,7 @@ impl<'a> Scanner<'a> {
                 }
                 Some(_) => {
                     let c0 = self.pos;
-                    while self
-                        .peek_char()
-                        .is_some_and(|c| c != quote)
-                    {
+                    while self.peek_char().is_some_and(|c| c != quote) {
                         self.pos += 1;
                     }
                     out.push_str(&self.text[c0..self.pos]);
@@ -597,8 +605,10 @@ mod tests {
 
     #[test]
     fn comments_nest_and_pragmas_surface() {
-        assert_eq!(toks("a (: outer (: inner :) still :) b"),
-            vec![Tok::Name("a".into()), Tok::Name("b".into())]);
+        assert_eq!(
+            toks("a (: outer (: inner :) still :) b"),
+            vec![Tok::Name("a".into()), Tok::Name("b".into())]
+        );
         let ts = toks(r#"(::pragma function kind="read" ::) declare"#);
         match &ts[0] {
             Tok::Pragma(body) => assert!(body.contains("kind=\"read\"")),

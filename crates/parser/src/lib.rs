@@ -37,10 +37,16 @@ mod tests {
         };
         assert_eq!(clauses.len(), 2);
         assert!(matches!(&clauses[0], Clause::For { var, .. } if var == "c"));
-        let Clause::Where(w) = &clauses[1] else { panic!() };
+        let Clause::Where(w) = &clauses[1] else {
+            panic!()
+        };
         assert!(matches!(
             &w.kind,
-            ExprKind::Comparison { op: CompOp::Eq, general: false, .. }
+            ExprKind::Comparison {
+                op: CompOp::Eq,
+                general: false,
+                ..
+            }
         ));
         assert!(matches!(&ret.kind, ExprKind::Path { .. }));
     }
@@ -54,7 +60,9 @@ mod tests {
                group $cid as $ids by $c/LAST_NAME as $name
                return <CUSTOMER_IDS name="{$name}">{ $ids }</CUSTOMER_IDS>"#,
         );
-        let ExprKind::Flwor { clauses, .. } = &e.kind else { panic!() };
+        let ExprKind::Flwor { clauses, .. } = &e.kind else {
+            panic!()
+        };
         let Clause::GroupBy { bindings, keys } = &clauses[2] else {
             panic!("expected group clause, got {:?}", clauses[2])
         };
@@ -69,8 +77,12 @@ mod tests {
     fn group_clause_keys_only_distinct_form() {
         // Table 1(f): group by with no bindings
         let e = expr("for $c in CUSTOMER() group by $c/LAST_NAME as $l return $l");
-        let ExprKind::Flwor { clauses, .. } = &e.kind else { panic!() };
-        let Clause::GroupBy { bindings, keys } = &clauses[1] else { panic!() };
+        let ExprKind::Flwor { clauses, .. } = &e.kind else {
+            panic!()
+        };
+        let Clause::GroupBy { bindings, keys } = &clauses[1] else {
+            panic!()
+        };
         assert!(bindings.is_empty());
         assert_eq!(keys.len(), 1);
     }
@@ -78,8 +90,12 @@ mod tests {
     #[test]
     fn order_by_descending() {
         let e = expr("for $c in C() order by $c/N descending, $c/M return $c");
-        let ExprKind::Flwor { clauses, .. } = &e.kind else { panic!() };
-        let Clause::OrderBy(specs) = &clauses[1] else { panic!() };
+        let ExprKind::Flwor { clauses, .. } = &e.kind else {
+            panic!()
+        };
+        let Clause::OrderBy(specs) = &clauses[1] else {
+            panic!()
+        };
         assert!(specs[0].descending);
         assert!(!specs[1].descending);
     }
@@ -87,7 +103,13 @@ mod tests {
     #[test]
     fn direct_constructor_with_enclosed_exprs() {
         let e = expr(r#"<PROFILE id="{$x}" kind="a{$y}b"><CID>{fn:data($c/CID)}</CID></PROFILE>"#);
-        let ExprKind::DirectElement { name, attributes, content, conditional, .. } = &e.kind
+        let ExprKind::DirectElement {
+            name,
+            attributes,
+            content,
+            conditional,
+            ..
+        } = &e.kind
         else {
             panic!("expected constructor, got {e:?}")
         };
@@ -96,12 +118,18 @@ mod tests {
         assert_eq!(attributes.len(), 2);
         assert_eq!(attributes[1].value.len(), 3); // "a", {$y}, "b"
         assert_eq!(content.len(), 1);
-        let ExprKind::DirectElement { name: cname, content: ccontent, .. } = &content[0].kind
+        let ExprKind::DirectElement {
+            name: cname,
+            content: ccontent,
+            ..
+        } = &content[0].kind
         else {
             panic!()
         };
         assert_eq!(cname.local, "CID");
-        let ExprKind::Call { name: f, .. } = &ccontent[0].kind else { panic!() };
+        let ExprKind::Call { name: f, .. } = &ccontent[0].kind else {
+            panic!()
+        };
         assert_eq!(f.to_string(), "fn:data");
     }
 
@@ -109,29 +137,41 @@ mod tests {
     fn conditional_construction_extension() {
         // §3.1: <FIRST_NAME?>{$fname}</FIRST_NAME>
         let e = expr("<FIRST_NAME?>{$fname}</FIRST_NAME>");
-        let ExprKind::DirectElement { conditional, .. } = &e.kind else { panic!() };
+        let ExprKind::DirectElement { conditional, .. } = &e.kind else {
+            panic!()
+        };
         assert!(*conditional);
         // conditional attribute
         let e = expr(r#"<E a?="{$v}"/>"#);
-        let ExprKind::DirectElement { attributes, .. } = &e.kind else { panic!() };
+        let ExprKind::DirectElement { attributes, .. } = &e.kind else {
+            panic!()
+        };
         assert!(attributes[0].conditional);
     }
 
     #[test]
     fn constructor_brace_escapes_and_text() {
         let e = expr("<E>literal {{braces}} kept</E>");
-        let ExprKind::DirectElement { content, .. } = &e.kind else { panic!() };
+        let ExprKind::DirectElement { content, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(content.len(), 1);
-        let ExprKind::Literal(v) = &content[0].kind else { panic!() };
+        let ExprKind::Literal(v) = &content[0].kind else {
+            panic!()
+        };
         assert_eq!(v.string_value(), "literal {braces} kept");
     }
 
     #[test]
     fn nested_constructors_with_namespaces() {
-        let e = expr(
-            r#"<tns:PROFILE xmlns:tns="urn:p" xmlns="urn:d"><INNER/></tns:PROFILE>"#,
-        );
-        let ExprKind::DirectElement { namespaces, default_ns, content, .. } = &e.kind else {
+        let e = expr(r#"<tns:PROFILE xmlns:tns="urn:p" xmlns="urn:d"><INNER/></tns:PROFILE>"#);
+        let ExprKind::DirectElement {
+            namespaces,
+            default_ns,
+            content,
+            ..
+        } = &e.kind
+        else {
             panic!()
         };
         assert_eq!(namespaces[0], ("tns".to_string(), "urn:p".to_string()));
@@ -144,12 +184,18 @@ mod tests {
         // the paper's navigation-function pattern:
         //   ns2:CREDIT_CARD()[CID eq $CUSTOMER/CID]
         let e = expr("ns2:CREDIT_CARD()[CID eq $CUSTOMER/CID]");
-        let ExprKind::Filter { base, predicates } = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Filter { base, predicates } = &e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(&base.kind, ExprKind::Call { .. }));
         assert_eq!(predicates.len(), 1);
         // relative path inside the predicate
-        let ExprKind::Comparison { lhs, .. } = &predicates[0].kind else { panic!() };
-        let ExprKind::Path { start, steps } = &lhs.kind else { panic!() };
+        let ExprKind::Comparison { lhs, .. } = &predicates[0].kind else {
+            panic!()
+        };
+        let ExprKind::Path { start, steps } = &lhs.kind else {
+            panic!()
+        };
         assert!(matches!(&start.kind, ExprKind::ContextItem));
         assert_eq!(steps.len(), 1);
     }
@@ -158,11 +204,21 @@ mod tests {
     fn quantified_expression() {
         // Table 2(h)
         let e = expr("some $o in ORDERS() satisfies $c/CID eq $o/CID");
-        let ExprKind::Quantified { every, bindings, .. } = &e.kind else { panic!() };
+        let ExprKind::Quantified {
+            every, bindings, ..
+        } = &e.kind
+        else {
+            panic!()
+        };
         assert!(!every);
         assert_eq!(bindings.len(), 1);
         let e = expr("every $x in (1,2), $y in (3) satisfies $x lt $y");
-        let ExprKind::Quantified { every, bindings, .. } = &e.kind else { panic!() };
+        let ExprKind::Quantified {
+            every, bindings, ..
+        } = &e.kind
+        else {
+            panic!()
+        };
         assert!(every);
         assert_eq!(bindings.len(), 2);
     }
@@ -172,7 +228,9 @@ mod tests {
         let e = expr(r#"if ($c/CID eq "X") then $c/A else $c/B"#);
         assert!(matches!(&e.kind, ExprKind::If { .. }));
         let e = expr("1 + 2 * 3");
-        let ExprKind::Arith { op, rhs, .. } = &e.kind else { panic!() };
+        let ExprKind::Arith { op, rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(*op, aldsp_xdm::value::ArithOp::Add);
         assert!(matches!(&rhs.kind, ExprKind::Arith { .. }));
         let e = expr("$a = 1 or $b != 2 and $c < 3");
@@ -182,9 +240,15 @@ mod tests {
     #[test]
     fn general_vs_value_comparisons() {
         let g = expr("$a = $b");
-        assert!(matches!(&g.kind, ExprKind::Comparison { general: true, .. }));
+        assert!(matches!(
+            &g.kind,
+            ExprKind::Comparison { general: true, .. }
+        ));
         let v = expr("$a eq $b");
-        assert!(matches!(&v.kind, ExprKind::Comparison { general: false, .. }));
+        assert!(matches!(
+            &v.kind,
+            ExprKind::Comparison { general: false, .. }
+        ));
     }
 
     #[test]
@@ -202,7 +266,12 @@ mod tests {
         let e = expr(
             "typeswitch ($x) case $e as element(A) return 1 case xs:string return 2 default $d return 3",
         );
-        let ExprKind::Typeswitch { cases, default_var, .. } = &e.kind else { panic!() };
+        let ExprKind::Typeswitch {
+            cases, default_var, ..
+        } = &e.kind
+        else {
+            panic!()
+        };
         assert_eq!(cases.len(), 2);
         assert_eq!(cases[0].var.as_deref(), Some("e"));
         assert_eq!(default_var.as_deref(), Some("d"));
@@ -211,7 +280,9 @@ mod tests {
     #[test]
     fn sequence_and_range() {
         let e = expr("(1, 2, 3)");
-        let ExprKind::Sequence(items) = &e.kind else { panic!() };
+        let ExprKind::Sequence(items) = &e.kind else {
+            panic!()
+        };
         assert_eq!(items.len(), 3);
         let e = expr("1 to 10");
         assert!(matches!(&e.kind, ExprKind::Range(..)));
@@ -222,7 +293,9 @@ mod tests {
     #[test]
     fn paths_with_descendants_and_attributes() {
         let e = expr("$doc//ORDER/@id");
-        let ExprKind::Path { steps, .. } = &e.kind else { panic!() };
+        let ExprKind::Path { steps, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(steps.len(), 3);
         assert_eq!(steps[0].axis, Axis::DescendantOrSelf);
         assert_eq!(steps[2].axis, Axis::Attribute);
@@ -233,7 +306,10 @@ mod tests {
         let e = expr("-5");
         assert!(matches!(&e.kind, ExprKind::Neg(..)));
         let e = expr("2.5");
-        assert!(matches!(&e.kind, ExprKind::Literal(AtomicValue::Decimal(_))));
+        assert!(matches!(
+            &e.kind,
+            ExprKind::Literal(AtomicValue::Decimal(_))
+        ));
         let e = expr(r#""hello""#);
         assert!(matches!(&e.kind, ExprKind::Literal(AtomicValue::String(_))));
     }
@@ -258,7 +334,10 @@ mod tests {
         "#;
         let m = parse_module_strict(src).unwrap();
         assert_eq!(m.version.as_deref(), Some("1.0"));
-        assert_eq!(m.namespaces, vec![("tns".to_string(), "urn:profile".to_string())]);
+        assert_eq!(
+            m.namespaces,
+            vec![("tns".to_string(), "urn:profile".to_string())]
+        );
         assert_eq!(m.schema_imports.len(), 1);
         assert_eq!(m.schema_imports[0].location.as_deref(), Some("profile.xsd"));
         assert_eq!(m.default_element_ns.as_deref(), Some("urn:d"));
@@ -297,7 +376,10 @@ mod tests {
         assert_eq!(m.functions.len(), 3);
         let two = &m.functions[1];
         assert_eq!(two.name.to_string(), "f:two");
-        assert!(two.body.is_none() && !two.external, "broken body, kept signature");
+        assert!(
+            two.body.is_none() && !two.external,
+            "broken body, kept signature"
+        );
         assert!(m.functions[2].body.is_some());
     }
 
@@ -353,7 +435,9 @@ mod tests {
         let ExprKind::Flwor { ret, .. } = &get_profile.body.as_ref().unwrap().kind else {
             panic!()
         };
-        let ExprKind::DirectElement { content, .. } = &ret.kind else { panic!() };
+        let ExprKind::DirectElement { content, .. } = &ret.kind else {
+            panic!()
+        };
         assert_eq!(content.len(), 5); // CID, LAST_NAME, ORDERS, CREDIT_CARDS, RATING
     }
 
@@ -367,7 +451,9 @@ mod tests {
                  return <CUSTOMER>{ fn:data($c/CID), $oc }</CUSTOMER>
                return subsequence($cs, 10, 20)"#,
         );
-        let ExprKind::Flwor { clauses, ret } = &e.kind else { panic!() };
+        let ExprKind::Flwor { clauses, ret } = &e.kind else {
+            panic!()
+        };
         assert_eq!(clauses.len(), 1);
         assert!(matches!(&ret.kind, ExprKind::Call { name, .. } if name.local == "subsequence"));
     }
@@ -376,7 +462,9 @@ mod tests {
     fn keywords_usable_as_path_steps() {
         // XQuery has no reserved words: `order` etc. can be element names
         let e = expr("$x/order/group");
-        let ExprKind::Path { steps, .. } = &e.kind else { panic!() };
+        let ExprKind::Path { steps, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(steps.len(), 2);
     }
 }

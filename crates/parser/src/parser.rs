@@ -24,7 +24,11 @@ pub struct Diagnostic {
 
 impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{}..{}] {}", self.span.start, self.span.end, self.message)
+        write!(
+            f,
+            "[{}..{}] {}",
+            self.span.start, self.span.end, self.message
+        )
     }
 }
 
@@ -76,10 +80,10 @@ struct Fail;
 
 impl Fail {
     fn clone_first(&self, diags: &[Diagnostic]) -> Diagnostic {
-        diags
-            .first()
-            .cloned()
-            .unwrap_or_else(|| Diagnostic { span: Span::default(), message: "parse error".into() })
+        diags.first().cloned().unwrap_or_else(|| Diagnostic {
+            span: Span::default(),
+            message: "parse error".into(),
+        })
     }
 }
 
@@ -94,7 +98,12 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str, mode: Mode) -> Parser<'a> {
-        Parser { s: Scanner::new(src), mode, diags: Vec::new(), pending_pragmas: Vec::new() }
+        Parser {
+            s: Scanner::new(src),
+            mode,
+            diags: Vec::new(),
+            pending_pragmas: Vec::new(),
+        }
     }
 
     // ---- token plumbing -------------------------------------------------
@@ -201,7 +210,10 @@ impl<'a> Parser<'a> {
             self.next();
             Ok(span)
         } else {
-            Err(self.fail(span, format!("expected {}, found {}", t.describe(), tok.describe())))
+            Err(self.fail(
+                span,
+                format!("expected {}, found {}", t.describe(), tok.describe()),
+            ))
         }
     }
 
@@ -222,7 +234,10 @@ impl<'a> Parser<'a> {
                 self.next();
                 Ok(v)
             }
-            other => Err(self.fail(span, format!("expected a variable, found {}", other.describe()))),
+            other => Err(self.fail(
+                span,
+                format!("expected a variable, found {}", other.describe()),
+            )),
         }
     }
 
@@ -244,9 +259,10 @@ impl<'a> Parser<'a> {
                 self.next();
                 Ok(s)
             }
-            other => {
-                Err(self.fail(span, format!("expected a string literal, found {}", other.describe())))
-            }
+            other => Err(self.fail(
+                span,
+                format!("expected a string literal, found {}", other.describe()),
+            )),
         }
     }
 
@@ -255,7 +271,10 @@ impl<'a> Parser<'a> {
         if tok == Tok::Eof {
             Ok(())
         } else {
-            Err(self.fail(span, format!("unexpected {} after expression", tok.describe())))
+            Err(self.fail(
+                span,
+                format!("unexpected {} after expression", tok.describe()),
+            ))
         }
     }
 
@@ -362,7 +381,11 @@ impl<'a> Parser<'a> {
                 location = Some(self.expect_string()?);
             }
             self.expect(Tok::Semi)?;
-            m.schema_imports.push(SchemaImport { prefix, uri, location });
+            m.schema_imports.push(SchemaImport {
+                prefix,
+                uri,
+                location,
+            });
             return Ok(());
         }
         self.expect_kw("declare")?;
@@ -385,7 +408,11 @@ impl<'a> Parser<'a> {
             Ok(())
         } else if self.eat_name("variable") {
             let name = self.expect_var()?;
-            let ty = if self.eat_name("as") { Some(self.seq_type()?) } else { None };
+            let ty = if self.eat_name("as") {
+                Some(self.seq_type()?)
+            } else {
+                None
+            };
             self.expect_kw("external")?;
             self.expect(Tok::Semi)?;
             m.variables.push(VarDecl { name, ty });
@@ -394,7 +421,10 @@ impl<'a> Parser<'a> {
             self.function_decl(m, pragmas)
         } else {
             let (tok, span) = self.peek();
-            Err(self.fail(span, format!("unsupported declaration starting with {}", tok.describe())))
+            Err(self.fail(
+                span,
+                format!("unsupported declaration starting with {}", tok.describe()),
+            ))
         }
     }
 
@@ -405,7 +435,11 @@ impl<'a> Parser<'a> {
         if !self.eat(&Tok::RParen) {
             loop {
                 let pname = self.expect_var()?;
-                let ty = if self.eat_name("as") { Some(self.seq_type()?) } else { None };
+                let ty = if self.eat_name("as") {
+                    Some(self.seq_type()?)
+                } else {
+                    None
+                };
                 params.push(Param { name: pname, ty });
                 if self.eat(&Tok::Comma) {
                     continue;
@@ -414,7 +448,11 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let return_type = if self.eat_name("as") { Some(self.seq_type()?) } else { None };
+        let return_type = if self.eat_name("as") {
+            Some(self.seq_type()?)
+        } else {
+            None
+        };
         // At this point the signature is complete and error-free; per the
         // paper, a body error must not discard the signature.
         let (external, body) = if self.eat_name("external") {
@@ -487,7 +525,10 @@ impl<'a> Parser<'a> {
                 }
                 "empty-sequence" => {
                     self.expect(Tok::RParen)?;
-                    return Ok(SeqTypeAst { item: ItemTypeAst::EmptySequence, occ: Occurrence::One });
+                    return Ok(SeqTypeAst {
+                        item: ItemTypeAst::EmptySequence,
+                        occ: Occurrence::One,
+                    });
                 }
                 "element" | "schema-element" | "attribute" => {
                     let inner = if self.peek().0 == Tok::RParen {
@@ -510,8 +551,9 @@ impl<'a> Parser<'a> {
                         _ => match inner {
                             Some(n) => ItemTypeAst::SchemaElement(n),
                             None => {
-                                return Err(self
-                                    .fail(span, "schema-element() requires a name".into()))
+                                return Err(
+                                    self.fail(span, "schema-element() requires a name".into())
+                                )
                             }
                         },
                     }
@@ -589,7 +631,11 @@ impl<'a> Parser<'a> {
                     self.next();
                     loop {
                         let var = self.expect_var()?;
-                        let ty = if self.eat_name("as") { Some(self.seq_type()?) } else { None };
+                        let ty = if self.eat_name("as") {
+                            Some(self.seq_type()?)
+                        } else {
+                            None
+                        };
                         let pos_var = if self.eat_name("at") {
                             Some(self.expect_var()?)
                         } else {
@@ -597,7 +643,12 @@ impl<'a> Parser<'a> {
                         };
                         self.expect_kw("in")?;
                         let source = self.expr_single()?;
-                        clauses.push(Clause::For { var, pos_var, ty, source });
+                        clauses.push(Clause::For {
+                            var,
+                            pos_var,
+                            ty,
+                            source,
+                        });
                         if !self.eat(&Tok::Comma) {
                             break;
                         }
@@ -607,7 +658,11 @@ impl<'a> Parser<'a> {
                     self.next();
                     loop {
                         let var = self.expect_var()?;
-                        let ty = if self.eat_name("as") { Some(self.seq_type()?) } else { None };
+                        let ty = if self.eat_name("as") {
+                            Some(self.seq_type()?)
+                        } else {
+                            None
+                        };
                         self.expect(Tok::Assign)?;
                         let value = self.expr_single()?;
                         clauses.push(Clause::Let { var, ty, value });
@@ -647,7 +702,13 @@ impl<'a> Parser<'a> {
             return Err(self.fail(start, "FLWOR requires at least one for/let clause".into()));
         }
         let span = start.to(end).to(ret.span);
-        Ok(Expr::new(ExprKind::Flwor { clauses, ret: Box::new(ret) }, span))
+        Ok(Expr::new(
+            ExprKind::Flwor {
+                clauses,
+                ret: Box::new(ret),
+            },
+            span,
+        ))
     }
 
     /// The ALDSP FLWGOR group clause (§3.1):
@@ -700,7 +761,11 @@ impl<'a> Parser<'a> {
                     self.expect_kw("least")?;
                 }
             }
-            specs.push(OrderSpec { expr, descending, empty_least });
+            specs.push(OrderSpec {
+                expr,
+                descending,
+                empty_least,
+            });
             if !self.eat(&Tok::Comma) {
                 return Ok(specs);
             }
@@ -724,7 +789,11 @@ impl<'a> Parser<'a> {
         let satisfies = self.expr_single()?;
         let span = start.to(satisfies.span);
         Ok(Expr::new(
-            ExprKind::Quantified { every, bindings, satisfies: Box::new(satisfies) },
+            ExprKind::Quantified {
+                every,
+                bindings,
+                satisfies: Box::new(satisfies),
+            },
             span,
         ))
     }
@@ -740,7 +809,11 @@ impl<'a> Parser<'a> {
         let els = self.expr_single()?;
         let span = start.to(els.span);
         Ok(Expr::new(
-            ExprKind::If { cond: Box::new(cond), then: Box::new(then), els: Box::new(els) },
+            ExprKind::If {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            },
             span,
         ))
     }
@@ -834,7 +907,12 @@ impl<'a> Parser<'a> {
         let rhs = self.range_expr()?;
         let span = lhs.span.to(rhs.span);
         Ok(Expr::new(
-            ExprKind::Comparison { op, general, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            ExprKind::Comparison {
+                op,
+                general,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
             span,
         ))
     }
@@ -845,7 +923,10 @@ impl<'a> Parser<'a> {
             self.next();
             let rhs = self.additive_expr()?;
             let span = lhs.span.to(rhs.span);
-            return Ok(Expr::new(ExprKind::Range(Box::new(lhs), Box::new(rhs)), span));
+            return Ok(Expr::new(
+                ExprKind::Range(Box::new(lhs), Box::new(rhs)),
+                span,
+            ));
         }
         Ok(lhs)
     }
@@ -861,7 +942,14 @@ impl<'a> Parser<'a> {
             self.next();
             let rhs = self.multiplicative_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Arith { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Arith {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
     }
 
@@ -877,7 +965,14 @@ impl<'a> Parser<'a> {
             self.next();
             let rhs = self.unary_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(ExprKind::Arith { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span);
+            lhs = Expr::new(
+                ExprKind::Arith {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
         }
     }
 
@@ -957,8 +1052,13 @@ impl<'a> Parser<'a> {
                 }
                 if !preds.is_empty() {
                     let span = primary.span;
-                    primary =
-                        Expr::new(ExprKind::Filter { base: Box::new(primary), predicates: preds }, span);
+                    primary = Expr::new(
+                        ExprKind::Filter {
+                            base: Box::new(primary),
+                            predicates: preds,
+                        },
+                        span,
+                    );
                 }
                 (primary, Vec::new())
             }
@@ -979,7 +1079,13 @@ impl<'a> Parser<'a> {
             return Ok(base);
         }
         let span = start.to(steps_span(&steps, base.span));
-        Ok(Expr::new(ExprKind::Path { start: Box::new(base), steps }, span))
+        Ok(Expr::new(
+            ExprKind::Path {
+                start: Box::new(base),
+                steps,
+            },
+            span,
+        ))
     }
 
     fn step(&mut self) -> PResult<Step> {
@@ -998,8 +1104,13 @@ impl<'a> Parser<'a> {
                         NameTest::Name(Name::parse(&n))
                     }
                     other => {
-                        return Err(self
-                            .fail(span, format!("expected attribute name after '@', found {}", other.describe())))
+                        return Err(self.fail(
+                            span,
+                            format!(
+                                "expected attribute name after '@', found {}",
+                                other.describe()
+                            ),
+                        ))
                     }
                 };
                 (Axis::Attribute, test)
@@ -1013,7 +1124,10 @@ impl<'a> Parser<'a> {
                 (Axis::Child, NameTest::Name(Name::parse(&n)))
             }
             other => {
-                return Err(self.fail(span, format!("expected a path step, found {}", other.describe())))
+                return Err(self.fail(
+                    span,
+                    format!("expected a path step, found {}", other.describe()),
+                ))
             }
         };
         let mut predicates = Vec::new();
@@ -1022,7 +1136,11 @@ impl<'a> Parser<'a> {
             predicates.push(self.expr()?);
             self.expect(Tok::RBracket)?;
         }
-        Ok(Step { axis, test, predicates })
+        Ok(Step {
+            axis,
+            test,
+            predicates,
+        })
     }
 
     fn primary_expr(&mut self) -> PResult<Expr> {
@@ -1070,18 +1188,17 @@ impl<'a> Parser<'a> {
                 // name-start character
                 let after = span.end as usize;
                 self.s.seek(span.start as usize);
-                if self
-                    .s
-                    .peek_char_at(1)
-                    .is_some_and(is_name_start)
-                {
+                if self.s.peek_char_at(1).is_some_and(is_name_start) {
                     self.direct_constructor()
                 } else {
                     self.s.seek(after);
                     Err(self.fail(span, "unexpected '<' (not a constructor)".into()))
                 }
             }
-            other => Err(self.fail(span, format!("unexpected {} in expression", other.describe()))),
+            other => Err(self.fail(
+                span,
+                format!("unexpected {} in expression", other.describe()),
+            )),
         }
     }
 
@@ -1195,7 +1312,14 @@ impl<'a> Parser<'a> {
         let content = self.constructor_content(&raw_name, start)?;
         let span = Span::new(start, self.s.raw_pos());
         Ok(Expr::new(
-            ExprKind::DirectElement { name, conditional, attributes, content, namespaces, default_ns },
+            ExprKind::DirectElement {
+                name,
+                conditional,
+                attributes,
+                content,
+                namespaces,
+                default_ns,
+            },
             span,
         ))
     }
@@ -1241,7 +1365,9 @@ impl<'a> Parser<'a> {
                     let inner = self.expr()?;
                     let (tok, sp) = self.peek();
                     if tok != Tok::RBrace {
-                        return Err(self.fail(sp, "expected '}' closing enclosed expression".into()));
+                        return Err(
+                            self.fail(sp, "expected '}' closing enclosed expression".into())
+                        );
                     }
                     self.next();
                     parts.push(inner);
@@ -1352,7 +1478,9 @@ impl<'a> Parser<'a> {
                     let inner = self.expr()?;
                     let (tok, sp) = self.peek();
                     if tok != Tok::RBrace {
-                        return Err(self.fail(sp, "expected '}' closing enclosed expression".into()));
+                        return Err(
+                            self.fail(sp, "expected '}' closing enclosed expression".into())
+                        );
                     }
                     self.next();
                     content.push(inner);

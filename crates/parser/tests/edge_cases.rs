@@ -18,18 +18,20 @@ fn less_than_vs_constructor_disambiguation() {
 
 #[test]
 fn nested_flwors_and_keyword_names() {
-    let e = parse_expr(
-        "for $for in (1,2) return for $let in (3) return $for + $let",
-    )
-    .expect("keywords are valid variable names");
-    let ExprKind::Flwor { ret, .. } = &e.kind else { panic!() };
+    let e = parse_expr("for $for in (1,2) return for $let in (3) return $for + $let")
+        .expect("keywords are valid variable names");
+    let ExprKind::Flwor { ret, .. } = &e.kind else {
+        panic!()
+    };
     assert!(matches!(&ret.kind, ExprKind::Flwor { .. }));
 }
 
 #[test]
 fn multi_variable_for_desugars_to_clauses() {
     let e = parse_expr("for $a in (1), $b in (2), $c in (3) return $a").expect("parses");
-    let ExprKind::Flwor { clauses, .. } = &e.kind else { panic!() };
+    let ExprKind::Flwor { clauses, .. } = &e.kind else {
+        panic!()
+    };
     assert_eq!(clauses.len(), 3);
     assert!(clauses.iter().all(|c| matches!(c, Clause::For { .. })));
 }
@@ -37,15 +39,21 @@ fn multi_variable_for_desugars_to_clauses() {
 #[test]
 fn positional_variable() {
     let e = parse_expr("for $x at $i in (10,20) return $i").expect("parses");
-    let ExprKind::Flwor { clauses, .. } = &e.kind else { panic!() };
-    let Clause::For { pos_var, .. } = &clauses[0] else { panic!() };
+    let ExprKind::Flwor { clauses, .. } = &e.kind else {
+        panic!()
+    };
+    let Clause::For { pos_var, .. } = &clauses[0] else {
+        panic!()
+    };
     assert_eq!(pos_var.as_deref(), Some("i"));
 }
 
 #[test]
 fn constructor_with_comment_inside() {
     let e = parse_expr("<a><!-- note --><b/></a>").expect("parses");
-    let ExprKind::DirectElement { content, .. } = &e.kind else { panic!() };
+    let ExprKind::DirectElement { content, .. } = &e.kind else {
+        panic!()
+    };
     assert_eq!(content.len(), 1, "comment skipped");
 }
 
@@ -83,17 +91,17 @@ fn empty_module_is_valid() {
 
 #[test]
 fn trailing_semicolons_and_whitespace() {
-    let m = parse_module_strict(
-        "declare namespace a = \"u\";\n\n   (: comment :)\n   1 + 1",
-    )
-    .expect("parses");
+    let m = parse_module_strict("declare namespace a = \"u\";\n\n   (: comment :)\n   1 + 1")
+        .expect("parses");
     assert!(m.body.is_some());
 }
 
 #[test]
 fn attribute_value_with_both_quote_styles() {
     let e = parse_expr(r#"<e a='single' b="double"/>"#).expect("parses");
-    let ExprKind::DirectElement { attributes, .. } = &e.kind else { panic!() };
+    let ExprKind::DirectElement { attributes, .. } = &e.kind else {
+        panic!()
+    };
     assert_eq!(attributes.len(), 2);
 }
 
@@ -105,6 +113,8 @@ fn very_long_flwor_pipeline() {
     }
     src.push_str("return $x39");
     let e = parse_expr(&src).expect("parses");
-    let ExprKind::Flwor { clauses, .. } = &e.kind else { panic!() };
+    let ExprKind::Flwor { clauses, .. } = &e.kind else {
+        panic!()
+    };
     assert_eq!(clauses.len(), 40);
 }

@@ -1,0 +1,458 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the slice of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_recursive`, range
+//! and character-class string strategies, `prop::collection::vec`,
+//! tuple strategies, the [`proptest!`] macro, and
+//! `prop_assert!`/`prop_assert_eq!`. No shrinking: a failing case
+//! panics with the assertion message (inputs are reproducible — the
+//! per-test RNG stream is seeded from the test's module path).
+
+use rand::{RngCore, SampleUniform, SeedableRng, StdRng};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform sample from `low..high`.
+    pub fn range<T: SampleUniform>(&mut self, r: Range<T>) -> T {
+        T::sample_range(&mut self.0, r)
+    }
+}
+
+/// Construct the deterministic RNG for one test case (macro plumbing).
+pub fn test_rng(test_seed: u64, case: u64) -> TestRng {
+    TestRng(StdRng::seed_from_u64(
+        test_seed ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+    ))
+}
+
+/// FNV-1a over a string — a stable per-test seed (macro plumbing).
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf29ce484222325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+        i += 1;
+    }
+    hash
+}
+
+/// Test-runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+// ---- the Strategy trait -------------------------------------------------------
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `f` receives the strategy for the
+    /// previous depth level and returns the strategy for the next. The
+    /// `_desired_size`/`_branch` hints are accepted for API
+    /// compatibility; recursion is bounded by `depth` alone (inner
+    /// collection strategies that may generate zero elements terminate
+    /// the tree).
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            level = f(level).boxed();
+        }
+        level
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+// ---- string strategies (character-class regex subset) --------------------------
+
+/// `&str` patterns act as generators for a small regex subset:
+/// literal characters and `[...]` classes (with `a-z` ranges), each
+/// optionally quantified with `{n}`, `{m,n}`, `?`, `*`, or `+`
+/// (unbounded quantifiers cap at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let items =
+            parse_pattern(self).unwrap_or_else(|e| panic!("unsupported pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for (alphabet, lo, hi) in &items {
+            let n = if lo == hi {
+                *lo
+            } else {
+                rng.range(*lo..hi + 1)
+            };
+            for _ in 0..n {
+                out.push(alphabet[rng.range(0..alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+type PatternItem = (Vec<char>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Result<Vec<PatternItem>, String> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut items: Vec<PatternItem> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or("unterminated character class")?
+                    + i;
+                let class = parse_class(&chars[i + 1..close])?;
+                i = close + 1;
+                class
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).ok_or("dangling escape")?;
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // optional quantifier
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or("unterminated quantifier")?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().map_err(|_| "bad quantifier")?,
+                        n.trim().parse().map_err(|_| "bad quantifier")?,
+                    ),
+                    None => {
+                        let n = body.trim().parse().map_err(|_| "bad quantifier")?;
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        if alphabet.is_empty() {
+            return Err("empty character class".into());
+        }
+        items.push((alphabet, lo, hi));
+    }
+    Ok(items)
+}
+
+fn parse_class(body: &[char]) -> Result<Vec<char>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let c = if body[i] == '\\' {
+            i += 1;
+            *body.get(i).ok_or("dangling escape in class")?
+        } else {
+            body[i]
+        };
+        if body.get(i + 1) == Some(&'-') && i + 2 < body.len() {
+            let hi = body[i + 2];
+            if c as u32 > hi as u32 {
+                return Err("inverted class range".into());
+            }
+            for x in c as u32..=hi as u32 {
+                out.push(char::from_u32(x).ok_or("bad class range")?);
+            }
+            i += 3;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+// ---- collections ---------------------------------------------------------------
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- macros & prelude ----------------------------------------------------------
+
+/// Run each contained `fn name(args in strategies) { body }` as a test
+/// over many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                const SEED: u64 =
+                    $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_rng(SEED, case as u64);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)+
+    ) => {
+        $crate::proptest!(@impl ($cfg) $($rest)+);
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)+);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The common imports (`use proptest::prelude::*`).
+pub mod prelude {
+    /// The `prop::` module alias used for `prop::collection::vec`.
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in -10i64..10, b in 0usize..5) {
+            prop_assert!((-10..10).contains(&a));
+            prop_assert!(b < 5);
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "{s}");
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in prop::collection::vec((0usize..3, 0i64..7), 0..6)) {
+            prop_assert!(v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 3 && (0..7).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_applies(x in 0i64..100) {
+            prop_assert!((0..100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let leaf = (0usize..4).prop_map(|n| vec![n]);
+        let strat = leaf.prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(|vs| vs.concat())
+        });
+        let mut rng = crate::test_rng(1, 1);
+        for case in 0..50 {
+            let mut rng2 = crate::test_rng(7, case);
+            let v = strat.generate(&mut rng2);
+            assert!(v.iter().all(|&n| n < 4));
+        }
+        let _ = strat.generate(&mut rng);
+    }
+}

@@ -22,12 +22,20 @@ pub struct Column {
 impl Column {
     /// A NOT NULL column.
     pub fn required(name: &str, ty: SqlType) -> Column {
-        Column { name: name.to_string(), ty, nullable: false }
+        Column {
+            name: name.to_string(),
+            ty,
+            nullable: false,
+        }
     }
 
     /// A nullable column.
     pub fn nullable(name: &str, ty: SqlType) -> Column {
-        Column { name: name.to_string(), ty, nullable: true }
+        Column {
+            name: name.to_string(),
+            ty,
+            nullable: true,
+        }
     }
 }
 
@@ -128,7 +136,10 @@ impl TableSchemaBuilder {
         let s = self.schema;
         for k in &s.primary_key {
             if s.column_index(k).is_none() {
-                return Err(format!("primary key column '{k}' not in table '{}'", s.name));
+                return Err(format!(
+                    "primary key column '{k}' not in table '{}'",
+                    s.name
+                ));
             }
             if s.column(k).expect("checked").nullable {
                 return Err(format!("primary key column '{k}' must be NOT NULL"));
@@ -143,7 +154,10 @@ impl TableSchemaBuilder {
             }
             for c in &fk.columns {
                 if s.column_index(c).is_none() {
-                    return Err(format!("foreign key column '{c}' not in table '{}'", s.name));
+                    return Err(format!(
+                        "foreign key column '{c}' not in table '{}'",
+                        s.name
+                    ));
                 }
             }
         }

@@ -99,9 +99,7 @@ fn render_paginated(q: &Select, d: Dialect) -> String {
             let core = render_core(&inner, d);
             if offset == 0 {
                 if let Some(n) = fetch {
-                    return format!(
-                        "SELECT * FROM (\n{core}\n) t_page WHERE ROWNUM <= {n}"
-                    );
+                    return format!("SELECT * FROM (\n{core}\n) t_page WHERE ROWNUM <= {n}");
                 }
             }
             let cols: Vec<&str> = q.columns.iter().map(|c| c.alias.as_str()).collect();
@@ -247,7 +245,12 @@ fn render_table_ref(t: &TableRef, d: Dialect, s: &mut String) {
         TableRef::Table { name, alias } => {
             let _ = write!(s, "\"{name}\" {alias}");
         }
-        TableRef::Join { left, right, kind, on } => {
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             render_table_ref(left, d, s);
             s.push_str(match kind {
                 JoinKind::Inner => "\nJOIN ",
@@ -327,7 +330,11 @@ fn render_expr(e: &ScalarExpr, d: Dialect) -> String {
                 format!("{}({})", d.function_name(name), parts.join(", "))
             }
         }
-        ScalarExpr::Agg { func, arg, distinct } => {
+        ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             let inner = match arg {
                 None => "*".to_string(),
                 Some(a) => {
@@ -366,8 +373,8 @@ mod tests {
 
     #[test]
     fn table1a_simple_select_project() {
-        let mut q = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "FIRST_NAME"), "c1");
+        let mut q =
+            Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "FIRST_NAME"), "c1");
         q.where_ = Some(col("t1", "CID").eq(ScalarExpr::lit(SqlValue::str("CUST001"))));
         let sql = render_select(&q, Dialect::Oracle);
         assert_eq!(
@@ -394,14 +401,19 @@ mod tests {
 
     #[test]
     fn table2i_oracle_rownum_nesting() {
-        let mut q = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "CID"), "c1");
-        q.order_by = vec![OrderBy { expr: col("t1", "CID"), descending: true }];
+        let mut q = Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "CID"), "c1");
+        q.order_by = vec![OrderBy {
+            expr: col("t1", "CID"),
+            descending: true,
+        }];
         q.offset = Some(9);
         q.fetch = Some(20);
         let sql = render_select(&q, Dialect::Oracle);
         assert!(sql.contains("ROWNUM AS rn"), "{sql}");
-        assert!(sql.contains("(t_out.rn >= 10) AND (t_out.rn < 30)"), "{sql}");
+        assert!(
+            sql.contains("(t_out.rn >= 10) AND (t_out.rn < 30)"),
+            "{sql}"
+        );
         assert!(sql.contains("ORDER BY t1.\"CID\" DESC"), "{sql}");
     }
 
@@ -444,7 +456,10 @@ mod tests {
 
     #[test]
     fn function_spellings() {
-        let e = ScalarExpr::Func { name: "LENGTH".into(), args: vec![col("t1", "A")] };
+        let e = ScalarExpr::Func {
+            name: "LENGTH".into(),
+            args: vec![col("t1", "A")],
+        };
         assert_eq!(render_expr(&e, Dialect::Oracle), "LENGTH(t1.\"A\")");
         assert_eq!(render_expr(&e, Dialect::Sybase), "LEN(t1.\"A\")");
     }
@@ -474,7 +489,10 @@ mod tests {
             distinct: false,
         };
         assert_eq!(render_expr(&agg, Dialect::Oracle), "COUNT(t2.\"CID\")");
-        assert_eq!(render_expr(&ScalarExpr::count_star(), Dialect::Oracle), "COUNT(*)");
+        assert_eq!(
+            render_expr(&ScalarExpr::count_star(), Dialect::Oracle),
+            "COUNT(*)"
+        );
     }
 
     #[test]

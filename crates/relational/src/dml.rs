@@ -80,7 +80,8 @@ impl Database {
                 Ok(1)
             }
             Dml::Update(upd) => {
-                let hits = self.matching_rows(&upd.table, &upd.alias, upd.where_.as_ref(), params)?;
+                let hits =
+                    self.matching_rows(&upd.table, &upd.alias, upd.where_.as_ref(), params)?;
                 let schema = self
                     .table(&upd.table)
                     .expect("matching_rows validated")
@@ -145,7 +146,9 @@ impl Database {
         where_: Option<&ScalarExpr>,
         params: &[SqlValue],
     ) -> Result<Vec<usize>, String> {
-        let t = self.table(table).ok_or_else(|| format!("no table '{table}'"))?;
+        let t = self
+            .table(table)
+            .ok_or_else(|| format!("no table '{table}'"))?;
         let schema = t.schema().clone();
         let rows = t.rows().to_vec();
         let mut out = Vec::new();
@@ -264,10 +267,16 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        d.insert("CUSTOMER", vec![SqlValue::str("0815"), SqlValue::str("Jones")])
-            .unwrap();
-        d.insert("CUSTOMER", vec![SqlValue::str("0816"), SqlValue::str("Adams")])
-            .unwrap();
+        d.insert(
+            "CUSTOMER",
+            vec![SqlValue::str("0815"), SqlValue::str("Jones")],
+        )
+        .unwrap();
+        d.insert(
+            "CUSTOMER",
+            vec![SqlValue::str("0816"), SqlValue::str("Adams")],
+        )
+        .unwrap();
         d
     }
 
@@ -314,7 +323,11 @@ mod tests {
         assert_eq!(d.execute_dml(&del, &[SqlValue::str("0900")]).unwrap(), 1);
         assert_eq!(d.table("CUSTOMER").unwrap().len(), 2);
         // PK index still valid after delete
-        assert!(d.table("CUSTOMER").unwrap().lookup_pk(&[SqlValue::str("0816")]).is_some());
+        assert!(d
+            .table("CUSTOMER")
+            .unwrap()
+            .lookup_pk(&[SqlValue::str("0816")])
+            .is_some());
     }
 
     #[test]
@@ -329,7 +342,8 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        d.insert("ACCT", vec![SqlValue::Int(1), SqlValue::Int(100)]).unwrap();
+        d.insert("ACCT", vec![SqlValue::Int(1), SqlValue::Int(100)])
+            .unwrap();
         let upd = Dml::Update(Update {
             table: "ACCT".into(),
             alias: "t1".into(),
@@ -360,13 +374,20 @@ mod tests {
             sql,
             "UPDATE \"CUSTOMER\" t1 SET \"LAST_NAME\" = 'Smith'\nWHERE t1.\"CID\" = ?"
         );
-        let del = Dml::Delete(Delete { table: "T".into(), alias: "t1".into(), where_: None });
+        let del = Dml::Delete(Delete {
+            table: "T".into(),
+            alias: "t1".into(),
+            where_: None,
+        });
         assert_eq!(render_dml(&del, Dialect::Oracle), "DELETE FROM \"T\" t1");
         let ins = Dml::Insert(Insert {
             table: "T".into(),
             values: vec![ScalarExpr::lit(SqlValue::Int(1)), ScalarExpr::Param(0)],
         });
-        assert_eq!(render_dml(&ins, Dialect::Oracle), "INSERT INTO \"T\" VALUES (1, ?)");
+        assert_eq!(
+            render_dml(&ins, Dialect::Oracle),
+            "INSERT INTO \"T\" VALUES (1, ?)"
+        );
     }
 
     #[test]
@@ -381,7 +402,10 @@ mod tests {
         assert!(d.execute_dml(&upd, &[]).is_err());
         let ins = Dml::Insert(Insert {
             table: "CUSTOMER".into(),
-            values: vec![ScalarExpr::col("t1", "CID"), ScalarExpr::lit(SqlValue::Int(1))],
+            values: vec![
+                ScalarExpr::col("t1", "CID"),
+                ScalarExpr::lit(SqlValue::Int(1)),
+            ],
         });
         assert!(d.execute_dml(&ins, &[]).is_err());
     }

@@ -83,11 +83,7 @@ struct Scope<'a> {
 
 impl Database {
     /// Execute a `SELECT` with positional parameters.
-    pub fn execute_select(
-        &self,
-        q: &Select,
-        params: &[SqlValue],
-    ) -> Result<ResultSet, String> {
+    pub fn execute_select(&self, q: &Select, params: &[SqlValue]) -> Result<ResultSet, String> {
         exec_select(self, q, params, None)
     }
 }
@@ -132,8 +128,7 @@ fn exec_select(
             for g in &q.group_by {
                 key.push(eval(db, g, &layout, &Ctx::Row(&row), params, outer)?);
             }
-            let hash_key: String =
-                key.iter().map(|v| v.sql_literal() + "\u{1}").collect();
+            let hash_key: String = key.iter().map(|v| v.sql_literal() + "\u{1}").collect();
             match group_index.get(&hash_key) {
                 Some(&gi) => groups[gi].1.push(row),
                 None => {
@@ -207,7 +202,12 @@ fn eval_from(
             let mut layout = Layout::default();
             layout.push(
                 alias.clone(),
-                table.schema().columns.iter().map(|c| c.name.clone()).collect(),
+                table
+                    .schema()
+                    .columns
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect(),
             );
             Ok((layout, table.rows().to_vec()))
         }
@@ -217,7 +217,12 @@ fn eval_from(
             layout.push(alias.clone(), rs.columns);
             Ok((layout, rs.rows))
         }
-        TableRef::Join { left, right, kind, on } => {
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let (ll, lrows) = eval_from(db, left, params, outer)?;
             let (rl, rrows) = eval_from(db, right, params, outer)?;
             let lwidth = ll.width;
@@ -235,8 +240,7 @@ fn eval_from(
                         let mut combined = Vec::with_capacity(l.len() + r.len());
                         combined.extend(l.iter().cloned());
                         combined.extend(r.iter().cloned());
-                        if truth_of(db, on, &layout, &Ctx::Row(&combined), params, outer)?
-                            .is_true()
+                        if truth_of(db, on, &layout, &Ctx::Row(&combined), params, outer)?.is_true()
                         {
                             matched = true;
                             out.push(combined);
@@ -288,15 +292,10 @@ fn eval_from(
                             combined.extend(l.iter().cloned());
                             combined.extend(r.iter().cloned());
                             let keep = match &residual {
-                                Some(res) => truth_of(
-                                    db,
-                                    res,
-                                    &layout,
-                                    &Ctx::Row(&combined),
-                                    params,
-                                    outer,
-                                )?
-                                .is_true(),
+                                Some(res) => {
+                                    truth_of(db, res, &layout, &Ctx::Row(&combined), params, outer)?
+                                        .is_true()
+                                }
                                 None => true,
                             };
                             if keep {
@@ -334,9 +333,22 @@ fn split_equi_conjuncts(
     let mut residual: Vec<ScalarExpr> = Vec::new();
     for c in conjuncts {
         let mut taken = false;
-        if let ScalarExpr::Compare { op: aldsp_xdm::item::CompOp::Eq, lhs, rhs } = c {
-            if let (ScalarExpr::Column { table: ta, column: ca }, ScalarExpr::Column { table: tb, column: cb }) =
-                (lhs.as_ref(), rhs.as_ref())
+        if let ScalarExpr::Compare {
+            op: aldsp_xdm::item::CompOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        {
+            if let (
+                ScalarExpr::Column {
+                    table: ta,
+                    column: ca,
+                },
+                ScalarExpr::Column {
+                    table: tb,
+                    column: cb,
+                },
+            ) = (lhs.as_ref(), rhs.as_ref())
             {
                 if let (Some(ia), Some(ib)) = (layout.resolve(ta, ca), layout.resolve(tb, cb)) {
                     // same-type columns only: comparing e.g. INTEGER with
@@ -409,9 +421,7 @@ fn eval(
                             }
                             scope = s.parent;
                         }
-                        None => {
-                            return Err(format!("unresolved column {table}.{column}"))
-                        }
+                        None => return Err(format!("unresolved column {table}.{column}")),
                     }
                 }
             }
@@ -447,9 +457,7 @@ fn eval(
             }
         }
         ScalarExpr::Not(a) => truth_to_value(truth_of(db, a, layout, ctx, params, outer)?.not()),
-        ScalarExpr::IsNull(a) => {
-            SqlValue::Bool(eval(db, a, layout, ctx, params, outer)?.is_null())
-        }
+        ScalarExpr::IsNull(a) => SqlValue::Bool(eval(db, a, layout, ctx, params, outer)?.is_null()),
         ScalarExpr::Arith { op, lhs, rhs } => {
             let a = eval(db, lhs, layout, ctx, params, outer)?;
             let b = eval(db, rhs, layout, ctx, params, outer)?;
@@ -472,7 +480,11 @@ fn eval(
             }
         }
         ScalarExpr::Exists(sub) => {
-            let scope = Scope { layout, row: ctx.repr(), parent: outer };
+            let scope = Scope {
+                layout,
+                row: ctx.repr(),
+                parent: outer,
+            };
             let rs = exec_select(db, sub, params, Some(&scope))?;
             SqlValue::Bool(!rs.rows.is_empty())
         }
@@ -503,9 +515,16 @@ fn eval(
             }
             sql_function(name, &vals)?
         }
-        ScalarExpr::Agg { func, arg, distinct } => {
+        ScalarExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             let Ctx::Group { rows, .. } = ctx else {
-                return Err(format!("{} used outside an aggregate context", func.keyword()));
+                return Err(format!(
+                    "{} used outside an aggregate context",
+                    func.keyword()
+                ));
             };
             let mut vals: Vec<SqlValue> = Vec::new();
             for row in rows.iter() {
@@ -545,7 +564,10 @@ fn sql_arith(op: ArithOp, a: &SqlValue, b: &SqlValue) -> Result<SqlValue, String
     let r = xa
         .arithmetic(op, &xb)
         .map_err(|e| format!("SQL arithmetic error: {e}"))?;
-    SqlValue::from_xml(Some(&r), crate::types::SqlType::from_xml_type(r.type_of()).expect("numeric"))
+    SqlValue::from_xml(
+        Some(&r),
+        crate::types::SqlType::from_xml_type(r.type_of()).expect("numeric"),
+    )
 }
 
 fn sql_function(name: &str, args: &[SqlValue]) -> Result<SqlValue, String> {
@@ -695,8 +717,8 @@ mod tests {
     fn select_project_where() {
         // Table 1(a)
         let d = db();
-        let q = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "FIRST_NAME"), "c1");
+        let q =
+            Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "FIRST_NAME"), "c1");
         let mut q = q;
         q.where_ = Some(col("t1", "CID").eq(ScalarExpr::lit(SqlValue::str("C1"))));
         let rs = d.execute_select(&q, &[]).unwrap();
@@ -708,13 +730,11 @@ mod tests {
         // Tables 1(b)/1(c)
         let d = db();
         let join_on = col("t1", "CID").eq(col("t2", "CID"));
-        let inner = Select::new(
-            TableRef::table("CUSTOMER", "t1").join(
-                JoinKind::Inner,
-                TableRef::table("ORDER", "t2"),
-                join_on.clone(),
-            ),
-        )
+        let inner = Select::new(TableRef::table("CUSTOMER", "t1").join(
+            JoinKind::Inner,
+            TableRef::table("ORDER", "t2"),
+            join_on.clone(),
+        ))
         .column(col("t1", "CID"), "c1")
         .column(col("t2", "OID"), "c2");
         let rs = d.execute_select(&inner, &[]).unwrap();
@@ -767,7 +787,10 @@ mod tests {
             .column(col("t1", "LAST_NAME"), "c1")
             .column(ScalarExpr::count_star(), "c2");
         q.group_by = vec![col("t1", "LAST_NAME")];
-        q.order_by = vec![OrderBy { expr: col("t1", "LAST_NAME"), descending: false }];
+        q.order_by = vec![OrderBy {
+            expr: col("t1", "LAST_NAME"),
+            descending: false,
+        }];
         let rs = d.execute_select(&q, &[]).unwrap();
         assert_eq!(
             rs.rows,
@@ -776,8 +799,8 @@ mod tests {
                 vec![SqlValue::str("Smith"), SqlValue::Int(1)],
             ]
         );
-        let mut q2 = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "LAST_NAME"), "c1");
+        let mut q2 =
+            Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "LAST_NAME"), "c1");
         q2.distinct = true;
         let rs = d.execute_select(&q2, &[]).unwrap();
         assert_eq!(rs.rows.len(), 2);
@@ -802,7 +825,10 @@ mod tests {
             "c2",
         );
         q.group_by = vec![col("t1", "CID")];
-        q.order_by = vec![OrderBy { expr: col("t1", "CID"), descending: false }];
+        q.order_by = vec![OrderBy {
+            expr: col("t1", "CID"),
+            descending: false,
+        }];
         let rs = d.execute_select(&q, &[]).unwrap();
         assert_eq!(
             rs.rows,
@@ -822,10 +848,12 @@ mod tests {
             .column(ScalarExpr::lit(SqlValue::Int(1)), "c1");
         let mut sub = sub;
         sub.where_ = Some(col("t1", "CID").eq(col("t2", "CID")));
-        let mut q = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "CID"), "c1");
+        let mut q = Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "CID"), "c1");
         q.where_ = Some(ScalarExpr::Exists(Box::new(sub)));
-        q.order_by = vec![OrderBy { expr: col("t1", "CID"), descending: false }];
+        q.order_by = vec![OrderBy {
+            expr: col("t1", "CID"),
+            descending: false,
+        }];
         let rs = d.execute_select(&q, &[]).unwrap();
         assert_eq!(
             rs.rows,
@@ -890,18 +918,14 @@ mod tests {
     fn three_valued_where_and_in_list() {
         let d = db();
         // FIRST_NAME = 'Ann' is UNKNOWN for C2 (NULL) → filtered out
-        let mut q = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "CID"), "c1");
-        q.where_ = Some(
-            ScalarExpr::Not(Box::new(
-                col("t1", "FIRST_NAME").eq(ScalarExpr::lit(SqlValue::str("Ann"))),
-            )),
-        );
+        let mut q = Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "CID"), "c1");
+        q.where_ = Some(ScalarExpr::Not(Box::new(
+            col("t1", "FIRST_NAME").eq(ScalarExpr::lit(SqlValue::str("Ann"))),
+        )));
         let rs = d.execute_select(&q, &[]).unwrap();
         assert_eq!(rs.rows, vec![vec![SqlValue::str("C3")]]); // NOT UNKNOWN is UNKNOWN
-        // IN list with NULL member
-        let mut q = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "CID"), "c1");
+                                                              // IN list with NULL member
+        let mut q = Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "CID"), "c1");
         q.where_ = Some(ScalarExpr::InList {
             expr: Box::new(col("t1", "FIRST_NAME")),
             list: vec![
@@ -994,9 +1018,12 @@ mod tests {
     #[test]
     fn order_by_nulls_least_and_desc() {
         let d = db();
-        let mut q = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "FIRST_NAME"), "c1");
-        q.order_by = vec![OrderBy { expr: col("t1", "FIRST_NAME"), descending: true }];
+        let mut q =
+            Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "FIRST_NAME"), "c1");
+        q.order_by = vec![OrderBy {
+            expr: col("t1", "FIRST_NAME"),
+            descending: true,
+        }];
         let rs = d.execute_select(&q, &[]).unwrap();
         assert_eq!(
             rs.rows,
@@ -1014,18 +1041,19 @@ mod tests {
         let q = Select::new(TableRef::table("NOPE", "t1"))
             .column(ScalarExpr::lit(SqlValue::Int(1)), "c1");
         assert!(d.execute_select(&q, &[]).is_err());
-        let q = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "MISSING"), "c1");
+        let q = Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "MISSING"), "c1");
         assert!(d.execute_select(&q, &[]).is_err());
-        let mut q = Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(col("t1", "CID"), "c1");
+        let mut q = Select::new(TableRef::table("CUSTOMER", "t1")).column(col("t1", "CID"), "c1");
         q.where_ = Some(col("t1", "CID").eq(ScalarExpr::Param(2)));
         assert!(d.execute_select(&q, &[SqlValue::str("x")]).is_err());
     }
 
     #[test]
     fn projection_struct_helpers() {
-        let c = OutputColumn { expr: ScalarExpr::lit(SqlValue::Int(1)), alias: "x".into() };
+        let c = OutputColumn {
+            expr: ScalarExpr::lit(SqlValue::Int(1)),
+            alias: "x".into(),
+        };
         assert_eq!(c.alias, "x");
     }
 }

@@ -26,6 +26,8 @@ pub use dialect::{render_select, Dialect};
 pub use dml::{render_dml, Delete, Dml, Insert, Update};
 pub use exec::ResultSet;
 pub use server::{LatencyModel, RelationalServer, ServerStats};
-pub use sql::{ppk_block_predicate, AggFunc, JoinKind, OrderBy, OutputColumn, ScalarExpr, Select, TableRef};
+pub use sql::{
+    ppk_block_predicate, AggFunc, JoinKind, OrderBy, OutputColumn, ScalarExpr, Select, TableRef,
+};
 pub use store::{Database, Row, Table};
 pub use types::{SqlType, SqlValue, Truth};

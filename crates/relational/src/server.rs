@@ -54,6 +54,13 @@ pub struct ServerStats {
     pub roundtrips: u64,
     /// Total rows returned.
     pub rows_returned: u64,
+    /// Total simulated latency charged across all statements, in
+    /// nanoseconds. With overlapped (prefetched/parallel) access this
+    /// exceeds the wall-clock time the client actually waited.
+    pub latency_ns: u64,
+    /// Highest number of statements simultaneously in their latency
+    /// window — >1 proves the middleware overlapped source accesses.
+    pub peak_inflight: u64,
     /// Rendered SQL texts, in execution order.
     pub statements: Vec<String>,
 }
@@ -66,6 +73,7 @@ pub struct RelationalServer {
     latency: RwLock<LatencyModel>,
     stats: Mutex<ServerStats>,
     available: AtomicBool,
+    inflight: AtomicU64,
     fail_on_prepare: AtomicBool,
     supports_xa: bool,
     next_tx: AtomicU64,
@@ -82,6 +90,7 @@ impl RelationalServer {
             latency: RwLock::new(LatencyModel::none()),
             stats: Mutex::new(ServerStats::default()),
             available: AtomicBool::new(true),
+            inflight: AtomicU64::new(0),
             fail_on_prepare: AtomicBool::new(false),
             supports_xa: true,
             next_tx: AtomicU64::new(1),
@@ -144,25 +153,28 @@ impl RelationalServer {
             return Err(format!("data source '{}' is unavailable", self.name));
         }
         let l = *self.latency.read();
+        let in_window = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut charged = Duration::ZERO;
         if l.per_roundtrip > Duration::ZERO {
             std::thread::sleep(l.per_roundtrip);
+            charged += l.per_roundtrip;
         }
         if l.per_row > Duration::ZERO && rows > 0 {
             std::thread::sleep(l.per_row * rows as u32);
+            charged += l.per_row * rows as u32;
         }
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
         let mut s = self.stats.lock();
         s.roundtrips += 1;
         s.rows_returned += rows as u64;
+        s.latency_ns += charged.as_nanos() as u64;
+        s.peak_inflight = s.peak_inflight.max(in_window);
         s.statements.push(sql);
         Ok(())
     }
 
     /// Execute a SELECT (one roundtrip).
-    pub fn execute_select(
-        &self,
-        q: &Select,
-        params: &[SqlValue],
-    ) -> Result<ResultSet, String> {
+    pub fn execute_select(&self, q: &Select, params: &[SqlValue]) -> Result<ResultSet, String> {
         if !self.available.load(Ordering::SeqCst) {
             return Err(format!("data source '{}' is unavailable", self.name));
         }
@@ -249,14 +261,16 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("Jones")])
-            .unwrap();
+        db.insert(
+            "CUSTOMER",
+            vec![SqlValue::str("C1"), SqlValue::str("Jones")],
+        )
+        .unwrap();
         RelationalServer::new("db1", Dialect::Oracle, db)
     }
 
     fn select_all() -> Select {
-        Select::new(TableRef::table("CUSTOMER", "t1"))
-            .column(ScalarExpr::col("t1", "CID"), "c1")
+        Select::new(TableRef::table("CUSTOMER", "t1")).column(ScalarExpr::col("t1", "CID"), "c1")
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl Select {
 
     /// Add a projected column.
     pub fn column(mut self, expr: ScalarExpr, alias: &str) -> Self {
-        self.columns.push(OutputColumn { expr, alias: alias.to_string() });
+        self.columns.push(OutputColumn {
+            expr,
+            alias: alias.to_string(),
+        });
         self
     }
 
@@ -63,7 +66,10 @@ impl Select {
     pub fn is_aggregate(&self) -> bool {
         !self.group_by.is_empty()
             || self.columns.iter().any(|c| c.expr.contains_aggregate())
-            || self.having.as_ref().is_some_and(ScalarExpr::contains_aggregate)
+            || self
+                .having
+                .as_ref()
+                .is_some_and(ScalarExpr::contains_aggregate)
     }
 }
 
@@ -119,12 +125,20 @@ pub enum TableRef {
 impl TableRef {
     /// A base table reference.
     pub fn table(name: &str, alias: &str) -> TableRef {
-        TableRef::Table { name: name.to_string(), alias: alias.to_string() }
+        TableRef::Table {
+            name: name.to_string(),
+            alias: alias.to_string(),
+        }
     }
 
     /// Join this ref with another.
     pub fn join(self, kind: JoinKind, right: TableRef, on: ScalarExpr) -> TableRef {
-        TableRef::Join { left: Box::new(self), right: Box::new(right), kind, on }
+        TableRef::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            kind,
+            on,
+        }
     }
 
     /// All correlation aliases introduced by this ref.
@@ -230,7 +244,10 @@ pub enum ScalarExpr {
 impl ScalarExpr {
     /// Column shorthand.
     pub fn col(table: &str, column: &str) -> ScalarExpr {
-        ScalarExpr::Column { table: table.to_string(), column: column.to_string() }
+        ScalarExpr::Column {
+            table: table.to_string(),
+            column: column.to_string(),
+        }
     }
 
     /// Literal shorthand.
@@ -240,7 +257,11 @@ impl ScalarExpr {
 
     /// Equality comparison shorthand.
     pub fn eq(self, rhs: ScalarExpr) -> ScalarExpr {
-        ScalarExpr::Compare { op: CompOp::Eq, lhs: Box::new(self), rhs: Box::new(rhs) }
+        ScalarExpr::Compare {
+            op: CompOp::Eq,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Conjunction shorthand.
@@ -255,7 +276,11 @@ impl ScalarExpr {
 
     /// `COUNT(*)`.
     pub fn count_star() -> ScalarExpr {
-        ScalarExpr::Agg { func: AggFunc::Count, arg: None, distinct: false }
+        ScalarExpr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        }
     }
 
     /// Does this expression (outside subqueries) contain an aggregate?
@@ -271,7 +296,8 @@ impl ScalarExpr {
             }
             ScalarExpr::Not(a) | ScalarExpr::IsNull(a) => a.contains_aggregate(),
             ScalarExpr::Case { when, els } => {
-                when.iter().any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
+                when.iter()
+                    .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
                     || els.as_ref().is_some_and(|e| e.contains_aggregate())
             }
             ScalarExpr::Exists(_) => false,
@@ -369,7 +395,10 @@ impl AggFunc {
 /// `(c1 = ?a1 AND c2 = ?b1) OR (c1 = ?a2 AND c2 = ?b2) OR …` with
 /// sequentially numbered parameters starting at `first_param`.
 pub fn ppk_block_predicate(cols: &[ScalarExpr], k: usize, first_param: usize) -> ScalarExpr {
-    assert!(!cols.is_empty() && k > 0, "PP-k predicate needs keys and a block");
+    assert!(
+        !cols.is_empty() && k > 0,
+        "PP-k predicate needs keys and a block"
+    );
     let mut disjuncts: Option<ScalarExpr> = None;
     let mut p = first_param;
     for _ in 0..k {
@@ -426,7 +455,9 @@ mod tests {
             0,
         );
         assert_eq!(p.param_count(), 4);
-        let ScalarExpr::Or(l, _) = &p else { panic!("expected OR at top") };
+        let ScalarExpr::Or(l, _) = &p else {
+            panic!("expected OR at top")
+        };
         assert!(matches!(**l, ScalarExpr::And(..)));
     }
 

@@ -34,7 +34,11 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn new(schema: TableSchema) -> Table {
-        Table { schema, rows: Vec::new(), pk_index: HashMap::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+            pk_index: HashMap::new(),
+        }
     }
 
     /// The table's schema.
@@ -158,7 +162,8 @@ impl Table {
                 if idx.is_empty() {
                     None
                 } else {
-                    let vals: Vec<SqlValue> = idx.iter().map(|&j| self.rows[i][j].clone()).collect();
+                    let vals: Vec<SqlValue> =
+                        idx.iter().map(|&j| self.rows[i][j].clone()).collect();
                     Some(key_string(&vals))
                 }
             } {
@@ -205,7 +210,8 @@ impl Database {
     pub fn catalog(&self) -> Catalog {
         let mut c = Catalog::new();
         for name in &self.order {
-            c.add(self.tables[name].schema().clone()).expect("names unique");
+            c.add(self.tables[name].schema().clone())
+                .expect("names unique");
         }
         c
     }
@@ -228,10 +234,9 @@ impl Database {
             if vals.iter().any(SqlValue::is_null) {
                 continue; // NULL FK values are exempt per SQL
             }
-            let target = self
-                .tables
-                .get(&fk.ref_table)
-                .ok_or_else(|| format!("foreign key references missing table '{}'", fk.ref_table))?;
+            let target = self.tables.get(&fk.ref_table).ok_or_else(|| {
+                format!("foreign key references missing table '{}'", fk.ref_table)
+            })?;
             // only indexable when referencing the PK, which is the
             // introspection-relevant case
             if fk.ref_columns == target.schema().primary_key {
@@ -247,9 +252,11 @@ impl Database {
                     .iter()
                     .map(|c| target.schema().column_index(c).expect("validated"))
                     .collect();
-                if !target.rows().iter().any(|r| {
-                    idx.iter().zip(&vals).all(|(&i, v)| r[i].group_eq(v))
-                }) {
+                if !target
+                    .rows()
+                    .iter()
+                    .any(|r| idx.iter().zip(&vals).all(|(&i, v)| r[i].group_eq(v)))
+                {
                     return Err(format!(
                         "foreign key violation: {table} → {}({:?})",
                         fk.ref_table, fk.ref_columns
@@ -303,10 +310,20 @@ mod tests {
     #[test]
     fn insert_and_pk_lookup() {
         let mut d = db();
-        d.insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("Jones"), SqlValue::Int(5)])
-            .unwrap();
-        d.insert("CUSTOMER", vec![SqlValue::str("C2"), SqlValue::str("Smith"), SqlValue::Null])
-            .unwrap();
+        d.insert(
+            "CUSTOMER",
+            vec![
+                SqlValue::str("C1"),
+                SqlValue::str("Jones"),
+                SqlValue::Int(5),
+            ],
+        )
+        .unwrap();
+        d.insert(
+            "CUSTOMER",
+            vec![SqlValue::str("C2"), SqlValue::str("Smith"), SqlValue::Null],
+        )
+        .unwrap();
         let t = d.table("CUSTOMER").unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.lookup_pk(&[SqlValue::str("C2")]), Some(1));
@@ -316,19 +333,31 @@ mod tests {
     #[test]
     fn constraint_violations() {
         let mut d = db();
-        d.insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("J"), SqlValue::Null])
-            .unwrap();
+        d.insert(
+            "CUSTOMER",
+            vec![SqlValue::str("C1"), SqlValue::str("J"), SqlValue::Null],
+        )
+        .unwrap();
         // duplicate PK
         assert!(d
-            .insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("K"), SqlValue::Null])
+            .insert(
+                "CUSTOMER",
+                vec![SqlValue::str("C1"), SqlValue::str("K"), SqlValue::Null]
+            )
             .is_err());
         // NOT NULL
         assert!(d
-            .insert("CUSTOMER", vec![SqlValue::str("C2"), SqlValue::Null, SqlValue::Null])
+            .insert(
+                "CUSTOMER",
+                vec![SqlValue::str("C2"), SqlValue::Null, SqlValue::Null]
+            )
             .is_err());
         // type mismatch
         assert!(d
-            .insert("CUSTOMER", vec![SqlValue::Int(3), SqlValue::str("K"), SqlValue::Null])
+            .insert(
+                "CUSTOMER",
+                vec![SqlValue::Int(3), SqlValue::str("K"), SqlValue::Null]
+            )
             .is_err());
         // arity
         assert!(d.insert("CUSTOMER", vec![SqlValue::str("C3")]).is_err());
@@ -337,10 +366,16 @@ mod tests {
     #[test]
     fn foreign_keys_enforced() {
         let mut d = db();
-        d.insert("CUSTOMER", vec![SqlValue::str("C1"), SqlValue::str("J"), SqlValue::Null])
+        d.insert(
+            "CUSTOMER",
+            vec![SqlValue::str("C1"), SqlValue::str("J"), SqlValue::Null],
+        )
+        .unwrap();
+        d.insert("ORDER", vec![SqlValue::Int(1), SqlValue::str("C1")])
             .unwrap();
-        d.insert("ORDER", vec![SqlValue::Int(1), SqlValue::str("C1")]).unwrap();
-        assert!(d.insert("ORDER", vec![SqlValue::Int(2), SqlValue::str("C9")]).is_err());
+        assert!(d
+            .insert("ORDER", vec![SqlValue::Int(2), SqlValue::str("C9")])
+            .is_err());
     }
 
     #[test]
@@ -349,18 +384,28 @@ mod tests {
         for i in 0..5 {
             d.insert(
                 "CUSTOMER",
-                vec![SqlValue::str(&format!("C{i}")), SqlValue::str("X"), SqlValue::Null],
+                vec![
+                    SqlValue::str(&format!("C{i}")),
+                    SqlValue::str("X"),
+                    SqlValue::Null,
+                ],
             )
             .unwrap();
         }
         let t = d.table_mut("CUSTOMER").unwrap();
-        t.replace_row(1, vec![SqlValue::str("C1b"), SqlValue::str("Y"), SqlValue::Null])
-            .unwrap();
+        t.replace_row(
+            1,
+            vec![SqlValue::str("C1b"), SqlValue::str("Y"), SqlValue::Null],
+        )
+        .unwrap();
         assert_eq!(t.lookup_pk(&[SqlValue::str("C1b")]), Some(1));
         assert_eq!(t.lookup_pk(&[SqlValue::str("C1")]), None);
         // PK collision on update
         assert!(t
-            .replace_row(2, vec![SqlValue::str("C1b"), SqlValue::str("Z"), SqlValue::Null])
+            .replace_row(
+                2,
+                vec![SqlValue::str("C1b"), SqlValue::str("Z"), SqlValue::Null]
+            )
             .is_err());
         t.delete_rows(&[0, 2]);
         assert_eq!(t.len(), 3);

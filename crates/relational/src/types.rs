@@ -169,7 +169,9 @@ impl SqlValue {
     /// Convert an XML-side atomic value to a SQL value, coercing to the
     /// column type; `None` (empty sequence) becomes NULL.
     pub fn from_xml(v: Option<&AtomicValue>, ty: SqlType) -> Result<SqlValue, String> {
-        let Some(v) = v else { return Ok(SqlValue::Null) };
+        let Some(v) = v else {
+            return Ok(SqlValue::Null);
+        };
         let target = ty.xml_type();
         let cast = v
             .cast_to(target)
@@ -204,15 +206,44 @@ impl SqlValue {
 
     /// Render as a SQL literal (used by dialect rendering for constants).
     pub fn sql_literal(&self) -> String {
+        let mut s = String::new();
+        self.sql_literal_into(&mut s);
+        s
+    }
+
+    /// Append the SQL-literal rendering to `out` without allocating a
+    /// fresh string (hot in PP-k local-join key building, where one key
+    /// is rendered per fetched row).
+    pub fn sql_literal_into(&self, out: &mut String) {
+        use fmt::Write as _;
         match self {
-            SqlValue::Null => "NULL".into(),
-            SqlValue::Str(s) => format!("'{}'", s.replace('\'', "''")),
-            SqlValue::Int(i) => i.to_string(),
-            SqlValue::Dec(d) => d.to_string(),
-            SqlValue::Dbl(d) => format!("{d}"),
-            SqlValue::Date(d) => format!("DATE '{d}'"),
-            SqlValue::Timestamp(t) => format!("TIMESTAMP '{t}'"),
-            SqlValue::Bool(b) => if *b { "1" } else { "0" }.into(),
+            SqlValue::Null => out.push_str("NULL"),
+            SqlValue::Str(s) => {
+                out.push('\'');
+                for c in s.chars() {
+                    if c == '\'' {
+                        out.push('\'');
+                    }
+                    out.push(c);
+                }
+                out.push('\'');
+            }
+            SqlValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            SqlValue::Dec(d) => {
+                let _ = write!(out, "{d}");
+            }
+            SqlValue::Dbl(d) => {
+                let _ = write!(out, "{d}");
+            }
+            SqlValue::Date(d) => {
+                let _ = write!(out, "DATE '{d}'");
+            }
+            SqlValue::Timestamp(t) => {
+                let _ = write!(out, "TIMESTAMP '{t}'");
+            }
+            SqlValue::Bool(b) => out.push_str(if *b { "1" } else { "0" }),
         }
     }
 }
@@ -306,7 +337,11 @@ mod tests {
         assert_eq!(SqlValue::Null.compare(&SqlValue::Int(1)), None);
         assert_eq!(SqlValue::Int(1).compare(&SqlValue::Null), None);
         assert_eq!(
-            Truth::from_option(SqlValue::Null.compare(&SqlValue::Null).map(|o| o == Ordering::Equal)),
+            Truth::from_option(
+                SqlValue::Null
+                    .compare(&SqlValue::Null)
+                    .map(|o| o == Ordering::Equal)
+            ),
             Truth::Unknown
         );
     }
@@ -350,7 +385,10 @@ mod tests {
         assert_eq!(back, v);
         // NULL ↔ missing element
         assert_eq!(SqlValue::Null.to_xml(), None);
-        assert_eq!(SqlValue::from_xml(None, SqlType::Varchar).unwrap(), SqlValue::Null);
+        assert_eq!(
+            SqlValue::from_xml(None, SqlType::Varchar).unwrap(),
+            SqlValue::Null
+        );
         // coercion: xs:string "7" binds to INTEGER
         let s = AtomicValue::str("7");
         assert_eq!(

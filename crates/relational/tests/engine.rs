@@ -66,7 +66,10 @@ fn having_filters_groups() {
         lhs: Box::new(ScalarExpr::count_star()),
         rhs: Box::new(ScalarExpr::lit(SqlValue::Int(2))),
     });
-    q.order_by = vec![OrderBy { expr: col("t1", "DEPT"), descending: false }];
+    q.order_by = vec![OrderBy {
+        expr: col("t1", "DEPT"),
+        descending: false,
+    }];
     let rs = d.execute_select(&q, &[]).expect("executes");
     assert_eq!(
         rs.rows,
@@ -99,13 +102,11 @@ fn self_join_on_manager() {
 fn hash_join_with_residual_predicate() {
     // equi key plus a residual non-equi condition
     let d = db();
-    let on = col("e", "MGR")
-        .eq(col("m", "ID"))
-        .and(ScalarExpr::Compare {
-            op: CompOp::Gt,
-            lhs: Box::new(col("m", "SALARY")),
-            rhs: Box::new(col("e", "SALARY")),
-        });
+    let on = col("e", "MGR").eq(col("m", "ID")).and(ScalarExpr::Compare {
+        op: CompOp::Gt,
+        lhs: Box::new(col("m", "SALARY")),
+        rhs: Box::new(col("e", "SALARY")),
+    });
     let q = Select::new(TableRef::table("EMP", "e").join(
         JoinKind::Inner,
         TableRef::table("EMP", "m"),
@@ -123,18 +124,20 @@ fn hash_join_with_residual_predicate() {
 fn derived_table_feeding_aggregate() {
     // SELECT AVG(c) FROM (SELECT COUNT(*) c FROM EMP GROUP BY DEPT) t
     let d = db();
-    let mut inner = Select::new(TableRef::table("EMP", "t1"))
-        .column(ScalarExpr::count_star(), "c");
+    let mut inner = Select::new(TableRef::table("EMP", "t1")).column(ScalarExpr::count_star(), "c");
     inner.group_by = vec![col("t1", "DEPT")];
-    let outer = Select::new(TableRef::Derived { query: Box::new(inner), alias: "t".into() })
-        .column(
-            ScalarExpr::Agg {
-                func: AggFunc::Avg,
-                arg: Some(Box::new(col("t", "c"))),
-                distinct: false,
-            },
-            "c1",
-        );
+    let outer = Select::new(TableRef::Derived {
+        query: Box::new(inner),
+        alias: "t".into(),
+    })
+    .column(
+        ScalarExpr::Agg {
+            func: AggFunc::Avg,
+            arg: Some(Box::new(col("t", "c"))),
+            distinct: false,
+        },
+        "c1",
+    );
     let rs = d.execute_select(&outer, &[]).expect("executes");
     assert_eq!(rs.rows[0][0].to_string(), "2"); // (3+2+1)/3
 }
@@ -173,7 +176,9 @@ fn update_set_from_other_column_and_rollback_path() {
         )],
         where_: Some(col("t1", "DEPT").eq(ScalarExpr::lit(SqlValue::str("hr")))),
     });
-    let tx = server.prepare(vec![(raise.clone(), vec![])]).expect("prepares");
+    let tx = server
+        .prepare(vec![(raise.clone(), vec![])])
+        .expect("prepares");
     server.rollback(tx);
     let hr_salary = server.with_db(|d| d.table("EMP").expect("t").rows()[5][2].clone());
     assert_eq!(hr_salary.to_string(), "50");
@@ -188,7 +193,10 @@ fn update_set_from_other_column_and_rollback_path() {
 fn pagination_offset_beyond_end() {
     let d = db();
     let mut q = Select::new(TableRef::table("EMP", "t1")).column(col("t1", "ID"), "c1");
-    q.order_by = vec![OrderBy { expr: col("t1", "ID"), descending: false }];
+    q.order_by = vec![OrderBy {
+        expr: col("t1", "ID"),
+        descending: false,
+    }];
     q.offset = Some(100);
     q.fetch = Some(5);
     let rs = d.execute_select(&q, &[]).expect("executes");

@@ -19,9 +19,7 @@ use crate::cache::FunctionCache;
 use crate::env::Env;
 use crate::stats::ExecStats;
 use aldsp_adaptors::{AdaptorError, AdaptorRegistry};
-use aldsp_compiler::ir::{
-    Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec,
-};
+use aldsp_compiler::ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec};
 use aldsp_metadata::Registry;
 use aldsp_relational::{ppk_block_predicate, ResultSet, Select, SqlType, SqlValue};
 use aldsp_xdm::item::{
@@ -101,9 +99,7 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             let lo = single_integer(rt, a, env)?;
             let hi = single_integer(rt, b, env)?;
             match (lo, hi) {
-                (Some(lo), Some(hi)) if lo <= hi => {
-                    Ok((lo..=hi).map(Item::int).collect())
-                }
+                (Some(lo), Some(hi)) if lo <= hi => Ok((lo..=hi).map(Item::int).collect()),
                 _ => Ok(vec![]),
             }
         }
@@ -123,7 +119,12 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
                 eval(rt, els, env)
             }
         }
-        CKind::Quantified { every, var, source, satisfies } => {
+        CKind::Quantified {
+            every,
+            var,
+            source,
+            satisfies,
+        } => {
             let domain = eval(rt, source, env)?;
             for item in domain {
                 let benv = env.bind(var, vec![item]);
@@ -137,7 +138,11 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             }
             Ok(vec![Item::Atomic(AtomicValue::Boolean(*every))])
         }
-        CKind::Typeswitch { operand, cases, default } => {
+        CKind::Typeswitch {
+            operand,
+            cases,
+            default,
+        } => {
             let value = eval(rt, operand, env)?;
             for (ty, var, body) in cases {
                 if ty.matches(&value) {
@@ -164,7 +169,12 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             let lb = effective_boolean_value(&eval(rt, b, env)?)?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(lb))])
         }
-        CKind::Compare { op, general, lhs, rhs } => {
+        CKind::Compare {
+            op,
+            general,
+            lhs,
+            rhs,
+        } => {
             let l = eval(rt, lhs, env)?;
             let r = eval(rt, rhs, env)?;
             if *general {
@@ -230,8 +240,28 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             }
             Ok(out)
         }
-        CKind::Filter { input, predicate, ctx_var, positional } => {
+        CKind::Filter {
+            input,
+            predicate,
+            ctx_var,
+            positional,
+        } => {
             let v = eval(rt, input, env)?;
+            // a constant positional predicate (`$x[3]`) is a direct
+            // index — no per-item context binding or predicate eval
+            if *positional {
+                if let CKind::Const(c) = &predicate.kind {
+                    if let Ok(AtomicValue::Integer(n)) = c.cast_to(AtomicType::Integer) {
+                        return Ok(usize::try_from(n)
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .and_then(|n| v.get(n - 1))
+                            .cloned()
+                            .into_iter()
+                            .collect());
+                    }
+                }
+            }
             let mut out = Vec::new();
             for (i, item) in v.iter().enumerate() {
                 let benv = env.bind(ctx_var, vec![item.clone()]);
@@ -251,9 +281,12 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             }
             Ok(out)
         }
-        CKind::ElementCtor { name, conditional, attributes, content } => {
-            construct_element(rt, name, *conditional, attributes, content, env)
-        }
+        CKind::ElementCtor {
+            name,
+            conditional,
+            attributes,
+            content,
+        } => construct_element(rt, name, *conditional, attributes, content, env),
         CKind::Builtin { op, args } => eval_builtin(rt, *op, args, env),
         CKind::PhysicalCall { name, args } => {
             let mut arg_vals = Vec::with_capacity(args.len());
@@ -277,11 +310,19 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
                 .into())
             }
         }
-        CKind::Cast { input, target, optional } => {
+        CKind::Cast {
+            input,
+            target,
+            optional,
+        } => {
             let v = atomize(&eval(rt, input, env)?);
             match v.as_slice() {
                 [] if *optional => Ok(vec![]),
-                [] => Err(XdmError::Cast { value: "()".into(), target: *target }.into()),
+                [] => Err(XdmError::Cast {
+                    value: "()".into(),
+                    target: *target,
+                }
+                .into()),
                 [one] => Ok(vec![Item::Atomic(one.cast_to(*target)?)]),
                 _ => Err(XdmError::NotSingleton(v.len()).into()),
             }
@@ -308,9 +349,15 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
 /// Evaluate a sequence of parts; immediate `fn-bea:async(...)` parts run
 /// concurrently on scoped threads (§5.4), overlapping their latencies.
 fn eval_sequence(rt: &Arc<RuntimeInner>, parts: &[CExpr], env: &Env) -> RtResult<Sequence> {
-    let any_async = parts
-        .iter()
-        .any(|p| matches!(&p.kind, CKind::Builtin { op: Builtin::Async, .. }));
+    let any_async = parts.iter().any(|p| {
+        matches!(
+            &p.kind,
+            CKind::Builtin {
+                op: Builtin::Async,
+                ..
+            }
+        )
+    });
     if !any_async {
         let mut out = Vec::new();
         for p in parts {
@@ -322,7 +369,11 @@ fn eval_sequence(rt: &Arc<RuntimeInner>, parts: &[CExpr], env: &Env) -> RtResult
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, p) in parts.iter().enumerate() {
-            if let CKind::Builtin { op: Builtin::Async, args } = &p.kind {
+            if let CKind::Builtin {
+                op: Builtin::Async,
+                args,
+            } = &p.kind
+            {
                 rt.stats.inc(&rt.stats.async_spawns);
                 let arg = &args[0];
                 let env = env.clone();
@@ -331,14 +382,21 @@ fn eval_sequence(rt: &Arc<RuntimeInner>, parts: &[CExpr], env: &Env) -> RtResult
             }
         }
         for (i, p) in parts.iter().enumerate() {
-            if !matches!(&p.kind, CKind::Builtin { op: Builtin::Async, .. }) {
+            if !matches!(
+                &p.kind,
+                CKind::Builtin {
+                    op: Builtin::Async,
+                    ..
+                }
+            ) {
                 slots[i] = Some(eval(rt, p, env));
             }
         }
         for (i, h) in handles {
-            slots[i] = Some(h.join().unwrap_or_else(|_| {
-                Err(RtError::Plan("async evaluation thread panicked".into()))
-            }));
+            slots[i] =
+                Some(h.join().unwrap_or_else(|_| {
+                    Err(RtError::Plan("async evaluation thread panicked".into()))
+                }));
         }
     });
     let mut out = Vec::new();
@@ -382,9 +440,7 @@ fn construct_element(
     let mut attr_nodes: Vec<NodeRef> = Vec::new();
     for (aname, acond, value) in attributes {
         match attr_string(rt, value, env)? {
-            Some(s) => {
-                attr_nodes.push(Node::attribute(aname.clone(), AtomicValue::str(&s)))
-            }
+            Some(s) => attr_nodes.push(Node::attribute(aname.clone(), AtomicValue::str(&s))),
             None if *acond => {} // conditional attribute omitted (§3.1)
             None => attr_nodes.push(Node::attribute(aname.clone(), AtomicValue::str(""))),
         }
@@ -423,15 +479,17 @@ fn construct_element(
                     NodeKind::Attribute { name, value } => {
                         attr_nodes.push(Node::attribute(name.clone(), value.clone()))
                     }
-                    NodeKind::Document { .. } => {
-                        children.extend(n.children().iter().cloned())
-                    }
+                    NodeKind::Document { .. } => children.extend(n.children().iter().cloned()),
                     _ => children.push(n),
                 }
             }
         }
     }
-    Ok(vec![Item::Node(Node::element(name.clone(), attr_nodes, children))])
+    Ok(vec![Item::Node(Node::element(
+        name.clone(),
+        attr_nodes,
+        children,
+    ))])
 }
 
 /// Evaluate an attribute-value template; `None` when every dynamic part
@@ -576,9 +634,12 @@ fn eval_builtin(
                 return Ok(vec![]);
             }
             let s = start.round();
-            let e = s + if len.is_infinite() { f64::INFINITY } else { len.round() };
-            Ok(v
-                .into_iter()
+            let e = s + if len.is_infinite() {
+                f64::INFINITY
+            } else {
+                len.round()
+            };
+            Ok(v.into_iter()
                 .enumerate()
                 .filter(|(i, _)| {
                     let p = (*i + 1) as f64;
@@ -608,8 +669,7 @@ fn eval_builtin(
                     }
                     AtomicValue::Double(d) => AtomicValue::Double(d.abs()),
                     other => {
-                        return Err(XdmError::Arithmetic(other.type_of(), other.type_of())
-                            .into())
+                        return Err(XdmError::Arithmetic(other.type_of(), other.type_of()).into())
                     }
                 })]),
                 _ => Err(XdmError::NotSingleton(vals.len()).into()),
@@ -707,11 +767,7 @@ fn single_number(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Optio
 
 // ---- physical calls with the function cache (§5.5) ---------------------------
 
-fn call_physical(
-    rt: &Arc<RuntimeInner>,
-    name: &QName,
-    args: &[Sequence],
-) -> RtResult<Sequence> {
+fn call_physical(rt: &Arc<RuntimeInner>, name: &QName, args: &[Sequence]) -> RtResult<Sequence> {
     if rt.cache.enabled(name) {
         if let Some(hit) = rt.cache.get(name, args) {
             rt.stats.inc(&rt.stats.cache_hits);
@@ -728,14 +784,56 @@ fn call_physical(
 // ---- the FLWOR tuple pipeline -------------------------------------------------
 
 /// Run a clause list as a streaming tuple pipeline rooted at `base`.
+///
+/// When the clause list contains two or more *independent* source scans
+/// — `SqlFor` clauses with no correlation parameters and no PP-k spec,
+/// whose statements therefore don't depend on any outer tuple — their
+/// first executions are issued concurrently here instead of strictly
+/// left-to-right, so the scans' source latencies overlap. Each scan's
+/// prefetched result seeds its first execution; any re-execution for
+/// later outer tuples takes the normal lazy path.
 pub fn flwor_tuples<'a>(
     rt: &'a Arc<RuntimeInner>,
     clauses: &'a [Clause],
     base: &Env,
 ) -> TupleIter<'a> {
+    let mut prefetched: HashMap<usize, RtResult<ResultSet>> = HashMap::new();
+    let independent: Vec<usize> = clauses
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            matches!(c, Clause::SqlFor { params, ppk, .. }
+                if params.is_empty() && ppk.is_none())
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if independent.len() >= 2 {
+        rt.stats.inc(&rt.stats.parallel_scans);
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = independent
+                .iter()
+                .map(|&i| {
+                    let Clause::SqlFor {
+                        connection, select, ..
+                    } = &clauses[i]
+                    else {
+                        unreachable!("filtered to SqlFor above")
+                    };
+                    s.spawn(move || exec_sql(rt, connection, select, &[]))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        });
+        for (&i, res) in independent.iter().zip(results) {
+            // a panicked scan thread falls back to lazy re-execution
+            if let Ok(r) = res {
+                prefetched.insert(i, r);
+            }
+        }
+    }
     let mut it: TupleIter<'a> = Box::new(std::iter::once(Ok(base.clone())));
-    for c in clauses {
-        it = apply_clause(rt, c, it, base.clone());
+    for (i, c) in clauses.iter().enumerate() {
+        it = apply_clause(rt, c, it, base.clone(), prefetched.remove(&i));
     }
     it
 }
@@ -745,6 +843,7 @@ fn apply_clause<'a>(
     clause: &'a Clause,
     input: TupleIter<'a>,
     flwor_base: Env,
+    scan_seed: Option<RtResult<ResultSet>>,
 ) -> TupleIter<'a> {
     match clause {
         Clause::For { var, pos, source } => Box::new(input.flat_map(move |tuple| {
@@ -768,18 +867,25 @@ fn apply_clause<'a>(
             let v = eval(rt, value, &env)?;
             Ok(env.bind(var, v))
         })),
-        Clause::Where(cond) => Box::new(input.filter_map(move |tuple| match tuple {
-            Err(e) => Some(Err(e)),
-            Ok(env) => match eval(rt, cond, &env)
-                .and_then(|v| effective_boolean_value(&v).map_err(RtError::from))
-            {
-                Ok(true) => Some(Ok(env)),
-                Ok(false) => None,
+        Clause::Where(cond) => Box::new(input.filter_map(move |tuple| {
+            match tuple {
                 Err(e) => Some(Err(e)),
-            },
+                Ok(env) => match eval(rt, cond, &env)
+                    .and_then(|v| effective_boolean_value(&v).map_err(RtError::from))
+                {
+                    Ok(true) => Some(Ok(env)),
+                    Ok(false) => None,
+                    Err(e) => Some(Err(e)),
+                },
+            }
         })),
         Clause::OrderBy(specs) => order_by(rt, specs, input),
-        Clause::GroupBy { bindings, keys, carry, pre_clustered } => {
+        Clause::GroupBy {
+            bindings,
+            keys,
+            carry,
+            pre_clustered,
+        } => {
             if *pre_clustered {
                 rt.stats.inc(&rt.stats.streaming_groups);
                 Box::new(StreamingGroups {
@@ -796,7 +902,13 @@ fn apply_clause<'a>(
                 sorted_group_by(rt, bindings, keys, carry, input, flwor_base)
             }
         }
-        Clause::SqlFor { connection, select, params, binds, ppk } => match ppk {
+        Clause::SqlFor {
+            connection,
+            select,
+            params,
+            binds,
+            ppk,
+        } => match ppk {
             Some(spec) => Box::new(PpkIter {
                 rt,
                 input,
@@ -806,10 +918,14 @@ fn apply_clause<'a>(
                 binds,
                 spec,
                 buffer: std::collections::VecDeque::new(),
+                pending: std::collections::VecDeque::new(),
+                staging_err: None,
                 tid: 0,
+                input_done: false,
                 exhausted: false,
+                key_buf: String::new(),
             }),
-            None => sql_for_plain(rt, connection, select, params, binds, input),
+            None => sql_for_plain(rt, connection, select, params, binds, input, scan_seed),
         },
     }
 }
@@ -967,19 +1083,29 @@ impl Iterator for StreamingGroups<'_> {
                                 acc.extend(v);
                             }
                             g.size += 1;
-                            self.rt.stats.peak(&self.rt.stats.peak_grouped_tuples, g.size);
+                            self.rt
+                                .stats
+                                .peak(&self.rt.stats.peak_grouped_tuples, g.size);
                         }
                         Some(_) => {
                             // group boundary: emit the finished group
                             let g = self.current.take().expect("matched Some");
-                            self.current =
-                                Some(GroupAccum { key, accums: values, carried, size: 1 });
+                            self.current = Some(GroupAccum {
+                                key,
+                                accums: values,
+                                carried,
+                                size: 1,
+                            });
                             return Some(Ok(self.emit(g)));
                         }
                         None => {
                             self.rt.stats.peak(&self.rt.stats.peak_grouped_tuples, 1);
-                            self.current =
-                                Some(GroupAccum { key, accums: values, carried, size: 1 });
+                            self.current = Some(GroupAccum {
+                                key,
+                                accums: values,
+                                carried,
+                                size: 1,
+                            });
                         }
                     }
                 }
@@ -1019,7 +1145,8 @@ fn sorted_group_by<'a>(
         }
         rows.push((key, env));
     }
-    rt.stats.peak(&rt.stats.peak_grouped_tuples, rows.len() as u64);
+    rt.stats
+        .peak(&rt.stats.peak_grouped_tuples, rows.len() as u64);
     rows.sort_by(|(a, _), (b, _)| {
         for (x, y) in a.iter().zip(b) {
             let ord = cmp_keys(x, y, true);
@@ -1073,11 +1200,7 @@ fn sorted_group_by<'a>(
 
 // ---- SQL clauses ------------------------------------------------------------------
 
-fn eval_sql_params(
-    rt: &Arc<RuntimeInner>,
-    params: &[CExpr],
-    env: &Env,
-) -> RtResult<Vec<SqlValue>> {
+fn eval_sql_params(rt: &Arc<RuntimeInner>, params: &[CExpr], env: &Env) -> RtResult<Vec<SqlValue>> {
     let mut out = Vec::with_capacity(params.len());
     for p in params {
         let v = atomize(&eval(rt, p, env)?);
@@ -1105,7 +1228,9 @@ fn bind_row(env: &Env, binds: &[(String, AtomicType)], row: &[SqlValue]) -> Env 
     for ((var, _), v) in binds.iter().zip(row) {
         out = out.bind(
             var,
-            v.to_xml().map(|x| vec![Item::Atomic(x)]).unwrap_or_default(),
+            v.to_xml()
+                .map(|x| vec![Item::Atomic(x)])
+                .unwrap_or_default(),
         );
     }
     out
@@ -1120,12 +1245,25 @@ fn sql_for_plain<'a>(
     params: &'a [CExpr],
     binds: &'a [(String, AtomicType)],
     input: TupleIter<'a>,
+    mut scan_seed: Option<RtResult<ResultSet>>,
 ) -> TupleIter<'a> {
     Box::new(input.flat_map(move |tuple| {
         let env = match tuple {
             Ok(e) => e,
             Err(e) => return one_err(e),
         };
+        // an independent scan prefetched by flwor_tuples seeds the
+        // first execution (statement + roundtrip already counted there)
+        if let Some(pre) = scan_seed.take() {
+            return match pre {
+                Ok(rs) => Box::new(
+                    rs.rows
+                        .into_iter()
+                        .map(move |row| Ok(bind_row(&env, binds, &row))),
+                ) as TupleIter<'a>,
+                Err(e) => one_err(e),
+            };
+        }
         let param_vals = match eval_sql_params(rt, params, &env) {
             Ok(v) => v,
             Err(e) => return one_err(e),
@@ -1158,15 +1296,48 @@ struct PpkIter<'a> {
     binds: &'a [(String, AtomicType)],
     spec: &'a PpkSpec,
     buffer: std::collections::VecDeque<RtResult<Env>>,
+    /// Blocks whose fetch has been issued but not yet joined, oldest
+    /// first; never longer than `spec.prefetch_depth.max(1)`.
+    pending: std::collections::VecDeque<PendingBlock>,
+    /// An error hit while staging a later block. It is emitted only
+    /// after every earlier pending block has drained, so the output
+    /// stream is identical to the synchronous (depth 0) execution.
+    staging_err: Option<RtError>,
     tid: u64,
+    input_done: bool,
     exhausted: bool,
+    /// Scratch for local-join key building (reused across rows/blocks).
+    key_buf: String,
+}
+
+/// One block of outer tuples with their evaluated key values.
+type OuterBlock = Vec<(Env, Vec<Option<AtomicValue>>)>;
+
+/// A staged block awaiting its local join.
+struct PendingBlock {
+    block: OuterBlock,
+    fetch: BlockFetch,
+}
+
+enum BlockFetch {
+    /// Rows already in hand (nothing was fetchable, or prefetch is off).
+    Ready(Vec<Vec<SqlValue>>),
+    /// A parameterized block fetch running on a background thread.
+    InFlight(std::thread::JoinHandle<RtResult<ResultSet>>),
 }
 
 impl PpkIter<'_> {
-    fn fill_block(&mut self) {
+    /// Pull up to `k` outer tuples and evaluate their key expressions.
+    /// `None` means the input is done — either exhausted or errored (the
+    /// error lands in `staging_err` and the partial block is dropped).
+    fn read_block(&mut self) -> Option<OuterBlock> {
         // per-tuple base params force block size 1 (they may vary)
-        let k = if self.base_params.is_empty() { self.spec.k.max(1) } else { 1 };
-        let mut block: Vec<(Env, Vec<Option<AtomicValue>>)> = Vec::with_capacity(k);
+        let k = if self.base_params.is_empty() {
+            self.spec.k.max(1)
+        } else {
+            1
+        };
+        let mut block: OuterBlock = Vec::with_capacity(k);
         while block.len() < k {
             match self.input.next() {
                 Some(Ok(env)) => {
@@ -1175,28 +1346,35 @@ impl PpkIter<'_> {
                         match eval(self.rt, kexpr, &env) {
                             Ok(v) => keys.push(atomize(&v).into_iter().next()),
                             Err(e) => {
-                                self.buffer.push_back(Err(e));
-                                self.exhausted = true;
-                                return;
+                                self.staging_err = Some(e);
+                                self.input_done = true;
+                                return None;
                             }
                         }
                     }
                     block.push((env, keys));
                 }
                 Some(Err(e)) => {
-                    self.buffer.push_back(Err(e));
-                    self.exhausted = true;
-                    return;
+                    self.staging_err = Some(e);
+                    self.input_done = true;
+                    return None;
                 }
                 None => {
-                    self.exhausted = true;
+                    self.input_done = true;
                     break;
                 }
             }
         }
         if block.is_empty() {
-            return;
+            None
+        } else {
+            Some(block)
         }
+    }
+
+    /// Issue the block's disjunctive parameterized fetch — inline when
+    /// prefetch is off, on a background thread otherwise.
+    fn start_fetch(&mut self, block: &OuterBlock) -> RtResult<BlockFetch> {
         self.rt
             .stats
             .ppk_outer_tuples
@@ -1208,64 +1386,116 @@ impl PpkIter<'_> {
             .filter(|(_, (_, keys))| keys.iter().all(Option::is_some))
             .map(|(i, _)| i)
             .collect();
-        let rows: Vec<Vec<SqlValue>> = if fetchable.is_empty() {
-            Vec::new()
-        } else {
-            // build the disjunctive block predicate and parameter list
-            let mut select = self.select.clone();
-            let base = match eval_sql_params(
-                self.rt,
-                self.base_params,
-                &block[fetchable[0]].0,
-            ) {
-                Ok(v) => v,
-                Err(e) => {
-                    self.buffer.push_back(Err(e));
-                    self.exhausted = true;
-                    return;
-                }
+        if fetchable.is_empty() {
+            return Ok(BlockFetch::Ready(Vec::new()));
+        }
+        // build the disjunctive block predicate and parameter list
+        let mut select = self.select.clone();
+        let base = eval_sql_params(self.rt, self.base_params, &block[fetchable[0]].0)?;
+        let pred = ppk_block_predicate(&self.spec.key_columns, fetchable.len(), base.len());
+        select.where_ = Some(match select.where_.take() {
+            Some(w) => w.and(pred),
+            None => pred,
+        });
+        let mut params = base;
+        for &i in &fetchable {
+            for key in &block[i].1 {
+                let v = key.as_ref().expect("fetchable keys are non-empty");
+                let ty = SqlType::from_xml_type(v.type_of()).unwrap_or(SqlType::Varchar);
+                params.push(SqlValue::from_xml(Some(v), ty).map_err(RtError::Plan)?);
+            }
+        }
+        self.rt.stats.inc(&self.rt.stats.ppk_blocks);
+        if self.spec.prefetch_depth == 0 {
+            return Ok(BlockFetch::Ready(
+                exec_sql(self.rt, self.connection, &select, &params)?.rows,
+            ));
+        }
+        self.rt.stats.inc(&self.rt.stats.ppk_prefetched_blocks);
+        let rt = Arc::clone(self.rt);
+        let connection = self.connection.to_string();
+        Ok(BlockFetch::InFlight(std::thread::spawn(move || {
+            exec_sql(&rt, &connection, &select, &params)
+        })))
+    }
+
+    /// Keep up to `target` block fetches staged ahead of the consumer.
+    fn stage_blocks(&mut self, target: usize) {
+        while self.pending.len() < target && !self.input_done && self.staging_err.is_none() {
+            let Some(block) = self.read_block() else {
+                break;
             };
-            let pred = ppk_block_predicate(
-                &self.spec.key_columns,
-                fetchable.len(),
-                base.len(),
-            );
-            select.where_ = Some(match select.where_.take() {
-                Some(w) => w.and(pred),
-                None => pred,
-            });
-            let mut params = base;
-            for &i in &fetchable {
-                for key in &block[i].1 {
-                    let v = key.as_ref().expect("fetchable keys are non-empty");
-                    let ty = SqlType::from_xml_type(v.type_of()).unwrap_or(SqlType::Varchar);
-                    match SqlValue::from_xml(Some(v), ty) {
-                        Ok(s) => params.push(s),
-                        Err(e) => {
-                            self.buffer.push_back(Err(RtError::Plan(e)));
-                            self.exhausted = true;
-                            return;
-                        }
-                    }
-                }
-            }
-            self.rt.stats.inc(&self.rt.stats.ppk_blocks);
-            match exec_sql(self.rt, self.connection, &select, &params) {
-                Ok(rs) => rs.rows,
+            match self.start_fetch(&block) {
+                Ok(fetch) => self.pending.push_back(PendingBlock { block, fetch }),
                 Err(e) => {
-                    self.buffer.push_back(Err(e));
-                    self.exhausted = true;
-                    return;
+                    // drop the block; the error surfaces once earlier
+                    // blocks drain, preserving depth-0 output order
+                    self.staging_err = Some(e);
+                    self.input_done = true;
                 }
             }
+        }
+    }
+
+    /// Wait for a fetch's rows, timing how long the consumer blocked.
+    fn resolve_fetch(&mut self, fetch: BlockFetch) -> RtResult<Vec<Vec<SqlValue>>> {
+        match fetch {
+            BlockFetch::Ready(rows) => Ok(rows),
+            BlockFetch::InFlight(handle) => {
+                let t0 = std::time::Instant::now();
+                let joined = handle.join();
+                self.rt.stats.ppk_prefetch_wait_ns.fetch_add(
+                    t0.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                match joined {
+                    Ok(r) => Ok(r?.rows),
+                    Err(_) => Err(RtError::Plan("PP-k prefetch thread panicked".into())),
+                }
+            }
+        }
+    }
+
+    fn fill_block(&mut self) {
+        let depth = self.spec.prefetch_depth;
+        self.stage_blocks(depth.max(1));
+        let Some(PendingBlock { block, fetch }) = self.pending.pop_front() else {
+            if let Some(e) = self.staging_err.take() {
+                self.buffer.push_back(Err(e));
+            }
+            self.exhausted = true;
+            return;
         };
+        // top the window back up *before* joining, so the next fetches
+        // overlap this block's local join and downstream consumption
+        self.stage_blocks(depth);
+        match self.resolve_fetch(fetch) {
+            Ok(rows) => self.join_block(block, rows),
+            Err(e) => {
+                self.buffer.push_back(Err(e));
+                // drop later blocks: in-flight threads detach and finish
+                self.pending.clear();
+                self.staging_err = None;
+                self.exhausted = true;
+            }
+        }
+    }
+
+    /// The middleware-side join of one fetched block (§5.2).
+    fn join_block(&mut self, block: OuterBlock, rows: Vec<Vec<SqlValue>>) {
         // local join: index nested loop builds a hash on the block's rows
         let index: Option<HashMap<String, Vec<usize>>> = match self.spec.local_method {
             LocalJoinMethod::IndexNestedLoop => {
                 let mut idx: HashMap<String, Vec<usize>> = HashMap::new();
                 for (ri, row) in rows.iter().enumerate() {
-                    let key = row_key_string(row, &self.spec.bind_key_indices);
-                    idx.entry(key).or_default().push(ri);
+                    row_key_into(&mut self.key_buf, row, &self.spec.bind_key_indices);
+                    // only allocate an owned key for first occurrences
+                    match idx.get_mut(self.key_buf.as_str()) {
+                        Some(v) => v.push(ri),
+                        None => {
+                            idx.insert(self.key_buf.clone(), vec![ri]);
+                        }
+                    }
                 }
                 Some(idx)
             }
@@ -1287,15 +1517,14 @@ impl PpkIter<'_> {
                     .iter()
                     .map(|k| {
                         let v = k.as_ref().expect("joinable");
-                        let ty =
-                            SqlType::from_xml_type(v.type_of()).unwrap_or(SqlType::Varchar);
+                        let ty = SqlType::from_xml_type(v.type_of()).unwrap_or(SqlType::Varchar);
                         SqlValue::from_xml(Some(v), ty).unwrap_or(SqlValue::Null)
                     })
                     .collect();
                 match &index {
                     Some(idx) => {
-                        let key = values_key_string(&key_vals);
-                        idx.get(&key).cloned().unwrap_or_default()
+                        values_key_into(&mut self.key_buf, &key_vals);
+                        idx.get(self.key_buf.as_str()).cloned().unwrap_or_default()
                     }
                     None => rows
                         .iter()
@@ -1317,7 +1546,10 @@ impl PpkIter<'_> {
                 for (var, _) in field_binds {
                     out = out.bind(var, vec![]);
                 }
-                out = out.bind(&self.binds[self.binds.len() - 1].0, vec![Item::int(tid as i64)]);
+                out = out.bind(
+                    &self.binds[self.binds.len() - 1].0,
+                    vec![Item::int(tid as i64)],
+                );
                 self.buffer.push_back(Ok(out));
             } else {
                 for ri in matches {
@@ -1354,20 +1586,18 @@ impl Iterator for PpkIter<'_> {
     }
 }
 
-fn row_key_string(row: &[SqlValue], indices: &[usize]) -> String {
-    let mut s = String::new();
+fn row_key_into(buf: &mut String, row: &[SqlValue], indices: &[usize]) {
+    buf.clear();
     for &i in indices {
-        s.push_str(&row[i].sql_literal());
-        s.push('\u{1}');
+        row[i].sql_literal_into(buf);
+        buf.push('\u{1}');
     }
-    s
 }
 
-fn values_key_string(vals: &[SqlValue]) -> String {
-    let mut s = String::new();
+fn values_key_into(buf: &mut String, vals: &[SqlValue]) {
+    buf.clear();
     for v in vals {
-        s.push_str(&v.sql_literal());
-        s.push('\u{1}');
+        v.sql_literal_into(buf);
+        buf.push('\u{1}');
     }
-    s
 }

@@ -135,12 +135,10 @@ mod tests {
     use aldsp_adaptors::SimulatedWebService;
     use aldsp_compiler::{Compiler, Options};
     use aldsp_metadata::{
-        introspect_relational, introspect_web_service, WebServiceDescription,
-        WebServiceOperation,
+        introspect_relational, introspect_web_service, WebServiceDescription, WebServiceOperation,
     };
     use aldsp_relational::{
-        Catalog, Database, Dialect, LatencyModel, RelationalServer, SqlType, SqlValue,
-        TableSchema,
+        Catalog, Database, Dialect, LatencyModel, RelationalServer, SqlType, SqlValue, TableSchema,
     };
     use aldsp_xdm::item::Item;
     use aldsp_xdm::schema::ShapeBuilder;
@@ -159,6 +157,10 @@ mod tests {
     }
 
     fn world() -> World {
+        world_opts(|_| {})
+    }
+
+    fn world_opts(tune: impl FnOnce(&mut Options)) -> World {
         // db1: CUSTOMER + ORDER
         let mut cat1 = Catalog::new();
         cat1.add(
@@ -277,7 +279,9 @@ mod tests {
                     aldsp_xdm::types::ItemType::Atomic(to),
                     aldsp_xdm::types::Occurrence::Optional,
                 ),
-                source: aldsp_metadata::SourceBinding::Native { id: name.to_string() },
+                source: aldsp_metadata::SourceBinding::Native {
+                    id: name.to_string(),
+                },
             })
             .unwrap();
         }
@@ -316,11 +320,20 @@ mod tests {
         // compiler
         let mut opts = Options::default();
         opts.dialects = adaptors.connection_dialects();
+        tune(&mut opts);
         let mut compiler = Compiler::new(meta.clone(), opts);
-        compiler
-            .declare_inverse(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"));
+        compiler.declare_inverse(
+            QName::new("urn:lib", "int2date"),
+            QName::new("urn:lib", "date2int"),
+        );
         let runtime = Runtime::new(meta, adaptors);
-        World { compiler, runtime, db1, db2, rating }
+        World {
+            compiler,
+            runtime,
+            db1,
+            db2,
+            rating,
+        }
     }
 
     const PROLOG: &str = r#"
@@ -348,7 +361,10 @@ mod tests {
     #[test]
     fn simple_pushed_select() {
         let w = world();
-        let out = run(&w, r#"for $c in c:CUSTOMER() where $c/CID eq "C1" return $c/FIRST_NAME"#);
+        let out = run(
+            &w,
+            r#"for $c in c:CUSTOMER() where $c/CID eq "C1" return $c/FIRST_NAME"#,
+        );
         assert_eq!(as_xml(&out), "<FIRST_NAME>Ann</FIRST_NAME>");
         assert_eq!(w.runtime.stats().sql_statements, 1);
         assert_eq!(w.db1.stats().roundtrips, 1);
@@ -382,8 +398,16 @@ mod tests {
         );
         let s = as_xml(&out);
         assert!(s.contains("<CUST><CID>C2</CID><ORDERS/></CUST>"), "{s}");
-        assert!(s.contains("<CUST><CID>C1</CID><ORDERS><OID>1</OID><OID>2</OID></ORDERS></CUST>"), "{s}");
-        assert_eq!(w.db1.stats().roundtrips, 1, "{:?}", w.db1.stats().statements);
+        assert!(
+            s.contains("<CUST><CID>C1</CID><ORDERS><OID>1</OID><OID>2</OID></ORDERS></CUST>"),
+            "{s}"
+        );
+        assert_eq!(
+            w.db1.stats().roundtrips,
+            1,
+            "{:?}",
+            w.db1.stats().statements
+        );
         assert_eq!(w.runtime.stats().streaming_groups, 1);
         assert_eq!(w.runtime.stats().sorted_groups, 0);
     }
@@ -399,7 +423,10 @@ mod tests {
                }</CARDS> }</P>"#,
         );
         let s = as_xml(&out);
-        assert!(s.contains("<P><CID>C1</CID><CARDS><CCN>4000-1</CCN><CCN>4000-2</CCN></CARDS></P>"), "{s}");
+        assert!(
+            s.contains("<P><CID>C1</CID><CARDS><CCN>4000-1</CCN><CCN>4000-2</CCN></CARDS></P>"),
+            "{s}"
+        );
         assert!(s.contains("<P><CID>C3</CID><CARDS/></P>"), "{s}");
         assert_eq!(w.db2.stats().roundtrips, 1);
         assert_eq!(w.runtime.stats().ppk_blocks, 1);
@@ -452,10 +479,20 @@ mod tests {
         );
         let s = as_xml(&out);
         assert!(s.contains("<CID>C1</CID>"), "{s}");
-        assert!(s.contains("<ORDERS><OID>1</OID><OID>2</OID></ORDERS>"), "{s}");
-        assert!(s.contains("<CREDIT_CARDS><CCN>4000-1</CCN><CCN>4000-2</CCN></CREDIT_CARDS>"), "{s}");
+        assert!(
+            s.contains("<ORDERS><OID>1</OID><OID>2</OID></ORDERS>"),
+            "{s}"
+        );
+        assert!(
+            s.contains("<CREDIT_CARDS><CCN>4000-1</CCN><CCN>4000-2</CCN></CREDIT_CARDS>"),
+            "{s}"
+        );
         assert!(s.contains("<RATING>"), "{s}");
-        assert_eq!(w.rating.call_count(), 2, "one rating call per customer with an SSN");
+        assert_eq!(
+            w.rating.call_count(),
+            2,
+            "one rating call per customer with an SSN"
+        );
     }
 
     #[test]
@@ -485,9 +522,10 @@ mod tests {
     fn function_cache_turns_calls_into_lookups() {
         let w = world();
         w.rating.set_latency(std::time::Duration::from_millis(5));
-        w.runtime
-            .cache()
-            .enable(QName::new("urn:ratingWS", "getRating"), std::time::Duration::from_secs(60));
+        w.runtime.cache().enable(
+            QName::new("urn:ratingWS", "getRating"),
+            std::time::Duration::from_secs(60),
+        );
         let query = r#"for $c in c:CUSTOMER()
             where $c/CID eq "C1"
             return fn:data(ws:getRating(
@@ -578,7 +616,10 @@ mod tests {
                return <CUST><ID>{fn:data($c/CID)}</ID><FIRST_NAME?>{fn:data($c/FIRST_NAME)}</FIRST_NAME></CUST>"#,
         );
         let s = as_xml(&out);
-        assert!(s.contains("<CUST><ID>C1</ID><FIRST_NAME>Ann</FIRST_NAME></CUST>"), "{s}");
+        assert!(
+            s.contains("<CUST><ID>C1</ID><FIRST_NAME>Ann</FIRST_NAME></CUST>"),
+            "{s}"
+        );
         assert!(s.contains("<CUST><ID>C2</ID></CUST>"), "{s}");
     }
 
@@ -591,7 +632,11 @@ mod tests {
                return <X>{ $c/CID, $o/OID }</X>"#,
         );
         assert_eq!(as_xml(&out).matches("<X>").count(), 3);
-        assert_eq!(w.db1.stats().roundtrips, 1, "navigation joined into one statement");
+        assert_eq!(
+            w.db1.stats().roundtrips,
+            1,
+            "navigation joined into one statement"
+        );
     }
 
     #[test]
@@ -622,7 +667,10 @@ mod tests {
                  }};"
             ))
             .unwrap();
-        let q = w.compiler.compile_call(&QName::new("urn:t", "byId")).unwrap();
+        let q = w
+            .compiler
+            .compile_call(&QName::new("urn:t", "byId"))
+            .unwrap();
         let out = w
             .runtime
             .execute(&q, &[("arg0", vec![Item::str("C3")])])
@@ -649,7 +697,10 @@ mod tests {
             s.contains(r#"<CUSTOMER_IDS name="Jones"><CID>C1</CID><CID>C3</CID></CUSTOMER_IDS>"#),
             "{s}"
         );
-        assert!(s.contains(r#"<CUSTOMER_IDS name="Smith"><CID>C2</CID></CUSTOMER_IDS>"#), "{s}");
+        assert!(
+            s.contains(r#"<CUSTOMER_IDS name="Smith"><CID>C2</CID></CUSTOMER_IDS>"#),
+            "{s}"
+        );
         let st = w.runtime.stats();
         assert!(st.streaming_groups + st.sorted_groups >= 1);
     }
@@ -672,6 +723,126 @@ mod tests {
             elapsed < std::time::Duration::from_millis(15),
             "one 2ms roundtrip, not three (with scheduling headroom): {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn ppk_results_identical_across_prefetch_depths() {
+        // the cross-source dependent join with outer-join semantics
+        // (C3 has no cards) must produce byte-identical output whether
+        // blocks are fetched on demand (depth 0), double-buffered
+        // (depth 1), or deeply pipelined (depth 4); block size 1 forces
+        // one block per customer so prefetch actually engages
+        let query = r#"for $c in c:CUSTOMER()
+            return <P>{ $c/CID, <CARDS>{
+              for $k in cc:CREDIT_CARD() where $k/CID eq $c/CID return $k/CCN
+            }</CARDS> }</P>"#;
+        let mut outputs = Vec::new();
+        for depth in [0usize, 1, 4] {
+            let w = world_opts(|o| {
+                o.ppk_block_size = 1;
+                o.ppk_prefetch_depth = depth;
+            });
+            let out = as_xml(&run(&w, query));
+            let st = w.runtime.stats();
+            assert_eq!(st.ppk_blocks, 3, "depth {depth}: one block per customer");
+            if depth == 0 {
+                assert_eq!(st.ppk_prefetched_blocks, 0);
+            } else {
+                assert!(st.ppk_prefetched_blocks > 0, "depth {depth} must prefetch");
+            }
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1], "depth 1 changed results");
+        assert_eq!(outputs[0], outputs[2], "depth 4 changed results");
+        assert!(
+            outputs[0].contains("<P><CID>C3</CID><CARDS/></P>"),
+            "{}",
+            outputs[0]
+        );
+        assert!(
+            outputs[0].find("C1") < outputs[0].find("C2")
+                && outputs[0].find("C2") < outputs[0].find("C3"),
+            "outer order must be preserved: {}",
+            outputs[0]
+        );
+    }
+
+    #[test]
+    fn shared_runtime_cache_survives_eight_threads() {
+        let w = world();
+        w.runtime.cache().enable(
+            QName::new("urn:ratingWS", "getRating"),
+            std::time::Duration::from_secs(60),
+        );
+        let query = r#"for $c in c:CUSTOMER()
+            where exists($c/SSN)
+            return fn:data(ws:getRating(
+              <r:getRating>
+                <r:lName>{fn:data($c/LAST_NAME)}</r:lName>
+                <r:ssn>{fn:data($c/SSN)}</r:ssn>
+              </r:getRating>)/r:getRatingResult)"#;
+        let q = w
+            .compiler
+            .compile_query(&format!("{PROLOG}\n{query}"))
+            .unwrap_or_else(|d| panic!("compile failed: {d:?}"));
+        const THREADS: usize = 8;
+        const ITERS: usize = 25;
+        let expected = w.runtime.execute(&q, &[]).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let rt = w.runtime.clone();
+                let q = &q;
+                let expected = &expected;
+                s.spawn(move || {
+                    for _ in 0..ITERS {
+                        let out = rt.execute(q, &[]).unwrap();
+                        assert_eq!(&out, expected, "cached result diverged");
+                    }
+                });
+            }
+        });
+        let st = w.runtime.stats();
+        // 2 cache-enabled calls per execution (C1 and C2), every one a
+        // hit or a miss — the counters must balance exactly
+        let attempts = ((THREADS * ITERS + 1) * 2) as u64;
+        assert_eq!(st.cache_hits + st.cache_misses, attempts);
+        // every miss ran the service; racing first calls allow a few
+        assert_eq!(w.rating.call_count() as u64, st.cache_misses);
+        assert!(
+            st.cache_misses >= 2,
+            "two distinct keys must each miss once"
+        );
+        assert!(
+            st.cache_misses <= (2 * (THREADS + 1)) as u64,
+            "cache ineffective: {} misses",
+            st.cache_misses
+        );
+        assert_eq!(w.runtime.cache().len(), 2);
+    }
+
+    #[test]
+    fn independent_scans_run_in_parallel() {
+        let w = world();
+        w.db1.set_latency(LatencyModel::lan(20_000)); // 20ms
+        w.db2.set_latency(LatencyModel::lan(20_000));
+        // CUSTOMER (db1) and CREDIT_CARD (db2) are uncorrelated scans:
+        // their first fetches must overlap instead of running serially
+        let t0 = std::time::Instant::now();
+        let out = run(
+            &w,
+            r#"for $c in c:CUSTOMER(), $k in cc:CREDIT_CARD()
+               where $c/CID eq "C1" and $k/CID eq "C2"
+               return <Z>{ $c/CID, $k/CCN }</Z>"#,
+        );
+        let elapsed = t0.elapsed();
+        assert_eq!(as_xml(&out), "<Z><CID>C1</CID><CCN>4000-3</CCN></Z>");
+        assert!(w.runtime.stats().parallel_scans >= 1);
+        assert!(
+            elapsed < std::time::Duration::from_millis(36),
+            "two 20ms scans should overlap, took {elapsed:?}"
+        );
+        let peak = w.db1.stats().peak_inflight.max(w.db2.stats().peak_inflight);
+        assert!(peak >= 1, "latency windows were never entered");
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub struct ExecStats {
     pub ppk_blocks: AtomicU64,
     /// Tuples that flowed through PP-k operators.
     pub ppk_outer_tuples: AtomicU64,
+    /// PP-k blocks whose fetch was issued by a prefetch thread (i.e.
+    /// overlapped with local-join work rather than fetched on demand).
+    pub ppk_prefetched_blocks: AtomicU64,
+    /// Nanoseconds the PP-k consumer spent blocked waiting for an
+    /// in-flight prefetched block to arrive.
+    pub ppk_prefetch_wait_ns: AtomicU64,
+    /// FLWOR pipelines whose independent source scans were kicked off
+    /// in parallel rather than strictly left-to-right.
+    pub parallel_scans: AtomicU64,
     /// Group operator invocations that ran in streaming (pre-clustered)
     /// mode.
     pub streaming_groups: AtomicU64,
@@ -57,6 +66,9 @@ impl ExecStats {
             sql_statements: self.sql_statements.load(Ordering::Relaxed),
             ppk_blocks: self.ppk_blocks.load(Ordering::Relaxed),
             ppk_outer_tuples: self.ppk_outer_tuples.load(Ordering::Relaxed),
+            ppk_prefetched_blocks: self.ppk_prefetched_blocks.load(Ordering::Relaxed),
+            ppk_prefetch_wait_ns: self.ppk_prefetch_wait_ns.load(Ordering::Relaxed),
+            parallel_scans: self.parallel_scans.load(Ordering::Relaxed),
             streaming_groups: self.streaming_groups.load(Ordering::Relaxed),
             sorted_groups: self.sorted_groups.load(Ordering::Relaxed),
             peak_grouped_tuples: self.peak_grouped_tuples.load(Ordering::Relaxed),
@@ -75,6 +87,9 @@ impl ExecStats {
             &self.sql_statements,
             &self.ppk_blocks,
             &self.ppk_outer_tuples,
+            &self.ppk_prefetched_blocks,
+            &self.ppk_prefetch_wait_ns,
+            &self.parallel_scans,
             &self.streaming_groups,
             &self.sorted_groups,
             &self.peak_grouped_tuples,
@@ -97,6 +112,9 @@ pub struct StatsSnapshot {
     pub sql_statements: u64,
     pub ppk_blocks: u64,
     pub ppk_outer_tuples: u64,
+    pub ppk_prefetched_blocks: u64,
+    pub ppk_prefetch_wait_ns: u64,
+    pub parallel_scans: u64,
     pub streaming_groups: u64,
     pub sorted_groups: u64,
     pub peak_grouped_tuples: u64,

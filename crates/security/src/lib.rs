@@ -82,7 +82,11 @@ pub struct AccessDenied {
 
 impl std::fmt::Display for AccessDenied {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "access denied: {} may not call {}", self.principal, self.function)
+        write!(
+            f,
+            "access denied: {} may not call {}",
+            self.principal, self.function
+        )
     }
 }
 
@@ -167,7 +171,12 @@ impl SecurityPolicy {
         path: &[QName],
         audit: &AuditLog,
     ) -> NodeRef {
-        let NodeKind::Element { name, attributes, children } = node.kind() else {
+        let NodeKind::Element {
+            name,
+            attributes,
+            children,
+        } = node.kind()
+        else {
             return node.clone();
         };
         let mut new_children = Vec::with_capacity(children.len());
@@ -194,8 +203,9 @@ impl SecurityPolicy {
                     });
                     match &res.denial {
                         DenialAction::Remove => {} // silently removed
-                        DenialAction::Replace(v) => new_children
-                            .push(Node::simple_element(cname.clone(), v.clone())),
+                        DenialAction::Replace(v) => {
+                            new_children.push(Node::simple_element(cname.clone(), v.clone()))
+                        }
                     }
                 }
                 _ => {
@@ -269,7 +279,10 @@ mod tests {
                 Node::element(
                     QName::local("CREDIT"),
                     vec![],
-                    vec![Node::simple_element(QName::local("RATING"), V::Integer(720))],
+                    vec![Node::simple_element(
+                        QName::local("RATING"),
+                        V::Integer(720),
+                    )],
                 ),
             ],
         )

@@ -62,7 +62,11 @@ pub(crate) mod tests {
         }
         db1.insert(
             "CUSTOMER",
-            vec![SqlValue::str("0815"), SqlValue::str("Jones"), SqlValue::Int(1000)],
+            vec![
+                SqlValue::str("0815"),
+                SqlValue::str("Jones"),
+                SqlValue::Int(1000),
+            ],
         )
         .unwrap();
         let mut cat2 = Catalog::new();
@@ -79,8 +83,11 @@ pub(crate) mod tests {
         for t in cat2.tables() {
             db2.create_table(t.clone()).unwrap();
         }
-        db2.insert("ADDRESS", vec![SqlValue::str("0815"), SqlValue::str("Seoul")])
-            .unwrap();
+        db2.insert(
+            "ADDRESS",
+            vec![SqlValue::str("0815"), SqlValue::str("Seoul")],
+        )
+        .unwrap();
         let mut meta = aldsp_metadata::Registry::new();
         meta.register_service(&introspect_relational(&cat1, "db1", "urn:custDS").unwrap())
             .unwrap();
@@ -88,8 +95,16 @@ pub(crate) mod tests {
             .unwrap();
         let (i2d, d2i) = aldsp_adaptors::native::int2date_pair();
         for (name, from, to) in [
-            ("int2date", aldsp_xdm::value::AtomicType::Integer, aldsp_xdm::value::AtomicType::DateTime),
-            ("date2int", aldsp_xdm::value::AtomicType::DateTime, aldsp_xdm::value::AtomicType::Integer),
+            (
+                "int2date",
+                aldsp_xdm::value::AtomicType::Integer,
+                aldsp_xdm::value::AtomicType::DateTime,
+            ),
+            (
+                "date2int",
+                aldsp_xdm::value::AtomicType::DateTime,
+                aldsp_xdm::value::AtomicType::Integer,
+            ),
         ] {
             meta.register_function(aldsp_metadata::PhysicalFunction {
                 name: QName::new("urn:lib", name),
@@ -105,7 +120,9 @@ pub(crate) mod tests {
                     aldsp_xdm::types::ItemType::Atomic(to),
                     aldsp_xdm::types::Occurrence::Optional,
                 ),
-                source: aldsp_metadata::SourceBinding::Native { id: name.to_string() },
+                source: aldsp_metadata::SourceBinding::Native {
+                    id: name.to_string(),
+                },
             })
             .unwrap();
         }
@@ -122,10 +139,24 @@ pub(crate) mod tests {
         opts.dialects = adaptors.connection_dialects();
         let mut compiler = Compiler::new(meta.clone(), opts);
         let mut inverses = aldsp_compiler::InverseRegistry::default();
-        inverses.declare(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"));
-        compiler.declare_inverse(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"));
+        inverses.declare(
+            QName::new("urn:lib", "int2date"),
+            QName::new("urn:lib", "date2int"),
+        );
+        compiler.declare_inverse(
+            QName::new("urn:lib", "int2date"),
+            QName::new("urn:lib", "date2int"),
+        );
         let runtime = Runtime::new(meta.clone(), adaptors.clone());
-        World { compiler, runtime, meta, adaptors, db1, db2, inverses }
+        World {
+            compiler,
+            runtime,
+            meta,
+            adaptors,
+            db1,
+            db2,
+            inverses,
+        }
     }
 
     const PROFILE_QUERY: &str = r#"
@@ -147,7 +178,9 @@ pub(crate) mod tests {
         let q = w.compiler.compile_query(PROFILE_QUERY).unwrap();
         let lineage = analyze(&w.meta, &q).unwrap();
         let out = w.runtime.execute(&q, &[]).unwrap();
-        let Item::Node(node) = &out[0] else { panic!("expected a node") };
+        let Item::Node(node) = &out[0] else {
+            panic!("expected a node")
+        };
         (DataObject::new(node.clone()), lineage)
     }
 
@@ -204,10 +237,14 @@ pub(crate) mod tests {
         let (conn, sql) = &report.statements[0];
         assert_eq!(conn, "db1");
         assert!(sql.contains("SET \"LAST_NAME\" = ?"), "{sql}");
-        assert!(sql.contains("\"CID\" = ?") && sql.contains("\"LAST_NAME\" = ?"), "{sql}");
+        assert!(
+            sql.contains("\"CID\" = ?") && sql.contains("\"LAST_NAME\" = ?"),
+            "{sql}"
+        );
         // the database changed
         assert_eq!(
-            w.db1.with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
+            w.db1
+                .with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
             SqlValue::str("Smith")
         );
     }
@@ -242,10 +279,14 @@ pub(crate) mod tests {
             ConcurrencyPolicy::UpdatedValues,
         );
         let err = proc.submit(&sdo).unwrap_err();
-        assert!(matches!(err, SubmitError::OptimisticConflict { .. }), "{err}");
+        assert!(
+            matches!(err, SubmitError::OptimisticConflict { .. }),
+            "{err}"
+        );
         // the intruder's value survives
         assert_eq!(
-            w.db1.with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
+            w.db1
+                .with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
             SqlValue::str("Intruder")
         );
         // with no verification, last writer wins
@@ -258,7 +299,8 @@ pub(crate) mod tests {
         );
         proc.submit(&sdo).unwrap();
         assert_eq!(
-            w.db1.with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
+            w.db1
+                .with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
             SqlValue::str("Smith")
         );
     }
@@ -280,7 +322,8 @@ pub(crate) mod tests {
         );
         proc.submit(&sdo).unwrap();
         assert_eq!(
-            w.db1.with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][2].clone()),
+            w.db1
+                .with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][2].clone()),
             SqlValue::Int(5000)
         );
     }
@@ -302,7 +345,8 @@ pub(crate) mod tests {
         assert_eq!(report.rows_affected, 2);
         assert_eq!(report.sources_touched.len(), 2);
         assert_eq!(
-            w.db2.with_db(|d| d.table("ADDRESS").unwrap().rows()[0][1].clone()),
+            w.db2
+                .with_db(|d| d.table("ADDRESS").unwrap().rows()[0][1].clone()),
             SqlValue::str("Busan")
         );
     }
@@ -325,11 +369,13 @@ pub(crate) mod tests {
         assert!(matches!(err, SubmitError::PrepareFailed(_)), "{err}");
         // neither source changed
         assert_eq!(
-            w.db1.with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
+            w.db1
+                .with_db(|d| d.table("CUSTOMER").unwrap().rows()[0][1].clone()),
             SqlValue::str("Jones")
         );
         assert_eq!(
-            w.db2.with_db(|d| d.table("ADDRESS").unwrap().rows()[0][1].clone()),
+            w.db2
+                .with_db(|d| d.table("ADDRESS").unwrap().rows()[0][1].clone()),
             SqlValue::str("Seoul")
         );
     }
@@ -351,7 +397,7 @@ pub(crate) mod tests {
     }
 
     #[test]
-    fn clean_object_is_a_noop_submit()  {
+    fn clean_object_is_a_noop_submit() {
         let w = world();
         let (sdo, lineage) = read_profile(&w);
         let proc = SubmitProcessor::new(
@@ -395,7 +441,8 @@ mod policy_tests {
                 )
             })
             .expect("background write");
-        sdo.set("LAST_NAME", Some(V::str("Smith"))).expect("writable");
+        sdo.set("LAST_NAME", Some(V::str("Smith")))
+            .expect("writable");
         // UpdatedValues doesn't look at SINCE → succeeds
         let proc = SubmitProcessor::new(
             &w.adaptors,
@@ -404,7 +451,8 @@ mod policy_tests {
             &w.inverses,
             ConcurrencyPolicy::UpdatedValues,
         );
-        proc.submit(&sdo).expect("only the changed column is verified");
+        proc.submit(&sdo)
+            .expect("only the changed column is verified");
         // restore and repeat under AllValuesRead → conflict, because the
         // read snapshot no longer matches SINCE (it is lineage-mapped
         // through int2date… which is skipped; use CITY on db2 instead)
@@ -431,7 +479,8 @@ mod policy_tests {
         // unaffected sources are "not involved in the update at all", so
         // verification can only cover participating tables.
         sdo2.set("CITY", Some(V::str("Busan"))).expect("writable");
-        sdo2.set("LAST_NAME", Some(V::str("Brown"))).expect("writable");
+        sdo2.set("LAST_NAME", Some(V::str("Brown")))
+            .expect("writable");
         let proc = SubmitProcessor::new(
             &w.adaptors,
             &w.meta,
@@ -441,7 +490,10 @@ mod policy_tests {
         );
         let err = proc.submit(&sdo2).expect_err("snapshot no longer matches");
         assert!(
-            matches!(err, SubmitError::OptimisticConflict { .. } | SubmitError::PrepareFailed(_)),
+            matches!(
+                err,
+                SubmitError::OptimisticConflict { .. } | SubmitError::PrepareFailed(_)
+            ),
             "{err}"
         );
     }
@@ -452,7 +504,8 @@ mod policy_tests {
         // timestamp element or attribute) to still be the same"
         let w = world();
         let (mut sdo, lineage) = read_profile(&w);
-        sdo.set("LAST_NAME", Some(V::str("Smith"))).expect("writable");
+        sdo.set("LAST_NAME", Some(V::str("Smith")))
+            .expect("writable");
         // designate CID (unchanged, still matches) → succeeds even if
         // LAST_NAME itself was changed concurrently
         w.db1
@@ -481,7 +534,8 @@ mod policy_tests {
         let report = proc.submit(&sdo).expect("designated column still matches");
         assert_eq!(report.rows_affected, 1);
         assert_eq!(
-            w.db1.with_db(|d| d.table("CUSTOMER").expect("t").rows()[0][1].clone()),
+            w.db1
+                .with_db(|d| d.table("CUSTOMER").expect("t").rows()[0][1].clone()),
             SqlValue::str("Smith"),
             "last writer wins under the designated policy"
         );

@@ -89,7 +89,13 @@ pub fn analyze(registry: &Registry, plan: &CompiledQuery) -> Result<Lineage, Str
         },
         _ => ret,
     };
-    walk_shape(root_content, &mut Vec::new(), &fields, registry, &mut lineage);
+    walk_shape(
+        root_content,
+        &mut Vec::new(),
+        &fields,
+        registry,
+        &mut lineage,
+    );
     // pass 3: key exposure — for each referenced table, find the result
     // paths carrying its primary key
     let mut keys: HashMap<(String, String), Vec<(String, Path)>> = HashMap::new();
@@ -129,8 +135,7 @@ pub fn analyze(registry: &Registry, plan: &CompiledQuery) -> Result<Lineage, Str
             });
             let found = direct.or_else(|| {
                 equiv.iter().find_map(|(a, b)| {
-                    let other = if a.connection == conn && a.table == table && a.column == *col
-                    {
+                    let other = if a.connection == conn && a.table == table && a.column == *col {
                         Some(b)
                     } else if b.connection == conn && b.table == table && b.column == *col {
                         Some(a)
@@ -165,7 +170,13 @@ pub fn analyze(registry: &Registry, plan: &CompiledQuery) -> Result<Lineage, Str
 fn collect_fields(e: &CExpr, out: &mut HashMap<String, FieldSource>) {
     if let CKind::Flwor { clauses, .. } = &e.kind {
         for c in clauses {
-            if let Clause::SqlFor { connection, select, binds, .. } = c {
+            if let Clause::SqlFor {
+                connection,
+                select,
+                binds,
+                ..
+            } = c
+            {
                 // alias → table map from the FROM tree
                 let mut alias_tables: HashMap<String, String> = HashMap::new();
                 fn tables(t: &TableRef, out: &mut HashMap<String, String>) {
@@ -182,7 +193,9 @@ fn collect_fields(e: &CExpr, out: &mut HashMap<String, FieldSource>) {
                 }
                 tables(&select.from, &mut alias_tables);
                 for (i, (var, _)) in binds.iter().enumerate() {
-                    let Some(col) = select.columns.get(i) else { continue };
+                    let Some(col) = select.columns.get(i) else {
+                        continue;
+                    };
                     if let ScalarExpr::Column { table, column } = &col.expr {
                         if let Some(tname) = alias_tables.get(table) {
                             out.insert(
@@ -198,7 +211,10 @@ fn collect_fields(e: &CExpr, out: &mut HashMap<String, FieldSource>) {
                 }
             }
             // carried/regrouped variables keep their origin
-            if let Clause::GroupBy { bindings, carry, .. } = c {
+            if let Clause::GroupBy {
+                bindings, carry, ..
+            } = c
+            {
                 for (from, to) in bindings.iter().chain(carry.iter()) {
                     if let Some(src) = out.get(from).cloned() {
                         out.insert(to.clone(), src);
@@ -226,7 +242,15 @@ fn collect_equivalences(
 ) {
     if let CKind::Flwor { clauses, .. } = &e.kind {
         for c in clauses {
-            let Clause::SqlFor { connection, select, ppk, .. } = c else { continue };
+            let Clause::SqlFor {
+                connection,
+                select,
+                ppk,
+                ..
+            } = c
+            else {
+                continue;
+            };
             let mut alias_tables: HashMap<String, String> = HashMap::new();
             fn tables(t: &TableRef, out: &mut HashMap<String, String>) {
                 match t {
@@ -242,7 +266,9 @@ fn collect_equivalences(
             }
             tables(&select.from, &mut alias_tables);
             let col_source = |c: &ScalarExpr| -> Option<FieldSource> {
-                let ScalarExpr::Column { table, column } = c else { return None };
+                let ScalarExpr::Column { table, column } = c else {
+                    return None;
+                };
                 Some(FieldSource {
                     connection: connection.clone(),
                     table: alias_tables.get(table)?.clone(),
@@ -252,8 +278,7 @@ fn collect_equivalences(
             // PP-k correlation equalities: inner column ≡ outer field
             if let Some(spec) = ppk {
                 for (outer, col) in spec.outer_keys.iter().zip(&spec.key_columns) {
-                    if let (Some(a), Some(b)) =
-                        (transparent_source(outer, fields), col_source(col))
+                    if let (Some(a), Some(b)) = (transparent_source(outer, fields), col_source(col))
                     {
                         out.push((a, b));
                     }
@@ -265,7 +290,10 @@ fn collect_equivalences(
                 col_source: &dyn Fn(&ScalarExpr) -> Option<FieldSource>,
                 out: &mut Vec<(FieldSource, FieldSource)>,
             ) {
-                if let TableRef::Join { left, right, on, .. } = t {
+                if let TableRef::Join {
+                    left, right, on, ..
+                } = t
+                {
                     on_equalities(left, col_source, out);
                     on_equalities(right, col_source, out);
                     on.walk(&mut |e| {
@@ -290,17 +318,16 @@ fn collect_equivalences(
 
 /// Trace a wrapper expression (guard `if`s, data/typematch, single-part
 /// sequences, reconstructed column elements) back to one field variable.
-fn transparent_source(
-    e: &CExpr,
-    fields: &HashMap<String, FieldSource>,
-) -> Option<FieldSource> {
+fn transparent_source(e: &CExpr, fields: &HashMap<String, FieldSource>) -> Option<FieldSource> {
     match &e.kind {
         CKind::Var(v) => fields.get(v).cloned(),
         CKind::Data(i) | CKind::TypeMatch { input: i, .. } => transparent_source(i, fields),
         CKind::Seq(parts) if parts.len() == 1 => transparent_source(&parts[0], fields),
-        CKind::ElementCtor { attributes, content, .. } if attributes.is_empty() => {
-            transparent_source(content, fields)
-        }
+        CKind::ElementCtor {
+            attributes,
+            content,
+            ..
+        } if attributes.is_empty() => transparent_source(content, fields),
         // the hoist guard: if (exists(f) or …) then value else ()
         CKind::If { then, els, .. } => {
             if matches!(&els.kind, CKind::Seq(v) if v.is_empty()) {
@@ -380,9 +407,11 @@ fn backing_field<'a>(
         CKind::Seq(parts) if parts.len() == 1 => backing_field(&parts[0], fields, registry),
         // a reconstructed source element (<COL>{$field}</COL>) reads the
         // same column
-        CKind::ElementCtor { attributes, content, .. } if attributes.is_empty() => {
-            backing_field(content, fields, registry)
-        }
+        CKind::ElementCtor {
+            attributes,
+            content,
+            ..
+        } if attributes.is_empty() => backing_field(content, fields, registry),
         // f($col) where f has a registered inverse → writable through f⁻¹.
         // The inverse registration lives in the compiler; for lineage we
         // accept any single-argument library call whose argument is a

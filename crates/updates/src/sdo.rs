@@ -66,7 +66,11 @@ pub struct DataObject {
 impl DataObject {
     /// Wrap a freshly read instance.
     pub fn new(node: NodeRef) -> DataObject {
-        DataObject { original: node.clone(), current: node, log: ChangeLog::default() }
+        DataObject {
+            original: node.clone(),
+            current: node,
+            log: ChangeLog::default(),
+        }
     }
 
     /// The data as read.
@@ -104,11 +108,7 @@ impl DataObject {
     /// Set the value at a path, recording the change. Setting `None`
     /// removes the element (writes NULL); setting a value on an absent
     /// (declared) child materializes it.
-    pub fn set_path(
-        &mut self,
-        path: Path,
-        value: Option<AtomicValue>,
-    ) -> Result<(), String> {
+    pub fn set_path(&mut self, path: Path, value: Option<AtomicValue>) -> Result<(), String> {
         let old = locate(&self.current, &path).and_then(|n| n.typed_value());
         if old == value {
             return Ok(()); // no-op writes don't dirty the log
@@ -124,7 +124,11 @@ impl DataObject {
                 self.log.changes.retain(|c| c.path != p);
             }
         } else {
-            self.log.changes.push(Change { path, old, new: value });
+            self.log.changes.push(Change {
+                path,
+                old,
+                new: value,
+            });
         }
         Ok(())
     }
@@ -152,7 +156,12 @@ fn rewrite(
     path: &[(QName, usize)],
     value: &Option<AtomicValue>,
 ) -> Result<NodeRef, String> {
-    let NodeKind::Element { name, attributes, children } = root.kind() else {
+    let NodeKind::Element {
+        name,
+        attributes,
+        children,
+    } = root.kind()
+    else {
         return Err("can only rewrite elements".into());
     };
     let Some(((target, idx), rest)) = path.split_first() else {
@@ -173,9 +182,7 @@ fn rewrite(
             handled = true;
             if rest.is_empty() {
                 match value {
-                    Some(v) => {
-                        new_children.push(Node::simple_element(target.clone(), v.clone()))
-                    }
+                    Some(v) => new_children.push(Node::simple_element(target.clone(), v.clone())),
                     None => {} // remove: NULL is a missing element
                 }
             } else {
@@ -197,7 +204,11 @@ fn rewrite(
             None => {} // removing an absent element is a no-op
         }
     }
-    Ok(Node::element(name.clone(), attributes.clone(), new_children))
+    Ok(Node::element(
+        name.clone(),
+        attributes.clone(),
+        new_children,
+    ))
 }
 
 #[cfg(test)]
@@ -245,7 +256,11 @@ mod tests {
         assert_eq!(log.changes[0].new, Some(V::str("Smith")));
         // the original is untouched
         assert_eq!(
-            sdo.original().child_elements(&QName::local("LAST_NAME")).next().unwrap().string_value(),
+            sdo.original()
+                .child_elements(&QName::local("LAST_NAME"))
+                .next()
+                .unwrap()
+                .string_value(),
             "Jones"
         );
     }

@@ -100,7 +100,13 @@ impl<'a> SubmitProcessor<'a> {
         inverses: &'a InverseRegistry,
         policy: ConcurrencyPolicy,
     ) -> SubmitProcessor<'a> {
-        SubmitProcessor { adaptors, metadata, lineage, inverses, policy }
+        SubmitProcessor {
+            adaptors,
+            metadata,
+            lineage,
+            inverses,
+            policy,
+        }
     }
 
     /// Decompose the object's change log into per-source updates and
@@ -134,8 +140,8 @@ impl<'a> SubmitProcessor<'a> {
                 )));
             }
             // apply the inverse transform to the new value (§4.4/§6)
-            let inverse = resolve_inverse(self.inverses, entry)
-                .map_err(SubmitError::NotWritable)?;
+            let inverse =
+                resolve_inverse(self.inverses, entry).map_err(SubmitError::NotWritable)?;
             let new_value = match (&change.new, &inverse) {
                 (None, _) => None,
                 (Some(v), None) => Some(v.clone()),
@@ -189,12 +195,14 @@ impl<'a> SubmitProcessor<'a> {
                 ConcurrencyPolicy::Designated(children) => {
                     for child in children {
                         let path = vec![(aldsp_xdm::QName::local(child), 0)];
-                        let Some(e) = self.lineage.entry(&path) else { continue };
+                        let Some(e) = self.lineage.entry(&path) else {
+                            continue;
+                        };
                         if e.connection != *conn || e.table != *table {
                             continue;
                         }
-                        let read = crate::sdo::locate(sdo.original(), &path)
-                            .and_then(|n| n.typed_value());
+                        let read =
+                            crate::sdo::locate(sdo.original(), &path).and_then(|n| n.typed_value());
                         upd.verify.push((
                             e.column.clone(),
                             match read {
@@ -238,8 +246,7 @@ impl<'a> SubmitProcessor<'a> {
                         ))
                     })?;
                 params.push(to_sql(Some(&v)).map_err(SubmitError::Other)?);
-                let term =
-                    ScalarExpr::col("t1", col).eq(ScalarExpr::Param(params.len() - 1));
+                let term = ScalarExpr::col("t1", col).eq(ScalarExpr::Param(params.len() - 1));
                 pred = Some(match pred {
                     Some(p) => p.and(term),
                     None => term,
@@ -309,7 +316,10 @@ impl<'a> SubmitProcessor<'a> {
                     .first()
                     .map(|(d, _)| d.table().to_string())
                     .unwrap_or_default();
-                return Err(SubmitError::OptimisticConflict { connection: conn, table });
+                return Err(SubmitError::OptimisticConflict {
+                    connection: conn,
+                    table,
+                });
             }
             report.rows_affected += n;
             for (stmt, _) in &per_source[&conn] {
@@ -322,7 +332,11 @@ impl<'a> SubmitProcessor<'a> {
         Ok(report)
     }
 
-    fn apply_inverse(&self, inv: &aldsp_xdm::QName, v: &AtomicValue) -> Result<AtomicValue, String> {
+    fn apply_inverse(
+        &self,
+        inv: &aldsp_xdm::QName,
+        v: &AtomicValue,
+    ) -> Result<AtomicValue, String> {
         // inverse functions are registered library natives (§4.4)
         let f = self
             .metadata

@@ -7,7 +7,7 @@
 //! singleton extraction.
 
 use crate::node::NodeRef;
-use crate::value::{AtomicValue, ArithOp};
+use crate::value::{ArithOp, AtomicValue};
 use crate::{Result, XdmError};
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -271,28 +271,24 @@ mod tests {
         // multi-item non-node-first is an error
         assert!(effective_boolean_value(&[Item::int(1), Item::int(2)]).is_err());
         // node-first multi-item is fine
-        assert!(effective_boolean_value(&[
-            Item::Node(Node::text(V::str("x"))),
-            Item::int(2)
-        ])
-        .unwrap());
+        assert!(
+            effective_boolean_value(&[Item::Node(Node::text(V::str("x"))), Item::int(2)]).unwrap()
+        );
         // date has no EBV
         assert!(effective_boolean_value(&[Item::Atomic(V::Date(crate::value::Date(0)))]).is_err());
     }
 
     #[test]
     fn value_compare_empty_propagates() {
-        assert_eq!(value_compare(&[], CompOp::Eq, &[Item::int(1)]).unwrap(), None);
+        assert_eq!(
+            value_compare(&[], CompOp::Eq, &[Item::int(1)]).unwrap(),
+            None
+        );
         assert_eq!(
             value_compare(&[Item::int(1)], CompOp::Eq, &[Item::int(1)]).unwrap(),
             Some(true)
         );
-        assert!(value_compare(
-            &[Item::int(1), Item::int(2)],
-            CompOp::Eq,
-            &[Item::int(1)]
-        )
-        .is_err());
+        assert!(value_compare(&[Item::int(1), Item::int(2)], CompOp::Eq, &[Item::int(1)]).is_err());
     }
 
     #[test]
@@ -327,7 +323,10 @@ mod tests {
 
     #[test]
     fn arithmetic_empty_propagates() {
-        assert_eq!(arithmetic(&[], ArithOp::Add, &[Item::int(1)]).unwrap(), None);
+        assert_eq!(
+            arithmetic(&[], ArithOp::Add, &[Item::int(1)]).unwrap(),
+            None
+        );
         assert_eq!(
             arithmetic(&[Item::int(2)], ArithOp::Mul, &[Item::int(3)]).unwrap(),
             Some(V::Integer(6))

@@ -57,7 +57,9 @@ pub enum NodeKind {
 impl Node {
     /// Build a document node.
     pub fn document(children: Vec<NodeRef>) -> NodeRef {
-        Arc::new(Node { kind: NodeKind::Document { children } })
+        Arc::new(Node {
+            kind: NodeKind::Document { children },
+        })
     }
 
     /// Build an element node.
@@ -65,7 +67,13 @@ impl Node {
         debug_assert!(attributes
             .iter()
             .all(|a| matches!(a.kind, NodeKind::Attribute { .. })));
-        Arc::new(Node { kind: NodeKind::Element { name, attributes, children } })
+        Arc::new(Node {
+            kind: NodeKind::Element {
+                name,
+                attributes,
+                children,
+            },
+        })
     }
 
     /// Build an element with a single typed text child — the common shape
@@ -76,12 +84,16 @@ impl Node {
 
     /// Build an attribute node.
     pub fn attribute(name: QName, value: AtomicValue) -> NodeRef {
-        Arc::new(Node { kind: NodeKind::Attribute { name, value } })
+        Arc::new(Node {
+            kind: NodeKind::Attribute { name, value },
+        })
     }
 
     /// Build a typed text node.
     pub fn text(value: AtomicValue) -> NodeRef {
-        Arc::new(Node { kind: NodeKind::Text { value } })
+        Arc::new(Node {
+            kind: NodeKind::Text { value },
+        })
     }
 
     /// The node kind.
@@ -115,9 +127,9 @@ impl Node {
 
     /// Child elements whose name matches `name` (the `child::E` axis step).
     pub fn child_elements<'a>(&'a self, name: &'a QName) -> impl Iterator<Item = &'a NodeRef> {
-        self.children().iter().filter(move |c| {
-            matches!(c.kind(), NodeKind::Element { name: n, .. } if n == name)
-        })
+        self.children()
+            .iter()
+            .filter(move |c| matches!(c.kind(), NodeKind::Element { name: n, .. } if n == name))
     }
 
     /// All child elements (the `child::*` axis step).
@@ -176,12 +188,26 @@ impl Node {
                 a.compare(b) == Some(std::cmp::Ordering::Equal)
             }
             (
-                NodeKind::Attribute { name: na, value: va },
-                NodeKind::Attribute { name: nb, value: vb },
+                NodeKind::Attribute {
+                    name: na,
+                    value: va,
+                },
+                NodeKind::Attribute {
+                    name: nb,
+                    value: vb,
+                },
             ) => na == nb && va.compare(vb) == Some(std::cmp::Ordering::Equal),
             (
-                NodeKind::Element { name: na, attributes: aa, children: ca },
-                NodeKind::Element { name: nb, attributes: ab, children: cb },
+                NodeKind::Element {
+                    name: na,
+                    attributes: aa,
+                    children: ca,
+                },
+                NodeKind::Element {
+                    name: nb,
+                    attributes: ab,
+                    children: cb,
+                },
             ) => {
                 na == nb
                     && aa.len() == ab.len()

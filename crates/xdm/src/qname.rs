@@ -27,12 +27,20 @@ pub struct QName {
 impl QName {
     /// Create a name with no namespace.
     pub fn local(local: &str) -> Self {
-        QName { uri: None, local: Arc::from(local), prefix: None }
+        QName {
+            uri: None,
+            local: Arc::from(local),
+            prefix: None,
+        }
     }
 
     /// Create a name in a namespace, without a lexical prefix.
     pub fn new(uri: &str, local: &str) -> Self {
-        QName { uri: Some(Arc::from(uri)), local: Arc::from(local), prefix: None }
+        QName {
+            uri: Some(Arc::from(uri)),
+            local: Arc::from(local),
+            prefix: None,
+        }
     }
 
     /// Create a name in a namespace with a preferred lexical prefix.
@@ -180,9 +188,7 @@ impl Namespaces {
     /// (attribute names, per XML namespace rules).
     pub fn expand(&self, lexical: &str, use_default: bool) -> Option<QName> {
         match lexical.split_once(':') {
-            Some((p, l)) => self
-                .resolve(p)
-                .map(|u| QName::with_prefix(p, u, l)),
+            Some((p, l)) => self.resolve(p).map(|u| QName::with_prefix(p, u, l)),
             None => Some(match (&self.default_element_ns, use_default) {
                 (Some(u), true) => QName::new(u, lexical),
                 _ => QName::local(lexical),

@@ -62,9 +62,9 @@ impl Schema {
         let name = root
             .name()
             .ok_or_else(|| XdmError::Other("document root is not an element".into()))?;
-        let decl = self.element(name).ok_or_else(|| {
-            XdmError::Other(format!("no global element declaration for {name}"))
-        })?;
+        let decl = self
+            .element(name)
+            .ok_or_else(|| XdmError::Other(format!("no global element declaration for {name}")))?;
         validate(root, decl)
     }
 }
@@ -81,38 +81,49 @@ pub struct ShapeBuilder {
 impl ShapeBuilder {
     /// Start a shape for element `name`.
     pub fn element(name: QName) -> ShapeBuilder {
-        ShapeBuilder { name, attributes: Vec::new(), children: Vec::new() }
+        ShapeBuilder {
+            name,
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Add a required simple-typed child (a NOT NULL column).
     pub fn required(mut self, name: &str, t: AtomicType) -> Self {
-        self.children.push(ChildDecl::required(self.child_name(name), t));
+        self.children
+            .push(ChildDecl::required(self.child_name(name), t));
         self
     }
 
     /// Add a required child with an *unqualified* name (relational
     /// column elements are unqualified, per Figure 3's paths).
     pub fn required_local(mut self, name: &str, t: AtomicType) -> Self {
-        self.children.push(ChildDecl::required(QName::local(name), t));
+        self.children
+            .push(ChildDecl::required(QName::local(name), t));
         self
     }
 
     /// Add an optional child with an unqualified name.
     pub fn optional_local(mut self, name: &str, t: AtomicType) -> Self {
-        self.children.push(ChildDecl::optional(QName::local(name), t));
+        self.children
+            .push(ChildDecl::optional(QName::local(name), t));
         self
     }
 
     /// Add an optional simple-typed child (a nullable column — NULLs are
     /// missing elements, §4.3).
     pub fn optional(mut self, name: &str, t: AtomicType) -> Self {
-        self.children.push(ChildDecl::optional(self.child_name(name), t));
+        self.children
+            .push(ChildDecl::optional(self.child_name(name), t));
         self
     }
 
     /// Add a repeated complex child with the given shape.
     pub fn repeated(mut self, child: ElementType) -> Self {
-        self.children.push(ChildDecl { elem: child, occ: Occurrence::Star });
+        self.children.push(ChildDecl {
+            elem: child,
+            occ: Occurrence::Star,
+        });
         self
     }
 
@@ -124,7 +135,11 @@ impl ShapeBuilder {
 
     /// Add an attribute declaration.
     pub fn attribute(mut self, name: &str, t: AtomicType, required: bool) -> Self {
-        self.attributes.push(AttributeDecl { name: QName::local(name), typ: t, required });
+        self.attributes.push(AttributeDecl {
+            name: QName::local(name),
+            typ: t,
+            required,
+        });
         self
     }
 
@@ -152,7 +167,12 @@ impl ShapeBuilder {
 /// untyped text leaves are cast to the declared atomic types, required
 /// children/attributes are checked, undeclared children are rejected.
 pub fn validate(node: &Node, decl: &ElementType) -> Result<NodeRef> {
-    let NodeKind::Element { name, attributes, children } = node.kind() else {
+    let NodeKind::Element {
+        name,
+        attributes,
+        children,
+    } = node.kind()
+    else {
         return Err(XdmError::Other("can only validate elements".into()));
     };
     if let Some(expect) = &decl.name {
@@ -219,11 +239,7 @@ fn validate_attributes(
     Ok(out)
 }
 
-fn validate_children(
-    elem: &QName,
-    node: &Node,
-    content: &ComplexContent,
-) -> Result<Vec<NodeRef>> {
+fn validate_children(elem: &QName, node: &Node, content: &ComplexContent) -> Result<Vec<NodeRef>> {
     let kids: Vec<&NodeRef> = node.all_child_elements().collect();
     // reject stray non-whitespace text in complex content
     for c in node.children() {
@@ -251,7 +267,11 @@ fn validate_children(
             count += 1;
         }
         if count == 0 && !decl.occ.allows_empty() {
-            let missing = decl.elem.name.as_ref().expect("declared children are named");
+            let missing = decl
+                .elem
+                .name
+                .as_ref()
+                .expect("declared children are named");
             return Err(XdmError::Other(format!(
                 "element {elem} is missing required child {missing}"
             )));
@@ -306,8 +326,7 @@ mod tests {
 
     #[test]
     fn optional_children_may_be_absent() {
-        let doc =
-            xml::parse("<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME></CUSTOMER>").unwrap();
+        let doc = xml::parse("<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME></CUSTOMER>").unwrap();
         assert!(validate(&doc.children()[0], &customer_shape()).is_ok());
     }
 
@@ -338,10 +357,9 @@ mod tests {
 
     #[test]
     fn cardinality_enforced() {
-        let doc = xml::parse(
-            "<CUSTOMER><CID>C1</CID><CID>C2</CID><LAST_NAME>J</LAST_NAME></CUSTOMER>",
-        )
-        .unwrap();
+        let doc =
+            xml::parse("<CUSTOMER><CID>C1</CID><CID>C2</CID><LAST_NAME>J</LAST_NAME></CUSTOMER>")
+                .unwrap();
         assert!(validate(&doc.children()[0], &customer_shape()).is_err());
     }
 
@@ -370,8 +388,7 @@ mod tests {
         let mut s = Schema::new(Some("urn:cust"));
         s.declare(customer_shape());
         assert!(s.element(&QName::local("CUSTOMER")).is_some());
-        let doc =
-            xml::parse("<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME></CUSTOMER>").unwrap();
+        let doc = xml::parse("<CUSTOMER><CID>C1</CID><LAST_NAME>J</LAST_NAME></CUSTOMER>").unwrap();
         assert!(s.validate_root(&doc).is_ok());
         let other = xml::parse("<ORDER/>").unwrap();
         assert!(s.validate_root(&other).is_err());

@@ -71,7 +71,11 @@ pub fn node_to_tokens(node: &Node, out: &mut TokenStream) {
                 node_to_tokens(c, out);
             }
         }
-        NodeKind::Element { name, attributes, children } => {
+        NodeKind::Element {
+            name,
+            attributes,
+            children,
+        } => {
             out.push(Token::StartElement(name.clone()));
             for a in attributes {
                 if let NodeKind::Attribute { name, value } = a.kind() {
@@ -192,7 +196,8 @@ fn parse_element(tokens: &[Token], start: usize) -> Result<(NodeRef, usize)> {
 pub fn encode_tuple(fields: &[TokenStream], repr: TupleRepr) -> TokenStream {
     match repr {
         TupleRepr::Stream => {
-            let mut out = Vec::with_capacity(2 + fields.iter().map(Vec::len).sum::<usize>() + fields.len());
+            let mut out =
+                Vec::with_capacity(2 + fields.iter().map(Vec::len).sum::<usize>() + fields.len());
             out.push(Token::BeginTuple);
             for (i, f) in fields.iter().enumerate() {
                 if i > 0 {
@@ -204,7 +209,10 @@ pub fn encode_tuple(fields: &[TokenStream], repr: TupleRepr) -> TokenStream {
             out
         }
         TupleRepr::SingleToken => {
-            vec![Token::Wrapped(Arc::new(encode_tuple(fields, TupleRepr::Stream)))]
+            vec![Token::Wrapped(Arc::new(encode_tuple(
+                fields,
+                TupleRepr::Stream,
+            )))]
         }
         TupleRepr::Array => {
             let per_field: Vec<Token> = fields
@@ -241,9 +249,9 @@ pub fn decode_tuple(tokens: &[Token]) -> Result<Vec<TokenStream>> {
                         fields.last_mut().unwrap().push(t.clone());
                     }
                     Token::EndTuple => {
-                        depth = depth.checked_sub(1).ok_or_else(|| {
-                            XdmError::Other("unbalanced tuple delimiters".into())
-                        })?;
+                        depth = depth
+                            .checked_sub(1)
+                            .ok_or_else(|| XdmError::Other("unbalanced tuple delimiters".into()))?;
                         fields.last_mut().unwrap().push(t.clone());
                     }
                     Token::FieldSeparator if depth == 0 => fields.push(Vec::new()),
@@ -396,10 +404,7 @@ mod tests {
     #[test]
     fn concat_and_subtuple_roundtrip() {
         let a = encode_tuple(&figure4_fields(), TupleRepr::Array);
-        let b = encode_tuple(
-            &[vec![Token::Atomic(V::Boolean(true))]],
-            TupleRepr::Array,
-        );
+        let b = encode_tuple(&[vec![Token::Atomic(V::Boolean(true))]], TupleRepr::Array);
         let wide = concat_tuples(&a, &b, TupleRepr::Array).unwrap();
         assert_eq!(decode_tuple(&wide).unwrap().len(), 3);
         let narrow = extract_subtuple(&wide, 1..3, TupleRepr::Stream).unwrap();

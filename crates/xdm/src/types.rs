@@ -39,7 +39,12 @@ impl Occurrence {
         use Occurrence::*;
         matches!(
             (self, sup),
-            (One, _) | (Optional, Optional) | (Optional, Star) | (Plus, Plus) | (Plus, Star) | (Star, Star)
+            (One, _)
+                | (Optional, Optional)
+                | (Optional, Star)
+                | (Plus, Plus)
+                | (Plus, Star)
+                | (Star, Star)
         )
     }
 
@@ -89,7 +94,10 @@ impl Occurrence {
         if self == other {
             return self;
         }
-        match (self.allows_empty() || other.allows_empty(), self.allows_many() || other.allows_many()) {
+        match (
+            self.allows_empty() || other.allows_empty(),
+            self.allows_many() || other.allows_many(),
+        ) {
             (true, true) => Star,
             (true, false) => Optional,
             (false, true) => Plus,
@@ -214,7 +222,11 @@ impl SequenceType {
             SequenceType::Empty => SequenceType::Empty,
             SequenceType::Seq(i, o) => match i.atomized() {
                 Some((t, extra_opt)) => {
-                    let occ = if extra_opt { o.union(Occurrence::Optional) } else { *o };
+                    let occ = if extra_opt {
+                        o.union(Occurrence::Optional)
+                    } else {
+                        *o
+                    };
                     SequenceType::Seq(ItemType::Atomic(t), occ)
                 }
                 None => SequenceType::Seq(ItemType::Atomic(AtomicType::AnyAtomic), *o),
@@ -226,13 +238,11 @@ impl SequenceType {
     pub fn matches(&self, seq: &[Item]) -> bool {
         match self {
             SequenceType::Empty => seq.is_empty(),
-            SequenceType::Seq(item, occ) => {
-                match seq.len() {
-                    0 => occ.allows_empty(),
-                    1 => item.matches(&seq[0]),
-                    _ => occ.allows_many() && seq.iter().all(|it| item.matches(it)),
-                }
-            }
+            SequenceType::Seq(item, occ) => match seq.len() {
+                0 => occ.allows_empty(),
+                1 => item.matches(&seq[0]),
+                _ => occ.allows_many() && seq.iter().all(|it| item.matches(it)),
+            },
         }
     }
 }
@@ -278,12 +288,18 @@ impl ItemType {
     /// A named element with unconstrained (`ANYTYPE`) content — the static
     /// type the XQuery spec would give a freshly constructed element.
     pub fn element_any(name: QName) -> ItemType {
-        ItemType::Element(ElementType { name: Some(name), content: ContentType::Any })
+        ItemType::Element(ElementType {
+            name: Some(name),
+            content: ContentType::Any,
+        })
     }
 
     /// A named element with typed simple content.
     pub fn element_simple(name: QName, t: AtomicType) -> ItemType {
-        ItemType::Element(ElementType { name: Some(name), content: ContentType::Simple(t) })
+        ItemType::Element(ElementType {
+            name: Some(name),
+            content: ContentType::Simple(t),
+        })
     }
 
     /// Structural item subtyping.
@@ -298,10 +314,9 @@ impl ItemType {
             (AnyNode, _) => false,
             (Document, Document) | (Text, Text) => true,
             (Element(a), Element(b)) => a.is_subtype_of(b),
-            (
-                Attribute { name: n1, typ: t1 },
-                Attribute { name: n2, typ: t2 },
-            ) => name_subsumes(n2, n1) && t1.is_subtype_of(*t2),
+            (Attribute { name: n1, typ: t1 }, Attribute { name: n2, typ: t2 }) => {
+                name_subsumes(n2, n1) && t1.is_subtype_of(*t2)
+            }
             _ => false,
         }
     }
@@ -333,9 +348,15 @@ impl ItemType {
             (Error, t) | (t, Error) => t.clone(),
             (Atomic(a), Atomic(b)) => Atomic(atomic_join(*a, *b)),
             (Element(a), Element(b)) if a.name.is_some() && a.name == b.name => {
-                Element(ElementType { name: a.name.clone(), content: a.content.union(&b.content) })
+                Element(ElementType {
+                    name: a.name.clone(),
+                    content: a.content.union(&b.content),
+                })
             }
-            (Element(_), Element(_)) => Element(ElementType { name: None, content: ContentType::Any }),
+            (Element(_), Element(_)) => Element(ElementType {
+                name: None,
+                content: ContentType::Any,
+            }),
             (a, b) if a.is_node_type() && b.is_node_type() => AnyNode,
             _ => AnyItem,
         }
@@ -380,8 +401,7 @@ impl ItemType {
             (Element(et), Item::Node(n)) => et.matches_node(n),
             (Attribute { name, typ }, Item::Node(n)) => match n.kind() {
                 NodeKind::Attribute { name: an, value } => {
-                    name_subsumes(name, &Some(an.clone()))
-                        && value.type_of().is_subtype_of(*typ)
+                    name_subsumes(name, &Some(an.clone())) && value.type_of().is_subtype_of(*typ)
                 }
                 _ => false,
             },
@@ -448,7 +468,10 @@ pub struct ElementType {
 impl ElementType {
     /// Wildcard element with unconstrained content.
     pub fn any() -> ElementType {
-        ElementType { name: None, content: ContentType::Any }
+        ElementType {
+            name: None,
+            content: ContentType::Any,
+        }
     }
 
     fn is_subtype_of(&self, sup: &ElementType) -> bool {
@@ -545,15 +568,11 @@ impl ComplexContent {
         // positional, name-by-name comparison — sufficient for the
         // record-like shapes data services use
         self.children.len() == sup.children.len()
-            && self
-                .children
-                .iter()
-                .zip(&sup.children)
-                .all(|(a, b)| {
-                    a.occ.is_subtype_of(b.occ)
-                        && name_subsumes(&b.elem.name, &a.elem.name)
-                        && a.elem.content.is_subtype_of(&b.elem.content)
-                })
+            && self.children.iter().zip(&sup.children).all(|(a, b)| {
+                a.occ.is_subtype_of(b.occ)
+                    && name_subsumes(&b.elem.name, &a.elem.name)
+                    && a.elem.content.is_subtype_of(&b.elem.content)
+            })
     }
 
     /// Runtime check that an element's children conform (greedy matching
@@ -582,7 +601,9 @@ impl ComplexContent {
 
     /// Look up the declaration of child `name`.
     pub fn child(&self, name: &QName) -> Option<&ChildDecl> {
-        self.children.iter().find(|c| c.elem.name.as_ref() == Some(name))
+        self.children
+            .iter()
+            .find(|c| c.elem.name.as_ref() == Some(name))
     }
 }
 
@@ -610,7 +631,10 @@ impl ChildDecl {
     /// A required simple-typed child — the shape of a NOT NULL column.
     pub fn required(name: QName, t: AtomicType) -> ChildDecl {
         ChildDecl {
-            elem: ElementType { name: Some(name), content: ContentType::Simple(t) },
+            elem: ElementType {
+                name: Some(name),
+                content: ContentType::Simple(t),
+            },
             occ: Occurrence::One,
         }
     }
@@ -619,7 +643,10 @@ impl ChildDecl {
     /// (NULLs are modeled as missing elements, §4.3).
     pub fn optional(name: QName, t: AtomicType) -> ChildDecl {
         ChildDecl {
-            elem: ElementType { name: Some(name), content: ContentType::Simple(t) },
+            elem: ElementType {
+                name: Some(name),
+                content: ContentType::Simple(t),
+            },
             occ: Occurrence::Optional,
         }
     }
@@ -673,8 +700,7 @@ mod tests {
         assert!(a.is_subtype_of(&b));
         assert!(!b.is_subtype_of(&a));
         assert!(SequenceType::Empty.is_subtype_of(&b));
-        assert!(!SequenceType::Empty
-            .is_subtype_of(&SequenceType::atomic(AtomicType::Integer)));
+        assert!(!SequenceType::Empty.is_subtype_of(&SequenceType::atomic(AtomicType::Integer)));
     }
 
     #[test]
@@ -685,7 +711,7 @@ mod tests {
         assert!(!string1.intersects(&int1)); // provably disjoint → reject
         let dec = SequenceType::atomic(AtomicType::Decimal);
         assert!(int1.intersects(&dec)); // needs typematch only if not subtype
-        // both optional → empty inhabits both
+                                        // both optional → empty inhabits both
         let s_opt = string1.with_occurrence(Occurrence::Optional);
         let i_opt = int1.with_occurrence(Occurrence::Optional);
         assert!(s_opt.intersects(&i_opt));

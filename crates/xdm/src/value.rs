@@ -421,18 +421,14 @@ impl AtomicValue {
                 _ => return Err(err()),
             },
             T::Integer => match self {
-                V::Untyped(s) | V::String(s) => {
-                    V::Integer(s.trim().parse().map_err(|_| err())?)
-                }
+                V::Untyped(s) | V::String(s) => V::Integer(s.trim().parse().map_err(|_| err())?),
                 V::Decimal(d) => V::Integer(d.trunc()),
                 V::Double(d) if d.is_finite() => V::Integer(d.trunc() as i64),
                 V::Boolean(b) => V::Integer(i64::from(*b)),
                 _ => return Err(err()),
             },
             T::Decimal => match self {
-                V::Untyped(s) | V::String(s) => {
-                    V::Decimal(Decimal::parse(s).ok_or_else(err)?)
-                }
+                V::Untyped(s) | V::String(s) => V::Decimal(Decimal::parse(s).ok_or_else(err)?),
                 V::Integer(i) => V::Decimal(Decimal::from_int(*i)),
                 V::Double(d) if d.is_finite() => {
                     V::Decimal(Decimal((d * DECIMAL_SCALE as f64) as i128))
@@ -441,25 +437,19 @@ impl AtomicValue {
                 _ => return Err(err()),
             },
             T::Double => match self {
-                V::Untyped(s) | V::String(s) => {
-                    V::Double(s.trim().parse().map_err(|_| err())?)
-                }
+                V::Untyped(s) | V::String(s) => V::Double(s.trim().parse().map_err(|_| err())?),
                 V::Integer(i) => V::Double(*i as f64),
                 V::Decimal(d) => V::Double(d.to_f64()),
                 V::Boolean(b) => V::Double(f64::from(*b)),
                 _ => return Err(err()),
             },
             T::Date => match self {
-                V::Untyped(s) | V::String(s) => {
-                    V::Date(Date::parse(s).ok_or_else(err)?)
-                }
+                V::Untyped(s) | V::String(s) => V::Date(Date::parse(s).ok_or_else(err)?),
                 V::DateTime(dt) => V::Date(dt.date()),
                 _ => return Err(err()),
             },
             T::DateTime => match self {
-                V::Untyped(s) | V::String(s) => {
-                    V::DateTime(DateTime::parse(s).ok_or_else(err)?)
-                }
+                V::Untyped(s) | V::String(s) => V::DateTime(DateTime::parse(s).ok_or_else(err)?),
                 V::Date(d) => V::DateTime(DateTime(d.0 as i64 * 86400)),
                 _ => return Err(err()),
             },
@@ -518,7 +508,9 @@ impl AtomicValue {
                 O::Sub => AtomicValue::Integer(x.wrapping_sub(y)),
                 O::Mul => AtomicValue::Integer(x.wrapping_mul(y)),
                 O::Div => AtomicValue::Decimal(
-                    Decimal::from_int(x).div(Decimal::from_int(y)).ok_or_else(err)?,
+                    Decimal::from_int(x)
+                        .div(Decimal::from_int(y))
+                        .ok_or_else(err)?,
                 ),
                 O::Mod => {
                     if y == 0 {
@@ -647,7 +639,10 @@ mod tests {
         let b = Decimal::parse("0.2").unwrap();
         assert_eq!(a.add(b).to_string(), "0.3");
         assert_eq!(
-            Decimal::parse("1").unwrap().div(Decimal::parse("3").unwrap()).unwrap(),
+            Decimal::parse("1")
+                .unwrap()
+                .div(Decimal::parse("3").unwrap())
+                .unwrap(),
             Decimal(333333)
         );
         assert!(a.div(Decimal(0)).is_none());

@@ -50,7 +50,11 @@ fn write_node(node: &Node, out: &mut String) {
                 write_node(c, out);
             }
         }
-        NodeKind::Element { name, attributes, children } => {
+        NodeKind::Element {
+            name,
+            attributes,
+            children,
+        } => {
             out.push('<');
             write_name(name, out);
             for a in attributes {
@@ -117,7 +121,10 @@ fn escape_attr(s: &str, out: &mut String) {
 /// processing instructions and the XML declaration are skipped; DTDs are
 /// rejected. All text becomes `xs:untypedAtomic` pending validation.
 pub fn parse(input: &str) -> Result<NodeRef> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_misc()?;
     let ns = Namespaces::default();
     let root = p.parse_element(&ns)?;
@@ -135,7 +142,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> XdmError {
-        XdmError::XmlParse { pos: self.pos, message: msg.to_string() }
+        XdmError::XmlParse {
+            pos: self.pos,
+            message: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -215,7 +225,9 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                     self.skip_ws();
-                    let quote = self.peek().ok_or_else(|| self.err("unterminated attribute"))?;
+                    let quote = self
+                        .peek()
+                        .ok_or_else(|| self.err("unterminated attribute"))?;
                     if quote != b'"' && quote != b'\'' {
                         return Err(self.err("attribute value must be quoted"));
                     }
@@ -405,7 +417,9 @@ mod tests {
         let root = &doc.children()[0];
         assert_eq!(root.name().unwrap().local_name(), "CUSTOMER");
         assert_eq!(
-            root.attribute_named(&QName::local("status")).unwrap().string_value(),
+            root.attribute_named(&QName::local("status"))
+                .unwrap()
+                .string_value(),
             "gold"
         );
         assert_eq!(
@@ -422,7 +436,8 @@ mod tests {
 
     #[test]
     fn parse_namespaces() {
-        let src = r#"<t:PROFILE xmlns:t="urn:profile" xmlns="urn:default"><CID>1</CID></t:PROFILE>"#;
+        let src =
+            r#"<t:PROFILE xmlns:t="urn:profile" xmlns="urn:default"><CID>1</CID></t:PROFILE>"#;
         let doc = parse(src).unwrap();
         let root = &doc.children()[0];
         assert_eq!(root.name().unwrap().uri(), Some("urn:profile"));

@@ -60,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vec![SqlValue::str(cid), SqlValue::str(last), SqlValue::str(ssn)],
         )?;
     }
-    for (oid, cid, amount) in [(1, "CUST001", "99.95"), (2, "CUST001", "12.50"), (3, "CUST003", "45.00")] {
+    for (oid, cid, amount) in [
+        (1, "CUST001", "99.95"),
+        (2, "CUST001", "12.50"),
+        (3, "CUST003", "45.00"),
+    ] {
         db1.insert(
             "ORDER",
             vec![
@@ -84,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in cat2.tables() {
         db2.create_table(t.clone())?;
     }
-    for (ccn, cid) in [("4000-1111", "CUST001"), ("4000-2222", "CUST001"), ("4000-3333", "CUST002")] {
+    for (ccn, cid) in [
+        ("4000-1111", "CUST001"),
+        ("4000-2222", "CUST001"),
+        ("4000-3333", "CUST002"),
+    ] {
         db2.insert("CREDIT_CARD", vec![SqlValue::str(ccn), SqlValue::str(cid)])?;
     }
 

@@ -6,9 +6,11 @@
 //! cargo run --example federated_files
 //! ```
 
-use aldsp::adaptors::{CsvFileSource, XmlFileSource};
 use aldsp::adaptors::files::FileContent;
-use aldsp::relational::{Catalog, Database, Dialect, RelationalServer, SqlType, SqlValue, TableSchema};
+use aldsp::adaptors::{CsvFileSource, XmlFileSource};
+use aldsp::relational::{
+    Catalog, Database, Dialect, RelationalServer, SqlType, SqlValue, TableSchema,
+};
 use aldsp::security::{DenialAction, ElementResource, Principal, SecurityPolicy};
 use aldsp::xdm::schema::ShapeBuilder;
 use aldsp::xdm::value::{AtomicType, AtomicValue};
@@ -35,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (cid, last, region) in [("C1", "Jones", "KR"), ("C2", "Smith", "US")] {
         db.insert(
             "CUSTOMER",
-            vec![SqlValue::str(cid), SqlValue::str(last), SqlValue::str(region)],
+            vec![
+                SqlValue::str(cid),
+                SqlValue::str(last),
+                SqlValue::str(region),
+            ],
         )?;
     }
     let server_db = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db));
@@ -74,14 +80,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // security: only auditors may see complaint severities (§7)
     let mut policy = SecurityPolicy::new();
     policy.add_resource(ElementResource {
-        path: vec![QName::local("COMPLAINTS"), QName::local("COMPLAINT"), QName::local("SEVERITY")],
+        path: vec![
+            QName::local("COMPLAINTS"),
+            QName::local("COMPLAINT"),
+            QName::local("SEVERITY"),
+        ],
         allowed_roles: vec!["auditor".into()],
         denial: DenialAction::Replace(AtomicValue::str("redacted")),
     });
 
     let aldsp = ServerBuilder::new()
         .relational_source(server_db, &catalog, "urn:custDS")?
-        .xml_file(QName::new("urn:files", "COMPLAINT"), complaints, complaint_shape)?
+        .xml_file(
+            QName::new("urn:files", "COMPLAINT"),
+            complaints,
+            complaint_shape,
+        )?
         .csv_file(QName::new("urn:files", "REGION"), regions, region_shape)?
         .security(policy)
         .build();

@@ -5,7 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use aldsp::relational::{Catalog, Database, Dialect, RelationalServer, SqlType, SqlValue, TableSchema};
+use aldsp::relational::{
+    Catalog, Database, Dialect, RelationalServer, SqlType, SqlValue, TableSchema,
+};
 use aldsp::security::Principal;
 use aldsp::xdm::xml::serialize_sequence;
 use aldsp::{CallCriteria, ServerBuilder};

@@ -48,7 +48,11 @@ fn slow_service(name: &str, ns: &str) -> (WebServiceDescription, Arc<SimulatedWe
     let desc = WebServiceDescription {
         name: name.into(),
         namespace: format!("urn:{name}"),
-        operations: vec![WebServiceOperation { name: "ask".into(), input, output }],
+        operations: vec![WebServiceOperation {
+            name: "ask".into(),
+            input,
+            output,
+        }],
     };
     (desc, service)
 }
@@ -116,7 +120,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }}</ANSWER>"#
     );
     let out = aldsp.query(&user, &q, &[])?;
-    println!("\nfail-over: primary down, alternate answered\n  {}", serialize_sequence(&out));
+    println!(
+        "\nfail-over: primary down, alternate answered\n  {}",
+        serialize_sequence(&out)
+    );
 
     // ---- the function cache (§5.5) ---------------------------------------
     svc1.set_available(true);

@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     db.insert(
         "CUSTOMER",
-        vec![SqlValue::str("0815"), SqlValue::str("Jones"), SqlValue::Int(1_118_836_205)],
+        vec![
+            SqlValue::str("0815"),
+            SqlValue::str("Jones"),
+            SqlValue::Int(1_118_836_205),
+        ],
     )?;
     let server_db = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db));
 
@@ -57,9 +61,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opt_dt = SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
     let aldsp = ServerBuilder::new()
         .relational_source(server_db.clone(), &catalog, "urn:custDS")?
-        .native_function(QName::new("urn:lib", "int2date"), opt_int.clone(), opt_dt.clone(), int2date)?
+        .native_function(
+            QName::new("urn:lib", "int2date"),
+            opt_int.clone(),
+            opt_dt.clone(),
+            int2date,
+        )?
         .native_function(QName::new("urn:lib", "date2int"), opt_dt, opt_int, date2int)?
-        .inverse(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"))
+        .inverse(
+            QName::new("urn:lib", "int2date"),
+            QName::new("urn:lib", "date2int"),
+        )
         .build();
 
     // The data service whose first read function is the lineage provider.
@@ -89,9 +101,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("read    : {}", sdo.current());
     sdo.set("LAST_NAME", Some(AtomicValue::str("Smith")))?;
     // the transformed SINCE is writable too, thanks to date2int (§4.4)
-    sdo.set("SINCE", Some(AtomicValue::DateTime(DateTime(1_200_000_000))))?;
+    sdo.set(
+        "SINCE",
+        Some(AtomicValue::DateTime(DateTime(1_200_000_000))),
+    )?;
     let report = aldsp.submit(&user, &provider, &sdo, ConcurrencyPolicy::UpdatedValues)?;
-    println!("\nsubmit touched {:?}, {} row(s):", report.sources_touched, report.rows_affected);
+    println!(
+        "\nsubmit touched {:?}, {} row(s):",
+        report.sources_touched, report.rows_affected
+    );
     for (conn, sql) in &report.statements {
         println!("[{conn}]\n{sql}");
     }
@@ -109,7 +127,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &aldsp::relational::Dml::Update(Update {
             table: "CUSTOMER".into(),
             alias: "t1".into(),
-            set: vec![("LAST_NAME".into(), ScalarExpr::lit(SqlValue::str("Intruder")))],
+            set: vec![(
+                "LAST_NAME".into(),
+                ScalarExpr::lit(SqlValue::str("Intruder")),
+            )],
             where_: None,
         }),
         &[],

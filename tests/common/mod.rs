@@ -87,7 +87,11 @@ pub fn world(n: usize) -> World {
             vec![
                 SqlValue::str(&cid),
                 SqlValue::str(["Jones", "Smith", "Chen"][i % 3]),
-                if i % 7 == 0 { SqlValue::Null } else { SqlValue::str(&format!("F{i}")) },
+                if i % 7 == 0 {
+                    SqlValue::Null
+                } else {
+                    SqlValue::str(&format!("F{i}"))
+                },
                 SqlValue::Int(1000 + i as i64),
                 SqlValue::str(&format!("{i:09}")),
             ],
@@ -117,7 +121,10 @@ pub fn world(n: usize) -> World {
             ccn += 1;
             db2.insert(
                 "CREDIT_CARD",
-                vec![SqlValue::str(&format!("4000-{ccn:06}")), SqlValue::str(&cid)],
+                vec![
+                    SqlValue::str(&format!("4000-{ccn:06}")),
+                    SqlValue::str(&cid),
+                ],
             )
             .expect("generated row");
         }
@@ -155,8 +162,7 @@ pub fn world(n: usize) -> World {
     let db2 = Arc::new(RelationalServer::new("db2", Dialect::Db2, db2));
     let (i2d, d2i) = aldsp::adaptors::native::int2date_pair();
     let opt_int = SequenceType::Seq(ItemType::Atomic(AtomicType::Integer), Occurrence::Optional);
-    let opt_dt =
-        SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
+    let opt_dt = SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
     let server = ServerBuilder::new()
         .relational_source(db1.clone(), &cat1, "urn:custDS")
         .expect("register db1")
@@ -175,11 +181,24 @@ pub fn world(n: usize) -> World {
             rating.clone(),
         )
         .expect("register ws")
-        .native_function(QName::new("urn:lib", "int2date"), opt_int.clone(), opt_dt.clone(), i2d)
+        .native_function(
+            QName::new("urn:lib", "int2date"),
+            opt_int.clone(),
+            opt_dt.clone(),
+            i2d,
+        )
         .expect("register int2date")
         .native_function(QName::new("urn:lib", "date2int"), opt_dt, opt_int, d2i)
         .expect("register date2int")
-        .inverse(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"))
+        .inverse(
+            QName::new("urn:lib", "int2date"),
+            QName::new("urn:lib", "date2int"),
+        )
         .build();
-    World { server, db1, db2, rating }
+    World {
+        server,
+        db1,
+        db2,
+        rating,
+    }
 }

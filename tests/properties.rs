@@ -96,7 +96,11 @@ fn row_strategy() -> impl Strategy<Value = Row> {
         0i64..10_000,
         prop::collection::vec(1i64..500, 0..5),
     )
-        .prop_map(|(last, since, orders)| Row { last, since, orders })
+        .prop_map(|(last, since, orders)| Row {
+            last,
+            since,
+            orders,
+        })
 }
 
 const LASTS: [&str; 4] = ["Jones", "Smith", "Chen", "Garcia"];

@@ -65,7 +65,12 @@ fn get_profile_integrates_both_databases() {
     // a customer with neither: C0000
     assert!(s.contains("<PROFILE><CID>C0000</CID><LAST_NAME>Jones</LAST_NAME><ORDERS/><CREDIT_CARDS/></PROFILE>"), "{s}");
     // PP-k: 12 customers in one block of 20 → exactly one db2 roundtrip
-    assert_eq!(w.db2.stats().roundtrips, 1, "{:?}", w.db2.stats().statements);
+    assert_eq!(
+        w.db2.stats().roundtrips,
+        1,
+        "{:?}",
+        w.db2.stats().statements
+    );
 }
 
 #[test]
@@ -112,7 +117,11 @@ fn navigation_method_compiles_to_a_join() {
         )
         .expect("executes");
     assert_eq!(out.len(), 6); // 0+1+2+0+1+2
-    assert_eq!(w.db1.stats().roundtrips, 1, "navigation joined into one statement");
+    assert_eq!(
+        w.db1.stats().roundtrips,
+        1,
+        "navigation joined into one statement"
+    );
 }
 
 #[test]
@@ -141,7 +150,12 @@ fn mediator_call_criteria_filter_sort_limit() {
     };
     let out = w
         .server
-        .call(&demo(), &QName::new("urn:profileDS", "getProfile"), vec![], &criteria)
+        .call(
+            &demo(),
+            &QName::new("urn:profileDS", "getProfile"),
+            vec![],
+            &criteria,
+        )
         .expect("executes");
     assert_eq!(out.len(), 2);
     let s = serialize_sequence(&out);
@@ -185,7 +199,11 @@ fn async_figure3_variant_overlaps_service_calls() {
     let t0 = std::time::Instant::now();
     let out = w.server.query(&demo(), &q, &[]).expect("executes");
     // 2 customers × 2 parallel calls of 25ms ≈ 2×25ms, not 4×25ms
-    assert!(t0.elapsed() < std::time::Duration::from_millis(90), "{:?}", t0.elapsed());
+    assert!(
+        t0.elapsed() < std::time::Duration::from_millis(90),
+        "{:?}",
+        t0.elapsed()
+    );
     assert_eq!(out.len(), 2);
     assert_eq!(w.server.stats().async_spawns, 4);
 }

@@ -68,9 +68,24 @@ fn range_and_quantifiers() {
     assert_eq!(run(&w, "count(1 to 10)"), "10");
     assert_eq!(run(&w, "count(5 to 4)"), "0");
     assert_eq!(run(&w, "sum(1 to 4)"), "10");
-    assert_eq!(run(&w, "if (some $x in (1,2,3) satisfies $x gt 2) then 1 else 0"), "1");
-    assert_eq!(run(&w, "if (every $x in (1,2,3) satisfies $x gt 2) then 1 else 0"), "0");
-    assert_eq!(run(&w, "if (every $x in () satisfies $x gt 2) then 1 else 0"), "1");
+    assert_eq!(
+        run(
+            &w,
+            "if (some $x in (1,2,3) satisfies $x gt 2) then 1 else 0"
+        ),
+        "1"
+    );
+    assert_eq!(
+        run(
+            &w,
+            "if (every $x in (1,2,3) satisfies $x gt 2) then 1 else 0"
+        ),
+        "0"
+    );
+    assert_eq!(
+        run(&w, "if (every $x in () satisfies $x gt 2) then 1 else 0"),
+        "1"
+    );
 }
 
 #[test]
@@ -145,7 +160,10 @@ fn error_paths_surface_cleanly() {
         .server
         .query(&user, &format!("{PROLOG} nosuch:fn()"), &[])
         .expect_err("unknown function");
-    assert!(err.to_string().contains("unbound") || err.to_string().contains("undeclared"), "{err}");
+    assert!(
+        err.to_string().contains("unbound") || err.to_string().contains("undeclared"),
+        "{err}"
+    );
     // static error: undeclared variable
     let err = w
         .server
@@ -191,5 +209,10 @@ fn deep_view_stacks_execute_correctly() {
     let s = serialize_sequence(&out);
     assert!(s.contains("<CID>C0004</CID>") && s.contains("Smith"), "{s}");
     // the compiled plan pushed everything into one statement
-    assert_eq!(w.db1.stats().roundtrips, 1, "{:#?}", w.db1.stats().statements);
+    assert_eq!(
+        w.db1.stats().roundtrips,
+        1,
+        "{:#?}",
+        w.db1.stats().statements
+    );
 }

@@ -54,7 +54,10 @@ fn table_1b_inner_join() {
            where $c/CID eq $o/CID
            return <CUSTOMER_ORDER>{ $c/CID, $o/OID }</CUSTOMER_ORDER>"#,
     );
-    assert!(sql.contains("FROM \"CUSTOMER\" t1\nJOIN \"ORDER\" t2\nON t1.\"CID\" = t2.\"CID\""), "{sql}");
+    assert!(
+        sql.contains("FROM \"CUSTOMER\" t1\nJOIN \"ORDER\" t2\nON t1.\"CID\" = t2.\"CID\""),
+        "{sql}"
+    );
     // customers 1,2,4,5 have i%3 orders → 1+2+1+2 = 6 pairs
     assert_eq!(out.matches("<CUSTOMER_ORDER>").count(), 6);
 }
@@ -73,7 +76,10 @@ fn table_1c_left_outer_join() {
     assert!(sql.contains("LEFT OUTER JOIN \"ORDER\""), "{sql}");
     // all four customers appear, including C0000 with no orders
     assert_eq!(out.matches("<CUSTOMER>").count(), 4);
-    assert!(out.contains("<CUSTOMER><CID>C0000</CID></CUSTOMER>"), "{out}");
+    assert!(
+        out.contains("<CUSTOMER><CID>C0000</CID></CUSTOMER>"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -85,7 +91,12 @@ fn table_1d_if_then_else_case() {
            where (if ($c/CID eq "C0000") then $c/FIRST_NAME else $c/LAST_NAME) eq "Smith"
            return $c/CID"#,
     );
-    assert!(sql.contains("CASE\nWHEN t1.\"CID\" = 'C0000'\nTHEN t1.\"FIRST_NAME\"\nELSE t1.\"LAST_NAME\"\nEND"), "{sql}");
+    assert!(
+        sql.contains(
+            "CASE\nWHEN t1.\"CID\" = 'C0000'\nTHEN t1.\"FIRST_NAME\"\nELSE t1.\"LAST_NAME\"\nEND"
+        ),
+        "{sql}"
+    );
 }
 
 #[test]
@@ -136,8 +147,14 @@ fn table_2g_outer_join_with_aggregation() {
     assert!(sql.contains("COUNT("), "{sql}");
     assert!(sql.contains("GROUP BY"), "{sql}");
     // zero counts included (C0000 and C0003 have 0 orders)
-    assert!(out.contains("<CUSTOMER><CID>C0000</CID><ORDERS>0</ORDERS></CUSTOMER>"), "{out}");
-    assert!(out.contains("<CUSTOMER><CID>C0002</CID><ORDERS>2</ORDERS></CUSTOMER>"), "{out}");
+    assert!(
+        out.contains("<CUSTOMER><CID>C0000</CID><ORDERS>0</ORDERS></CUSTOMER>"),
+        "{out}"
+    );
+    assert!(
+        out.contains("<CUSTOMER><CID>C0002</CID><ORDERS>2</ORDERS></CUSTOMER>"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -149,7 +166,12 @@ fn table_2h_semi_join_exists() {
            where some $o in c:ORDER() satisfies $c/CID eq $o/CID
            return $c/CID"#,
     );
-    assert!(sql.contains("WHERE EXISTS(\nSELECT 1 AS c1\nFROM \"ORDER\" t2\nWHERE t1.\"CID\" = t2.\"CID\")"), "{sql}");
+    assert!(
+        sql.contains(
+            "WHERE EXISTS(\nSELECT 1 AS c1\nFROM \"ORDER\" t2\nWHERE t1.\"CID\" = t2.\"CID\")"
+        ),
+        "{sql}"
+    );
     // only customers with ≥1 order: C0001, C0002, C0004
     assert_eq!(out.matches("<CID>").count(), 3, "{out}");
 }
@@ -173,9 +195,16 @@ fn table_2i_subsequence_rownum_pagination() {
     assert!(sql.contains("ROWNUM"), "{sql}");
     assert!(sql.contains("ORDER BY COUNT("), "{sql}");
     assert!(sql.contains("DESC"), "{sql}");
-    assert!(sql.contains("(t_out.rn >= 10) AND (t_out.rn < 30)"), "{sql}");
+    assert!(
+        sql.contains("(t_out.rn >= 10) AND (t_out.rn < 30)"),
+        "{sql}"
+    );
     let out = w.server.query(&demo(), &src, &[]).expect("executes");
-    assert_eq!(out.len(), 20, "subsequence(.., 10, 20) returns 20 instances");
+    assert_eq!(
+        out.len(),
+        20,
+        "subsequence(.., 10, 20) returns 20 instances"
+    );
 }
 
 #[test]
@@ -219,7 +248,10 @@ fn inverse_function_parameter_pushdown() {
         .query(
             &demo(),
             &src,
-            &[("start", vec![Item::Atomic(AtomicValue::DateTime(DateTime(1005)))])],
+            &[(
+                "start",
+                vec![Item::Atomic(AtomicValue::DateTime(DateTime(1005)))],
+            )],
         )
         .expect("executes");
     assert_eq!(out.len(), 4, "{}", serialize_sequence(&out));

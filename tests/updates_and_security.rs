@@ -45,7 +45,8 @@ fn figure5_flow_through_the_server() {
         .read_object(&user, &provider(), vec![], &criteria)
         .expect("reads")
         .expect("C0002 exists");
-    sdo.set("LAST_NAME", Some(AtomicValue::str("Smithers"))).expect("writable path");
+    sdo.set("LAST_NAME", Some(AtomicValue::str("Smithers")))
+        .expect("writable path");
     let report = w
         .server
         .submit(&user, &provider(), &sdo, ConcurrencyPolicy::UpdatedValues)
@@ -92,7 +93,9 @@ fn transformed_since_written_through_inverse() {
     w.server
         .submit(&user, &provider(), &sdo, ConcurrencyPolicy::UpdatedValues)
         .expect("submits");
-    let stored = w.db1.with_db(|d| d.table("CUSTOMER").expect("table").rows()[1][3].clone());
+    let stored = w
+        .db1
+        .with_db(|d| d.table("CUSTOMER").expect("table").rows()[1][3].clone());
     assert_eq!(stored, aldsp::relational::SqlValue::Int(2000));
 }
 
@@ -110,7 +113,10 @@ fn security_function_level_denial() {
         .expect_err("denied");
     assert!(matches!(err, ServerError::Security(_)), "{err}");
     let csr = Principal::new("csr", &["csr"]);
-    assert!(w.server.call(&csr, &provider(), vec![], &CallCriteria::default()).is_ok());
+    assert!(w
+        .server
+        .call(&csr, &provider(), vec![], &CallCriteria::default())
+        .is_ok());
 }
 
 #[test]
@@ -148,9 +154,14 @@ fn audit_log_records_denials() {
     w.server.deploy(PROFILE_MODULE).expect("deploys");
     w.server.audit().set_enabled(true);
     let intern = Principal::new("eve", &[]);
-    let _ = w.server.call(&intern, &provider(), vec![], &CallCriteria::default());
+    let _ = w
+        .server
+        .call(&intern, &provider(), vec![], &CallCriteria::default());
     let entries = w.server.audit().entries();
-    assert!(entries.iter().any(|e| e.principal == "eve" && !e.allowed), "{entries:?}");
+    assert!(
+        entries.iter().any(|e| e.principal == "eve" && !e.allowed),
+        "{entries:?}"
+    );
 }
 
 /// A world(5) variant with a security policy installed.
@@ -197,22 +208,34 @@ fn build_with(policy: SecurityPolicy) -> common::World {
     let db2 = Arc::new(RelationalServer::new("db2", Dialect::Db2, db2));
     let (i2d, d2i) = aldsp::adaptors::native::int2date_pair();
     let opt_int = SequenceType::Seq(ItemType::Atomic(AtomicType::Integer), Occurrence::Optional);
-    let opt_dt =
-        SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
+    let opt_dt = SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
     let rating = Arc::new(aldsp::adaptors::SimulatedWebService::new("ratingWS"));
     let server = aldsp::ServerBuilder::new()
         .relational_source(db1.clone(), &cat1, "urn:custDS")
         .expect("db1")
         .relational_source(db2.clone(), &cat2, "urn:ccDS")
         .expect("db2")
-        .native_function(QName::new("urn:lib", "int2date"), opt_int.clone(), opt_dt.clone(), i2d)
+        .native_function(
+            QName::new("urn:lib", "int2date"),
+            opt_int.clone(),
+            opt_dt.clone(),
+            i2d,
+        )
         .expect("i2d")
         .native_function(QName::new("urn:lib", "date2int"), opt_dt, opt_int, d2i)
         .expect("d2i")
-        .inverse(QName::new("urn:lib", "int2date"), QName::new("urn:lib", "date2int"))
+        .inverse(
+            QName::new("urn:lib", "int2date"),
+            QName::new("urn:lib", "date2int"),
+        )
         .security(policy)
         .build();
-    common::World { server, db1, db2, rating }
+    common::World {
+        server,
+        db1,
+        db2,
+        rating,
+    }
 }
 
 #[test]
@@ -231,7 +254,9 @@ fn update_override_replaces_default_handling() {
         Arc::new(move |sdo, lineage| {
             called2.store(true, Ordering::SeqCst);
             // user code can consult the lineage and veto/replace
-            assert!(lineage.entry(&vec![(QName::local("LAST_NAME"), 0)]).is_some());
+            assert!(lineage
+                .entry(&vec![(QName::local("LAST_NAME"), 0)])
+                .is_some());
             if sdo.get("LAST_NAME") == Some(AtomicValue::str("FORBIDDEN")) {
                 return Err("business rule: that name is not allowed".into());
             }
@@ -247,7 +272,8 @@ fn update_override_replaces_default_handling() {
         .read_object(&user, &provider(), vec![], &criteria)
         .expect("reads")
         .expect("exists");
-    sdo.set("LAST_NAME", Some(AtomicValue::str("FORBIDDEN"))).expect("writable");
+    sdo.set("LAST_NAME", Some(AtomicValue::str("FORBIDDEN")))
+        .expect("writable");
     let err = w
         .server
         .submit(&user, &provider(), &sdo, ConcurrencyPolicy::UpdatedValues)
@@ -255,7 +281,8 @@ fn update_override_replaces_default_handling() {
     assert!(err.to_string().contains("business rule"), "{err}");
     assert!(called.load(Ordering::SeqCst));
     // a permitted change falls through and applies normally
-    sdo.set("LAST_NAME", Some(AtomicValue::str("Allowed"))).expect("writable");
+    sdo.set("LAST_NAME", Some(AtomicValue::str("Allowed")))
+        .expect("writable");
     let report = w
         .server
         .submit(&user, &provider(), &sdo, ConcurrencyPolicy::UpdatedValues)
