@@ -9,11 +9,14 @@ use crate::{AdaptorError, Result};
 use aldsp_xdm::item::Sequence;
 use std::sync::Arc;
 
+/// The boxed callable a [`NativeFunction`] wraps.
+type NativeFn = Arc<dyn Fn(&[Sequence]) -> Result<Sequence> + Send + Sync>;
+
 /// A registered custom function.
 #[derive(Clone)]
 pub struct NativeFunction {
     id: String,
-    f: Arc<dyn Fn(&[Sequence]) -> Result<Sequence> + Send + Sync>,
+    f: NativeFn,
 }
 
 impl NativeFunction {
@@ -94,7 +97,7 @@ mod tests {
     fn int2date_roundtrip() {
         let (i2d, d2i) = int2date_pair();
         let secs = vec![Item::int(1_118_836_205)];
-        let date = i2d.call(&[secs.clone()]).unwrap();
+        let date = i2d.call(std::slice::from_ref(&secs)).unwrap();
         assert_eq!(
             date,
             vec![Item::Atomic(AtomicValue::DateTime(DateTime(1_118_836_205)))]

@@ -4,7 +4,7 @@
 //! once and reused per query.
 
 use aldsp::security::Principal;
-use aldsp_bench::fixtures::{build_world, WorldSize, PROLOG};
+use aldsp_bench::fixtures::{build_world, run, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const VIEW_MODULE_TEMPLATE: &str = r#"
@@ -49,12 +49,9 @@ fn bench(c: &mut Criterion) {
     });
 
     // plan-cache hit: compile once, then the server reuses the plan
-    world
-        .server
-        .query(&user, &query, &[])
-        .expect("warms the plan cache");
+    run(&world.server, &user, &query);
     group.bench_function("plan_cache_hit_execute", |b| {
-        b.iter(|| world.server.query(&user, &query, &[]).expect("query"))
+        b.iter(|| run(&world.server, &user, &query))
     });
     group.finish();
 }

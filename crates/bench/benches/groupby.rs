@@ -10,7 +10,7 @@
 //! are printed alongside.
 
 use aldsp::security::Principal;
-use aldsp_bench::fixtures::{build_world, WorldSize, PROLOG};
+use aldsp_bench::fixtures::{build_world, run, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -35,9 +35,9 @@ fn bench(c: &mut Criterion) {
          }}</X>"
     );
     group.bench_function("clustered_streaming", |b| {
-        b.iter(|| world.server.query(&user, &clustered, &[]).expect("query"))
+        b.iter(|| run(&world.server, &user, &clustered))
     });
-    let s = world.server.stats();
+    let s = run(&world.server, &user, &clustered).per_query_stats;
     eprintln!(
         "clustered: streaming_groups={} sorted_groups={} peak_grouped_tuples={}",
         s.streaming_groups, s.sorted_groups, s.peak_grouped_tuples
@@ -45,7 +45,6 @@ fn bench(c: &mut Criterion) {
 
     // the worst case: regrouped raw values used directly — grouping runs
     // in the middleware over an unclustered stream → sort first
-    world.server.reset_stats();
     let sorted = format!(
         "{PROLOG}
          for $o in c:ORDER()
@@ -54,9 +53,9 @@ fn bench(c: &mut Criterion) {
          return <G>{{ $k, $ids }}</G>"
     );
     group.bench_function("sorted_fallback", |b| {
-        b.iter(|| world.server.query(&user, &sorted, &[]).expect("query"))
+        b.iter(|| run(&world.server, &user, &sorted))
     });
-    let s = world.server.stats();
+    let s = run(&world.server, &user, &sorted).per_query_stats;
     eprintln!(
         "sorted: streaming_groups={} sorted_groups={} peak_grouped_tuples={}",
         s.streaming_groups, s.sorted_groups, s.peak_grouped_tuples

@@ -6,6 +6,7 @@
 use aldsp::security::Principal;
 use aldsp::xdm::item::Item;
 use aldsp::xdm::value::{AtomicValue, DateTime};
+use aldsp::QueryRequest;
 use aldsp_bench::fixtures::{build_world_opts, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -34,7 +35,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             world
                 .server
-                .query(&user, &query, &[("start", arg.clone())])
+                .execute(
+                    QueryRequest::new(&query)
+                        .principal(user.clone())
+                        .bind("start", arg.clone()),
+                )
                 .expect("query")
         })
     });
@@ -46,20 +51,32 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             plain
                 .server
-                .query(&user, &query, &[("start", arg.clone())])
+                .execute(
+                    QueryRequest::new(&query)
+                        .principal(user.clone())
+                        .bind("start", arg.clone()),
+                )
                 .expect("query")
         })
     });
     // sanity: identical answers
     let a = world
         .server
-        .query(&user, &query, &[("start", arg.clone())])
+        .execute(
+            QueryRequest::new(&query)
+                .principal(user.clone())
+                .bind("start", arg.clone()),
+        )
         .expect("q");
     let b = plain
         .server
-        .query(&user, &query, &[("start", arg.clone())])
+        .execute(
+            QueryRequest::new(&query)
+                .principal(user.clone())
+                .bind("start", arg.clone()),
+        )
         .expect("q");
-    assert_eq!(a.len(), b.len());
+    assert_eq!(a.items.len(), b.items.len());
     group.finish();
 }
 

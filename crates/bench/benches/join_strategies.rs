@@ -6,7 +6,7 @@
 
 use aldsp::compiler::LocalJoinMethod;
 use aldsp::security::Principal;
-use aldsp_bench::fixtures::{build_world_opts, WorldSize, PROLOG};
+use aldsp_bench::fixtures::{build_world_opts, run, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 const CROSS_SOURCE: &str = r#"
@@ -35,13 +35,13 @@ fn bench(c: &mut Criterion) {
     let inl = build_world_opts(size, 20, LocalJoinMethod::IndexNestedLoop);
     let q = format!("{PROLOG}\n{CROSS_SOURCE}");
     group.bench_function("ppk20_index_nested_loop", |b| {
-        b.iter(|| inl.server.query(&user, &q, &[]).expect("query"))
+        b.iter(|| run(&inl.server, &user, &q))
     });
 
     // PP-k with plain nested-loop local join
     let nl = build_world_opts(size, 20, LocalJoinMethod::NestedLoop);
     group.bench_function("ppk20_nested_loop", |b| {
-        b.iter(|| nl.server.query(&user, &q, &[]).expect("query"))
+        b.iter(|| run(&nl.server, &user, &q))
     });
 
     // the SQL-pushdown "join method" (§5.2: "SQL pushdown is also a join
@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
     let push = build_world_opts(size, 20, LocalJoinMethod::IndexNestedLoop);
     let q2 = format!("{PROLOG}\n{SAME_SOURCE}");
     group.bench_function("same_source_sql_pushdown", |b| {
-        b.iter(|| push.server.query(&user, &q2, &[]).expect("query"))
+        b.iter(|| run(&push.server, &user, &q2))
     });
     group.finish();
 }

@@ -7,7 +7,7 @@
 
 use aldsp::relational::LatencyModel;
 use aldsp::security::Principal;
-use aldsp_bench::fixtures::{build_world_prefetch, WorldSize, PROLOG};
+use aldsp_bench::fixtures::{build_world_prefetch, run, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
         let q = format!("{PROLOG}\n{QUERY}");
         let user = Principal::new("bench", &[]);
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| world.server.query(&user, &q, &[]).expect("query"))
+            b.iter(|| run(&world.server, &user, &q))
         });
         let stats = world.server.stats();
         eprintln!(

@@ -10,7 +10,7 @@
 use aldsp::compiler::LocalJoinMethod;
 use aldsp::relational::LatencyModel;
 use aldsp::security::Principal;
-use aldsp_bench::fixtures::{build_world_opts, WorldSize, PROLOG};
+use aldsp_bench::fixtures::{build_world_opts, run, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const QUERY: &str = r#"
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
         let q = format!("{PROLOG}\n{QUERY}");
         let user = Principal::new("bench", &[]);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| world.server.query(&user, &q, &[]).expect("query"))
+            b.iter(|| run(&world.server, &user, &q))
         });
         let stats = world.db2.stats();
         eprintln!(

@@ -4,7 +4,7 @@
 
 use aldsp::security::Principal;
 use aldsp::xdm::QName;
-use aldsp_bench::fixtures::{build_world, WorldSize, PROLOG};
+use aldsp_bench::fixtures::{build_world, run, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
@@ -36,10 +36,10 @@ fn bench(c: &mut Criterion) {
         .replace("<A2>{", "fn-bea:async(<A2>{")
         .replace("}</A2>", "}</A2>)");
     group.bench_function("two_calls_sequential", |b| {
-        b.iter(|| world.server.query(&user, &sync_q, &[]).expect("query"))
+        b.iter(|| run(&world.server, &user, &sync_q))
     });
     group.bench_function("two_calls_async", |b| {
-        b.iter(|| world.server.query(&user, &async_q, &[]).expect("query"))
+        b.iter(|| run(&world.server, &user, &async_q))
     });
 
     // the function cache: slow call vs cached lookup (§5.5)
@@ -50,15 +50,15 @@ fn bench(c: &mut Criterion) {
         fn:data(ws:getRating(<r:getRating><r:lName>a</r:lName><r:ssn>7</r:ssn></r:getRating>)/r:getRatingResult)"#
     );
     group.bench_function("service_call_uncached", |b| {
-        b.iter(|| world.server.query(&user, &q, &[]).expect("query"))
+        b.iter(|| run(&world.server, &user, &q))
     });
     world.server.enable_function_cache(
         QName::new("urn:ratingWS", "getRating"),
         Duration::from_secs(600),
     );
-    world.server.query(&user, &q, &[]).expect("warm the cache");
+    run(&world.server, &user, &q);
     group.bench_function("service_call_cached", |b| {
-        b.iter(|| world.server.query(&user, &q, &[]).expect("query"))
+        b.iter(|| run(&world.server, &user, &q))
     });
     group.finish();
 }

@@ -7,6 +7,7 @@
 use aldsp::security::Principal;
 use aldsp::xdm::item::Item;
 use aldsp::xdm::QName;
+use aldsp::QueryRequest;
 use aldsp_bench::fixtures::{build_world, WorldSize, PROLOG};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -53,7 +54,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             world
                 .server
-                .query(&user, &direct, &[("id", arg.clone())])
+                .execute(
+                    QueryRequest::new(&direct)
+                        .principal(user.clone())
+                        .bind("id", arg.clone()),
+                )
                 .expect("query")
         })
     });
@@ -61,22 +66,34 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             world
                 .server
-                .query(&user, &layered, &[("id", arg.clone())])
+                .execute(
+                    QueryRequest::new(&layered)
+                        .principal(user.clone())
+                        .bind("id", arg.clone()),
+                )
                 .expect("query")
         })
     });
     // sanity: both return the same customer
     let a = world
         .server
-        .query(&user, &direct, &[("id", arg.clone())])
+        .execute(
+            QueryRequest::new(&direct)
+                .principal(user.clone())
+                .bind("id", arg.clone()),
+        )
         .expect("query");
     let b = world
         .server
-        .query(&user, &layered, &[("id", arg.clone())])
+        .execute(
+            QueryRequest::new(&layered)
+                .principal(user.clone())
+                .bind("id", arg.clone()),
+        )
         .expect("query");
     assert_eq!(
-        aldsp::xdm::xml::serialize_sequence(&a),
-        aldsp::xdm::xml::serialize_sequence(&b)
+        aldsp::xdm::xml::serialize_sequence(&a.items),
+        aldsp::xdm::xml::serialize_sequence(&b.items)
     );
     let _ = QName::local("x");
     group.finish();

@@ -11,11 +11,12 @@ use aldsp::metadata::{WebServiceDescription, WebServiceOperation};
 use aldsp::relational::{
     Catalog, Database, Dialect, RelationalServer, SqlType, SqlValue, TableSchema,
 };
+use aldsp::security::Principal;
 use aldsp::xdm::schema::ShapeBuilder;
 use aldsp::xdm::types::{ItemType, Occurrence, SequenceType};
 use aldsp::xdm::value::{AtomicType, AtomicValue, Decimal};
 use aldsp::xdm::{Node, QName};
-use aldsp::{AldspServer, ServerBuilder};
+use aldsp::{AldspServer, QueryRequest, QueryResponse, ServerBuilder, TraceLevel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -316,4 +317,24 @@ fn multiplicity(customer: usize, avg: usize) -> usize {
 /// Helper for native-function registration in examples.
 pub fn native_pair() -> (NativeFunction, NativeFunction) {
     aldsp::adaptors::native::int2date_pair()
+}
+
+/// Execute `source` as `user` (no bindings, no tracing) — the benches'
+/// one-liner for the common materialized case.
+pub fn run(server: &AldspServer, user: &Principal, source: &str) -> QueryResponse {
+    server
+        .execute(QueryRequest::new(source).principal(user.clone()))
+        .expect("query executes")
+}
+
+/// [`run`] with per-operator tracing enabled, for the tracing-overhead
+/// experiments.
+pub fn run_traced(server: &AldspServer, user: &Principal, source: &str) -> QueryResponse {
+    server
+        .execute(
+            QueryRequest::new(source)
+                .principal(user.clone())
+                .trace(TraceLevel::Operators),
+        )
+        .expect("query executes")
 }

@@ -140,7 +140,7 @@ impl Compiler {
         };
         let mut ctx = self.new_context();
         let _body = translate_module(&mut ctx, &module);
-        diags.extend(ctx.diags.drain(..));
+        diags.append(&mut ctx.diags);
         // partial optimization of each newly declared function body
         let env = ModuleEnv::of(&module);
         let _ = env;
@@ -312,6 +312,7 @@ impl Compiler {
             .collect();
         typecheck::typecheck(ctx, plan, &mut tenv2);
         sqlgen::push_down(ctx, plan);
+        plan.assign_node_ids();
         Ok(())
     }
 }

@@ -20,7 +20,7 @@ use std::collections::HashSet;
 pub use aldsp_parser::ast::Span;
 
 /// A typed compiler expression.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CExpr {
     /// The node kind.
     pub kind: CKind,
@@ -29,6 +29,18 @@ pub struct CExpr {
     pub ty: SequenceType,
     /// Source location.
     pub span: Span,
+    /// Stable plan-node identifier, assigned pre-order by
+    /// [`CExpr::assign_node_ids`] after optimization (0 = unassigned).
+    /// Shared between EXPLAIN output and runtime operator traces.
+    pub node_id: u32,
+}
+
+/// Equality ignores `node_id`: two structurally identical plans compare
+/// equal whether or not ids have been assigned yet.
+impl PartialEq for CExpr {
+    fn eq(&self, other: &CExpr) -> bool {
+        self.kind == other.kind && self.ty == other.ty && self.span == other.span
+    }
 }
 
 impl CExpr {
@@ -38,6 +50,7 @@ impl CExpr {
             kind,
             ty: SequenceType::any(),
             span,
+            node_id: 0,
         }
     }
 
@@ -47,6 +60,7 @@ impl CExpr {
             kind: CKind::Seq(Vec::new()),
             ty: SequenceType::Empty,
             span,
+            node_id: 0,
         }
     }
 
@@ -57,6 +71,7 @@ impl CExpr {
             kind: CKind::Const(v),
             ty,
             span,
+            node_id: 0,
         }
     }
 
@@ -539,6 +554,23 @@ impl CExpr {
             | CKind::Castable { input, .. }
             | CKind::InstanceOf { input, .. } => f(input),
         }
+    }
+
+    /// Number every node pre-order starting at 1 (0 stays "unassigned")
+    /// and return the count assigned. Run once on the finished plan; the
+    /// ids are stable for the life of the [`crate::CompiledQuery`] and
+    /// key both EXPLAIN lines and runtime trace records. Clauses have no
+    /// id of their own: they are addressed as
+    /// `(owning Flwor node_id, clause index)`.
+    pub fn assign_node_ids(&mut self) -> u32 {
+        fn go(e: &mut CExpr, next: &mut u32) {
+            e.node_id = *next;
+            *next += 1;
+            e.for_each_child_mut(&mut |c| go(c, next));
+        }
+        let mut next = 1u32;
+        go(self, &mut next);
+        next - 1
     }
 
     /// The free variables of this expression.

@@ -14,6 +14,7 @@
 
 pub mod compile;
 pub mod context;
+pub mod explain;
 pub mod ir;
 pub mod rules;
 pub mod sqlgen;
@@ -22,6 +23,7 @@ pub mod typecheck;
 
 pub use compile::{CompiledQuery, Compiler, CompilerStats, Options};
 pub use context::{Context, InverseRegistry, Mode, UserFunction};
+pub use explain::{explain_plan, ExplainContext};
 pub use ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec};
 
 use aldsp_relational::Select;
@@ -612,8 +614,10 @@ pub(crate) mod tests {
 
     #[test]
     fn recover_mode_collects_errors_and_keeps_good_functions() {
-        let mut opts = Options::default();
-        opts.mode = Mode::Recover;
+        let opts = Options {
+            mode: Mode::Recover,
+            ..Default::default()
+        };
         let c = Compiler::new(fixture(), opts);
         let deployed = c
             .deploy_module(
@@ -658,7 +662,7 @@ pub(crate) mod tests {
 
 #[cfg(test)]
 mod scalar_projection_tests {
-    use super::tests_support::*;
+    use super::tests::compile;
     use super::*;
     use aldsp_relational::{render_select, Dialect};
 
@@ -708,10 +712,4 @@ mod scalar_projection_tests {
         let sql = render_select(&regions[0].select, Dialect::Oracle);
         assert!(sql.contains("UPPER(t1.\"LAST_NAME\")"), "{sql}");
     }
-}
-
-#[cfg(test)]
-pub(crate) mod tests_support {
-    //! Shared helpers for the compiler test modules.
-    pub(crate) use super::tests::{compile, compiler, oracle_sql, PROLOG};
 }

@@ -592,6 +592,7 @@ fn simplify_flwor(
         };
         let var = var.clone();
         let content = (**content).clone();
+        #[allow(clippy::needless_range_loop)]
         for j in (i + 1)..clauses.len() {
             let mut c = clauses[j].clone();
             let mut c_changed = false;

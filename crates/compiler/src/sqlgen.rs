@@ -141,6 +141,7 @@ impl Region {
 }
 
 /// Extract table metadata from a physical read/navigation call.
+#[allow(clippy::type_complexity)]
 fn table_of_call(
     ctx: &Context<'_>,
     e: &CExpr,
@@ -1671,7 +1672,7 @@ fn hoist_cross_source(
         free.remove(&grouped_var);
         let bound_before: Vec<String> = clauses
             .iter()
-            .flat_map(|c| crate::rules::clause_bindings(c))
+            .flat_map(crate::rules::clause_bindings)
             .collect();
         bound_before
             .into_iter()
@@ -2426,7 +2427,7 @@ pub fn drain_pending_insertions(clauses: &mut Vec<Clause>) {
     PENDING.with(|p| {
         let mut pending = p.borrow_mut();
         // apply in reverse order so indices stay valid
-        pending.sort_by(|a, b| b.0.cmp(&a.0));
+        pending.sort_by_key(|p| std::cmp::Reverse(p.0));
         for (idx, extra) in pending.drain(..) {
             let at = idx.min(clauses.len());
             for (off, c) in extra.into_iter().enumerate() {

@@ -70,6 +70,7 @@ type Scope = HashMap<String, String>;
 pub fn translate_module(ctx: &mut Context<'_>, module: &Module) -> Option<CExpr> {
     let env = ModuleEnv::of(module);
     // two passes: signatures first so bodies can call forward
+    #[allow(clippy::type_complexity)]
     let mut sigs: Vec<(
         QName,
         Vec<(String, SequenceType)>,
@@ -180,6 +181,7 @@ fn error_expr(inputs: Vec<CExpr>, span: Span) -> CExpr {
         kind: CKind::Error(inputs),
         ty: SequenceType::Seq(ItemType::Error, Occurrence::Star),
         span,
+        node_id: 0,
     }
 }
 

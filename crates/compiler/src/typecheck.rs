@@ -424,6 +424,7 @@ fn check_call_args(
                 },
                 ty: pty.clone(),
                 span: arg.span,
+                node_id: 0,
             };
         } else {
             ctx.diag(

@@ -8,11 +8,13 @@
 //! physical data services, §2.1), deploys XQuery data-service modules,
 //! and then:
 //!
-//! * runs ad-hoc queries ([`AldspServer::query`]) — compiled once and
-//!   reused via the **query plan cache** (§2.2),
-//! * invokes data-service methods ([`AldspServer::call`]) with optional
-//!   client-side filtering/sorting criteria (the SDO mediator API's
-//!   "degree of query flexibility", §2.2),
+//! * executes requests built with [`QueryRequest`] — ad-hoc queries and
+//!   data-service method calls, with per-request principals, bindings,
+//!   operator tracing and EXPLAIN — through [`AldspServer::execute`],
+//!   compiled once and reused via the **query plan cache** (§2.2),
+//! * invokes data-service methods with optional client-side
+//!   filtering/sorting criteria (the SDO mediator API's "degree of
+//!   query flexibility", §2.2),
 //! * reads change-tracked data objects and submits updates
 //!   ([`AldspServer::submit`], §6),
 //! * with function- and element-level security enforced around every
@@ -32,14 +34,15 @@ pub use aldsp_xdm as xdm;
 use aldsp_adaptors::{
     AdaptorRegistry, CsvFileSource, NativeFunction, SimulatedWebService, XmlFileSource,
 };
-use aldsp_compiler::{CompiledQuery, Compiler, Mode, Options};
+use aldsp_compiler::{explain_plan, CompiledQuery, Compiler, ExplainContext, Mode, Options};
 use aldsp_metadata::{
     introspect_relational, introspect_web_service, FunctionKind, ParamDecl, PhysicalFunction,
     Registry, SourceBinding, WebServiceDescription,
 };
 use aldsp_parser::Diagnostic;
 use aldsp_relational::{Catalog, RelationalServer};
-use aldsp_runtime::{Runtime, StatsSnapshot};
+use aldsp_runtime::Runtime;
+pub use aldsp_runtime::{NodeTrace, QueryTrace, StatsSnapshot, TraceKey, TraceLevel};
 use aldsp_security::{AccessDenied, AuditLog, Principal, SecurityPolicy};
 use aldsp_updates::{
     analyze, ConcurrencyPolicy, DataObject, Lineage, SubmitError, SubmitProcessor, SubmitReport,
@@ -63,6 +66,8 @@ pub enum ServerError {
     Security(AccessDenied),
     /// A submit failed.
     Submit(SubmitError),
+    /// Writing serialized results to a caller-supplied writer failed.
+    Io(std::io::Error),
     /// Anything else.
     Other(String),
 }
@@ -80,16 +85,45 @@ impl std::fmt::Display for ServerError {
             ServerError::Execute(e) => write!(f, "{e}"),
             ServerError::Security(e) => write!(f, "{e}"),
             ServerError::Submit(e) => write!(f, "{e}"),
+            ServerError::Io(e) => write!(f, "write failed: {e}"),
             ServerError::Other(s) => write!(f, "{s}"),
         }
     }
 }
 
-impl std::error::Error for ServerError {}
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Execute(e) => Some(e),
+            ServerError::Security(e) => Some(e),
+            ServerError::Submit(e) => Some(e),
+            ServerError::Io(e) => Some(e),
+            ServerError::Compile(_) | ServerError::Other(_) => None,
+        }
+    }
+}
 
 impl From<AccessDenied> for ServerError {
     fn from(e: AccessDenied) -> Self {
         ServerError::Security(e)
+    }
+}
+
+impl From<aldsp_runtime::RtError> for ServerError {
+    fn from(e: aldsp_runtime::RtError) -> Self {
+        ServerError::Execute(e)
+    }
+}
+
+impl From<SubmitError> for ServerError {
+    fn from(e: SubmitError) -> Self {
+        ServerError::Submit(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
     }
 }
 
@@ -272,12 +306,14 @@ impl ServerBuilder {
     pub fn build(self) -> AldspServer {
         let metadata = Arc::new(self.metadata);
         let adaptors = Arc::new(self.adaptors);
-        let mut options = Options::default();
-        options.mode = self.mode;
-        options.dialects = adaptors.connection_dialects();
-        options.ppk_block_size = self.ppk_block_size;
-        options.ppk_local_method = self.ppk_local_method;
-        options.ppk_prefetch_depth = self.ppk_prefetch_depth;
+        let options = Options {
+            mode: self.mode,
+            dialects: adaptors.connection_dialects(),
+            ppk_block_size: self.ppk_block_size,
+            ppk_local_method: self.ppk_local_method,
+            ppk_prefetch_depth: self.ppk_prefetch_depth,
+            ..Default::default()
+        };
         let mut compiler = Compiler::new(metadata.clone(), options);
         let mut inverse_registry = aldsp_compiler::InverseRegistry::default();
         for (f, inv) in self.inverses {
@@ -315,6 +351,155 @@ pub struct CallCriteria {
     pub limit: Option<usize>,
 }
 
+impl CallCriteria {
+    /// `true` when no filtering, sorting or limiting is requested —
+    /// the only shape compatible with streaming delivery.
+    pub fn is_empty(&self) -> bool {
+        self.filter.is_empty() && self.sort_by.is_none() && self.limit.is_none()
+    }
+}
+
+/// What a [`QueryRequest`] executes: an ad-hoc query or a deployed
+/// data-service method.
+enum RequestTarget<'a> {
+    Query {
+        source: &'a str,
+    },
+    Call {
+        function: QName,
+        args: Vec<Sequence>,
+        criteria: CallCriteria,
+    },
+}
+
+/// A builder-style execution request — the one entry point for ad-hoc
+/// queries and data-service method calls (replacing the positional
+/// `query`/`call`/`query_streaming` family).
+///
+/// ```ignore
+/// let resp = server.execute(
+///     QueryRequest::new(src)
+///         .principal(user)
+///         .bind("minBalance", vec![Item::integer(100)])
+///         .trace(TraceLevel::Operators),
+/// )?;
+/// println!("{}", resp.plan_explain.unwrap());
+/// println!("{}", resp.trace.unwrap().render());
+/// ```
+pub struct QueryRequest<'a> {
+    target: RequestTarget<'a>,
+    principal: Principal,
+    bindings: Vec<(String, Sequence)>,
+    trace: TraceLevel,
+    explain_only: bool,
+    sink: Option<&'a mut dyn FnMut(Item) -> bool>,
+}
+
+impl<'a> QueryRequest<'a> {
+    /// An ad-hoc query over `source` text. The compiled plan is cached
+    /// by source text (§2.2), which is safe because security filtering
+    /// happens per-user *after* execution.
+    pub fn new(source: &'a str) -> QueryRequest<'a> {
+        QueryRequest {
+            target: RequestTarget::Query { source },
+            principal: Principal::new("anonymous", &[]),
+            bindings: Vec::new(),
+            trace: TraceLevel::default(),
+            explain_only: false,
+            sink: None,
+        }
+    }
+
+    /// A deployed data-service method invocation (the SDO mediator call
+    /// path, §2.2). Arguments bind positionally via [`Self::args`].
+    pub fn call(function: QName) -> QueryRequest<'a> {
+        QueryRequest {
+            target: RequestTarget::Call {
+                function,
+                args: Vec::new(),
+                criteria: CallCriteria::default(),
+            },
+            principal: Principal::new("anonymous", &[]),
+            bindings: Vec::new(),
+            trace: TraceLevel::default(),
+            explain_only: false,
+            sink: None,
+        }
+    }
+
+    /// Positional arguments for a [`Self::call`] target (ignored for
+    /// ad-hoc queries — use [`Self::bind`] there).
+    pub fn args(mut self, values: Vec<Sequence>) -> Self {
+        if let RequestTarget::Call { args, .. } = &mut self.target {
+            *args = values;
+        }
+        self
+    }
+
+    /// Mediator call criteria for a [`Self::call`] target (§2.2).
+    pub fn criteria(mut self, c: CallCriteria) -> Self {
+        if let RequestTarget::Call { criteria, .. } = &mut self.target {
+            *criteria = c;
+        }
+        self
+    }
+
+    /// Run as this principal (defaults to an anonymous principal with
+    /// no roles).
+    pub fn principal(mut self, p: Principal) -> Self {
+        self.principal = p;
+        self
+    }
+
+    /// Bind an external variable by name (ad-hoc queries).
+    pub fn bind(mut self, name: &str, value: Sequence) -> Self {
+        self.bindings.push((name.to_string(), value));
+        self
+    }
+
+    /// How much per-query instrumentation to collect. At
+    /// [`TraceLevel::Operators`] the response carries a per-operator
+    /// [`QueryTrace`] and the plan EXPLAIN; [`TraceLevel::Off`] (the
+    /// default) pays only a branch.
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
+    /// Compile (or fetch from the plan cache) and EXPLAIN only — the
+    /// response carries `plan_explain` and no items.
+    pub fn explain_only(mut self) -> Self {
+        self.explain_only = true;
+        self
+    }
+
+    /// Deliver result items incrementally to `sink` instead of
+    /// materializing them (§2.2). Security filtering still applies per
+    /// item; returning `false` stops execution early.
+    pub fn stream_to(mut self, sink: &'a mut dyn FnMut(Item) -> bool) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+/// What one [`AldspServer::execute`] call produced.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// Materialized, security-filtered result items (empty for
+    /// streaming and explain-only requests).
+    pub items: Sequence,
+    /// Items delivered (to the caller or the streaming sink).
+    pub delivered: u64,
+    /// This execution's exact stat deltas, unpolluted by concurrent
+    /// queries (unlike the server-wide [`AldspServer::stats`]).
+    pub per_query_stats: StatsSnapshot,
+    /// Per-operator trace, when requested via [`QueryRequest::trace`].
+    pub trace: Option<QueryTrace>,
+    /// The plan EXPLAIN, when tracing or [`QueryRequest::explain_only`]
+    /// was requested.
+    pub plan_explain: Option<String>,
+}
+
 /// The ALDSP server (Figure 2).
 pub struct AldspServer {
     metadata: Arc<Registry>,
@@ -346,27 +531,130 @@ impl AldspServer {
             .map_err(ServerError::Compile)
     }
 
-    /// Run an ad-hoc query. The compiled plan is cached by source text —
-    /// "ALDSP maintains a query plan cache in order to avoid repeatedly
-    /// compiling popular queries from the same or different users"
-    /// (§2.2) — which is safe precisely because security filtering
-    /// happens per-user *after* execution.
+    /// Execute a [`QueryRequest`] — the one entry point for ad-hoc
+    /// queries and data-service method calls.
+    ///
+    /// Compiled plans are cached — "ALDSP maintains a query plan cache
+    /// in order to avoid repeatedly compiling popular queries from the
+    /// same or different users" (§2.2) — which is safe precisely
+    /// because security filtering happens per-user *after* execution.
+    /// The response carries the security-filtered items (or streams
+    /// them to the request's sink), this execution's exact stat deltas,
+    /// and — when requested — a per-operator [`QueryTrace`] and the
+    /// plan EXPLAIN.
+    pub fn execute(&self, request: QueryRequest<'_>) -> Result<QueryResponse, ServerError> {
+        let QueryRequest {
+            target,
+            principal,
+            bindings,
+            trace,
+            explain_only,
+            mut sink,
+        } = request;
+        let (plan, call_args, criteria) = match target {
+            RequestTarget::Query { source } => {
+                (self.cached_plan(source)?, None, CallCriteria::default())
+            }
+            RequestTarget::Call {
+                function,
+                args,
+                criteria,
+            } => {
+                // Function-level access is checked before anything runs
+                // (§7); element-level filtering happens on the results.
+                self.security
+                    .check_function_access(&principal, &function, &self.audit)?;
+                (self.cached_call_plan(&function)?, Some(args), criteria)
+            }
+        };
+        let plan_explain =
+            (explain_only || trace != TraceLevel::Off).then(|| self.explain_for(&plan));
+        if explain_only {
+            return Ok(QueryResponse {
+                items: Vec::new(),
+                delivered: 0,
+                per_query_stats: StatsSnapshot::default(),
+                trace: None,
+                plan_explain,
+            });
+        }
+        let owned: Vec<(String, Sequence)> = match call_args {
+            // Call arguments bind positionally to the plan's external
+            // variables; ad-hoc queries bind by name.
+            Some(args) => plan.external_vars.iter().cloned().zip(args).collect(),
+            None => bindings,
+        };
+        let borrowed: Vec<(&str, Sequence)> =
+            owned.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        match sink.take() {
+            Some(on_item) => {
+                if !criteria.is_empty() {
+                    return Err(ServerError::Other(
+                        "call criteria (filter/sort/limit) require materialized \
+                         execution; drop stream_to or the criteria"
+                            .into(),
+                    ));
+                }
+                let exec = self.runtime.execute_streaming_traced(
+                    &plan,
+                    &borrowed,
+                    trace,
+                    &mut |item| {
+                        let filtered =
+                            self.security
+                                .filter_result(&principal, vec![item], &self.audit);
+                        for f in filtered {
+                            if !on_item(f) {
+                                return false;
+                            }
+                        }
+                        true
+                    },
+                )?;
+                Ok(QueryResponse {
+                    items: Vec::new(),
+                    delivered: exec.delivered,
+                    per_query_stats: exec.per_query_stats,
+                    trace: exec.trace,
+                    plan_explain,
+                })
+            }
+            None => {
+                let exec = self.runtime.execute_traced(&plan, &borrowed, trace)?;
+                let filtered = self
+                    .security
+                    .filter_result(&principal, exec.items, &self.audit);
+                let items = apply_criteria(filtered, &criteria);
+                let delivered = items.len() as u64;
+                Ok(QueryResponse {
+                    items,
+                    delivered,
+                    per_query_stats: exec.per_query_stats,
+                    trace: exec.trace,
+                    plan_explain,
+                })
+            }
+        }
+    }
+
+    /// Run an ad-hoc query.
+    #[deprecated(note = "build a `QueryRequest` and use `AldspServer::execute`")]
     pub fn query(
         &self,
         principal: &Principal,
         source: &str,
         bindings: &[(&str, Sequence)],
     ) -> Result<Sequence, ServerError> {
-        let plan = self.cached_plan(source)?;
-        let raw = self
-            .runtime
-            .execute(&plan, bindings)
-            .map_err(ServerError::Execute)?;
-        Ok(self.security.filter_result(principal, raw, &self.audit))
+        let mut req = QueryRequest::new(source).principal(principal.clone());
+        for (n, v) in bindings {
+            req = req.bind(n, v.clone());
+        }
+        self.execute(req).map(|r| r.items)
     }
 
     /// Invoke a data-service function by name with positional arguments,
     /// optionally applying mediator call criteria (§2.2).
+    #[deprecated(note = "build a `QueryRequest::call` and use `AldspServer::execute`")]
     pub fn call(
         &self,
         principal: &Principal,
@@ -374,44 +662,13 @@ impl AldspServer {
         args: Vec<Sequence>,
         criteria: &CallCriteria,
     ) -> Result<Sequence, ServerError> {
-        self.security
-            .check_function_access(principal, function, &self.audit)?;
-        let key = format!("call:{function}");
-        let plan = {
-            let cached = self.plan_cache.lock().get(&key).cloned();
-            match cached {
-                Some(p) => {
-                    self.plan_cache_stats.lock().0 += 1;
-                    p
-                }
-                None => {
-                    self.plan_cache_stats.lock().1 += 1;
-                    let p = Arc::new(
-                        self.compiler
-                            .compile_call(function)
-                            .map_err(ServerError::Compile)?,
-                    );
-                    self.plan_cache.lock().insert(key, p.clone());
-                    p
-                }
-            }
-        };
-        let bindings: Vec<(String, Sequence)> = plan
-            .external_vars
-            .iter()
-            .cloned()
-            .zip(args.into_iter())
-            .collect();
-        let borrowed: Vec<(&str, Sequence)> = bindings
-            .iter()
-            .map(|(n, v)| (n.as_str(), v.clone()))
-            .collect();
-        let raw = self
-            .runtime
-            .execute(&plan, &borrowed)
-            .map_err(ServerError::Execute)?;
-        let filtered = self.security.filter_result(principal, raw, &self.audit);
-        Ok(apply_criteria(filtered, criteria))
+        self.execute(
+            QueryRequest::call(function.clone())
+                .args(args)
+                .criteria(criteria.clone())
+                .principal(principal.clone()),
+        )
+        .map(|r| r.items)
     }
 
     /// Read one instance from a data-service function as a change-tracked
@@ -423,7 +680,14 @@ impl AldspServer {
         args: Vec<Sequence>,
         criteria: &CallCriteria,
     ) -> Result<Option<DataObject>, ServerError> {
-        let items = self.call(principal, function, args, criteria)?;
+        let items = self
+            .execute(
+                QueryRequest::call(function.clone())
+                    .args(args)
+                    .criteria(criteria.clone())
+                    .principal(principal.clone()),
+            )?
+            .items;
         Ok(items.into_iter().find_map(|i| match i {
             Item::Node(n) => Some(DataObject::new(n)),
             _ => None,
@@ -464,9 +728,9 @@ impl AldspServer {
         let lineage = self.lineage_of(provider)?;
         let override_fn = self.update_overrides.lock().get(provider).cloned();
         if let Some(f) = override_fn {
-            match f(sdo, &lineage).map_err(ServerError::Other)? {
-                Some(report) => return Ok(report),
-                None => {} // fall through to the default decomposition
+            // a None falls through to the default decomposition
+            if let Some(report) = f(sdo, &lineage).map_err(ServerError::Other)? {
+                return Ok(report);
             }
         }
         let proc = SubmitProcessor::new(
@@ -489,6 +753,7 @@ impl AldspServer {
     /// incrementally, as a stream" (§2.2). Security filtering applies
     /// per item; returning `false` stops early. Returns the number of
     /// items delivered.
+    #[deprecated(note = "build a `QueryRequest` with `stream_to` and use `AldspServer::execute`")]
     pub fn query_streaming(
         &self,
         principal: &Principal,
@@ -496,26 +761,13 @@ impl AldspServer {
         bindings: &[(&str, Sequence)],
         on_item: &mut dyn FnMut(Item) -> bool,
     ) -> Result<u64, ServerError> {
-        let plan = self.cached_plan(source)?;
-        let mut sink_err: Option<ServerError> = None;
-        let delivered = self
-            .runtime
-            .execute_streaming(&plan, bindings, &mut |item| {
-                let filtered = self
-                    .security
-                    .filter_result(principal, vec![item], &self.audit);
-                for f in filtered {
-                    if !on_item(f) {
-                        return false;
-                    }
-                }
-                true
-            })
-            .map_err(ServerError::Execute)?;
-        if let Some(e) = sink_err.take() {
-            return Err(e);
+        let mut req = QueryRequest::new(source)
+            .principal(principal.clone())
+            .stream_to(on_item);
+        for (n, v) in bindings {
+            req = req.bind(n, v.clone());
         }
-        Ok(delivered)
+        self.execute(req).map(|r| r.delivered)
     }
 
     /// Run a query and serialize the results incrementally to a writer —
@@ -528,8 +780,8 @@ impl AldspServer {
         bindings: &[(&str, Sequence)],
         out: &mut dyn std::io::Write,
     ) -> Result<u64, ServerError> {
-        let mut io_err = None;
-        let n = self.query_streaming(principal, source, bindings, &mut |item| {
+        let mut io_err: Option<std::io::Error> = None;
+        let mut sink = |item: Item| {
             let text = aldsp_xdm::xml::serialize_sequence(&[item]);
             match out.write_all(text.as_bytes()) {
                 Ok(()) => true,
@@ -538,10 +790,17 @@ impl AldspServer {
                     false
                 }
             }
-        })?;
+        };
+        let mut req = QueryRequest::new(source)
+            .principal(principal.clone())
+            .stream_to(&mut sink);
+        for (n, v) in bindings {
+            req = req.bind(n, v.clone());
+        }
+        let delivered = self.execute(req)?.delivered;
         match io_err {
-            Some(e) => Err(ServerError::Other(format!("write failed: {e}"))),
-            None => Ok(n),
+            Some(e) => Err(ServerError::Io(e)),
+            None => Ok(delivered),
         }
     }
 
@@ -551,12 +810,20 @@ impl AldspServer {
         self.runtime.cache().enable(function, ttl);
     }
 
-    /// Runtime execution statistics.
+    /// Runtime execution statistics: a **monotonic** snapshot of the
+    /// server-wide counters, aggregated across every query the runtime
+    /// has executed (concurrent queries included). For the exact cost
+    /// of one query, use [`QueryResponse::per_query_stats`] instead of
+    /// differencing two snapshots — a concurrent query can land between
+    /// them.
     pub fn stats(&self) -> StatsSnapshot {
         self.runtime.stats()
     }
 
     /// Reset runtime statistics.
+    #[deprecated(
+        note = "racy under concurrency; use `QueryResponse::per_query_stats` for per-query deltas"
+    )]
     pub fn reset_stats(&self) {
         self.runtime.reset_stats()
     }
@@ -606,6 +873,35 @@ impl AldspServer {
             .lock()
             .insert(source.to_string(), plan.clone());
         Ok(plan)
+    }
+
+    fn cached_call_plan(&self, function: &QName) -> Result<Arc<CompiledQuery>, ServerError> {
+        let key = format!("call:{function}");
+        if let Some(p) = self.plan_cache.lock().get(&key) {
+            self.plan_cache_stats.lock().0 += 1;
+            return Ok(p.clone());
+        }
+        self.plan_cache_stats.lock().1 += 1;
+        let plan = Arc::new(
+            self.compiler
+                .compile_call(function)
+                .map_err(ServerError::Compile)?,
+        );
+        self.plan_cache.lock().insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Render the plan EXPLAIN for a compiled query, supplying the
+    /// renderer with runtime state the compiler can't know: connection
+    /// dialects and per-function cache enablement (§5.5).
+    fn explain_for(&self, plan: &CompiledQuery) -> String {
+        let dialects = self.adaptors.connection_dialects();
+        let cache = self.runtime.cache();
+        let ctx = ExplainContext {
+            dialects: &dialects,
+            cache_enabled: &|q| cache.enabled(q),
+        };
+        explain_plan(&plan.plan, &ctx)
     }
 }
 

@@ -130,14 +130,9 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The benchmark harness entry point.
+#[derive(Default)]
 pub struct Criterion {
     ran: usize,
-}
-
-impl Default for Criterion {
-    fn default() -> Criterion {
-        Criterion { ran: 0 }
-    }
 }
 
 impl Criterion {

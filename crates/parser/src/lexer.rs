@@ -270,6 +270,7 @@ impl<'a> Scanner<'a> {
     }
 
     /// Scan the next token.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<(Tok, Span), LexError> {
         if let Some((body, span)) = self.skip_trivia()? {
             return Ok((Tok::Pragma(body), span));
@@ -459,8 +460,7 @@ impl<'a> Scanner<'a> {
             self.pos += 1;
         }
         let mut is_dec = false;
-        if self.peek_char() == Some(b'.')
-            && self.peek_char_at(1).map_or(true, |c| c.is_ascii_digit())
+        if self.peek_char() == Some(b'.') && self.peek_char_at(1).is_none_or(|c| c.is_ascii_digit())
         {
             is_dec = true;
             self.pos += 1;

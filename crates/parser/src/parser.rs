@@ -531,9 +531,7 @@ impl<'a> Parser<'a> {
                     });
                 }
                 "element" | "schema-element" | "attribute" => {
-                    let inner = if self.peek().0 == Tok::RParen {
-                        None
-                    } else if self.eat(&Tok::Star) {
+                    let inner = if self.peek().0 == Tok::RParen || self.eat(&Tok::Star) {
                         None
                     } else {
                         let (n, _) = self.expect_name()?;
@@ -604,16 +602,8 @@ impl<'a> Parser<'a> {
                         return self.quantified();
                     }
                 }
-                "if" => {
-                    if self.peek2() == Tok::LParen {
-                        return self.if_expr();
-                    }
-                }
-                "typeswitch" => {
-                    if self.peek2() == Tok::LParen {
-                        return self.typeswitch();
-                    }
-                }
+                "if" if self.peek2() == Tok::LParen => return self.if_expr(),
+                "typeswitch" if self.peek2() == Tok::LParen => return self.typeswitch(),
                 _ => {}
             }
         }

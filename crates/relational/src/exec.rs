@@ -249,7 +249,7 @@ fn eval_from(
                     if !matched && *kind == JoinKind::LeftOuter {
                         let mut combined = Vec::with_capacity(l.len() + rwidth);
                         combined.extend(l.iter().cloned());
-                        combined.extend(std::iter::repeat(SqlValue::Null).take(rwidth));
+                        combined.extend(std::iter::repeat_n(SqlValue::Null, rwidth));
                         out.push(combined);
                     }
                 }
@@ -307,7 +307,7 @@ fn eval_from(
                     if !matched && *kind == JoinKind::LeftOuter {
                         let mut combined = Vec::with_capacity(l.len() + rwidth);
                         combined.extend(l.iter().cloned());
-                        combined.extend(std::iter::repeat(SqlValue::Null).take(rwidth));
+                        combined.extend(std::iter::repeat_n(SqlValue::Null, rwidth));
                         out.push(combined);
                     }
                 }
@@ -656,7 +656,6 @@ mod tests {
     use crate::catalog::TableSchema;
     use crate::sql::{ppk_block_predicate, OutputColumn};
     use crate::types::SqlType;
-    use aldsp_xdm::item::CompOp;
 
     fn db() -> Database {
         let mut d = Database::new();

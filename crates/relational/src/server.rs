@@ -65,6 +65,9 @@ pub struct ServerStats {
     pub statements: Vec<String>,
 }
 
+/// One buffered DML statement with its positional parameters.
+type PendingDml = (Dml, Vec<SqlValue>);
+
 /// A simulated relational backend.
 pub struct RelationalServer {
     name: String,
@@ -77,7 +80,7 @@ pub struct RelationalServer {
     fail_on_prepare: AtomicBool,
     supports_xa: bool,
     next_tx: AtomicU64,
-    pending: Mutex<HashMap<u64, Vec<(Dml, Vec<SqlValue>)>>>,
+    pending: Mutex<HashMap<u64, Vec<PendingDml>>>,
 }
 
 impl RelationalServer {

@@ -352,11 +352,7 @@ impl ScalarExpr {
                     a.walk(f);
                 }
             }
-            ScalarExpr::Agg { arg, .. } => {
-                if let Some(a) = arg {
-                    a.walk(f);
-                }
-            }
+            ScalarExpr::Agg { arg: Some(a), .. } => a.walk(f),
             _ => {}
         }
     }

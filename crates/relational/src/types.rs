@@ -314,6 +314,7 @@ impl Truth {
     }
 
     /// 3VL NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,

@@ -18,6 +18,7 @@
 use crate::cache::FunctionCache;
 use crate::env::Env;
 use crate::stats::ExecStats;
+use crate::trace::{NodeTrace, TraceCollector, TraceKey};
 use aldsp_adaptors::{AdaptorError, AdaptorRegistry};
 use aldsp_compiler::ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec};
 use aldsp_metadata::Registry;
@@ -84,20 +85,84 @@ pub struct RuntimeInner {
     pub stats: ExecStats,
 }
 
+/// Per-execution context threaded through the interpreter: the shared
+/// runtime plus this execution's own stat counters and (optional) trace
+/// sink. Cloning is cheap (three `Arc`s), which is how async / timeout /
+/// prefetch threads carry the context with them.
+#[derive(Clone)]
+pub struct ExecCtx {
+    /// Shared runtime state.
+    pub rt: Arc<RuntimeInner>,
+    /// Per-execution counters: every event lands here *and* in the
+    /// global `rt.stats` aggregate, so a snapshot of `local` is this
+    /// query's exact delta regardless of concurrent queries.
+    pub local: Arc<ExecStats>,
+    /// Per-operator trace sink; `None` when tracing is off (the
+    /// untraced path pays only this branch).
+    pub trace: Option<Arc<TraceCollector>>,
+}
+
+impl ExecCtx {
+    /// A fresh per-execution context over shared runtime state.
+    pub fn new(rt: Arc<RuntimeInner>, trace: Option<Arc<TraceCollector>>) -> ExecCtx {
+        ExecCtx {
+            rt,
+            local: Arc::new(ExecStats::default()),
+            trace,
+        }
+    }
+
+    /// Bump a counter on both the global aggregate and this execution.
+    fn inc(&self, f: impl Fn(&ExecStats) -> &std::sync::atomic::AtomicU64) {
+        self.rt.stats.inc(f(&self.rt.stats));
+        self.local.inc(f(&self.local));
+    }
+
+    /// Add to a counter on both the global aggregate and this execution.
+    fn add(&self, f: impl Fn(&ExecStats) -> &std::sync::atomic::AtomicU64, n: u64) {
+        f(&self.rt.stats).fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        f(&self.local).fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Raise a high-water mark on both scopes.
+    fn peak(&self, f: impl Fn(&ExecStats) -> &std::sync::atomic::AtomicU64, v: u64) {
+        self.rt.stats.peak(f(&self.rt.stats), v);
+        self.local.peak(f(&self.local), v);
+    }
+
+    /// Merge a trace delta for `key`, when tracing is on.
+    fn trace_record(&self, key: Option<TraceKey>, delta: NodeTrace) {
+        if let (Some(sink), Some(key)) = (&self.trace, key) {
+            sink.record(key, delta);
+        }
+    }
+
+    /// Count one source roundtrip against a traced operator.
+    fn trace_roundtrip(&self, key: Option<TraceKey>) {
+        self.trace_record(
+            key,
+            NodeTrace {
+                source_roundtrips: 1,
+                ..Default::default()
+            },
+        );
+    }
+}
+
 type TupleIter<'a> = Box<dyn Iterator<Item = RtResult<Env>> + 'a>;
 
 /// Evaluate an expression to a sequence.
-pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> {
+pub fn eval(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Sequence> {
     match &e.kind {
         CKind::Const(v) => Ok(vec![Item::Atomic(v.clone())]),
         CKind::Var(v) => env
             .get(v)
             .cloned()
             .ok_or_else(|| RtError::Plan(format!("unbound variable ${v}"))),
-        CKind::Seq(parts) => eval_sequence(rt, parts, env),
+        CKind::Seq(parts) => eval_sequence(cx, parts, env),
         CKind::Range(a, b) => {
-            let lo = single_integer(rt, a, env)?;
-            let hi = single_integer(rt, b, env)?;
+            let lo = single_integer(cx, a, env)?;
+            let hi = single_integer(cx, b, env)?;
             match (lo, hi) {
                 (Some(lo), Some(hi)) if lo <= hi => Ok((lo..=hi).map(Item::int).collect()),
                 _ => Ok(vec![]),
@@ -105,18 +170,18 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
         }
         CKind::Flwor { clauses, ret } => {
             let mut out = Vec::new();
-            for tuple in flwor_tuples(rt, clauses, env) {
+            for tuple in flwor_tuples(cx, e.node_id, clauses, env) {
                 let tenv = tuple?;
-                out.extend(eval(rt, ret, &tenv)?);
+                out.extend(eval(cx, ret, &tenv)?);
             }
             Ok(out)
         }
         CKind::If { cond, then, els } => {
-            let c = eval(rt, cond, env)?;
+            let c = eval(cx, cond, env)?;
             if effective_boolean_value(&c)? {
-                eval(rt, then, env)
+                eval(cx, then, env)
             } else {
-                eval(rt, els, env)
+                eval(cx, els, env)
             }
         }
         CKind::Quantified {
@@ -125,10 +190,10 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             source,
             satisfies,
         } => {
-            let domain = eval(rt, source, env)?;
+            let domain = eval(cx, source, env)?;
             for item in domain {
                 let benv = env.bind(var, vec![item]);
-                let holds = effective_boolean_value(&eval(rt, satisfies, &benv)?)?;
+                let holds = effective_boolean_value(&eval(cx, satisfies, &benv)?)?;
                 if *every && !holds {
                     return Ok(vec![Item::Atomic(AtomicValue::Boolean(false))]);
                 }
@@ -143,30 +208,30 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             cases,
             default,
         } => {
-            let value = eval(rt, operand, env)?;
+            let value = eval(cx, operand, env)?;
             for (ty, var, body) in cases {
                 if ty.matches(&value) {
                     let benv = env.bind(var, value);
-                    return eval(rt, body, &benv);
+                    return eval(cx, body, &benv);
                 }
             }
             let benv = env.bind(&default.0, value);
-            eval(rt, &default.1, &benv)
+            eval(cx, &default.1, &benv)
         }
         CKind::And(a, b) => {
-            let la = effective_boolean_value(&eval(rt, a, env)?)?;
+            let la = effective_boolean_value(&eval(cx, a, env)?)?;
             if !la {
                 return Ok(vec![Item::Atomic(AtomicValue::Boolean(false))]);
             }
-            let lb = effective_boolean_value(&eval(rt, b, env)?)?;
+            let lb = effective_boolean_value(&eval(cx, b, env)?)?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(lb))])
         }
         CKind::Or(a, b) => {
-            let la = effective_boolean_value(&eval(rt, a, env)?)?;
+            let la = effective_boolean_value(&eval(cx, a, env)?)?;
             if la {
                 return Ok(vec![Item::Atomic(AtomicValue::Boolean(true))]);
             }
-            let lb = effective_boolean_value(&eval(rt, b, env)?)?;
+            let lb = effective_boolean_value(&eval(cx, b, env)?)?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(lb))])
         }
         CKind::Compare {
@@ -175,8 +240,8 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             lhs,
             rhs,
         } => {
-            let l = eval(rt, lhs, env)?;
-            let r = eval(rt, rhs, env)?;
+            let l = eval(cx, lhs, env)?;
+            let r = eval(cx, rhs, env)?;
             if *general {
                 Ok(vec![Item::Atomic(AtomicValue::Boolean(general_compare(
                     &l, *op, &r,
@@ -189,19 +254,19 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             }
         }
         CKind::Arith { op, lhs, rhs } => {
-            let l = eval(rt, lhs, env)?;
-            let r = eval(rt, rhs, env)?;
+            let l = eval(cx, lhs, env)?;
+            let r = eval(cx, rhs, env)?;
             Ok(match arithmetic(&l, *op, &r)? {
                 Some(v) => vec![Item::Atomic(v)],
                 None => vec![],
             })
         }
         CKind::Data(inner) => {
-            let v = eval(rt, inner, env)?;
+            let v = eval(cx, inner, env)?;
             Ok(atomize(&v).into_iter().map(Item::Atomic).collect())
         }
         CKind::ChildStep { input, name } => {
-            let v = eval(rt, input, env)?;
+            let v = eval(cx, input, env)?;
             let mut out = Vec::new();
             for item in &v {
                 if let Item::Node(n) = item {
@@ -214,7 +279,7 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             Ok(out)
         }
         CKind::AttrStep { input, name } => {
-            let v = eval(rt, input, env)?;
+            let v = eval(cx, input, env)?;
             let mut out = Vec::new();
             for item in &v {
                 if let Item::Node(n) = item {
@@ -231,7 +296,7 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             Ok(out)
         }
         CKind::DescendantStep { input } => {
-            let v = eval(rt, input, env)?;
+            let v = eval(cx, input, env)?;
             let mut out = Vec::new();
             for item in &v {
                 if let Item::Node(n) = item {
@@ -246,7 +311,7 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             ctx_var,
             positional,
         } => {
-            let v = eval(rt, input, env)?;
+            let v = eval(cx, input, env)?;
             // a constant positional predicate (`$x[3]`) is a direct
             // index — no per-item context binding or predicate eval
             if *positional {
@@ -265,7 +330,7 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             let mut out = Vec::new();
             for (i, item) in v.iter().enumerate() {
                 let benv = env.bind(ctx_var, vec![item.clone()]);
-                let p = eval(rt, predicate, &benv)?;
+                let p = eval(cx, predicate, &benv)?;
                 if *positional {
                     let pos = atomize(&p);
                     if let Some(v) = pos.first() {
@@ -286,20 +351,20 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             conditional,
             attributes,
             content,
-        } => construct_element(rt, name, *conditional, attributes, content, env),
-        CKind::Builtin { op, args } => eval_builtin(rt, *op, args, env),
+        } => construct_element(cx, name, *conditional, attributes, content, env),
+        CKind::Builtin { op, args } => eval_builtin(cx, *op, args, env),
         CKind::PhysicalCall { name, args } => {
             let mut arg_vals = Vec::with_capacity(args.len());
             for a in args {
-                arg_vals.push(eval(rt, a, env)?);
+                arg_vals.push(eval(cx, a, env)?);
             }
-            call_physical(rt, name, &arg_vals)
+            call_physical(cx, name, &arg_vals, e.node_id)
         }
         CKind::UserCall { name, .. } => Err(RtError::Plan(format!(
             "call to {name} was not unfolded (recursive data-service functions are not executable)"
         ))),
         CKind::TypeMatch { input, ty } => {
-            let v = eval(rt, input, env)?;
+            let v = eval(cx, input, env)?;
             if ty.matches(&v) {
                 Ok(v)
             } else {
@@ -315,7 +380,7 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             target,
             optional,
         } => {
-            let v = atomize(&eval(rt, input, env)?);
+            let v = atomize(&eval(cx, input, env)?);
             match v.as_slice() {
                 [] if *optional => Ok(vec![]),
                 [] => Err(XdmError::Cast {
@@ -328,7 +393,7 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             }
         }
         CKind::Castable { input, target } => {
-            let v = atomize(&eval(rt, input, env)?);
+            let v = atomize(&eval(cx, input, env)?);
             let ok = match v.as_slice() {
                 [] => true,
                 [one] => one.cast_to(*target).is_ok(),
@@ -337,7 +402,7 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
             Ok(vec![Item::Atomic(AtomicValue::Boolean(ok))])
         }
         CKind::InstanceOf { input, ty } => {
-            let v = eval(rt, input, env)?;
+            let v = eval(cx, input, env)?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(ty.matches(&v)))])
         }
         CKind::Error(_) => Err(RtError::Plan(
@@ -348,7 +413,7 @@ pub fn eval(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Sequence> 
 
 /// Evaluate a sequence of parts; immediate `fn-bea:async(...)` parts run
 /// concurrently on scoped threads (§5.4), overlapping their latencies.
-fn eval_sequence(rt: &Arc<RuntimeInner>, parts: &[CExpr], env: &Env) -> RtResult<Sequence> {
+fn eval_sequence(cx: &ExecCtx, parts: &[CExpr], env: &Env) -> RtResult<Sequence> {
     let any_async = parts.iter().any(|p| {
         matches!(
             &p.kind,
@@ -361,7 +426,7 @@ fn eval_sequence(rt: &Arc<RuntimeInner>, parts: &[CExpr], env: &Env) -> RtResult
     if !any_async {
         let mut out = Vec::new();
         for p in parts {
-            out.extend(eval(rt, p, env)?);
+            out.extend(eval(cx, p, env)?);
         }
         return Ok(out);
     }
@@ -374,11 +439,11 @@ fn eval_sequence(rt: &Arc<RuntimeInner>, parts: &[CExpr], env: &Env) -> RtResult
                 args,
             } = &p.kind
             {
-                rt.stats.inc(&rt.stats.async_spawns);
+                cx.inc(|s| &s.async_spawns);
                 let arg = &args[0];
                 let env = env.clone();
-                let rt2 = rt.clone();
-                handles.push((i, scope.spawn(move || eval(&rt2, arg, &env))));
+                let cx2 = cx.clone();
+                handles.push((i, scope.spawn(move || eval(&cx2, arg, &env))));
             }
         }
         for (i, p) in parts.iter().enumerate() {
@@ -389,7 +454,7 @@ fn eval_sequence(rt: &Arc<RuntimeInner>, parts: &[CExpr], env: &Env) -> RtResult
                     ..
                 }
             ) {
-                slots[i] = Some(eval(rt, p, env));
+                slots[i] = Some(eval(cx, p, env));
             }
         }
         for (i, h) in handles {
@@ -415,8 +480,8 @@ fn descend(n: &NodeRef, out: &mut Vec<Item>) {
     }
 }
 
-fn single_integer(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Option<i64>> {
-    let v = atomize(&eval(rt, e, env)?);
+fn single_integer(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Option<i64>> {
+    let v = atomize(&eval(cx, e, env)?);
     match v.as_slice() {
         [] => Ok(None),
         [one] => match one.cast_to(AtomicType::Integer)? {
@@ -430,7 +495,7 @@ fn single_integer(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Opti
 // ---- element construction -----------------------------------------------------
 
 fn construct_element(
-    rt: &Arc<RuntimeInner>,
+    cx: &ExecCtx,
     name: &QName,
     conditional: bool,
     attributes: &[(QName, bool, CExpr)],
@@ -439,13 +504,13 @@ fn construct_element(
 ) -> RtResult<Sequence> {
     let mut attr_nodes: Vec<NodeRef> = Vec::new();
     for (aname, acond, value) in attributes {
-        match attr_string(rt, value, env)? {
+        match attr_string(cx, value, env)? {
             Some(s) => attr_nodes.push(Node::attribute(aname.clone(), AtomicValue::str(&s))),
             None if *acond => {} // conditional attribute omitted (§3.1)
             None => attr_nodes.push(Node::attribute(aname.clone(), AtomicValue::str(""))),
         }
     }
-    let items = eval(rt, content, env)?;
+    let items = eval(cx, content, env)?;
     if conditional && items.is_empty() {
         // <E?> with empty content constructs nothing (§3.1)
         return Ok(vec![]);
@@ -495,7 +560,7 @@ fn construct_element(
 /// Evaluate an attribute-value template; `None` when every dynamic part
 /// evaluated to the empty sequence and there is no literal text (the
 /// `a?=` conditional-omission trigger).
-fn attr_string(rt: &Arc<RuntimeInner>, value: &CExpr, env: &Env) -> RtResult<Option<String>> {
+fn attr_string(cx: &ExecCtx, value: &CExpr, env: &Env) -> RtResult<Option<String>> {
     let parts: Vec<&CExpr> = match &value.kind {
         CKind::Seq(parts) => parts.iter().collect(),
         _ => vec![value],
@@ -509,7 +574,7 @@ fn attr_string(rt: &Arc<RuntimeInner>, value: &CExpr, env: &Env) -> RtResult<Opt
                 any = true;
             }
             _ => {
-                let items = atomize(&eval(rt, p, env)?);
+                let items = atomize(&eval(cx, p, env)?);
                 if !items.is_empty() {
                     any = true;
                 }
@@ -527,42 +592,37 @@ fn attr_string(rt: &Arc<RuntimeInner>, value: &CExpr, env: &Env) -> RtResult<Opt
 
 // ---- builtins -------------------------------------------------------------------
 
-fn eval_builtin(
-    rt: &Arc<RuntimeInner>,
-    op: Builtin,
-    args: &[CExpr],
-    env: &Env,
-) -> RtResult<Sequence> {
+fn eval_builtin(cx: &ExecCtx, op: Builtin, args: &[CExpr], env: &Env) -> RtResult<Sequence> {
     use Builtin as B;
     match op {
         B::Count => {
-            let v = eval(rt, &args[0], env)?;
+            let v = eval(cx, &args[0], env)?;
             Ok(vec![Item::int(v.len() as i64)])
         }
         B::Sum | B::Avg | B::Min | B::Max => {
-            let vals = atomize(&eval(rt, &args[0], env)?);
+            let vals = atomize(&eval(cx, &args[0], env)?);
             aggregate(op, &vals)
         }
         B::Exists => {
-            let v = eval(rt, &args[0], env)?;
+            let v = eval(cx, &args[0], env)?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(!v.is_empty()))])
         }
         B::Empty => {
-            let v = eval(rt, &args[0], env)?;
+            let v = eval(cx, &args[0], env)?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(v.is_empty()))])
         }
         B::Not => {
-            let v = effective_boolean_value(&eval(rt, &args[0], env)?)?;
+            let v = effective_boolean_value(&eval(cx, &args[0], env)?)?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(!v))])
         }
         B::Boolean => {
-            let v = effective_boolean_value(&eval(rt, &args[0], env)?)?;
+            let v = effective_boolean_value(&eval(cx, &args[0], env)?)?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(v))])
         }
         B::True => Ok(vec![Item::Atomic(AtomicValue::Boolean(true))]),
         B::False => Ok(vec![Item::Atomic(AtomicValue::Boolean(false))]),
         B::String => {
-            let v = eval(rt, &args[0], env)?;
+            let v = eval(cx, &args[0], env)?;
             Ok(match v.as_slice() {
                 [] => vec![Item::str("")],
                 [one] => vec![Item::str(&one.string_value())],
@@ -572,7 +632,7 @@ fn eval_builtin(
         B::Concat => {
             let mut s = String::new();
             for a in args {
-                let v = atomize(&eval(rt, a, env)?);
+                let v = atomize(&eval(cx, a, env)?);
                 for item in v {
                     s.push_str(&item.string_value());
                 }
@@ -580,23 +640,23 @@ fn eval_builtin(
             Ok(vec![Item::str(&s)])
         }
         B::StringLength => {
-            let v = single_string(rt, &args[0], env)?.unwrap_or_default();
+            let v = single_string(cx, &args[0], env)?.unwrap_or_default();
             Ok(vec![Item::int(v.chars().count() as i64)])
         }
         B::UpperCase => {
-            let v = single_string(rt, &args[0], env)?.unwrap_or_default();
+            let v = single_string(cx, &args[0], env)?.unwrap_or_default();
             Ok(vec![Item::str(&v.to_uppercase())])
         }
         B::LowerCase => {
-            let v = single_string(rt, &args[0], env)?.unwrap_or_default();
+            let v = single_string(cx, &args[0], env)?.unwrap_or_default();
             Ok(vec![Item::str(&v.to_lowercase())])
         }
         B::Substring => {
-            let s = single_string(rt, &args[0], env)?.unwrap_or_default();
+            let s = single_string(cx, &args[0], env)?.unwrap_or_default();
             let chars: Vec<char> = s.chars().collect();
-            let start = single_number(rt, &args[1], env)?.unwrap_or(f64::NAN);
+            let start = single_number(cx, &args[1], env)?.unwrap_or(f64::NAN);
             let len = match args.get(2) {
-                Some(a) => single_number(rt, a, env)?.unwrap_or(f64::NAN),
+                Some(a) => single_number(cx, a, env)?.unwrap_or(f64::NAN),
                 None => f64::INFINITY,
             };
             if start.is_nan() || len.is_nan() {
@@ -614,20 +674,20 @@ fn eval_builtin(
             Ok(vec![Item::str(&out)])
         }
         B::Contains => {
-            let a = single_string(rt, &args[0], env)?.unwrap_or_default();
-            let b = single_string(rt, &args[1], env)?.unwrap_or_default();
+            let a = single_string(cx, &args[0], env)?.unwrap_or_default();
+            let b = single_string(cx, &args[1], env)?.unwrap_or_default();
             Ok(vec![Item::Atomic(AtomicValue::Boolean(a.contains(&b)))])
         }
         B::StartsWith => {
-            let a = single_string(rt, &args[0], env)?.unwrap_or_default();
-            let b = single_string(rt, &args[1], env)?.unwrap_or_default();
+            let a = single_string(cx, &args[0], env)?.unwrap_or_default();
+            let b = single_string(cx, &args[1], env)?.unwrap_or_default();
             Ok(vec![Item::Atomic(AtomicValue::Boolean(a.starts_with(&b)))])
         }
         B::Subsequence => {
-            let v = eval(rt, &args[0], env)?;
-            let start = single_number(rt, &args[1], env)?.unwrap_or(f64::NAN);
+            let v = eval(cx, &args[0], env)?;
+            let start = single_number(cx, &args[1], env)?.unwrap_or(f64::NAN);
             let len = match args.get(2) {
-                Some(a) => single_number(rt, a, env)?.unwrap_or(f64::NAN),
+                Some(a) => single_number(cx, a, env)?.unwrap_or(f64::NAN),
                 None => f64::INFINITY,
             };
             if start.is_nan() || len.is_nan() {
@@ -649,7 +709,7 @@ fn eval_builtin(
                 .collect())
         }
         B::DistinctValues => {
-            let vals = atomize(&eval(rt, &args[0], env)?);
+            let vals = atomize(&eval(cx, &args[0], env)?);
             let mut out: Vec<AtomicValue> = Vec::new();
             for v in vals {
                 if !out.iter().any(|w| w.compare(&v) == Some(Ordering::Equal)) {
@@ -659,7 +719,7 @@ fn eval_builtin(
             Ok(out.into_iter().map(Item::Atomic).collect())
         }
         B::Abs => {
-            let vals = atomize(&eval(rt, &args[0], env)?);
+            let vals = atomize(&eval(cx, &args[0], env)?);
             match vals.as_slice() {
                 [] => Ok(vec![]),
                 [v] => Ok(vec![Item::Atomic(match v {
@@ -677,31 +737,31 @@ fn eval_builtin(
         }
         // a lone async (not in sequence position) evaluates inline — the
         // concurrency win comes from sibling asyncs (see eval_sequence)
-        B::Async => eval(rt, &args[0], env),
-        B::FailOver => match eval(rt, &args[0], env) {
+        B::Async => eval(cx, &args[0], env),
+        B::FailOver => match eval(cx, &args[0], env) {
             Ok(v) => Ok(v),
             Err(_) => {
-                rt.stats.inc(&rt.stats.failovers_taken);
-                eval(rt, &args[1], env)
+                cx.inc(|s| &s.failovers_taken);
+                eval(cx, &args[1], env)
             }
         },
         B::Timeout => {
-            let millis = single_number(rt, &args[1], env)?.unwrap_or(0.0) as u64;
+            let millis = single_number(cx, &args[1], env)?.unwrap_or(0.0) as u64;
             let (tx, rx) = std::sync::mpsc::channel();
             let prim = args[0].clone();
             let env2 = env.clone();
-            let rt2 = rt.clone();
+            let cx2 = cx.clone();
             // a detached worker: if it outlives the timeout we abandon it
             // (the paper's semantics: "when the time is up, the system
             // fails over to the alternate expression")
             std::thread::spawn(move || {
-                let _ = tx.send(eval(&rt2, &prim, &env2));
+                let _ = tx.send(eval(&cx2, &prim, &env2));
             });
             match rx.recv_timeout(Duration::from_millis(millis)) {
                 Ok(Ok(v)) => Ok(v),
                 Ok(Err(_)) | Err(_) => {
-                    rt.stats.inc(&rt.stats.timeouts_fired);
-                    eval(rt, &args[2], env)
+                    cx.inc(|s| &s.timeouts_fired);
+                    eval(cx, &args[2], env)
                 }
             }
         }
@@ -744,8 +804,8 @@ fn aggregate(op: Builtin, vals: &[AtomicValue]) -> RtResult<Sequence> {
     }
 }
 
-fn single_string(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Option<String>> {
-    let v = atomize(&eval(rt, e, env)?);
+fn single_string(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Option<String>> {
+    let v = atomize(&eval(cx, e, env)?);
     match v.as_slice() {
         [] => Ok(None),
         [one] => Ok(Some(one.string_value())),
@@ -753,8 +813,8 @@ fn single_string(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Optio
     }
 }
 
-fn single_number(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Option<f64>> {
-    let v = atomize(&eval(rt, e, env)?);
+fn single_number(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Option<f64>> {
+    let v = atomize(&eval(cx, e, env)?);
     match v.as_slice() {
         [] => Ok(None),
         [one] => match one.cast_to(AtomicType::Double)? {
@@ -767,17 +827,31 @@ fn single_number(rt: &Arc<RuntimeInner>, e: &CExpr, env: &Env) -> RtResult<Optio
 
 // ---- physical calls with the function cache (§5.5) ---------------------------
 
-fn call_physical(rt: &Arc<RuntimeInner>, name: &QName, args: &[Sequence]) -> RtResult<Sequence> {
-    if rt.cache.enabled(name) {
-        if let Some(hit) = rt.cache.get(name, args) {
-            rt.stats.inc(&rt.stats.cache_hits);
+fn call_physical(cx: &ExecCtx, name: &QName, args: &[Sequence], node: u32) -> RtResult<Sequence> {
+    let t0 = cx.trace.as_ref().map(|_| std::time::Instant::now());
+    let record = |cx: &ExecCtx, rows: u64, roundtrips: u64| {
+        cx.trace_record(
+            t0.map(|_| TraceKey::node(node)),
+            NodeTrace {
+                rows_out: rows,
+                source_roundtrips: roundtrips,
+                wall_ns: t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                ..Default::default()
+            },
+        );
+    };
+    if cx.rt.cache.enabled(name) {
+        if let Some(hit) = cx.rt.cache.get(name, args) {
+            cx.inc(|s| &s.cache_hits);
+            record(cx, hit.len() as u64, 0);
             return Ok(hit);
         }
-        rt.stats.inc(&rt.stats.cache_misses);
+        cx.inc(|s| &s.cache_misses);
     }
-    rt.stats.inc(&rt.stats.source_calls);
-    let result = rt.adaptors.call_physical(&rt.metadata, name, args)?;
-    rt.cache.put(name, args, result.clone());
+    cx.inc(|s| &s.source_calls);
+    let result = cx.rt.adaptors.call_physical(&cx.rt.metadata, name, args)?;
+    cx.rt.cache.put(name, args, result.clone());
+    record(cx, result.len() as u64, 1);
     Ok(result)
 }
 
@@ -793,7 +867,8 @@ fn call_physical(rt: &Arc<RuntimeInner>, name: &QName, args: &[Sequence]) -> RtR
 /// prefetched result seeds its first execution; any re-execution for
 /// later outer tuples takes the normal lazy path.
 pub fn flwor_tuples<'a>(
-    rt: &'a Arc<RuntimeInner>,
+    cx: &'a ExecCtx,
+    flwor_id: u32,
     clauses: &'a [Clause],
     base: &Env,
 ) -> TupleIter<'a> {
@@ -808,7 +883,7 @@ pub fn flwor_tuples<'a>(
         .map(|(i, _)| i)
         .collect();
     if independent.len() >= 2 {
-        rt.stats.inc(&rt.stats.parallel_scans);
+        cx.inc(|s| &s.parallel_scans);
         let results = std::thread::scope(|s| {
             let handles: Vec<_> = independent
                 .iter()
@@ -819,7 +894,7 @@ pub fn flwor_tuples<'a>(
                     else {
                         unreachable!("filtered to SqlFor above")
                     };
-                    s.spawn(move || exec_sql(rt, connection, select, &[]))
+                    s.spawn(move || exec_sql(cx, connection, select, &[]))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
@@ -827,19 +902,129 @@ pub fn flwor_tuples<'a>(
         for (&i, res) in independent.iter().zip(results) {
             // a panicked scan thread falls back to lazy re-execution
             if let Ok(r) = res {
+                // the prefetch issued this clause's first roundtrip
+                cx.trace_roundtrip(cx.trace.as_ref().map(|_| TraceKey::clause(flwor_id, i)));
                 prefetched.insert(i, r);
             }
         }
     }
     let mut it: TupleIter<'a> = Box::new(std::iter::once(Ok(base.clone())));
     for (i, c) in clauses.iter().enumerate() {
-        it = apply_clause(rt, c, it, base.clone(), prefetched.remove(&i));
+        it = apply_clause(cx, flwor_id, i, c, it, base.clone(), prefetched.remove(&i));
     }
     it
 }
 
+/// Counts tuples flowing *into* a traced clause; the plain `u64` is
+/// flushed to the collector once, on drop — no per-row locking.
+struct CountIn<'a> {
+    inner: TupleIter<'a>,
+    n: u64,
+    sink: Arc<TraceCollector>,
+    key: TraceKey,
+}
+
+impl Iterator for CountIn<'_> {
+    type Item = RtResult<Env>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next();
+        if x.is_some() {
+            self.n += 1;
+        }
+        x
+    }
+}
+
+impl Drop for CountIn<'_> {
+    fn drop(&mut self) {
+        self.sink.record(
+            self.key,
+            NodeTrace {
+                rows_in: self.n,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+/// Counts tuples a traced clause emits and the wall time spent inside
+/// its `next()` (inclusive of upstream pulls); flushed on drop.
+struct CountOut<'a> {
+    inner: TupleIter<'a>,
+    n: u64,
+    wall_ns: u64,
+    sink: Arc<TraceCollector>,
+    key: TraceKey,
+}
+
+impl Iterator for CountOut<'_> {
+    type Item = RtResult<Env>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let t0 = std::time::Instant::now();
+        let x = self.inner.next();
+        self.wall_ns += t0.elapsed().as_nanos() as u64;
+        if x.is_some() {
+            self.n += 1;
+        }
+        x
+    }
+}
+
+impl Drop for CountOut<'_> {
+    fn drop(&mut self) {
+        self.sink.record(
+            self.key,
+            NodeTrace {
+                rows_out: self.n,
+                wall_ns: self.wall_ns,
+                ..Default::default()
+            },
+        );
+    }
+}
+
 fn apply_clause<'a>(
-    rt: &'a Arc<RuntimeInner>,
+    cx: &'a ExecCtx,
+    flwor_id: u32,
+    idx: usize,
+    clause: &'a Clause,
+    input: TupleIter<'a>,
+    flwor_base: Env,
+    scan_seed: Option<RtResult<ResultSet>>,
+) -> TupleIter<'a> {
+    // Tracing wraps the clause between two counting iterators: rows in
+    // below, rows out + wall time above. Eager operators (order by,
+    // sorted group) do their work during construction, so that time is
+    // measured here and credited to the clause as well.
+    let tkey = cx.trace.as_ref().map(|_| TraceKey::clause(flwor_id, idx));
+    let input = match (&cx.trace, tkey) {
+        (Some(sink), Some(key)) => Box::new(CountIn {
+            inner: input,
+            n: 0,
+            sink: Arc::clone(sink),
+            key,
+        }) as TupleIter<'a>,
+        _ => input,
+    };
+    let t0 = tkey.map(|_| std::time::Instant::now());
+    let out = build_clause(cx, tkey, clause, input, flwor_base, scan_seed);
+    match (&cx.trace, tkey) {
+        (Some(sink), Some(key)) => Box::new(CountOut {
+            inner: out,
+            n: 0,
+            wall_ns: t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+            sink: Arc::clone(sink),
+            key,
+        }) as TupleIter<'a>,
+        _ => out,
+    }
+}
+
+fn build_clause<'a>(
+    cx: &'a ExecCtx,
+    tkey: Option<TraceKey>,
     clause: &'a Clause,
     input: TupleIter<'a>,
     flwor_base: Env,
@@ -851,7 +1036,7 @@ fn apply_clause<'a>(
                 Ok(e) => e,
                 Err(e) => return one_err(e),
             };
-            match eval(rt, source, &env) {
+            match eval(cx, source, &env) {
                 Ok(seq) => Box::new(seq.into_iter().enumerate().map(move |(i, item)| {
                     let mut benv = env.bind(var, vec![item]);
                     if let Some(p) = pos {
@@ -864,13 +1049,13 @@ fn apply_clause<'a>(
         })),
         Clause::Let { var, value } => Box::new(input.map(move |tuple| {
             let env = tuple?;
-            let v = eval(rt, value, &env)?;
+            let v = eval(cx, value, &env)?;
             Ok(env.bind(var, v))
         })),
         Clause::Where(cond) => Box::new(input.filter_map(move |tuple| {
             match tuple {
                 Err(e) => Some(Err(e)),
-                Ok(env) => match eval(rt, cond, &env)
+                Ok(env) => match eval(cx, cond, &env)
                     .and_then(|v| effective_boolean_value(&v).map_err(RtError::from))
                 {
                     Ok(true) => Some(Ok(env)),
@@ -879,7 +1064,7 @@ fn apply_clause<'a>(
                 },
             }
         })),
-        Clause::OrderBy(specs) => order_by(rt, specs, input),
+        Clause::OrderBy(specs) => order_by(cx, specs, input),
         Clause::GroupBy {
             bindings,
             keys,
@@ -887,9 +1072,9 @@ fn apply_clause<'a>(
             pre_clustered,
         } => {
             if *pre_clustered {
-                rt.stats.inc(&rt.stats.streaming_groups);
+                cx.inc(|s| &s.streaming_groups);
                 Box::new(StreamingGroups {
-                    rt,
+                    cx,
                     input,
                     keys,
                     bindings,
@@ -899,7 +1084,7 @@ fn apply_clause<'a>(
                     done: false,
                 })
             } else {
-                sorted_group_by(rt, bindings, keys, carry, input, flwor_base)
+                sorted_group_by(cx, bindings, keys, carry, input, flwor_base)
             }
         }
         Clause::SqlFor {
@@ -910,7 +1095,8 @@ fn apply_clause<'a>(
             ppk,
         } => match ppk {
             Some(spec) => Box::new(PpkIter {
-                rt,
+                cx,
+                tkey,
                 input,
                 connection,
                 select,
@@ -925,7 +1111,9 @@ fn apply_clause<'a>(
                 exhausted: false,
                 key_buf: String::new(),
             }),
-            None => sql_for_plain(rt, connection, select, params, binds, input, scan_seed),
+            None => sql_for_plain(
+                cx, tkey, connection, select, params, binds, input, scan_seed,
+            ),
         },
     }
 }
@@ -936,11 +1124,7 @@ fn one_err<'a>(e: RtError) -> TupleIter<'a> {
 
 // ---- order by -------------------------------------------------------------------
 
-fn order_by<'a>(
-    rt: &'a Arc<RuntimeInner>,
-    specs: &'a [OrderSpec],
-    input: TupleIter<'a>,
-) -> TupleIter<'a> {
+fn order_by<'a>(cx: &'a ExecCtx, specs: &'a [OrderSpec], input: TupleIter<'a>) -> TupleIter<'a> {
     let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
     for tuple in input {
         let env = match tuple {
@@ -949,7 +1133,7 @@ fn order_by<'a>(
         };
         let mut key = Vec::with_capacity(specs.len());
         for s in specs {
-            match eval(rt, &s.expr, &env) {
+            match eval(cx, &s.expr, &env) {
                 Ok(v) => key.push(atomize(&v).into_iter().next()),
                 Err(e) => return one_err(e),
             }
@@ -999,7 +1183,7 @@ fn cmp_keys(a: &Option<AtomicValue>, b: &Option<AtomicValue>, empty_least: bool)
 /// form groups while watching for the grouping expressions to change."
 /// Memory is bounded by the largest single group.
 struct StreamingGroups<'a> {
-    rt: &'a Arc<RuntimeInner>,
+    cx: &'a ExecCtx,
     input: TupleIter<'a>,
     keys: &'a [(CExpr, String)],
     bindings: &'a [(String, String)],
@@ -1054,7 +1238,7 @@ impl Iterator for StreamingGroups<'_> {
                     // evaluate the grouping keys on this tuple
                     let mut key = Vec::with_capacity(self.keys.len());
                     for (kexpr, _) in self.keys {
-                        match eval(self.rt, kexpr, &env) {
+                        match eval(self.cx, kexpr, &env) {
                             Ok(v) => key.push(atomize(&v).into_iter().next()),
                             Err(e) => {
                                 self.done = true;
@@ -1083,9 +1267,7 @@ impl Iterator for StreamingGroups<'_> {
                                 acc.extend(v);
                             }
                             g.size += 1;
-                            self.rt
-                                .stats
-                                .peak(&self.rt.stats.peak_grouped_tuples, g.size);
+                            self.cx.peak(|s| &s.peak_grouped_tuples, g.size);
                         }
                         Some(_) => {
                             // group boundary: emit the finished group
@@ -1099,7 +1281,7 @@ impl Iterator for StreamingGroups<'_> {
                             return Some(Ok(self.emit(g)));
                         }
                         None => {
-                            self.rt.stats.peak(&self.rt.stats.peak_grouped_tuples, 1);
+                            self.cx.peak(|s| &s.peak_grouped_tuples, 1);
                             self.current = Some(GroupAccum {
                                 key,
                                 accums: values,
@@ -1122,14 +1304,14 @@ impl Iterator for StreamingGroups<'_> {
 /// The fallback: materialize, sort by the keys, then stream-group —
 /// "in the worst case, ALDSP falls back on sorting for grouping" (§4.2).
 fn sorted_group_by<'a>(
-    rt: &'a Arc<RuntimeInner>,
+    cx: &'a ExecCtx,
     bindings: &'a [(String, String)],
     keys: &'a [(CExpr, String)],
     carry: &'a [(String, String)],
     input: TupleIter<'a>,
     base: Env,
 ) -> TupleIter<'a> {
-    rt.stats.inc(&rt.stats.sorted_groups);
+    cx.inc(|s| &s.sorted_groups);
     let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
     for tuple in input {
         let env = match tuple {
@@ -1138,15 +1320,14 @@ fn sorted_group_by<'a>(
         };
         let mut key = Vec::with_capacity(keys.len());
         for (kexpr, _) in keys {
-            match eval(rt, kexpr, &env) {
+            match eval(cx, kexpr, &env) {
                 Ok(v) => key.push(atomize(&v).into_iter().next()),
                 Err(e) => return one_err(e),
             }
         }
         rows.push((key, env));
     }
-    rt.stats
-        .peak(&rt.stats.peak_grouped_tuples, rows.len() as u64);
+    cx.peak(|s| &s.peak_grouped_tuples, rows.len() as u64);
     rows.sort_by(|(a, _), (b, _)| {
         for (x, y) in a.iter().zip(b) {
             let ord = cmp_keys(x, y, true);
@@ -1200,10 +1381,10 @@ fn sorted_group_by<'a>(
 
 // ---- SQL clauses ------------------------------------------------------------------
 
-fn eval_sql_params(rt: &Arc<RuntimeInner>, params: &[CExpr], env: &Env) -> RtResult<Vec<SqlValue>> {
+fn eval_sql_params(cx: &ExecCtx, params: &[CExpr], env: &Env) -> RtResult<Vec<SqlValue>> {
     let mut out = Vec::with_capacity(params.len());
     for p in params {
-        let v = atomize(&eval(rt, p, env)?);
+        let v = atomize(&eval(cx, p, env)?);
         let first = v.first();
         let ty = first
             .and_then(|f| SqlType::from_xml_type(f.type_of()))
@@ -1214,13 +1395,13 @@ fn eval_sql_params(rt: &Arc<RuntimeInner>, params: &[CExpr], env: &Env) -> RtRes
 }
 
 fn exec_sql(
-    rt: &Arc<RuntimeInner>,
+    cx: &ExecCtx,
     connection: &str,
     select: &Select,
     params: &[SqlValue],
 ) -> RtResult<ResultSet> {
-    rt.stats.inc(&rt.stats.sql_statements);
-    Ok(rt.adaptors.execute_sql(connection, select, params)?)
+    cx.inc(|s| &s.sql_statements);
+    Ok(cx.rt.adaptors.execute_sql(connection, select, params)?)
 }
 
 fn bind_row(env: &Env, binds: &[(String, AtomicType)], row: &[SqlValue]) -> Env {
@@ -1238,8 +1419,10 @@ fn bind_row(env: &Env, binds: &[(String, AtomicType)], row: &[SqlValue]) -> Env 
 
 /// A `SqlFor` without PP-k: uncorrelated statements execute once;
 /// correlated ones execute per outer tuple (block size 1).
+#[allow(clippy::too_many_arguments)]
 fn sql_for_plain<'a>(
-    rt: &'a Arc<RuntimeInner>,
+    cx: &'a ExecCtx,
+    tkey: Option<TraceKey>,
     connection: &'a str,
     select: &'a Select,
     params: &'a [CExpr],
@@ -1264,11 +1447,12 @@ fn sql_for_plain<'a>(
                 Err(e) => one_err(e),
             };
         }
-        let param_vals = match eval_sql_params(rt, params, &env) {
+        let param_vals = match eval_sql_params(cx, params, &env) {
             Ok(v) => v,
             Err(e) => return one_err(e),
         };
-        match exec_sql(rt, connection, select, &param_vals) {
+        cx.trace_roundtrip(tkey);
+        match exec_sql(cx, connection, select, &param_vals) {
             Ok(rs) => Box::new(
                 rs.rows
                     .into_iter()
@@ -1288,7 +1472,9 @@ fn sql_for_plain<'a>(
 /// and the latency imposed by roundtrips to the source" — the
 /// `ppk_sweep` bench measures exactly that.
 struct PpkIter<'a> {
-    rt: &'a Arc<RuntimeInner>,
+    cx: &'a ExecCtx,
+    /// This clause's trace key, when tracing is on.
+    tkey: Option<TraceKey>,
     input: TupleIter<'a>,
     connection: &'a str,
     select: &'a Select,
@@ -1343,7 +1529,7 @@ impl PpkIter<'_> {
                 Some(Ok(env)) => {
                     let mut keys = Vec::with_capacity(self.spec.outer_keys.len());
                     for kexpr in &self.spec.outer_keys {
-                        match eval(self.rt, kexpr, &env) {
+                        match eval(self.cx, kexpr, &env) {
                             Ok(v) => keys.push(atomize(&v).into_iter().next()),
                             Err(e) => {
                                 self.staging_err = Some(e);
@@ -1375,10 +1561,7 @@ impl PpkIter<'_> {
     /// Issue the block's disjunctive parameterized fetch — inline when
     /// prefetch is off, on a background thread otherwise.
     fn start_fetch(&mut self, block: &OuterBlock) -> RtResult<BlockFetch> {
-        self.rt
-            .stats
-            .ppk_outer_tuples
-            .fetch_add(block.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.cx.add(|s| &s.ppk_outer_tuples, block.len() as u64);
         // tuples whose keys contain an empty value can't join
         let fetchable: Vec<usize> = block
             .iter()
@@ -1391,7 +1574,7 @@ impl PpkIter<'_> {
         }
         // build the disjunctive block predicate and parameter list
         let mut select = self.select.clone();
-        let base = eval_sql_params(self.rt, self.base_params, &block[fetchable[0]].0)?;
+        let base = eval_sql_params(self.cx, self.base_params, &block[fetchable[0]].0)?;
         let pred = ppk_block_predicate(&self.spec.key_columns, fetchable.len(), base.len());
         select.where_ = Some(match select.where_.take() {
             Some(w) => w.and(pred),
@@ -1405,17 +1588,18 @@ impl PpkIter<'_> {
                 params.push(SqlValue::from_xml(Some(v), ty).map_err(RtError::Plan)?);
             }
         }
-        self.rt.stats.inc(&self.rt.stats.ppk_blocks);
+        self.cx.inc(|s| &s.ppk_blocks);
+        self.cx.trace_roundtrip(self.tkey);
         if self.spec.prefetch_depth == 0 {
             return Ok(BlockFetch::Ready(
-                exec_sql(self.rt, self.connection, &select, &params)?.rows,
+                exec_sql(self.cx, self.connection, &select, &params)?.rows,
             ));
         }
-        self.rt.stats.inc(&self.rt.stats.ppk_prefetched_blocks);
-        let rt = Arc::clone(self.rt);
+        self.cx.inc(|s| &s.ppk_prefetched_blocks);
+        let cx = self.cx.clone();
         let connection = self.connection.to_string();
         Ok(BlockFetch::InFlight(std::thread::spawn(move || {
-            exec_sql(&rt, &connection, &select, &params)
+            exec_sql(&cx, &connection, &select, &params)
         })))
     }
 
@@ -1444,10 +1628,8 @@ impl PpkIter<'_> {
             BlockFetch::InFlight(handle) => {
                 let t0 = std::time::Instant::now();
                 let joined = handle.join();
-                self.rt.stats.ppk_prefetch_wait_ns.fetch_add(
-                    t0.elapsed().as_nanos() as u64,
-                    std::sync::atomic::Ordering::Relaxed,
-                );
+                self.cx
+                    .add(|s| &s.ppk_prefetch_wait_ns, t0.elapsed().as_nanos() as u64);
                 match joined {
                     Ok(r) => Ok(r?.rows),
                     Err(_) => Err(RtError::Plan("PP-k prefetch thread panicked".into())),
@@ -1504,7 +1686,7 @@ impl PpkIter<'_> {
         let field_binds = if self.spec.outer_join {
             &self.binds[..self.binds.len() - 1] // last bind is the tuple id
         } else {
-            &self.binds[..]
+            self.binds
         };
         for (env, keys) in block {
             let tid = self.tid;

@@ -13,17 +13,35 @@ pub mod cache;
 pub mod env;
 pub mod eval;
 pub mod stats;
+pub mod trace;
 
 pub use cache::FunctionCache;
 pub use env::Env;
-pub use eval::{RtError, RtResult, RuntimeInner};
+pub use eval::{ExecCtx, RtError, RtResult, RuntimeInner};
 pub use stats::{ExecStats, StatsSnapshot};
+pub use trace::{NodeTrace, QueryTrace, TraceCollector, TraceKey, TraceLevel};
 
 use aldsp_adaptors::AdaptorRegistry;
 use aldsp_compiler::CompiledQuery;
 use aldsp_metadata::Registry;
 use aldsp_xdm::item::Sequence;
 use std::sync::Arc;
+
+/// The outcome of one (optionally traced) execution: the items (empty
+/// for streaming runs, which deliver through the sink instead), the
+/// number of items produced, this execution's exact stat deltas, and
+/// the per-operator trace when one was requested.
+#[derive(Debug)]
+pub struct Execution {
+    /// Materialized result items (empty for streaming executions).
+    pub items: Sequence,
+    /// Items produced (= `items.len()` for materialized executions).
+    pub delivered: u64,
+    /// This execution's stat deltas, unpolluted by concurrent queries.
+    pub per_query_stats: StatsSnapshot,
+    /// The per-operator trace, when tracing was requested.
+    pub trace: Option<QueryTrace>,
+}
 
 /// The query execution engine.
 #[derive(Clone)]
@@ -51,16 +69,41 @@ impl Runtime {
         query: &CompiledQuery,
         bindings: &[(&str, Sequence)],
     ) -> RtResult<Sequence> {
-        let mut env = Env::empty();
-        for var in &query.external_vars {
-            let value = bindings
-                .iter()
-                .find(|(n, _)| n == var)
-                .map(|(_, v)| v.clone())
-                .unwrap_or_default();
-            env = env.bind(var, value);
+        Ok(self.execute_traced(query, bindings, TraceLevel::Off)?.items)
+    }
+
+    /// Execute a compiled plan, collecting this execution's exact stat
+    /// deltas and — at [`TraceLevel::Operators`] — a per-operator
+    /// [`QueryTrace`] keyed by the plan's node ids.
+    pub fn execute_traced(
+        &self,
+        query: &CompiledQuery,
+        bindings: &[(&str, Sequence)],
+        level: TraceLevel,
+    ) -> RtResult<Execution> {
+        let env = self.bind_env(query, bindings);
+        let (cx, collector) = self.exec_ctx(level);
+        let t0 = std::time::Instant::now();
+        let items = eval::eval(&cx, &query.plan, &env)?;
+        if let Some(c) = &collector {
+            // the plan root's row count = the result item count, so a
+            // trace always sums consistently with what was returned
+            c.record(
+                TraceKey::node(query.plan.node_id),
+                NodeTrace {
+                    rows_out: items.len() as u64,
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                    ..Default::default()
+                },
+            );
         }
-        eval::eval(&self.inner, &query.plan, &env)
+        let delivered = items.len() as u64;
+        Ok(Execution {
+            items,
+            delivered,
+            per_query_stats: cx.local.snapshot(),
+            trace: collector.map(|c| c.finish()),
+        })
     }
 
     /// Execute a plan *incrementally*: result items are handed to
@@ -74,6 +117,65 @@ impl Runtime {
         bindings: &[(&str, Sequence)],
         on_item: &mut dyn FnMut(aldsp_xdm::item::Item) -> bool,
     ) -> RtResult<u64> {
+        Ok(self
+            .execute_streaming_traced(query, bindings, TraceLevel::Off, on_item)?
+            .delivered)
+    }
+
+    /// [`Runtime::execute_streaming`] with per-execution stats and an
+    /// optional operator trace (items go to the sink; `Execution::items`
+    /// stays empty).
+    pub fn execute_streaming_traced(
+        &self,
+        query: &CompiledQuery,
+        bindings: &[(&str, Sequence)],
+        level: TraceLevel,
+        on_item: &mut dyn FnMut(aldsp_xdm::item::Item) -> bool,
+    ) -> RtResult<Execution> {
+        let env = self.bind_env(query, bindings);
+        let (cx, collector) = self.exec_ctx(level);
+        let t0 = std::time::Instant::now();
+        let mut delivered = 0u64;
+        match &query.plan.kind {
+            aldsp_compiler::CKind::Flwor { clauses, ret } => {
+                'outer: for tuple in eval::flwor_tuples(&cx, query.plan.node_id, clauses, &env) {
+                    let tenv = tuple?;
+                    for item in eval::eval(&cx, ret, &tenv)? {
+                        delivered += 1;
+                        if !on_item(item) {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            _ => {
+                for item in eval::eval(&cx, &query.plan, &env)? {
+                    delivered += 1;
+                    if !on_item(item) {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(c) = &collector {
+            c.record(
+                TraceKey::node(query.plan.node_id),
+                NodeTrace {
+                    rows_out: delivered,
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                    ..Default::default()
+                },
+            );
+        }
+        Ok(Execution {
+            items: Vec::new(),
+            delivered,
+            per_query_stats: cx.local.snapshot(),
+            trace: collector.map(|c| c.finish()),
+        })
+    }
+
+    fn bind_env(&self, query: &CompiledQuery, bindings: &[(&str, Sequence)]) -> Env {
         let mut env = Env::empty();
         for var in &query.external_vars {
             let value = bindings
@@ -83,29 +185,18 @@ impl Runtime {
                 .unwrap_or_default();
             env = env.bind(var, value);
         }
-        let mut delivered = 0u64;
-        match &query.plan.kind {
-            aldsp_compiler::CKind::Flwor { clauses, ret } => {
-                for tuple in eval::flwor_tuples(&self.inner, clauses, &env) {
-                    let tenv = tuple?;
-                    for item in eval::eval(&self.inner, ret, &tenv)? {
-                        delivered += 1;
-                        if !on_item(item) {
-                            return Ok(delivered);
-                        }
-                    }
-                }
-            }
-            _ => {
-                for item in eval::eval(&self.inner, &query.plan, &env)? {
-                    delivered += 1;
-                    if !on_item(item) {
-                        return Ok(delivered);
-                    }
-                }
-            }
-        }
-        Ok(delivered)
+        env
+    }
+
+    fn exec_ctx(&self, level: TraceLevel) -> (ExecCtx, Option<Arc<TraceCollector>>) {
+        let collector = match level {
+            TraceLevel::Off => None,
+            TraceLevel::Operators => Some(Arc::new(TraceCollector::default())),
+        };
+        (
+            ExecCtx::new(self.inner.clone(), collector.clone()),
+            collector,
+        )
     }
 
     /// The function cache (enable per-function TTLs here, §5.5).
@@ -318,8 +409,10 @@ mod tests {
         adaptors.register_native(d2i);
         let adaptors = Arc::new(adaptors);
         // compiler
-        let mut opts = Options::default();
-        opts.dialects = adaptors.connection_dialects();
+        let mut opts = Options {
+            dialects: adaptors.connection_dialects(),
+            ..Default::default()
+        };
         tune(&mut opts);
         let mut compiler = Compiler::new(meta.clone(), opts);
         compiler.declare_inverse(
@@ -807,7 +900,7 @@ mod tests {
         let attempts = ((THREADS * ITERS + 1) * 2) as u64;
         assert_eq!(st.cache_hits + st.cache_misses, attempts);
         // every miss ran the service; racing first calls allow a few
-        assert_eq!(w.rating.call_count() as u64, st.cache_misses);
+        assert_eq!(w.rating.call_count(), st.cache_misses);
         assert!(
             st.cache_misses >= 2,
             "two distinct keys must each miss once"

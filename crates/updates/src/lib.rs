@@ -135,8 +135,10 @@ pub(crate) mod tests {
         adaptors.register_native(i2d);
         adaptors.register_native(d2i);
         let adaptors = Arc::new(adaptors);
-        let mut opts = Options::default();
-        opts.dialects = adaptors.connection_dialects();
+        let opts = Options {
+            dialects: adaptors.connection_dialects(),
+            ..Default::default()
+        };
         let mut compiler = Compiler::new(meta.clone(), opts);
         let mut inverses = aldsp_compiler::InverseRegistry::default();
         inverses.declare(

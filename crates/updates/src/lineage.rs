@@ -394,6 +394,7 @@ fn walk_shape(
 
 /// Does this content expression read exactly one source column (possibly
 /// through an invertible transformation)?
+#[allow(clippy::only_used_in_recursion)]
 fn backing_field<'a>(
     e: &CExpr,
     fields: &'a HashMap<String, FieldSource>,

@@ -181,9 +181,9 @@ fn rewrite(
         if is_match {
             handled = true;
             if rest.is_empty() {
-                match value {
-                    Some(v) => new_children.push(Node::simple_element(target.clone(), v.clone())),
-                    None => {} // remove: NULL is a missing element
+                // remove: NULL is a missing element
+                if let Some(v) = value {
+                    new_children.push(Node::simple_element(target.clone(), v.clone()));
                 }
             } else {
                 new_children.push(rewrite(c, rest, value)?);
@@ -199,9 +199,9 @@ fn rewrite(
                 path_string(&[(target.clone(), *idx)])
             ));
         }
-        match value {
-            Some(v) => new_children.push(Node::simple_element(target.clone(), v.clone())),
-            None => {} // removing an absent element is a no-op
+        // removing an absent element is a no-op
+        if let Some(v) = value {
+            new_children.push(Node::simple_element(target.clone(), v.clone()));
         }
     }
     Ok(Node::element(

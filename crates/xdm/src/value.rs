@@ -175,18 +175,22 @@ impl Decimal {
     }
 
     /// Exact sum.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: Decimal) -> Decimal {
         Decimal(self.0 + o.0)
     }
     /// Exact difference.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: Decimal) -> Decimal {
         Decimal(self.0 - o.0)
     }
     /// Product, truncated to 6 fractional digits.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, o: Decimal) -> Decimal {
         Decimal(self.0 * o.0 / DECIMAL_SCALE)
     }
     /// Quotient, truncated to 6 fractional digits.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, o: Decimal) -> Option<Decimal> {
         if o.0 == 0 {
             None

@@ -22,7 +22,7 @@ use aldsp::xdm::schema::ShapeBuilder;
 use aldsp::xdm::value::{AtomicType, AtomicValue, Decimal};
 use aldsp::xdm::xml::serialize_sequence;
 use aldsp::xdm::{Node, QName};
-use aldsp::{CallCriteria, ServerBuilder};
+use aldsp::{QueryRequest, ServerBuilder};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -186,26 +186,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let user = Principal::new("demo", &[]);
-    let profiles = aldsp.call(
-        &user,
-        &QName::new("urn:profileDS", "getProfile"),
-        vec![],
-        &CallCriteria::default(),
-    )?;
+    let profiles = aldsp
+        .execute(
+            QueryRequest::call(QName::new("urn:profileDS", "getProfile")).principal(user.clone()),
+        )?
+        .items;
     println!("== getProfile() ==");
     for p in &profiles {
-        println!("{}", serialize_sequence(&[p.clone()]));
+        println!("{}", serialize_sequence(std::slice::from_ref(p)));
     }
 
     // The view-reuse case: the $id predicate travels through getProfile
     // and lands in db1's SQL.
     db1.reset_stats();
-    let one = aldsp.call(
-        &user,
-        &QName::new("urn:profileDS", "getProfileByID"),
-        vec![vec![Item::str("CUST001")]],
-        &CallCriteria::default(),
-    )?;
+    let one = aldsp
+        .execute(
+            QueryRequest::call(QName::new("urn:profileDS", "getProfileByID"))
+                .args(vec![vec![Item::str("CUST001")]])
+                .principal(user.clone()),
+        )?
+        .items;
     println!("\n== getProfileByID(\"CUST001\") ==");
     println!("{}", serialize_sequence(&one));
 

@@ -16,7 +16,7 @@ use aldsp::xdm::schema::ShapeBuilder;
 use aldsp::xdm::value::{AtomicType, AtomicValue};
 use aldsp::xdm::xml::serialize_sequence;
 use aldsp::xdm::QName;
-use aldsp::ServerBuilder;
+use aldsp::{QueryRequest, ServerBuilder};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -117,13 +117,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let intern = Principal::new("intern", &[]);
     println!("== intern view (severities redacted) ==");
-    for item in aldsp.query(&intern, query, &[])? {
+    for item in aldsp
+        .execute(QueryRequest::new(query).principal(intern.clone()))?
+        .items
+    {
         println!("{}", serialize_sequence(&[item]));
     }
 
     let auditor = Principal::new("auditor", &["auditor"]);
     println!("\n== auditor view ==");
-    for item in aldsp.query(&auditor, query, &[])? {
+    for item in aldsp
+        .execute(QueryRequest::new(query).principal(auditor.clone()))?
+        .items
+    {
         println!("{}", serialize_sequence(&[item]));
     }
     Ok(())

@@ -10,7 +10,7 @@ use aldsp::relational::{
 };
 use aldsp::security::Principal;
 use aldsp::xdm::xml::serialize_sequence;
-use aldsp::{CallCriteria, ServerBuilder};
+use aldsp::{QueryRequest, ServerBuilder, TraceLevel};
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -64,25 +64,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
 
-    // 4. Run an ad-hoc query. The WHERE clause is pushed into SQL.
+    // 4. Run an ad-hoc query with per-operator tracing. The WHERE
+    //    clause is pushed into SQL — the EXPLAIN in the response shows
+    //    the generated statement, and the trace shows per-operator row
+    //    counts for this exact execution.
     let anyone = Principal::new("demo", &[]);
-    let result = aldsp.query(
-        &anyone,
-        r#"declare namespace c = "urn:custDS";
-           for $c in c:CUSTOMER()
-           where $c/CID eq "C1"
-           return $c/FIRST_NAME"#,
-        &[],
+    let resp = aldsp.execute(
+        QueryRequest::new(
+            r#"declare namespace c = "urn:custDS";
+               for $c in c:CUSTOMER()
+               where $c/CID eq "C1"
+               return $c/FIRST_NAME"#,
+        )
+        .principal(anyone.clone())
+        .trace(TraceLevel::Operators),
     )?;
-    println!("ad-hoc query result : {}", serialize_sequence(&result));
+    println!("ad-hoc query result : {}", serialize_sequence(&resp.items));
+    println!(
+        "\nplan EXPLAIN:\n{}",
+        resp.plan_explain.as_deref().unwrap_or("")
+    );
+    println!(
+        "operator trace:\n{}",
+        resp.trace.as_ref().map(|t| t.render()).unwrap_or_default()
+    );
 
     // 5. Call the deployed data-service method with a parameter.
-    let jones = aldsp.call(
-        &anyone,
-        &aldsp::xdm::QName::new("urn:quickstart", "customersByName"),
-        vec![vec![aldsp::xdm::item::Item::str("Jones")]],
-        &CallCriteria::default(),
-    )?;
+    let jones = aldsp
+        .execute(
+            QueryRequest::call(aldsp::xdm::QName::new("urn:quickstart", "customersByName"))
+                .args(vec![vec![aldsp::xdm::item::Item::str("Jones")]])
+                .principal(anyone.clone()),
+        )?
+        .items;
     println!("customersByName     : {}", serialize_sequence(&jones));
 
     // 6. Look at what actually reached the backend.

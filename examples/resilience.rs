@@ -13,7 +13,7 @@ use aldsp::xdm::schema::ShapeBuilder;
 use aldsp::xdm::value::{AtomicType, AtomicValue};
 use aldsp::xdm::xml::serialize_sequence;
 use aldsp::xdm::{Node, QName};
-use aldsp::ServerBuilder;
+use aldsp::{QueryRequest, ServerBuilder};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -82,7 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }}</BOTH>"#
     );
     let t0 = Instant::now();
-    let out = aldsp.query(&user, &q, &[])?;
+    let out = aldsp
+        .execute(QueryRequest::new(&q).principal(user.clone()))?
+        .items;
     println!(
         "async: two 60ms services answered in {:?} (overlapped)\n  {}",
         t0.elapsed(),
@@ -101,7 +103,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }}</ANSWER>"#
     );
     let t0 = Instant::now();
-    let out = aldsp.query(&user, &q, &[])?;
+    let out = aldsp
+        .execute(QueryRequest::new(&q).principal(user.clone()))?
+        .items;
     println!(
         "\ntimeout: capped a 500ms call at {:?}\n  {}",
         t0.elapsed(),
@@ -119,7 +123,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fn:data(b:ask(<t:req><t:q>backup</t:q></t:req>)/t:answer))
         }}</ANSWER>"#
     );
-    let out = aldsp.query(&user, &q, &[])?;
+    let out = aldsp
+        .execute(QueryRequest::new(&q).principal(user.clone()))?
+        .items;
     println!(
         "\nfail-over: primary down, alternate answered\n  {}",
         serialize_sequence(&out)
@@ -131,10 +137,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     aldsp.enable_function_cache(QName::new("urn:alpha", "ask"), Duration::from_secs(30));
     let q = format!(r#"{PROLOG} fn:data(a:ask(<t:req><t:q>cached</t:q></t:req>)/t:answer)"#);
     let t0 = Instant::now();
-    aldsp.query(&user, &q, &[])?;
+    aldsp.execute(QueryRequest::new(&q).principal(user.clone()))?;
     let cold = t0.elapsed();
     let t0 = Instant::now();
-    aldsp.query(&user, &q, &[])?;
+    aldsp.execute(QueryRequest::new(&q).principal(user.clone()))?;
     let warm = t0.elapsed();
     println!(
         "\nfunction cache: cold call {cold:?}, cached call {warm:?} (hits={}, misses={})",

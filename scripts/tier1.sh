@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification (see ROADMAP.md): the workspace must build in
-# release mode and every test must pass. Formatting is checked first so
-# CI fails fast on style drift.
+# release mode and every test must pass. Formatting and lints are
+# checked first so CI fails fast on style drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
+cargo clippy --all-targets -- -D warnings
 cargo build --release
 cargo test -q

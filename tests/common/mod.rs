@@ -1,6 +1,10 @@
 //! Shared world-building helpers for the integration tests: the paper's
 //! running example (Figure 3) at a configurable size.
 
+// Each test binary compiles this module independently and uses a
+// different subset of it.
+#![allow(dead_code)]
+
 use aldsp::adaptors::SimulatedWebService;
 use aldsp::metadata::{WebServiceDescription, WebServiceOperation};
 use aldsp::relational::{

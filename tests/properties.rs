@@ -12,7 +12,7 @@ use aldsp::xdm::node::Node;
 use aldsp::xdm::tokens::{decode_tuple, encode_tuple, extract_field, Token, TupleRepr};
 use aldsp::xdm::value::{AtomicValue, Date, Decimal};
 use aldsp::xdm::{xml, QName};
-use aldsp::ServerBuilder;
+use aldsp::{QueryRequest, ServerBuilder};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -155,16 +155,19 @@ proptest! {
         threshold in 0i64..10_000
     ) {
         let (server, _) = build_server(&rows);
-        let q = format!(
-            r#"declare namespace c = "urn:custDS";
+        let q = r#"declare namespace c = "urn:custDS";
                declare variable $t as xs:integer external;
                for $c in c:CUSTOMER()
                where $c/SINCE ge $t
-               return $c/CID"#
-        );
+               return $c/CID"#;
         let out = server
-            .query(&demo(), &q, &[("t", vec![Item::int(threshold)])])
-            .expect("executes");
+            .execute(
+                QueryRequest::new(q)
+                    .principal(demo())
+                    .bind("t", vec![Item::int(threshold)]),
+            )
+            .expect("executes")
+            .items;
         let expected = rows.iter().filter(|r| r.since >= threshold).count();
         prop_assert_eq!(out.len(), expected);
     }
@@ -179,7 +182,10 @@ proptest! {
                    for $c in c:CUSTOMER()
                    group $c as $p by $c/LAST_NAME as $l
                    return <G><N>{$l}</N><K>{count($p)}</K></G>"#;
-        let out = server.query(&demo(), q, &[]).expect("executes");
+        let out = server
+            .execute(QueryRequest::new(q).principal(demo()))
+            .expect("executes")
+            .items;
         let mut expected: HashMap<&str, usize> = HashMap::new();
         for r in &rows {
             *expected.entry(LASTS[r.last]).or_default() += 1;
@@ -215,7 +221,10 @@ proptest! {
                    return <X><ID>{fn:data($c/CID)}</ID><OIDS>{
                      for $o in c:ORDER() where $o/CID eq $c/CID return $o/OID
                    }</OIDS></X>"#;
-        let out = server.query(&demo(), q, &[]).expect("executes");
+        let out = server
+            .execute(QueryRequest::new(q).principal(demo()))
+            .expect("executes")
+            .items;
         prop_assert_eq!(out.len(), rows.len());
         // one SQL statement total (the merged LEFT OUTER JOIN)
         prop_assert_eq!(db.stats().roundtrips, 1);
@@ -250,7 +259,10 @@ proptest! {
                let $cs := for $c in c:CUSTOMER() order by $c/CID return $c/CID
                return subsequence($cs, {start}, {len})"#
         );
-        let out = server.query(&demo(), &q, &[]).expect("executes");
+        let out = server
+            .execute(QueryRequest::new(&q).principal(demo()))
+            .expect("executes")
+            .items;
         let total = rows.len() as i64;
         let expected = ((start + len - 1).min(total) - (start - 1).max(0)).max(0) as usize;
         prop_assert_eq!(out.len(), expected);
@@ -266,7 +278,10 @@ proptest! {
                    for $c in c:CUSTOMER()
                    return <S>{ sum(for $o in c:ORDER() where $o/CID eq $c/CID
                                    return $o/AMOUNT) }</S>"#;
-        let out = server.query(&demo(), q, &[]).expect("executes");
+        let out = server
+            .execute(QueryRequest::new(q).principal(demo()))
+            .expect("executes")
+            .items;
         for (i, item) in out.iter().enumerate() {
             let s = item.as_node().expect("element").string_value();
             let expected: i64 = rows[i].orders.iter().sum();

@@ -9,7 +9,7 @@ use aldsp::xdm::item::Item;
 use aldsp::xdm::value::AtomicValue;
 use aldsp::xdm::xml::serialize_sequence;
 use aldsp::xdm::QName;
-use aldsp::CallCriteria;
+use aldsp::{CallCriteria, QueryRequest};
 use common::{world, PROLOG};
 
 const PROFILE_MODULE: &str = r#"
@@ -51,13 +51,9 @@ fn get_profile_integrates_both_databases() {
     w.server.deploy(PROFILE_MODULE).expect("deploys");
     let out = w
         .server
-        .call(
-            &demo(),
-            &QName::new("urn:profileDS", "getProfile"),
-            vec![],
-            &CallCriteria::default(),
-        )
-        .expect("executes");
+        .execute(QueryRequest::call(QName::new("urn:profileDS", "getProfile")).principal(demo()))
+        .expect("executes")
+        .items;
     assert_eq!(out.len(), 12);
     let s = serialize_sequence(&out);
     // a customer with orders and cards: C0005 (5%3=2 orders, 5%2=1 card)
@@ -80,13 +76,13 @@ fn get_profile_by_id_pushes_the_view_predicate() {
     w.db1.reset_stats();
     let out = w
         .server
-        .call(
-            &demo(),
-            &QName::new("urn:profileDS", "getProfileByID"),
-            vec![vec![Item::str("C0007")]],
-            &CallCriteria::default(),
+        .execute(
+            QueryRequest::call(QName::new("urn:profileDS", "getProfileByID"))
+                .args(vec![vec![Item::str("C0007")]])
+                .principal(demo()),
         )
-        .expect("executes");
+        .expect("executes")
+        .items;
     assert_eq!(out.len(), 1);
     assert!(serialize_sequence(&out).contains("<CID>C0007</CID>"));
     // the $id predicate reached db1's SQL — the customer scan returns 1
@@ -104,18 +100,16 @@ fn get_profile_by_id_pushes_the_view_predicate() {
 fn navigation_method_compiles_to_a_join() {
     // the getORDER navigation function introspection created (§2.1)
     let w = world(6);
+    let q = format!(
+        "{PROLOG}
+         for $c in c:CUSTOMER(), $o in c:getORDER($c)
+         return <CO>{{ $c/CID, $o/OID }}</CO>"
+    );
     let out = w
         .server
-        .query(
-            &demo(),
-            &format!(
-                "{PROLOG}
-                 for $c in c:CUSTOMER(), $o in c:getORDER($c)
-                 return <CO>{{ $c/CID, $o/OID }}</CO>"
-            ),
-            &[],
-        )
-        .expect("executes");
+        .execute(QueryRequest::new(&q).principal(demo()))
+        .expect("executes")
+        .items;
     assert_eq!(out.len(), 6); // 0+1+2+0+1+2
     assert_eq!(
         w.db1.stats().roundtrips,
@@ -129,7 +123,9 @@ fn plan_cache_reuses_compiled_queries() {
     let w = world(4);
     let q = format!("{PROLOG} for $c in c:CUSTOMER() return $c/CID");
     for _ in 0..5 {
-        w.server.query(&demo(), &q, &[]).expect("executes");
+        w.server
+            .execute(QueryRequest::new(&q).principal(demo()))
+            .expect("executes");
     }
     let (hits, misses) = w.server.plan_cache_stats();
     assert_eq!(misses, 1, "compiled once");
@@ -150,13 +146,13 @@ fn mediator_call_criteria_filter_sort_limit() {
     };
     let out = w
         .server
-        .call(
-            &demo(),
-            &QName::new("urn:profileDS", "getProfile"),
-            vec![],
-            &criteria,
+        .execute(
+            QueryRequest::call(QName::new("urn:profileDS", "getProfile"))
+                .criteria(criteria)
+                .principal(demo()),
         )
-        .expect("executes");
+        .expect("executes")
+        .items;
     assert_eq!(out.len(), 2);
     let s = serialize_sequence(&out);
     // Smiths are customers 1,4,7; descending by CID, limited to 2
@@ -175,8 +171,16 @@ fn streaming_results_match_materialized() {
          for $c in c:CUSTOMER()
          return <X>{{ $c/CID, count(for $o in c:ORDER() where $o/CID eq $c/CID return $o) }}</X>"
     );
-    let a = w.server.query(&demo(), &q, &[]).expect("first run");
-    let b = w.server.query(&demo(), &q, &[]).expect("second run");
+    let a = w
+        .server
+        .execute(QueryRequest::new(&q).principal(demo()))
+        .expect("first run")
+        .items;
+    let b = w
+        .server
+        .execute(QueryRequest::new(&q).principal(demo()))
+        .expect("second run")
+        .items;
     assert_eq!(serialize_sequence(&a), serialize_sequence(&b));
 }
 
@@ -197,7 +201,11 @@ fn async_figure3_variant_overlaps_service_calls() {
         }}</P>"#
     );
     let t0 = std::time::Instant::now();
-    let out = w.server.query(&demo(), &q, &[]).expect("executes");
+    let out = w
+        .server
+        .execute(QueryRequest::new(&q).principal(demo()))
+        .expect("executes")
+        .items;
     // 2 customers × 2 parallel calls of 25ms ≈ 2×25ms, not 4×25ms
     assert!(
         t0.elapsed() < std::time::Duration::from_millis(90),
@@ -214,13 +222,15 @@ fn streaming_delivery_and_early_stop() {
     let w = world(50);
     let q = format!("{PROLOG} for $c in c:CUSTOMER() return $c/CID");
     let mut seen = Vec::new();
+    let mut sink = |item: Item| {
+        seen.push(item.string_value());
+        seen.len() < 5 // stop after five
+    };
     let delivered = w
         .server
-        .query_streaming(&demo(), &q, &[], &mut |item| {
-            seen.push(item.string_value());
-            seen.len() < 5 // stop after five
-        })
-        .expect("streams");
+        .execute(QueryRequest::new(&q).principal(demo()).stream_to(&mut sink))
+        .expect("streams")
+        .delivered;
     assert_eq!(delivered, 5);
     assert_eq!(seen, vec!["C0000", "C0001", "C0002", "C0003", "C0004"]);
     // full streaming run matches the materialized result
@@ -230,8 +240,53 @@ fn streaming_delivery_and_early_stop() {
         .query_to_writer(&demo(), &q, &[], &mut unsafe_writer(&mut all))
         .expect("writes");
     assert_eq!(n, 50);
-    let materialized = w.server.query(&demo(), &q, &[]).expect("query");
+    let materialized = w
+        .server
+        .execute(QueryRequest::new(&q).principal(demo()))
+        .expect("query")
+        .items;
     assert_eq!(all, serialize_sequence(&materialized));
+}
+
+/// The pre-`QueryRequest` positional signatures must keep compiling and
+/// returning the same answers through their deprecated shims.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_work() {
+    let w = world(8);
+    w.server.deploy(PROFILE_MODULE).expect("deploys");
+    let q = format!("{PROLOG} for $c in c:CUSTOMER() return $c/CID");
+    let via_shim = w.server.query(&demo(), &q, &[]).expect("old query()");
+    let via_request = w
+        .server
+        .execute(QueryRequest::new(&q).principal(demo()))
+        .expect("execute")
+        .items;
+    assert_eq!(
+        serialize_sequence(&via_shim),
+        serialize_sequence(&via_request)
+    );
+    let called = w
+        .server
+        .call(
+            &demo(),
+            &QName::new("urn:profileDS", "getProfile"),
+            vec![],
+            &CallCriteria::default(),
+        )
+        .expect("old call()");
+    assert_eq!(called.len(), 8);
+    let mut n = 0u64;
+    let streamed = w
+        .server
+        .query_streaming(&demo(), &q, &[], &mut |_| {
+            n += 1;
+            true
+        })
+        .expect("old query_streaming()");
+    assert_eq!(streamed, 8);
+    assert_eq!(n, 8);
+    w.server.reset_stats();
 }
 
 /// A `&mut String` as an `io::Write` shim for the test.
@@ -273,25 +328,25 @@ fn user_defined_navigation_method_figure3() {
     // fetch a profile, then navigate from it
     let profiles = w
         .server
-        .call(
-            &demo(),
-            &QName::new("urn:profileDS", "getProfile"),
-            vec![],
-            &CallCriteria {
-                filter: vec![("CID".into(), AtomicValue::str("C0005"))],
-                ..Default::default()
-            },
+        .execute(
+            QueryRequest::call(QName::new("urn:profileDS", "getProfile"))
+                .criteria(CallCriteria {
+                    filter: vec![("CID".into(), AtomicValue::str("C0005"))],
+                    ..Default::default()
+                })
+                .principal(demo()),
         )
-        .expect("profile");
+        .expect("profile")
+        .items;
     let orders = w
         .server
-        .call(
-            &demo(),
-            &QName::new("urn:profileDS", "getORDERSof"),
-            vec![profiles],
-            &CallCriteria::default(),
+        .execute(
+            QueryRequest::call(QName::new("urn:profileDS", "getORDERSof"))
+                .args(vec![profiles])
+                .principal(demo()),
         )
-        .expect("navigates");
+        .expect("navigates")
+        .items;
     // customer 5 has 5%3 = 2 orders
     assert_eq!(orders.len(), 2, "{}", serialize_sequence(&orders));
 }

@@ -6,13 +6,16 @@ mod common;
 
 use aldsp::security::Principal;
 use aldsp::xdm::xml::serialize_sequence;
+use aldsp::QueryRequest;
 use common::{world, PROLOG};
 
 fn run(w: &common::World, q: &str) -> String {
+    let src = format!("{PROLOG}\n{q}");
     let out = w
         .server
-        .query(&Principal::new("demo", &[]), &format!("{PROLOG}\n{q}"), &[])
-        .unwrap_or_else(|e| panic!("query failed: {e}\n{q}"));
+        .execute(QueryRequest::new(&src).principal(Principal::new("demo", &[])))
+        .unwrap_or_else(|e| panic!("query failed: {e}\n{q}"))
+        .items;
     serialize_sequence(&out)
 }
 
@@ -158,7 +161,7 @@ fn error_paths_surface_cleanly() {
     // static error: unknown function
     let err = w
         .server
-        .query(&user, &format!("{PROLOG} nosuch:fn()"), &[])
+        .execute(QueryRequest::new(&format!("{PROLOG} nosuch:fn()")).principal(user.clone()))
         .expect_err("unknown function");
     assert!(
         err.to_string().contains("unbound") || err.to_string().contains("undeclared"),
@@ -167,13 +170,15 @@ fn error_paths_surface_cleanly() {
     // static error: undeclared variable
     let err = w
         .server
-        .query(&user, &format!("{PROLOG} $nope + 1"), &[])
+        .execute(QueryRequest::new(&format!("{PROLOG} $nope + 1")).principal(user.clone()))
         .expect_err("undeclared variable");
     assert!(err.to_string().contains("undeclared"), "{err}");
     // dynamic error: cast failure
     let err = w
         .server
-        .query(&user, &format!("{PROLOG} xs:integer(\"abc\")"), &[])
+        .execute(
+            QueryRequest::new(&format!("{PROLOG} xs:integer(\"abc\")")).principal(user.clone()),
+        )
         .expect_err("bad cast");
     assert!(err.to_string().contains("cast"), "{err}");
 }
@@ -194,18 +199,16 @@ fn deep_view_stacks_execute_correctly() {
              declare function v:l5($id as xs:string) as element(CUSTOMER)* {{ v:l4()[CID eq $id] }};"
         ))
         .expect("deploys");
+    let src = format!(
+        "{PROLOG}
+         declare namespace v = \"urn:v\";
+         v:l5(\"C0004\")"
+    );
     let out = w
         .server
-        .query(
-            &Principal::new("demo", &[]),
-            &format!(
-                "{PROLOG}
-                 declare namespace v = \"urn:v\";
-                 v:l5(\"C0004\")"
-            ),
-            &[],
-        )
-        .expect("query");
+        .execute(QueryRequest::new(&src).principal(Principal::new("demo", &[])))
+        .expect("query")
+        .items;
     let s = serialize_sequence(&out);
     assert!(s.contains("<CID>C0004</CID>") && s.contains("Smith"), "{s}");
     // the compiled plan pushed everything into one statement

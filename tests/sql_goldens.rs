@@ -9,6 +9,7 @@ use aldsp::compiler::collect_sql_regions;
 use aldsp::relational::{render_select, Dialect};
 use aldsp::security::Principal;
 use aldsp::xdm::xml::serialize_sequence;
+use aldsp::QueryRequest;
 use common::{world, PROLOG};
 
 fn demo() -> Principal {
@@ -27,7 +28,11 @@ fn compile_and_run(w: &common::World, query: &str) -> (String, String) {
     let regions = collect_sql_regions(&plan.plan);
     assert!(!regions.is_empty(), "no SQL pushed for:\n{query}");
     let sql = render_select(&regions[0].select, Dialect::Oracle);
-    let out = w.server.query(&demo(), &src, &[]).expect("execution");
+    let out = w
+        .server
+        .execute(QueryRequest::new(&src).principal(demo()))
+        .expect("execution")
+        .items;
     (sql, serialize_sequence(&out))
 }
 
@@ -199,7 +204,11 @@ fn table_2i_subsequence_rownum_pagination() {
         sql.contains("(t_out.rn >= 10) AND (t_out.rn < 30)"),
         "{sql}"
     );
-    let out = w.server.query(&demo(), &src, &[]).expect("executes");
+    let out = w
+        .server
+        .execute(QueryRequest::new(&src).principal(demo()))
+        .expect("executes")
+        .items;
     assert_eq!(
         out.len(),
         20,
@@ -245,14 +254,11 @@ fn inverse_function_parameter_pushdown() {
     use aldsp::xdm::value::{AtomicValue, DateTime};
     let out = w
         .server
-        .query(
-            &demo(),
-            &src,
-            &[(
-                "start",
-                vec![Item::Atomic(AtomicValue::DateTime(DateTime(1005)))],
-            )],
-        )
-        .expect("executes");
+        .execute(QueryRequest::new(&src).principal(demo()).bind(
+            "start",
+            vec![Item::Atomic(AtomicValue::DateTime(DateTime(1005)))],
+        ))
+        .expect("executes")
+        .items;
     assert_eq!(out.len(), 4, "{}", serialize_sequence(&out));
 }

@@ -8,7 +8,7 @@ use aldsp::updates::ConcurrencyPolicy;
 use aldsp::xdm::value::AtomicValue;
 use aldsp::xdm::xml::serialize_sequence;
 use aldsp::xdm::QName;
-use aldsp::{CallCriteria, ServerError};
+use aldsp::{CallCriteria, QueryRequest, ServerError};
 use common::{world, PROLOG};
 
 const PROFILE_MODULE: &str = r#"
@@ -109,13 +109,13 @@ fn security_function_level_denial() {
     let intern = Principal::new("intern", &[]);
     let err = w
         .server
-        .call(&intern, &provider(), vec![], &CallCriteria::default())
+        .execute(QueryRequest::call(provider()).principal(intern))
         .expect_err("denied");
     assert!(matches!(err, ServerError::Security(_)), "{err}");
     let csr = Principal::new("csr", &["csr"]);
     assert!(w
         .server
-        .call(&csr, &provider(), vec![], &CallCriteria::default())
+        .execute(QueryRequest::call(provider()).principal(csr))
         .is_ok());
 }
 
@@ -137,8 +137,16 @@ fn element_security_is_per_user_over_shared_plans() {
     );
     let intern = Principal::new("intern", &[]);
     let admin = Principal::new("admin", &["admin"]);
-    let masked = w.server.query(&intern, &q, &[]).expect("executes");
-    let full = w.server.query(&admin, &q, &[]).expect("executes");
+    let masked = w
+        .server
+        .execute(QueryRequest::new(&q).principal(intern))
+        .expect("executes")
+        .items;
+    let full = w
+        .server
+        .execute(QueryRequest::new(&q).principal(admin))
+        .expect("executes")
+        .items;
     assert!(serialize_sequence(&masked).contains("<SSN>###</SSN>"));
     assert!(!serialize_sequence(&full).contains("###"));
     // both users shared one compiled plan
@@ -156,7 +164,7 @@ fn audit_log_records_denials() {
     let intern = Principal::new("eve", &[]);
     let _ = w
         .server
-        .call(&intern, &provider(), vec![], &CallCriteria::default());
+        .execute(QueryRequest::call(provider()).principal(intern));
     let entries = w.server.audit().entries();
     assert!(
         entries.iter().any(|e| e.principal == "eve" && !e.allowed),
