@@ -12,8 +12,9 @@ use crate::webservice::SimulatedWebService;
 use crate::{AdaptorError, Result};
 use aldsp_metadata::{Registry, SourceBinding};
 use aldsp_relational::{
-    Dialect, RelationalServer, ResultSet, ScalarExpr, Select, SqlValue, TableRef,
+    Dialect, RelationalServer, ResultSet, ScalarExpr, Select, SourceError, SqlValue, TableRef,
 };
+use aldsp_workload::{GatePermit, QueryBudget, SourceGates};
 use aldsp_xdm::item::{Item, Sequence};
 use aldsp_xdm::types::{ContentType, ElementType};
 use aldsp_xdm::{Node, QName};
@@ -28,6 +29,9 @@ pub struct AdaptorRegistry {
     natives: HashMap<String, NativeFunction>,
     xml_files: HashMap<String, Arc<XmlFileSource>>,
     csv_files: HashMap<String, Arc<CsvFileSource>>,
+    /// Per-source concurrency caps (counting semaphores keyed by
+    /// connection/service name). Disabled until a cap is configured.
+    gates: SourceGates,
 }
 
 impl AdaptorRegistry {
@@ -59,6 +63,34 @@ impl AdaptorRegistry {
     /// Bind a CSV file source.
     pub fn register_csv_file(&mut self, f: Arc<CsvFileSource>) {
         self.csv_files.insert(f.name().to_string(), f);
+    }
+
+    /// Cap in-flight requests per source (0 disables gating). PP-k
+    /// prefetch threads and parallel scans acquire the same permits as
+    /// foreground roundtrips, so the cap holds across a whole query.
+    pub fn set_source_cap(&self, cap: usize) {
+        self.gates.set_cap(cap);
+    }
+
+    /// The configured per-source in-flight cap (0 = unlimited).
+    pub fn source_cap(&self) -> usize {
+        self.gates.cap()
+    }
+
+    /// Acquire this source's gate permit, waiting no longer than the
+    /// budget's deadline allows. `None` when gating is disabled.
+    fn acquire_gate(
+        &self,
+        source: &str,
+        budget: Option<&QueryBudget>,
+    ) -> Result<Option<GatePermit>> {
+        match self.gates.gate(source) {
+            None => Ok(None),
+            Some(gate) => gate
+                .acquire(budget)
+                .map(Some)
+                .map_err(|e| AdaptorError::Invocation(format!("{source}: {e}"))),
+        }
     }
 
     /// The server bound to a connection name.
@@ -103,9 +135,24 @@ impl AdaptorRegistry {
         select: &Select,
         params: &[SqlValue],
     ) -> Result<ResultSet> {
+        self.execute_sql_governed(connection, select, params, None)
+    }
+
+    /// [`Self::execute_sql`] under workload governance: acquires the
+    /// source's gate permit (bounded by the budget's deadline) and charges
+    /// simulated latency against the budget so cancellation interrupts the
+    /// roundtrip.
+    pub fn execute_sql_governed(
+        &self,
+        connection: &str,
+        select: &Select,
+        params: &[SqlValue],
+        budget: Option<&QueryBudget>,
+    ) -> Result<ResultSet> {
         let server = self.connection(connection)?;
+        let _permit = self.acquire_gate(connection, budget)?;
         server
-            .execute_select(select, params)
+            .execute_select_governed(select, params, budget)
             .map_err(|e| classify_relational_error(connection, e))
     }
 
@@ -118,6 +165,18 @@ impl AdaptorRegistry {
         name: &QName,
         args: &[Sequence],
     ) -> Result<Sequence> {
+        self.call_physical_governed(metadata, name, args, None)
+    }
+
+    /// [`Self::call_physical`] under workload governance (per-source
+    /// permits, deadline-interruptible simulated latency).
+    pub fn call_physical_governed(
+        &self,
+        metadata: &Registry,
+        name: &QName,
+        args: &[Sequence],
+        budget: Option<&QueryBudget>,
+    ) -> Result<Sequence> {
         let f = metadata
             .function(name)
             .ok_or_else(|| AdaptorError::Unresolved(name.to_string()))?;
@@ -129,7 +188,7 @@ impl AdaptorRegistry {
                 ..
             } => {
                 let select = full_table_select(table, shape);
-                let rs = self.execute_sql(connection, &select, &[])?;
+                let rs = self.execute_sql_governed(connection, &select, &[], budget)?;
                 Ok(rows_to_elements(shape, &rs))
             }
             SourceBinding::RelationalNavigation {
@@ -164,7 +223,7 @@ impl AdaptorRegistry {
                     });
                 }
                 select.where_ = pred;
-                let rs = self.execute_sql(connection, &select, &params)?;
+                let rs = self.execute_sql_governed(connection, &select, &params, budget)?;
                 Ok(rows_to_elements(shape, &rs))
             }
             SourceBinding::WebService {
@@ -175,6 +234,7 @@ impl AdaptorRegistry {
                         "{name}: web service call requires a request element"
                     )));
                 };
+                let _permit = self.acquire_gate(service, budget)?;
                 let resp = self.service(service)?.call(operation, request)?;
                 Ok(vec![Item::Node(resp)])
             }
@@ -197,11 +257,14 @@ impl AdaptorRegistry {
     }
 }
 
-fn classify_relational_error(connection: &str, message: String) -> AdaptorError {
-    if message.contains("unavailable") {
-        AdaptorError::Unavailable(format!("{connection}: {message}"))
+fn classify_relational_error(connection: &str, e: SourceError) -> AdaptorError {
+    // Branch on the error *kind*, not its rendered message. A cancelled
+    // roundtrip surfaces as Invocation here; the runtime replaces it with
+    // the precise DeadlineExceeded error after re-checking the budget.
+    if e.is_unavailable() {
+        AdaptorError::Unavailable(format!("{connection}: {e}"))
     } else {
-        AdaptorError::Invocation(format!("{connection}: {message}"))
+        AdaptorError::Invocation(format!("{connection}: {e}"))
     }
 }
 

@@ -83,6 +83,24 @@ pub fn build_world_no_inverse(size: WorldSize) -> World {
         aldsp::compiler::LocalJoinMethod::IndexNestedLoop,
         1,
         false,
+        |b| b,
+    )
+}
+
+/// Build the world with a hook to tune the [`ServerBuilder`] before
+/// `build()` — admission limits, memory budgets, source caps — for the
+/// workload-governor experiments.
+pub fn build_world_tuned(
+    size: WorldSize,
+    tune: impl FnOnce(ServerBuilder) -> ServerBuilder,
+) -> World {
+    build_world_full(
+        size,
+        20,
+        aldsp::compiler::LocalJoinMethod::IndexNestedLoop,
+        1,
+        true,
+        tune,
     )
 }
 
@@ -93,7 +111,7 @@ pub fn build_world_opts(
     ppk_block_size: usize,
     ppk_local_method: aldsp::compiler::LocalJoinMethod,
 ) -> World {
-    build_world_full(size, ppk_block_size, ppk_local_method, 1, true)
+    build_world_full(size, ppk_block_size, ppk_local_method, 1, true, |b| b)
 }
 
 /// Build the world with an explicit PP-k prefetch depth (0 = fetch each
@@ -109,6 +127,7 @@ pub fn build_world_prefetch(
         aldsp::compiler::LocalJoinMethod::IndexNestedLoop,
         ppk_prefetch_depth,
         true,
+        |b| b,
     )
 }
 
@@ -118,6 +137,7 @@ fn build_world_full(
     ppk_local_method: aldsp::compiler::LocalJoinMethod,
     ppk_prefetch_depth: usize,
     declare_inverse: bool,
+    tune: impl FnOnce(ServerBuilder) -> ServerBuilder,
 ) -> World {
     let mut rng = StdRng::seed_from_u64(0x0A1D5);
     // --- db1: CUSTOMER + ORDER ------------------------------------------
@@ -285,7 +305,7 @@ fn build_world_full(
             QName::new("urn:lib", "date2int"),
         );
     }
-    let server = builder.build();
+    let server = tune(builder).build();
     World {
         server,
         db1,

@@ -25,6 +25,11 @@ pub struct ExplainContext<'a> {
     pub dialects: &'a HashMap<String, Dialect>,
     /// Is the mid-tier function cache enabled for this source function?
     pub cache_enabled: &'a dyn Fn(&QName) -> bool,
+    /// Workload-governor terms this plan would run under (priority,
+    /// deadline, memory cap) — server state, rendered as a header line
+    /// so EXPLAIN shows how the query will be scheduled, not just how
+    /// it will be evaluated. `None` leaves the plan text unchanged.
+    pub governor: Option<String>,
 }
 
 impl<'a> ExplainContext<'a> {
@@ -39,6 +44,9 @@ impl<'a> ExplainContext<'a> {
 /// Render the physical plan as an indented tree, one node per line.
 pub fn explain_plan(plan: &CExpr, ctx: &ExplainContext<'_>) -> String {
     let mut out = String::new();
+    if let Some(g) = &ctx.governor {
+        let _ = writeln!(out, "-- governor: {g}");
+    }
     render_expr(plan, ctx, 0, &mut out);
     out
 }

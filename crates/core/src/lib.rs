@@ -29,6 +29,7 @@ pub use aldsp_relational as relational;
 pub use aldsp_runtime as runtime;
 pub use aldsp_security as security;
 pub use aldsp_updates as updates;
+pub use aldsp_workload as workload;
 pub use aldsp_xdm as xdm;
 
 use aldsp_adaptors::{
@@ -47,6 +48,8 @@ use aldsp_security::{AccessDenied, AuditLog, Principal, SecurityPolicy};
 use aldsp_updates::{
     analyze, ConcurrencyPolicy, DataObject, Lineage, SubmitError, SubmitProcessor, SubmitReport,
 };
+use aldsp_workload::{Governor, GovernorConfig, QueryBudget};
+pub use aldsp_workload::{GovernorSnapshot, Priority, WorkloadError};
 use aldsp_xdm::item::{Item, Sequence};
 use aldsp_xdm::types::SequenceType;
 use aldsp_xdm::value::AtomicValue;
@@ -68,8 +71,40 @@ pub enum ServerError {
     Submit(SubmitError),
     /// Writing serialized results to a caller-supplied writer failed.
     Io(std::io::Error),
+    /// The workload governor refused or aborted the query: shed at
+    /// admission ([`WorkloadError::Overloaded`]), deadline hit
+    /// mid-execution ([`WorkloadError::DeadlineExceeded`]), or memory
+    /// cap hit by a blocking operator
+    /// ([`WorkloadError::BudgetExceeded`]).
+    Workload(WorkloadError),
     /// Anything else.
     Other(String),
+}
+
+impl ServerError {
+    /// Was this query shed by admission control (queue full)?
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            ServerError::Workload(WorkloadError::Overloaded { .. })
+        )
+    }
+
+    /// Did this query run out of deadline?
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(
+            self,
+            ServerError::Workload(WorkloadError::DeadlineExceeded { .. })
+        )
+    }
+
+    /// Did a blocking operator exceed the query's memory budget?
+    pub fn is_budget_exceeded(&self) -> bool {
+        matches!(
+            self,
+            ServerError::Workload(WorkloadError::BudgetExceeded { .. })
+        )
+    }
 }
 
 impl std::fmt::Display for ServerError {
@@ -86,6 +121,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Security(e) => write!(f, "{e}"),
             ServerError::Submit(e) => write!(f, "{e}"),
             ServerError::Io(e) => write!(f, "write failed: {e}"),
+            ServerError::Workload(e) => write!(f, "{e}"),
             ServerError::Other(s) => write!(f, "{s}"),
         }
     }
@@ -98,6 +134,7 @@ impl std::error::Error for ServerError {
             ServerError::Security(e) => Some(e),
             ServerError::Submit(e) => Some(e),
             ServerError::Io(e) => Some(e),
+            ServerError::Workload(e) => Some(e),
             ServerError::Compile(_) | ServerError::Other(_) => None,
         }
     }
@@ -127,6 +164,22 @@ impl From<std::io::Error> for ServerError {
     }
 }
 
+impl From<WorkloadError> for ServerError {
+    fn from(e: WorkloadError) -> Self {
+        ServerError::Workload(e)
+    }
+}
+
+/// Runtime errors surface as [`ServerError::Execute`] except the
+/// workload family, which keeps its typed identity so callers can
+/// branch on shed/deadline/budget without string matching.
+fn map_rt_error(e: aldsp_runtime::RtError) -> ServerError {
+    match e {
+        aldsp_runtime::RtError::Workload(w) => ServerError::Workload(w),
+        other => ServerError::Execute(other),
+    }
+}
+
 /// Builds an [`AldspServer`] by registering data sources (the design-time
 /// introspection flow of §2.1) and configuration.
 pub struct ServerBuilder {
@@ -138,6 +191,9 @@ pub struct ServerBuilder {
     ppk_block_size: usize,
     ppk_local_method: aldsp_compiler::LocalJoinMethod,
     ppk_prefetch_depth: usize,
+    admission: GovernorConfig,
+    default_memory_budget: Option<u64>,
+    source_concurrency_cap: usize,
 }
 
 impl Default for ServerBuilder {
@@ -158,7 +214,43 @@ impl ServerBuilder {
             ppk_block_size: 20,
             ppk_local_method: aldsp_compiler::LocalJoinMethod::IndexNestedLoop,
             ppk_prefetch_depth: 1,
+            admission: GovernorConfig::default(),
+            default_memory_budget: None,
+            source_concurrency_cap: 0,
         }
+    }
+
+    /// Enable admission control: at most `max_concurrent` queries
+    /// execute at once; up to `queue_capacity` more wait FIFO within
+    /// their priority class ([`Priority::Interactive`] queues ahead of
+    /// [`Priority::Batch`]). A request arriving with the queue full is
+    /// shed immediately with [`WorkloadError::Overloaded`]. The default
+    /// (`max_concurrent = 0`) admits everything.
+    pub fn admission(mut self, max_concurrent: usize, queue_capacity: usize) -> Self {
+        self.admission = GovernorConfig {
+            max_concurrent,
+            queue_capacity,
+        };
+        self
+    }
+
+    /// Cap the bytes of buffered operator state (group-by hash tables,
+    /// sort buffers, PP-k prefetch buffers) any single query may hold,
+    /// unless the request sets its own [`QueryRequest::memory_budget`].
+    /// Exceeding the cap fails the query with
+    /// [`WorkloadError::BudgetExceeded`].
+    pub fn default_memory_budget(mut self, bytes: u64) -> Self {
+        self.default_memory_budget = Some(bytes);
+        self
+    }
+
+    /// Cap concurrent roundtrips *per backend source* (relational
+    /// connections and web services alike; PP-k prefetch threads count
+    /// against the same gate). 0 — the default — leaves sources
+    /// ungated.
+    pub fn source_concurrency_cap(mut self, cap: usize) -> Self {
+        self.source_concurrency_cap = cap;
+        self
     }
 
     /// Override the PP-k block size (the paper's default is 20, §4.2).
@@ -305,6 +397,7 @@ impl ServerBuilder {
     /// and caches together.
     pub fn build(self) -> AldspServer {
         let metadata = Arc::new(self.metadata);
+        self.adaptors.set_source_cap(self.source_concurrency_cap);
         let adaptors = Arc::new(self.adaptors);
         let options = Options {
             mode: self.mode,
@@ -326,6 +419,8 @@ impl ServerBuilder {
             adaptors,
             compiler,
             runtime,
+            governor: Governor::new(self.admission),
+            default_memory_budget: self.default_memory_budget,
             security: self.security,
             audit: AuditLog::new(),
             inverses: inverse_registry,
@@ -392,6 +487,9 @@ pub struct QueryRequest<'a> {
     bindings: Vec<(String, Sequence)>,
     trace: TraceLevel,
     explain_only: bool,
+    deadline: Option<std::time::Duration>,
+    priority: Priority,
+    memory_budget: Option<u64>,
     sink: Option<&'a mut dyn FnMut(Item) -> bool>,
 }
 
@@ -406,6 +504,9 @@ impl<'a> QueryRequest<'a> {
             bindings: Vec::new(),
             trace: TraceLevel::default(),
             explain_only: false,
+            deadline: None,
+            priority: Priority::default(),
+            memory_budget: None,
             sink: None,
         }
     }
@@ -423,6 +524,9 @@ impl<'a> QueryRequest<'a> {
             bindings: Vec::new(),
             trace: TraceLevel::default(),
             explain_only: false,
+            deadline: None,
+            priority: Priority::default(),
+            memory_budget: None,
             sink: None,
         }
     }
@@ -473,6 +577,33 @@ impl<'a> QueryRequest<'a> {
         self
     }
 
+    /// Fail the query with [`WorkloadError::DeadlineExceeded`] if it
+    /// has not finished within `d` of starting execution. Checked
+    /// cooperatively at tuple boundaries and before every source
+    /// roundtrip — a streaming query stops mid-stream, and a roundtrip
+    /// to a slow source is abandoned as soon as the deadline passes
+    /// rather than ridden to completion.
+    pub fn deadline(mut self, d: std::time::Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Admission priority: [`Priority::Interactive`] (the default)
+    /// queues ahead of [`Priority::Batch`] when the server is at its
+    /// concurrency limit.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Cap the bytes of buffered operator state this query may hold
+    /// (overrides [`ServerBuilder::default_memory_budget`]). Exceeding
+    /// it fails the query with [`WorkloadError::BudgetExceeded`].
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Deliver result items incrementally to `sink` instead of
     /// materializing them (§2.2). Security filtering still applies per
     /// item; returning `false` stops execution early.
@@ -506,6 +637,8 @@ pub struct AldspServer {
     adaptors: Arc<AdaptorRegistry>,
     compiler: Compiler,
     runtime: Runtime,
+    governor: Arc<Governor>,
+    default_memory_budget: Option<u64>,
     security: SecurityPolicy,
     audit: AuditLog,
     inverses: aldsp_compiler::InverseRegistry,
@@ -549,6 +682,9 @@ impl AldspServer {
             bindings,
             trace,
             explain_only,
+            deadline,
+            priority,
+            memory_budget,
             mut sink,
         } = request;
         let (plan, call_args, criteria) = match target {
@@ -567,8 +703,9 @@ impl AldspServer {
                 (self.cached_call_plan(&function)?, Some(args), criteria)
             }
         };
-        let plan_explain =
-            (explain_only || trace != TraceLevel::Off).then(|| self.explain_for(&plan));
+        let mem_cap = memory_budget.or(self.default_memory_budget);
+        let plan_explain = (explain_only || trace != TraceLevel::Off)
+            .then(|| self.explain_for(&plan, self.governor_note(priority, deadline, mem_cap)));
         if explain_only {
             return Ok(QueryResponse {
                 items: Vec::new(),
@@ -578,6 +715,21 @@ impl AldspServer {
                 plan_explain,
             });
         }
+        // Workload governance: one budget shared by every thread of the
+        // query (PP-k prefetch, async), created only when something is
+        // actually governed. Admission may queue — or shed — the
+        // request before anything executes.
+        let budget = (deadline.is_some() || mem_cap.is_some() || self.governor.enabled())
+            .then(|| Arc::new(QueryBudget::new(deadline, mem_cap)));
+        let admit_t0 = std::time::Instant::now();
+        let admitted = match &budget {
+            Some(b) => self.governor.admit(priority, b),
+            // No budget means the governor is disabled: no-op admit.
+            None => self.governor.admit(priority, &QueryBudget::unlimited()),
+        };
+        self.sync_governor_stats();
+        let _admission = admitted?;
+        let admission_wait_ns = admit_t0.elapsed().as_nanos() as u64;
         let owned: Vec<(String, Sequence)> = match call_args {
             // Call arguments bind positionally to the plan's external
             // variables; ad-hoc queries bind by name.
@@ -595,22 +747,27 @@ impl AldspServer {
                             .into(),
                     ));
                 }
-                let exec = self.runtime.execute_streaming_traced(
-                    &plan,
-                    &borrowed,
-                    trace,
-                    &mut |item| {
-                        let filtered =
-                            self.security
-                                .filter_result(&principal, vec![item], &self.audit);
-                        for f in filtered {
-                            if !on_item(f) {
-                                return false;
+                let mut exec = self
+                    .runtime
+                    .execute_streaming_traced_budgeted(
+                        &plan,
+                        &borrowed,
+                        trace,
+                        budget.clone(),
+                        &mut |item| {
+                            let filtered =
+                                self.security
+                                    .filter_result(&principal, vec![item], &self.audit);
+                            for f in filtered {
+                                if !on_item(f) {
+                                    return false;
+                                }
                             }
-                        }
-                        true
-                    },
-                )?;
+                            true
+                        },
+                    )
+                    .map_err(map_rt_error)?;
+                exec.per_query_stats.admission_wait_ns = admission_wait_ns;
                 Ok(QueryResponse {
                     items: Vec::new(),
                     delivered: exec.delivered,
@@ -620,7 +777,11 @@ impl AldspServer {
                 })
             }
             None => {
-                let exec = self.runtime.execute_traced(&plan, &borrowed, trace)?;
+                let mut exec = self
+                    .runtime
+                    .execute_traced_budgeted(&plan, &borrowed, trace, budget.clone())
+                    .map_err(map_rt_error)?;
+                exec.per_query_stats.admission_wait_ns = admission_wait_ns;
                 let filtered = self
                     .security
                     .filter_result(&principal, exec.items, &self.audit);
@@ -635,40 +796,6 @@ impl AldspServer {
                 })
             }
         }
-    }
-
-    /// Run an ad-hoc query.
-    #[deprecated(note = "build a `QueryRequest` and use `AldspServer::execute`")]
-    pub fn query(
-        &self,
-        principal: &Principal,
-        source: &str,
-        bindings: &[(&str, Sequence)],
-    ) -> Result<Sequence, ServerError> {
-        let mut req = QueryRequest::new(source).principal(principal.clone());
-        for (n, v) in bindings {
-            req = req.bind(n, v.clone());
-        }
-        self.execute(req).map(|r| r.items)
-    }
-
-    /// Invoke a data-service function by name with positional arguments,
-    /// optionally applying mediator call criteria (§2.2).
-    #[deprecated(note = "build a `QueryRequest::call` and use `AldspServer::execute`")]
-    pub fn call(
-        &self,
-        principal: &Principal,
-        function: &QName,
-        args: Vec<Sequence>,
-        criteria: &CallCriteria,
-    ) -> Result<Sequence, ServerError> {
-        self.execute(
-            QueryRequest::call(function.clone())
-                .args(args)
-                .criteria(criteria.clone())
-                .principal(principal.clone()),
-        )
-        .map(|r| r.items)
     }
 
     /// Read one instance from a data-service function as a change-tracked
@@ -748,28 +875,6 @@ impl AldspServer {
         self.update_overrides.lock().insert(provider, f);
     }
 
-    /// Run a query and stream its results to `on_item` as they are
-    /// produced — "consume the results of a data service call or query
-    /// incrementally, as a stream" (§2.2). Security filtering applies
-    /// per item; returning `false` stops early. Returns the number of
-    /// items delivered.
-    #[deprecated(note = "build a `QueryRequest` with `stream_to` and use `AldspServer::execute`")]
-    pub fn query_streaming(
-        &self,
-        principal: &Principal,
-        source: &str,
-        bindings: &[(&str, Sequence)],
-        on_item: &mut dyn FnMut(Item) -> bool,
-    ) -> Result<u64, ServerError> {
-        let mut req = QueryRequest::new(source)
-            .principal(principal.clone())
-            .stream_to(on_item);
-        for (n, v) in bindings {
-            req = req.bind(n, v.clone());
-        }
-        self.execute(req).map(|r| r.delivered)
-    }
-
     /// Run a query and serialize the results incrementally to a writer —
     /// "or to redirect them to a file, without materializing them first"
     /// (§2.2).
@@ -818,6 +923,59 @@ impl AldspServer {
     /// them.
     pub fn stats(&self) -> StatsSnapshot {
         self.runtime.stats()
+    }
+
+    /// The workload governor's cumulative admission counters: queries
+    /// admitted and shed, current running/queued, deepest the queue has
+    /// been, and total admission wait. Monotonic for the life of the
+    /// server (unaffected by [`AldspServer::reset_stats`]).
+    pub fn governor_stats(&self) -> GovernorSnapshot {
+        self.governor.snapshot()
+    }
+
+    /// Mirror the governor's cumulative counters into the server-wide
+    /// runtime stats so one [`AldspServer::stats`] snapshot shows
+    /// admission behavior next to the operator counters. Stored rather
+    /// than added — the governor is the source of truth.
+    fn sync_governor_stats(&self) {
+        use std::sync::atomic::Ordering;
+        let snap = self.governor.snapshot();
+        let stats = &self.runtime.inner().stats;
+        stats.queries_shed.store(snap.shed, Ordering::Relaxed);
+        stats
+            .admission_wait_ns
+            .store(snap.admission_wait_ns, Ordering::Relaxed);
+        stats
+            .admission_queue_peak
+            .store(snap.queue_peak as u64, Ordering::Relaxed);
+    }
+
+    /// The `-- governor:` EXPLAIN header for a request, or `None` when
+    /// nothing about the query is governed.
+    fn governor_note(
+        &self,
+        priority: Priority,
+        deadline: Option<std::time::Duration>,
+        mem_cap: Option<u64>,
+    ) -> Option<String> {
+        if !self.governor.enabled() && deadline.is_none() && mem_cap.is_none() {
+            return None;
+        }
+        let mut parts = vec![format!("priority={priority}")];
+        if let Some(d) = deadline {
+            parts.push(format!("deadline={d:?}"));
+        }
+        if let Some(c) = mem_cap {
+            parts.push(format!("mem-cap={c}B"));
+        }
+        if self.governor.enabled() {
+            let cfg = self.governor.config();
+            parts.push(format!(
+                "admission={}+{}q",
+                cfg.max_concurrent, cfg.queue_capacity
+            ));
+        }
+        Some(parts.join(" "))
     }
 
     /// Reset runtime statistics.
@@ -893,13 +1051,15 @@ impl AldspServer {
 
     /// Render the plan EXPLAIN for a compiled query, supplying the
     /// renderer with runtime state the compiler can't know: connection
-    /// dialects and per-function cache enablement (§5.5).
-    fn explain_for(&self, plan: &CompiledQuery) -> String {
+    /// dialects, per-function cache enablement (§5.5), and the workload
+    /// terms the query would run under.
+    fn explain_for(&self, plan: &CompiledQuery, governor: Option<String>) -> String {
         let dialects = self.adaptors.connection_dialects();
         let cache = self.runtime.cache();
         let ctx = ExplainContext {
             dialects: &dialects,
             cache_enabled: &|q| cache.enabled(q),
+            governor,
         };
         explain_plan(&plan.plan, &ctx)
     }

@@ -203,7 +203,9 @@ fn eval_standalone(
         });
     }
     q.where_ = pred;
-    let rs: ResultSet = db.execute_select(&q, &all_params)?;
+    let rs: ResultSet = db
+        .execute_select(&q, &all_params)
+        .map_err(|e| e.to_string())?;
     rs.rows
         .first()
         .map(|r| r[0].clone())

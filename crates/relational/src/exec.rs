@@ -8,6 +8,7 @@
 //! "backend" that stands in for the paper's Oracle/DB2/SQL Server/Sybase
 //! installations.
 
+use crate::error::SourceError;
 use crate::sql::{AggFunc, JoinKind, OrderBy, ScalarExpr, Select, TableRef};
 use crate::store::{Database, Row};
 use crate::types::{SqlValue, Truth};
@@ -83,8 +84,15 @@ struct Scope<'a> {
 
 impl Database {
     /// Execute a `SELECT` with positional parameters.
-    pub fn execute_select(&self, q: &Select, params: &[SqlValue]) -> Result<ResultSet, String> {
-        exec_select(self, q, params, None)
+    ///
+    /// This is the public source boundary: internal evaluation keeps plain
+    /// `String` errors, converted to a typed [`SourceError`] here.
+    pub fn execute_select(
+        &self,
+        q: &Select,
+        params: &[SqlValue],
+    ) -> Result<ResultSet, SourceError> {
+        exec_select(self, q, params, None).map_err(SourceError::Sql)
     }
 }
 

@@ -15,6 +15,7 @@
 pub mod catalog;
 pub mod dialect;
 pub mod dml;
+pub mod error;
 pub mod exec;
 pub mod server;
 pub mod sql;
@@ -24,6 +25,7 @@ pub mod types;
 pub use catalog::{Catalog, Column, ForeignKey, TableSchema};
 pub use dialect::{render_select, Dialect};
 pub use dml::{render_dml, Delete, Dml, Insert, Update};
+pub use error::SourceError;
 pub use exec::ResultSet;
 pub use server::{LatencyModel, RelationalServer, ServerStats};
 pub use sql::{

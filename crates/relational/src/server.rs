@@ -13,10 +13,12 @@
 
 use crate::dialect::{render_select, Dialect};
 use crate::dml::{render_dml, Dml};
+use crate::error::SourceError;
 use crate::exec::ResultSet;
 use crate::sql::Select;
 use crate::store::Database;
 use crate::types::SqlValue;
+use aldsp_workload::QueryBudget;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,6 +31,12 @@ pub struct LatencyModel {
     pub per_roundtrip: Duration,
     /// Incremental cost per returned row (transfer).
     pub per_row: Duration,
+    /// Number of backend "slots" before the source saturates. 0 means an
+    /// ideal backend whose latency is independent of load; with `n > 0`,
+    /// the per-roundtrip cost is multiplied by `ceil(in_flight / n)` — a
+    /// coarse processor-sharing model that makes oversubscribing a source
+    /// visibly expensive (what per-source concurrency caps protect against).
+    pub saturation: usize,
 }
 
 impl LatencyModel {
@@ -42,6 +50,16 @@ impl LatencyModel {
         LatencyModel {
             per_roundtrip: Duration::from_micros(roundtrip_micros),
             per_row: Duration::ZERO,
+            saturation: 0,
+        }
+    }
+
+    /// A LAN database that degrades past `slots` concurrent requests.
+    pub fn saturating(roundtrip_micros: u64, slots: usize) -> LatencyModel {
+        LatencyModel {
+            per_roundtrip: Duration::from_micros(roundtrip_micros),
+            per_row: Duration::ZERO,
+            saturation: slots,
         }
     }
 }
@@ -151,48 +169,103 @@ impl RelationalServer {
         f(&mut self.db.write())
     }
 
-    fn charge(&self, rows: usize, sql: String) -> Result<(), String> {
+    /// Sleep `dur` of simulated latency; interruptible by the query's
+    /// deadline/cancellation when a budget is supplied. Returns `false`
+    /// when the sleep was cut short.
+    fn simulated_sleep(budget: Option<&QueryBudget>, dur: Duration) -> bool {
+        match budget {
+            Some(b) => b.bounded_sleep(dur),
+            None => {
+                std::thread::sleep(dur);
+                true
+            }
+        }
+    }
+
+    fn charge(
+        &self,
+        rows: usize,
+        sql: String,
+        budget: Option<&QueryBudget>,
+    ) -> Result<(), SourceError> {
         if !self.available.load(Ordering::SeqCst) {
-            return Err(format!("data source '{}' is unavailable", self.name));
+            return Err(SourceError::unavailable(&self.name));
         }
         let l = *self.latency.read();
         let in_window = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        // Past the saturation point the backend degrades: each roundtrip
+        // costs proportionally more the more requests share the source.
+        let factor = if l.saturation > 0 {
+            (in_window as u32).div_ceil(l.saturation as u32).max(1)
+        } else {
+            1
+        };
         let mut charged = Duration::ZERO;
+        let mut interrupted = false;
         if l.per_roundtrip > Duration::ZERO {
-            std::thread::sleep(l.per_roundtrip);
-            charged += l.per_roundtrip;
+            let d = l.per_roundtrip * factor;
+            interrupted = !Self::simulated_sleep(budget, d);
+            charged += d;
         }
-        if l.per_row > Duration::ZERO && rows > 0 {
-            std::thread::sleep(l.per_row * rows as u32);
-            charged += l.per_row * rows as u32;
+        if !interrupted && l.per_row > Duration::ZERO && rows > 0 {
+            let d = l.per_row * rows as u32;
+            interrupted = !Self::simulated_sleep(budget, d);
+            charged += d;
         }
         self.inflight.fetch_sub(1, Ordering::SeqCst);
+        // The statement did reach the source, so it is logged and counted
+        // even when the waiting query gave up mid-roundtrip.
         let mut s = self.stats.lock();
         s.roundtrips += 1;
         s.rows_returned += rows as u64;
         s.latency_ns += charged.as_nanos() as u64;
         s.peak_inflight = s.peak_inflight.max(in_window);
         s.statements.push(sql);
+        drop(s);
+        if interrupted {
+            return Err(SourceError::Cancelled {
+                source: self.name.clone(),
+            });
+        }
         Ok(())
     }
 
     /// Execute a SELECT (one roundtrip).
-    pub fn execute_select(&self, q: &Select, params: &[SqlValue]) -> Result<ResultSet, String> {
+    pub fn execute_select(
+        &self,
+        q: &Select,
+        params: &[SqlValue],
+    ) -> Result<ResultSet, SourceError> {
+        self.execute_select_governed(q, params, None)
+    }
+
+    /// Execute a SELECT, charging simulated latency against `budget` so a
+    /// deadline can interrupt the roundtrip mid-sleep.
+    pub fn execute_select_governed(
+        &self,
+        q: &Select,
+        params: &[SqlValue],
+        budget: Option<&QueryBudget>,
+    ) -> Result<ResultSet, SourceError> {
         if !self.available.load(Ordering::SeqCst) {
-            return Err(format!("data source '{}' is unavailable", self.name));
+            return Err(SourceError::unavailable(&self.name));
         }
         let rs = self.db.read().execute_select(q, params)?;
-        self.charge(rs.rows.len(), render_select(q, self.dialect))?;
+        self.charge(rs.rows.len(), render_select(q, self.dialect), budget)?;
         Ok(rs)
     }
 
     /// Execute a single autocommitted DML statement (one roundtrip).
-    pub fn execute_dml(&self, stmt: &Dml, params: &[SqlValue]) -> Result<usize, String> {
+    pub fn execute_dml(&self, stmt: &Dml, params: &[SqlValue]) -> Result<usize, SourceError> {
         if !self.available.load(Ordering::SeqCst) {
-            return Err(format!("data source '{}' is unavailable", self.name));
+            return Err(SourceError::unavailable(&self.name));
         }
-        let n = self.db.write().execute_dml(stmt, params)?;
-        self.charge(n, render_dml(stmt, self.dialect))?;
+        let n = self
+            .db
+            .write()
+            .execute_dml(stmt, params)
+            .map_err(SourceError::Sql)?;
+        self.charge(n, render_dml(stmt, self.dialect), None)?;
         Ok(n)
     }
 
@@ -200,17 +273,22 @@ impl RelationalServer {
 
     /// Phase 1: validate the statements (dry-run against a snapshot) and
     /// buffer them. Returns a transaction id for `commit`/`rollback`.
-    pub fn prepare(&self, stmts: Vec<(Dml, Vec<SqlValue>)>) -> Result<u64, String> {
+    pub fn prepare(&self, stmts: Vec<(Dml, Vec<SqlValue>)>) -> Result<u64, SourceError> {
         if !self.available.load(Ordering::SeqCst) {
-            return Err(format!("data source '{}' is unavailable", self.name));
+            return Err(SourceError::unavailable(&self.name));
         }
         if self.fail_on_prepare.swap(false, Ordering::SeqCst) {
-            return Err(format!("injected prepare failure on '{}'", self.name));
+            return Err(SourceError::Tx(format!(
+                "injected prepare failure on '{}'",
+                self.name
+            )));
         }
         // dry run on a snapshot so prepare guarantees commit will succeed
         let mut snapshot = self.db.read().clone();
         for (stmt, params) in &stmts {
-            snapshot.execute_dml(stmt, params)?;
+            snapshot
+                .execute_dml(stmt, params)
+                .map_err(SourceError::Sql)?;
         }
         let tx = self.next_tx.fetch_add(1, Ordering::SeqCst);
         self.pending.lock().insert(tx, stmts);
@@ -218,16 +296,14 @@ impl RelationalServer {
     }
 
     /// Phase 2: apply a prepared transaction.
-    pub fn commit(&self, tx: u64) -> Result<usize, String> {
-        let stmts = self
-            .pending
-            .lock()
-            .remove(&tx)
-            .ok_or_else(|| format!("unknown transaction {tx} on '{}'", self.name))?;
+    pub fn commit(&self, tx: u64) -> Result<usize, SourceError> {
+        let stmts = self.pending.lock().remove(&tx).ok_or_else(|| {
+            SourceError::Tx(format!("unknown transaction {tx} on '{}'", self.name))
+        })?;
         let mut total = 0;
         let mut db = self.db.write();
         for (stmt, params) in &stmts {
-            total += db.execute_dml(stmt, params)?;
+            total += db.execute_dml(stmt, params).map_err(SourceError::Sql)?;
             record_commit_statement(self, stmt);
         }
         Ok(total)
@@ -306,6 +382,41 @@ mod tests {
         }
         assert!(t0.elapsed() >= Duration::from_millis(10));
         assert_eq!(s.stats().roundtrips, 5);
+    }
+
+    #[test]
+    fn deadline_interrupts_simulated_latency() {
+        let s = server();
+        s.set_latency(LatencyModel::lan(50_000)); // 50ms per roundtrip
+        let b = QueryBudget::new(Some(Duration::from_millis(10)), None);
+        let t0 = std::time::Instant::now();
+        let r = s.execute_select_governed(&select_all(), &[], Some(&b));
+        assert!(matches!(r, Err(SourceError::Cancelled { .. })));
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "cancelled roundtrip must not pay the full simulated latency"
+        );
+        // The statement still reached the source.
+        assert_eq!(s.stats().roundtrips, 1);
+    }
+
+    #[test]
+    fn saturating_latency_degrades_under_load() {
+        let s = server();
+        s.set_latency(LatencyModel::saturating(5_000, 1)); // 5ms, 1 slot
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    s.execute_select(&select_all(), &[]).unwrap();
+                });
+            }
+        });
+        let st = s.stats();
+        assert_eq!(st.roundtrips, 4);
+        if st.peak_inflight > 1 {
+            // Overlapped requests were charged a saturation multiplier.
+            assert!(st.latency_ns > 4 * 5_000_000);
+        }
     }
 
     #[test]

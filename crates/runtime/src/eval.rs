@@ -23,6 +23,7 @@ use aldsp_adaptors::{AdaptorError, AdaptorRegistry};
 use aldsp_compiler::ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec};
 use aldsp_metadata::Registry;
 use aldsp_relational::{ppk_block_predicate, ResultSet, Select, SqlType, SqlValue};
+use aldsp_workload::{QueryBudget, WorkloadError};
 use aldsp_xdm::item::{
     arithmetic, atomize, effective_boolean_value, general_compare, value_compare, Item, Sequence,
 };
@@ -43,6 +44,8 @@ pub enum RtError {
     Adaptor(AdaptorError),
     /// A malformed or unexecutable plan.
     Plan(String),
+    /// A workload-governance limit was hit (deadline, memory budget).
+    Workload(WorkloadError),
 }
 
 impl std::fmt::Display for RtError {
@@ -51,6 +54,7 @@ impl std::fmt::Display for RtError {
             RtError::Xdm(e) => write!(f, "{e}"),
             RtError::Adaptor(e) => write!(f, "{e}"),
             RtError::Plan(s) => write!(f, "plan error: {s}"),
+            RtError::Workload(e) => write!(f, "{e}"),
         }
     }
 }
@@ -66,6 +70,12 @@ impl From<XdmError> for RtError {
 impl From<AdaptorError> for RtError {
     fn from(e: AdaptorError) -> RtError {
         RtError::Adaptor(e)
+    }
+}
+
+impl From<WorkloadError> for RtError {
+    fn from(e: WorkloadError) -> RtError {
+        RtError::Workload(e)
     }
 }
 
@@ -100,6 +110,10 @@ pub struct ExecCtx {
     /// Per-operator trace sink; `None` when tracing is off (the
     /// untraced path pays only this branch).
     pub trace: Option<Arc<TraceCollector>>,
+    /// Workload budget (deadline, memory cap); `None` for ungoverned
+    /// executions. Shared by every thread of the query, so PP-k prefetch
+    /// and async threads observe cancellation and charge the same caps.
+    pub budget: Option<Arc<QueryBudget>>,
 }
 
 impl ExecCtx {
@@ -109,6 +123,36 @@ impl ExecCtx {
             rt,
             local: Arc::new(ExecStats::default()),
             trace,
+            budget: None,
+        }
+    }
+
+    /// Attach a workload budget to this execution.
+    pub fn with_budget(mut self, budget: Option<Arc<QueryBudget>>) -> ExecCtx {
+        self.budget = budget;
+        self
+    }
+
+    /// Cooperative budget check (row boundaries, before roundtrips).
+    fn check_budget(&self) -> RtResult<()> {
+        if let Some(b) = &self.budget {
+            b.check()?;
+        }
+        Ok(())
+    }
+
+    /// Charge buffered-operator memory against the budget.
+    fn charge_mem(&self, bytes: u64) -> RtResult<()> {
+        if let Some(b) = &self.budget {
+            b.charge(bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Return memory previously charged with [`Self::charge_mem`].
+    fn release_mem(&self, bytes: u64) {
+        if let Some(b) = &self.budget {
+            b.release(bytes);
         }
     }
 
@@ -848,8 +892,21 @@ fn call_physical(cx: &ExecCtx, name: &QName, args: &[Sequence], node: u32) -> Rt
         }
         cx.inc(|s| &s.cache_misses);
     }
+    cx.check_budget()?;
     cx.inc(|s| &s.source_calls);
-    let result = cx.rt.adaptors.call_physical(&cx.rt.metadata, name, args)?;
+    let call =
+        cx.rt
+            .adaptors
+            .call_physical_governed(&cx.rt.metadata, name, args, cx.budget.as_deref());
+    let result = match call {
+        Ok(r) => r,
+        Err(e) => {
+            // A roundtrip interrupted by cancellation surfaces as the
+            // precise deadline error, not the adaptor's wrapped message.
+            cx.check_budget()?;
+            return Err(e.into());
+        }
+    };
     cx.rt.cache.put(name, args, result.clone());
     record(cx, result.len() as u64, 1);
     Ok(result)
@@ -911,6 +968,14 @@ pub fn flwor_tuples<'a>(
     let mut it: TupleIter<'a> = Box::new(std::iter::once(Ok(base.clone())));
     for (i, c) in clauses.iter().enumerate() {
         it = apply_clause(cx, flwor_id, i, c, it, base.clone(), prefetched.remove(&i));
+    }
+    if cx.budget.is_some() {
+        // Cooperative deadline check at every tuple boundary, so a
+        // timed-out query stops mid-stream instead of running dry.
+        it = Box::new(it.map(move |t| {
+            cx.check_budget()?;
+            t
+        }));
     }
     it
 }
@@ -1110,6 +1175,7 @@ fn build_clause<'a>(
                 input_done: false,
                 exhausted: false,
                 key_buf: String::new(),
+                buffered_charge: 0,
             }),
             None => sql_for_plain(
                 cx, tkey, connection, select, params, binds, input, scan_seed,
@@ -1122,20 +1188,62 @@ fn one_err<'a>(e: RtError) -> TupleIter<'a> {
     Box::new(std::iter::once(Err(e)))
 }
 
+/// Coarse deterministic per-buffered-tuple estimate used by the memory
+/// budget. The point is not byte-accurate accounting but a reproducible
+/// measure of how much state a blocking operator holds, so caps behave
+/// identically across runs and platforms.
+pub(crate) const TUPLE_MEM_BYTES: u64 = 256;
+
+/// Streams a materialized buffer while holding its memory charge against
+/// the query budget; the charge is released when the stream is dropped
+/// (fully drained or abandoned early).
+struct Charged<'a> {
+    cx: &'a ExecCtx,
+    bytes: u64,
+    inner: TupleIter<'a>,
+}
+
+impl Iterator for Charged<'_> {
+    type Item = RtResult<Env>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+impl Drop for Charged<'_> {
+    fn drop(&mut self) {
+        self.cx.release_mem(self.bytes);
+    }
+}
+
+/// Abort a buffering operator: return the memory it had charged and
+/// surface the error.
+fn charged_err<'a>(cx: &ExecCtx, charged: u64, e: RtError) -> TupleIter<'a> {
+    cx.release_mem(charged);
+    one_err(e)
+}
+
 // ---- order by -------------------------------------------------------------------
 
 fn order_by<'a>(cx: &'a ExecCtx, specs: &'a [OrderSpec], input: TupleIter<'a>) -> TupleIter<'a> {
     let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
+    let mut charged = 0u64;
     for tuple in input {
         let env = match tuple {
             Ok(e) => e,
-            Err(e) => return one_err(e),
+            Err(e) => return charged_err(cx, charged, e),
         };
+        // the sort buffer is blocking state: charge it against the budget
+        if let Err(e) = cx.charge_mem(TUPLE_MEM_BYTES) {
+            return charged_err(cx, charged, e);
+        }
+        charged += TUPLE_MEM_BYTES;
         let mut key = Vec::with_capacity(specs.len());
         for s in specs {
             match eval(cx, &s.expr, &env) {
                 Ok(v) => key.push(atomize(&v).into_iter().next()),
-                Err(e) => return one_err(e),
+                Err(e) => return charged_err(cx, charged, e),
             }
         }
         rows.push((key, env));
@@ -1152,7 +1260,11 @@ fn order_by<'a>(cx: &'a ExecCtx, specs: &'a [OrderSpec], input: TupleIter<'a>) -
         }
         Ordering::Equal
     });
-    Box::new(rows.into_iter().map(|(_, e)| Ok(e)))
+    Box::new(Charged {
+        cx,
+        bytes: charged,
+        inner: Box::new(rows.into_iter().map(|(_, e)| Ok(e))),
+    })
 }
 
 fn cmp_keys(a: &Option<AtomicValue>, b: &Option<AtomicValue>, empty_least: bool) -> Ordering {
@@ -1255,6 +1367,11 @@ impl Iterator for StreamingGroups<'_> {
                         .iter()
                         .map(|(from, _)| env.get(from).cloned().unwrap_or_default())
                         .collect();
+                    // every accumulated tuple is blocking state: charge it
+                    if let Err(e) = self.cx.charge_mem(TUPLE_MEM_BYTES) {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
                     match &mut self.current {
                         Some(g)
                             if g.key.len() == key.len()
@@ -1270,7 +1387,8 @@ impl Iterator for StreamingGroups<'_> {
                             self.cx.peak(|s| &s.peak_grouped_tuples, g.size);
                         }
                         Some(_) => {
-                            // group boundary: emit the finished group
+                            // group boundary: emit the finished group and
+                            // return its buffered-tuple charge
                             let g = self.current.take().expect("matched Some");
                             self.current = Some(GroupAccum {
                                 key,
@@ -1278,7 +1396,10 @@ impl Iterator for StreamingGroups<'_> {
                                 carried,
                                 size: 1,
                             });
-                            return Some(Ok(self.emit(g)));
+                            let released = g.size * TUPLE_MEM_BYTES;
+                            let env = self.emit(g);
+                            self.cx.release_mem(released);
+                            return Some(Ok(env));
                         }
                         None => {
                             self.cx.peak(|s| &s.peak_grouped_tuples, 1);
@@ -1294,9 +1415,24 @@ impl Iterator for StreamingGroups<'_> {
                 None => {
                     self.done = true;
                     let last = self.current.take();
-                    return last.map(|g| Ok(self.emit(g)));
+                    return last.map(|g| {
+                        let released = g.size * TUPLE_MEM_BYTES;
+                        let env = self.emit(g);
+                        self.cx.release_mem(released);
+                        Ok(env)
+                    });
                 }
             }
+        }
+    }
+}
+
+impl Drop for StreamingGroups<'_> {
+    fn drop(&mut self) {
+        // return the in-progress group's charge when the stream is
+        // abandoned before the group was emitted
+        if let Some(g) = self.current.take() {
+            self.cx.release_mem(g.size * TUPLE_MEM_BYTES);
         }
     }
 }
@@ -1313,16 +1449,22 @@ fn sorted_group_by<'a>(
 ) -> TupleIter<'a> {
     cx.inc(|s| &s.sorted_groups);
     let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
+    let mut charged = 0u64;
     for tuple in input {
         let env = match tuple {
             Ok(e) => e,
-            Err(e) => return one_err(e),
+            Err(e) => return charged_err(cx, charged, e),
         };
+        // the sort-then-group buffer is blocking state: charge it
+        if let Err(e) = cx.charge_mem(TUPLE_MEM_BYTES) {
+            return charged_err(cx, charged, e);
+        }
+        charged += TUPLE_MEM_BYTES;
         let mut key = Vec::with_capacity(keys.len());
         for (kexpr, _) in keys {
             match eval(cx, kexpr, &env) {
                 Ok(v) => key.push(atomize(&v).into_iter().next()),
-                Err(e) => return one_err(e),
+                Err(e) => return charged_err(cx, charged, e),
             }
         }
         rows.push((key, env));
@@ -1376,7 +1518,11 @@ fn sorted_group_by<'a>(
         out.push(env);
         i = j;
     }
-    Box::new(out.into_iter().map(Ok))
+    Box::new(Charged {
+        cx,
+        bytes: charged,
+        inner: Box::new(out.into_iter().map(Ok)),
+    })
 }
 
 // ---- SQL clauses ------------------------------------------------------------------
@@ -1400,8 +1546,24 @@ fn exec_sql(
     select: &Select,
     params: &[SqlValue],
 ) -> RtResult<ResultSet> {
+    // budget check before every roundtrip: a timed-out query (including
+    // its PP-k prefetch threads, which share the budget through their
+    // cloned context) stops issuing statements
+    cx.check_budget()?;
     cx.inc(|s| &s.sql_statements);
-    Ok(cx.rt.adaptors.execute_sql(connection, select, params)?)
+    let r = cx
+        .rt
+        .adaptors
+        .execute_sql_governed(connection, select, params, cx.budget.as_deref());
+    match r {
+        Ok(rs) => Ok(rs),
+        Err(e) => {
+            // a roundtrip interrupted by cancellation surfaces as the
+            // precise deadline error, not the adaptor's wrapped message
+            cx.check_budget()?;
+            Err(e.into())
+        }
+    }
 }
 
 fn bind_row(env: &Env, binds: &[(String, AtomicType)], row: &[SqlValue]) -> Env {
@@ -1494,6 +1656,9 @@ struct PpkIter<'a> {
     exhausted: bool,
     /// Scratch for local-join key building (reused across rows/blocks).
     key_buf: String,
+    /// Bytes currently charged against the budget for `buffer` contents
+    /// (the materialized array-tuples of the block join, §4.2).
+    buffered_charge: u64,
 }
 
 /// One block of outer tuples with their evaluated key values.
@@ -1513,6 +1678,15 @@ enum BlockFetch {
 }
 
 impl PpkIter<'_> {
+    /// Abort the block join: emit `e` after already-buffered tuples and
+    /// stop staging further fetches.
+    fn fail_buffer(&mut self, e: RtError) {
+        self.buffer.push_back(Err(e));
+        self.pending.clear();
+        self.staging_err = None;
+        self.exhausted = true;
+    }
+
     /// Pull up to `k` outer tuples and evaluate their key expressions.
     /// `None` means the input is done — either exhausted or errored (the
     /// error lands in `staging_err` and the partial block is dropped).
@@ -1732,6 +1906,11 @@ impl PpkIter<'_> {
                     &self.binds[self.binds.len() - 1].0,
                     vec![Item::int(tid as i64)],
                 );
+                if let Err(e) = self.cx.charge_mem(TUPLE_MEM_BYTES) {
+                    self.fail_buffer(e);
+                    return;
+                }
+                self.buffered_charge += TUPLE_MEM_BYTES;
                 self.buffer.push_back(Ok(out));
             } else {
                 for ri in matches {
@@ -1742,6 +1921,11 @@ impl PpkIter<'_> {
                             vec![Item::int(tid as i64)],
                         );
                     }
+                    if let Err(e) = self.cx.charge_mem(TUPLE_MEM_BYTES) {
+                        self.fail_buffer(e);
+                        return;
+                    }
+                    self.buffered_charge += TUPLE_MEM_BYTES;
                     self.buffer.push_back(Ok(out));
                 }
             }
@@ -1755,6 +1939,11 @@ impl Iterator for PpkIter<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             if let Some(x) = self.buffer.pop_front() {
+                // the consumer took a buffered tuple: return its charge
+                if x.is_ok() && self.buffered_charge >= TUPLE_MEM_BYTES {
+                    self.buffered_charge -= TUPLE_MEM_BYTES;
+                    self.cx.release_mem(TUPLE_MEM_BYTES);
+                }
                 return Some(x);
             }
             if self.exhausted {
@@ -1765,6 +1954,13 @@ impl Iterator for PpkIter<'_> {
                 return None;
             }
         }
+    }
+}
+
+impl Drop for PpkIter<'_> {
+    fn drop(&mut self) {
+        // return the charge for tuples still buffered at early stop
+        self.cx.release_mem(self.buffered_charge);
     }
 }
 

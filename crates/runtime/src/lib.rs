@@ -21,6 +21,8 @@ pub use eval::{ExecCtx, RtError, RtResult, RuntimeInner};
 pub use stats::{ExecStats, StatsSnapshot};
 pub use trace::{NodeTrace, QueryTrace, TraceCollector, TraceKey, TraceLevel};
 
+pub use aldsp_workload::{QueryBudget, WorkloadError};
+
 use aldsp_adaptors::AdaptorRegistry;
 use aldsp_compiler::CompiledQuery;
 use aldsp_metadata::Registry;
@@ -81,10 +83,28 @@ impl Runtime {
         bindings: &[(&str, Sequence)],
         level: TraceLevel,
     ) -> RtResult<Execution> {
+        self.execute_traced_budgeted(query, bindings, level, None)
+    }
+
+    /// [`Runtime::execute_traced`] under a workload budget: the deadline
+    /// is checked at tuple boundaries and before source roundtrips, and
+    /// blocking operators charge their buffered state against the
+    /// budget's memory cap. The budget's permit-wait and peak-memory
+    /// counters are folded into the returned stats.
+    pub fn execute_traced_budgeted(
+        &self,
+        query: &CompiledQuery,
+        bindings: &[(&str, Sequence)],
+        level: TraceLevel,
+        budget: Option<Arc<QueryBudget>>,
+    ) -> RtResult<Execution> {
         let env = self.bind_env(query, bindings);
         let (cx, collector) = self.exec_ctx(level);
+        let cx = cx.with_budget(budget);
         let t0 = std::time::Instant::now();
-        let items = eval::eval(&cx, &query.plan, &env)?;
+        let result = eval::eval(&cx, &query.plan, &env);
+        merge_budget_counters(&cx);
+        let items = result?;
         if let Some(c) = &collector {
             // the plan root's row count = the result item count, so a
             // trace always sums consistently with what was returned
@@ -132,31 +152,53 @@ impl Runtime {
         level: TraceLevel,
         on_item: &mut dyn FnMut(aldsp_xdm::item::Item) -> bool,
     ) -> RtResult<Execution> {
+        self.execute_streaming_traced_budgeted(query, bindings, level, None, on_item)
+    }
+
+    /// [`Runtime::execute_streaming_traced`] under a workload budget —
+    /// the streaming twin of [`Runtime::execute_traced_budgeted`]. A
+    /// deadline hit mid-stream ends the result stream with the typed
+    /// error after whatever prefix was already delivered.
+    pub fn execute_streaming_traced_budgeted(
+        &self,
+        query: &CompiledQuery,
+        bindings: &[(&str, Sequence)],
+        level: TraceLevel,
+        budget: Option<Arc<QueryBudget>>,
+        on_item: &mut dyn FnMut(aldsp_xdm::item::Item) -> bool,
+    ) -> RtResult<Execution> {
         let env = self.bind_env(query, bindings);
         let (cx, collector) = self.exec_ctx(level);
+        let cx = cx.with_budget(budget);
         let t0 = std::time::Instant::now();
         let mut delivered = 0u64;
-        match &query.plan.kind {
-            aldsp_compiler::CKind::Flwor { clauses, ret } => {
-                'outer: for tuple in eval::flwor_tuples(&cx, query.plan.node_id, clauses, &env) {
-                    let tenv = tuple?;
-                    for item in eval::eval(&cx, ret, &tenv)? {
+        let result = (|| -> RtResult<()> {
+            match &query.plan.kind {
+                aldsp_compiler::CKind::Flwor { clauses, ret } => {
+                    'outer: for tuple in eval::flwor_tuples(&cx, query.plan.node_id, clauses, &env)
+                    {
+                        let tenv = tuple?;
+                        for item in eval::eval(&cx, ret, &tenv)? {
+                            delivered += 1;
+                            if !on_item(item) {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    for item in eval::eval(&cx, &query.plan, &env)? {
                         delivered += 1;
                         if !on_item(item) {
-                            break 'outer;
+                            break;
                         }
                     }
                 }
             }
-            _ => {
-                for item in eval::eval(&cx, &query.plan, &env)? {
-                    delivered += 1;
-                    if !on_item(item) {
-                        break;
-                    }
-                }
-            }
-        }
+            Ok(())
+        })();
+        merge_budget_counters(&cx);
+        result?;
         if let Some(c) = &collector {
             c.record(
                 TraceKey::node(query.plan.node_id),
@@ -217,6 +259,29 @@ impl Runtime {
     /// The underlying shared state (for embedding).
     pub fn inner(&self) -> &Arc<RuntimeInner> {
         &self.inner
+    }
+}
+
+/// Fold the budget's own counters (gate wait, peak held memory) into
+/// both the global and the per-query stats scopes, so snapshots show
+/// them alongside the operator counters. Called whether the query
+/// succeeded or not — a deadline-killed query's permit waits are
+/// exactly the interesting ones.
+fn merge_budget_counters(cx: &ExecCtx) {
+    use std::sync::atomic::Ordering;
+    let Some(b) = &cx.budget else { return };
+    let wait = b.permit_wait_ns();
+    if wait > 0 {
+        cx.rt
+            .stats
+            .permit_wait_ns
+            .fetch_add(wait, Ordering::Relaxed);
+        cx.local.permit_wait_ns.fetch_add(wait, Ordering::Relaxed);
+    }
+    let peak = b.peak_memory_bytes();
+    if peak > 0 {
+        cx.rt.stats.peak(&cx.rt.stats.peak_memory_bytes, peak);
+        cx.local.peak(&cx.local.peak_memory_bytes, peak);
     }
 }
 

@@ -46,6 +46,17 @@ pub struct ExecStats {
     pub cache_hits: AtomicU64,
     /// Function-cache misses.
     pub cache_misses: AtomicU64,
+    /// Nanoseconds queries spent waiting for an admission slot.
+    pub admission_wait_ns: AtomicU64,
+    /// Queries shed by the admission controller (queue full).
+    pub queries_shed: AtomicU64,
+    /// Deepest the admission wait queue has been.
+    pub admission_queue_peak: AtomicU64,
+    /// Nanoseconds spent waiting on per-source concurrency gates
+    /// (foreground roundtrips and PP-k prefetch threads alike).
+    pub permit_wait_ns: AtomicU64,
+    /// Peak bytes of budgeted operator memory held by any single query.
+    pub peak_memory_bytes: AtomicU64,
 }
 
 impl ExecStats {
@@ -77,6 +88,11 @@ impl ExecStats {
             failovers_taken: self.failovers_taken.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            admission_wait_ns: self.admission_wait_ns.load(Ordering::Relaxed),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            admission_queue_peak: self.admission_queue_peak.load(Ordering::Relaxed),
+            permit_wait_ns: self.permit_wait_ns.load(Ordering::Relaxed),
+            peak_memory_bytes: self.peak_memory_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -98,6 +114,11 @@ impl ExecStats {
             &self.failovers_taken,
             &self.cache_hits,
             &self.cache_misses,
+            &self.admission_wait_ns,
+            &self.queries_shed,
+            &self.admission_queue_peak,
+            &self.permit_wait_ns,
+            &self.peak_memory_bytes,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -123,4 +144,9 @@ pub struct StatsSnapshot {
     pub failovers_taken: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    pub admission_wait_ns: u64,
+    pub queries_shed: u64,
+    pub admission_queue_peak: u64,
+    pub permit_wait_ns: u64,
+    pub peak_memory_bytes: u64,
 }

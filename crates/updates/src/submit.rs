@@ -300,7 +300,7 @@ impl<'a> SubmitProcessor<'a> {
                             s.rollback(tx);
                         }
                     }
-                    return Err(SubmitError::PrepareFailed(e));
+                    return Err(SubmitError::PrepareFailed(e.to_string()));
                 }
             }
         }
@@ -309,7 +309,9 @@ impl<'a> SubmitProcessor<'a> {
                 .adaptors
                 .connection(&conn)
                 .map_err(|e| SubmitError::Other(e.to_string()))?;
-            let n = server.commit(tx).map_err(SubmitError::Other)?;
+            let n = server
+                .commit(tx)
+                .map_err(|e| SubmitError::Other(e.to_string()))?;
             if n == 0 {
                 // an optimistic conflict surfaced as zero matched rows
                 let table = per_source[&conn]

@@ -77,6 +77,12 @@ pub fn card_catalog() -> Catalog {
 /// Build the running-example world with `n` customers (each customer i
 /// has i%3 orders and i%2 cards; every 7th has no FIRST_NAME).
 pub fn world(n: usize) -> World {
+    world_tuned(n, |b| b)
+}
+
+/// [`world`] with a hook to tune the [`ServerBuilder`] before `build()`
+/// — admission limits, memory budgets, source caps, PP-k settings.
+pub fn world_tuned(n: usize, tune: impl FnOnce(ServerBuilder) -> ServerBuilder) -> World {
     let cat1 = customer_catalog();
     let cat2 = card_catalog();
     let mut db1 = Database::new();
@@ -167,7 +173,7 @@ pub fn world(n: usize) -> World {
     let (i2d, d2i) = aldsp::adaptors::native::int2date_pair();
     let opt_int = SequenceType::Seq(ItemType::Atomic(AtomicType::Integer), Occurrence::Optional);
     let opt_dt = SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
-    let server = ServerBuilder::new()
+    let builder = ServerBuilder::new()
         .relational_source(db1.clone(), &cat1, "urn:custDS")
         .expect("register db1")
         .relational_source(db2.clone(), &cat2, "urn:ccDS")
@@ -197,8 +203,8 @@ pub fn world(n: usize) -> World {
         .inverse(
             QName::new("urn:lib", "int2date"),
             QName::new("urn:lib", "date2int"),
-        )
-        .build();
+        );
+    let server = tune(builder).build();
     World {
         server,
         db1,

@@ -248,47 +248,6 @@ fn streaming_delivery_and_early_stop() {
     assert_eq!(all, serialize_sequence(&materialized));
 }
 
-/// The pre-`QueryRequest` positional signatures must keep compiling and
-/// returning the same answers through their deprecated shims.
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_work() {
-    let w = world(8);
-    w.server.deploy(PROFILE_MODULE).expect("deploys");
-    let q = format!("{PROLOG} for $c in c:CUSTOMER() return $c/CID");
-    let via_shim = w.server.query(&demo(), &q, &[]).expect("old query()");
-    let via_request = w
-        .server
-        .execute(QueryRequest::new(&q).principal(demo()))
-        .expect("execute")
-        .items;
-    assert_eq!(
-        serialize_sequence(&via_shim),
-        serialize_sequence(&via_request)
-    );
-    let called = w
-        .server
-        .call(
-            &demo(),
-            &QName::new("urn:profileDS", "getProfile"),
-            vec![],
-            &CallCriteria::default(),
-        )
-        .expect("old call()");
-    assert_eq!(called.len(), 8);
-    let mut n = 0u64;
-    let streamed = w
-        .server
-        .query_streaming(&demo(), &q, &[], &mut |_| {
-            n += 1;
-            true
-        })
-        .expect("old query_streaming()");
-    assert_eq!(streamed, 8);
-    assert_eq!(n, 8);
-    w.server.reset_stats();
-}
-
 /// A `&mut String` as an `io::Write` shim for the test.
 fn unsafe_writer(buf: &mut String) -> StringWriter<'_> {
     StringWriter(buf)

@@ -1,0 +1,313 @@
+//! The workload governor end to end: admission control (shedding and
+//! priority), deadlines (fast abort of slow roundtrips, mid-stream
+//! cutoff), per-source concurrency caps under thread stress, and
+//! memory budgets on blocking operators.
+//!
+//! Latencies are simulated ([`LatencyModel`]), so each test states its
+//! timeline explicitly: slots are held for a known duration and the
+//! assertions leave generous margins around it.
+
+mod common;
+
+use aldsp::relational::LatencyModel;
+use aldsp::security::Principal;
+use aldsp::{Priority, QueryRequest, TraceLevel};
+use common::{world, world_tuned, PROLOG};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+fn demo() -> Principal {
+    Principal::new("demo", &[])
+}
+
+/// One customer-scan roundtrip to db1.
+fn scan_query() -> String {
+    format!("{PROLOG} for $c in c:CUSTOMER() return $c/CID")
+}
+
+/// Admission at concurrency 1 with a 2-deep queue: while one query
+/// holds the slot, a batch and an interactive request queue (the
+/// interactive one jumps ahead), and a fourth is shed immediately with
+/// a typed `Overloaded` error.
+#[test]
+fn admission_sheds_overflow_and_prefers_interactive() {
+    let w = world_tuned(6, |b| b.admission(1, 2));
+    w.db1.set_latency(LatencyModel::lan(100_000)); // 100 ms per roundtrip
+    let q = scan_query();
+    let order: Mutex<Vec<&str>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            // holds the single slot for ~100 ms
+            w.server
+                .execute(QueryRequest::new(&q).principal(demo()))
+                .expect("slot holder");
+            order.lock().unwrap().push("holder");
+        });
+        std::thread::sleep(Duration::from_millis(25));
+        s.spawn(|| {
+            let resp = w
+                .server
+                .execute(
+                    QueryRequest::new(&q)
+                        .principal(demo())
+                        .priority(Priority::Batch),
+                )
+                .expect("queued batch query");
+            order.lock().unwrap().push("batch");
+            assert!(
+                resp.per_query_stats.admission_wait_ns > 0,
+                "queued query reports its admission wait"
+            );
+        });
+        std::thread::sleep(Duration::from_millis(25));
+        s.spawn(|| {
+            w.server
+                .execute(QueryRequest::new(&q).principal(demo()))
+                .expect("queued interactive query");
+            order.lock().unwrap().push("interactive");
+        });
+        std::thread::sleep(Duration::from_millis(25));
+        // slot busy + queue full (batch + interactive) → immediate shed
+        let t0 = Instant::now();
+        let err = w
+            .server
+            .execute(QueryRequest::new(&q).principal(demo()))
+            .expect_err("queue is full");
+        assert!(err.is_overloaded(), "typed shed error, got: {err}");
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "shedding does not wait for the queue to drain"
+        );
+    });
+    assert_eq!(
+        *order.lock().unwrap(),
+        vec!["holder", "interactive", "batch"],
+        "interactive admitted ahead of the earlier-queued batch request"
+    );
+    let gov = w.server.governor_stats();
+    assert_eq!(gov.shed, 1);
+    assert_eq!(gov.admitted, 3);
+    assert_eq!(gov.queue_peak, 2);
+    // the governor's counters are mirrored into the server-wide stats
+    let stats = w.server.stats();
+    assert_eq!(stats.queries_shed, 1);
+    assert_eq!(stats.admission_queue_peak, 2);
+    assert!(stats.admission_wait_ns > 0);
+}
+
+/// The acceptance scenario: concurrency 4, queue 8, 32 simultaneous
+/// clients. No query ever observes more than 4 in-flight peers at the
+/// source, the excess is shed with `Overloaded`, and the governor's
+/// ledger adds up.
+#[test]
+fn thirty_two_clients_against_four_slots() {
+    let w = world_tuned(6, |b| b.admission(4, 8));
+    w.db1.set_latency(LatencyModel::lan(10_000)); // 10 ms per roundtrip
+    let q = scan_query();
+    let barrier = Barrier::new(32);
+    let (mut ok, mut shed) = (0u64, 0u64);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    w.server.execute(QueryRequest::new(&q).principal(demo()))
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join().expect("no panics") {
+                Ok(_) => ok += 1,
+                Err(e) => {
+                    assert!(e.is_overloaded(), "only typed shedding, got: {e}");
+                    shed += 1;
+                }
+            }
+        }
+    });
+    assert_eq!(ok + shed, 32);
+    assert!(shed >= 1, "32 clients into 4+8 slots must shed");
+    assert!(ok >= 12, "4 running + 8 queued are served, never shed");
+    assert!(
+        w.db1.stats().peak_inflight <= 4,
+        "admission bounds source-level concurrency: peak {}",
+        w.db1.stats().peak_inflight
+    );
+    let gov = w.server.governor_stats();
+    assert_eq!(gov.admitted, ok);
+    assert_eq!(gov.shed, shed);
+    assert_eq!(w.server.stats().queries_shed, shed);
+}
+
+/// A 10 ms deadline against a 50 ms source: the roundtrip's simulated
+/// latency is interrupted at the deadline instead of ridden out, so
+/// the typed error returns in well under the source latency.
+#[test]
+fn deadline_interrupts_slow_roundtrip() {
+    let w = world(6);
+    w.db1.set_latency(LatencyModel::lan(50_000)); // 50 ms per roundtrip
+    let q = scan_query();
+    let t0 = Instant::now();
+    let err = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .deadline(Duration::from_millis(10)),
+        )
+        .expect_err("cannot finish in 10 ms");
+    let elapsed = t0.elapsed();
+    assert!(err.is_deadline_exceeded(), "typed deadline error: {err}");
+    assert!(
+        elapsed < Duration::from_millis(20),
+        "abandoned the roundtrip at the deadline, not after it: {elapsed:?}"
+    );
+    assert_eq!(
+        w.db1.stats().roundtrips,
+        1,
+        "the statement did reach the source before the abort"
+    );
+}
+
+/// A deadline hitting mid-stream: a PP-k block join delivers the
+/// early blocks, then the stream ends with `DeadlineExceeded` — and
+/// the remaining block roundtrips to db2 are never issued.
+#[test]
+fn deadline_stops_streaming_mid_flight() {
+    let w = world_tuned(60, |b| b.ppk_block_size(5).ppk_prefetch_depth(0));
+    w.db2.set_latency(LatencyModel::lan(30_000)); // 30 ms per block fetch
+    let q = format!(
+        "{PROLOG}
+         for $c in c:CUSTOMER()
+         return <P>{{ $c/CID,
+           <CARDS>{{ for $k in cc:CREDIT_CARD() where $k/CID eq $c/CID return $k/CCN }}</CARDS> }}</P>"
+    );
+    let mut delivered = 0u64;
+    let mut sink = |_item| {
+        delivered += 1;
+        true
+    };
+    let err = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .deadline(Duration::from_millis(80))
+                .stream_to(&mut sink),
+        )
+        .expect_err("12 blocks x 30 ms cannot finish in 80 ms");
+    assert!(err.is_deadline_exceeded(), "typed deadline error: {err}");
+    assert!(delivered > 0, "early blocks streamed out before the cutoff");
+    assert!(delivered < 60, "the stream was cut short");
+    let blocks = w.db2.stats().roundtrips;
+    assert!(
+        (1..12).contains(&blocks),
+        "later block fetches were never issued: {blocks} of 12"
+    );
+}
+
+/// A buffering (sorted-mode) group-by charges its hash-table tuples
+/// against the request's memory budget and fails typed when it blows
+/// the cap; a roomier budget lets the same query through and reports
+/// its peak.
+#[test]
+fn group_by_respects_memory_budget() {
+    let w = world(50);
+    // LAST_NAME cycles Jones/Smith/Chen over CIDs, so this group-by is
+    // not pre-clustered: it buffers all 50 customers (256 B each).
+    let q = format!(
+        "{PROLOG}
+         for $c in c:CUSTOMER()
+         let $cid := $c/CID
+         group $cid as $ids by $c/LAST_NAME as $name
+         return <G name=\"{{$name}}\">{{ $ids }}</G>"
+    );
+    let err = w
+        .server
+        .execute(QueryRequest::new(&q).principal(demo()).memory_budget(1024))
+        .expect_err("50 buffered tuples cannot fit 1 KiB");
+    assert!(err.is_budget_exceeded(), "typed budget error: {err}");
+
+    let resp = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .memory_budget(64 * 1024),
+        )
+        .expect("64 KiB is plenty");
+    assert_eq!(resp.items.len(), 3, "Jones, Smith, Chen");
+    assert!(
+        resp.per_query_stats.peak_memory_bytes > 0,
+        "the operator's high-water mark lands in per-query stats"
+    );
+}
+
+/// Eight threads hammering a source capped at 2 concurrent roundtrips:
+/// the backend never sees more than 2 statements in flight, and the
+/// blocked threads' gate waits are accounted.
+#[test]
+fn source_cap_bounds_backend_concurrency() {
+    let w = world_tuned(20, |b| b.source_concurrency_cap(2).admission(16, 16));
+    w.db1.set_latency(LatencyModel::lan(5_000)); // 5 ms per roundtrip
+    let q = scan_query();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..2 {
+                    w.server
+                        .execute(QueryRequest::new(&q).principal(demo()))
+                        .expect("under the admission limit");
+                }
+            });
+        }
+    });
+    let peak = w.db1.stats().peak_inflight;
+    assert!(
+        (1..=2).contains(&peak),
+        "gate caps the source at 2 in-flight, saw {peak}"
+    );
+    assert!(
+        w.server.stats().permit_wait_ns > 0,
+        "6 of 8 threads had to wait at the gate"
+    );
+}
+
+/// EXPLAIN carries the workload terms the query would run under; an
+/// ungoverned request's plan text is unchanged.
+#[test]
+fn explain_annotates_governor_terms() {
+    let w = world_tuned(6, |b| b.admission(4, 8).default_memory_budget(8192));
+    let q = scan_query();
+    let explain = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .priority(Priority::Batch)
+                .deadline(Duration::from_secs(2))
+                .memory_budget(2048)
+                .explain_only(),
+        )
+        .expect("explain only")
+        .plan_explain
+        .expect("explain requested");
+    assert!(explain.contains("-- governor: priority=batch"), "{explain}");
+    assert!(explain.contains("deadline=2s"), "{explain}");
+    assert!(explain.contains("mem-cap=2048B"), "{explain}");
+    assert!(explain.contains("admission=4+8q"), "{explain}");
+
+    // ungoverned server, ungoverned request → no header at all
+    let w2 = world(6);
+    let plain = w2
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .trace(TraceLevel::Operators),
+        )
+        .expect("traced run")
+        .plan_explain
+        .expect("trace implies explain");
+    assert!(!plain.contains("governor"), "{plain}");
+}
