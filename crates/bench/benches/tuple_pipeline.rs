@@ -1,0 +1,129 @@
+//! Tuple-pipeline throughput (§5.1, Fig. 4): a tuple-heavy FLWOR
+//! (scan → where → let → group-by) where every row flows through the
+//! middleware tuple pipeline — per-row column binds, a middleware
+//! `where`, a `let`, and a sorted (non-clustered) group-by whose key
+//! extraction reads bound variables per buffered tuple.
+//!
+//! The group key is wrapped in `fn:substring`, which no dialect pushes,
+//! so grouping always runs in the middleware (sorted fallback) and the
+//! variable-resolution cost of the tuple representation dominates.
+//! Cases run at 10k and 100k source rows; `BENCH_PR4.json` records the
+//! medians via `scripts/bench_json.sh`.
+
+use aldsp::security::Principal;
+use aldsp_bench::fixtures::{build_world, run, WorldSize, PROLOG};
+use aldsp_runtime::{Env, NamedEnv};
+use aldsp_xdm::item::Item;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const ORDERS_PER_CUSTOMER: usize = 4;
+
+fn grouped_query() -> String {
+    format!(
+        "{PROLOG}
+         for $o in c:ORDER()
+         where $o/AMOUNT ge 10.00
+         let $oid := $o/OID
+         group $oid as $ids by fn:substring($o/CID, 1, 4) as $k
+         return <G>{{ $k, fn:count($ids) }}</G>"
+    )
+}
+
+/// The two variable-resolution schemes head-to-head at tuple
+/// granularity, in the shape one pipeline row actually has: rebind the
+/// loop variable, then read several bindings — the `where` predicate,
+/// the `let` value, the group key, and the `return` body all resolve
+/// variables against the tuple. Each side pays what its evaluator paid:
+/// the name-based engine extended the list (an allocation), scanned it
+/// by string compare per read, and *cloned the sequence out* (`Var`
+/// evaluation returned an owned sequence); the slot engine copies the
+/// cell array once per rebind, then every read is an indexed borrow.
+fn bench_env_repr(c: &mut Criterion) {
+    const DEPTH: usize = 8;
+    const ROWS: i64 = 10_000;
+    // one read deep in the scope, one in the middle, two near the top —
+    // roughly a where + let + key + return's worth of resolutions
+    const READS: [usize; 4] = [0, 3, 6, 7];
+
+    let names: Vec<String> = (0..DEPTH).map(|i| format!("o__{i}#FIELD__{i}")).collect();
+
+    let mut group = c.benchmark_group("env_repr");
+    group.sample_size(20);
+
+    group.bench_function("named_list_10k", |b| {
+        let mut base = NamedEnv::empty();
+        for (i, n) in names.iter().enumerate() {
+            base = base.bind(n, vec![Item::int(i as i64)]);
+        }
+        b.iter(|| {
+            let mut seen = 0i64;
+            for row in 0..ROWS {
+                let e = base.bind("x__9", vec![Item::int(row)]);
+                for r in READS {
+                    // the seed evaluator's Var arm: look up, clone out
+                    if let Some(v) = black_box(&e).get(&names[r]) {
+                        seen += black_box(v.clone()).len() as i64;
+                    }
+                }
+            }
+            black_box(seen)
+        })
+    });
+
+    group.bench_function("slot_frame_10k", |b| {
+        let mut base = Env::with_width(DEPTH + 1);
+        for i in 0..DEPTH {
+            base = base.bind_one(i as u32, Item::int(i as i64));
+        }
+        let x_slot = DEPTH as u32;
+        b.iter(|| {
+            let mut seen = 0i64;
+            for row in 0..ROWS {
+                let e = base.bind_one(x_slot, Item::int(row));
+                for r in READS {
+                    // the slot evaluator's Var arm: an indexed borrow
+                    if let Some(v) = black_box(&e).get_slot(r as u32) {
+                        seen += black_box(v).len() as i64;
+                    }
+                }
+            }
+            black_box(seen)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let user = Principal::new("bench", &[]);
+    let q = grouped_query();
+
+    let mut group = c.benchmark_group("tuple_pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    for &rows in &[10_000usize, 100_000] {
+        let world = build_world(WorldSize {
+            customers: rows / ORDERS_PER_CUSTOMER,
+            orders_per_customer: ORDERS_PER_CUSTOMER,
+            cards_per_customer: 0,
+        });
+        // sanity: the group-by must run in the middleware (sorted mode),
+        // otherwise the bench is not measuring the tuple pipeline
+        let s = run(&world.server, &user, &q).per_query_stats;
+        assert!(
+            s.sorted_groups > 0,
+            "group-by was not middleware-sorted: streaming={} sorted={}",
+            s.streaming_groups,
+            s.sorted_groups
+        );
+        let label = format!("grouped_flwor_{}k", rows / 1000);
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &rows, |b, _| {
+            b.iter(|| black_box(run(&world.server, &user, &q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_env_repr);
+criterion_main!(benches);

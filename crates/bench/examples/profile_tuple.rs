@@ -1,0 +1,85 @@
+//! Dev aid: rough phase timings for the tuple_pipeline bench query.
+use aldsp::security::Principal;
+use aldsp::{QueryRequest, TraceLevel};
+use aldsp_bench::fixtures::{build_world, run, WorldSize, PROLOG};
+
+fn time(label: &str, f: impl Fn()) {
+    f();
+    let t0 = std::time::Instant::now();
+    let n = 5;
+    for _ in 0..n {
+        f();
+    }
+    println!(
+        "{label:<28} {:>10.2} ms/iter",
+        t0.elapsed().as_secs_f64() * 1000.0 / n as f64
+    );
+}
+
+fn main() {
+    let rows = 100_000usize;
+    let world = build_world(WorldSize {
+        customers: rows / 4,
+        orders_per_customer: 4,
+        cards_per_customer: 0,
+    });
+    let user = Principal::new("bench", &[]);
+    let full = format!(
+        "{PROLOG}
+         for $o in c:ORDER()
+         where $o/AMOUNT ge 10.00
+         let $oid := $o/OID
+         group $oid as $ids by fn:substring($o/CID, 1, 4) as $k
+         return <G>{{ $k, fn:count($ids) }}</G>"
+    );
+    let group_nokey = format!(
+        "{PROLOG}
+         for $o in c:ORDER()
+         where $o/AMOUNT ge 10.00
+         let $oid := $o/OID
+         group $oid as $ids by fn:substring($o/CID, 1, 4) as $k
+         return fn:count($ids)"
+    );
+    let no_group = format!(
+        "{PROLOG}
+         for $o in c:ORDER()
+         where $o/AMOUNT ge 10.00
+         let $oid := $o/OID
+         return fn:substring($o/CID, 1, 4)"
+    );
+    let no_let = format!(
+        "{PROLOG}
+         for $o in c:ORDER()
+         where $o/AMOUNT ge 10.00
+         return fn:substring($o/CID, 1, 4)"
+    );
+    let scan_only =
+        format!("{PROLOG} fn:count(for $o in c:ORDER() where $o/AMOUNT ge 10.00 return 1)");
+    time("full grouped", || {
+        run(&world.server, &user, &full);
+    });
+    time("group, count-only return", || {
+        run(&world.server, &user, &group_nokey);
+    });
+    time("no group (let+substring)", || {
+        run(&world.server, &user, &no_group);
+    });
+    time("no group, no let", || {
+        run(&world.server, &user, &no_let);
+    });
+    time("scan only", || {
+        run(&world.server, &user, &scan_only);
+    });
+
+    for (label, q) in [("no_group", &no_group), ("scan_only", &scan_only)] {
+        let resp = world
+            .server
+            .execute(
+                QueryRequest::new(q)
+                    .principal(user.clone())
+                    .trace(TraceLevel::Operators),
+            )
+            .unwrap();
+        println!("---- {label}\n{}", resp.plan_explain.unwrap_or_default());
+    }
+}

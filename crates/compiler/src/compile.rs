@@ -11,9 +11,10 @@
 //! per-query stage.
 
 use crate::context::{Context, InverseRegistry, Mode, UserFunction};
+use crate::frames::FrameLayout;
 use crate::ir::{CExpr, CKind};
 use crate::translate::{translate_module, translate_query_with_vars, ModuleEnv};
-use crate::{rules, sqlgen, typecheck};
+use crate::{frames, rules, sqlgen, typecheck};
 use aldsp_metadata::Registry;
 use aldsp_parser::{parse_module, parse_module_strict, Diagnostic};
 use aldsp_relational::Dialect;
@@ -65,6 +66,10 @@ pub struct CompiledQuery {
     pub plan: CExpr,
     /// External variable names the plan expects bound at execution.
     pub external_vars: Vec<String>,
+    /// Slot assignment for the plan's bindings (externals occupy slots
+    /// `0..external_vars.len()` in declaration order). Shared so each
+    /// execution context references it without copying the map.
+    pub frame: Arc<FrameLayout>,
     /// Diagnostics gathered during compilation (empty in fail-fast mode).
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -223,7 +228,7 @@ impl Compiler {
             return Err(diags);
         };
         let external_vars: Vec<String> = module.variables.iter().map(|v| v.name.clone()).collect();
-        self.finish(&mut ctx, &mut plan, &external_vars)?;
+        let frame = self.finish(&mut ctx, &mut plan, &external_vars)?;
         diags.extend(ctx.diags);
         if self.options.mode == Mode::FailFast && !diags.is_empty() {
             return Err(diags);
@@ -232,6 +237,7 @@ impl Compiler {
         Ok(CompiledQuery {
             plan,
             external_vars,
+            frame,
             diagnostics: diags,
         })
     }
@@ -276,7 +282,7 @@ impl Compiler {
             }
         };
         let mut plan = CExpr::new(kind, span);
-        self.finish(&mut ctx, &mut plan, &external_vars)?;
+        let frame = self.finish(&mut ctx, &mut plan, &external_vars)?;
         let diags = std::mem::take(&mut ctx.diags);
         if self.options.mode == Mode::FailFast && !diags.is_empty() {
             return Err(diags);
@@ -285,17 +291,19 @@ impl Compiler {
         Ok(CompiledQuery {
             plan,
             external_vars,
+            frame,
             diagnostics: diags,
         })
     }
 
-    /// The per-query stages: type check, inline/optimize, push down SQL.
+    /// The per-query stages: type check, inline/optimize, push down SQL,
+    /// then lay out the tuple frame over the final plan.
     fn finish(
         &self,
         ctx: &mut Context<'_>,
         plan: &mut CExpr,
         external_vars: &[String],
-    ) -> Result<(), Vec<Diagnostic>> {
+    ) -> Result<Arc<FrameLayout>, Vec<Diagnostic>> {
         let mut tenv: typecheck::TypeEnv = external_vars
             .iter()
             .map(|v| (v.clone(), aldsp_xdm::types::SequenceType::any()))
@@ -312,7 +320,10 @@ impl Compiler {
             .collect();
         typecheck::typecheck(ctx, plan, &mut tenv2);
         sqlgen::push_down(ctx, plan);
+        // slots are derived from the final plan: every rewrite above is
+        // name-based and slot-agnostic
+        let frame = frames::layout(plan, external_vars);
         plan.assign_node_ids();
-        Ok(())
+        Ok(Arc::new(frame))
     }
 }

@@ -64,7 +64,7 @@ fn render_expr(e: &CExpr, ctx: &ExplainContext<'_>, depth: usize, out: &mut Stri
         CKind::Const(v) => {
             let _ = writeln!(out, "Const {}", v.string_value());
         }
-        CKind::Var(v) => {
+        CKind::Var { name: v, .. } => {
             let _ = writeln!(out, "Var ${v}");
         }
         CKind::Seq(items) => {

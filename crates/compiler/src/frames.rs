@@ -1,0 +1,272 @@
+//! Frame layout (§5.1, Fig. 4): assign every binding in a compiled plan
+//! a dense integer slot so the runtime can represent the FLWOR tuple as
+//! a fixed-width array ("the fields of a tuple can be directly
+//! accessed") instead of a name-keyed linked list.
+//!
+//! The pass runs at the very end of compilation — after view unfolding,
+//! rule rewrites, and SQL pushdown — so the optimizer stays entirely
+//! slot-agnostic: rules manipulate names (which translation has already
+//! made globally unique via alpha-renaming), and slots are derived from
+//! whatever plan survives. Each binder (`for`/`let`/positional `at`/
+//! group-by aliases and regroupings/SQL field binds/quantified vars/
+//! typeswitch case vars/filter context vars) takes the next free slot;
+//! variable references resolve lexically against the enclosing scope
+//! stack. External variables are seeded first, at slots `0..n`, so the
+//! server can fill the initial frame positionally.
+//!
+//! Slots are never reused across sibling scopes; the frame width is the
+//! total binder count. That wastes a few `Option` cells on plans with
+//! many disjoint scopes, but keeps every slot valid for the whole
+//! evaluation — a buffered tuple (order-by, group-by, PP-k) can be
+//! revisited long after its scope "closed".
+
+use crate::ir::{CExpr, CKind, Clause, NO_SLOT};
+use std::collections::HashMap;
+
+/// The slot assignment for one compiled plan: the frame width and the
+/// binder-name → slot map (names are unique per plan, so the map is a
+/// bijection onto `0..width`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameLayout {
+    width: u32,
+    slots: HashMap<String, u32>,
+}
+
+impl FrameLayout {
+    /// Number of slots a frame for this plan needs.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The slot assigned to binder `name`, if the layout saw it.
+    pub fn slot(&self, name: &str) -> Option<u32> {
+        self.slots.get(name).copied()
+    }
+}
+
+struct Layout {
+    /// Lexical scope stack: `(binder name, slot)`, innermost last.
+    scope: Vec<(String, u32)>,
+    /// Every binder ever assigned (binder names are globally unique
+    /// after translation's alpha-renaming).
+    slots: HashMap<String, u32>,
+    next: u32,
+}
+
+impl Layout {
+    fn bind(&mut self, name: &str) {
+        let slot = self.next;
+        self.next += 1;
+        debug_assert!(
+            !self.slots.contains_key(name),
+            "binder {name:?} assigned twice — alpha-renaming broke"
+        );
+        self.slots.insert(name.to_string(), slot);
+        self.scope.push((name.to_string(), slot));
+    }
+
+    fn resolve(&self, name: &str) -> u32 {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+            .unwrap_or(NO_SLOT)
+    }
+
+    fn walk(&mut self, e: &mut CExpr) {
+        match &mut e.kind {
+            CKind::Var { name, slot } => *slot = self.resolve(name),
+            CKind::Flwor { clauses, ret } => {
+                let mark = self.scope.len();
+                for c in clauses.iter_mut() {
+                    match c {
+                        Clause::For { var, pos, source } => {
+                            self.walk(source);
+                            self.bind(var);
+                            if let Some(p) = pos {
+                                self.bind(p);
+                            }
+                        }
+                        Clause::Let { var, value } => {
+                            self.walk(value);
+                            self.bind(var);
+                        }
+                        Clause::Where(cond) => self.walk(cond),
+                        Clause::GroupBy {
+                            bindings,
+                            keys,
+                            carry,
+                            ..
+                        } => {
+                            // key expressions see the pre-group scope;
+                            // the `from` sides of bindings/carry are
+                            // resolved by the runtime through the
+                            // binder map
+                            for (k, _) in keys.iter_mut() {
+                                self.walk(k);
+                            }
+                            for (_, to) in bindings.iter() {
+                                self.bind(to);
+                            }
+                            for (_, alias) in keys.iter() {
+                                self.bind(alias);
+                            }
+                            for (_, to) in carry.iter() {
+                                self.bind(to);
+                            }
+                        }
+                        Clause::OrderBy(specs) => {
+                            for s in specs.iter_mut() {
+                                self.walk(&mut s.expr);
+                            }
+                        }
+                        Clause::SqlFor {
+                            params, binds, ppk, ..
+                        } => {
+                            for p in params.iter_mut() {
+                                self.walk(p);
+                            }
+                            if let Some(p) = ppk {
+                                for k in p.outer_keys.iter_mut() {
+                                    self.walk(k);
+                                }
+                            }
+                            for (var, _) in binds.iter() {
+                                self.bind(var);
+                            }
+                        }
+                    }
+                }
+                self.walk(ret);
+                self.scope.truncate(mark);
+            }
+            CKind::Quantified {
+                var,
+                source,
+                satisfies,
+                ..
+            } => {
+                self.walk(source);
+                let mark = self.scope.len();
+                self.bind(var);
+                self.walk(satisfies);
+                self.scope.truncate(mark);
+            }
+            CKind::Typeswitch {
+                operand,
+                cases,
+                default,
+            } => {
+                self.walk(operand);
+                for (_, var, branch) in cases.iter_mut() {
+                    let mark = self.scope.len();
+                    self.bind(var);
+                    self.walk(branch);
+                    self.scope.truncate(mark);
+                }
+                let mark = self.scope.len();
+                self.bind(&default.0);
+                self.walk(&mut default.1);
+                self.scope.truncate(mark);
+            }
+            CKind::Filter {
+                input,
+                predicate,
+                ctx_var,
+                ..
+            } => {
+                self.walk(input);
+                let mark = self.scope.len();
+                self.bind(ctx_var);
+                self.walk(predicate);
+                self.scope.truncate(mark);
+            }
+            // no other kind introduces bindings
+            _ => e.for_each_child_mut(&mut |c| self.walk(c)),
+        }
+    }
+}
+
+/// Assign slots throughout `plan` and return its frame layout.
+/// `externals` are seeded first, at slots `0..externals.len()`, and
+/// stay in scope for the whole plan.
+pub fn layout(plan: &mut CExpr, externals: &[String]) -> FrameLayout {
+    let mut st = Layout {
+        scope: Vec::new(),
+        slots: HashMap::new(),
+        next: 0,
+    };
+    for v in externals {
+        st.bind(v);
+    }
+    st.walk(plan);
+    FrameLayout {
+        width: st.next,
+        slots: st.slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Span;
+
+    fn sp() -> Span {
+        Span::default()
+    }
+
+    #[test]
+    fn externals_take_leading_slots_and_binders_follow() {
+        // for $x in $ext return $x
+        let mut plan = CExpr::new(
+            CKind::Flwor {
+                clauses: vec![Clause::For {
+                    var: "x__1".into(),
+                    pos: None,
+                    source: CExpr::var("ext", sp()),
+                }],
+                ret: Box::new(CExpr::var("x__1", sp())),
+            },
+            sp(),
+        );
+        let frame = layout(&mut plan, &["ext".to_string()]);
+        assert_eq!(frame.width(), 2);
+        assert_eq!(frame.slot("ext"), Some(0));
+        assert_eq!(frame.slot("x__1"), Some(1));
+        let CKind::Flwor { clauses, ret } = &plan.kind else {
+            panic!()
+        };
+        assert_eq!(
+            ret.kind,
+            CKind::Var {
+                name: "x__1".into(),
+                slot: 1
+            }
+        );
+        let Clause::For { source, .. } = &clauses[0] else {
+            panic!()
+        };
+        assert_eq!(
+            source.kind,
+            CKind::Var {
+                name: "ext".into(),
+                slot: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unresolved_references_keep_the_sentinel() {
+        let mut plan = CExpr::var("nowhere", sp());
+        let frame = layout(&mut plan, &[]);
+        assert_eq!(frame.width(), 0);
+        assert_eq!(
+            plan.kind,
+            CKind::Var {
+                name: "nowhere".into(),
+                slot: NO_SLOT
+            }
+        );
+    }
+}

@@ -75,19 +75,37 @@ impl CExpr {
         }
     }
 
-    /// A variable reference.
+    /// A variable reference (unslotted until the frame-layout pass).
     pub fn var(name: &str, span: Span) -> CExpr {
-        CExpr::new(CKind::Var(name.to_string()), span)
+        CExpr::new(
+            CKind::Var {
+                name: name.to_string(),
+                slot: NO_SLOT,
+            },
+            span,
+        )
     }
 }
+
+/// Sentinel slot for variables the frame-layout pass has not (or could
+/// not) resolve; the runtime reports these as unbound by name.
+pub const NO_SLOT: u32 = u32::MAX;
 
 /// Expression kinds after normalization.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CKind {
     /// A literal atomic value.
     Const(AtomicValue),
-    /// A variable reference (alpha-renamed unique).
-    Var(String),
+    /// A variable reference (alpha-renamed unique). `slot` is the dense
+    /// frame index assigned by the frame-layout pass (Fig. 4 array
+    /// tuples at IR granularity); the name is kept for EXPLAIN and
+    /// error text.
+    Var {
+        /// Alpha-renamed unique name.
+        name: String,
+        /// Frame slot, or [`NO_SLOT`] before layout.
+        slot: u32,
+    },
     /// Sequence concatenation (empty = `()`).
     Seq(Vec<CExpr>),
     /// `a to b`.
@@ -472,7 +490,7 @@ impl CExpr {
     /// Apply `f` to each direct child expression.
     pub fn for_each_child(&self, f: &mut dyn FnMut(&CExpr)) {
         match &self.kind {
-            CKind::Const(_) | CKind::Var(_) | CKind::Error(_) => {
+            CKind::Const(_) | CKind::Var { .. } | CKind::Error(_) => {
                 if let CKind::Error(inputs) = &self.kind {
                     for i in inputs {
                         f(i);
@@ -583,7 +601,7 @@ impl CExpr {
     /// Substitute free occurrences of `var` with `replacement`.
     pub fn substitute(&mut self, var: &str, replacement: &CExpr) {
         match &mut self.kind {
-            CKind::Var(v) if v == var => {
+            CKind::Var { name: v, .. } if v == var => {
                 *self = replacement.clone();
             }
             CKind::Flwor { clauses, ret } => {
@@ -692,7 +710,7 @@ impl CExpr {
     /// Apply `f` to each direct child expression, mutably.
     pub fn for_each_child_mut(&mut self, f: &mut dyn FnMut(&mut CExpr)) {
         match &mut self.kind {
-            CKind::Const(_) | CKind::Var(_) => {}
+            CKind::Const(_) | CKind::Var { .. } => {}
             CKind::Error(inputs) => inputs.iter_mut().for_each(f),
             CKind::Seq(items) => items.iter_mut().for_each(f),
             CKind::Range(a, b) | CKind::And(a, b) | CKind::Or(a, b) => {
@@ -774,7 +792,7 @@ impl CExpr {
 
 fn collect_free(e: &CExpr, bound: &mut HashSet<String>, free: &mut HashSet<String>) {
     match &e.kind {
-        CKind::Var(v) => {
+        CKind::Var { name: v, .. } => {
             if !bound.contains(v) {
                 free.insert(v.clone());
             }
@@ -951,7 +969,13 @@ mod tests {
         let CKind::Flwor { ret, .. } = &e.kind else {
             panic!()
         };
-        assert_eq!(ret.kind, CKind::Var("x".into()));
+        assert_eq!(
+            ret.kind,
+            CKind::Var {
+                name: "x".into(),
+                slot: NO_SLOT
+            }
+        );
         // but substituting a genuinely free var works
         e.substitute("a", &CExpr::constant(AtomicValue::Integer(2), sp()));
         let CKind::Flwor { clauses, .. } = &e.kind else {

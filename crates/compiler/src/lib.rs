@@ -15,6 +15,7 @@
 pub mod compile;
 pub mod context;
 pub mod explain;
+pub mod frames;
 pub mod ir;
 pub mod rules;
 pub mod sqlgen;
@@ -24,7 +25,8 @@ pub mod typecheck;
 pub use compile::{CompiledQuery, Compiler, CompilerStats, Options};
 pub use context::{Context, InverseRegistry, Mode, UserFunction};
 pub use explain::{explain_plan, ExplainContext};
-pub use ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec};
+pub use frames::FrameLayout;
+pub use ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec, NO_SLOT};
 
 use aldsp_relational::Select;
 

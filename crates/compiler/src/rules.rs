@@ -392,7 +392,7 @@ fn simplify_node(ctx: &mut Context<'_>, e: &mut CExpr) -> bool {
                 // filter over a many-valued source normalizes to FLWOR
                 // form so pushdown sees one uniform shape:
                 //   e[p]  ≡  for $v in e where p($v) return $v
-                CKind::PhysicalCall { .. } | CKind::ChildStep { .. } | CKind::Var(_)
+                CKind::PhysicalCall { .. } | CKind::ChildStep { .. } | CKind::Var { .. }
                     if !singleton_like(&input.ty) =>
                 {
                     let iv = (**input).clone();
@@ -746,7 +746,7 @@ fn simplify_flwor(
     // 7. single trivial let whose body is the var → the value
     if clauses.len() == 1 {
         if let Clause::Let { var, value } = &clauses[0] {
-            if matches!(&ret.kind, CKind::Var(v) if v == var) {
+            if matches!(&ret.kind, CKind::Var { name: v, .. } if v == var) {
                 *replacement = Some(value.clone());
                 return true;
             }
@@ -857,7 +857,7 @@ fn project_var_steps(e: &mut CExpr, var: &str, content: &CExpr) -> bool {
         name: Some(name),
     } = &e.kind
     {
-        if matches!(&input.kind, CKind::Var(v) if v == var) {
+        if matches!(&input.kind, CKind::Var { name: v, .. } if v == var) {
             if let Some(projected) = project_content(content, name) {
                 *e = projected;
                 return true;
@@ -910,7 +910,7 @@ fn count_var_uses(e: &CExpr, var: &str) -> usize {
     let mut n = 0;
     // bindings are globally unique after translation, so no shadowing
     e.walk(&mut |x| {
-        if matches!(&x.kind, CKind::Var(v) if v == var) {
+        if matches!(&x.kind, CKind::Var { name: v, .. } if v == var) {
             n += 1;
         }
     });

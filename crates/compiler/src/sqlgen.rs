@@ -182,7 +182,7 @@ fn table_of_call(
             // navigation: the argument must be a pushed row variable; the
             // caller checks that and supplies the join
             let arg_var = match &args[0].kind {
-                CKind::Var(v) => v.clone(),
+                CKind::Var { name: v, .. } => v.clone(),
                 _ => return None,
             };
             Some((
@@ -497,7 +497,7 @@ fn collect_usage(e: &CExpr, usage: &mut HashMap<String, ColumnUsage>) {
             input,
             name: Some(n),
         } => {
-            if let CKind::Var(v) = &input.kind {
+            if let CKind::Var { name: v, .. } = &input.kind {
                 if let Some(u) = usage.get_mut(v) {
                     if !u.cols.contains(&n.local_name().to_string()) {
                         u.cols.push(n.local_name().to_string());
@@ -507,7 +507,7 @@ fn collect_usage(e: &CExpr, usage: &mut HashMap<String, ColumnUsage>) {
             }
             collect_usage(input, usage);
         }
-        CKind::Var(v) => {
+        CKind::Var { name: v, .. } => {
             if let Some(u) = usage.get_mut(v) {
                 u.whole = true;
             }
@@ -643,7 +643,7 @@ fn col_expr(region: &Region, e: &CExpr) -> Option<ScalarExpr> {
     else {
         return None;
     };
-    let CKind::Var(v) = &input.kind else {
+    let CKind::Var { name: v, .. } = &input.kind else {
         return None;
     };
     let pv = region.vars.get(v)?;
@@ -818,7 +818,7 @@ fn rewrite_refs(e: &mut CExpr, rewrites: &[Rewrite]) {
         name: Some(n),
     } = &e.kind
     {
-        if let CKind::Var(v) = &input.kind {
+        if let CKind::Var { name: v, .. } = &input.kind {
             if let Some(rw) = rewrites.iter().find(|r| &r.var == v) {
                 if let Some((col, fvar, fty, nullable)) =
                     rw.fields.iter().find(|(c, _, _, _)| c == n.local_name())
@@ -833,7 +833,7 @@ fn rewrite_refs(e: &mut CExpr, rewrites: &[Rewrite]) {
         }
     }
     // whole $v
-    if let CKind::Var(v) = &e.kind {
+    if let CKind::Var { name: v, .. } = &e.kind {
         if let Some(rw) = rewrites.iter().find(|r| &r.var == v && r.whole) {
             *e = reconstruct_row(rw, span);
             return;
@@ -1343,9 +1343,9 @@ fn merge_same_connection(
     for (outer_key, key_col) in ppk.outer_keys.iter().zip(&ppk.key_columns) {
         // outer key must be (data of) an outer bind var
         let kv = match &outer_key.kind {
-            CKind::Var(v) => v.clone(),
+            CKind::Var { name: v, .. } => v.clone(),
             CKind::Data(inner) => match &inner.kind {
-                CKind::Var(v) => v.clone(),
+                CKind::Var { name: v, .. } => v.clone(),
                 _ => return false,
             },
             _ => return false,
@@ -1758,9 +1758,9 @@ fn push_trailing_group_by(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret:
     let mut key_cols = Vec::new();
     for (k, _) in keys.iter() {
         let kv = match &k.kind {
-            CKind::Var(v) => v,
+            CKind::Var { name: v, .. } => v,
             CKind::Data(i) => match &i.kind {
-                CKind::Var(v) => v,
+                CKind::Var { name: v, .. } => v,
                 _ => return,
             },
             _ => return,
@@ -1778,9 +1778,9 @@ fn push_trailing_group_by(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret:
         let mut new_binds = Vec::new();
         for (k, alias) in keys.iter() {
             let kv = match &k.kind {
-                CKind::Var(v) => v.clone(),
+                CKind::Var { name: v, .. } => v.clone(),
                 CKind::Data(i) => match &i.kind {
-                    CKind::Var(v) => v.clone(),
+                    CKind::Var { name: v, .. } => v.clone(),
                     _ => unreachable!("checked above"),
                 },
                 _ => unreachable!("checked above"),
@@ -1821,9 +1821,9 @@ fn push_trailing_group_by(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret:
     let mut new_binds = Vec::new();
     for (k, alias) in keys.iter() {
         let kv = match &k.kind {
-            CKind::Var(v) => v.clone(),
+            CKind::Var { name: v, .. } => v.clone(),
             CKind::Data(i) => match &i.kind {
-                CKind::Var(v) => v.clone(),
+                CKind::Var { name: v, .. } => v.clone(),
                 _ => unreachable!("checked above"),
             },
             _ => unreachable!("checked above"),
@@ -1912,13 +1912,13 @@ fn sole_aggregate_use(ret: &CExpr, var: &str) -> Option<Builtin> {
                     CKind::Data(i) => i.as_ref(),
                     _ => &args[0],
                 };
-                if matches!(&inner.kind, CKind::Var(v) if v == var) {
+                if matches!(&inner.kind, CKind::Var { name: v, .. } if v == var) {
                     ops.push(*op);
                     return;
                 }
             }
         }
-        if matches!(&e.kind, CKind::Var(v) if v == var) {
+        if matches!(&e.kind, CKind::Var { name: v, .. } if v == var) {
             *bare = true;
         }
         e.for_each_child(&mut |c| scan(c, var, ops, bare));
@@ -1937,7 +1937,7 @@ fn replace_aggregate_use(e: &mut CExpr, var: &str, op: Builtin, fresh: &str) {
                 CKind::Data(i) => i.as_ref(),
                 _ => &args[0],
             };
-            if matches!(&inner.kind, CKind::Var(v) if v == var) {
+            if matches!(&inner.kind, CKind::Var { name: v, .. } if v == var) {
                 *e = CExpr::var(fresh, e.span);
                 return;
             }
@@ -2076,7 +2076,7 @@ fn translate_bound(
         CKind::Data(inner) | CKind::TypeMatch { input: inner, .. } => {
             translate_bound(inner, select, binds, params)
         }
-        CKind::Var(v) => bind_col(v).or_else(|| as_bound_param(e, binds, params)),
+        CKind::Var { name: v, .. } => bind_col(v).or_else(|| as_bound_param(e, binds, params)),
         CKind::Const(v) => Some(ScalarExpr::Literal(
             SqlValue::from_xml(Some(v), sql_type_of(v.type_of())?).ok()?,
         )),
@@ -2154,7 +2154,7 @@ fn translate_bound(
             args,
         } => {
             let inner = strip_data(&args[0]);
-            if let CKind::Var(v) = &inner.kind {
+            if let CKind::Var { name: v, .. } = &inner.kind {
                 return bind_col(v).map(|c| ScalarExpr::IsNull(Box::new(c)));
             }
             as_bound_param(e, binds, params)
@@ -2164,7 +2164,7 @@ fn translate_bound(
             args,
         } => {
             let inner = strip_data(&args[0]);
-            if let CKind::Var(v) = &inner.kind {
+            if let CKind::Var { name: v, .. } = &inner.kind {
                 return bind_col(v)
                     .map(|c| ScalarExpr::Not(Box::new(ScalarExpr::IsNull(Box::new(c)))));
             }
@@ -2309,7 +2309,7 @@ fn push_trailing_order_by(clauses: &mut Vec<Clause>) {
                     CKind::Data(x) => x.as_ref(),
                     _ => value,
                 };
-                if let CKind::Var(v) = &inner.kind {
+                if let CKind::Var { name: v, .. } = &inner.kind {
                     aliases.push((var.clone(), v.clone()));
                 }
             }
@@ -2338,9 +2338,9 @@ fn push_trailing_order_by(clauses: &mut Vec<Clause>) {
         };
         for s in &specs {
             let v = match &s.expr.kind {
-                CKind::Var(v) => v.clone(),
+                CKind::Var { name: v, .. } => v.clone(),
                 CKind::Data(inner) => match &inner.kind {
-                    CKind::Var(v) => v.clone(),
+                    CKind::Var { name: v, .. } => v.clone(),
                     _ => return,
                 },
                 _ => return,

@@ -41,7 +41,7 @@ pub fn typecheck(ctx: &mut Context<'_>, e: &mut CExpr, env: &mut TypeEnv) {
     let span = e.span;
     let ty: SequenceType = match &mut e.kind {
         CKind::Const(v) => SequenceType::atomic(v.type_of()),
-        CKind::Var(v) => env
+        CKind::Var { name: v, .. } => env
             .get(v.as_str())
             .cloned()
             .unwrap_or_else(SequenceType::any),

@@ -424,8 +424,7 @@ impl ServerBuilder {
             security: self.security,
             audit: AuditLog::new(),
             inverses: inverse_registry,
-            plan_cache: Mutex::new(HashMap::new()),
-            plan_cache_stats: Mutex::new((0, 0)),
+            plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
             lineage_cache: Mutex::new(HashMap::new()),
             update_overrides: Mutex::new(HashMap::new()),
         }
@@ -631,6 +630,101 @@ pub struct QueryResponse {
     pub plan_explain: Option<String>,
 }
 
+/// Default bound on cached query plans. Keys are full query texts and
+/// plans hold whole expression trees, so a few hundred distinct popular
+/// queries (§2.2) is plenty; an ad-hoc workload that never repeats
+/// shouldn't pin memory forever.
+const PLAN_CACHE_CAPACITY: usize = 256;
+
+/// The §2.2 query plan cache: "ALDSP maintains a query plan cache in
+/// order to avoid repeatedly compiling popular queries". Bounded, with
+/// stale-first (least-recently-used) eviction like the runtime's
+/// `FunctionCache`; plans never expire on their own, so staleness here
+/// is recency of use. One mutex covers the map *and* the hit/miss
+/// counters, so a lookup takes a single lock acquisition.
+struct PlanCache {
+    state: Mutex<PlanCacheState>,
+    capacity: usize,
+}
+
+#[derive(Default)]
+struct PlanCacheState {
+    entries: HashMap<String, PlanEntry>,
+    /// Monotonic use counter; entries stamp it on hit and insert.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct PlanEntry {
+    plan: Arc<CompiledQuery>,
+    last_used: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            state: Mutex::new(PlanCacheState::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up `key`, counting the hit or miss — one lock acquisition.
+    fn get(&self, key: &str) -> Option<Arc<CompiledQuery>> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        match st.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                let plan = e.plan.clone();
+                st.hits += 1;
+                Some(plan)
+            }
+            None => {
+                st.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled plan, evicting the least-recently-used
+    /// entries if the cache is full.
+    fn insert(&self, key: String, plan: Arc<CompiledQuery>) {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        st.entries.insert(
+            key,
+            PlanEntry {
+                plan,
+                last_used: tick,
+            },
+        );
+        while st.entries.len() > self.capacity {
+            let Some(stalest) = st
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            st.entries.remove(&stalest);
+        }
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.hits, st.misses)
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+}
+
 /// The ALDSP server (Figure 2).
 pub struct AldspServer {
     metadata: Arc<Registry>,
@@ -642,8 +736,7 @@ pub struct AldspServer {
     security: SecurityPolicy,
     audit: AuditLog,
     inverses: aldsp_compiler::InverseRegistry,
-    plan_cache: Mutex<HashMap<String, Arc<CompiledQuery>>>,
-    plan_cache_stats: Mutex<(u64, u64)>, // (hits, misses)
+    plan_cache: PlanCache,
     lineage_cache: Mutex<HashMap<QName, Arc<Lineage>>>,
     update_overrides: Mutex<HashMap<QName, UpdateOverride>>,
 }
@@ -988,7 +1081,7 @@ impl AldspServer {
 
     /// `(hits, misses)` of the query plan cache (§2.2).
     pub fn plan_cache_stats(&self) -> (u64, u64) {
-        *self.plan_cache_stats.lock()
+        self.plan_cache.stats()
     }
 
     /// The audit log (§7).
@@ -1017,35 +1110,29 @@ impl AldspServer {
     }
 
     fn cached_plan(&self, source: &str) -> Result<Arc<CompiledQuery>, ServerError> {
-        if let Some(p) = self.plan_cache.lock().get(source) {
-            self.plan_cache_stats.lock().0 += 1;
-            return Ok(p.clone());
+        if let Some(p) = self.plan_cache.get(source) {
+            return Ok(p);
         }
-        self.plan_cache_stats.lock().1 += 1;
         let plan = Arc::new(
             self.compiler
                 .compile_query(source)
                 .map_err(ServerError::Compile)?,
         );
-        self.plan_cache
-            .lock()
-            .insert(source.to_string(), plan.clone());
+        self.plan_cache.insert(source.to_string(), plan.clone());
         Ok(plan)
     }
 
     fn cached_call_plan(&self, function: &QName) -> Result<Arc<CompiledQuery>, ServerError> {
         let key = format!("call:{function}");
-        if let Some(p) = self.plan_cache.lock().get(&key) {
-            self.plan_cache_stats.lock().0 += 1;
-            return Ok(p.clone());
+        if let Some(p) = self.plan_cache.get(&key) {
+            return Ok(p);
         }
-        self.plan_cache_stats.lock().1 += 1;
         let plan = Arc::new(
             self.compiler
                 .compile_call(function)
                 .map_err(ServerError::Compile)?,
         );
-        self.plan_cache.lock().insert(key, plan.clone());
+        self.plan_cache.insert(key, plan.clone());
         Ok(plan)
     }
 
@@ -1106,4 +1193,45 @@ fn apply_criteria(items: Sequence, criteria: &CallCriteria) -> Sequence {
         out.truncate(n);
     }
     out
+}
+
+#[cfg(test)]
+mod plan_cache_tests {
+    use super::*;
+
+    fn plan() -> Arc<CompiledQuery> {
+        Arc::new(CompiledQuery {
+            plan: aldsp_compiler::ir::CExpr::new(
+                aldsp_compiler::ir::CKind::Seq(vec![]),
+                aldsp_compiler::ir::Span::default(),
+            ),
+            external_vars: vec![],
+            frame: Arc::new(Default::default()),
+            diagnostics: vec![],
+        })
+    }
+
+    #[test]
+    fn counts_hits_and_misses_in_one_lock() {
+        let c = PlanCache::new(4);
+        assert!(c.get("q1").is_none());
+        c.insert("q1".into(), plan());
+        assert!(c.get("q1").is_some());
+        assert!(c.get("q1").is_some());
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let c = PlanCache::new(2);
+        c.insert("a".into(), plan());
+        c.insert("b".into(), plan());
+        // touch "a" so "b" is now the stalest
+        assert!(c.get("a").is_some());
+        c.insert("c".into(), plan());
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a").is_some(), "recently used entry survives");
+        assert!(c.get("b").is_none(), "least recently used entry evicted");
+        assert!(c.get("c").is_some());
+    }
 }

@@ -173,13 +173,28 @@ fn report(name: &str, times: &[Duration]) {
     let mean = total / times.len() as u32;
     let min = times.iter().min().expect("non-empty");
     let max = times.iter().max().expect("non-empty");
+    let median = median(times);
     println!(
-        "{name:<48} time: [{} {} {}]  ({} samples)",
+        "{name:<48} time: [{} {} {}]  (mean {}, {} samples)",
         fmt_dur(*min),
-        fmt_dur(mean),
+        fmt_dur(median),
         fmt_dur(*max),
+        fmt_dur(mean),
         times.len()
     );
+}
+
+/// The sample median — the point estimate the `[min median max]` report
+/// centers on, robust to a stray slow sample in small sample sets.
+fn median(times: &[Duration]) -> Duration {
+    let mut sorted = times.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    }
 }
 
 fn fmt_dur(d: Duration) -> String {
@@ -233,5 +248,12 @@ mod tests {
         });
         group.finish();
         assert!(runs >= 1);
+    }
+
+    #[test]
+    fn median_of_odd_and_even_sample_sets() {
+        let ms = Duration::from_millis;
+        assert_eq!(median(&[ms(5), ms(1), ms(9)]), ms(5));
+        assert_eq!(median(&[ms(1), ms(9), ms(3), ms(5)]), ms(4));
     }
 }

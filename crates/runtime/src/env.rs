@@ -2,41 +2,210 @@
 //!
 //! The runtime's FLWOR tuples are variable bindings (§5.1 notes that
 //! "XQuery's FLWOR variable bindings imply support for tuples internally
-//! in the runtime"). [`Env`] is a persistent (shared-tail) binding list:
-//! extending it is O(1) and cloning is a refcount bump, so millions of
-//! tuples can flow through the clause pipeline without copying maps —
-//! the IR-level analogue of the paper's `concat-tuples` discipline.
+//! in the runtime"). [`Env`] is the paper's Figure 4 *array tuple* at IR
+//! granularity: a fixed-width copy-on-write frame whose slots were
+//! assigned at compile time by the frame-layout pass, so "the fields of
+//! a tuple can be directly accessed" — a variable read is an indexed
+//! load, cloning a tuple is one refcount bump, and binding copies one
+//! cell per slot instead of allocating a name node.
+//!
+//! Cells are specialized for cardinality: the overwhelmingly common
+//! single-item binding (a `for` item, a SQL column value) is stored
+//! inline with **zero** heap allocation; only genuine multi-item
+//! sequences go behind an `Arc`.
+//!
+//! [`NamedEnv`] preserves the pre-slot representation (a persistent
+//! shared-tail list searched by name) for comparison benchmarks.
 
-use aldsp_xdm::item::Sequence;
+use aldsp_xdm::item::{Item, Sequence};
 use std::sync::Arc;
 
-/// A persistent variable environment.
+/// One frame cell. `Unbound` (no binding) is distinct from `Empty`
+/// (bound to the empty sequence): reading the former is a plan error,
+/// the latter a legal `()`.
 #[derive(Clone, Default)]
-pub struct Env(Option<Arc<EnvNode>>);
+enum Cell {
+    #[default]
+    Unbound,
+    Empty,
+    /// The hot case: a singleton sequence, held inline (no allocation).
+    One(Item),
+    Many(Arc<Sequence>),
+}
 
-struct EnvNode {
-    var: String,
-    value: Sequence,
-    parent: Env,
+impl Cell {
+    fn of(mut value: Sequence) -> Cell {
+        match value.len() {
+            0 => Cell::Empty,
+            1 => Cell::One(value.pop().expect("len 1")),
+            _ => Cell::Many(Arc::new(value)),
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> Option<&[Item]> {
+        match self {
+            Cell::Unbound => None,
+            Cell::Empty => Some(&[]),
+            Cell::One(item) => Some(std::slice::from_ref(item)),
+            Cell::Many(s) => Some(s.as_slice()),
+        }
+    }
+}
+
+/// A fixed-width copy-on-write tuple frame. Rebinding copies the cell
+/// array (pointer-sized cells plus one inline `Item`) and shares every
+/// untouched sequence with the parent tuple.
+#[derive(Clone, Default)]
+pub struct Env {
+    slots: Arc<[Cell]>,
 }
 
 impl Env {
-    /// The empty environment.
+    /// The empty (zero-width) environment.
     pub fn empty() -> Env {
-        Env(None)
+        Env::default()
+    }
+
+    /// An all-unbound frame of `width` slots.
+    pub fn with_width(width: usize) -> Env {
+        Env {
+            slots: std::iter::repeat_with(Cell::default).take(width).collect(),
+        }
+    }
+
+    /// The frame width (number of slots).
+    pub fn width(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Read a slot. Out-of-range slots (including the compiler's
+    /// `NO_SLOT` sentinel) read as unbound.
+    #[inline]
+    pub fn get_slot(&self, slot: u32) -> Option<&[Item]> {
+        self.slots.get(slot as usize)?.as_slice()
+    }
+
+    /// Bind one slot to a sequence, copy-on-write: shares every other
+    /// cell with `self`. Grows the frame if `slot` is beyond the
+    /// current width.
+    pub fn bind_slot(&self, slot: u32, value: Sequence) -> Env {
+        let mut w = self.writer();
+        w.set(slot, value);
+        w.finish()
+    }
+
+    /// Bind one slot to a singleton — the zero-allocation hot path of
+    /// per-item `for` iteration.
+    pub fn bind_one(&self, slot: u32, item: Item) -> Env {
+        let mut w = self.writer();
+        w.set_item(slot, item);
+        w.finish()
+    }
+
+    /// Start a multi-slot rebind: one copy of the cell array, any
+    /// number of writes, then [`EnvWriter::finish`].
+    pub fn writer(&self) -> EnvWriter {
+        EnvWriter {
+            slots: self.slots.to_vec(),
+        }
+    }
+
+    /// Number of bound slots (diagnostics).
+    pub fn depth(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s, Cell::Unbound))
+            .count()
+    }
+}
+
+/// An in-progress copy-on-write rebind of an [`Env`] — the single-copy
+/// path for operators that bind several columns per tuple (SQL row
+/// binds, group-by emission).
+pub struct EnvWriter {
+    slots: Vec<Cell>,
+}
+
+impl EnvWriter {
+    fn cell(&mut self, slot: u32) -> &mut Cell {
+        let i = slot as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, Cell::default);
+        }
+        &mut self.slots[i]
+    }
+
+    /// Write one slot (growing the frame if needed).
+    pub fn set(&mut self, slot: u32, value: Sequence) {
+        *self.cell(slot) = Cell::of(value);
+    }
+
+    /// Write a singleton without building a sequence.
+    pub fn set_item(&mut self, slot: u32, item: Item) {
+        *self.cell(slot) = Cell::One(item);
+    }
+
+    /// Write the empty sequence (bound, but `()`).
+    pub fn set_empty(&mut self, slot: u32) {
+        *self.cell(slot) = Cell::Empty;
+    }
+
+    /// Freeze into an immutable frame.
+    pub fn finish(self) -> Env {
+        Env {
+            slots: self.slots.into(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let bound: Vec<String> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_slice().map(|_| i.to_string()))
+            .collect();
+        write!(
+            f,
+            "Env[{}/{}: {}]",
+            bound.len(),
+            self.width(),
+            bound.join(", ")
+        )
+    }
+}
+
+/// The pre-slot environment: a persistent (shared-tail) binding list
+/// extended in O(1) and searched by name. Kept as the baseline the
+/// `tuple_pipeline` bench compares slot frames against.
+#[derive(Clone, Default)]
+pub struct NamedEnv(Option<Arc<NamedNode>>);
+
+struct NamedNode {
+    var: String,
+    value: Sequence,
+    parent: NamedEnv,
+}
+
+impl NamedEnv {
+    /// The empty environment.
+    pub fn empty() -> NamedEnv {
+        NamedEnv(None)
     }
 
     /// Extend with one binding (shadows earlier bindings of the same
-    /// name, though translation makes names unique).
-    pub fn bind(&self, var: &str, value: Sequence) -> Env {
-        Env(Some(Arc::new(EnvNode {
+    /// name).
+    pub fn bind(&self, var: &str, value: Sequence) -> NamedEnv {
+        NamedEnv(Some(Arc::new(NamedNode {
             var: var.to_string(),
             value,
             parent: self.clone(),
         })))
     }
 
-    /// Look up a variable.
+    /// Look up a variable by name.
     pub fn get(&self, var: &str) -> Option<&Sequence> {
         let mut cur = self;
         while let Some(node) = &cur.0 {
@@ -48,7 +217,7 @@ impl Env {
         None
     }
 
-    /// Number of bindings (diagnostics).
+    /// Number of bindings.
     pub fn depth(&self) -> usize {
         let mut n = 0;
         let mut cur = self;
@@ -60,26 +229,67 @@ impl Env {
     }
 }
 
-impl std::fmt::Debug for Env {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut names = Vec::new();
-        let mut cur = self;
-        while let Some(node) = &cur.0 {
-            names.push(node.var.as_str());
-            cur = &node.parent;
-        }
-        write!(f, "Env[{}]", names.join(", "))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aldsp_xdm::item::Item;
 
     #[test]
-    fn bind_lookup_shadow() {
+    fn slot_bind_lookup() {
+        let e = Env::with_width(3);
+        assert!(e.get_slot(0).is_none());
+        let e1 = e.bind_slot(0, vec![Item::int(1)]);
+        let e2 = e1.bind_slot(2, vec![Item::int(2)]);
+        assert_eq!(e1.get_slot(0), Some(&[Item::int(1)][..]));
+        assert_eq!(e2.get_slot(0), Some(&[Item::int(1)][..]));
+        assert_eq!(e2.get_slot(2), Some(&[Item::int(2)][..]));
+        // e1 unaffected by the later bind
+        assert!(e1.get_slot(2).is_none());
+        assert_eq!(e2.depth(), 2);
+    }
+
+    #[test]
+    fn rebind_is_copy_on_write() {
+        let base = Env::with_width(2).bind_slot(0, vec![Item::int(1)]);
+        let b1 = base.bind_one(1, Item::int(2));
+        let b2 = base.bind_one(1, Item::int(3));
+        assert_eq!(b1.get_slot(1), Some(&[Item::int(2)][..]));
+        assert_eq!(b2.get_slot(1), Some(&[Item::int(3)][..]));
+        assert_eq!(b1.get_slot(0), b2.get_slot(0));
+    }
+
+    #[test]
+    fn empty_binding_is_bound_not_unbound() {
+        let e = Env::with_width(2).bind_slot(0, vec![]);
+        assert_eq!(e.get_slot(0), Some(&[][..]));
+        assert!(e.get_slot(1).is_none());
+        assert_eq!(e.depth(), 1);
+    }
+
+    #[test]
+    fn out_of_range_reads_unbound_and_writes_grow() {
         let e = Env::empty();
+        assert!(e.get_slot(5).is_none());
+        assert!(e.get_slot(u32::MAX).is_none());
+        let e1 = e.bind_slot(2, vec![Item::int(9)]);
+        assert_eq!(e1.width(), 3);
+        assert_eq!(e1.get_slot(2), Some(&[Item::int(9)][..]));
+    }
+
+    #[test]
+    fn writer_batches_multiple_binds() {
+        let mut w = Env::with_width(3).writer();
+        w.set(0, vec![Item::int(1), Item::int(7)]);
+        w.set_item(1, Item::int(2));
+        w.set_empty(2);
+        let e = w.finish();
+        assert_eq!(e.get_slot(0), Some(&[Item::int(1), Item::int(7)][..]));
+        assert_eq!(e.get_slot(1), Some(&[Item::int(2)][..]));
+        assert_eq!(e.get_slot(2), Some(&[][..]));
+    }
+
+    #[test]
+    fn named_env_bind_lookup_shadow() {
+        let e = NamedEnv::empty();
         assert!(e.get("x").is_none());
         let e1 = e.bind("x", vec![Item::int(1)]);
         let e2 = e1.bind("y", vec![Item::int(2)]);
@@ -88,17 +298,6 @@ mod tests {
         assert_eq!(e3.get("x"), Some(&vec![Item::int(3)]));
         assert_eq!(e3.get("y"), Some(&vec![Item::int(2)]));
         assert_eq!(e3.depth(), 3);
-        // e1 unaffected by later extension
         assert_eq!(e1.depth(), 1);
-    }
-
-    #[test]
-    fn clone_shares_tail() {
-        let base = Env::empty().bind("a", vec![Item::int(1)]);
-        let b1 = base.bind("b", vec![Item::int(2)]);
-        let b2 = base.bind("b", vec![Item::int(3)]);
-        assert_eq!(b1.get("b"), Some(&vec![Item::int(2)]));
-        assert_eq!(b2.get("b"), Some(&vec![Item::int(3)]));
-        assert_eq!(b1.get("a"), b2.get("a"));
     }
 }

@@ -20,6 +20,7 @@ use crate::env::Env;
 use crate::stats::ExecStats;
 use crate::trace::{NodeTrace, TraceCollector, TraceKey};
 use aldsp_adaptors::{AdaptorError, AdaptorRegistry};
+use aldsp_compiler::frames::FrameLayout;
 use aldsp_compiler::ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec};
 use aldsp_metadata::Registry;
 use aldsp_relational::{ppk_block_predicate, ResultSet, Select, SqlType, SqlValue};
@@ -114,6 +115,13 @@ pub struct ExecCtx {
     /// executions. Shared by every thread of the query, so PP-k prefetch
     /// and async threads observe cancellation and charge the same caps.
     pub budget: Option<Arc<QueryBudget>>,
+    /// The executing plan's slot assignment: binder names resolve to
+    /// frame slots once, when a pipeline is constructed — never per
+    /// tuple.
+    pub frame: Arc<FrameLayout>,
+    /// Per-buffered-tuple memory charge, precomputed from the frame
+    /// width (a wider tuple frame holds more state per buffered row).
+    tuple_mem: u64,
 }
 
 impl ExecCtx {
@@ -124,6 +132,8 @@ impl ExecCtx {
             local: Arc::new(ExecStats::default()),
             trace,
             budget: None,
+            frame: Arc::new(FrameLayout::default()),
+            tuple_mem: TUPLE_MEM_BYTES,
         }
     }
 
@@ -131,6 +141,22 @@ impl ExecCtx {
     pub fn with_budget(mut self, budget: Option<Arc<QueryBudget>>) -> ExecCtx {
         self.budget = budget;
         self
+    }
+
+    /// Attach the executing plan's frame layout.
+    pub fn with_frame(mut self, frame: Arc<FrameLayout>) -> ExecCtx {
+        self.tuple_mem = TUPLE_MEM_BYTES + 8 * u64::from(frame.width());
+        self.frame = frame;
+        self
+    }
+
+    /// Resolve a clause binder to its frame slot. Binders always have a
+    /// slot when the plan went through the frame-layout pass; a miss
+    /// means the plan was built by hand or predates the pass.
+    fn slot_of(&self, name: &str) -> RtResult<u32> {
+        self.frame
+            .slot(name)
+            .ok_or_else(|| RtError::Plan(format!("no frame slot for binder ${name}")))
     }
 
     /// Cooperative budget check (row boundaries, before roundtrips).
@@ -195,14 +221,71 @@ impl ExecCtx {
 
 type TupleIter<'a> = Box<dyn Iterator<Item = RtResult<Env>> + 'a>;
 
+/// A comparison/arithmetic operand that avoids materializing a fresh
+/// `Vec` when the expression is a variable (borrow the frame's
+/// sequence) or a constant (a stack-held singleton).
+enum Operand<'a> {
+    Borrowed(&'a [Item]),
+    One([Item; 1]),
+    Owned(Sequence),
+}
+
+impl Operand<'_> {
+    #[inline]
+    fn as_slice(&self) -> &[Item] {
+        match self {
+            Operand::Borrowed(s) => s,
+            Operand::One(one) => one,
+            Operand::Owned(v) => v,
+        }
+    }
+}
+
+/// Evaluate an operand position without allocating for the two
+/// hot-path kinds: `Const` never touches the heap, `Var` borrows the
+/// bound sequence straight out of the tuple frame.
+fn eval_operand<'a>(cx: &ExecCtx, e: &'a CExpr, env: &'a Env) -> RtResult<Operand<'a>> {
+    match &e.kind {
+        CKind::Const(v) => Ok(Operand::One([Item::Atomic(v.clone())])),
+        CKind::Var { name, slot } => env
+            .get_slot(*slot)
+            .map(Operand::Borrowed)
+            .ok_or_else(|| RtError::Plan(format!("unbound variable ${name}"))),
+        _ => eval(cx, e, env).map(Operand::Owned),
+    }
+}
+
+/// `fn:data` is idempotent, so `data(data(x))` ≡ `data(x)`: helpers that
+/// atomize their operand anyway can skip interposed `Data` nodes (and
+/// their per-call result vectors) entirely.
+fn skip_data(mut e: &CExpr) -> &CExpr {
+    while let CKind::Data(inner) = &e.kind {
+        e = inner;
+    }
+    e
+}
+
+/// [`eval_operand`], atomized to its first value — the common shape of
+/// order-by / group-by / PP-k key extraction.
+fn atomize_first(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Option<AtomicValue>> {
+    let v = eval_operand(cx, skip_data(e), env)?;
+    let s = v.as_slice();
+    match s {
+        [] => Ok(None),
+        [Item::Atomic(v)] => Ok(Some(v.clone())),
+        [Item::Node(n)] => Ok(n.typed_value()),
+        _ => Ok(atomize(s).into_iter().next()),
+    }
+}
+
 /// Evaluate an expression to a sequence.
 pub fn eval(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Sequence> {
     match &e.kind {
         CKind::Const(v) => Ok(vec![Item::Atomic(v.clone())]),
-        CKind::Var(v) => env
-            .get(v)
-            .cloned()
-            .ok_or_else(|| RtError::Plan(format!("unbound variable ${v}"))),
+        CKind::Var { name, slot } => env
+            .get_slot(*slot)
+            .map(<[Item]>::to_vec)
+            .ok_or_else(|| RtError::Plan(format!("unbound variable ${name}"))),
         CKind::Seq(parts) => eval_sequence(cx, parts, env),
         CKind::Range(a, b) => {
             let lo = single_integer(cx, a, env)?;
@@ -221,8 +304,8 @@ pub fn eval(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Sequence> {
             Ok(out)
         }
         CKind::If { cond, then, els } => {
-            let c = eval(cx, cond, env)?;
-            if effective_boolean_value(&c)? {
+            let c = eval_operand(cx, cond, env)?;
+            if effective_boolean_value(c.as_slice())? {
                 eval(cx, then, env)
             } else {
                 eval(cx, els, env)
@@ -235,8 +318,9 @@ pub fn eval(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Sequence> {
             satisfies,
         } => {
             let domain = eval(cx, source, env)?;
+            let slot = cx.slot_of(var)?;
             for item in domain {
-                let benv = env.bind(var, vec![item]);
+                let benv = env.bind_one(slot, item);
                 let holds = effective_boolean_value(&eval(cx, satisfies, &benv)?)?;
                 if *every && !holds {
                     return Ok(vec![Item::Atomic(AtomicValue::Boolean(false))]);
@@ -255,11 +339,11 @@ pub fn eval(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Sequence> {
             let value = eval(cx, operand, env)?;
             for (ty, var, body) in cases {
                 if ty.matches(&value) {
-                    let benv = env.bind(var, value);
+                    let benv = env.bind_slot(cx.slot_of(var)?, value);
                     return eval(cx, body, &benv);
                 }
             }
-            let benv = env.bind(&default.0, value);
+            let benv = env.bind_slot(cx.slot_of(&default.0)?, value);
             eval(cx, &default.1, &benv)
         }
         CKind::And(a, b) => {
@@ -284,30 +368,35 @@ pub fn eval(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Sequence> {
             lhs,
             rhs,
         } => {
-            let l = eval(cx, lhs, env)?;
-            let r = eval(cx, rhs, env)?;
+            let l = eval_operand(cx, lhs, env)?;
+            let r = eval_operand(cx, rhs, env)?;
             if *general {
                 Ok(vec![Item::Atomic(AtomicValue::Boolean(general_compare(
-                    &l, *op, &r,
+                    l.as_slice(),
+                    *op,
+                    r.as_slice(),
                 )?))])
             } else {
-                Ok(match value_compare(&l, *op, &r)? {
+                Ok(match value_compare(l.as_slice(), *op, r.as_slice())? {
                     Some(b) => vec![Item::Atomic(AtomicValue::Boolean(b))],
                     None => vec![],
                 })
             }
         }
         CKind::Arith { op, lhs, rhs } => {
-            let l = eval(cx, lhs, env)?;
-            let r = eval(cx, rhs, env)?;
-            Ok(match arithmetic(&l, *op, &r)? {
+            let l = eval_operand(cx, lhs, env)?;
+            let r = eval_operand(cx, rhs, env)?;
+            Ok(match arithmetic(l.as_slice(), *op, r.as_slice())? {
                 Some(v) => vec![Item::Atomic(v)],
                 None => vec![],
             })
         }
         CKind::Data(inner) => {
-            let v = eval(cx, inner, env)?;
-            Ok(atomize(&v).into_iter().map(Item::Atomic).collect())
+            let v = eval_operand(cx, inner, env)?;
+            Ok(atomize(v.as_slice())
+                .into_iter()
+                .map(Item::Atomic)
+                .collect())
         }
         CKind::ChildStep { input, name } => {
             let v = eval(cx, input, env)?;
@@ -372,8 +461,9 @@ pub fn eval(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Sequence> {
                 }
             }
             let mut out = Vec::new();
+            let slot = cx.slot_of(ctx_var)?;
             for (i, item) in v.iter().enumerate() {
-                let benv = env.bind(ctx_var, vec![item.clone()]);
+                let benv = env.bind_one(slot, item.clone());
                 let p = eval(cx, predicate, &benv)?;
                 if *positional {
                     let pos = atomize(&p);
@@ -554,7 +644,8 @@ fn construct_element(
             None => attr_nodes.push(Node::attribute(aname.clone(), AtomicValue::str(""))),
         }
     }
-    let items = eval(cx, content, env)?;
+    let items = eval_operand(cx, content, env)?;
+    let items = items.as_slice();
     if conditional && items.is_empty() {
         // <E?> with empty content constructs nothing (§3.1)
         return Ok(vec![]);
@@ -562,7 +653,7 @@ fn construct_element(
     let mut children: Vec<NodeRef> = Vec::new();
     let mut pending_atomic: Option<String> = None;
     for item in items {
-        match item {
+        match item.clone() {
             Item::Atomic(v) => {
                 // adjacent atomics join with a single space (XQuery
                 // constructor semantics); a *single* atomic keeps its
@@ -640,27 +731,31 @@ fn eval_builtin(cx: &ExecCtx, op: Builtin, args: &[CExpr], env: &Env) -> RtResul
     use Builtin as B;
     match op {
         B::Count => {
-            let v = eval(cx, &args[0], env)?;
-            Ok(vec![Item::int(v.len() as i64)])
+            let v = eval_operand(cx, &args[0], env)?;
+            Ok(vec![Item::int(v.as_slice().len() as i64)])
         }
         B::Sum | B::Avg | B::Min | B::Max => {
-            let vals = atomize(&eval(cx, &args[0], env)?);
+            let vals = atomize(eval_operand(cx, &args[0], env)?.as_slice());
             aggregate(op, &vals)
         }
         B::Exists => {
-            let v = eval(cx, &args[0], env)?;
-            Ok(vec![Item::Atomic(AtomicValue::Boolean(!v.is_empty()))])
+            let v = eval_operand(cx, &args[0], env)?;
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(
+                !v.as_slice().is_empty(),
+            ))])
         }
         B::Empty => {
-            let v = eval(cx, &args[0], env)?;
-            Ok(vec![Item::Atomic(AtomicValue::Boolean(v.is_empty()))])
+            let v = eval_operand(cx, &args[0], env)?;
+            Ok(vec![Item::Atomic(AtomicValue::Boolean(
+                v.as_slice().is_empty(),
+            ))])
         }
         B::Not => {
-            let v = effective_boolean_value(&eval(cx, &args[0], env)?)?;
+            let v = effective_boolean_value(eval_operand(cx, &args[0], env)?.as_slice())?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(!v))])
         }
         B::Boolean => {
-            let v = effective_boolean_value(&eval(cx, &args[0], env)?)?;
+            let v = effective_boolean_value(eval_operand(cx, &args[0], env)?.as_slice())?;
             Ok(vec![Item::Atomic(AtomicValue::Boolean(v))])
         }
         B::True => Ok(vec![Item::Atomic(AtomicValue::Boolean(true))]),
@@ -697,7 +792,6 @@ fn eval_builtin(cx: &ExecCtx, op: Builtin, args: &[CExpr], env: &Env) -> RtResul
         }
         B::Substring => {
             let s = single_string(cx, &args[0], env)?.unwrap_or_default();
-            let chars: Vec<char> = s.chars().collect();
             let start = single_number(cx, &args[1], env)?.unwrap_or(f64::NAN);
             let len = match args.get(2) {
                 Some(a) => single_number(cx, a, env)?.unwrap_or(f64::NAN),
@@ -706,16 +800,27 @@ fn eval_builtin(cx: &ExecCtx, op: Builtin, args: &[CExpr], env: &Env) -> RtResul
             if start.is_nan() || len.is_nan() {
                 return Ok(vec![Item::str("")]);
             }
-            let from = (start.round() as i64 - 1).max(0) as usize;
+            let n_chars = s.chars().count();
+            let from = ((start.round() as i64 - 1).max(0) as usize).min(n_chars);
             let to = if len.is_infinite() {
-                chars.len()
+                n_chars
             } else {
-                ((start.round() + len.round() - 1.0).max(0.0) as usize).min(chars.len())
+                ((start.round() + len.round() - 1.0).max(0.0) as usize).min(n_chars)
+            }
+            .max(from);
+            // slice by byte offsets of the char range — no Vec<char>
+            let mut idx = s.char_indices().map(|(i, _)| i).skip(from);
+            let b0 = idx.next().unwrap_or(s.len());
+            let b1 = if to > from {
+                s[b0..]
+                    .char_indices()
+                    .nth(to - from)
+                    .map(|(i, _)| b0 + i)
+                    .unwrap_or(s.len())
+            } else {
+                b0
             };
-            let out: String = chars[from.min(chars.len())..to.max(from.min(chars.len()))]
-                .iter()
-                .collect();
-            Ok(vec![Item::str(&out)])
+            Ok(vec![Item::str(&s[b0..b1])])
         }
         B::Contains => {
             let a = single_string(cx, &args[0], env)?.unwrap_or_default();
@@ -849,23 +954,45 @@ fn aggregate(op: Builtin, vals: &[AtomicValue]) -> RtResult<Sequence> {
 }
 
 fn single_string(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Option<String>> {
-    let v = atomize(&eval(cx, e, env)?);
+    let v = eval_operand(cx, skip_data(e), env)?;
     match v.as_slice() {
         [] => Ok(None),
-        [one] => Ok(Some(one.string_value())),
-        _ => Err(XdmError::NotSingleton(v.len()).into()),
+        // singleton fast path: no atomized intermediate vector
+        [Item::Atomic(one)] => Ok(Some(one.string_value())),
+        [Item::Node(n)] => Ok(n.typed_value().map(|v| v.string_value())),
+        s => {
+            let v = atomize(s);
+            match v.as_slice() {
+                [] => Ok(None),
+                [one] => Ok(Some(one.string_value())),
+                _ => Err(XdmError::NotSingleton(v.len()).into()),
+            }
+        }
     }
 }
 
 fn single_number(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Option<f64>> {
-    let v = atomize(&eval(cx, e, env)?);
-    match v.as_slice() {
-        [] => Ok(None),
-        [one] => match one.cast_to(AtomicType::Double)? {
-            AtomicValue::Double(d) => Ok(Some(d)),
-            _ => unreachable!("cast to double"),
+    let v = eval_operand(cx, skip_data(e), env)?;
+    let one = match v.as_slice() {
+        [] => return Ok(None),
+        // singleton fast path: no atomized intermediate vector
+        [Item::Atomic(a)] => a.clone(),
+        [Item::Node(n)] => match n.typed_value() {
+            Some(a) => a,
+            None => return Ok(None),
         },
-        _ => Err(XdmError::NotSingleton(v.len()).into()),
+        s => {
+            let all = atomize(s);
+            match all.len() {
+                0 => return Ok(None),
+                1 => all.into_iter().next().expect("len 1"),
+                n => return Err(XdmError::NotSingleton(n).into()),
+            }
+        }
+    };
+    match one.cast_to(AtomicType::Double)? {
+        AtomicValue::Double(d) => Ok(Some(d)),
+        _ => unreachable!("cast to double"),
     }
 }
 
@@ -1096,32 +1223,50 @@ fn build_clause<'a>(
     scan_seed: Option<RtResult<ResultSet>>,
 ) -> TupleIter<'a> {
     match clause {
-        Clause::For { var, pos, source } => Box::new(input.flat_map(move |tuple| {
-            let env = match tuple {
-                Ok(e) => e,
+        Clause::For { var, pos, source } => {
+            let (var_slot, pos_slot) = match (cx.slot_of(var), pos.as_ref().map(|p| cx.slot_of(p)))
+            {
+                (Ok(v), Some(Ok(p))) => (v, Some(p)),
+                (Ok(v), None) => (v, None),
+                (Err(e), _) | (_, Some(Err(e))) => return one_err(e),
+            };
+            Box::new(input.flat_map(move |tuple| {
+                let env = match tuple {
+                    Ok(e) => e,
+                    Err(e) => return one_err(e),
+                };
+                match eval(cx, source, &env) {
+                    Ok(seq) => Box::new(seq.into_iter().enumerate().map(move |(i, item)| {
+                        Ok(match pos_slot {
+                            None => env.bind_one(var_slot, item),
+                            Some(p) => {
+                                let mut w = env.writer();
+                                w.set_item(var_slot, item);
+                                w.set_item(p, Item::int((i + 1) as i64));
+                                w.finish()
+                            }
+                        })
+                    })) as TupleIter<'a>,
+                    Err(e) => one_err(e),
+                }
+            }))
+        }
+        Clause::Let { var, value } => {
+            let slot = match cx.slot_of(var) {
+                Ok(s) => s,
                 Err(e) => return one_err(e),
             };
-            match eval(cx, source, &env) {
-                Ok(seq) => Box::new(seq.into_iter().enumerate().map(move |(i, item)| {
-                    let mut benv = env.bind(var, vec![item]);
-                    if let Some(p) = pos {
-                        benv = benv.bind(p, vec![Item::int((i + 1) as i64)]);
-                    }
-                    Ok(benv)
-                })) as TupleIter<'a>,
-                Err(e) => one_err(e),
-            }
-        })),
-        Clause::Let { var, value } => Box::new(input.map(move |tuple| {
-            let env = tuple?;
-            let v = eval(cx, value, &env)?;
-            Ok(env.bind(var, v))
-        })),
+            Box::new(input.map(move |tuple| {
+                let env = tuple?;
+                let v = eval(cx, value, &env)?;
+                Ok(env.bind_slot(slot, v))
+            }))
+        }
         Clause::Where(cond) => Box::new(input.filter_map(move |tuple| {
             match tuple {
                 Err(e) => Some(Err(e)),
-                Ok(env) => match eval(cx, cond, &env)
-                    .and_then(|v| effective_boolean_value(&v).map_err(RtError::from))
+                Ok(env) => match eval_operand(cx, cond, &env)
+                    .and_then(|v| effective_boolean_value(v.as_slice()).map_err(RtError::from))
                 {
                     Ok(true) => Some(Ok(env)),
                     Ok(false) => None,
@@ -1136,20 +1281,23 @@ fn build_clause<'a>(
             carry,
             pre_clustered,
         } => {
+            let slots = match GroupSlots::resolve(cx, bindings, keys, carry) {
+                Ok(s) => s,
+                Err(e) => return one_err(e),
+            };
             if *pre_clustered {
                 cx.inc(|s| &s.streaming_groups);
                 Box::new(StreamingGroups {
                     cx,
                     input,
                     keys,
-                    bindings,
-                    carry,
+                    slots,
                     base: flwor_base,
                     current: None,
                     done: false,
                 })
             } else {
-                sorted_group_by(cx, bindings, keys, carry, input, flwor_base)
+                sorted_group_by(cx, &slots, keys, input, flwor_base)
             }
         }
         Clause::SqlFor {
@@ -1158,29 +1306,46 @@ fn build_clause<'a>(
             params,
             binds,
             ppk,
-        } => match ppk {
-            Some(spec) => Box::new(PpkIter {
-                cx,
-                tkey,
-                input,
-                connection,
-                select,
-                base_params: params,
-                binds,
-                spec,
-                buffer: std::collections::VecDeque::new(),
-                pending: std::collections::VecDeque::new(),
-                staging_err: None,
-                tid: 0,
-                input_done: false,
-                exhausted: false,
-                key_buf: String::new(),
-                buffered_charge: 0,
-            }),
-            None => sql_for_plain(
-                cx, tkey, connection, select, params, binds, input, scan_seed,
-            ),
-        },
+        } => {
+            let bind_slots: Vec<u32> = match binds
+                .iter()
+                .map(|(var, _)| cx.slot_of(var))
+                .collect::<RtResult<_>>()
+            {
+                Ok(s) => s,
+                Err(e) => return one_err(e),
+            };
+            match ppk {
+                Some(spec) => Box::new(PpkIter {
+                    cx,
+                    tkey,
+                    input,
+                    connection,
+                    select,
+                    base_params: params,
+                    bind_slots,
+                    spec,
+                    buffer: std::collections::VecDeque::new(),
+                    pending: std::collections::VecDeque::new(),
+                    staging_err: None,
+                    tid: 0,
+                    input_done: false,
+                    exhausted: false,
+                    key_buf: String::new(),
+                    buffered_charge: 0,
+                }),
+                None => sql_for_plain(
+                    cx,
+                    tkey,
+                    connection,
+                    select,
+                    params,
+                    bind_slots.into(),
+                    input,
+                    scan_seed,
+                ),
+            }
+        }
     }
 }
 
@@ -1235,14 +1400,14 @@ fn order_by<'a>(cx: &'a ExecCtx, specs: &'a [OrderSpec], input: TupleIter<'a>) -
             Err(e) => return charged_err(cx, charged, e),
         };
         // the sort buffer is blocking state: charge it against the budget
-        if let Err(e) = cx.charge_mem(TUPLE_MEM_BYTES) {
+        if let Err(e) = cx.charge_mem(cx.tuple_mem) {
             return charged_err(cx, charged, e);
         }
-        charged += TUPLE_MEM_BYTES;
+        charged += cx.tuple_mem;
         let mut key = Vec::with_capacity(specs.len());
         for s in specs {
-            match eval(cx, &s.expr, &env) {
-                Ok(v) => key.push(atomize(&v).into_iter().next()),
+            match atomize_first(cx, &s.expr, &env) {
+                Ok(k) => key.push(k),
                 Err(e) => return charged_err(cx, charged, e),
             }
         }
@@ -1290,6 +1455,49 @@ fn cmp_keys(a: &Option<AtomicValue>, b: &Option<AtomicValue>, empty_least: bool)
 
 // ---- the group operator (§5.2) ---------------------------------------------------
 
+/// Frame slots a group operator touches, resolved once per pipeline so
+/// the per-tuple work is all indexed loads/stores.
+struct GroupSlots {
+    /// Key alias slots, parallel to the key expressions.
+    aliases: Vec<u32>,
+    /// (source slot, destination slot) per regrouped binding.
+    bind_from: Vec<u32>,
+    bind_to: Vec<u32>,
+    /// (source slot, destination slot) per carried binding.
+    carry_from: Vec<u32>,
+    carry_to: Vec<u32>,
+}
+
+impl GroupSlots {
+    fn resolve(
+        cx: &ExecCtx,
+        bindings: &[(String, String)],
+        keys: &[(CExpr, String)],
+        carry: &[(String, String)],
+    ) -> RtResult<GroupSlots> {
+        let slot = |n: &String| cx.slot_of(n);
+        Ok(GroupSlots {
+            aliases: keys.iter().map(|(_, a)| slot(a)).collect::<RtResult<_>>()?,
+            bind_from: bindings
+                .iter()
+                .map(|(f, _)| slot(f))
+                .collect::<RtResult<_>>()?,
+            bind_to: bindings
+                .iter()
+                .map(|(_, t)| slot(t))
+                .collect::<RtResult<_>>()?,
+            carry_from: carry
+                .iter()
+                .map(|(f, _)| slot(f))
+                .collect::<RtResult<_>>()?,
+            carry_to: carry
+                .iter()
+                .map(|(_, t)| slot(t))
+                .collect::<RtResult<_>>()?,
+        })
+    }
+}
+
 /// The streaming group operator: "relies on input that is pre-clustered
 /// with respect to the grouping expressions. Its job is thus to simply
 /// form groups while watching for the grouping expressions to change."
@@ -1298,8 +1506,7 @@ struct StreamingGroups<'a> {
     cx: &'a ExecCtx,
     input: TupleIter<'a>,
     keys: &'a [(CExpr, String)],
-    bindings: &'a [(String, String)],
-    carry: &'a [(String, String)],
+    slots: GroupSlots,
     base: Env,
     current: Option<GroupAccum>,
     done: bool,
@@ -1316,20 +1523,20 @@ struct GroupAccum {
 
 impl StreamingGroups<'_> {
     fn emit(&mut self, g: GroupAccum) -> Env {
-        let mut env = self.base.clone();
-        for ((_, alias), k) in self.keys.iter().zip(&g.key) {
-            env = env.bind(
-                alias,
+        let mut w = self.base.writer();
+        for (&slot, k) in self.slots.aliases.iter().zip(&g.key) {
+            w.set(
+                slot,
                 k.clone().map(|v| vec![Item::Atomic(v)]).unwrap_or_default(),
             );
         }
-        for ((_, to), acc) in self.bindings.iter().zip(g.accums) {
-            env = env.bind(to, acc);
+        for (&slot, acc) in self.slots.bind_to.iter().zip(g.accums) {
+            w.set(slot, acc);
         }
-        for ((_, to), v) in self.carry.iter().zip(g.carried) {
-            env = env.bind(to, v);
+        for (&slot, v) in self.slots.carry_to.iter().zip(g.carried) {
+            w.set(slot, v);
         }
-        env
+        w.finish()
     }
 }
 
@@ -1350,25 +1557,28 @@ impl Iterator for StreamingGroups<'_> {
                     // evaluate the grouping keys on this tuple
                     let mut key = Vec::with_capacity(self.keys.len());
                     for (kexpr, _) in self.keys {
-                        match eval(self.cx, kexpr, &env) {
-                            Ok(v) => key.push(atomize(&v).into_iter().next()),
+                        match atomize_first(self.cx, kexpr, &env) {
+                            Ok(k) => key.push(k),
                             Err(e) => {
                                 self.done = true;
                                 return Some(Err(e));
                             }
                         }
                     }
-                    let mut values = Vec::with_capacity(self.bindings.len());
-                    for (from, _) in self.bindings {
-                        values.push(env.get(from).cloned().unwrap_or_default());
-                    }
-                    let carried: Vec<Sequence> = self
-                        .carry
+                    let values: Vec<Sequence> = self
+                        .slots
+                        .bind_from
                         .iter()
-                        .map(|(from, _)| env.get(from).cloned().unwrap_or_default())
+                        .map(|&from| env.get_slot(from).map(<[Item]>::to_vec).unwrap_or_default())
+                        .collect();
+                    let carried: Vec<Sequence> = self
+                        .slots
+                        .carry_from
+                        .iter()
+                        .map(|&from| env.get_slot(from).map(<[Item]>::to_vec).unwrap_or_default())
                         .collect();
                     // every accumulated tuple is blocking state: charge it
-                    if let Err(e) = self.cx.charge_mem(TUPLE_MEM_BYTES) {
+                    if let Err(e) = self.cx.charge_mem(self.cx.tuple_mem) {
                         self.done = true;
                         return Some(Err(e));
                     }
@@ -1396,7 +1606,7 @@ impl Iterator for StreamingGroups<'_> {
                                 carried,
                                 size: 1,
                             });
-                            let released = g.size * TUPLE_MEM_BYTES;
+                            let released = g.size * self.cx.tuple_mem;
                             let env = self.emit(g);
                             self.cx.release_mem(released);
                             return Some(Ok(env));
@@ -1416,7 +1626,7 @@ impl Iterator for StreamingGroups<'_> {
                     self.done = true;
                     let last = self.current.take();
                     return last.map(|g| {
-                        let released = g.size * TUPLE_MEM_BYTES;
+                        let released = g.size * self.cx.tuple_mem;
                         let env = self.emit(g);
                         self.cx.release_mem(released);
                         Ok(env)
@@ -1432,7 +1642,7 @@ impl Drop for StreamingGroups<'_> {
         // return the in-progress group's charge when the stream is
         // abandoned before the group was emitted
         if let Some(g) = self.current.take() {
-            self.cx.release_mem(g.size * TUPLE_MEM_BYTES);
+            self.cx.release_mem(g.size * self.cx.tuple_mem);
         }
     }
 }
@@ -1441,14 +1651,18 @@ impl Drop for StreamingGroups<'_> {
 /// "in the worst case, ALDSP falls back on sorting for grouping" (§4.2).
 fn sorted_group_by<'a>(
     cx: &'a ExecCtx,
-    bindings: &'a [(String, String)],
+    slots: &GroupSlots,
     keys: &'a [(CExpr, String)],
-    carry: &'a [(String, String)],
     input: TupleIter<'a>,
     base: Env,
 ) -> TupleIter<'a> {
     cx.inc(|s| &s.sorted_groups);
-    let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
+    // one flat key buffer (`nk` cells per row) and one env vector: the
+    // sort permutes 4-byte indices instead of moving (Vec, Env) pairs,
+    // and no per-row key Vec is ever allocated
+    let nk = keys.len();
+    let mut flat_keys: Vec<Option<AtomicValue>> = Vec::new();
+    let mut envs: Vec<Env> = Vec::new();
     let mut charged = 0u64;
     for tuple in input {
         let env = match tuple {
@@ -1456,67 +1670,92 @@ fn sorted_group_by<'a>(
             Err(e) => return charged_err(cx, charged, e),
         };
         // the sort-then-group buffer is blocking state: charge it
-        if let Err(e) = cx.charge_mem(TUPLE_MEM_BYTES) {
+        if let Err(e) = cx.charge_mem(cx.tuple_mem) {
             return charged_err(cx, charged, e);
         }
-        charged += TUPLE_MEM_BYTES;
-        let mut key = Vec::with_capacity(keys.len());
+        charged += cx.tuple_mem;
         for (kexpr, _) in keys {
-            match eval(cx, kexpr, &env) {
-                Ok(v) => key.push(atomize(&v).into_iter().next()),
+            match atomize_first(cx, kexpr, &env) {
+                Ok(k) => flat_keys.push(k),
                 Err(e) => return charged_err(cx, charged, e),
             }
         }
-        rows.push((key, env));
+        envs.push(env);
     }
-    cx.peak(|s| &s.peak_grouped_tuples, rows.len() as u64);
-    rows.sort_by(|(a, _), (b, _)| {
-        for (x, y) in a.iter().zip(b) {
+    cx.peak(|s| &s.peak_grouped_tuples, envs.len() as u64);
+    let row_key = |i: usize| &flat_keys[i * nk..(i + 1) * nk];
+    let cmp_row_keys = |a: usize, b: usize| {
+        for (x, y) in row_key(a).iter().zip(row_key(b)) {
             let ord = cmp_keys(x, y, true);
             if ord != Ordering::Equal {
                 return ord;
             }
         }
         Ordering::Equal
-    });
-    // group consecutive equal keys
-    let mut out: Vec<Env> = Vec::new();
-    let mut i = 0;
-    while i < rows.len() {
-        let key = rows[i].0.clone();
-        let mut accums: Vec<Sequence> = vec![Vec::new(); bindings.len()];
-        let carried: Vec<Sequence> = carry
+    };
+    // incremental grouping instead of a full sort: each row is compared
+    // against the previous row's key first (clustered inputs — the
+    // common shape from an ordered scan — group in O(1) per row), and
+    // only a key *change* binary-searches the sorted unique-key list.
+    // Equal keys land in one group and groups emit in key order, so the
+    // output is exactly what sort-then-scan produced.
+    let mut group_rows: Vec<Vec<u32>> = Vec::new();
+    // (first row of the group, group id), sorted by the group key
+    let mut uniq: Vec<(u32, u32)> = Vec::new();
+    let mut prev_gid: Option<u32> = None;
+    for r in 0..envs.len() {
+        let gid = match prev_gid {
+            Some(g) if cmp_row_keys(r, r.wrapping_sub(1)) == Ordering::Equal => g,
+            _ => match uniq.binary_search_by(|&(first, _)| cmp_row_keys(first as usize, r)) {
+                Ok(pos) => uniq[pos].1,
+                Err(pos) => {
+                    let g = group_rows.len() as u32;
+                    group_rows.push(Vec::new());
+                    uniq.insert(pos, (r as u32, g));
+                    g
+                }
+            },
+        };
+        group_rows[gid as usize].push(r as u32);
+        prev_gid = Some(gid);
+    }
+    let mut out: Vec<Env> = Vec::with_capacity(uniq.len());
+    for &(first, gid) in &uniq {
+        let rows = &group_rows[gid as usize];
+        let key = row_key(first as usize);
+        let mut accums: Vec<Sequence> = vec![Vec::new(); slots.bind_from.len()];
+        let carried: Vec<Sequence> = slots
+            .carry_from
             .iter()
-            .map(|(from, _)| rows[i].1.get(from).cloned().unwrap_or_default())
+            .map(|&from| {
+                envs[first as usize]
+                    .get_slot(from)
+                    .map(<[Item]>::to_vec)
+                    .unwrap_or_default()
+            })
             .collect();
-        let mut j = i;
-        while j < rows.len()
-            && rows[j]
-                .0
-                .iter()
-                .zip(&key)
-                .all(|(a, b)| cmp_keys(a, b, true) == Ordering::Equal)
-        {
-            for ((from, _), acc) in bindings.iter().zip(accums.iter_mut()) {
-                acc.extend(rows[j].1.get(from).cloned().unwrap_or_default());
+        for &r in rows {
+            let env = &envs[r as usize];
+            for (&from, acc) in slots.bind_from.iter().zip(accums.iter_mut()) {
+                if let Some(v) = env.get_slot(from) {
+                    acc.extend_from_slice(v);
+                }
             }
-            j += 1;
         }
-        let mut env = base.clone();
-        for ((_, alias), k) in keys.iter().zip(&key) {
-            env = env.bind(
-                alias,
+        let mut w = base.writer();
+        for (&slot, k) in slots.aliases.iter().zip(key) {
+            w.set(
+                slot,
                 k.clone().map(|v| vec![Item::Atomic(v)]).unwrap_or_default(),
             );
         }
-        for ((_, to), acc) in bindings.iter().zip(accums) {
-            env = env.bind(to, acc);
+        for (&slot, acc) in slots.bind_to.iter().zip(accums) {
+            w.set(slot, acc);
         }
-        for ((_, to), v) in carry.iter().zip(carried) {
-            env = env.bind(to, v);
+        for (&slot, v) in slots.carry_to.iter().zip(carried) {
+            w.set(slot, v);
         }
-        out.push(env);
-        i = j;
+        out.push(w.finish());
     }
     Box::new(Charged {
         cx,
@@ -1566,17 +1805,15 @@ fn exec_sql(
     }
 }
 
-fn bind_row(env: &Env, binds: &[(String, AtomicType)], row: &[SqlValue]) -> Env {
-    let mut out = env.clone();
-    for ((var, _), v) in binds.iter().zip(row) {
-        out = out.bind(
-            var,
-            v.to_xml()
-                .map(|x| vec![Item::Atomic(x)])
-                .unwrap_or_default(),
-        );
+fn bind_row(env: &Env, slots: &[u32], row: &[SqlValue]) -> Env {
+    let mut w = env.writer();
+    for (&slot, v) in slots.iter().zip(row) {
+        match v.to_xml() {
+            Some(x) => w.set_item(slot, Item::Atomic(x)),
+            None => w.set_empty(slot),
+        }
     }
-    out
+    w.finish()
 }
 
 /// A `SqlFor` without PP-k: uncorrelated statements execute once;
@@ -1588,7 +1825,7 @@ fn sql_for_plain<'a>(
     connection: &'a str,
     select: &'a Select,
     params: &'a [CExpr],
-    binds: &'a [(String, AtomicType)],
+    bind_slots: Arc<[u32]>,
     input: TupleIter<'a>,
     mut scan_seed: Option<RtResult<ResultSet>>,
 ) -> TupleIter<'a> {
@@ -1597,6 +1834,7 @@ fn sql_for_plain<'a>(
             Ok(e) => e,
             Err(e) => return one_err(e),
         };
+        let slots = Arc::clone(&bind_slots);
         // an independent scan prefetched by flwor_tuples seeds the
         // first execution (statement + roundtrip already counted there)
         if let Some(pre) = scan_seed.take() {
@@ -1604,7 +1842,7 @@ fn sql_for_plain<'a>(
                 Ok(rs) => Box::new(
                     rs.rows
                         .into_iter()
-                        .map(move |row| Ok(bind_row(&env, binds, &row))),
+                        .map(move |row| Ok(bind_row(&env, &slots, &row))),
                 ) as TupleIter<'a>,
                 Err(e) => one_err(e),
             };
@@ -1618,7 +1856,7 @@ fn sql_for_plain<'a>(
             Ok(rs) => Box::new(
                 rs.rows
                     .into_iter()
-                    .map(move |row| Ok(bind_row(&env, binds, &row))),
+                    .map(move |row| Ok(bind_row(&env, &slots, &row))),
             ) as TupleIter<'a>,
             Err(e) => one_err(e),
         }
@@ -1641,7 +1879,9 @@ struct PpkIter<'a> {
     connection: &'a str,
     select: &'a Select,
     base_params: &'a [CExpr],
-    binds: &'a [(String, AtomicType)],
+    /// Frame slots of the bound result columns (last is the tuple id
+    /// when `spec.outer_join` is set).
+    bind_slots: Vec<u32>,
     spec: &'a PpkSpec,
     buffer: std::collections::VecDeque<RtResult<Env>>,
     /// Blocks whose fetch has been issued but not yet joined, oldest
@@ -1703,8 +1943,8 @@ impl PpkIter<'_> {
                 Some(Ok(env)) => {
                     let mut keys = Vec::with_capacity(self.spec.outer_keys.len());
                     for kexpr in &self.spec.outer_keys {
-                        match eval(self.cx, kexpr, &env) {
-                            Ok(v) => keys.push(atomize(&v).into_iter().next()),
+                        match atomize_first(self.cx, kexpr, &env) {
+                            Ok(k) => keys.push(k),
                             Err(e) => {
                                 self.staging_err = Some(e);
                                 self.input_done = true;
@@ -1857,10 +2097,13 @@ impl PpkIter<'_> {
             }
             LocalJoinMethod::NestedLoop => None,
         };
-        let field_binds = if self.spec.outer_join {
-            &self.binds[..self.binds.len() - 1] // last bind is the tuple id
+        // copied out so the loop below can mutate self (key_buf, buffer)
+        let (field_slots, tid_slot): (Vec<u32>, Option<u32>) = if self.spec.outer_join {
+            // last bind is the tuple id
+            let (last, rest) = self.bind_slots.split_last().expect("outer join binds");
+            (rest.to_vec(), Some(*last))
         } else {
-            self.binds
+            (self.bind_slots.clone(), None)
         };
         for (env, keys) in block {
             let tid = self.tid;
@@ -1898,35 +2141,35 @@ impl PpkIter<'_> {
             };
             if matches.is_empty() && self.spec.outer_join {
                 // unmatched outer tuple: empty fields + tuple id
-                let mut out = env.clone();
-                for (var, _) in field_binds {
-                    out = out.bind(var, vec![]);
+                let mut w = env.writer();
+                for &slot in &field_slots {
+                    w.set_empty(slot);
                 }
-                out = out.bind(
-                    &self.binds[self.binds.len() - 1].0,
-                    vec![Item::int(tid as i64)],
-                );
-                if let Err(e) = self.cx.charge_mem(TUPLE_MEM_BYTES) {
+                w.set_item(tid_slot.expect("outer join"), Item::int(tid as i64));
+                if let Err(e) = self.cx.charge_mem(self.cx.tuple_mem) {
                     self.fail_buffer(e);
                     return;
                 }
-                self.buffered_charge += TUPLE_MEM_BYTES;
-                self.buffer.push_back(Ok(out));
+                self.buffered_charge += self.cx.tuple_mem;
+                self.buffer.push_back(Ok(w.finish()));
             } else {
                 for ri in matches {
-                    let mut out = bind_row(&env, field_binds, &rows[ri]);
-                    if self.spec.outer_join {
-                        out = out.bind(
-                            &self.binds[self.binds.len() - 1].0,
-                            vec![Item::int(tid as i64)],
-                        );
+                    let mut w = env.writer();
+                    for (&slot, v) in field_slots.iter().zip(&rows[ri]) {
+                        match v.to_xml() {
+                            Some(x) => w.set_item(slot, Item::Atomic(x)),
+                            None => w.set_empty(slot),
+                        }
                     }
-                    if let Err(e) = self.cx.charge_mem(TUPLE_MEM_BYTES) {
+                    if let Some(ts) = tid_slot {
+                        w.set_item(ts, Item::int(tid as i64));
+                    }
+                    if let Err(e) = self.cx.charge_mem(self.cx.tuple_mem) {
                         self.fail_buffer(e);
                         return;
                     }
-                    self.buffered_charge += TUPLE_MEM_BYTES;
-                    self.buffer.push_back(Ok(out));
+                    self.buffered_charge += self.cx.tuple_mem;
+                    self.buffer.push_back(Ok(w.finish()));
                 }
             }
         }
@@ -1940,9 +2183,9 @@ impl Iterator for PpkIter<'_> {
         loop {
             if let Some(x) = self.buffer.pop_front() {
                 // the consumer took a buffered tuple: return its charge
-                if x.is_ok() && self.buffered_charge >= TUPLE_MEM_BYTES {
-                    self.buffered_charge -= TUPLE_MEM_BYTES;
-                    self.cx.release_mem(TUPLE_MEM_BYTES);
+                if x.is_ok() && self.buffered_charge >= self.cx.tuple_mem {
+                    self.buffered_charge -= self.cx.tuple_mem;
+                    self.cx.release_mem(self.cx.tuple_mem);
                 }
                 return Some(x);
             }

@@ -16,7 +16,7 @@ pub mod stats;
 pub mod trace;
 
 pub use cache::FunctionCache;
-pub use env::Env;
+pub use env::{Env, EnvWriter, NamedEnv};
 pub use eval::{ExecCtx, RtError, RtResult, RuntimeInner};
 pub use stats::{ExecStats, StatsSnapshot};
 pub use trace::{NodeTrace, QueryTrace, TraceCollector, TraceKey, TraceLevel};
@@ -100,7 +100,7 @@ impl Runtime {
     ) -> RtResult<Execution> {
         let env = self.bind_env(query, bindings);
         let (cx, collector) = self.exec_ctx(level);
-        let cx = cx.with_budget(budget);
+        let cx = cx.with_frame(Arc::clone(&query.frame)).with_budget(budget);
         let t0 = std::time::Instant::now();
         let result = eval::eval(&cx, &query.plan, &env);
         merge_budget_counters(&cx);
@@ -169,7 +169,7 @@ impl Runtime {
     ) -> RtResult<Execution> {
         let env = self.bind_env(query, bindings);
         let (cx, collector) = self.exec_ctx(level);
-        let cx = cx.with_budget(budget);
+        let cx = cx.with_frame(Arc::clone(&query.frame)).with_budget(budget);
         let t0 = std::time::Instant::now();
         let mut delivered = 0u64;
         let result = (|| -> RtResult<()> {
@@ -218,16 +218,20 @@ impl Runtime {
     }
 
     fn bind_env(&self, query: &CompiledQuery, bindings: &[(&str, Sequence)]) -> Env {
-        let mut env = Env::empty();
+        // the initial frame spans the whole plan; externals sit at the
+        // slots the layout pass assigned them (0..n in declaration order)
+        let mut w = Env::with_width(query.frame.width() as usize).writer();
         for var in &query.external_vars {
             let value = bindings
                 .iter()
                 .find(|(n, _)| n == var)
                 .map(|(_, v)| v.clone())
                 .unwrap_or_default();
-            env = env.bind(var, value);
+            if let Some(slot) = query.frame.slot(var) {
+                w.set(slot, value);
+            }
         }
-        env
+        w.finish()
     }
 
     fn exec_ctx(&self, level: TraceLevel) -> (ExecCtx, Option<Arc<TraceCollector>>) {

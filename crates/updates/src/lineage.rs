@@ -320,7 +320,7 @@ fn collect_equivalences(
 /// sequences, reconstructed column elements) back to one field variable.
 fn transparent_source(e: &CExpr, fields: &HashMap<String, FieldSource>) -> Option<FieldSource> {
     match &e.kind {
-        CKind::Var(v) => fields.get(v).cloned(),
+        CKind::Var { name: v, .. } => fields.get(v).cloned(),
         CKind::Data(i) | CKind::TypeMatch { input: i, .. } => transparent_source(i, fields),
         CKind::Seq(parts) if parts.len() == 1 => transparent_source(&parts[0], fields),
         CKind::ElementCtor {
@@ -401,7 +401,7 @@ fn backing_field<'a>(
     registry: &Registry,
 ) -> Option<(&'a FieldSource, Option<QName>)> {
     match &e.kind {
-        CKind::Var(v) => fields.get(v).map(|s| (s, None)),
+        CKind::Var { name: v, .. } => fields.get(v).map(|s| (s, None)),
         CKind::Data(inner) | CKind::TypeMatch { input: inner, .. } => {
             backing_field(inner, fields, registry)
         }

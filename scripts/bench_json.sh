@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run the tuple-pipeline benchmark and record per-case medians as JSON.
+#
+# The vendored criterion shim reports each case as
+#   <name>  time: [<min> <median> <max>]  (mean <mean>, <n> samples)
+# This script parses the median (the middle bracket value), normalizes
+# it to nanoseconds per iteration, and writes BENCH_PR4.json at the repo
+# root:
+#   { "bench": "tuple_pipeline", "cases": { "<case>": <median_ns>, ... } }
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+
+raw=$(cargo bench -q --bench tuple_pipeline -p aldsp-bench 2>&1 | grep 'time: \[')
+if [[ -z "$raw" ]]; then
+    echo "bench_json.sh: no benchmark output captured" >&2
+    exit 1
+fi
+
+RAW="$raw" python3 - "$out" <<'PY'
+import json
+import os
+import re
+import sys
+
+UNIT_NS = {"s": 1e9, "ms": 1e6, "µs": 1e3, "us": 1e3, "ns": 1.0}
+# bracket layout: [min-val min-unit median-val median-unit max-val max-unit]
+BRACKET = re.compile(
+    r"^(?P<name>\S+)\s+time: \["
+    r"(?P<min>[0-9.]+) (?P<minu>\S+) "
+    r"(?P<median>[0-9.]+) (?P<medu>\S+) "
+    r"(?P<max>[0-9.]+) (?P<maxu>\S+)\]"
+)
+
+cases = {}
+for line in os.environ["RAW"].splitlines():
+    m = BRACKET.match(line.strip())
+    if not m:
+        continue
+    unit = m.group("medu")
+    if unit not in UNIT_NS:
+        sys.exit(f"bench_json.sh: unknown time unit {unit!r} in: {line!r}")
+    cases[m.group("name")] = round(float(m.group("median")) * UNIT_NS[unit])
+
+if not cases:
+    sys.exit("bench_json.sh: no cases parsed")
+
+with open(sys.argv[1], "w") as f:
+    json.dump({"bench": "tuple_pipeline", "unit": "ns/iter", "cases": cases}, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[1]}: {len(cases)} cases")
+PY

@@ -9,3 +9,6 @@ cargo fmt --all --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+# benches must at least compile (they are exercised manually /
+# via scripts/bench_json.sh, not run in CI)
+cargo bench --no-run

@@ -1,0 +1,244 @@
+//! PR 4 safety net: slot-resolved execution must be item-for-item
+//! identical to the seed (name-resolved) semantics. The goldens below
+//! were captured from the pre-slot engine on the running-example world
+//! and cover the binder shapes the frame-layout pass must get right:
+//! source-level shadowing (uniquified before layout), typeswitch case
+//! variables, quantified binders, positional `at` variables, group-by
+//! aliases, and order-by over bound tuples.
+
+mod common;
+
+use aldsp::security::Principal;
+use aldsp::xdm::xml::serialize_sequence;
+use aldsp::QueryRequest;
+use common::{world, PROLOG};
+use proptest::prelude::*;
+
+/// The binder-shape corpus: every query exercises at least one binding
+/// form whose resolution moved from name lookup to slot load.
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "shadowed_let",
+        r#"for $c in c:CUSTOMER()
+           let $x := $c/CID
+           let $x := fn:concat($x, "-x")
+           return <R>{ $x }</R>"#,
+    ),
+    (
+        "shadowed_for",
+        r#"for $x in (1, 2, 3)
+           for $x in ($x, $x * 10)
+           return $x"#,
+    ),
+    (
+        "typeswitch_case_vars",
+        r#"for $v in (1, "two", <E>3</E>)
+           return typeswitch ($v)
+                  case $i as xs:integer return $i + 1
+                  case $s as xs:string return fn:concat($s, "!")
+                  default $d return <D>{ $d }</D>"#,
+    ),
+    (
+        "quantified_some",
+        r#"for $c in c:CUSTOMER()
+           where some $o in c:ORDER() satisfies $c/CID eq $o/CID
+           return $c/CID"#,
+    ),
+    (
+        "quantified_every",
+        r#"for $c in c:CUSTOMER()
+           where every $o in c:ORDER() satisfies $o/AMOUNT ge 1.00
+           return $c/CID"#,
+    ),
+    (
+        "positional_at",
+        r#"for $x at $i in ("a", "b", "c")
+           return <P i="{$i}">{ $x }</P>"#,
+    ),
+    (
+        "middleware_group",
+        r#"for $o in c:ORDER()
+           let $oid := $o/OID
+           group $oid as $ids by fn:substring($o/CID, 1, 4) as $k
+           return <G k="{$k}">{ fn:count($ids) }</G>"#,
+    ),
+    (
+        "order_by_bound_tuples",
+        r#"for $c in c:CUSTOMER()
+           let $n := $c/LAST_NAME
+           order by $n, $c/CID descending
+           return <O>{ $n, $c/CID }</O>"#,
+    ),
+    (
+        "nested_join",
+        r#"for $c in c:CUSTOMER()
+           return <C>{ $c/CID,
+             for $o in c:ORDER() where $o/CID eq $c/CID return <O>{ $o/OID }</O>
+           }</C>"#,
+    ),
+];
+
+/// Seed-engine outputs, captured before the slot-frame refactor, at
+/// world sizes 1 / 7 / 13 (chosen so FIRST_NAME nulls, empty order
+/// sets, and multi-group keys all occur).
+const GOLDENS: &[(usize, &str, &str)] = &[
+    (1, "shadowed_let", "<R>C0000-x</R>"),
+    (1, "shadowed_for", "1 10 2 20 3 30"),
+    (1, "typeswitch_case_vars", "2 two!<D><E>3</E></D>"),
+    (1, "quantified_some", ""),
+    (1, "quantified_every", "<CID>C0000</CID>"),
+    (
+        1,
+        "positional_at",
+        "<P i=\"1\">a</P><P i=\"2\">b</P><P i=\"3\">c</P>",
+    ),
+    (1, "middleware_group", ""),
+    (
+        1,
+        "order_by_bound_tuples",
+        "<O><LAST_NAME>Jones</LAST_NAME><CID>C0000</CID></O>",
+    ),
+    (1, "nested_join", "<C><CID>C0000</CID></C>"),
+    (
+        7,
+        "shadowed_let",
+        "<R>C0000-x</R><R>C0001-x</R><R>C0002-x</R><R>C0003-x</R><R>C0004-x</R><R>C0005-x</R><R>C0006-x</R>",
+    ),
+    (7, "shadowed_for", "1 10 2 20 3 30"),
+    (7, "typeswitch_case_vars", "2 two!<D><E>3</E></D>"),
+    (
+        7,
+        "quantified_some",
+        "<CID>C0001</CID><CID>C0002</CID><CID>C0004</CID><CID>C0005</CID>",
+    ),
+    (
+        7,
+        "quantified_every",
+        "<CID>C0000</CID><CID>C0001</CID><CID>C0002</CID><CID>C0003</CID><CID>C0004</CID><CID>C0005</CID><CID>C0006</CID>",
+    ),
+    (
+        7,
+        "positional_at",
+        "<P i=\"1\">a</P><P i=\"2\">b</P><P i=\"3\">c</P>",
+    ),
+    (7, "middleware_group", "<G k=\"C000\">6</G>"),
+    (
+        7,
+        "order_by_bound_tuples",
+        "<O><LAST_NAME>Chen</LAST_NAME><CID>C0005</CID></O><O><LAST_NAME>Chen</LAST_NAME><CID>C0002</CID></O><O><LAST_NAME>Jones</LAST_NAME><CID>C0006</CID></O><O><LAST_NAME>Jones</LAST_NAME><CID>C0003</CID></O><O><LAST_NAME>Jones</LAST_NAME><CID>C0000</CID></O><O><LAST_NAME>Smith</LAST_NAME><CID>C0004</CID></O><O><LAST_NAME>Smith</LAST_NAME><CID>C0001</CID></O>",
+    ),
+    (
+        7,
+        "nested_join",
+        "<C><CID>C0000</CID></C><C><CID>C0001</CID><O><OID>1</OID></O></C><C><CID>C0002</CID><O><OID>2</OID></O><O><OID>3</OID></O></C><C><CID>C0003</CID></C><C><CID>C0004</CID><O><OID>4</OID></O></C><C><CID>C0005</CID><O><OID>5</OID></O><O><OID>6</OID></O></C><C><CID>C0006</CID></C>",
+    ),
+    (
+        13,
+        "shadowed_let",
+        "<R>C0000-x</R><R>C0001-x</R><R>C0002-x</R><R>C0003-x</R><R>C0004-x</R><R>C0005-x</R><R>C0006-x</R><R>C0007-x</R><R>C0008-x</R><R>C0009-x</R><R>C0010-x</R><R>C0011-x</R><R>C0012-x</R>",
+    ),
+    (13, "shadowed_for", "1 10 2 20 3 30"),
+    (13, "typeswitch_case_vars", "2 two!<D><E>3</E></D>"),
+    (
+        13,
+        "quantified_some",
+        "<CID>C0001</CID><CID>C0002</CID><CID>C0004</CID><CID>C0005</CID><CID>C0007</CID><CID>C0008</CID><CID>C0010</CID><CID>C0011</CID>",
+    ),
+    (
+        13,
+        "quantified_every",
+        "<CID>C0000</CID><CID>C0001</CID><CID>C0002</CID><CID>C0003</CID><CID>C0004</CID><CID>C0005</CID><CID>C0006</CID><CID>C0007</CID><CID>C0008</CID><CID>C0009</CID><CID>C0010</CID><CID>C0011</CID><CID>C0012</CID>",
+    ),
+    (
+        13,
+        "positional_at",
+        "<P i=\"1\">a</P><P i=\"2\">b</P><P i=\"3\">c</P>",
+    ),
+    (13, "middleware_group", "<G k=\"C000\">9</G><G k=\"C001\">3</G>"),
+    (
+        13,
+        "order_by_bound_tuples",
+        "<O><LAST_NAME>Chen</LAST_NAME><CID>C0011</CID></O><O><LAST_NAME>Chen</LAST_NAME><CID>C0008</CID></O><O><LAST_NAME>Chen</LAST_NAME><CID>C0005</CID></O><O><LAST_NAME>Chen</LAST_NAME><CID>C0002</CID></O><O><LAST_NAME>Jones</LAST_NAME><CID>C0012</CID></O><O><LAST_NAME>Jones</LAST_NAME><CID>C0009</CID></O><O><LAST_NAME>Jones</LAST_NAME><CID>C0006</CID></O><O><LAST_NAME>Jones</LAST_NAME><CID>C0003</CID></O><O><LAST_NAME>Jones</LAST_NAME><CID>C0000</CID></O><O><LAST_NAME>Smith</LAST_NAME><CID>C0010</CID></O><O><LAST_NAME>Smith</LAST_NAME><CID>C0007</CID></O><O><LAST_NAME>Smith</LAST_NAME><CID>C0004</CID></O><O><LAST_NAME>Smith</LAST_NAME><CID>C0001</CID></O>",
+    ),
+    (
+        13,
+        "nested_join",
+        "<C><CID>C0000</CID></C><C><CID>C0001</CID><O><OID>1</OID></O></C><C><CID>C0002</CID><O><OID>2</OID></O><O><OID>3</OID></O></C><C><CID>C0003</CID></C><C><CID>C0004</CID><O><OID>4</OID></O></C><C><CID>C0005</CID><O><OID>5</OID></O><O><OID>6</OID></O></C><C><CID>C0006</CID></C><C><CID>C0007</CID><O><OID>7</OID></O></C><C><CID>C0008</CID><O><OID>8</OID></O><O><OID>9</OID></O></C><C><CID>C0009</CID></C><C><CID>C0010</CID><O><OID>10</OID></O></C><C><CID>C0011</CID><O><OID>11</OID></O><O><OID>12</OID></O></C><C><CID>C0012</CID></C>",
+    ),
+];
+
+fn query_text(name: &str) -> &'static str {
+    CORPUS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, q)| *q)
+        .expect("corpus entry")
+}
+
+fn run(w: &common::World, q: &str) -> String {
+    let src = format!("{PROLOG}\n{q}");
+    let out = w
+        .server
+        .execute(QueryRequest::new(&src).principal(Principal::new("demo", &[])))
+        .unwrap_or_else(|e| panic!("query failed: {e}\n{q}"))
+        .items;
+    serialize_sequence(&out)
+}
+
+/// Every corpus query at every captured world size reproduces the seed
+/// engine's serialized output byte for byte.
+#[test]
+fn slot_execution_matches_seed_goldens() {
+    for &n in &[1usize, 7, 13] {
+        let w = world(n);
+        for &(gn, name, expected) in GOLDENS {
+            if gn != n {
+                continue;
+            }
+            assert_eq!(
+                run(&w, query_text(name)),
+                expected,
+                "seed-identity broke for {name} at n={n}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Property form of the identity check: a randomly chosen
+    /// (world size, corpus query) pair — executed twice, so the second
+    /// run goes through the bounded plan cache — still matches the
+    /// captured seed output.
+    #[test]
+    fn random_corpus_point_matches_seed(pick in 0usize..1000) {
+        let (n, name, expected) = GOLDENS[pick % GOLDENS.len()];
+        let w = world(n);
+        let q = query_text(name);
+        prop_assert_eq!(run(&w, q), expected, "cold run, {} at n={}", name, n);
+        prop_assert_eq!(run(&w, q), expected, "cached run, {} at n={}", name, n);
+    }
+}
+
+/// EXPLAIN must keep printing human-readable variable names — slots are
+/// an execution detail, not a rendering one.
+#[test]
+fn explain_keeps_variable_names() {
+    let w = world(3);
+    let q = format!("{PROLOG}\n{}", query_text("middleware_group"));
+    let explain = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(Principal::new("demo", &[]))
+                .explain_only(),
+        )
+        .expect("explain only")
+        .plan_explain
+        .expect("explain requested");
+    for base in ["$o", "$oid", "$ids", "$k"] {
+        assert!(
+            explain.contains(base),
+            "EXPLAIN lost the {base} variable name:\n{explain}"
+        );
+    }
+}
