@@ -23,11 +23,59 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// How much of a plan the SQL-pushdown pass (§4.3–4.4) may hand to the
+/// relational sources. The levels exist for the differential
+/// correctness harness: every level must return byte-identical results,
+/// because pushdown is an *optimization*, never a semantic change —
+/// "semantic transparency" is the paper's core claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PushdownLevel {
+    /// No SQL generation at all: every table function stays a naive
+    /// full-table scan and all joins, predicates, grouping, ordering
+    /// and pagination evaluate in the middleware. This is the oracle's
+    /// reference path.
+    Off,
+    /// Join trees, predicates and projections push (Table 1(b)–(d)),
+    /// but trailing group-by, order-by and pagination stay in the
+    /// middleware.
+    Joins,
+    /// Everything pushes (the production default).
+    #[default]
+    Full,
+}
+
+impl std::fmt::Display for PushdownLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PushdownLevel::Off => "off",
+            PushdownLevel::Joins => "joins",
+            PushdownLevel::Full => "full",
+        })
+    }
+}
+
+/// A deliberately wrong rewrite, compiled in only so the differential
+/// harness can prove it would catch a real optimizer bug (the mutation
+/// smoke test). Never set in a production configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// While forming a SQL region, consume a pushable `where` conjunct
+    /// without attaching it to the generated SQL — the pushed plan
+    /// silently returns extra rows.
+    DropPushedPredicate,
+}
+
 /// Compiler configuration.
 #[derive(Debug, Clone)]
 pub struct Options {
     /// Error-handling mode (§4.1).
     pub mode: Mode,
+    /// How aggressively to push work into SQL (differential-testing
+    /// knob; the default pushes everything).
+    pub pushdown: PushdownLevel,
+    /// A deliberately planted rewrite bug, for validating correctness
+    /// harnesses. `None` in every real configuration.
+    pub mutation: Option<Mutation>,
     /// Per-connection SQL dialects (§4.3).
     pub dialects: HashMap<String, Dialect>,
     /// Use the partially-optimized-view cache (§4.2)? Disable to measure
@@ -50,6 +98,8 @@ impl Default for Options {
     fn default() -> Options {
         Options {
             mode: Mode::FailFast,
+            pushdown: PushdownLevel::default(),
+            mutation: None,
             dialects: HashMap::new(),
             view_cache: true,
             ppk_block_size: 20,
@@ -70,6 +120,10 @@ pub struct CompiledQuery {
     /// `0..external_vars.len()` in declaration order). Shared so each
     /// execution context references it without copying the map.
     pub frame: Arc<FrameLayout>,
+    /// The pushdown level the plan was compiled under — recorded so
+    /// EXPLAIN (and the differential oracle) can confirm which path a
+    /// result actually came from.
+    pub pushdown: PushdownLevel,
     /// Diagnostics gathered during compilation (empty in fail-fast mode).
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -124,6 +178,8 @@ impl Compiler {
         ctx.ppk_block_size = self.options.ppk_block_size;
         ctx.ppk_local_method = self.options.ppk_local_method;
         ctx.ppk_prefetch_depth = self.options.ppk_prefetch_depth;
+        ctx.pushdown = self.options.pushdown;
+        ctx.mutation = self.options.mutation;
         // seed with deployed (partially optimized) functions
         for (name, f) in self.views.lock().iter() {
             ctx.functions.insert(name.clone(), f.clone());
@@ -238,6 +294,7 @@ impl Compiler {
             plan,
             external_vars,
             frame,
+            pushdown: self.options.pushdown,
             diagnostics: diags,
         })
     }
@@ -292,6 +349,7 @@ impl Compiler {
             plan,
             external_vars,
             frame,
+            pushdown: self.options.pushdown,
             diagnostics: diags,
         })
     }

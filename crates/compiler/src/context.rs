@@ -87,6 +87,11 @@ pub struct Context<'r> {
     pub ppk_local_method: crate::ir::LocalJoinMethod,
     /// PP-k block prefetch depth (0 = synchronous fetches).
     pub ppk_prefetch_depth: usize,
+    /// How much of the plan SQL pushdown may claim (differential-testing
+    /// knob, [`crate::compile::PushdownLevel::Full`] in production).
+    pub pushdown: crate::compile::PushdownLevel,
+    /// Deliberately planted rewrite bug (mutation smoke test only).
+    pub mutation: Option<crate::compile::Mutation>,
     var_counter: u32,
 }
 
@@ -103,6 +108,8 @@ impl<'r> Context<'r> {
             ppk_block_size: 20,
             ppk_local_method: crate::ir::LocalJoinMethod::IndexNestedLoop,
             ppk_prefetch_depth: 1,
+            pushdown: crate::compile::PushdownLevel::default(),
+            mutation: None,
             var_counter: 0,
         }
     }

@@ -30,6 +30,11 @@ pub struct ExplainContext<'a> {
     /// so EXPLAIN shows how the query will be scheduled, not just how
     /// it will be evaluated. `None` leaves the plan text unchanged.
     pub governor: Option<String>,
+    /// The pushdown level the plan was compiled under (from
+    /// [`crate::CompiledQuery::pushdown`]), rendered as a
+    /// `-- pushdown:` header so the differential oracle — and a human
+    /// reading the plan — can confirm which path produced a result.
+    pub pushdown: crate::compile::PushdownLevel,
 }
 
 impl<'a> ExplainContext<'a> {
@@ -44,6 +49,7 @@ impl<'a> ExplainContext<'a> {
 /// Render the physical plan as an indented tree, one node per line.
 pub fn explain_plan(plan: &CExpr, ctx: &ExplainContext<'_>) -> String {
     let mut out = String::new();
+    let _ = writeln!(out, "-- pushdown: {}", ctx.pushdown);
     if let Some(g) = &ctx.governor {
         let _ = writeln!(out, "-- governor: {g}");
     }

@@ -22,7 +22,7 @@ pub mod sqlgen;
 pub mod translate;
 pub mod typecheck;
 
-pub use compile::{CompiledQuery, Compiler, CompilerStats, Options};
+pub use compile::{CompiledQuery, Compiler, CompilerStats, Mutation, Options, PushdownLevel};
 pub use context::{Context, InverseRegistry, Mode, UserFunction};
 pub use explain::{explain_plan, ExplainContext};
 pub use frames::FrameLayout;

@@ -776,6 +776,13 @@ fn hoist_wheres(clauses: &mut Vec<Clause>) -> bool {
                     earliest = j + 1;
                 }
             }
+            // never leapfrog a sibling filter: hoisting is about
+            // crossing *binding* clauses, and two filters with the
+            // same earliest slot would otherwise swap places on every
+            // pass, making the rewrite fixpoint diverge
+            while earliest < i && matches!(clauses[earliest], Clause::Where(_)) {
+                earliest += 1;
+            }
             if earliest < i {
                 clauses.remove(i);
                 clauses.insert(earliest, Clause::Where(w));
@@ -1012,4 +1019,30 @@ pub fn is_cheap(e: &CExpr) -> bool {
         }
     });
     cheap
+}
+
+#[cfg(test)]
+mod rules_tests {
+    use crate::tests::compile;
+
+    /// Regression: two `where` conjuncts whose earliest legal slots
+    /// coincide used to leapfrog each other on every `hoist_wheres`
+    /// pass, so the rewrite fixpoint diverged and compilation hung.
+    #[test]
+    fn equal_earliest_wheres_reach_fixpoint() {
+        // both split conjuncts hoist to just after `for $c`
+        compile(
+            r#"for $c in c:CUSTOMER()
+               where $c/CID ne "CUST001" and $c/LAST_NAME eq "Jones"
+               return $c/CID"#,
+        );
+        // join conjunct and single-var conjunct share the slot after
+        // the second `for`
+        compile(
+            r#"for $cc in cc:CREDIT_CARD()
+               for $c in c:CUSTOMER()
+               where $cc/CID eq $c/CID and lib:int2date($c/SINCE) le lib:int2date(1005)
+               return $c/CID"#,
+        );
+    }
 }

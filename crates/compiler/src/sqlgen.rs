@@ -74,7 +74,19 @@ pub const TID_TYPE: AtomicType = AtomicType::Integer;
 
 /// Run pushdown over the whole tree (bottom-up so nested FLWORs are
 /// processed before their parents try to hoist them).
+///
+/// The [`Context::pushdown`] level gates the pass: `Off` leaves the
+/// naive plan untouched (every table function stays a middleware scan
+/// — the differential oracle's reference path), `Joins` forms join
+/// regions and pushes predicates/projections but keeps trailing
+/// group-by / order-by / pagination in the middleware, and `Full` (the
+/// default) pushes everything.
 pub fn push_down(ctx: &mut Context<'_>, e: &mut CExpr) {
+    use crate::compile::PushdownLevel;
+    if ctx.pushdown == PushdownLevel::Off {
+        return;
+    }
+    let full = ctx.pushdown == PushdownLevel::Full;
     e.for_each_child_mut(&mut |c| push_down(ctx, c));
     if let CKind::Flwor { clauses, ret } = &mut e.kind {
         form_regions(ctx, clauses, ret);
@@ -87,14 +99,18 @@ pub fn push_down(ctx: &mut Context<'_>, e: &mut CExpr) {
         absorb_wheres(clauses);
         push_scalar_projections(ctx, clauses, ret);
         hoist_dependent_joins(ctx, clauses, ret, span);
-        push_trailing_group_by(ctx, clauses, ret);
-        push_trailing_order_by(clauses);
+        if full {
+            push_trailing_group_by(ctx, clauses, ret);
+            push_trailing_order_by(clauses);
+        }
         prune_unused_columns(clauses, ret);
     }
     // clean up after the pattern passes, then try pagination pushdown on
     // the (possibly collapsed) node
     crate::rules::optimize(ctx, e);
-    push_subsequence(ctx, e);
+    if full {
+        push_subsequence(ctx, e);
+    }
 }
 
 /// Metadata about one pushed FLWOR variable.
@@ -304,7 +320,12 @@ fn form_regions(ctx: &mut Context<'_>, clauses: &mut Vec<Clause>, ret: &mut CExp
                     }
                     match translated {
                         Some(sql) => {
-                            attach_condition(&mut region, sql);
+                            // mutation smoke test: consume the conjunct
+                            // without attaching it, so the pushed plan
+                            // returns extra rows the naive plan filters
+                            if ctx.mutation != Some(crate::compile::Mutation::DropPushedPredicate) {
+                                attach_condition(&mut region, sql);
+                            }
                             consumed.push(j);
                             j += 1;
                             continue;

@@ -36,6 +36,7 @@ use aldsp_adaptors::{
     AdaptorRegistry, CsvFileSource, NativeFunction, SimulatedWebService, XmlFileSource,
 };
 use aldsp_compiler::{explain_plan, CompiledQuery, Compiler, ExplainContext, Mode, Options};
+pub use aldsp_compiler::{Mutation, PushdownLevel};
 use aldsp_metadata::{
     introspect_relational, introspect_web_service, FunctionKind, ParamDecl, PhysicalFunction,
     Registry, SourceBinding, WebServiceDescription,
@@ -188,6 +189,8 @@ pub struct ServerBuilder {
     security: SecurityPolicy,
     inverses: Vec<(QName, QName)>,
     mode: Mode,
+    pushdown: PushdownLevel,
+    mutation: Option<Mutation>,
     ppk_block_size: usize,
     ppk_local_method: aldsp_compiler::LocalJoinMethod,
     ppk_prefetch_depth: usize,
@@ -211,6 +214,8 @@ impl ServerBuilder {
             security: SecurityPolicy::new(),
             inverses: Vec::new(),
             mode: Mode::FailFast,
+            pushdown: PushdownLevel::default(),
+            mutation: None,
             ppk_block_size: 20,
             ppk_local_method: aldsp_compiler::LocalJoinMethod::IndexNestedLoop,
             ppk_prefetch_depth: 1,
@@ -250,6 +255,25 @@ impl ServerBuilder {
     /// ungated.
     pub fn source_concurrency_cap(mut self, cap: usize) -> Self {
         self.source_concurrency_cap = cap;
+        self
+    }
+
+    /// Limit how much of each plan SQL pushdown may claim
+    /// ([`PushdownLevel::Full`] — everything — by default).
+    /// [`PushdownLevel::Off`] compiles the naive middleware-only plans
+    /// the differential correctness harness uses as its oracle; every
+    /// level must return byte-identical results.
+    pub fn pushdown(mut self, level: PushdownLevel) -> Self {
+        self.pushdown = level;
+        self
+    }
+
+    /// Plant a deliberately wrong rewrite ([`Mutation`]) so a
+    /// correctness harness can prove it detects optimizer bugs. Never
+    /// use outside the mutation smoke test.
+    #[doc(hidden)]
+    pub fn mutation(mut self, m: Mutation) -> Self {
+        self.mutation = Some(m);
         self
     }
 
@@ -401,6 +425,8 @@ impl ServerBuilder {
         let adaptors = Arc::new(self.adaptors);
         let options = Options {
             mode: self.mode,
+            pushdown: self.pushdown,
+            mutation: self.mutation,
             dialects: adaptors.connection_dialects(),
             ppk_block_size: self.ppk_block_size,
             ppk_local_method: self.ppk_local_method,
@@ -1147,6 +1173,7 @@ impl AldspServer {
             dialects: &dialects,
             cache_enabled: &|q| cache.enabled(q),
             governor,
+            pushdown: plan.pushdown,
         };
         explain_plan(&plan.plan, &ctx)
     }
@@ -1207,6 +1234,7 @@ mod plan_cache_tests {
             ),
             external_vars: vec![],
             frame: Arc::new(Default::default()),
+            pushdown: Default::default(),
             diagnostics: vec![],
         })
     }

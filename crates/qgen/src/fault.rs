@@ -1,0 +1,154 @@
+//! Seeded fault schedules and the fault-trial invariant.
+//!
+//! A [`FaultPlan`] attaches consumed-on-fire faults (error-after-N,
+//! latency spikes, disconnects) to named relational sources. The
+//! invariant checked by [`run_fault_trial`] is the §2.3 failover
+//! contract generalized: under any injected fault the query must end
+//! in **either** a byte-identical result **or** a typed error — and a
+//! streaming consumer must never observe a truncated or reordered
+//! prefix that it cannot distinguish from a complete result.
+
+use aldsp::relational::{Fault, FaultKind, FaultTrigger};
+use aldsp::security::Principal;
+use aldsp::xdm::item::Item;
+use aldsp::xdm::xml::serialize_sequence;
+use aldsp::{AldspServer, QueryRequest, ServerError};
+use rand::{Rng, SeedableRng, StdRng};
+use std::time::Duration;
+
+/// A generated schedule: faults per source name, plus an optional
+/// request deadline (latency spikes only matter under one).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// `(source name, fault)` pairs to install before the run.
+    pub faults: Vec<(String, Fault)>,
+    /// Deadline to attach to the faulted request, if any.
+    pub deadline: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// Human-readable one-line description for failure reports.
+    pub fn describe(&self) -> String {
+        let parts: Vec<String> = self
+            .faults
+            .iter()
+            .map(|(src, f)| format!("{src}:{:?}@{:?}", f.kind, f.trigger))
+            .collect();
+        format!("faults=[{}] deadline={:?}", parts.join(", "), self.deadline)
+    }
+}
+
+/// Map a seed to a fault plan over `sources`. Triggers are kept small
+/// (the fixture worlds return tens-to-hundreds of rows) so schedules
+/// actually fire mid-query rather than after it completes.
+pub fn generate_plan(seed: u64, sources: &[&str]) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA07_FA07_FA07_FA07);
+    let n = rng.gen_range(1..3usize);
+    let mut faults = Vec::new();
+    let mut spiked = false;
+    for _ in 0..n {
+        let source = sources[rng.gen_range(0..sources.len())].to_string();
+        let trigger = if rng.gen_bool(0.5) {
+            FaultTrigger::Roundtrips(rng.gen_range(0..4u64))
+        } else {
+            FaultTrigger::RowsReturned(rng.gen_range(0..40u64))
+        };
+        let kind = match rng.gen_range(0..3u32) {
+            0 => FaultKind::ErrorOnce,
+            1 => FaultKind::Disconnect,
+            _ => {
+                spiked = true;
+                FaultKind::LatencySpike(Duration::from_millis(rng.gen_range(40..200u64)))
+            }
+        };
+        faults.push((source, Fault { trigger, kind }));
+    }
+    // attach a deadline often enough that latency spikes get to matter,
+    // generous enough that un-spiked queries never trip it
+    let deadline = if spiked || rng.gen_bool(0.3) {
+        Some(Duration::from_millis(150))
+    } else {
+        None
+    };
+    FaultPlan { faults, deadline }
+}
+
+/// How a fault trial ended (all three are invariant-respecting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The fault didn't bite (or was absorbed): byte-identical result.
+    Identical,
+    /// A typed runtime/source error surfaced.
+    TypedError,
+    /// A typed workload error (deadline/budget/admission) surfaced.
+    WorkloadError,
+}
+
+/// Install `plan` on `server`'s sources, run `query` streaming, and
+/// check the invariant against the known-good `baseline` items.
+/// Returns the outcome, or a violation description.
+///
+/// `install` receives each source name with its complete schedule —
+/// the caller owns the `Arc<RelationalServer>` handles (and calls
+/// `set_faults`); `cleanup` runs after the trial (`clear_faults`).
+pub fn run_fault_trial(
+    server: &AldspServer,
+    principal: &Principal,
+    query: &str,
+    baseline: &[Item],
+    plan: &FaultPlan,
+    install: impl Fn(&str, Vec<Fault>),
+    cleanup: impl Fn(),
+) -> Result<FaultOutcome, String> {
+    let mut by_source: Vec<(&str, Vec<Fault>)> = Vec::new();
+    for (source, fault) in &plan.faults {
+        match by_source.iter_mut().find(|(s, _)| s == source) {
+            Some((_, fs)) => fs.push(*fault),
+            None => by_source.push((source, vec![*fault])),
+        }
+    }
+    for (source, faults) in by_source {
+        install(source, faults);
+    }
+    let mut delivered: Vec<Item> = Vec::new();
+    let mut sink = |item: Item| {
+        delivered.push(item);
+        true
+    };
+    let mut req = QueryRequest::new(query)
+        .principal(principal.clone())
+        .stream_to(&mut sink);
+    if let Some(d) = plan.deadline {
+        req = req.deadline(d);
+    }
+    let result = server.execute(req);
+    cleanup();
+
+    // regardless of outcome, what streamed out must be a prefix of the
+    // baseline — a fault may cut a stream short, never corrupt it
+    let n = delivered.len();
+    if n > baseline.len() || serialize_sequence(&delivered) != serialize_sequence(&baseline[..n]) {
+        return Err(format!(
+            "delivered stream is not a prefix of the baseline ({}; {n}/{} items)\n  got: {}",
+            plan.describe(),
+            baseline.len(),
+            serialize_sequence(&delivered),
+        ));
+    }
+    match result {
+        Ok(_) => {
+            if n == baseline.len() {
+                Ok(FaultOutcome::Identical)
+            } else {
+                Err(format!(
+                    "query reported success but delivered {n}/{} items ({})",
+                    baseline.len(),
+                    plan.describe()
+                ))
+            }
+        }
+        Err(ServerError::Execute(_)) => Ok(FaultOutcome::TypedError),
+        Err(ServerError::Workload(_)) => Ok(FaultOutcome::WorkloadError),
+        Err(other) => Err(format!("untyped failure {other:?} ({})", plan.describe())),
+    }
+}

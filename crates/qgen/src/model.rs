@@ -1,0 +1,275 @@
+//! The generator's view of the federated schema.
+//!
+//! A [`CatalogModel`] is built from the same introspected relational
+//! [`Catalog`]s the server registers (§2.1), so the generator can only
+//! emit queries over functions that actually exist: one read function
+//! per table, `get<TABLE>` navigation functions per foreign key, plus
+//! declared cross-source equality links (the federation joins the
+//! catalogs themselves cannot express) and registered value transforms
+//! with inverses (§4.4).
+
+use aldsp::relational::{Catalog, SqlType};
+
+/// A column's generator-relevant type (collapsed from [`SqlType`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColTy {
+    /// Integer-valued.
+    Int,
+    /// String-valued.
+    Str,
+    /// Exact decimal.
+    Dec,
+    /// Anything else (floats, temporals, booleans): projectable but
+    /// never compared, ordered by or aggregated — float formatting and
+    /// temporal comparison semantics vary by path.
+    Other,
+}
+
+impl ColTy {
+    fn of(ty: SqlType) -> ColTy {
+        match ty {
+            SqlType::Integer => ColTy::Int,
+            SqlType::Varchar => ColTy::Str,
+            SqlType::Decimal => ColTy::Dec,
+            _ => ColTy::Other,
+        }
+    }
+}
+
+/// One column the generator may project, compare or order by.
+#[derive(Debug, Clone)]
+pub struct ColumnModel {
+    /// Column (and row-element child) name.
+    pub name: String,
+    /// Generator type class.
+    pub ty: ColTy,
+    /// Whether NULLs occur — nullable columns are excluded from order
+    /// and group keys (vendor NULL-ordering differs) and from SQL-vs-
+    /// middleware-divergent aggregates like `fn:sum`.
+    pub nullable: bool,
+    /// Rendered literals that select interestingly against the fixture
+    /// data (supplied by the test world, e.g. `"C0003"`, `1005`).
+    /// Predicates on string columns without samples are not generated.
+    pub samples: Vec<String>,
+}
+
+/// A navigation function introspection derived from a foreign key.
+#[derive(Debug, Clone)]
+pub struct NavModel {
+    /// Function local name (`getORDER`).
+    pub function: String,
+    /// Table the navigation starts from (the argument row's table).
+    pub from_table: String,
+    /// Table it lands on.
+    pub to_table: String,
+}
+
+/// One table of one source.
+#[derive(Debug, Clone)]
+pub struct TableModel {
+    /// Table (and read-function) name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnModel>,
+    /// Primary-key column names.
+    pub primary_key: Vec<String>,
+}
+
+/// One registered relational source.
+#[derive(Debug, Clone)]
+pub struct SourceModel {
+    /// Namespace prefix used in generated prologs (`c`, `cc`).
+    pub prefix: String,
+    /// The namespace the source was registered under.
+    pub namespace: String,
+    /// Tables, in catalog order.
+    pub tables: Vec<TableModel>,
+    /// Navigation functions, in catalog order.
+    pub navs: Vec<NavModel>,
+}
+
+/// A declared cross- or same-source equality join edge:
+/// `left.column = right.column` is a meaningful join (same domain).
+#[derive(Debug, Clone)]
+pub struct JoinEdge {
+    /// `(source index, table name, column name)` of the left side.
+    pub left: (usize, String, String),
+    /// Right side.
+    pub right: (usize, String, String),
+}
+
+/// A registered value transform with a declared inverse (§4.4), e.g.
+/// `lib:int2date` over integer columns.
+#[derive(Debug, Clone)]
+pub struct TransformModel {
+    /// Prefix for the prolog (`lib`).
+    pub prefix: String,
+    /// Namespace (`urn:lib`).
+    pub namespace: String,
+    /// Function local name (`int2date`).
+    pub function: String,
+    /// Column type class it applies to.
+    pub applies_to: ColTy,
+}
+
+/// Everything the generator knows about the world.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogModel {
+    /// Registered sources.
+    pub sources: Vec<SourceModel>,
+    /// Equality-joinable column pairs (FK edges are added automatically
+    /// by [`CatalogModel::source`]; cross-source edges are declared).
+    pub edges: Vec<JoinEdge>,
+    /// Invertible value transforms.
+    pub transforms: Vec<TransformModel>,
+}
+
+impl CatalogModel {
+    /// An empty model; add sources with [`CatalogModel::source`].
+    pub fn new() -> CatalogModel {
+        CatalogModel::default()
+    }
+
+    /// Register a source from its introspected catalog. Mirrors
+    /// `introspect_relational`: one read function per table and two
+    /// `get<TABLE>` navigation functions per foreign key; FK column
+    /// pairs also become join edges.
+    pub fn source(mut self, catalog: &Catalog, prefix: &str, namespace: &str) -> CatalogModel {
+        let idx = self.sources.len();
+        let mut tables = Vec::new();
+        let mut navs = Vec::new();
+        for t in catalog.tables() {
+            tables.push(TableModel {
+                name: t.name.clone(),
+                columns: t
+                    .columns
+                    .iter()
+                    .map(|c| ColumnModel {
+                        name: c.name.clone(),
+                        ty: ColTy::of(c.ty),
+                        nullable: c.nullable,
+                        samples: Vec::new(),
+                    })
+                    .collect(),
+                primary_key: t.primary_key.clone(),
+            });
+        }
+        for t in catalog.tables() {
+            for fk in &t.foreign_keys {
+                navs.push(NavModel {
+                    function: format!("get{}", fk.ref_table),
+                    from_table: t.name.clone(),
+                    to_table: fk.ref_table.clone(),
+                });
+                navs.push(NavModel {
+                    function: format!("get{}", t.name),
+                    from_table: fk.ref_table.clone(),
+                    to_table: t.name.clone(),
+                });
+                for (c, rc) in fk.columns.iter().zip(&fk.ref_columns) {
+                    self.edges.push(JoinEdge {
+                        left: (idx, t.name.clone(), c.clone()),
+                        right: (idx, fk.ref_table.clone(), rc.clone()),
+                    });
+                }
+            }
+        }
+        self.sources.push(SourceModel {
+            prefix: prefix.to_string(),
+            namespace: namespace.to_string(),
+            tables,
+            navs,
+        });
+        self
+    }
+
+    /// Declare a cross-source equality join edge by source prefix.
+    pub fn link(mut self, left: (&str, &str, &str), right: (&str, &str, &str)) -> CatalogModel {
+        let li = self.source_index(left.0);
+        let ri = self.source_index(right.0);
+        self.edges.push(JoinEdge {
+            left: (li, left.1.to_string(), left.2.to_string()),
+            right: (ri, right.1.to_string(), right.2.to_string()),
+        });
+        self
+    }
+
+    /// Register an invertible transform the generator may wrap around
+    /// comparisons on `applies_to`-typed columns.
+    pub fn transform(
+        mut self,
+        prefix: &str,
+        namespace: &str,
+        function: &str,
+        applies_to: ColTy,
+    ) -> CatalogModel {
+        self.transforms.push(TransformModel {
+            prefix: prefix.to_string(),
+            namespace: namespace.to_string(),
+            function: function.to_string(),
+            applies_to,
+        });
+        self
+    }
+
+    /// Attach sample literals to a column (rendered form, e.g. `"C0003"`
+    /// for strings, `1005` for integers).
+    pub fn samples(
+        mut self,
+        prefix: &str,
+        table: &str,
+        column: &str,
+        lits: &[&str],
+    ) -> CatalogModel {
+        let si = self.source_index(prefix);
+        let col = self.sources[si]
+            .tables
+            .iter_mut()
+            .find(|t| t.name == table)
+            .unwrap_or_else(|| panic!("unknown table {table}"))
+            .columns
+            .iter_mut()
+            .find(|c| c.name == column)
+            .unwrap_or_else(|| panic!("unknown column {table}.{column}"));
+        col.samples = lits.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    fn source_index(&self, prefix: &str) -> usize {
+        self.sources
+            .iter()
+            .position(|s| s.prefix == prefix)
+            .unwrap_or_else(|| panic!("unknown source prefix {prefix}"))
+    }
+
+    /// The table model at `(source, table)`.
+    pub fn table(&self, source: usize, table: &str) -> &TableModel {
+        self.sources[source]
+            .tables
+            .iter()
+            .find(|t| t.name == table)
+            .unwrap_or_else(|| panic!("unknown table {table}"))
+    }
+
+    /// The prolog declaring every namespace the model can reference.
+    pub fn prolog(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sources {
+            out.push_str(&format!(
+                "declare namespace {} = \"{}\";\n",
+                s.prefix, s.namespace
+            ));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for t in &self.transforms {
+            if !seen.contains(&t.prefix.as_str()) {
+                out.push_str(&format!(
+                    "declare namespace {} = \"{}\";\n",
+                    t.prefix, t.namespace
+                ));
+                seen.push(&t.prefix);
+            }
+        }
+        out
+    }
+}

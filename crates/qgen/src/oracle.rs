@@ -1,0 +1,182 @@
+//! The differential oracle: one query, many configurations, one
+//! answer.
+//!
+//! A configuration cell is a full [`AldspServer`] built with a
+//! particular optimizer/runtime setting ([`CellSpec`]); cell 0 is the
+//! **reference**: SQL pushdown off (every operator runs in the
+//! middleware interpreter), no prefetch, materialized, unbudgeted.
+//! [`Oracle::check`] executes a query in every cell and demands the
+//! serialized token stream be byte-identical to the reference — the
+//! optimizer may change *how* an answer is computed, never *what* it
+//! is (§4.3's contract for the pushdown framework).
+
+use aldsp::security::Principal;
+use aldsp::xdm::item::Item;
+use aldsp::xdm::xml::serialize_sequence;
+use aldsp::{AldspServer, PushdownLevel, QueryRequest, ServerError};
+
+/// One configuration cell of the differential matrix.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Short cell name used in mismatch reports (`"off"`, `"full+pp2"`).
+    pub name: &'static str,
+    /// SQL pushdown level for this cell's compiler.
+    pub pushdown: PushdownLevel,
+    /// PP-k prefetch depth (0 disables pipelined prefetch).
+    pub prefetch_depth: usize,
+    /// Deliver results through a streaming sink instead of
+    /// materializing (the serialized bytes must not care).
+    pub streaming: bool,
+    /// Per-query memory budget in bytes (`None` = unbudgeted). Budgets
+    /// in the matrix are sized to never trip — a budget that changes
+    /// the answer is exactly the kind of bug the oracle exists to
+    /// catch.
+    pub memory_budget: Option<u64>,
+}
+
+/// The default 8-cell matrix from the roadmap: pushdown {off, joins,
+/// full} × representative prefetch/streaming/budget settings. Cell 0
+/// is the naive reference.
+pub fn default_matrix() -> Vec<CellSpec> {
+    let cell = |name, pushdown, prefetch_depth, streaming, memory_budget| CellSpec {
+        name,
+        pushdown,
+        prefetch_depth,
+        streaming,
+        memory_budget,
+    };
+    vec![
+        cell("off", PushdownLevel::Off, 0, false, None),
+        cell("off+stream", PushdownLevel::Off, 0, true, None),
+        cell("joins", PushdownLevel::Joins, 0, false, None),
+        cell("joins+pp2", PushdownLevel::Joins, 2, true, None),
+        cell("full", PushdownLevel::Full, 0, false, None),
+        cell("full+pp2", PushdownLevel::Full, 2, false, None),
+        cell("full+stream", PushdownLevel::Full, 2, true, None),
+        cell("full+budget", PushdownLevel::Full, 0, false, Some(64 << 20)),
+    ]
+}
+
+/// Why a differential check failed.
+#[derive(Debug, Clone)]
+pub enum Mismatch {
+    /// A cell returned an error (the reference succeeded, or the
+    /// reference itself failed — either way the seed is a finding).
+    Error {
+        /// Failing cell name.
+        cell: &'static str,
+        /// Rendered error.
+        error: String,
+    },
+    /// A cell's serialized output differed from the reference.
+    Diverged {
+        /// Diverging cell name.
+        cell: &'static str,
+        /// Reference (cell 0) serialization.
+        expected: String,
+        /// This cell's serialization.
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mismatch::Error { cell, error } => write!(f, "cell '{cell}' errored: {error}"),
+            Mismatch::Diverged {
+                cell,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "cell '{cell}' diverged from reference\n  reference: {expected}\n  cell:      {actual}"
+            ),
+        }
+    }
+}
+
+/// The oracle: the cell servers (built once, reused across seeds — the
+/// fixture data is immutable) plus the principal queries run as.
+pub struct Oracle {
+    cells: Vec<(CellSpec, AldspServer)>,
+    principal: Principal,
+}
+
+impl Oracle {
+    /// Build every cell server with `build` (a closure over the shared
+    /// fixture data; typically `world_tuned` with the spec's knobs).
+    pub fn new(
+        specs: Vec<CellSpec>,
+        principal: Principal,
+        mut build: impl FnMut(&CellSpec) -> AldspServer,
+    ) -> Oracle {
+        assert!(!specs.is_empty(), "oracle needs at least a reference cell");
+        let cells = specs
+            .into_iter()
+            .map(|spec| {
+                let server = build(&spec);
+                (spec, server)
+            })
+            .collect();
+        Oracle { cells, principal }
+    }
+
+    /// Cell specs, reference first.
+    pub fn specs(&self) -> impl Iterator<Item = &CellSpec> {
+        self.cells.iter().map(|(s, _)| s)
+    }
+
+    /// Execute `query` in cell `i` and serialize the result. Streaming
+    /// cells collect their sink items and serialize once at the end,
+    /// so atomic-separator whitespace matches the materialized path.
+    pub fn run_cell(&self, i: usize, query: &str) -> Result<String, ServerError> {
+        let (spec, server) = &self.cells[i];
+        let mut req = QueryRequest::new(query).principal(self.principal.clone());
+        if let Some(b) = spec.memory_budget {
+            req = req.memory_budget(b);
+        }
+        if spec.streaming {
+            let mut collected: Vec<Item> = Vec::new();
+            let mut sink = |item: Item| {
+                collected.push(item);
+                true
+            };
+            server.execute(req.stream_to(&mut sink))?;
+            Ok(serialize_sequence(&collected))
+        } else {
+            let resp = server.execute(req)?;
+            Ok(serialize_sequence(&resp.items))
+        }
+    }
+
+    /// Run `query` in every cell; `Ok` returns the reference
+    /// serialization, `Err` the first mismatch.
+    pub fn check(&self, query: &str) -> Result<String, Mismatch> {
+        let reference = self.run_cell(0, query).map_err(|e| Mismatch::Error {
+            cell: self.cells[0].0.name,
+            error: e.to_string(),
+        })?;
+        for i in 1..self.cells.len() {
+            let name = self.cells[i].0.name;
+            let out = self.run_cell(i, query).map_err(|e| Mismatch::Error {
+                cell: name,
+                error: e.to_string(),
+            })?;
+            if out != reference {
+                return Err(Mismatch::Diverged {
+                    cell: name,
+                    expected: reference,
+                    actual: out,
+                });
+            }
+        }
+        Ok(reference)
+    }
+
+    /// Materialized reference items (for fault-trial prefix checks).
+    pub fn reference_items(&self, query: &str) -> Result<Vec<Item>, ServerError> {
+        let (_, server) = &self.cells[0];
+        let resp = server.execute(QueryRequest::new(query).principal(self.principal.clone()))?;
+        Ok(resp.items)
+    }
+}

@@ -86,6 +86,47 @@ pub struct ServerStats {
 /// One buffered DML statement with its positional parameters.
 type PendingDml = (Dml, Vec<SqlValue>);
 
+/// When a scheduled [`Fault`] fires, measured against the server's
+/// cumulative counters at the start of a SELECT roundtrip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire on the first roundtrip once `roundtrips >= n` (so
+    /// `Roundtrips(0)` fires on the very first statement).
+    Roundtrips(u64),
+    /// Fire on the first roundtrip once `rows_returned >= n` — the
+    /// "error after N rows" schedule of the differential harness.
+    RowsReturned(u64),
+}
+
+/// What a scheduled [`Fault`] does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail this one statement with a [`SourceError::Sql`] (a transient
+    /// backend error); later statements succeed.
+    ErrorOnce,
+    /// Sleep an extra latency spike before executing (interruptible by
+    /// the query's deadline, like regular simulated latency).
+    LatencySpike(Duration),
+    /// Drop the connection: the server becomes unavailable (as if
+    /// [`RelationalServer::set_available`]`(false)` were called) until
+    /// explicitly restored.
+    Disconnect,
+}
+
+/// One scheduled fault. Schedules are installed with
+/// [`RelationalServer::set_faults`] and consumed as they fire — each
+/// fault fires at most once. They drive the differential harness's
+/// fault mode: under any schedule, a query must end in either a
+/// byte-identical result or a typed error, never a silently truncated
+/// or reordered stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// When the fault fires.
+    pub trigger: FaultTrigger,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
 /// A simulated relational backend.
 pub struct RelationalServer {
     name: String,
@@ -96,6 +137,7 @@ pub struct RelationalServer {
     available: AtomicBool,
     inflight: AtomicU64,
     fail_on_prepare: AtomicBool,
+    faults: Mutex<Vec<Fault>>,
     supports_xa: bool,
     next_tx: AtomicU64,
     pending: Mutex<HashMap<u64, Vec<PendingDml>>>,
@@ -113,6 +155,7 @@ impl RelationalServer {
             available: AtomicBool::new(true),
             inflight: AtomicU64::new(0),
             fail_on_prepare: AtomicBool::new(false),
+            faults: Mutex::new(Vec::new()),
             supports_xa: true,
             next_tx: AtomicU64::new(1),
             pending: Mutex::new(HashMap::new()),
@@ -147,6 +190,70 @@ impl RelationalServer {
     /// Make the next `prepare` fail — drives 2PC abort tests.
     pub fn fail_next_prepare(&self) {
         self.fail_on_prepare.store(true, Ordering::SeqCst);
+    }
+
+    /// Install a fault schedule (replacing any pending one). Faults are
+    /// consumed as they fire; [`RelationalServer::clear_faults`]
+    /// discards whatever is left and restores availability.
+    pub fn set_faults(&self, schedule: Vec<Fault>) {
+        *self.faults.lock() = schedule;
+    }
+
+    /// Discard pending faults and restore availability (undoing a fired
+    /// [`FaultKind::Disconnect`]).
+    pub fn clear_faults(&self) {
+        self.faults.lock().clear();
+        self.set_available(true);
+    }
+
+    /// Check the fault schedule at the start of a SELECT roundtrip,
+    /// firing (and consuming) every due fault. Latency spikes sleep
+    /// here; errors and disconnects abort the statement.
+    fn apply_faults(&self, budget: Option<&QueryBudget>) -> Result<(), SourceError> {
+        let due: Vec<FaultKind> = {
+            let mut schedule = self.faults.lock();
+            if schedule.is_empty() {
+                return Ok(());
+            }
+            let (roundtrips, rows) = {
+                let s = self.stats.lock();
+                (s.roundtrips, s.rows_returned)
+            };
+            let mut due = Vec::new();
+            schedule.retain(|f| {
+                let fires = match f.trigger {
+                    FaultTrigger::Roundtrips(n) => roundtrips >= n,
+                    FaultTrigger::RowsReturned(n) => rows >= n,
+                };
+                if fires {
+                    due.push(f.kind);
+                }
+                !fires
+            });
+            due
+        };
+        for kind in due {
+            match kind {
+                FaultKind::ErrorOnce => {
+                    return Err(SourceError::Sql(format!(
+                        "injected transient error on '{}'",
+                        self.name
+                    )));
+                }
+                FaultKind::Disconnect => {
+                    self.set_available(false);
+                    return Err(SourceError::unavailable(&self.name));
+                }
+                FaultKind::LatencySpike(d) => {
+                    if !Self::simulated_sleep(budget, d) {
+                        return Err(SourceError::Cancelled {
+                            source: self.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Snapshot the statistics.
@@ -250,6 +357,7 @@ impl RelationalServer {
         if !self.available.load(Ordering::SeqCst) {
             return Err(SourceError::unavailable(&self.name));
         }
+        self.apply_faults(budget)?;
         let rs = self.db.read().execute_select(q, params)?;
         self.charge(rs.rows.len(), render_select(q, self.dialect), budget)?;
         Ok(rs)
@@ -417,6 +525,63 @@ mod tests {
             // Overlapped requests were charged a saturation multiplier.
             assert!(st.latency_ns > 4 * 5_000_000);
         }
+    }
+
+    #[test]
+    fn fault_error_once_fails_one_statement_then_recovers() {
+        let s = server();
+        s.set_faults(vec![Fault {
+            trigger: FaultTrigger::Roundtrips(1),
+            kind: FaultKind::ErrorOnce,
+        }]);
+        assert!(s.execute_select(&select_all(), &[]).is_ok(), "before N");
+        let r = s.execute_select(&select_all(), &[]);
+        assert!(matches!(r, Err(SourceError::Sql(_))), "{r:?}");
+        assert!(
+            s.execute_select(&select_all(), &[]).is_ok(),
+            "consumed after firing"
+        );
+    }
+
+    #[test]
+    fn fault_rows_trigger_counts_cumulative_rows() {
+        let s = server();
+        s.set_faults(vec![Fault {
+            trigger: FaultTrigger::RowsReturned(2),
+            kind: FaultKind::ErrorOnce,
+        }]);
+        // table has one row: trip 1 → 1 row, trip 2 → 2 rows, trip 3 fires
+        assert!(s.execute_select(&select_all(), &[]).is_ok());
+        assert!(s.execute_select(&select_all(), &[]).is_ok());
+        assert!(s.execute_select(&select_all(), &[]).is_err());
+    }
+
+    #[test]
+    fn fault_disconnect_persists_until_cleared() {
+        let s = server();
+        s.set_faults(vec![Fault {
+            trigger: FaultTrigger::Roundtrips(0),
+            kind: FaultKind::Disconnect,
+        }]);
+        let r = s.execute_select(&select_all(), &[]);
+        assert!(matches!(r, Err(SourceError::Unavailable { .. })), "{r:?}");
+        assert!(s.execute_select(&select_all(), &[]).is_err(), "still down");
+        s.clear_faults();
+        assert!(s.execute_select(&select_all(), &[]).is_ok());
+    }
+
+    #[test]
+    fn fault_latency_spike_is_deadline_interruptible() {
+        let s = server();
+        s.set_faults(vec![Fault {
+            trigger: FaultTrigger::Roundtrips(0),
+            kind: FaultKind::LatencySpike(Duration::from_millis(50)),
+        }]);
+        let b = QueryBudget::new(Some(Duration::from_millis(5)), None);
+        let t0 = std::time::Instant::now();
+        let r = s.execute_select_governed(&select_all(), &[], Some(&b));
+        assert!(matches!(r, Err(SourceError::Cancelled { .. })), "{r:?}");
+        assert!(t0.elapsed() < Duration::from_millis(40));
     }
 
     #[test]

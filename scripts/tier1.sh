@@ -9,6 +9,9 @@ cargo fmt --all --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+# 50-seed differential smoke: random FLWGOR queries under the full
+# pushdown/prefetch/streaming/budget matrix (nightly runs 2,000 seeds)
+./scripts/difftest.sh 50
 # benches must at least compile (they are exercised manually /
 # via scripts/bench_json.sh, not run in CI)
 cargo bench --no-run
