@@ -7,11 +7,14 @@
 //! The group key is wrapped in `fn:substring`, which no dialect pushes,
 //! so grouping always runs in the middleware (sorted fallback) and the
 //! variable-resolution cost of the tuple representation dominates.
-//! Cases run at 10k and 100k source rows; `BENCH_PR4.json` records the
-//! medians via `scripts/bench_json.sh`.
+//! Cases run at 10k and 100k source rows; `BENCH_PR6.json` records the
+//! medians via `scripts/bench_json.sh` (`BENCH_PR4.json` holds the
+//! pre-VM baseline). Two further 100k cases isolate the expression
+//! VM's hot paths: a predicate-heavy scan and a computed-key sort.
 
 use aldsp::security::Principal;
-use aldsp_bench::fixtures::{build_world, run, WorldSize, PROLOG};
+use aldsp::PushdownLevel;
+use aldsp_bench::fixtures::{build_world, build_world_tuned, run, WorldSize, PROLOG};
 use aldsp_runtime::{Env, NamedEnv};
 use aldsp_xdm::item::Item;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -122,6 +125,37 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(run(&world.server, &user, &q)))
         });
     }
+
+    // expression-VM hot paths in isolation: pushdown stays off so the
+    // predicates and sort keys run in the middleware (compiled to
+    // bytecode programs), not at the source
+    let world = build_world_tuned(
+        WorldSize {
+            customers: 100_000 / ORDERS_PER_CUSTOMER,
+            orders_per_customer: ORDERS_PER_CUSTOMER,
+            cards_per_customer: 0,
+        },
+        |b| b.pushdown(PushdownLevel::Off),
+    );
+    let predicate_q = format!(
+        "{PROLOG}
+         for $o in c:ORDER()
+         where $o/AMOUNT ge 10.00 and $o/OID mod 2 eq 0
+               and fn:starts-with($o/CID, \"C\")
+         return $o/OID"
+    );
+    group.bench_function("predicate_heavy_100k", |b| {
+        b.iter(|| black_box(run(&world.server, &user, &predicate_q)))
+    });
+    let order_q = format!(
+        "{PROLOG}
+         for $o in c:ORDER()
+         order by fn:substring($o/CID, 2, 6) descending, $o/OID
+         return $o/OID"
+    );
+    group.bench_function("order_key_100k", |b| {
+        b.iter(|| black_box(run(&world.server, &user, &order_q)))
+    });
     group.finish();
 }
 

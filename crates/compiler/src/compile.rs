@@ -92,6 +92,10 @@ pub struct Options {
     /// flight on background threads while the local join consumes the
     /// current block, overlapping source latency with local work.
     pub ppk_prefetch_depth: usize,
+    /// Lower scalar expression subtrees to bytecode programs for the
+    /// runtime's expression VM (differential-testing knob; on in every
+    /// real configuration).
+    pub vm: bool,
 }
 
 impl Default for Options {
@@ -105,6 +109,7 @@ impl Default for Options {
             ppk_block_size: 20,
             ppk_local_method: crate::ir::LocalJoinMethod::IndexNestedLoop,
             ppk_prefetch_depth: 1,
+            vm: true,
         }
     }
 }
@@ -126,6 +131,10 @@ pub struct CompiledQuery {
     pub pushdown: PushdownLevel,
     /// Diagnostics gathered during compilation (empty in fail-fast mode).
     pub diagnostics: Vec<Diagnostic>,
+    /// Bytecode programs for the plan's scalar subtrees, keyed by root
+    /// `node_id` (empty when compiled with `vm: false`). Shared so each
+    /// execution references the compiled code without copying it.
+    pub programs: Arc<crate::program::ProgramSet>,
 }
 
 /// Cache/statistics counters for the view sub-optimizer.
@@ -180,6 +189,7 @@ impl Compiler {
         ctx.ppk_prefetch_depth = self.options.ppk_prefetch_depth;
         ctx.pushdown = self.options.pushdown;
         ctx.mutation = self.options.mutation;
+        ctx.vm = self.options.vm;
         // seed with deployed (partially optimized) functions
         for (name, f) in self.views.lock().iter() {
             ctx.functions.insert(name.clone(), f.clone());
@@ -284,7 +294,7 @@ impl Compiler {
             return Err(diags);
         };
         let external_vars: Vec<String> = module.variables.iter().map(|v| v.name.clone()).collect();
-        let frame = self.finish(&mut ctx, &mut plan, &external_vars)?;
+        let (frame, programs) = self.finish(&mut ctx, &mut plan, &external_vars)?;
         diags.extend(ctx.diags);
         if self.options.mode == Mode::FailFast && !diags.is_empty() {
             return Err(diags);
@@ -296,6 +306,7 @@ impl Compiler {
             frame,
             pushdown: self.options.pushdown,
             diagnostics: diags,
+            programs,
         })
     }
 
@@ -339,7 +350,7 @@ impl Compiler {
             }
         };
         let mut plan = CExpr::new(kind, span);
-        let frame = self.finish(&mut ctx, &mut plan, &external_vars)?;
+        let (frame, programs) = self.finish(&mut ctx, &mut plan, &external_vars)?;
         let diags = std::mem::take(&mut ctx.diags);
         if self.options.mode == Mode::FailFast && !diags.is_empty() {
             return Err(diags);
@@ -351,17 +362,19 @@ impl Compiler {
             frame,
             pushdown: self.options.pushdown,
             diagnostics: diags,
+            programs,
         })
     }
 
     /// The per-query stages: type check, inline/optimize, push down SQL,
-    /// then lay out the tuple frame over the final plan.
+    /// lay out the tuple frame over the final plan, then lower scalar
+    /// subtrees to bytecode (post-frames, so programs see final slots).
     fn finish(
         &self,
         ctx: &mut Context<'_>,
         plan: &mut CExpr,
         external_vars: &[String],
-    ) -> Result<Arc<FrameLayout>, Vec<Diagnostic>> {
+    ) -> Result<(Arc<FrameLayout>, Arc<crate::program::ProgramSet>), Vec<Diagnostic>> {
         let mut tenv: typecheck::TypeEnv = external_vars
             .iter()
             .map(|v| (v.clone(), aldsp_xdm::types::SequenceType::any()))
@@ -381,7 +394,12 @@ impl Compiler {
         // slots are derived from the final plan: every rewrite above is
         // name-based and slot-agnostic
         let frame = frames::layout(plan, external_vars);
-        plan.assign_node_ids();
-        Ok(Arc::new(frame))
+        let node_count = plan.assign_node_ids();
+        let programs = if ctx.vm {
+            crate::program::lower_plan(plan, node_count)
+        } else {
+            crate::program::ProgramSet::default()
+        };
+        Ok((Arc::new(frame), Arc::new(programs)))
     }
 }

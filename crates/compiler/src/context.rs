@@ -92,6 +92,9 @@ pub struct Context<'r> {
     pub pushdown: crate::compile::PushdownLevel,
     /// Deliberately planted rewrite bug (mutation smoke test only).
     pub mutation: Option<crate::compile::Mutation>,
+    /// Lower scalar subtrees to expression-VM bytecode after frame
+    /// layout (differential-testing knob, on in production).
+    pub vm: bool,
     var_counter: u32,
 }
 
@@ -110,6 +113,7 @@ impl<'r> Context<'r> {
             ppk_prefetch_depth: 1,
             pushdown: crate::compile::PushdownLevel::default(),
             mutation: None,
+            vm: true,
             var_counter: 0,
         }
     }

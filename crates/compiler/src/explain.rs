@@ -35,6 +35,12 @@ pub struct ExplainContext<'a> {
     /// `-- pushdown:` header so the differential oracle — and a human
     /// reading the plan — can confirm which path produced a result.
     pub pushdown: crate::compile::PushdownLevel,
+    /// The plan's compiled expression programs (from
+    /// [`crate::CompiledQuery::programs`]): rendered as a `-- vm:`
+    /// header plus a `-- program:` disassembly under each covered
+    /// subtree root, so lowering-coverage regressions are visible in
+    /// review. `None` leaves the plan text unchanged.
+    pub programs: Option<&'a crate::program::ProgramSet>,
 }
 
 impl<'a> ExplainContext<'a> {
@@ -53,6 +59,9 @@ pub fn explain_plan(plan: &CExpr, ctx: &ExplainContext<'_>) -> String {
     if let Some(g) = &ctx.governor {
         let _ = writeln!(out, "-- governor: {g}");
     }
+    if let Some(p) = ctx.programs {
+        let _ = writeln!(out, "-- vm: {p}");
+    }
     render_expr(plan, ctx, 0, &mut out);
     out
 }
@@ -64,6 +73,25 @@ fn indent(out: &mut String, depth: usize) {
 }
 
 fn render_expr(e: &CExpr, ctx: &ExplainContext<'_>, depth: usize, out: &mut String) {
+    render_expr_node(e, ctx, depth, out);
+    // A compiled subtree root gets its disassembly right under the
+    // subtree it replaces at execution time.
+    if let Some(prog) = ctx.programs.and_then(|p| p.lookup(e.node_id)) {
+        indent(out, depth + 1);
+        let _ = writeln!(
+            out,
+            "-- program: ops={} stack={}",
+            prog.ops.len(),
+            prog.max_stack
+        );
+        for (i, op) in prog.ops.iter().enumerate() {
+            indent(out, depth + 1);
+            let _ = writeln!(out, "--   {i}: {}", prog.render_op(op));
+        }
+    }
+}
+
+fn render_expr_node(e: &CExpr, ctx: &ExplainContext<'_>, depth: usize, out: &mut String) {
     indent(out, depth);
     let _ = write!(out, "#{} ", e.node_id);
     match &e.kind {

@@ -197,6 +197,7 @@ pub struct ServerBuilder {
     admission: GovernorConfig,
     default_memory_budget: Option<u64>,
     source_concurrency_cap: usize,
+    vm: bool,
 }
 
 impl Default for ServerBuilder {
@@ -222,7 +223,18 @@ impl ServerBuilder {
             admission: GovernorConfig::default(),
             default_memory_budget: None,
             source_concurrency_cap: 0,
+            vm: true,
         }
+    }
+
+    /// Toggle the expression VM (on by default): compile scalar
+    /// expression subtrees to bytecode programs executed by
+    /// [`aldsp_runtime::ExprVM`] instead of the tree-walker. Turning it
+    /// off forces pure tree-walking everywhere — same results, useful
+    /// as a differential oracle and for isolating regressions.
+    pub fn vm(mut self, on: bool) -> Self {
+        self.vm = on;
+        self
     }
 
     /// Enable admission control: at most `max_concurrent` queries
@@ -431,6 +443,7 @@ impl ServerBuilder {
             ppk_block_size: self.ppk_block_size,
             ppk_local_method: self.ppk_local_method,
             ppk_prefetch_depth: self.ppk_prefetch_depth,
+            vm: self.vm,
             ..Default::default()
         };
         let mut compiler = Compiler::new(metadata.clone(), options);
@@ -1174,6 +1187,7 @@ impl AldspServer {
             cache_enabled: &|q| cache.enabled(q),
             governor,
             pushdown: plan.pushdown,
+            programs: Some(&plan.programs),
         };
         explain_plan(&plan.plan, &ctx)
     }
@@ -1236,6 +1250,7 @@ mod plan_cache_tests {
             frame: Arc::new(Default::default()),
             pushdown: Default::default(),
             diagnostics: vec![],
+            programs: Arc::new(Default::default()),
         })
     }
 

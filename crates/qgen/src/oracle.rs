@@ -32,28 +32,44 @@ pub struct CellSpec {
     /// the answer is exactly the kind of bug the oracle exists to
     /// catch.
     pub memory_budget: Option<u64>,
+    /// Run compiled expression subtrees on the bytecode VM (`true`) or
+    /// force the pure tree-walker (`false`). The reference cell keeps
+    /// the walker so every VM cell is checked against uncompiled
+    /// evaluation.
+    pub vm: bool,
 }
 
-/// The default 8-cell matrix from the roadmap: pushdown {off, joins,
-/// full} × representative prefetch/streaming/budget settings. Cell 0
-/// is the naive reference.
+/// The default 9-cell matrix from the roadmap: pushdown {off, joins,
+/// full} × representative prefetch/streaming/budget/VM settings. Cell
+/// 0 is the naive reference: no pushdown *and* no expression VM, so
+/// every other cell's bytecode programs are differentially checked
+/// against pure tree-walking.
 pub fn default_matrix() -> Vec<CellSpec> {
-    let cell = |name, pushdown, prefetch_depth, streaming, memory_budget| CellSpec {
+    let cell = |name, pushdown, prefetch_depth, streaming, memory_budget, vm| CellSpec {
         name,
         pushdown,
         prefetch_depth,
         streaming,
         memory_budget,
+        vm,
     };
     vec![
-        cell("off", PushdownLevel::Off, 0, false, None),
-        cell("off+stream", PushdownLevel::Off, 0, true, None),
-        cell("joins", PushdownLevel::Joins, 0, false, None),
-        cell("joins+pp2", PushdownLevel::Joins, 2, true, None),
-        cell("full", PushdownLevel::Full, 0, false, None),
-        cell("full+pp2", PushdownLevel::Full, 2, false, None),
-        cell("full+stream", PushdownLevel::Full, 2, true, None),
-        cell("full+budget", PushdownLevel::Full, 0, false, Some(64 << 20)),
+        cell("off", PushdownLevel::Off, 0, false, None, false),
+        cell("off+vm", PushdownLevel::Off, 0, false, None, true),
+        cell("off+stream", PushdownLevel::Off, 0, true, None, true),
+        cell("joins", PushdownLevel::Joins, 0, false, None, true),
+        cell("joins+pp2", PushdownLevel::Joins, 2, true, None, true),
+        cell("full", PushdownLevel::Full, 0, false, None, true),
+        cell("full+pp2", PushdownLevel::Full, 2, false, None, true),
+        cell("full+stream", PushdownLevel::Full, 2, true, None, true),
+        cell(
+            "full+budget",
+            PushdownLevel::Full,
+            0,
+            false,
+            Some(64 << 20),
+            true,
+        ),
     ]
 }
 

@@ -102,16 +102,7 @@ fn exec_select(
     params: &[SqlValue],
     outer: Option<&Scope<'_>>,
 ) -> Result<ResultSet, String> {
-    let (layout, mut rows) = eval_from(db, &q.from, params, outer)?;
-    if let Some(w) = &q.where_ {
-        let mut kept = Vec::with_capacity(rows.len());
-        for row in rows {
-            if truth_of(db, w, &layout, &Ctx::Row(&row), params, outer)?.is_true() {
-                kept.push(row);
-            }
-        }
-        rows = kept;
-    }
+    let (layout, from_rows) = eval_from(db, &q.from, params, outer)?;
     let columns: Vec<String> = q.columns.iter().map(|c| c.alias.clone()).collect();
     // Each output row is paired with its sort keys.
     let mut out: Vec<(Row, Vec<SqlValue>)> = Vec::new();
@@ -127,6 +118,16 @@ fn exec_select(
         Ok((r, keys))
     };
     if q.is_aggregate() {
+        let mut rows = from_rows.into_owned();
+        if let Some(w) = &q.where_ {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if truth_of(db, w, &layout, &Ctx::Row(&row), params, outer)?.is_true() {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
         // group rows on the GROUP BY keys (SQL NULL-grouping semantics),
         // hashing on the literal rendering for O(n) grouping
         let mut groups: Vec<(Vec<SqlValue>, Vec<Row>)> = Vec::new();
@@ -162,7 +163,16 @@ fn exec_select(
             out.push(project(db, &ctx)?);
         }
     } else {
-        for row in &rows {
+        // the non-aggregate scan filters and projects straight off the
+        // borrowed storage rows: no clone of the table, no kept-rows
+        // intermediate — per-query allocation is exactly the projected
+        // output
+        for row in from_rows.as_slice() {
+            if let Some(w) = &q.where_ {
+                if !truth_of(db, w, &layout, &Ctx::Row(row), params, outer)?.is_true() {
+                    continue;
+                }
+            }
             out.push(project(db, &Ctx::Row(row))?);
         }
     }
@@ -198,12 +208,36 @@ fn exec_select(
     Ok(ResultSet { columns, rows })
 }
 
-fn eval_from(
-    db: &Database,
+/// Rows produced by a `FROM` clause: a base-table scan borrows the
+/// stored rows (no per-query copy of the table), while derived tables
+/// and joins own what they computed.
+enum FromRows<'a> {
+    Borrowed(&'a [Row]),
+    Owned(Vec<Row>),
+}
+
+impl FromRows<'_> {
+    fn as_slice(&self) -> &[Row] {
+        match self {
+            FromRows::Borrowed(r) => r,
+            FromRows::Owned(r) => r,
+        }
+    }
+
+    fn into_owned(self) -> Vec<Row> {
+        match self {
+            FromRows::Borrowed(r) => r.to_vec(),
+            FromRows::Owned(r) => r,
+        }
+    }
+}
+
+fn eval_from<'a>(
+    db: &'a Database,
     t: &TableRef,
     params: &[SqlValue],
     outer: Option<&Scope<'_>>,
-) -> Result<(Layout, Vec<Row>), String> {
+) -> Result<(Layout, FromRows<'a>), String> {
     match t {
         TableRef::Table { name, alias } => {
             let table = db.table(name).ok_or_else(|| format!("no table '{name}'"))?;
@@ -217,13 +251,13 @@ fn eval_from(
                     .map(|c| c.name.clone())
                     .collect(),
             );
-            Ok((layout, table.rows().to_vec()))
+            Ok((layout, FromRows::Borrowed(table.rows())))
         }
         TableRef::Derived { query, alias } => {
             let rs = exec_select(db, query, params, outer)?;
             let mut layout = Layout::default();
             layout.push(alias.clone(), rs.columns);
-            Ok((layout, rs.rows))
+            Ok((layout, FromRows::Owned(rs.rows)))
         }
         TableRef::Join {
             left,
@@ -239,12 +273,13 @@ fn eval_from(
             // split the ON condition into hashable equi-conjuncts
             // (left-col = right-col) and a residual predicate
             let (equi, residual) = split_equi_conjuncts(on, &layout, lwidth);
+            let (lrows, rrows) = (lrows.as_slice(), rrows.as_slice());
             let mut out = Vec::new();
             if equi.is_empty() {
                 // general nested loop
-                for l in &lrows {
+                for l in lrows {
                     let mut matched = false;
-                    for r in &rrows {
+                    for r in rrows {
                         let mut combined = Vec::with_capacity(l.len() + r.len());
                         combined.extend(l.iter().cloned());
                         combined.extend(r.iter().cloned());
@@ -280,7 +315,7 @@ fn eval_from(
                         index.entry(key).or_default().push(ri);
                     }
                 }
-                for l in &lrows {
+                for l in lrows {
                     let mut matched = false;
                     let mut key = String::new();
                     let mut null_key = false;
@@ -320,7 +355,7 @@ fn eval_from(
                     }
                 }
             }
-            Ok((layout, out))
+            Ok((layout, FromRows::Owned(out)))
         }
     }
 }

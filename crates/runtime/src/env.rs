@@ -53,6 +53,17 @@ impl Cell {
     }
 }
 
+/// A slot's value read out for sharing rather than borrowing: the
+/// expression VM keeps whole sequences alive across stack pushes
+/// without copying items, so `Many` hands back the `Arc` (one refcount
+/// bump) and only the singleton clones its inline item.
+#[derive(Clone, Debug)]
+pub enum SlotValue {
+    Empty,
+    One(Item),
+    Many(Arc<Sequence>),
+}
+
 /// A fixed-width copy-on-write tuple frame. Rebinding copies the cell
 /// array (pointer-sized cells plus one inline `Item`) and shares every
 /// untouched sequence with the parent tuple.
@@ -86,21 +97,156 @@ impl Env {
         self.slots.get(slot as usize)?.as_slice()
     }
 
+    /// Read a slot as a shareable value (see [`SlotValue`]); `None`
+    /// when unbound or out of range.
+    #[inline]
+    pub fn slot_value(&self, slot: u32) -> Option<SlotValue> {
+        match self.slots.get(slot as usize)? {
+            Cell::Unbound => None,
+            Cell::Empty => Some(SlotValue::Empty),
+            Cell::One(item) => Some(SlotValue::One(item.clone())),
+            Cell::Many(s) => Some(SlotValue::Many(Arc::clone(s))),
+        }
+    }
+
+    /// Rebuild the frame with `cell_at(j)` replacing slot `j` where it
+    /// returns `Some` — a single allocation (the iterator's length is
+    /// trusted, so `collect` fills the new `Arc<[Cell]>` in place,
+    /// skipping the writer path's intermediate `Vec`).
+    #[inline]
+    fn rebind_with(&self, mut cell_at: impl FnMut(usize) -> Option<Cell>) -> Env {
+        Env {
+            slots: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(j, c)| cell_at(j).unwrap_or_else(|| c.clone()))
+                .collect(),
+        }
+    }
+
     /// Bind one slot to a sequence, copy-on-write: shares every other
     /// cell with `self`. Grows the frame if `slot` is beyond the
     /// current width.
     pub fn bind_slot(&self, slot: u32, value: Sequence) -> Env {
-        let mut w = self.writer();
-        w.set(slot, value);
-        w.finish()
+        if slot as usize >= self.slots.len() {
+            let mut w = self.writer();
+            w.set(slot, value);
+            return w.finish();
+        }
+        let mut cell = Some(Cell::of(value));
+        self.rebind_with(|j| {
+            if j == slot as usize {
+                Some(cell.take().expect("slot visited once"))
+            } else {
+                None
+            }
+        })
     }
 
     /// Bind one slot to a singleton — the zero-allocation hot path of
     /// per-item `for` iteration.
     pub fn bind_one(&self, slot: u32, item: Item) -> Env {
-        let mut w = self.writer();
-        w.set_item(slot, item);
-        w.finish()
+        if slot as usize >= self.slots.len() {
+            let mut w = self.writer();
+            w.set_item(slot, item);
+            return w.finish();
+        }
+        let mut cell = Some(Cell::One(item));
+        self.rebind_with(|j| {
+            if j == slot as usize {
+                Some(cell.take().expect("slot visited once"))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Bind one slot, consuming the frame: when this tuple is the sole
+    /// owner of its cell array (the common pipeline shape — a source
+    /// row's frame flows into a `let` and is dropped as soon as the
+    /// extended frame exists), the write happens in place with no
+    /// allocation. A shared frame falls back to the copy-on-write
+    /// rebind, so observable semantics are identical.
+    pub fn bind_val_owned(mut self, slot: u32, value: crate::vm::Val) -> Env {
+        use crate::vm::Val;
+        if slot as usize >= self.slots.len() {
+            return self.bind_slot(slot, value.into_sequence());
+        }
+        let cell = match value {
+            Val::Empty => Cell::Empty,
+            Val::One(item) => Cell::One(item),
+            Val::Shared(s) => Cell::Many(s),
+            Val::Owned(s) => Cell::of(s),
+        };
+        match Arc::get_mut(&mut self.slots) {
+            Some(cells) => {
+                cells[slot as usize] = cell;
+                self
+            }
+            None => {
+                let mut cell = Some(cell);
+                self.rebind_with(|j| {
+                    if j == slot as usize {
+                        Some(cell.take().expect("slot visited once"))
+                    } else {
+                        None
+                    }
+                })
+            }
+        }
+    }
+
+    /// [`Env::bind_val_owned`] for an already-materialized sequence —
+    /// the walker's `let` fallback.
+    pub fn bind_seq_owned(mut self, slot: u32, value: Sequence) -> Env {
+        if slot as usize >= self.slots.len() {
+            return self.bind_slot(slot, value);
+        }
+        let cell = Cell::of(value);
+        match Arc::get_mut(&mut self.slots) {
+            Some(cells) => {
+                cells[slot as usize] = cell;
+                self
+            }
+            None => {
+                let mut cell = Some(cell);
+                self.rebind_with(|j| {
+                    if j == slot as usize {
+                        Some(cell.take().expect("slot visited once"))
+                    } else {
+                        None
+                    }
+                })
+            }
+        }
+    }
+
+    /// Bind `slots[k]` to `value_at(k)` for every `k` (`None` = the
+    /// empty sequence) in one allocation — the SQL row-bind shape,
+    /// which writes a handful of column slots per source row.
+    pub fn bind_indexed(
+        &self,
+        slots: &[u32],
+        mut value_at: impl FnMut(usize) -> Option<Item>,
+    ) -> Env {
+        if slots.iter().any(|&s| s as usize >= self.slots.len()) {
+            let mut w = self.writer();
+            for (k, &s) in slots.iter().enumerate() {
+                match value_at(k) {
+                    Some(item) => w.set_item(s, item),
+                    None => w.set_empty(s),
+                }
+            }
+            return w.finish();
+        }
+        self.rebind_with(|j| {
+            let k = slots.iter().position(|&s| s as usize == j)?;
+            Some(match value_at(k) {
+                Some(item) => Cell::One(item),
+                None => Cell::Empty,
+            })
+        })
     }
 
     /// Start a multi-slot rebind: one copy of the cell array, any

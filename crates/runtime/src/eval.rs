@@ -19,9 +19,11 @@ use crate::cache::FunctionCache;
 use crate::env::Env;
 use crate::stats::ExecStats;
 use crate::trace::{NodeTrace, TraceCollector, TraceKey};
+use crate::vm::{atomize_first_val, ExprVM, Val};
 use aldsp_adaptors::{AdaptorError, AdaptorRegistry};
 use aldsp_compiler::frames::FrameLayout;
 use aldsp_compiler::ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec};
+use aldsp_compiler::program::{Program, ProgramSet};
 use aldsp_metadata::Registry;
 use aldsp_relational::{ppk_block_predicate, ResultSet, Select, SqlType, SqlValue};
 use aldsp_workload::{QueryBudget, WorkloadError};
@@ -119,6 +121,10 @@ pub struct ExecCtx {
     /// frame slots once, when a pipeline is constructed — never per
     /// tuple.
     pub frame: Arc<FrameLayout>,
+    /// The executing plan's compiled expression programs, keyed by
+    /// subtree-root `node_id` (empty when the plan was compiled with
+    /// the VM disabled).
+    pub programs: Arc<ProgramSet>,
     /// Per-buffered-tuple memory charge, precomputed from the frame
     /// width (a wider tuple frame holds more state per buffered row).
     tuple_mem: u64,
@@ -133,6 +139,7 @@ impl ExecCtx {
             trace,
             budget: None,
             frame: Arc::new(FrameLayout::default()),
+            programs: Arc::new(ProgramSet::default()),
             tuple_mem: TUPLE_MEM_BYTES,
         }
     }
@@ -148,6 +155,19 @@ impl ExecCtx {
         self.tuple_mem = TUPLE_MEM_BYTES + 8 * u64::from(frame.width());
         self.frame = frame;
         self
+    }
+
+    /// Attach the executing plan's compiled programs. The plan's
+    /// fallback-subtree count is a static property, so it is recorded
+    /// here once per execution rather than re-counted while running.
+    pub fn with_programs(self, programs: Arc<ProgramSet>) -> ExecCtx {
+        if programs.fallback_subtrees > 0 {
+            self.add(
+                |s| &s.vm_fallback_subtrees,
+                u64::from(programs.fallback_subtrees),
+            );
+        }
+        ExecCtx { programs, ..self }
     }
 
     /// Resolve a clause binder to its frame slot. Binders always have a
@@ -278,8 +298,120 @@ fn atomize_first(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Option<AtomicVa
     }
 }
 
+std::thread_local! {
+    /// The generic `eval` probe's VM. Program ops never re-enter
+    /// `eval` (uncovered shapes are not lowered), so the borrow is
+    /// never already held when a probe fires.
+    static PROBE_VM: std::cell::RefCell<ExprVM> = std::cell::RefCell::new(ExprVM::new());
+}
+
+/// Run a compiled program from the generic `eval` probe. Hot clause
+/// sites (where/let/keys) own their VM and batch their op counts; this
+/// path serves the long tail (return expressions, SQL parameters,
+/// quantifier bodies), so a per-call stats flush is acceptable.
+fn run_probe(cx: &ExecCtx, prog: &Program, env: &Env) -> RtResult<Val> {
+    PROBE_VM.with(|vm| {
+        let mut ops = 0u64;
+        let r = vm.borrow_mut().run(prog, env, &mut ops);
+        cx.add(|s| &s.vm_ops_executed, ops);
+        r
+    })
+}
+
+/// A hot call site's VM handle: owns the reusable stack, accumulates
+/// the executed-op count and (only when traced) VM wall time, and
+/// flushes both once on drop — never per tuple. The untraced path pays
+/// a single `tkey.is_some()` branch per run.
+struct VmState<'a> {
+    cx: &'a ExecCtx,
+    tkey: Option<TraceKey>,
+    vm: ExprVM,
+    ops: u64,
+    ns: u64,
+}
+
+impl<'a> VmState<'a> {
+    fn new(cx: &'a ExecCtx, tkey: Option<TraceKey>) -> VmState<'a> {
+        VmState {
+            cx,
+            tkey,
+            vm: ExprVM::new(),
+            ops: 0,
+            ns: 0,
+        }
+    }
+
+    #[inline]
+    fn run(&mut self, prog: &Program, env: &Env) -> RtResult<Val> {
+        if self.tkey.is_some() {
+            let t0 = std::time::Instant::now();
+            let r = self.vm.run(prog, env, &mut self.ops);
+            self.ns += t0.elapsed().as_nanos() as u64;
+            r
+        } else {
+            self.vm.run(prog, env, &mut self.ops)
+        }
+    }
+}
+
+impl Drop for VmState<'_> {
+    fn drop(&mut self) {
+        if self.ops > 0 {
+            self.cx.add(|s| &s.vm_ops_executed, self.ops);
+        }
+        if self.ns > 0 {
+            self.cx.trace_record(
+                self.tkey,
+                NodeTrace {
+                    vm_ns: self.ns,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+}
+
+/// The compiled program (if any) behind a key-position expression.
+/// Keys run through atomizing helpers that skip `Data` wrappers; a
+/// compiled program includes the `Data` op, which is idempotent under
+/// first-value atomization, so running the full program is equivalent.
+fn key_prog(cx: &ExecCtx, e: &CExpr) -> Option<Arc<Program>> {
+    cx.programs.lookup(e.node_id).cloned()
+}
+
+/// `atomize_first` through the VM when the key compiled, else the
+/// walker.
+fn key_first(
+    cx: &ExecCtx,
+    vm: &mut VmState<'_>,
+    prog: &Option<Arc<Program>>,
+    kexpr: &CExpr,
+    env: &Env,
+) -> RtResult<Option<AtomicValue>> {
+    match prog {
+        Some(p) => vm.run(p, env).map(|v| atomize_first_val(&v)),
+        None => atomize_first(cx, kexpr, env),
+    }
+}
+
+/// A constant positional predicate (`$x[3]`) is a direct index: item
+/// `n` (1-based) or nothing. Shared by the tree-walker's `Filter` arm
+/// and the VM's `PickConst` op, so both paths are one code path.
+pub(crate) fn pick_const_positional(v: &[Item], n: i64) -> Option<Item> {
+    usize::try_from(n)
+        .ok()
+        .filter(|&n| n >= 1)
+        .and_then(|n| v.get(n - 1))
+        .cloned()
+}
+
 /// Evaluate an expression to a sequence.
 pub fn eval(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Sequence> {
+    // the compile-once/execute-many fast path: subtrees the program
+    // lowering covered run on the VM, everything else walks the tree
+    if let Some(prog) = cx.programs.lookup(e.node_id) {
+        return run_probe(cx, prog, env).map(Val::into_sequence);
+    }
     match &e.kind {
         CKind::Const(v) => Ok(vec![Item::Atomic(v.clone())]),
         CKind::Var { name, slot } => env
@@ -446,17 +578,12 @@ pub fn eval(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Sequence> {
         } => {
             let v = eval(cx, input, env)?;
             // a constant positional predicate (`$x[3]`) is a direct
-            // index — no per-item context binding or predicate eval
+            // index — no per-item context binding or predicate eval;
+            // same helper the VM's PickConst op lowers to
             if *positional {
                 if let CKind::Const(c) = &predicate.kind {
                     if let Ok(AtomicValue::Integer(n)) = c.cast_to(AtomicType::Integer) {
-                        return Ok(usize::try_from(n)
-                            .ok()
-                            .filter(|&n| n >= 1)
-                            .and_then(|n| v.get(n - 1))
-                            .cloned()
-                            .into_iter()
-                            .collect());
+                        return Ok(pick_const_positional(&v, n).into_iter().collect());
                     }
                 }
             }
@@ -605,7 +732,7 @@ fn eval_sequence(cx: &ExecCtx, parts: &[CExpr], env: &Env) -> RtResult<Sequence>
     Ok(out)
 }
 
-fn descend(n: &NodeRef, out: &mut Vec<Item>) {
+pub(crate) fn descend(n: &NodeRef, out: &mut Vec<Item>) {
     for c in n.children() {
         if matches!(c.kind(), NodeKind::Element { .. }) {
             out.push(Item::Node(c.clone()));
@@ -651,30 +778,33 @@ fn construct_element(
         return Ok(vec![]);
     }
     let mut children: Vec<NodeRef> = Vec::new();
-    let mut pending_atomic: Option<String> = None;
+    let mut prev_atomic = false;
     for item in items {
         match item.clone() {
             Item::Atomic(v) => {
                 // adjacent atomics join with a single space (XQuery
                 // constructor semantics); a *single* atomic keeps its
-                // type annotation so annotations survive construction
-                match pending_atomic.take() {
-                    Some(prev) => {
-                        pending_atomic = Some(format!("{prev} {}", v.string_value()));
-                        // the merged text is untyped
-                        children.pop();
-                        children.push(Node::text(AtomicValue::untyped(
-                            pending_atomic.as_ref().expect("just set"),
-                        )));
-                    }
-                    None => {
-                        pending_atomic = Some(v.string_value());
-                        children.push(Node::text(v));
-                    }
+                // type annotation so annotations survive construction —
+                // and pays no string conversion until a neighbour forces
+                // the join
+                if prev_atomic {
+                    let prev = children.pop().expect("text node just pushed");
+                    let prev = match prev.kind() {
+                        NodeKind::Text { value } => value.string_value(),
+                        _ => unreachable!("prev_atomic marks a text node"),
+                    };
+                    // the merged text is untyped
+                    children.push(Node::text(AtomicValue::untyped(&format!(
+                        "{prev} {}",
+                        v.string_value()
+                    ))));
+                } else {
+                    children.push(Node::text(v));
                 }
+                prev_atomic = true;
             }
             Item::Node(n) => {
-                pending_atomic = None;
+                prev_atomic = false;
                 match n.kind() {
                     NodeKind::Attribute { name, value } => {
                         attr_nodes.push(Node::attribute(name.clone(), value.clone()))
@@ -730,160 +860,6 @@ fn attr_string(cx: &ExecCtx, value: &CExpr, env: &Env) -> RtResult<Option<String
 fn eval_builtin(cx: &ExecCtx, op: Builtin, args: &[CExpr], env: &Env) -> RtResult<Sequence> {
     use Builtin as B;
     match op {
-        B::Count => {
-            let v = eval_operand(cx, &args[0], env)?;
-            Ok(vec![Item::int(v.as_slice().len() as i64)])
-        }
-        B::Sum | B::Avg | B::Min | B::Max => {
-            let vals = atomize(eval_operand(cx, &args[0], env)?.as_slice());
-            aggregate(op, &vals)
-        }
-        B::Exists => {
-            let v = eval_operand(cx, &args[0], env)?;
-            Ok(vec![Item::Atomic(AtomicValue::Boolean(
-                !v.as_slice().is_empty(),
-            ))])
-        }
-        B::Empty => {
-            let v = eval_operand(cx, &args[0], env)?;
-            Ok(vec![Item::Atomic(AtomicValue::Boolean(
-                v.as_slice().is_empty(),
-            ))])
-        }
-        B::Not => {
-            let v = effective_boolean_value(eval_operand(cx, &args[0], env)?.as_slice())?;
-            Ok(vec![Item::Atomic(AtomicValue::Boolean(!v))])
-        }
-        B::Boolean => {
-            let v = effective_boolean_value(eval_operand(cx, &args[0], env)?.as_slice())?;
-            Ok(vec![Item::Atomic(AtomicValue::Boolean(v))])
-        }
-        B::True => Ok(vec![Item::Atomic(AtomicValue::Boolean(true))]),
-        B::False => Ok(vec![Item::Atomic(AtomicValue::Boolean(false))]),
-        B::String => {
-            let v = eval(cx, &args[0], env)?;
-            Ok(match v.as_slice() {
-                [] => vec![Item::str("")],
-                [one] => vec![Item::str(&one.string_value())],
-                _ => return Err(XdmError::NotSingleton(v.len()).into()),
-            })
-        }
-        B::Concat => {
-            let mut s = String::new();
-            for a in args {
-                let v = atomize(&eval(cx, a, env)?);
-                for item in v {
-                    s.push_str(&item.string_value());
-                }
-            }
-            Ok(vec![Item::str(&s)])
-        }
-        B::StringLength => {
-            let v = single_string(cx, &args[0], env)?.unwrap_or_default();
-            Ok(vec![Item::int(v.chars().count() as i64)])
-        }
-        B::UpperCase => {
-            let v = single_string(cx, &args[0], env)?.unwrap_or_default();
-            Ok(vec![Item::str(&v.to_uppercase())])
-        }
-        B::LowerCase => {
-            let v = single_string(cx, &args[0], env)?.unwrap_or_default();
-            Ok(vec![Item::str(&v.to_lowercase())])
-        }
-        B::Substring => {
-            let s = single_string(cx, &args[0], env)?.unwrap_or_default();
-            let start = single_number(cx, &args[1], env)?.unwrap_or(f64::NAN);
-            let len = match args.get(2) {
-                Some(a) => single_number(cx, a, env)?.unwrap_or(f64::NAN),
-                None => f64::INFINITY,
-            };
-            if start.is_nan() || len.is_nan() {
-                return Ok(vec![Item::str("")]);
-            }
-            let n_chars = s.chars().count();
-            let from = ((start.round() as i64 - 1).max(0) as usize).min(n_chars);
-            let to = if len.is_infinite() {
-                n_chars
-            } else {
-                ((start.round() + len.round() - 1.0).max(0.0) as usize).min(n_chars)
-            }
-            .max(from);
-            // slice by byte offsets of the char range — no Vec<char>
-            let mut idx = s.char_indices().map(|(i, _)| i).skip(from);
-            let b0 = idx.next().unwrap_or(s.len());
-            let b1 = if to > from {
-                s[b0..]
-                    .char_indices()
-                    .nth(to - from)
-                    .map(|(i, _)| b0 + i)
-                    .unwrap_or(s.len())
-            } else {
-                b0
-            };
-            Ok(vec![Item::str(&s[b0..b1])])
-        }
-        B::Contains => {
-            let a = single_string(cx, &args[0], env)?.unwrap_or_default();
-            let b = single_string(cx, &args[1], env)?.unwrap_or_default();
-            Ok(vec![Item::Atomic(AtomicValue::Boolean(a.contains(&b)))])
-        }
-        B::StartsWith => {
-            let a = single_string(cx, &args[0], env)?.unwrap_or_default();
-            let b = single_string(cx, &args[1], env)?.unwrap_or_default();
-            Ok(vec![Item::Atomic(AtomicValue::Boolean(a.starts_with(&b)))])
-        }
-        B::Subsequence => {
-            let v = eval(cx, &args[0], env)?;
-            let start = single_number(cx, &args[1], env)?.unwrap_or(f64::NAN);
-            let len = match args.get(2) {
-                Some(a) => single_number(cx, a, env)?.unwrap_or(f64::NAN),
-                None => f64::INFINITY,
-            };
-            if start.is_nan() || len.is_nan() {
-                return Ok(vec![]);
-            }
-            let s = start.round();
-            let e = s + if len.is_infinite() {
-                f64::INFINITY
-            } else {
-                len.round()
-            };
-            Ok(v.into_iter()
-                .enumerate()
-                .filter(|(i, _)| {
-                    let p = (*i + 1) as f64;
-                    p >= s && p < e
-                })
-                .map(|(_, item)| item)
-                .collect())
-        }
-        B::DistinctValues => {
-            let vals = atomize(&eval(cx, &args[0], env)?);
-            let mut out: Vec<AtomicValue> = Vec::new();
-            for v in vals {
-                if !out.iter().any(|w| w.compare(&v) == Some(Ordering::Equal)) {
-                    out.push(v);
-                }
-            }
-            Ok(out.into_iter().map(Item::Atomic).collect())
-        }
-        B::Abs => {
-            let vals = atomize(&eval(cx, &args[0], env)?);
-            match vals.as_slice() {
-                [] => Ok(vec![]),
-                [v] => Ok(vec![Item::Atomic(match v {
-                    AtomicValue::Integer(i) => AtomicValue::Integer(i.abs()),
-                    AtomicValue::Decimal(d) => {
-                        AtomicValue::Decimal(aldsp_xdm::value::Decimal(d.0.abs()))
-                    }
-                    AtomicValue::Double(d) => AtomicValue::Double(d.abs()),
-                    other => {
-                        return Err(XdmError::Arithmetic(other.type_of(), other.type_of()).into())
-                    }
-                })]),
-                _ => Err(XdmError::NotSingleton(vals.len()).into()),
-            }
-        }
         // a lone async (not in sequence position) evaluates inline — the
         // concurrency win comes from sibling asyncs (see eval_sequence)
         B::Async => eval(cx, &args[0], env),
@@ -912,6 +888,24 @@ fn eval_builtin(cx: &ExecCtx, op: Builtin, args: &[CExpr], env: &Env) -> RtResul
                     cx.inc(|s| &s.timeouts_fired);
                     eval(cx, &args[2], env)
                 }
+            }
+        }
+        // every other builtin is strict: evaluate the arguments, then
+        // hand them to the same kernel the VM's `call` op uses, so the
+        // walker and compiled programs agree by construction
+        _ => {
+            if args.len() <= 4 {
+                let mut buf = [Val::Empty, Val::Empty, Val::Empty, Val::Empty];
+                for (slot, a) in buf.iter_mut().zip(args) {
+                    *slot = eval_val(cx, a, env)?;
+                }
+                apply_builtin(op, &buf[..args.len()]).map(Val::into_sequence)
+            } else {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(eval_val(cx, a, env)?);
+                }
+                apply_builtin(op, &vals).map(Val::into_sequence)
             }
         }
     }
@@ -953,8 +947,226 @@ fn aggregate(op: Builtin, vals: &[AtomicValue]) -> RtResult<Sequence> {
     }
 }
 
-fn single_string(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Option<String>> {
-    let v = eval_operand(cx, skip_data(e), env)?;
+/// Evaluate one builtin argument into a [`Val`], with the same cheap
+/// paths [`eval_operand`] gives the walker: constants and variable
+/// reads never materialise a fresh sequence.
+fn eval_val(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Val> {
+    match &e.kind {
+        CKind::Const(v) => Ok(Val::One(Item::Atomic(v.clone()))),
+        CKind::Var { name, slot } => env
+            .slot_value(*slot)
+            .map(Val::from)
+            .ok_or_else(|| RtError::Plan(format!("unbound variable ${name}"))),
+        _ => eval(cx, e, env).map(Val::of),
+    }
+}
+
+/// Apply a strict builtin to already-evaluated arguments.
+///
+/// This is the single kernel behind both the tree-walker
+/// ([`eval_builtin`]) and the expression VM's `call` op, so the two
+/// evaluation regimes cannot drift. Lazy builtins (`Async`, `FailOver`,
+/// `Timeout`) never reach here: the walker keeps dedicated arms for
+/// them and program lowering declines them.
+pub(crate) fn apply_builtin(op: Builtin, args: &[Val]) -> RtResult<Val> {
+    use Builtin as B;
+    Ok(match op {
+        B::Count => Val::One(Item::int(args[0].as_slice().len() as i64)),
+        B::Sum | B::Avg | B::Min | B::Max => {
+            let vals = atomize(args[0].as_slice());
+            return aggregate(op, &vals).map(Val::of);
+        }
+        B::Exists => Val::One(Item::Atomic(AtomicValue::Boolean(
+            !args[0].as_slice().is_empty(),
+        ))),
+        B::Empty => Val::One(Item::Atomic(AtomicValue::Boolean(
+            args[0].as_slice().is_empty(),
+        ))),
+        B::Not => {
+            let v = effective_boolean_value(args[0].as_slice())?;
+            Val::One(Item::Atomic(AtomicValue::Boolean(!v)))
+        }
+        B::Boolean => {
+            let v = effective_boolean_value(args[0].as_slice())?;
+            Val::One(Item::Atomic(AtomicValue::Boolean(v)))
+        }
+        B::True => Val::One(Item::Atomic(AtomicValue::Boolean(true))),
+        B::False => Val::One(Item::Atomic(AtomicValue::Boolean(false))),
+        B::String => match args[0].as_slice() {
+            [] => Val::One(Item::str("")),
+            // xs:string of a string is identity: reuse the Arc payload
+            [Item::Atomic(AtomicValue::String(s) | AtomicValue::Untyped(s))] => {
+                Val::One(Item::Atomic(AtomicValue::String(Arc::clone(s))))
+            }
+            [one] => Val::One(Item::str(&one.string_value())),
+            s => return Err(XdmError::NotSingleton(s.len()).into()),
+        },
+        B::Concat => {
+            let mut s = String::new();
+            for a in args {
+                for item in atomize(a.as_slice()) {
+                    s.push_str(&item.string_value());
+                }
+            }
+            Val::One(Item::str(&s))
+        }
+        B::StringLength => {
+            let v = str_arg(&args[0])?;
+            Val::One(Item::int(v.chars().count() as i64))
+        }
+        B::UpperCase => {
+            let v = str_arg(&args[0])?;
+            Val::One(Item::str(&v.to_uppercase()))
+        }
+        B::LowerCase => {
+            let v = str_arg(&args[0])?;
+            Val::One(Item::str(&v.to_lowercase()))
+        }
+        B::Substring => {
+            let sarg = str_arg(&args[0])?;
+            let s: &str = &sarg;
+            let start = single_number_arg(&args[1])?.unwrap_or(f64::NAN);
+            let len = match args.get(2) {
+                Some(a) => single_number_arg(a)?.unwrap_or(f64::NAN),
+                None => f64::INFINITY,
+            };
+            if start.is_nan() || len.is_nan() {
+                return Ok(Val::One(Item::str("")));
+            }
+            let n_chars = s.chars().count();
+            let from = ((start.round() as i64 - 1).max(0) as usize).min(n_chars);
+            let to = if len.is_infinite() {
+                n_chars
+            } else {
+                ((start.round() + len.round() - 1.0).max(0.0) as usize).min(n_chars)
+            }
+            .max(from);
+            // slice by byte offsets of the char range — no Vec<char>
+            let mut idx = s.char_indices().map(|(i, _)| i).skip(from);
+            let b0 = idx.next().unwrap_or(s.len());
+            let b1 = if to > from {
+                s[b0..]
+                    .char_indices()
+                    .nth(to - from)
+                    .map(|(i, _)| b0 + i)
+                    .unwrap_or(s.len())
+            } else {
+                b0
+            };
+            Val::One(Item::str(&s[b0..b1]))
+        }
+        B::Contains => {
+            let a = str_arg(&args[0])?;
+            let b = str_arg(&args[1])?;
+            Val::One(Item::Atomic(AtomicValue::Boolean(a.contains(&*b))))
+        }
+        B::StartsWith => {
+            let a = str_arg(&args[0])?;
+            let b = str_arg(&args[1])?;
+            Val::One(Item::Atomic(AtomicValue::Boolean(a.starts_with(&*b))))
+        }
+        B::Subsequence => {
+            let start = single_number_arg(&args[1])?.unwrap_or(f64::NAN);
+            let len = match args.get(2) {
+                Some(a) => single_number_arg(a)?.unwrap_or(f64::NAN),
+                None => f64::INFINITY,
+            };
+            if start.is_nan() || len.is_nan() {
+                return Ok(Val::Empty);
+            }
+            let s = start.round();
+            let e = s + if len.is_infinite() {
+                f64::INFINITY
+            } else {
+                len.round()
+            };
+            Val::of(
+                args[0]
+                    .as_slice()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| {
+                        let p = (*i + 1) as f64;
+                        p >= s && p < e
+                    })
+                    .map(|(_, item)| item.clone())
+                    .collect(),
+            )
+        }
+        B::DistinctValues => {
+            let vals = atomize(args[0].as_slice());
+            let mut out: Vec<AtomicValue> = Vec::new();
+            for v in vals {
+                if !out.iter().any(|w| w.compare(&v) == Some(Ordering::Equal)) {
+                    out.push(v);
+                }
+            }
+            Val::of(out.into_iter().map(Item::Atomic).collect())
+        }
+        B::Abs => {
+            let vals = atomize(args[0].as_slice());
+            match vals.as_slice() {
+                [] => Val::Empty,
+                [v] => Val::One(Item::Atomic(match v {
+                    AtomicValue::Integer(i) => AtomicValue::Integer(i.abs()),
+                    AtomicValue::Decimal(d) => {
+                        AtomicValue::Decimal(aldsp_xdm::value::Decimal(d.0.abs()))
+                    }
+                    AtomicValue::Double(d) => AtomicValue::Double(d.abs()),
+                    other => {
+                        return Err(XdmError::Arithmetic(other.type_of(), other.type_of()).into())
+                    }
+                })),
+                _ => return Err(XdmError::NotSingleton(vals.len()).into()),
+            }
+        }
+        B::Async | B::FailOver | B::Timeout => {
+            unreachable!("lazy builtin reached the strict kernel")
+        }
+    })
+}
+
+/// A singleton string argument without forcing an owned `String`:
+/// borrows the payload when the argument is already a string-ish atomic
+/// (the common shape on the VM hot path, where a `data` op precedes the
+/// call), keeps the `Arc` when a node's typed value is string-ish, and
+/// only otherwise falls back to the owned conversion. An empty argument
+/// reads as `""`, matching the `unwrap_or_default` the owned path used.
+enum StrArg<'a> {
+    Borrowed(&'a str),
+    Shared(Arc<str>),
+    Owned(String),
+}
+
+impl std::ops::Deref for StrArg<'_> {
+    type Target = str;
+    fn deref(&self) -> &str {
+        match self {
+            StrArg::Borrowed(s) => s,
+            StrArg::Shared(s) => s,
+            StrArg::Owned(s) => s,
+        }
+    }
+}
+
+fn str_arg(v: &Val) -> RtResult<StrArg<'_>> {
+    match v.as_slice() {
+        [Item::Atomic(AtomicValue::String(s) | AtomicValue::Untyped(s))] => Ok(StrArg::Borrowed(s)),
+        [Item::Node(n)] => Ok(match n.typed_value() {
+            Some(AtomicValue::String(s) | AtomicValue::Untyped(s)) => StrArg::Shared(s),
+            Some(other) => StrArg::Owned(other.string_value()),
+            None => StrArg::Borrowed(""),
+        }),
+        _ => Ok(match single_string_arg(v)? {
+            Some(s) => StrArg::Owned(s),
+            None => StrArg::Borrowed(""),
+        }),
+    }
+}
+
+/// Singleton string extraction from an evaluated argument (the slice
+/// twin of the walker's old expression-taking helper).
+fn single_string_arg(v: &Val) -> RtResult<Option<String>> {
     match v.as_slice() {
         [] => Ok(None),
         // singleton fast path: no atomized intermediate vector
@@ -968,6 +1180,32 @@ fn single_string(cx: &ExecCtx, e: &CExpr, env: &Env) -> RtResult<Option<String>>
                 _ => Err(XdmError::NotSingleton(v.len()).into()),
             }
         }
+    }
+}
+
+/// Singleton numeric extraction (cast to double) from an evaluated
+/// argument.
+fn single_number_arg(v: &Val) -> RtResult<Option<f64>> {
+    let one = match v.as_slice() {
+        [] => return Ok(None),
+        // singleton fast path: no atomized intermediate vector
+        [Item::Atomic(a)] => a.clone(),
+        [Item::Node(n)] => match n.typed_value() {
+            Some(a) => a,
+            None => return Ok(None),
+        },
+        s => {
+            let all = atomize(s);
+            match all.len() {
+                0 => return Ok(None),
+                1 => all.into_iter().next().expect("len 1"),
+                n => return Err(XdmError::NotSingleton(n).into()),
+            }
+        }
+    };
+    match one.cast_to(AtomicType::Double)? {
+        AtomicValue::Double(d) => Ok(Some(d)),
+        _ => unreachable!("cast to double"),
     }
 }
 
@@ -1256,25 +1494,56 @@ fn build_clause<'a>(
                 Ok(s) => s,
                 Err(e) => return one_err(e),
             };
-            Box::new(input.map(move |tuple| {
-                let env = tuple?;
-                let v = eval(cx, value, &env)?;
-                Ok(env.bind_slot(slot, v))
-            }))
-        }
-        Clause::Where(cond) => Box::new(input.filter_map(move |tuple| {
-            match tuple {
-                Err(e) => Some(Err(e)),
-                Ok(env) => match eval_operand(cx, cond, &env)
-                    .and_then(|v| effective_boolean_value(v.as_slice()).map_err(RtError::from))
-                {
-                    Ok(true) => Some(Ok(env)),
-                    Ok(false) => None,
-                    Err(e) => Some(Err(e)),
-                },
+            // compiled let values run on a clause-owned VM: no probe
+            // lookup per tuple, stats flushed once on drop
+            match cx.programs.lookup(value.node_id) {
+                Some(prog) => {
+                    let prog = Arc::clone(prog);
+                    let mut vm = VmState::new(cx, tkey);
+                    Box::new(input.map(move |tuple| {
+                        let env = tuple?;
+                        let v = vm.run(&prog, &env)?;
+                        Ok(env.bind_val_owned(slot, v))
+                    }))
+                }
+                None => Box::new(input.map(move |tuple| {
+                    let env = tuple?;
+                    let v = eval(cx, value, &env)?;
+                    Ok(env.bind_seq_owned(slot, v))
+                })),
             }
-        })),
-        Clause::OrderBy(specs) => order_by(cx, specs, input),
+        }
+        Clause::Where(cond) => {
+            match cx.programs.lookup(cond.node_id) {
+                Some(prog) => {
+                    let prog = Arc::clone(prog);
+                    let mut vm = VmState::new(cx, tkey);
+                    Box::new(input.filter_map(move |tuple| match tuple {
+                        Err(e) => Some(Err(e)),
+                        Ok(env) => match vm.run(&prog, &env).and_then(|v| {
+                            effective_boolean_value(v.as_slice()).map_err(RtError::from)
+                        }) {
+                            Ok(true) => Some(Ok(env)),
+                            Ok(false) => None,
+                            Err(e) => Some(Err(e)),
+                        },
+                    }))
+                }
+                None => {
+                    Box::new(input.filter_map(move |tuple| match tuple {
+                        Err(e) => Some(Err(e)),
+                        Ok(env) => match eval_operand(cx, cond, &env).and_then(|v| {
+                            effective_boolean_value(v.as_slice()).map_err(RtError::from)
+                        }) {
+                            Ok(true) => Some(Ok(env)),
+                            Ok(false) => None,
+                            Err(e) => Some(Err(e)),
+                        },
+                    }))
+                }
+            }
+        }
+        Clause::OrderBy(specs) => order_by(cx, tkey, specs, input),
         Clause::GroupBy {
             bindings,
             keys,
@@ -1289,6 +1558,7 @@ fn build_clause<'a>(
                 cx.inc(|s| &s.streaming_groups);
                 Box::new(StreamingGroups {
                     cx,
+                    vm: VmState::new(cx, tkey),
                     input,
                     keys,
                     slots,
@@ -1297,7 +1567,7 @@ fn build_clause<'a>(
                     done: false,
                 })
             } else {
-                sorted_group_by(cx, &slots, keys, input, flwor_base)
+                sorted_group_by(cx, tkey, &slots, keys, input, flwor_base)
             }
         }
         Clause::SqlFor {
@@ -1391,7 +1661,15 @@ fn charged_err<'a>(cx: &ExecCtx, charged: u64, e: RtError) -> TupleIter<'a> {
 
 // ---- order by -------------------------------------------------------------------
 
-fn order_by<'a>(cx: &'a ExecCtx, specs: &'a [OrderSpec], input: TupleIter<'a>) -> TupleIter<'a> {
+fn order_by<'a>(
+    cx: &'a ExecCtx,
+    tkey: Option<TraceKey>,
+    specs: &'a [OrderSpec],
+    input: TupleIter<'a>,
+) -> TupleIter<'a> {
+    // compiled sort keys run on one operator-owned VM across all rows
+    let progs: Vec<Option<Arc<Program>>> = specs.iter().map(|s| key_prog(cx, &s.expr)).collect();
+    let mut vm = VmState::new(cx, tkey);
     let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
     let mut charged = 0u64;
     for tuple in input {
@@ -1405,8 +1683,8 @@ fn order_by<'a>(cx: &'a ExecCtx, specs: &'a [OrderSpec], input: TupleIter<'a>) -
         }
         charged += cx.tuple_mem;
         let mut key = Vec::with_capacity(specs.len());
-        for s in specs {
-            match atomize_first(cx, &s.expr, &env) {
+        for (s, prog) in specs.iter().zip(&progs) {
+            match key_first(cx, &mut vm, prog, &s.expr, &env) {
                 Ok(k) => key.push(k),
                 Err(e) => return charged_err(cx, charged, e),
             }
@@ -1466,6 +1744,9 @@ struct GroupSlots {
     /// (source slot, destination slot) per carried binding.
     carry_from: Vec<u32>,
     carry_to: Vec<u32>,
+    /// Compiled programs behind the key expressions (parallel to
+    /// `aliases`); `None` falls back to the tree-walker per key.
+    key_progs: Vec<Option<Arc<Program>>>,
 }
 
 impl GroupSlots {
@@ -1494,6 +1775,7 @@ impl GroupSlots {
                 .iter()
                 .map(|(_, t)| slot(t))
                 .collect::<RtResult<_>>()?,
+            key_progs: keys.iter().map(|(k, _)| key_prog(cx, k)).collect(),
         })
     }
 }
@@ -1504,6 +1786,7 @@ impl GroupSlots {
 /// Memory is bounded by the largest single group.
 struct StreamingGroups<'a> {
     cx: &'a ExecCtx,
+    vm: VmState<'a>,
     input: TupleIter<'a>,
     keys: &'a [(CExpr, String)],
     slots: GroupSlots,
@@ -1556,8 +1839,8 @@ impl Iterator for StreamingGroups<'_> {
                 Some(Ok(env)) => {
                     // evaluate the grouping keys on this tuple
                     let mut key = Vec::with_capacity(self.keys.len());
-                    for (kexpr, _) in self.keys {
-                        match atomize_first(self.cx, kexpr, &env) {
+                    for ((kexpr, _), prog) in self.keys.iter().zip(&self.slots.key_progs) {
+                        match key_first(self.cx, &mut self.vm, prog, kexpr, &env) {
                             Ok(k) => key.push(k),
                             Err(e) => {
                                 self.done = true;
@@ -1651,41 +1934,44 @@ impl Drop for StreamingGroups<'_> {
 /// "in the worst case, ALDSP falls back on sorting for grouping" (§4.2).
 fn sorted_group_by<'a>(
     cx: &'a ExecCtx,
+    tkey: Option<TraceKey>,
     slots: &GroupSlots,
     keys: &'a [(CExpr, String)],
     input: TupleIter<'a>,
     base: Env,
 ) -> TupleIter<'a> {
     cx.inc(|s| &s.sorted_groups);
-    // one flat key buffer (`nk` cells per row) and one env vector: the
-    // sort permutes 4-byte indices instead of moving (Vec, Env) pairs,
-    // and no per-row key Vec is ever allocated
+    let mut vm = VmState::new(cx, tkey);
+    // Incremental grouping instead of buffer-sort-scan: each row's key
+    // is compared against the previous row's key first (clustered
+    // inputs — the common shape from an ordered scan — group in O(1)
+    // per row), and only a key *change* binary-searches the sorted
+    // unique-key list. The row's grouped and carried slot values are
+    // folded into per-group accumulators immediately, so the tuple env
+    // (and the node tree it pins) drops while still cache-hot — live
+    // state is O(groups + keys), not O(rows). Equal keys land in one
+    // group and groups emit in key order, so the output is exactly
+    // what sort-then-scan produced.
     let nk = keys.len();
+    // group keys, `nk` cells per *group first-row*, kept for comparison
     let mut flat_keys: Vec<Option<AtomicValue>> = Vec::new();
-    let mut envs: Vec<Env> = Vec::new();
-    let mut charged = 0u64;
-    for tuple in input {
-        let env = match tuple {
-            Ok(e) => e,
-            Err(e) => return charged_err(cx, charged, e),
-        };
-        // the sort-then-group buffer is blocking state: charge it
-        if let Err(e) = cx.charge_mem(cx.tuple_mem) {
-            return charged_err(cx, charged, e);
-        }
-        charged += cx.tuple_mem;
-        for (kexpr, _) in keys {
-            match atomize_first(cx, kexpr, &env) {
-                Ok(k) => flat_keys.push(k),
-                Err(e) => return charged_err(cx, charged, e),
-            }
-        }
-        envs.push(env);
+    struct GroupAcc {
+        accums: Vec<Sequence>,
+        carried: Vec<Sequence>,
     }
-    cx.peak(|s| &s.peak_grouped_tuples, envs.len() as u64);
-    let row_key = |i: usize| &flat_keys[i * nk..(i + 1) * nk];
-    let cmp_row_keys = |a: usize, b: usize| {
-        for (x, y) in row_key(a).iter().zip(row_key(b)) {
+    let mut groups: Vec<GroupAcc> = Vec::new();
+    // gid → index into flat_keys of that group's kept key cells
+    let mut group_first: Vec<u32> = Vec::new();
+    // (index into flat_keys of the group's key, group id), key-sorted
+    let mut uniq: Vec<(u32, u32)> = Vec::new();
+    let mut prev_gid: Option<u32> = None;
+    let mut rows = 0u64;
+    let mut charged = 0u64;
+    fn row_key(fk: &[Option<AtomicValue>], nk: usize, i: usize) -> &[Option<AtomicValue>] {
+        &fk[i * nk..(i + 1) * nk]
+    }
+    let cmp_key_rows = |fk: &[Option<AtomicValue>], a: usize, b: usize| {
+        for (x, y) in row_key(fk, nk, a).iter().zip(row_key(fk, nk, b)) {
             let ord = cmp_keys(x, y, true);
             if ord != Ordering::Equal {
                 return ord;
@@ -1693,57 +1979,87 @@ fn sorted_group_by<'a>(
         }
         Ordering::Equal
     };
-    // incremental grouping instead of a full sort: each row is compared
-    // against the previous row's key first (clustered inputs — the
-    // common shape from an ordered scan — group in O(1) per row), and
-    // only a key *change* binary-searches the sorted unique-key list.
-    // Equal keys land in one group and groups emit in key order, so the
-    // output is exactly what sort-then-scan produced.
-    let mut group_rows: Vec<Vec<u32>> = Vec::new();
-    // (first row of the group, group id), sorted by the group key
-    let mut uniq: Vec<(u32, u32)> = Vec::new();
-    let mut prev_gid: Option<u32> = None;
-    for r in 0..envs.len() {
-        let gid = match prev_gid {
-            Some(g) if cmp_row_keys(r, r.wrapping_sub(1)) == Ordering::Equal => g,
-            _ => match uniq.binary_search_by(|&(first, _)| cmp_row_keys(first as usize, r)) {
-                Ok(pos) => uniq[pos].1,
-                Err(pos) => {
-                    let g = group_rows.len() as u32;
-                    group_rows.push(Vec::new());
-                    uniq.insert(pos, (r as u32, g));
-                    g
-                }
-            },
+    for tuple in input {
+        let env = match tuple {
+            Ok(e) => e,
+            Err(e) => return charged_err(cx, charged, e),
         };
-        group_rows[gid as usize].push(r as u32);
-        prev_gid = Some(gid);
-    }
-    let mut out: Vec<Env> = Vec::with_capacity(uniq.len());
-    for &(first, gid) in &uniq {
-        let rows = &group_rows[gid as usize];
-        let key = row_key(first as usize);
-        let mut accums: Vec<Sequence> = vec![Vec::new(); slots.bind_from.len()];
-        let carried: Vec<Sequence> = slots
-            .carry_from
-            .iter()
-            .map(|&from| {
-                envs[first as usize]
-                    .get_slot(from)
-                    .map(<[Item]>::to_vec)
-                    .unwrap_or_default()
-            })
-            .collect();
-        for &r in rows {
-            let env = &envs[r as usize];
-            for (&from, acc) in slots.bind_from.iter().zip(accums.iter_mut()) {
-                if let Some(v) = env.get_slot(from) {
-                    acc.extend_from_slice(v);
-                }
+        // grouped accumulators are blocking state: charge per input row
+        if let Err(e) = cx.charge_mem(cx.tuple_mem) {
+            return charged_err(cx, charged, e);
+        }
+        charged += cx.tuple_mem;
+        rows += 1;
+        // stage this row's key after the kept group keys…
+        let staged = flat_keys.len() / nk;
+        for ((kexpr, _), prog) in keys.iter().zip(&slots.key_progs) {
+            match key_first(cx, &mut vm, prog, kexpr, &env) {
+                Ok(k) => flat_keys.push(k),
+                Err(e) => return charged_err(cx, charged, e),
             }
         }
+        let gid = match prev_gid {
+            Some(g)
+                if cmp_key_rows(&flat_keys, staged, group_first[g as usize] as usize)
+                    == Ordering::Equal =>
+            {
+                g
+            }
+            _ => {
+                match uniq.binary_search_by(|&(first, _)| {
+                    cmp_key_rows(&flat_keys, first as usize, staged)
+                }) {
+                    Ok(pos) => uniq[pos].1,
+                    Err(pos) => {
+                        // …a new key keeps its staged cells and becomes
+                        // a group, capturing the carried slots from
+                        // this (its first) row
+                        let g = groups.len() as u32;
+                        groups.push(GroupAcc {
+                            accums: vec![Vec::new(); slots.bind_from.len()],
+                            carried: slots
+                                .carry_from
+                                .iter()
+                                .map(|&from| {
+                                    env.get_slot(from).map(<[Item]>::to_vec).unwrap_or_default()
+                                })
+                                .collect(),
+                        });
+                        group_first.push(staged as u32);
+                        uniq.insert(pos, (staged as u32, g));
+                        g
+                    }
+                }
+            }
+        };
+        // …a seen key discards its staged cells
+        if group_first[gid as usize] as usize != staged {
+            flat_keys.truncate(staged * nk);
+        }
+        let acc = &mut groups[gid as usize];
+        for (&from, acc) in slots.bind_from.iter().zip(acc.accums.iter_mut()) {
+            if let Some(v) = env.get_slot(from) {
+                acc.extend_from_slice(v);
+            }
+        }
+        prev_gid = Some(gid);
+    }
+    cx.peak(|s| &s.peak_grouped_tuples, rows);
+    let mut out: Vec<Env> = Vec::with_capacity(uniq.len());
+    for &(first, gid) in &uniq {
+        let GroupAcc { accums, carried } = std::mem::replace(
+            &mut groups[gid as usize],
+            GroupAcc {
+                accums: Vec::new(),
+                carried: Vec::new(),
+            },
+        );
         let mut w = base.writer();
-        for (&slot, k) in slots.aliases.iter().zip(key) {
+        for (&slot, k) in slots
+            .aliases
+            .iter()
+            .zip(row_key(&flat_keys, nk, first as usize))
+        {
             w.set(
                 slot,
                 k.clone().map(|v| vec![Item::Atomic(v)]).unwrap_or_default(),
@@ -1806,14 +2122,9 @@ fn exec_sql(
 }
 
 fn bind_row(env: &Env, slots: &[u32], row: &[SqlValue]) -> Env {
-    let mut w = env.writer();
-    for (&slot, v) in slots.iter().zip(row) {
-        match v.to_xml() {
-            Some(x) => w.set_item(slot, Item::Atomic(x)),
-            None => w.set_empty(slot),
-        }
-    }
-    w.finish()
+    // zip semantics: bind only the columns both sides have
+    let n = slots.len().min(row.len());
+    env.bind_indexed(&slots[..n], |k| row[k].to_xml().map(Item::Atomic))
 }
 
 /// A `SqlFor` without PP-k: uncorrelated statements execute once;

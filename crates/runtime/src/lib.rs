@@ -14,12 +14,14 @@ pub mod env;
 pub mod eval;
 pub mod stats;
 pub mod trace;
+pub mod vm;
 
 pub use cache::FunctionCache;
 pub use env::{Env, EnvWriter, NamedEnv};
 pub use eval::{ExecCtx, RtError, RtResult, RuntimeInner};
 pub use stats::{ExecStats, StatsSnapshot};
 pub use trace::{NodeTrace, QueryTrace, TraceCollector, TraceKey, TraceLevel};
+pub use vm::ExprVM;
 
 pub use aldsp_workload::{QueryBudget, WorkloadError};
 
@@ -100,7 +102,10 @@ impl Runtime {
     ) -> RtResult<Execution> {
         let env = self.bind_env(query, bindings);
         let (cx, collector) = self.exec_ctx(level);
-        let cx = cx.with_frame(Arc::clone(&query.frame)).with_budget(budget);
+        let cx = cx
+            .with_frame(Arc::clone(&query.frame))
+            .with_programs(Arc::clone(&query.programs))
+            .with_budget(budget);
         let t0 = std::time::Instant::now();
         let result = eval::eval(&cx, &query.plan, &env);
         merge_budget_counters(&cx);
@@ -169,7 +174,10 @@ impl Runtime {
     ) -> RtResult<Execution> {
         let env = self.bind_env(query, bindings);
         let (cx, collector) = self.exec_ctx(level);
-        let cx = cx.with_frame(Arc::clone(&query.frame)).with_budget(budget);
+        let cx = cx
+            .with_frame(Arc::clone(&query.frame))
+            .with_programs(Arc::clone(&query.programs))
+            .with_budget(budget);
         let t0 = std::time::Instant::now();
         let mut delivered = 0u64;
         let result = (|| -> RtResult<()> {

@@ -57,6 +57,13 @@ pub struct ExecStats {
     pub permit_wait_ns: AtomicU64,
     /// Peak bytes of budgeted operator memory held by any single query.
     pub peak_memory_bytes: AtomicU64,
+    /// Bytecode ops executed by the expression VM (flushed from
+    /// per-operator local counters, not bumped per op).
+    pub vm_ops_executed: AtomicU64,
+    /// Subtree roots the program lowering declined, so the tree-walker
+    /// evaluated them (a static plan property, recorded once per
+    /// execution).
+    pub vm_fallback_subtrees: AtomicU64,
 }
 
 impl ExecStats {
@@ -93,6 +100,8 @@ impl ExecStats {
             admission_queue_peak: self.admission_queue_peak.load(Ordering::Relaxed),
             permit_wait_ns: self.permit_wait_ns.load(Ordering::Relaxed),
             peak_memory_bytes: self.peak_memory_bytes.load(Ordering::Relaxed),
+            vm_ops_executed: self.vm_ops_executed.load(Ordering::Relaxed),
+            vm_fallback_subtrees: self.vm_fallback_subtrees.load(Ordering::Relaxed),
         }
     }
 
@@ -119,6 +128,8 @@ impl ExecStats {
             &self.admission_queue_peak,
             &self.permit_wait_ns,
             &self.peak_memory_bytes,
+            &self.vm_ops_executed,
+            &self.vm_fallback_subtrees,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -149,4 +160,6 @@ pub struct StatsSnapshot {
     pub admission_queue_peak: u64,
     pub permit_wait_ns: u64,
     pub peak_memory_bytes: u64,
+    pub vm_ops_executed: u64,
+    pub vm_fallback_subtrees: u64,
 }

@@ -74,6 +74,10 @@ pub struct NodeTrace {
     /// Source roundtrips (SQL statements / adaptor calls) this operator
     /// issued.
     pub source_roundtrips: u64,
+    /// Of `wall_ns`, the part spent inside the expression VM running
+    /// compiled programs; the remainder is interpreted (tree-walker)
+    /// plus operator-machinery time. Only measured when tracing is on.
+    pub vm_ns: u64,
 }
 
 impl NodeTrace {
@@ -82,6 +86,7 @@ impl NodeTrace {
         self.rows_out += other.rows_out;
         self.wall_ns += other.wall_ns;
         self.source_roundtrips += other.source_roundtrips;
+        self.vm_ns += other.vm_ns;
     }
 }
 
@@ -105,11 +110,12 @@ impl QueryTrace {
         for (key, t) in &self.nodes {
             let _ = writeln!(
                 out,
-                "{key} rows_in={} rows_out={} wall_us={} roundtrips={}",
+                "{key} rows_in={} rows_out={} wall_us={} roundtrips={} vm_us={}",
                 t.rows_in,
                 t.rows_out,
                 t.wall_ns / 1_000,
-                t.source_roundtrips
+                t.source_roundtrips,
+                t.vm_ns / 1_000
             );
         }
         out

@@ -76,6 +76,7 @@ fn build_cell(spec: &CellSpec) -> AldspServer {
     world_tuned(WORLD_N, |b| {
         b.pushdown(spec.pushdown)
             .ppk_prefetch_depth(spec.prefetch_depth)
+            .vm(spec.vm)
     })
     .server
 }
