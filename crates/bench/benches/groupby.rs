@@ -37,7 +37,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("clustered_streaming", |b| {
         b.iter(|| run(&world.server, &user, &clustered))
     });
-    let s = run(&world.server, &user, &clustered).per_query_stats;
+    let s = *run(&world.server, &user, &clustered).per_query_stats();
     eprintln!(
         "clustered: streaming_groups={} sorted_groups={} peak_grouped_tuples={}",
         s.streaming_groups, s.sorted_groups, s.peak_grouped_tuples
@@ -55,7 +55,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("sorted_fallback", |b| {
         b.iter(|| run(&world.server, &user, &sorted))
     });
-    let s = run(&world.server, &user, &sorted).per_query_stats;
+    let s = *run(&world.server, &user, &sorted).per_query_stats();
     eprintln!(
         "sorted: streaming_groups={} sorted_groups={} peak_grouped_tuples={}",
         s.streaming_groups, s.sorted_groups, s.peak_grouped_tuples

@@ -76,7 +76,7 @@ fn bench(c: &mut Criterion) {
                 .bind("start", arg.clone()),
         )
         .expect("q");
-    assert_eq!(a.items.len(), b.items.len());
+    assert_eq!(a.items().len(), b.items().len());
     group.finish();
 }
 

@@ -13,8 +13,8 @@
 //! VM's hot paths: a predicate-heavy scan and a computed-key sort.
 
 use aldsp::security::Principal;
-use aldsp::PushdownLevel;
-use aldsp_bench::fixtures::{build_world, build_world_tuned, run, WorldSize, PROLOG};
+use aldsp::{ExecutionOptions, PushdownLevel};
+use aldsp_bench::fixtures::{build_world, build_world_tuned, run, run_parallel, WorldSize, PROLOG};
 use aldsp_runtime::{Env, NamedEnv};
 use aldsp_xdm::item::Item;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -113,7 +113,7 @@ fn bench(c: &mut Criterion) {
         });
         // sanity: the group-by must run in the middleware (sorted mode),
         // otherwise the bench is not measuring the tuple pipeline
-        let s = run(&world.server, &user, &q).per_query_stats;
+        let s = *run(&world.server, &user, &q).per_query_stats();
         assert!(
             s.sorted_groups > 0,
             "group-by was not middleware-sorted: streaming={} sorted={}",
@@ -124,6 +124,20 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(&label), &rows, |b, _| {
             b.iter(|| black_box(run(&world.server, &user, &q)))
         });
+        // the workers dimension: the same query through the morsel
+        // pool (byte-identity is pinned by tests/parallel.rs; here we
+        // only measure)
+        for workers in [2usize, 4] {
+            let s = *run_parallel(&world.server, &user, &q, workers).per_query_stats();
+            assert!(
+                s.morsels_executed > 0,
+                "workers={workers} never engaged the morsel pool"
+            );
+            let label = format!("grouped_flwor_{}k_w{workers}", rows / 1000);
+            group.bench_with_input(BenchmarkId::from_parameter(&label), &rows, |b, _| {
+                b.iter(|| black_box(run_parallel(&world.server, &user, &q, workers)))
+            });
+        }
     }
 
     // expression-VM hot paths in isolation: pushdown stays off so the
@@ -135,7 +149,7 @@ fn bench(c: &mut Criterion) {
             orders_per_customer: ORDERS_PER_CUSTOMER,
             cards_per_customer: 0,
         },
-        |b| b.pushdown(PushdownLevel::Off),
+        |b| b.execution(ExecutionOptions::new().pushdown(PushdownLevel::Off)),
     );
     let predicate_q = format!(
         "{PROLOG}

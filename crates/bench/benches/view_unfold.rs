@@ -92,8 +92,8 @@ fn bench(c: &mut Criterion) {
         )
         .expect("query");
     assert_eq!(
-        aldsp::xdm::xml::serialize_sequence(&a.items),
-        aldsp::xdm::xml::serialize_sequence(&b.items)
+        aldsp::xdm::xml::serialize_sequence(a.items()),
+        aldsp::xdm::xml::serialize_sequence(b.items())
     );
     let _ = QName::local("x");
     group.finish();

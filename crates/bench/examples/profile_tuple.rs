@@ -80,6 +80,6 @@ fn main() {
                     .trace(TraceLevel::Operators),
             )
             .unwrap();
-        println!("---- {label}\n{}", resp.plan_explain.unwrap_or_default());
+        println!("---- {label}\n{}", resp.plan_explain().unwrap_or_default());
     }
 }

@@ -16,7 +16,9 @@ use aldsp::xdm::schema::ShapeBuilder;
 use aldsp::xdm::types::{ItemType, Occurrence, SequenceType};
 use aldsp::xdm::value::{AtomicType, AtomicValue, Decimal};
 use aldsp::xdm::{Node, QName};
-use aldsp::{AldspServer, QueryRequest, QueryResponse, ServerBuilder, TraceLevel};
+use aldsp::{
+    AldspServer, ExecutionOptions, QueryRequest, QueryResponse, ServerBuilder, TraceLevel,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -272,7 +274,7 @@ fn build_world_full(
     let mut builder = ServerBuilder::new()
         .ppk_block_size(ppk_block_size)
         .ppk_local_method(ppk_local_method)
-        .ppk_prefetch_depth(ppk_prefetch_depth)
+        .execution(ExecutionOptions::new().ppk_prefetch_depth(ppk_prefetch_depth))
         .relational_source(db1.clone(), &cat1, "urn:custDS")
         .expect("register db1")
         .relational_source(db2.clone(), &cat2, "urn:ccDS")
@@ -344,6 +346,24 @@ pub fn native_pair() -> (NativeFunction, NativeFunction) {
 pub fn run(server: &AldspServer, user: &Principal, source: &str) -> QueryResponse {
     server
         .execute(QueryRequest::new(source).principal(user.clone()))
+        .expect("query executes")
+}
+
+/// [`run`] with morsel-driven parallelism at `workers` workers — the
+/// benches' multi-core dimension. Everything else stays at the
+/// server's defaults.
+pub fn run_parallel(
+    server: &AldspServer,
+    user: &Principal,
+    source: &str,
+    workers: usize,
+) -> QueryResponse {
+    server
+        .execute(
+            QueryRequest::new(source)
+                .principal(user.clone())
+                .execution(ExecutionOptions::new().workers(workers)),
+        )
         .expect("query executes")
 }
 

@@ -135,6 +135,10 @@ pub struct CompiledQuery {
     /// `node_id` (empty when compiled with `vm: false`). Shared so each
     /// execution references the compiled code without copying it.
     pub programs: Arc<crate::program::ProgramSet>,
+    /// Parallel-eligibility marks for the plan's FLWORs (morsel-driven
+    /// execution regions), keyed by FLWOR `node_id`. Shared so each
+    /// execution references the analysis without re-deriving it.
+    pub parallel: Arc<crate::parallel::ParallelPlan>,
 }
 
 /// Cache/statistics counters for the view sub-optimizer.
@@ -294,7 +298,7 @@ impl Compiler {
             return Err(diags);
         };
         let external_vars: Vec<String> = module.variables.iter().map(|v| v.name.clone()).collect();
-        let (frame, programs) = self.finish(&mut ctx, &mut plan, &external_vars)?;
+        let (frame, programs, parallel) = self.finish(&mut ctx, &mut plan, &external_vars)?;
         diags.extend(ctx.diags);
         if self.options.mode == Mode::FailFast && !diags.is_empty() {
             return Err(diags);
@@ -307,6 +311,7 @@ impl Compiler {
             pushdown: self.options.pushdown,
             diagnostics: diags,
             programs,
+            parallel,
         })
     }
 
@@ -350,7 +355,7 @@ impl Compiler {
             }
         };
         let mut plan = CExpr::new(kind, span);
-        let (frame, programs) = self.finish(&mut ctx, &mut plan, &external_vars)?;
+        let (frame, programs, parallel) = self.finish(&mut ctx, &mut plan, &external_vars)?;
         let diags = std::mem::take(&mut ctx.diags);
         if self.options.mode == Mode::FailFast && !diags.is_empty() {
             return Err(diags);
@@ -363,18 +368,27 @@ impl Compiler {
             pushdown: self.options.pushdown,
             diagnostics: diags,
             programs,
+            parallel,
         })
     }
 
     /// The per-query stages: type check, inline/optimize, push down SQL,
     /// lay out the tuple frame over the final plan, then lower scalar
     /// subtrees to bytecode (post-frames, so programs see final slots).
+    #[allow(clippy::type_complexity)]
     fn finish(
         &self,
         ctx: &mut Context<'_>,
         plan: &mut CExpr,
         external_vars: &[String],
-    ) -> Result<(Arc<FrameLayout>, Arc<crate::program::ProgramSet>), Vec<Diagnostic>> {
+    ) -> Result<
+        (
+            Arc<FrameLayout>,
+            Arc<crate::program::ProgramSet>,
+            Arc<crate::parallel::ParallelPlan>,
+        ),
+        Vec<Diagnostic>,
+    > {
         let mut tenv: typecheck::TypeEnv = external_vars
             .iter()
             .map(|v| (v.clone(), aldsp_xdm::types::SequenceType::any()))
@@ -400,6 +414,28 @@ impl Compiler {
         } else {
             crate::program::ProgramSet::default()
         };
-        Ok((Arc::new(frame), Arc::new(programs)))
+        // parallel eligibility is a property of the final plan shape and
+        // needs the node ids assigned just above
+        let parallel = crate::parallel::analyze(plan);
+        Ok((Arc::new(frame), Arc::new(programs), Arc::new(parallel)))
+    }
+
+    /// A compiler over the same metadata, inverses, and deployed views
+    /// as this one, but with different [`Options`] — the per-request
+    /// override path for compile-affecting knobs (pushdown level, PP-k
+    /// prefetch depth).
+    pub fn with_options(&self, options: Options) -> Compiler {
+        Compiler {
+            registry: Arc::clone(&self.registry),
+            options,
+            inverses: self.inverses.clone(),
+            views: Mutex::new(self.views.lock().clone()),
+            stats: Mutex::new(CompilerStats::default()),
+        }
+    }
+
+    /// The options this compiler was built with.
+    pub fn options(&self) -> &Options {
+        &self.options
     }
 }

@@ -41,6 +41,12 @@ pub struct ExplainContext<'a> {
     /// subtree root, so lowering-coverage regressions are visible in
     /// review. `None` leaves the plan text unchanged.
     pub programs: Option<&'a crate::program::ProgramSet>,
+    /// The plan's parallel-eligibility marks (from
+    /// [`crate::CompiledQuery::parallel`]): rendered as a
+    /// `-- parallel:` header listing each FLWOR region that morsel-
+    /// driven execution may fan out, so parallelizability regressions
+    /// are visible in review. `None` leaves the plan text unchanged.
+    pub parallel: Option<&'a crate::parallel::ParallelPlan>,
 }
 
 impl<'a> ExplainContext<'a> {
@@ -61,6 +67,9 @@ pub fn explain_plan(plan: &CExpr, ctx: &ExplainContext<'_>) -> String {
     }
     if let Some(p) = ctx.programs {
         let _ = writeln!(out, "-- vm: {p}");
+    }
+    if let Some(p) = ctx.parallel {
+        let _ = writeln!(out, "-- parallel: {p}");
     }
     render_expr(plan, ctx, 0, &mut out);
     out

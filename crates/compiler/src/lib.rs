@@ -17,6 +17,7 @@ pub mod context;
 pub mod explain;
 pub mod frames;
 pub mod ir;
+pub mod parallel;
 pub mod program;
 pub mod rules;
 pub mod sqlgen;
@@ -28,6 +29,7 @@ pub use context::{Context, InverseRegistry, Mode, UserFunction};
 pub use explain::{explain_plan, ExplainContext};
 pub use frames::FrameLayout;
 pub use ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec, NO_SLOT};
+pub use parallel::{ParTail, ParallelMark, ParallelPlan};
 pub use program::{Op, Program, ProgramSet};
 
 use aldsp_relational::Select;

@@ -181,6 +181,103 @@ fn map_rt_error(e: aldsp_runtime::RtError) -> ServerError {
     }
 }
 
+/// The typed execution-tuning surface: every knob that shapes *how* a
+/// query executes (not what it returns — all settings are semantically
+/// transparent and must produce byte-identical results). Set a server
+/// default with [`ServerBuilder::execution`] and override per request
+/// with [`QueryRequest::execution`].
+///
+/// ```ignore
+/// let server = ServerBuilder::new()
+///     .execution(ExecutionOptions::new().workers(4).morsel_size(2048))
+///     .build();
+/// ```
+///
+/// `#[non_exhaustive]`: knobs are added over time; construct via
+/// [`ExecutionOptions::new`] / [`Default`] and the chainable setters so
+/// new fields are not breaking changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ExecutionOptions {
+    /// Worker threads a query may occupy, including the calling thread:
+    /// `1` (the default) is sequential execution; `0` means one worker
+    /// per available CPU. Engages morsel-driven parallelism for plan
+    /// regions the compiler marked partitionable.
+    pub workers: usize,
+    /// Scan rows per morsel — the unit of work parallel workers claim
+    /// (default 1024).
+    pub morsel_size: usize,
+    /// How many PP-k blocks may be prefetched ahead of the local join
+    /// (0 disables prefetch; the default 1 double-buffers).
+    pub ppk_prefetch_depth: usize,
+    /// How much of each plan SQL pushdown may claim
+    /// ([`PushdownLevel::Full`] by default).
+    pub pushdown: PushdownLevel,
+    /// Default per-query instrumentation level
+    /// ([`QueryRequest::trace`] still overrides per request).
+    pub trace_level: TraceLevel,
+}
+
+impl Default for ExecutionOptions {
+    fn default() -> ExecutionOptions {
+        ExecutionOptions {
+            workers: 1,
+            morsel_size: 1024,
+            ppk_prefetch_depth: 1,
+            pushdown: PushdownLevel::default(),
+            trace_level: TraceLevel::Off,
+        }
+    }
+}
+
+impl ExecutionOptions {
+    /// The defaults: sequential, morsels of 1024, PP-k double
+    /// buffering, full pushdown, no tracing.
+    pub fn new() -> ExecutionOptions {
+        ExecutionOptions::default()
+    }
+
+    /// Set [`ExecutionOptions::workers`] (`0` = one per available CPU).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Set [`ExecutionOptions::morsel_size`] (clamped to at least 1).
+    pub fn morsel_size(mut self, rows: usize) -> Self {
+        self.morsel_size = rows.max(1);
+        self
+    }
+
+    /// Set [`ExecutionOptions::ppk_prefetch_depth`].
+    pub fn ppk_prefetch_depth(mut self, depth: usize) -> Self {
+        self.ppk_prefetch_depth = depth;
+        self
+    }
+
+    /// Set [`ExecutionOptions::pushdown`].
+    pub fn pushdown(mut self, level: PushdownLevel) -> Self {
+        self.pushdown = level;
+        self
+    }
+
+    /// Set [`ExecutionOptions::trace_level`].
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
+    /// The worker count with `0 = auto` resolved against the machine.
+    fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
 /// Builds an [`AldspServer`] by registering data sources (the design-time
 /// introspection flow of §2.1) and configuration.
 pub struct ServerBuilder {
@@ -189,11 +286,10 @@ pub struct ServerBuilder {
     security: SecurityPolicy,
     inverses: Vec<(QName, QName)>,
     mode: Mode,
-    pushdown: PushdownLevel,
     mutation: Option<Mutation>,
     ppk_block_size: usize,
     ppk_local_method: aldsp_compiler::LocalJoinMethod,
-    ppk_prefetch_depth: usize,
+    execution: ExecutionOptions,
     admission: GovernorConfig,
     default_memory_budget: Option<u64>,
     source_concurrency_cap: usize,
@@ -215,16 +311,22 @@ impl ServerBuilder {
             security: SecurityPolicy::new(),
             inverses: Vec::new(),
             mode: Mode::FailFast,
-            pushdown: PushdownLevel::default(),
             mutation: None,
             ppk_block_size: 20,
             ppk_local_method: aldsp_compiler::LocalJoinMethod::IndexNestedLoop,
-            ppk_prefetch_depth: 1,
+            execution: ExecutionOptions::default(),
             admission: GovernorConfig::default(),
             default_memory_budget: None,
             source_concurrency_cap: 0,
             vm: true,
         }
+    }
+
+    /// Set the server-default [`ExecutionOptions`]. Individual requests
+    /// override the whole set at once via [`QueryRequest::execution`].
+    pub fn execution(mut self, options: ExecutionOptions) -> Self {
+        self.execution = options;
+        self
     }
 
     /// Toggle the expression VM (on by default): compile scalar
@@ -275,8 +377,9 @@ impl ServerBuilder {
     /// [`PushdownLevel::Off`] compiles the naive middleware-only plans
     /// the differential correctness harness uses as its oracle; every
     /// level must return byte-identical results.
+    #[deprecated(note = "use `execution(ExecutionOptions::new().pushdown(..))`")]
     pub fn pushdown(mut self, level: PushdownLevel) -> Self {
-        self.pushdown = level;
+        self.execution.pushdown = level;
         self
     }
 
@@ -304,8 +407,9 @@ impl ServerBuilder {
     /// Override how many PP-k blocks may be prefetched ahead of the
     /// local join (0 disables prefetch; the default is 1, i.e. double
     /// buffering).
+    #[deprecated(note = "use `execution(ExecutionOptions::new().ppk_prefetch_depth(..))`")]
     pub fn ppk_prefetch_depth(mut self, depth: usize) -> Self {
-        self.ppk_prefetch_depth = depth;
+        self.execution.ppk_prefetch_depth = depth;
         self
     }
 
@@ -437,12 +541,12 @@ impl ServerBuilder {
         let adaptors = Arc::new(self.adaptors);
         let options = Options {
             mode: self.mode,
-            pushdown: self.pushdown,
+            pushdown: self.execution.pushdown,
             mutation: self.mutation,
             dialects: adaptors.connection_dialects(),
             ppk_block_size: self.ppk_block_size,
             ppk_local_method: self.ppk_local_method,
-            ppk_prefetch_depth: self.ppk_prefetch_depth,
+            ppk_prefetch_depth: self.execution.ppk_prefetch_depth,
             vm: self.vm,
             ..Default::default()
         };
@@ -458,6 +562,7 @@ impl ServerBuilder {
             adaptors,
             compiler,
             runtime,
+            execution: self.execution,
             governor: Governor::new(self.admission),
             default_memory_budget: self.default_memory_budget,
             security: self.security,
@@ -523,11 +628,12 @@ pub struct QueryRequest<'a> {
     target: RequestTarget<'a>,
     principal: Principal,
     bindings: Vec<(String, Sequence)>,
-    trace: TraceLevel,
+    trace: Option<TraceLevel>,
     explain_only: bool,
     deadline: Option<std::time::Duration>,
     priority: Priority,
     memory_budget: Option<u64>,
+    execution: Option<ExecutionOptions>,
     sink: Option<&'a mut dyn FnMut(Item) -> bool>,
 }
 
@@ -540,11 +646,12 @@ impl<'a> QueryRequest<'a> {
             target: RequestTarget::Query { source },
             principal: Principal::new("anonymous", &[]),
             bindings: Vec::new(),
-            trace: TraceLevel::default(),
+            trace: None,
             explain_only: false,
             deadline: None,
             priority: Priority::default(),
             memory_budget: None,
+            execution: None,
             sink: None,
         }
     }
@@ -560,11 +667,12 @@ impl<'a> QueryRequest<'a> {
             },
             principal: Principal::new("anonymous", &[]),
             bindings: Vec::new(),
-            trace: TraceLevel::default(),
+            trace: None,
             explain_only: false,
             deadline: None,
             priority: Priority::default(),
             memory_budget: None,
+            execution: None,
             sink: None,
         }
     }
@@ -601,10 +709,11 @@ impl<'a> QueryRequest<'a> {
 
     /// How much per-query instrumentation to collect. At
     /// [`TraceLevel::Operators`] the response carries a per-operator
-    /// [`QueryTrace`] and the plan EXPLAIN; [`TraceLevel::Off`] (the
-    /// default) pays only a branch.
+    /// [`QueryTrace`] and the plan EXPLAIN; [`TraceLevel::Off`] pays
+    /// only a branch. Unset, the request inherits
+    /// [`ExecutionOptions::trace_level`].
     pub fn trace(mut self, level: TraceLevel) -> Self {
-        self.trace = level;
+        self.trace = Some(level);
         self
     }
 
@@ -642,6 +751,16 @@ impl<'a> QueryRequest<'a> {
         self
     }
 
+    /// Override the server's default [`ExecutionOptions`] for this
+    /// request — the whole set at once. Runtime knobs (workers, morsel
+    /// size, trace level) apply directly; compile-affecting knobs
+    /// (pushdown, PP-k prefetch depth) recompile under the override and
+    /// cache the plan under an options-qualified key.
+    pub fn execution(mut self, options: ExecutionOptions) -> Self {
+        self.execution = Some(options);
+        self
+    }
+
     /// Deliver result items incrementally to `sink` instead of
     /// materializing them (§2.2). Security filtering still applies per
     /// item; returning `false` stops execution early.
@@ -651,22 +770,63 @@ impl<'a> QueryRequest<'a> {
     }
 }
 
-/// What one [`AldspServer::execute`] call produced.
+/// What one [`AldspServer::execute`] call produced. Fields are private
+/// behind accessors so new facets (counters arrive in most PRs) are
+/// never breaking changes.
 #[derive(Debug)]
 pub struct QueryResponse {
+    items: Sequence,
+    delivered: u64,
+    per_query_stats: StatsSnapshot,
+    trace: Option<QueryTrace>,
+    plan_explain: Option<String>,
+}
+
+impl QueryResponse {
     /// Materialized, security-filtered result items (empty for
     /// streaming and explain-only requests).
-    pub items: Sequence,
+    pub fn items(&self) -> &Sequence {
+        &self.items
+    }
+
+    /// Take ownership of the result items.
+    pub fn into_items(self) -> Sequence {
+        self.items
+    }
+
     /// Items delivered (to the caller or the streaming sink).
-    pub delivered: u64,
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
     /// This execution's exact stat deltas, unpolluted by concurrent
-    /// queries (unlike the server-wide [`AldspServer::stats`]).
-    pub per_query_stats: StatsSnapshot,
+    /// queries (unlike the server-wide [`AldspServer::stats`]). The
+    /// returned [`StatsSnapshot`] is `#[non_exhaustive]`: read the
+    /// counters you care about by name.
+    pub fn per_query_stats(&self) -> &StatsSnapshot {
+        &self.per_query_stats
+    }
+
     /// Per-operator trace, when requested via [`QueryRequest::trace`].
-    pub trace: Option<QueryTrace>,
+    pub fn trace(&self) -> Option<&QueryTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Take ownership of the per-operator trace.
+    pub fn into_trace(self) -> Option<QueryTrace> {
+        self.trace
+    }
+
     /// The plan EXPLAIN, when tracing or [`QueryRequest::explain_only`]
     /// was requested.
-    pub plan_explain: Option<String>,
+    pub fn plan_explain(&self) -> Option<&str> {
+        self.plan_explain.as_deref()
+    }
+
+    /// Owned variant of [`QueryResponse::plan_explain`].
+    pub fn into_plan_explain(self) -> Option<String> {
+        self.plan_explain
+    }
 }
 
 /// Default bound on cached query plans. Keys are full query texts and
@@ -770,6 +930,7 @@ pub struct AldspServer {
     adaptors: Arc<AdaptorRegistry>,
     compiler: Compiler,
     runtime: Runtime,
+    execution: ExecutionOptions,
     governor: Arc<Governor>,
     default_memory_budget: Option<u64>,
     security: SecurityPolicy,
@@ -817,12 +978,17 @@ impl AldspServer {
             deadline,
             priority,
             memory_budget,
+            execution,
             mut sink,
         } = request;
+        let exec = execution.unwrap_or_else(|| self.execution.clone());
+        let trace = trace.unwrap_or(exec.trace_level);
         let (plan, call_args, criteria) = match target {
-            RequestTarget::Query { source } => {
-                (self.cached_plan(source)?, None, CallCriteria::default())
-            }
+            RequestTarget::Query { source } => (
+                self.cached_plan(source, &exec)?,
+                None,
+                CallCriteria::default(),
+            ),
             RequestTarget::Call {
                 function,
                 args,
@@ -832,7 +998,11 @@ impl AldspServer {
                 // (§7); element-level filtering happens on the results.
                 self.security
                     .check_function_access(&principal, &function, &self.audit)?;
-                (self.cached_call_plan(&function)?, Some(args), criteria)
+                (
+                    self.cached_call_plan(&function, &exec)?,
+                    Some(args),
+                    criteria,
+                )
             }
         };
         let mem_cap = memory_budget.or(self.default_memory_budget);
@@ -870,6 +1040,10 @@ impl AldspServer {
         };
         let borrowed: Vec<(&str, Sequence)> =
             owned.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let tuning = aldsp_runtime::ExecTuning {
+            workers: exec.effective_workers(),
+            morsel_size: exec.morsel_size.max(1),
+        };
         match sink.take() {
             Some(on_item) => {
                 if !criteria.is_empty() {
@@ -879,13 +1053,14 @@ impl AldspServer {
                             .into(),
                     ));
                 }
-                let mut exec = self
+                let mut ex = self
                     .runtime
-                    .execute_streaming_traced_budgeted(
+                    .execute_streaming_tuned(
                         &plan,
                         &borrowed,
                         trace,
                         budget.clone(),
+                        tuning,
                         &mut |item| {
                             let filtered =
                                 self.security
@@ -899,31 +1074,31 @@ impl AldspServer {
                         },
                     )
                     .map_err(map_rt_error)?;
-                exec.per_query_stats.admission_wait_ns = admission_wait_ns;
+                ex.per_query_stats.admission_wait_ns = admission_wait_ns;
                 Ok(QueryResponse {
                     items: Vec::new(),
-                    delivered: exec.delivered,
-                    per_query_stats: exec.per_query_stats,
-                    trace: exec.trace,
+                    delivered: ex.delivered,
+                    per_query_stats: ex.per_query_stats,
+                    trace: ex.trace,
                     plan_explain,
                 })
             }
             None => {
-                let mut exec = self
+                let mut ex = self
                     .runtime
-                    .execute_traced_budgeted(&plan, &borrowed, trace, budget.clone())
+                    .execute_tuned(&plan, &borrowed, trace, budget.clone(), tuning)
                     .map_err(map_rt_error)?;
-                exec.per_query_stats.admission_wait_ns = admission_wait_ns;
+                ex.per_query_stats.admission_wait_ns = admission_wait_ns;
                 let filtered = self
                     .security
-                    .filter_result(&principal, exec.items, &self.audit);
+                    .filter_result(&principal, ex.items, &self.audit);
                 let items = apply_criteria(filtered, &criteria);
                 let delivered = items.len() as u64;
                 Ok(QueryResponse {
                     items,
                     delivered,
-                    per_query_stats: exec.per_query_stats,
-                    trace: exec.trace,
+                    per_query_stats: ex.per_query_stats,
+                    trace: ex.trace,
                     plan_explain,
                 })
             }
@@ -1007,16 +1182,29 @@ impl AldspServer {
         self.update_overrides.lock().insert(provider, f);
     }
 
-    /// Run a query and serialize the results incrementally to a writer —
-    /// "or to redirect them to a file, without materializing them first"
-    /// (§2.2).
+    /// Run a request and serialize the results incrementally to a
+    /// writer — "or to redirect them to a file, without materializing
+    /// them first" (§2.2). Takes a full [`QueryRequest`], so deadlines,
+    /// budgets, priorities and [`ExecutionOptions`] all apply exactly
+    /// as they do for [`AldspServer::execute`]; any `stream_to` sink on
+    /// the request is replaced by the writer.
     pub fn query_to_writer(
         &self,
-        principal: &Principal,
-        source: &str,
-        bindings: &[(&str, Sequence)],
+        request: QueryRequest<'_>,
         out: &mut dyn std::io::Write,
     ) -> Result<u64, ServerError> {
+        let QueryRequest {
+            target,
+            principal,
+            bindings,
+            trace,
+            explain_only,
+            deadline,
+            priority,
+            memory_budget,
+            execution,
+            sink: _,
+        } = request;
         let mut io_err: Option<std::io::Error> = None;
         let mut sink = |item: Item| {
             let text = aldsp_xdm::xml::serialize_sequence(&[item]);
@@ -1028,13 +1216,20 @@ impl AldspServer {
                 }
             }
         };
-        let mut req = QueryRequest::new(source)
-            .principal(principal.clone())
-            .stream_to(&mut sink);
-        for (n, v) in bindings {
-            req = req.bind(n, v.clone());
-        }
-        let delivered = self.execute(req)?.delivered;
+        let delivered = self
+            .execute(QueryRequest {
+                target,
+                principal,
+                bindings,
+                trace,
+                explain_only,
+                deadline,
+                priority,
+                memory_budget,
+                execution,
+                sink: Some(&mut sink),
+            })?
+            .delivered;
         match io_err {
             Some(e) => Err(ServerError::Io(e)),
             None => Ok(delivered),
@@ -1148,26 +1343,64 @@ impl AldspServer {
         &self.adaptors
     }
 
-    fn cached_plan(&self, source: &str) -> Result<Arc<CompiledQuery>, ServerError> {
-        if let Some(p) = self.plan_cache.get(source) {
-            return Ok(p);
+    /// When the request's [`ExecutionOptions`] override a
+    /// compile-affecting knob, plans compile under a compiler carrying
+    /// the override and cache under an options-qualified key —
+    /// `None` means the server's compiler (and bare cache keys) serve.
+    fn override_compiler(&self, exec: &ExecutionOptions) -> Option<(Compiler, String)> {
+        let base = self.compiler.options();
+        if exec.pushdown == base.pushdown && exec.ppk_prefetch_depth == base.ppk_prefetch_depth {
+            return None;
         }
-        let plan = Arc::new(
-            self.compiler
-                .compile_query(source)
-                .map_err(ServerError::Compile)?,
+        let mut options = base.clone();
+        options.pushdown = exec.pushdown;
+        options.ppk_prefetch_depth = exec.ppk_prefetch_depth;
+        let suffix = format!(
+            "\u{1}pushdown={};ppk-depth={}",
+            exec.pushdown, exec.ppk_prefetch_depth
         );
-        self.plan_cache.insert(source.to_string(), plan.clone());
-        Ok(plan)
+        Some((self.compiler.with_options(options), suffix))
     }
 
-    fn cached_call_plan(&self, function: &QName) -> Result<Arc<CompiledQuery>, ServerError> {
-        let key = format!("call:{function}");
+    fn cached_plan(
+        &self,
+        source: &str,
+        exec: &ExecutionOptions,
+    ) -> Result<Arc<CompiledQuery>, ServerError> {
+        let over = self.override_compiler(exec);
+        let key = match &over {
+            Some((_, suffix)) => format!("{source}{suffix}"),
+            None => source.to_string(),
+        };
         if let Some(p) = self.plan_cache.get(&key) {
             return Ok(p);
         }
+        let compiler = over.as_ref().map(|(c, _)| c).unwrap_or(&self.compiler);
         let plan = Arc::new(
-            self.compiler
+            compiler
+                .compile_query(source)
+                .map_err(ServerError::Compile)?,
+        );
+        self.plan_cache.insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    fn cached_call_plan(
+        &self,
+        function: &QName,
+        exec: &ExecutionOptions,
+    ) -> Result<Arc<CompiledQuery>, ServerError> {
+        let over = self.override_compiler(exec);
+        let key = match &over {
+            Some((_, suffix)) => format!("call:{function}{suffix}"),
+            None => format!("call:{function}"),
+        };
+        if let Some(p) = self.plan_cache.get(&key) {
+            return Ok(p);
+        }
+        let compiler = over.as_ref().map(|(c, _)| c).unwrap_or(&self.compiler);
+        let plan = Arc::new(
+            compiler
                 .compile_call(function)
                 .map_err(ServerError::Compile)?,
         );
@@ -1188,6 +1421,7 @@ impl AldspServer {
             governor,
             pushdown: plan.pushdown,
             programs: Some(&plan.programs),
+            parallel: Some(&plan.parallel),
         };
         explain_plan(&plan.plan, &ctx)
     }
@@ -1251,6 +1485,7 @@ mod plan_cache_tests {
             pushdown: Default::default(),
             diagnostics: vec![],
             programs: Arc::new(Default::default()),
+            parallel: Arc::new(Default::default()),
         })
     }
 

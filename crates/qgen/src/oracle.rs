@@ -13,7 +13,7 @@
 use aldsp::security::Principal;
 use aldsp::xdm::item::Item;
 use aldsp::xdm::xml::serialize_sequence;
-use aldsp::{AldspServer, PushdownLevel, QueryRequest, ServerError};
+use aldsp::{AldspServer, ExecutionOptions, PushdownLevel, QueryRequest, ServerError};
 
 /// One configuration cell of the differential matrix.
 #[derive(Debug, Clone)]
@@ -37,31 +37,41 @@ pub struct CellSpec {
     /// the walker so every VM cell is checked against uncompiled
     /// evaluation.
     pub vm: bool,
+    /// Worker threads for morsel-driven parallel execution (1 =
+    /// sequential). Multi-worker cells run unbudgeted — a budget trip
+    /// mid-fan-out may surface at a different tuple than sequential
+    /// execution, and the oracle pins *successful* outputs.
+    pub workers: usize,
 }
 
-/// The default 9-cell matrix from the roadmap: pushdown {off, joins,
-/// full} × representative prefetch/streaming/budget/VM settings. Cell
-/// 0 is the naive reference: no pushdown *and* no expression VM, so
-/// every other cell's bytecode programs are differentially checked
-/// against pure tree-walking.
+/// The default 11-cell matrix from the roadmap: pushdown {off, joins,
+/// full} × representative prefetch/streaming/budget/VM settings, plus
+/// the workers {1, 4} axis — multi-worker cells must be byte-identical
+/// to the single-threaded reference, pinning the morsel merge's
+/// determinism. The multi-worker cells keep pushdown at joins/full:
+/// parallel regions anchor on a pushed SQL scan, so a pushdown-off
+/// plan never fans out (its scans are plain source calls). Cell 0 is the naive reference: no pushdown *and* no
+/// expression VM, so every other cell's bytecode programs are
+/// differentially checked against pure tree-walking.
 pub fn default_matrix() -> Vec<CellSpec> {
-    let cell = |name, pushdown, prefetch_depth, streaming, memory_budget, vm| CellSpec {
+    let cell = |name, pushdown, prefetch_depth, streaming, memory_budget, vm, workers| CellSpec {
         name,
         pushdown,
         prefetch_depth,
         streaming,
         memory_budget,
         vm,
+        workers,
     };
     vec![
-        cell("off", PushdownLevel::Off, 0, false, None, false),
-        cell("off+vm", PushdownLevel::Off, 0, false, None, true),
-        cell("off+stream", PushdownLevel::Off, 0, true, None, true),
-        cell("joins", PushdownLevel::Joins, 0, false, None, true),
-        cell("joins+pp2", PushdownLevel::Joins, 2, true, None, true),
-        cell("full", PushdownLevel::Full, 0, false, None, true),
-        cell("full+pp2", PushdownLevel::Full, 2, false, None, true),
-        cell("full+stream", PushdownLevel::Full, 2, true, None, true),
+        cell("off", PushdownLevel::Off, 0, false, None, false, 1),
+        cell("off+vm", PushdownLevel::Off, 0, false, None, true, 1),
+        cell("off+stream", PushdownLevel::Off, 0, true, None, true, 1),
+        cell("joins", PushdownLevel::Joins, 0, false, None, true, 1),
+        cell("joins+pp2", PushdownLevel::Joins, 2, true, None, true, 1),
+        cell("full", PushdownLevel::Full, 0, false, None, true, 1),
+        cell("full+pp2", PushdownLevel::Full, 2, false, None, true, 1),
+        cell("full+stream", PushdownLevel::Full, 2, true, None, true, 1),
         cell(
             "full+budget",
             PushdownLevel::Full,
@@ -69,7 +79,10 @@ pub fn default_matrix() -> Vec<CellSpec> {
             false,
             Some(64 << 20),
             true,
+            1,
         ),
+        cell("full+mt4", PushdownLevel::Full, 0, false, None, true, 4),
+        cell("joins+mt4", PushdownLevel::Joins, 0, false, None, true, 4),
     ]
 }
 
@@ -151,6 +164,18 @@ impl Oracle {
         if let Some(b) = spec.memory_budget {
             req = req.memory_budget(b);
         }
+        if spec.workers != 1 {
+            // a tiny morsel size so the small fixture actually fans
+            // out; compile knobs repeat the cell's own settings (the
+            // override replaces the whole set)
+            req = req.execution(
+                ExecutionOptions::new()
+                    .workers(spec.workers)
+                    .morsel_size(2)
+                    .pushdown(spec.pushdown)
+                    .ppk_prefetch_depth(spec.prefetch_depth),
+            );
+        }
         if spec.streaming {
             let mut collected: Vec<Item> = Vec::new();
             let mut sink = |item: Item| {
@@ -161,7 +186,7 @@ impl Oracle {
             Ok(serialize_sequence(&collected))
         } else {
             let resp = server.execute(req)?;
-            Ok(serialize_sequence(&resp.items))
+            Ok(serialize_sequence(resp.items()))
         }
     }
 
@@ -193,6 +218,6 @@ impl Oracle {
     pub fn reference_items(&self, query: &str) -> Result<Vec<Item>, ServerError> {
         let (_, server) = &self.cells[0];
         let resp = server.execute(QueryRequest::new(query).principal(self.principal.clone()))?;
-        Ok(resp.items)
+        Ok(resp.into_items())
     }
 }

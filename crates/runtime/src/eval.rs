@@ -23,6 +23,7 @@ use crate::vm::{atomize_first_val, ExprVM, Val};
 use aldsp_adaptors::{AdaptorError, AdaptorRegistry};
 use aldsp_compiler::frames::FrameLayout;
 use aldsp_compiler::ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec};
+use aldsp_compiler::parallel::{ParTail, ParallelMark, ParallelPlan};
 use aldsp_compiler::program::{Program, ProgramSet};
 use aldsp_metadata::Registry;
 use aldsp_relational::{ppk_block_predicate, ResultSet, Select, SqlType, SqlValue};
@@ -96,6 +97,9 @@ pub struct RuntimeInner {
     pub cache: FunctionCache,
     /// Execution counters.
     pub stats: ExecStats,
+    /// The shared morsel worker pool (threads spawn on first parallel
+    /// execution; a single-threaded server never starts any).
+    pub pool: crate::parallel::WorkerPool,
 }
 
 /// Per-execution context threaded through the interpreter: the shared
@@ -125,6 +129,15 @@ pub struct ExecCtx {
     /// subtree-root `node_id` (empty when the plan was compiled with
     /// the VM disabled).
     pub programs: Arc<ProgramSet>,
+    /// The executing plan's parallel-eligibility marks (empty when the
+    /// plan predates the analysis or was built by hand).
+    pub parallel: Arc<ParallelPlan>,
+    /// Worker count for morsel-driven regions; 1 executes everything on
+    /// the calling thread (the default, and the behavior every
+    /// stats/trace assertion in the test suite pins).
+    pub workers: usize,
+    /// Rows per morsel when a region fans out.
+    pub morsel_size: usize,
     /// Per-buffered-tuple memory charge, precomputed from the frame
     /// width (a wider tuple frame holds more state per buffered row).
     tuple_mem: u64,
@@ -140,8 +153,26 @@ impl ExecCtx {
             budget: None,
             frame: Arc::new(FrameLayout::default()),
             programs: Arc::new(ProgramSet::default()),
+            parallel: Arc::new(ParallelPlan::default()),
+            workers: 1,
+            morsel_size: 1024,
             tuple_mem: TUPLE_MEM_BYTES,
         }
+    }
+
+    /// Attach the executing plan's parallel marks and this execution's
+    /// worker/morsel tuning. Zeros are normalized to the sequential
+    /// minimum so callers can pass knobs straight through.
+    pub fn with_parallel(
+        mut self,
+        parallel: Arc<ParallelPlan>,
+        workers: usize,
+        morsel_size: usize,
+    ) -> ExecCtx {
+        self.parallel = parallel;
+        self.workers = workers.max(1);
+        self.morsel_size = morsel_size.max(1);
+        self
     }
 
     /// Attach a workload budget to this execution.
@@ -1294,6 +1325,15 @@ pub fn flwor_tuples<'a>(
     clauses: &'a [Clause],
     base: &Env,
 ) -> TupleIter<'a> {
+    // Morsel-driven path: the compiler marked this FLWOR's leading
+    // clauses as a partitionable region and the execution asked for
+    // more than one worker. Tracing forces the sequential path — its
+    // per-clause row/wall accounting is defined over one stream.
+    if cx.workers > 1 && cx.trace.is_none() {
+        if let Some(mark) = cx.parallel.mark(flwor_id) {
+            return flwor_parallel(cx, flwor_id, clauses, mark, base);
+        }
+    }
     let mut prefetched: HashMap<usize, RtResult<ResultSet>> = HashMap::new();
     let independent: Vec<usize> = clauses
         .iter()
@@ -1343,6 +1383,317 @@ pub fn flwor_tuples<'a>(
         }));
     }
     it
+}
+
+// ---- morsel-driven parallel execution ---------------------------------------------
+//
+// The compiler marked a leading region of this FLWOR — an uncorrelated
+// scan, per-tuple maps, and optionally a sorting group-by or order-by —
+// as partitionable (`compiler::parallel`). The scan executes once; its
+// rows split into fixed-size morsels that workers claim from a shared
+// queue and push through their own copy of the map pipeline, with the
+// tail operator run per partition and merged deterministically. Every
+// merge reproduces what the sequential operator would have produced
+// over the concatenated input, so results are byte-identical to
+// single-threaded execution; clauses after the region, and the FLWOR's
+// return expression, run sequentially downstream as always.
+
+/// Run a marked FLWOR: parallel region, then the remaining clauses
+/// sequentially, then the usual per-tuple budget check.
+fn flwor_parallel<'a>(
+    cx: &'a ExecCtx,
+    flwor_id: u32,
+    clauses: &'a [Clause],
+    mark: ParallelMark,
+    base: &Env,
+) -> TupleIter<'a> {
+    let mut it = parallel_region(cx, clauses, mark, base);
+    for (i, c) in clauses.iter().enumerate().skip(mark.clauses) {
+        it = apply_clause(cx, flwor_id, i, c, it, base.clone(), None);
+    }
+    if cx.budget.is_some() {
+        it = Box::new(it.map(move |t| {
+            cx.check_budget()?;
+            t
+        }));
+    }
+    it
+}
+
+fn parallel_region<'a>(
+    cx: &'a ExecCtx,
+    clauses: &'a [Clause],
+    mark: ParallelMark,
+    base: &Env,
+) -> TupleIter<'a> {
+    let Clause::SqlFor {
+        connection,
+        select,
+        binds,
+        ..
+    } = &clauses[0]
+    else {
+        return one_err(RtError::Plan("parallel region not rooted at a scan".into()));
+    };
+    let bind_slots: Arc<[u32]> = match binds
+        .iter()
+        .map(|(v, _)| cx.slot_of(v))
+        .collect::<RtResult<Vec<u32>>>()
+    {
+        Ok(s) => s.into(),
+        Err(e) => return one_err(e),
+    };
+    // the uncorrelated scan executes exactly once, up front
+    let rows = match exec_sql(cx, connection, select, &[]) {
+        Ok(rs) => Arc::new(rs.rows),
+        Err(e) => return one_err(e),
+    };
+    // per-tuple map clauses between the scan and the tail operator
+    let maps_end = match mark.tail {
+        ParTail::Map => mark.clauses,
+        ParTail::Group | ParTail::Sort => mark.clauses - 1,
+    };
+    let maps = &clauses[1..maps_end];
+    let ranges = crate::parallel::morsel_ranges(rows.len(), cx.morsel_size);
+    let extra_workers = cx.workers.min(ranges.len()).saturating_sub(1);
+    // one pipeline per morsel: bind the morsel's rows under the FLWOR's
+    // base tuple, then apply the map clauses (each morsel owns its
+    // iterators and VM state; the row buffer is shared read-only)
+    let pipeline = move |range: std::ops::Range<usize>| -> TupleIter<'a> {
+        let rows = Arc::clone(&rows);
+        let slots = Arc::clone(&bind_slots);
+        let env = base.clone();
+        let mut it: TupleIter<'a> =
+            Box::new(range.map(move |i| Ok(bind_row(&env, &slots, &rows[i]))));
+        for c in maps {
+            it = build_clause(cx, None, c, it, base.clone(), None);
+        }
+        it
+    };
+    if extra_workers == 0 {
+        // nothing to fan out (empty scan, one morsel, or one worker):
+        // run the whole region sequentially over the fetched rows
+        let it = pipeline(0..ranges.last().map(|r| r.end).unwrap_or(0));
+        return match mark.tail {
+            ParTail::Map => it,
+            ParTail::Group | ParTail::Sort => {
+                build_clause(cx, None, &clauses[mark.clauses - 1], it, base.clone(), None)
+            }
+        };
+    }
+    match mark.tail {
+        ParTail::Map => parallel_map(cx, &ranges, extra_workers, &pipeline),
+        ParTail::Group => {
+            let Clause::GroupBy {
+                bindings,
+                keys,
+                carry,
+                ..
+            } = &clauses[mark.clauses - 1]
+            else {
+                return one_err(RtError::Plan(
+                    "parallel group tail is not a group-by".into(),
+                ));
+            };
+            parallel_group(
+                cx,
+                &ranges,
+                extra_workers,
+                &pipeline,
+                bindings,
+                keys,
+                carry,
+                base,
+            )
+        }
+        ParTail::Sort => {
+            let Clause::OrderBy(specs) = &clauses[mark.clauses - 1] else {
+                return one_err(RtError::Plan(
+                    "parallel sort tail is not an order-by".into(),
+                ));
+            };
+            parallel_sort(cx, &ranges, extra_workers, &pipeline, specs)
+        }
+    }
+}
+
+/// Evaluate one closure per morsel across the worker pool (the caller
+/// participates as a worker) and return the results in morsel order.
+fn run_morsels<T, F>(
+    cx: &ExecCtx,
+    ranges: &[std::ops::Range<usize>],
+    extra_workers: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    use std::sync::Mutex;
+    let queue = crate::parallel::MorselQueue::new(ranges.len());
+    let outs: Vec<Mutex<Option<T>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+    let work = || {
+        let t0 = std::time::Instant::now();
+        let mut claimed = false;
+        while let Some(m) = queue.claim() {
+            claimed = true;
+            let r = f(ranges[m].clone());
+            *outs[m].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            cx.inc(|s| &s.morsels_executed);
+        }
+        if claimed {
+            cx.add(|s| &s.worker_busy_ns, t0.elapsed().as_nanos() as u64);
+        }
+    };
+    cx.rt.pool.run(extra_workers, &work);
+    outs.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every morsel is claimed before the pool job completes")
+        })
+        .collect()
+}
+
+/// All partition results, or — when any partition failed — the earliest
+/// partition's error (the first error sequential execution would have
+/// hit), with every successful partition's memory charge released.
+fn collect_parts<P>(
+    cx: &ExecCtx,
+    results: Vec<RtResult<P>>,
+    charged: impl Fn(&P) -> u64,
+) -> RtResult<Vec<P>> {
+    let mut first_err: Option<RtError> = None;
+    let mut parts = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(p) => parts.push(p),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        for p in &parts {
+            cx.release_mem(charged(p));
+        }
+        return Err(e);
+    }
+    Ok(parts)
+}
+
+/// Map tail: morsel outputs concatenate in input order. Each morsel
+/// stops at its own first error; the earliest erroring morsel ends the
+/// merged stream exactly where the sequential pipeline's consumer
+/// (which stops at the first error) would have stopped.
+fn parallel_map<'a, F>(
+    cx: &'a ExecCtx,
+    ranges: &[std::ops::Range<usize>],
+    extra_workers: usize,
+    pipeline: &F,
+) -> TupleIter<'a>
+where
+    F: Fn(std::ops::Range<usize>) -> TupleIter<'a> + Sync,
+{
+    let parts: Vec<Vec<RtResult<Env>>> = run_morsels(cx, ranges, extra_workers, |range| {
+        if let Err(e) = cx.check_budget() {
+            return vec![Err(e)];
+        }
+        let mut out = Vec::new();
+        for t in pipeline(range) {
+            let bad = t.is_err();
+            out.push(t);
+            if bad {
+                break;
+            }
+        }
+        out
+    });
+    let mut merged: Vec<RtResult<Env>> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    'outer: for part in parts {
+        for t in part {
+            let bad = t.is_err();
+            merged.push(t);
+            if bad {
+                break 'outer;
+            }
+        }
+    }
+    Box::new(merged.into_iter())
+}
+
+/// Group tail: each partition groups independently ([`group_partition`],
+/// the very code the sequential operator runs), partitions merge
+/// pairwise by key, and the merged groups emit in key order.
+#[allow(clippy::too_many_arguments)]
+fn parallel_group<'a, F>(
+    cx: &'a ExecCtx,
+    ranges: &[std::ops::Range<usize>],
+    extra_workers: usize,
+    pipeline: &F,
+    bindings: &'a [(String, String)],
+    keys: &'a [(CExpr, String)],
+    carry: &'a [(String, String)],
+    base: &Env,
+) -> TupleIter<'a>
+where
+    F: Fn(std::ops::Range<usize>) -> TupleIter<'a> + Sync,
+{
+    let slots = match GroupSlots::resolve(cx, bindings, keys, carry) {
+        Ok(s) => s,
+        Err(e) => return one_err(e),
+    };
+    // one *operator* ran, however many partitions it fanned out to
+    cx.inc(|s| &s.sorted_groups);
+    let results: Vec<RtResult<GroupedPart>> = run_morsels(cx, ranges, extra_workers, |range| {
+        cx.check_budget()?;
+        group_partition(cx, None, &slots, keys, pipeline(range))
+    });
+    let parts = match collect_parts(cx, results, |p: &GroupedPart| p.charged) {
+        Ok(p) => p,
+        Err(e) => return one_err(e),
+    };
+    let nk = keys.len();
+    let merged = parts
+        .into_iter()
+        .reduce(|l, r| merge_grouped_parts(nk, l, r))
+        .expect("at least one morsel");
+    cx.peak(|s| &s.peak_grouped_tuples, merged.rows);
+    emit_grouped_part(cx, &slots, merged, base)
+}
+
+/// Sort tail: each partition sorts stably ([`sort_partition`], the
+/// sequential operator's code), then partitions merge with ties going
+/// to the earlier partition — a global stable sort.
+fn parallel_sort<'a, F>(
+    cx: &'a ExecCtx,
+    ranges: &[std::ops::Range<usize>],
+    extra_workers: usize,
+    pipeline: &F,
+    specs: &'a [OrderSpec],
+) -> TupleIter<'a>
+where
+    F: Fn(std::ops::Range<usize>) -> TupleIter<'a> + Sync,
+{
+    let results: Vec<RtResult<SortedPart>> = run_morsels(cx, ranges, extra_workers, |range| {
+        cx.check_budget()?;
+        sort_partition(cx, None, specs, pipeline(range))
+    });
+    let parts = match collect_parts(cx, results, |p: &SortedPart| p.charged) {
+        Ok(p) => p,
+        Err(e) => return one_err(e),
+    };
+    let merged = parts
+        .into_iter()
+        .reduce(|l, r| merge_sorted_parts(specs, l, r))
+        .expect("at least one morsel");
+    Box::new(Charged {
+        cx,
+        bytes: merged.charged,
+        inner: Box::new(merged.rows.into_iter().map(|(_, e)| Ok(e))),
+    })
 }
 
 /// Counts tuples flowing *into* a traced clause; the plain `u64` is
@@ -1652,14 +2003,100 @@ impl Drop for Charged<'_> {
     }
 }
 
-/// Abort a buffering operator: return the memory it had charged and
-/// surface the error.
-fn charged_err<'a>(cx: &ExecCtx, charged: u64, e: RtError) -> TupleIter<'a> {
-    cx.release_mem(charged);
-    one_err(e)
+// ---- order by -------------------------------------------------------------------
+
+/// One sorted partition: rows with their evaluated sort keys, plus the
+/// buffered-tuple memory the partition holds charged against the budget
+/// (released by whoever ends up owning the rows).
+struct SortedPart {
+    rows: Vec<(Vec<Option<AtomicValue>>, Env)>,
+    charged: u64,
 }
 
-// ---- order by -------------------------------------------------------------------
+/// The full `order by` comparator over evaluated key tuples.
+fn cmp_spec_keys(
+    specs: &[OrderSpec],
+    a: &[Option<AtomicValue>],
+    b: &[Option<AtomicValue>],
+) -> Ordering {
+    for (i, s) in specs.iter().enumerate() {
+        let mut ord = cmp_keys(&a[i], &b[i], s.empty_least);
+        if s.descending {
+            ord = ord.reverse();
+        }
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Materialize and stably sort one partition of the input. On error the
+/// partition's own charges are released before returning.
+fn sort_partition(
+    cx: &ExecCtx,
+    tkey: Option<TraceKey>,
+    specs: &[OrderSpec],
+    input: TupleIter<'_>,
+) -> RtResult<SortedPart> {
+    // compiled sort keys run on one partition-owned VM across all rows
+    let progs: Vec<Option<Arc<Program>>> = specs.iter().map(|s| key_prog(cx, &s.expr)).collect();
+    let mut vm = VmState::new(cx, tkey);
+    let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
+    let mut charged = 0u64;
+    let fail = |cx: &ExecCtx, charged: u64, e: RtError| {
+        cx.release_mem(charged);
+        Err(e)
+    };
+    for tuple in input {
+        let env = match tuple {
+            Ok(e) => e,
+            Err(e) => return fail(cx, charged, e),
+        };
+        // the sort buffer is blocking state: charge it against the budget
+        if let Err(e) = cx.charge_mem(cx.tuple_mem) {
+            return fail(cx, charged, e);
+        }
+        charged += cx.tuple_mem;
+        let mut key = Vec::with_capacity(specs.len());
+        for (s, prog) in specs.iter().zip(&progs) {
+            match key_first(cx, &mut vm, prog, &s.expr, &env) {
+                Ok(k) => key.push(k),
+                Err(e) => return fail(cx, charged, e),
+            }
+        }
+        rows.push((key, env));
+    }
+    rows.sort_by(|(a, _), (b, _)| cmp_spec_keys(specs, a, b));
+    Ok(SortedPart { rows, charged })
+}
+
+/// Merge two sorted partitions where `left` holds the earlier input
+/// rows: ties go left, which is exactly what one stable sort over the
+/// concatenated input would have produced.
+fn merge_sorted_parts(specs: &[OrderSpec], left: SortedPart, right: SortedPart) -> SortedPart {
+    let mut rows = Vec::with_capacity(left.rows.len() + right.rows.len());
+    let mut li = left.rows.into_iter().peekable();
+    let mut ri = right.rows.into_iter().peekable();
+    loop {
+        match (li.peek(), ri.peek()) {
+            (Some((lk, _)), Some((rk, _))) => {
+                if cmp_spec_keys(specs, lk, rk) == Ordering::Greater {
+                    rows.push(ri.next().expect("peeked"));
+                } else {
+                    rows.push(li.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => rows.push(li.next().expect("peeked")),
+            (None, Some(_)) => rows.push(ri.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    SortedPart {
+        rows,
+        charged: left.charged + right.charged,
+    }
+}
 
 fn order_by<'a>(
     cx: &'a ExecCtx,
@@ -1667,47 +2104,14 @@ fn order_by<'a>(
     specs: &'a [OrderSpec],
     input: TupleIter<'a>,
 ) -> TupleIter<'a> {
-    // compiled sort keys run on one operator-owned VM across all rows
-    let progs: Vec<Option<Arc<Program>>> = specs.iter().map(|s| key_prog(cx, &s.expr)).collect();
-    let mut vm = VmState::new(cx, tkey);
-    let mut rows: Vec<(Vec<Option<AtomicValue>>, Env)> = Vec::new();
-    let mut charged = 0u64;
-    for tuple in input {
-        let env = match tuple {
-            Ok(e) => e,
-            Err(e) => return charged_err(cx, charged, e),
-        };
-        // the sort buffer is blocking state: charge it against the budget
-        if let Err(e) = cx.charge_mem(cx.tuple_mem) {
-            return charged_err(cx, charged, e);
-        }
-        charged += cx.tuple_mem;
-        let mut key = Vec::with_capacity(specs.len());
-        for (s, prog) in specs.iter().zip(&progs) {
-            match key_first(cx, &mut vm, prog, &s.expr, &env) {
-                Ok(k) => key.push(k),
-                Err(e) => return charged_err(cx, charged, e),
-            }
-        }
-        rows.push((key, env));
+    match sort_partition(cx, tkey, specs, input) {
+        Ok(part) => Box::new(Charged {
+            cx,
+            bytes: part.charged,
+            inner: Box::new(part.rows.into_iter().map(|(_, e)| Ok(e))),
+        }),
+        Err(e) => one_err(e),
     }
-    rows.sort_by(|(a, _), (b, _)| {
-        for (i, s) in specs.iter().enumerate() {
-            let mut ord = cmp_keys(&a[i], &b[i], s.empty_least);
-            if s.descending {
-                ord = ord.reverse();
-            }
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
-    });
-    Box::new(Charged {
-        cx,
-        bytes: charged,
-        inner: Box::new(rows.into_iter().map(|(_, e)| Ok(e))),
-    })
 }
 
 fn cmp_keys(a: &Option<AtomicValue>, b: &Option<AtomicValue>, empty_least: bool) -> Ordering {
@@ -1932,6 +2336,143 @@ impl Drop for StreamingGroups<'_> {
 
 /// The fallback: materialize, sort by the keys, then stream-group —
 /// "in the worst case, ALDSP falls back on sorting for grouping" (§4.2).
+/// One grouped partition, ready to emit or merge: the kept first-row
+/// key cells (`nk` per group), the groups in **key-sorted order** with
+/// their accumulators and carried first-row values, the input row count
+/// (for the memory high-water mark), and the buffered-tuple charge the
+/// partition holds.
+struct GroupedPart {
+    flat_keys: Vec<Option<AtomicValue>>,
+    /// `(index into flat_keys rows, group)`, sorted by key.
+    entries: Vec<(u32, SortedGroupAcc)>,
+    rows: u64,
+    charged: u64,
+}
+
+/// Per-group accumulated state for the sorting group operator.
+struct SortedGroupAcc {
+    accums: Vec<Sequence>,
+    carried: Vec<Sequence>,
+}
+
+/// Compare two groups' key rows across (possibly different) partitions.
+fn cmp_group_keys(
+    nk: usize,
+    a_keys: &[Option<AtomicValue>],
+    a: usize,
+    b_keys: &[Option<AtomicValue>],
+    b: usize,
+) -> Ordering {
+    for (x, y) in a_keys[a * nk..(a + 1) * nk]
+        .iter()
+        .zip(&b_keys[b * nk..(b + 1) * nk])
+    {
+        let ord = cmp_keys(x, y, true);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Merge two grouped partitions where `left` holds the earlier input
+/// rows. Equal keys combine into one group: accumulators concatenate
+/// left-then-right (partitions are contiguous input ranges, so that is
+/// input order), and the kept key cells and carried values come from
+/// the left — the group's overall first row. The result is exactly the
+/// partition [`group_partition`] would have built over the concatenated
+/// input.
+fn merge_grouped_parts(nk: usize, left: GroupedPart, right: GroupedPart) -> GroupedPart {
+    let mut flat_keys: Vec<Option<AtomicValue>> = Vec::new();
+    let mut entries: Vec<(u32, SortedGroupAcc)> = Vec::new();
+    let mut li = left.entries.into_iter().peekable();
+    let mut ri = right.entries.into_iter().peekable();
+    let push = |flat_keys: &mut Vec<Option<AtomicValue>>,
+                entries: &mut Vec<(u32, SortedGroupAcc)>,
+                src: &[Option<AtomicValue>],
+                first: u32,
+                acc: SortedGroupAcc| {
+        let row = (flat_keys.len() / nk.max(1)) as u32;
+        flat_keys.extend_from_slice(&src[first as usize * nk..(first as usize + 1) * nk]);
+        entries.push((row, acc));
+    };
+    loop {
+        let ord = match (li.peek(), ri.peek()) {
+            (Some(&(lf, _)), Some(&(rf, _))) => cmp_group_keys(
+                nk,
+                &left.flat_keys,
+                lf as usize,
+                &right.flat_keys,
+                rf as usize,
+            ),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => break,
+        };
+        match ord {
+            Ordering::Less => {
+                let (f, acc) = li.next().expect("peeked");
+                push(&mut flat_keys, &mut entries, &left.flat_keys, f, acc);
+            }
+            Ordering::Greater => {
+                let (f, acc) = ri.next().expect("peeked");
+                push(&mut flat_keys, &mut entries, &right.flat_keys, f, acc);
+            }
+            Ordering::Equal => {
+                let (lf, mut lacc) = li.next().expect("peeked");
+                let (_, racc) = ri.next().expect("peeked");
+                for (a, r) in lacc.accums.iter_mut().zip(racc.accums) {
+                    a.extend(r);
+                }
+                push(&mut flat_keys, &mut entries, &left.flat_keys, lf, lacc);
+            }
+        }
+    }
+    GroupedPart {
+        flat_keys,
+        entries,
+        rows: left.rows + right.rows,
+        charged: left.charged + right.charged,
+    }
+}
+
+/// Emit a grouped partition's groups in key order over `base`, holding
+/// its memory charge until the stream is dropped.
+fn emit_grouped_part<'a>(
+    cx: &'a ExecCtx,
+    slots: &GroupSlots,
+    part: GroupedPart,
+    base: &Env,
+) -> TupleIter<'a> {
+    let nk = slots.aliases.len();
+    let mut out: Vec<Env> = Vec::with_capacity(part.entries.len());
+    for (first, acc) in part.entries {
+        let mut w = base.writer();
+        for (&slot, k) in slots
+            .aliases
+            .iter()
+            .zip(&part.flat_keys[first as usize * nk..(first as usize + 1) * nk])
+        {
+            w.set(
+                slot,
+                k.clone().map(|v| vec![Item::Atomic(v)]).unwrap_or_default(),
+            );
+        }
+        for (&slot, a) in slots.bind_to.iter().zip(acc.accums) {
+            w.set(slot, a);
+        }
+        for (&slot, v) in slots.carry_to.iter().zip(acc.carried) {
+            w.set(slot, v);
+        }
+        out.push(w.finish());
+    }
+    Box::new(Charged {
+        cx,
+        bytes: part.charged,
+        inner: Box::new(out.into_iter().map(Ok)),
+    })
+}
+
 fn sorted_group_by<'a>(
     cx: &'a ExecCtx,
     tkey: Option<TraceKey>,
@@ -1941,6 +2482,23 @@ fn sorted_group_by<'a>(
     base: Env,
 ) -> TupleIter<'a> {
     cx.inc(|s| &s.sorted_groups);
+    let part = match group_partition(cx, tkey, slots, keys, input) {
+        Ok(p) => p,
+        Err(e) => return one_err(e),
+    };
+    cx.peak(|s| &s.peak_grouped_tuples, part.rows);
+    emit_grouped_part(cx, slots, part, &base)
+}
+
+/// Group one partition of the input into a [`GroupedPart`]. On error
+/// the partition's own charges are released before returning.
+fn group_partition(
+    cx: &ExecCtx,
+    tkey: Option<TraceKey>,
+    slots: &GroupSlots,
+    keys: &[(CExpr, String)],
+    input: TupleIter<'_>,
+) -> RtResult<GroupedPart> {
     let mut vm = VmState::new(cx, tkey);
     // Incremental grouping instead of buffer-sort-scan: each row's key
     // is compared against the previous row's key first (clustered
@@ -1955,11 +2513,7 @@ fn sorted_group_by<'a>(
     let nk = keys.len();
     // group keys, `nk` cells per *group first-row*, kept for comparison
     let mut flat_keys: Vec<Option<AtomicValue>> = Vec::new();
-    struct GroupAcc {
-        accums: Vec<Sequence>,
-        carried: Vec<Sequence>,
-    }
-    let mut groups: Vec<GroupAcc> = Vec::new();
+    let mut groups: Vec<SortedGroupAcc> = Vec::new();
     // gid → index into flat_keys of that group's kept key cells
     let mut group_first: Vec<u32> = Vec::new();
     // (index into flat_keys of the group's key, group id), key-sorted
@@ -1967,26 +2521,20 @@ fn sorted_group_by<'a>(
     let mut prev_gid: Option<u32> = None;
     let mut rows = 0u64;
     let mut charged = 0u64;
-    fn row_key(fk: &[Option<AtomicValue>], nk: usize, i: usize) -> &[Option<AtomicValue>] {
-        &fk[i * nk..(i + 1) * nk]
-    }
-    let cmp_key_rows = |fk: &[Option<AtomicValue>], a: usize, b: usize| {
-        for (x, y) in row_key(fk, nk, a).iter().zip(row_key(fk, nk, b)) {
-            let ord = cmp_keys(x, y, true);
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
+    let fail = |cx: &ExecCtx, charged: u64, e: RtError| {
+        cx.release_mem(charged);
+        Err(e)
     };
+    let cmp_key_rows =
+        |fk: &[Option<AtomicValue>], a: usize, b: usize| cmp_group_keys(nk, fk, a, fk, b);
     for tuple in input {
         let env = match tuple {
             Ok(e) => e,
-            Err(e) => return charged_err(cx, charged, e),
+            Err(e) => return fail(cx, charged, e),
         };
         // grouped accumulators are blocking state: charge per input row
         if let Err(e) = cx.charge_mem(cx.tuple_mem) {
-            return charged_err(cx, charged, e);
+            return fail(cx, charged, e);
         }
         charged += cx.tuple_mem;
         rows += 1;
@@ -1995,7 +2543,7 @@ fn sorted_group_by<'a>(
         for ((kexpr, _), prog) in keys.iter().zip(&slots.key_progs) {
             match key_first(cx, &mut vm, prog, kexpr, &env) {
                 Ok(k) => flat_keys.push(k),
-                Err(e) => return charged_err(cx, charged, e),
+                Err(e) => return fail(cx, charged, e),
             }
         }
         let gid = match prev_gid {
@@ -2015,7 +2563,7 @@ fn sorted_group_by<'a>(
                         // a group, capturing the carried slots from
                         // this (its first) row
                         let g = groups.len() as u32;
-                        groups.push(GroupAcc {
+                        groups.push(SortedGroupAcc {
                             accums: vec![Vec::new(); slots.bind_from.len()],
                             carried: slots
                                 .carry_from
@@ -2044,39 +2592,25 @@ fn sorted_group_by<'a>(
         }
         prev_gid = Some(gid);
     }
-    cx.peak(|s| &s.peak_grouped_tuples, rows);
-    let mut out: Vec<Env> = Vec::with_capacity(uniq.len());
-    for &(first, gid) in &uniq {
-        let GroupAcc { accums, carried } = std::mem::replace(
-            &mut groups[gid as usize],
-            GroupAcc {
-                accums: Vec::new(),
-                carried: Vec::new(),
-            },
-        );
-        let mut w = base.writer();
-        for (&slot, k) in slots
-            .aliases
-            .iter()
-            .zip(row_key(&flat_keys, nk, first as usize))
-        {
-            w.set(
-                slot,
-                k.clone().map(|v| vec![Item::Atomic(v)]).unwrap_or_default(),
+    // hand the groups over in key order (what `uniq` maintained)
+    let entries: Vec<(u32, SortedGroupAcc)> = uniq
+        .into_iter()
+        .map(|(first, gid)| {
+            let acc = std::mem::replace(
+                &mut groups[gid as usize],
+                SortedGroupAcc {
+                    accums: Vec::new(),
+                    carried: Vec::new(),
+                },
             );
-        }
-        for (&slot, acc) in slots.bind_to.iter().zip(accums) {
-            w.set(slot, acc);
-        }
-        for (&slot, v) in slots.carry_to.iter().zip(carried) {
-            w.set(slot, v);
-        }
-        out.push(w.finish());
-    }
-    Box::new(Charged {
-        cx,
-        bytes: charged,
-        inner: Box::new(out.into_iter().map(Ok)),
+            (first, acc)
+        })
+        .collect();
+    Ok(GroupedPart {
+        flat_keys,
+        entries,
+        rows,
+        charged,
     })
 }
 

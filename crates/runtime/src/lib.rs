@@ -12,6 +12,7 @@
 pub mod cache;
 pub mod env;
 pub mod eval;
+pub mod parallel;
 pub mod stats;
 pub mod trace;
 pub mod vm;
@@ -19,6 +20,7 @@ pub mod vm;
 pub use cache::FunctionCache;
 pub use env::{Env, EnvWriter, NamedEnv};
 pub use eval::{ExecCtx, RtError, RtResult, RuntimeInner};
+pub use parallel::{morsel_ranges, MorselQueue, WorkerPool};
 pub use stats::{ExecStats, StatsSnapshot};
 pub use trace::{NodeTrace, QueryTrace, TraceCollector, TraceKey, TraceLevel};
 pub use vm::ExprVM;
@@ -47,6 +49,28 @@ pub struct Execution {
     pub trace: Option<QueryTrace>,
 }
 
+/// Per-execution tuning knobs the server threads down from its typed
+/// `ExecutionOptions` surface: how many workers a query may engage and
+/// how many scan rows form one morsel. The default is single-threaded
+/// execution — parallelism is strictly opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecTuning {
+    /// Workers a query may occupy, including the calling thread
+    /// (`1` = sequential; values are clamped to at least 1).
+    pub workers: usize,
+    /// Scan rows per morsel for parallel execution.
+    pub morsel_size: usize,
+}
+
+impl Default for ExecTuning {
+    fn default() -> ExecTuning {
+        ExecTuning {
+            workers: 1,
+            morsel_size: 1024,
+        }
+    }
+}
+
 /// The query execution engine.
 #[derive(Clone)]
 pub struct Runtime {
@@ -62,6 +86,7 @@ impl Runtime {
                 adaptors,
                 cache: FunctionCache::new(),
                 stats: ExecStats::default(),
+                pool: parallel::WorkerPool::new(),
             }),
         }
     }
@@ -100,11 +125,31 @@ impl Runtime {
         level: TraceLevel,
         budget: Option<Arc<QueryBudget>>,
     ) -> RtResult<Execution> {
+        self.execute_tuned(query, bindings, level, budget, ExecTuning::default())
+    }
+
+    /// [`Runtime::execute_traced_budgeted`] with explicit [`ExecTuning`]:
+    /// `workers > 1` lets plan regions the compiler marked partitionable
+    /// run morsel-parallel across the shared worker pool. Results are
+    /// byte-identical to sequential execution regardless of tuning.
+    pub fn execute_tuned(
+        &self,
+        query: &CompiledQuery,
+        bindings: &[(&str, Sequence)],
+        level: TraceLevel,
+        budget: Option<Arc<QueryBudget>>,
+        tuning: ExecTuning,
+    ) -> RtResult<Execution> {
         let env = self.bind_env(query, bindings);
         let (cx, collector) = self.exec_ctx(level);
         let cx = cx
             .with_frame(Arc::clone(&query.frame))
             .with_programs(Arc::clone(&query.programs))
+            .with_parallel(
+                Arc::clone(&query.parallel),
+                tuning.workers,
+                tuning.morsel_size,
+            )
             .with_budget(budget);
         let t0 = std::time::Instant::now();
         let result = eval::eval(&cx, &query.plan, &env);
@@ -172,11 +217,40 @@ impl Runtime {
         budget: Option<Arc<QueryBudget>>,
         on_item: &mut dyn FnMut(aldsp_xdm::item::Item) -> bool,
     ) -> RtResult<Execution> {
+        self.execute_streaming_tuned(
+            query,
+            bindings,
+            level,
+            budget,
+            ExecTuning::default(),
+            on_item,
+        )
+    }
+
+    /// [`Runtime::execute_streaming_traced_budgeted`] with explicit
+    /// [`ExecTuning`] — the streaming twin of [`Runtime::execute_tuned`].
+    /// The parallel region (when one engages) materializes its own
+    /// output, but clauses past it and the return expression still
+    /// stream to the sink tuple by tuple.
+    pub fn execute_streaming_tuned(
+        &self,
+        query: &CompiledQuery,
+        bindings: &[(&str, Sequence)],
+        level: TraceLevel,
+        budget: Option<Arc<QueryBudget>>,
+        tuning: ExecTuning,
+        on_item: &mut dyn FnMut(aldsp_xdm::item::Item) -> bool,
+    ) -> RtResult<Execution> {
         let env = self.bind_env(query, bindings);
         let (cx, collector) = self.exec_ctx(level);
         let cx = cx
             .with_frame(Arc::clone(&query.frame))
             .with_programs(Arc::clone(&query.programs))
+            .with_parallel(
+                Arc::clone(&query.parallel),
+                tuning.workers,
+                tuning.morsel_size,
+            )
             .with_budget(budget);
         let t0 = std::time::Instant::now();
         let mut delivered = 0u64;
@@ -873,6 +947,55 @@ mod tests {
         );
         let st = w.runtime.stats();
         assert!(st.streaming_groups + st.sorted_groups >= 1);
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_and_uses_the_pool() {
+        // one query per partitionable tail: grouped pre-aggregation,
+        // parallel sort with merge, and plain per-morsel map; morsel
+        // size 1 over three ORDER rows forces real fan-out
+        let queries = [
+            r#"for $o in c:ORDER()
+               let $oid := $o/OID
+               group $oid as $ids by fn:substring($o/CID, 1, 2) as $k
+               return <G key="{$k}">{ fn:count($ids) }</G>"#,
+            r#"for $o in c:ORDER()
+               order by fn:substring($o/CID, 1, 2) descending, $o/OID ascending
+               return $o/OID"#,
+            r#"for $o in c:ORDER()
+               let $a := $o/AMOUNT
+               where fn:count($a) ge 1
+               return <O>{ $o/OID, $a }</O>"#,
+        ];
+        for query in queries {
+            let w = world();
+            let q = w
+                .compiler
+                .compile_query(&format!("{PROLOG}\n{query}"))
+                .unwrap_or_else(|d| panic!("compile failed: {d:?}"));
+            assert!(
+                !q.parallel.is_empty(),
+                "expected a parallel mark for: {query}\nplan: {:#?}",
+                q.plan
+            );
+            let expect = as_xml(&w.runtime.execute(&q, &[]).unwrap());
+            for workers in [2usize, 4] {
+                let tuning = ExecTuning {
+                    workers,
+                    morsel_size: 1,
+                };
+                let ex = w
+                    .runtime
+                    .execute_tuned(&q, &[], TraceLevel::Off, None, tuning)
+                    .unwrap();
+                assert_eq!(as_xml(&ex.items), expect, "workers={workers}: {query}");
+                assert!(
+                    ex.per_query_stats.morsels_executed > 0,
+                    "workers={workers} never claimed a morsel: {query}"
+                );
+            }
+            assert!(w.runtime.inner().pool.threads_spawned() > 0);
+        }
     }
 
     #[test]

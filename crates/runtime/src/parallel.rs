@@ -1,0 +1,415 @@
+//! The shared worker pool for morsel-driven execution.
+//!
+//! One pool lives in the runtime and serves every query. A query's
+//! driving thread calls [`WorkerPool::run`] with a *work function* —
+//! typically "claim morsel indices from a [`MorselQueue`] until empty,
+//! evaluate each, park the result in its output slot" — and a count of
+//! extra workers it wants. Pool threads that pick the job up call the
+//! same function; the driving thread **also** runs it (it would
+//! otherwise just block), so `run(n - 1, work)` yields up to `n`
+//! executions of `work` in parallel and degrades gracefully to plain
+//! sequential execution when the pool is saturated: helpers are an
+//! upper bound, never a requirement, which is what makes a shared pool
+//! safe under concurrent queries — no query can deadlock waiting for
+//! workers another query holds.
+//!
+//! The work function borrows the caller's stack (the morsel queue, the
+//! output slots, the `ExecCtx`), which is sound because `run` does not
+//! return — by normal exit *or* unwind — until every helper that
+//! started the work function has finished it, and the job is closed
+//! first so no helper can start late. Worker panics are caught,
+//! recorded, and re-raised on the calling thread after the join.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Upper bound on pool threads, whatever worker counts queries ask for.
+const MAX_POOL_THREADS: usize = 32;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct JobSt {
+    /// Helpers that may still *start* the work function. Decremented on
+    /// start; zeroed when the job closes.
+    helpers_wanted: usize,
+    /// Helpers currently inside the work function.
+    active: usize,
+    /// Set by the owner when it is done: late helpers must discard the
+    /// job without touching `work`.
+    closed: bool,
+    /// A helper's work invocation panicked.
+    panicked: bool,
+}
+
+/// A posted unit of shared work. `work` is the caller's borrowed
+/// closure with its lifetime erased; see the invariants on [`JobState`].
+struct JobState {
+    /// SAFETY invariant: dereferenced only while the owning
+    /// [`WorkerPool::run`] frame is alive — helpers check `closed`
+    /// under the lock before starting, and `run`'s close guard waits
+    /// for `active == 0` before its frame (and the borrow) can die.
+    work: *const (dyn Fn() + Sync),
+    st: Mutex<JobSt>,
+    cv: Condvar,
+}
+
+// SAFETY: the raw `work` pointer is what blocks the auto-traits. It
+// points at a `Sync` closure (shared calls are fine) and the
+// closed/active protocol above keeps it from dangling.
+unsafe impl Send for JobState {}
+unsafe impl Sync for JobState {}
+
+impl JobState {
+    /// Run the work function once as a helper, or discard the job if it
+    /// is closed or already fully subscribed.
+    fn help(&self) {
+        {
+            let mut st = lock(&self.st);
+            if st.closed || st.helpers_wanted == 0 {
+                return;
+            }
+            st.helpers_wanted -= 1;
+            st.active += 1;
+        }
+        // SAFETY: per the JobState invariant — we were admitted under
+        // the lock while the job was open, so the owner is parked in
+        // `run` until our `active` decrement below.
+        let work = unsafe { &*self.work };
+        let result = catch_unwind(AssertUnwindSafe(work));
+        let mut st = lock(&self.st);
+        st.active -= 1;
+        if result.is_err() {
+            st.panicked = true;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Closes the job and drains helpers on scope exit — including an
+/// unwind of the caller's own work invocation, which is exactly when
+/// leaving early would dangle the borrow.
+struct CloseGuard<'a>(&'a JobState);
+
+impl CloseGuard<'_> {
+    fn close_and_drain(&self) -> bool {
+        let mut st = lock(&self.0.st);
+        st.closed = true;
+        st.helpers_wanted = 0;
+        while st.active > 0 {
+            st = self.0.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.panicked
+    }
+}
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        self.close_and_drain();
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<JobState>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The shared, lazily-grown worker pool.
+///
+/// Threads are spawned on first demand (a server configured for
+/// single-threaded execution never starts any) up to
+/// `MAX_POOL_THREADS`, and joined on drop.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    spawned: AtomicUsize,
+}
+
+impl Default for WorkerPool {
+    fn default() -> WorkerPool {
+        WorkerPool::new()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool; threads appear on first [`run`](WorkerPool::run).
+    pub fn new() -> WorkerPool {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            threads: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+        }
+    }
+
+    /// Threads spawned so far (for tests).
+    pub fn threads_spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    fn ensure_threads(&self, wanted: usize) {
+        let wanted = wanted.min(MAX_POOL_THREADS);
+        if self.spawned.load(Ordering::Relaxed) >= wanted {
+            return;
+        }
+        let mut threads = lock(&self.threads);
+        while self.spawned.load(Ordering::Relaxed) < wanted {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name("aldsp-worker".into())
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+            threads.push(handle);
+            self.spawned.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Run `work` on the calling thread and on up to `extra_workers`
+    /// pool threads concurrently; return once **all** invocations have
+    /// finished. `extra_workers == 0` is a plain sequential call. If a
+    /// helper's invocation panicked, the panic is re-raised here.
+    pub fn run(&self, extra_workers: usize, work: &(dyn Fn() + Sync)) {
+        if extra_workers == 0 {
+            work();
+            return;
+        }
+        self.ensure_threads(extra_workers);
+        // SAFETY: erasing the borrow's lifetime; the CloseGuard below
+        // upholds the JobState invariant that `work` outlives every
+        // dereference.
+        let work_ptr: *const (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), *const (dyn Fn() + Sync)>(work) };
+        let job = Arc::new(JobState {
+            work: work_ptr,
+            st: Mutex::new(JobSt {
+                helpers_wanted: extra_workers,
+                active: 0,
+                closed: false,
+                panicked: false,
+            }),
+            cv: Condvar::new(),
+        });
+        {
+            let mut q = lock(&self.shared.queue);
+            for _ in 0..extra_workers {
+                q.push_back(Arc::clone(&job));
+            }
+        }
+        self.shared.cv.notify_all();
+        let guard = CloseGuard(&job);
+        let own = catch_unwind(AssertUnwindSafe(work));
+        let helper_panicked = guard.close_and_drain();
+        std::mem::forget(guard); // already drained
+        if let Err(p) = own {
+            resume_unwind(p);
+        }
+        if helper_panicked {
+            panic!("worker panicked during parallel execution");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.cv.notify_all();
+        for t in lock(&self.threads).drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job.help();
+    }
+}
+
+/// A shared counter workers claim morsel indices from: each index in
+/// `0..total` is handed out exactly once, in order, so the fastest
+/// worker takes the most morsels and stragglers never block the rest.
+pub struct MorselQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl MorselQueue {
+    /// A queue over `total` morsels.
+    pub fn new(total: usize) -> MorselQueue {
+        MorselQueue {
+            next: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Claim the next unclaimed morsel index, or `None` when exhausted.
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    /// Number of morsels in the queue.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// Split `rows` items into morsels of at most `morsel_size`, returning
+/// the half-open index ranges. `morsel_size == 0` is treated as 1.
+pub fn morsel_ranges(rows: usize, morsel_size: usize) -> Vec<std::ops::Range<usize>> {
+    let step = morsel_size.max(1);
+    let mut out = Vec::with_capacity(rows.div_ceil(step));
+    let mut lo = 0;
+    while lo < rows {
+        let hi = (lo + step).min(rows);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_extra_workers_runs_inline_without_threads() {
+        let pool = WorkerPool::new();
+        let hits = AtomicU64::new(0);
+        pool.run(0, &|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.threads_spawned(), 0);
+    }
+
+    #[test]
+    fn all_morsels_claimed_exactly_once() {
+        let pool = WorkerPool::new();
+        let queue = MorselQueue::new(1000);
+        let claimed: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(3, &|| {
+            while let Some(i) = queue.claim() {
+                claimed[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, c) in claimed.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "morsel {i}");
+        }
+    }
+
+    #[test]
+    fn caller_participates_even_when_pool_is_starved() {
+        // a pool whose threads are all wedged on another job still
+        // completes: the caller runs the work function itself
+        let pool = WorkerPool::new();
+        let done = AtomicU64::new(0);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                pool.run(MAX_POOL_THREADS, &|| {
+                    while !release.load(Ordering::Relaxed) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            // all pool threads are (or will be) busy above; this run
+            // must still finish on the calling thread alone
+            pool.run(2, &|| {
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(done.load(Ordering::Relaxed) >= 1);
+            release.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn helper_panic_is_reraised_at_caller() {
+        let pool = WorkerPool::new();
+        let queue = MorselQueue::new(64);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, &|| {
+                while let Some(i) = queue.claim() {
+                    assert!(i != 13, "boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // the pool survives the panic and keeps serving jobs
+        let hits = AtomicU64::new(0);
+        pool.run(2, &|| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn shutdown_under_load_joins_cleanly() {
+        // stress the drop path: pools die while jobs are in flight on
+        // other threads' stacks, repeatedly
+        for _ in 0..50 {
+            let pool = WorkerPool::new();
+            let queue = MorselQueue::new(256);
+            let sum = AtomicU64::new(0);
+            pool.run(4, &|| {
+                while let Some(i) = queue.claim() {
+                    sum.fetch_add(i as u64, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 255 * 256 / 2);
+            drop(pool); // must join without hanging or leaking
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_share_the_pool() {
+        let pool = WorkerPool::new();
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = &pool;
+                let total = &total;
+                s.spawn(move || {
+                    let queue = MorselQueue::new(100);
+                    pool.run(3, &|| {
+                        while let Some(i) = queue.claim() {
+                            total.fetch_add(i as u64, Ordering::Relaxed);
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * (99 * 100 / 2));
+    }
+
+    #[test]
+    fn morsel_ranges_cover_exactly() {
+        assert_eq!(morsel_ranges(0, 10), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(morsel_ranges(5, 10), vec![0..5]);
+        assert_eq!(morsel_ranges(10, 10), vec![0..10]);
+        assert_eq!(morsel_ranges(25, 10), vec![0..10, 10..20, 20..25]);
+        assert_eq!(morsel_ranges(3, 0), vec![0..1, 1..2, 2..3]);
+    }
+}

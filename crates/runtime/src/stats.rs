@@ -64,6 +64,13 @@ pub struct ExecStats {
     /// evaluated them (a static plan property, recorded once per
     /// execution).
     pub vm_fallback_subtrees: AtomicU64,
+    /// Morsels claimed and evaluated by the parallel worker pool
+    /// (single-threaded execution leaves this at zero).
+    pub morsels_executed: AtomicU64,
+    /// Nanoseconds workers spent evaluating morsels, summed across
+    /// workers (so it can exceed wall-clock time — that excess *is* the
+    /// parallelism).
+    pub worker_busy_ns: AtomicU64,
 }
 
 impl ExecStats {
@@ -102,6 +109,8 @@ impl ExecStats {
             peak_memory_bytes: self.peak_memory_bytes.load(Ordering::Relaxed),
             vm_ops_executed: self.vm_ops_executed.load(Ordering::Relaxed),
             vm_fallback_subtrees: self.vm_fallback_subtrees.load(Ordering::Relaxed),
+            morsels_executed: self.morsels_executed.load(Ordering::Relaxed),
+            worker_busy_ns: self.worker_busy_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -130,6 +139,8 @@ impl ExecStats {
             &self.peak_memory_bytes,
             &self.vm_ops_executed,
             &self.vm_fallback_subtrees,
+            &self.morsels_executed,
+            &self.worker_busy_ns,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -137,8 +148,14 @@ impl ExecStats {
 }
 
 /// Plain-value statistics snapshot.
+///
+/// `#[non_exhaustive]`: counters are added in most PRs, and each
+/// addition must not be a breaking change for code that constructs or
+/// exhaustively matches snapshots. Read fields directly; construct only
+/// via [`ExecStats::snapshot`] or [`Default`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[allow(missing_docs)]
+#[non_exhaustive]
 pub struct StatsSnapshot {
     pub source_calls: u64,
     pub sql_statements: u64,
@@ -162,4 +179,6 @@ pub struct StatsSnapshot {
     pub peak_memory_bytes: u64,
     pub vm_ops_executed: u64,
     pub vm_fallback_subtrees: u64,
+    pub morsels_executed: u64,
+    pub worker_busy_ns: u64,
 }

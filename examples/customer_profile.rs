@@ -190,7 +190,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .execute(
             QueryRequest::call(QName::new("urn:profileDS", "getProfile")).principal(user.clone()),
         )?
-        .items;
+        .into_items();
     println!("== getProfile() ==");
     for p in &profiles {
         println!("{}", serialize_sequence(std::slice::from_ref(p)));
@@ -205,7 +205,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .args(vec![vec![Item::str("CUST001")]])
                 .principal(user.clone()),
         )?
-        .items;
+        .into_items();
     println!("\n== getProfileByID(\"CUST001\") ==");
     println!("{}", serialize_sequence(&one));
 

@@ -119,7 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== intern view (severities redacted) ==");
     for item in aldsp
         .execute(QueryRequest::new(query).principal(intern.clone()))?
-        .items
+        .into_items()
     {
         println!("{}", serialize_sequence(&[item]));
     }
@@ -128,7 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== auditor view ==");
     for item in aldsp
         .execute(QueryRequest::new(query).principal(auditor.clone()))?
-        .items
+        .into_items()
     {
         println!("{}", serialize_sequence(&[item]));
     }

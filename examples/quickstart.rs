@@ -79,14 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .principal(anyone.clone())
         .trace(TraceLevel::Operators),
     )?;
-    println!("ad-hoc query result : {}", serialize_sequence(&resp.items));
-    println!(
-        "\nplan EXPLAIN:\n{}",
-        resp.plan_explain.as_deref().unwrap_or("")
-    );
+    println!("ad-hoc query result : {}", serialize_sequence(resp.items()));
+    println!("\nplan EXPLAIN:\n{}", resp.plan_explain().unwrap_or(""));
     println!(
         "operator trace:\n{}",
-        resp.trace.as_ref().map(|t| t.render()).unwrap_or_default()
+        resp.trace().map(|t| t.render()).unwrap_or_default()
     );
 
     // 5. Call the deployed data-service method with a parameter.
@@ -96,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .args(vec![vec![aldsp::xdm::item::Item::str("Jones")]])
                 .principal(anyone.clone()),
         )?
-        .items;
+        .into_items();
     println!("customersByName     : {}", serialize_sequence(&jones));
 
     // 6. Look at what actually reached the backend.

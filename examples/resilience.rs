@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let out = aldsp
         .execute(QueryRequest::new(&q).principal(user.clone()))?
-        .items;
+        .into_items();
     println!(
         "async: two 60ms services answered in {:?} (overlapped)\n  {}",
         t0.elapsed(),
@@ -105,7 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t0 = Instant::now();
     let out = aldsp
         .execute(QueryRequest::new(&q).principal(user.clone()))?
-        .items;
+        .into_items();
     println!(
         "\ntimeout: capped a 500ms call at {:?}\n  {}",
         t0.elapsed(),
@@ -125,7 +125,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let out = aldsp
         .execute(QueryRequest::new(&q).principal(user.clone()))?
-        .items;
+        .into_items();
     println!(
         "\nfail-over: primary down, alternate answered\n  {}",
         serialize_sequence(&out)

@@ -21,7 +21,7 @@ mod common;
 use aldsp::relational::{Fault, FaultKind, FaultTrigger};
 use aldsp::security::Principal;
 use aldsp::xdm::xml::serialize_sequence;
-use aldsp::{AldspServer, Mutation, PushdownLevel, QueryRequest};
+use aldsp::{AldspServer, ExecutionOptions, Mutation, PushdownLevel, QueryRequest};
 use aldsp_qgen::gen::Pred;
 use aldsp_qgen::{
     default_matrix, generate, generate_plan, run_fault_trial, shrink, CatalogModel, CellSpec,
@@ -74,16 +74,19 @@ fn model() -> CatalogModel {
 
 fn build_cell(spec: &CellSpec) -> AldspServer {
     world_tuned(WORLD_N, |b| {
-        b.pushdown(spec.pushdown)
-            .ppk_prefetch_depth(spec.prefetch_depth)
-            .vm(spec.vm)
+        b.execution(
+            ExecutionOptions::new()
+                .pushdown(spec.pushdown)
+                .ppk_prefetch_depth(spec.prefetch_depth),
+        )
+        .vm(spec.vm)
     })
     .server
 }
 
 fn run(server: &AldspServer, q: &str) -> String {
     match server.execute(QueryRequest::new(q).principal(demo())) {
-        Ok(resp) => serialize_sequence(&resp.items),
+        Ok(resp) => serialize_sequence(resp.items()),
         Err(e) => format!("<error: {e}>"),
     }
 }
@@ -192,7 +195,7 @@ fn fault_schedules_end_typed_or_identical() {
             .server
             .execute(QueryRequest::new(&q).principal(demo()))
             .expect("fault-free baseline executes")
-            .items;
+            .into_items();
         let plan = generate_plan(seed, &["db1", "db2"]);
         let outcome = run_fault_trial(
             &w.server,
@@ -222,7 +225,10 @@ fn fault_schedules_end_typed_or_identical() {
 #[test]
 fn inverse_rewrite_identical_on_off() {
     let on = world(WORLD_N).server;
-    let off = world_tuned(WORLD_N, |b| b.pushdown(PushdownLevel::Off)).server;
+    let off = world_tuned(WORLD_N, |b| {
+        b.execution(ExecutionOptions::new().pushdown(PushdownLevel::Off))
+    })
+    .server;
     let q = format!(
         "{PROLOG}
          for $c in c:CUSTOMER()
@@ -240,7 +246,10 @@ fn inverse_rewrite_identical_on_off() {
 #[test]
 fn inverse_rewrite_flipped_identical_on_off() {
     let on = world(WORLD_N).server;
-    let off = world_tuned(WORLD_N, |b| b.pushdown(PushdownLevel::Off)).server;
+    let off = world_tuned(WORLD_N, |b| {
+        b.execution(ExecutionOptions::new().pushdown(PushdownLevel::Off))
+    })
+    .server;
     let q = format!(
         "{PROLOG}
          for $c in c:CUSTOMER()
@@ -257,7 +266,10 @@ fn inverse_rewrite_flipped_identical_on_off() {
 #[test]
 fn typematch_fallback_identical_on_off() {
     let on = world(WORLD_N).server;
-    let off = world_tuned(WORLD_N, |b| b.pushdown(PushdownLevel::Off)).server;
+    let off = world_tuned(WORLD_N, |b| {
+        b.execution(ExecutionOptions::new().pushdown(PushdownLevel::Off))
+    })
+    .server;
     let q = format!(
         "{PROLOG}
          for $c in c:CUSTOMER()
@@ -282,11 +294,14 @@ fn explain_reports_pushdown_level() {
         (PushdownLevel::Joins, "pushdown: joins"),
         (PushdownLevel::Off, "pushdown: off"),
     ] {
-        let server = world_tuned(WORLD_N, |b| b.pushdown(level)).server;
+        let server = world_tuned(WORLD_N, |b| {
+            b.execution(ExecutionOptions::new().pushdown(level))
+        })
+        .server;
         let resp = server
             .execute(QueryRequest::new(&q).principal(demo()).explain_only())
             .expect("explain");
-        let plan = resp.plan_explain.expect("explain text");
+        let plan = resp.plan_explain().expect("explain text");
         assert!(plan.contains(tag), "missing '{tag}' in:\n{plan}");
     }
 }
@@ -295,7 +310,10 @@ fn explain_reports_pushdown_level() {
 /// the reference cell really is the naive middleware path.
 #[test]
 fn pushdown_off_compiles_no_sql_regions() {
-    let server = world_tuned(WORLD_N, |b| b.pushdown(PushdownLevel::Off)).server;
+    let server = world_tuned(WORLD_N, |b| {
+        b.execution(ExecutionOptions::new().pushdown(PushdownLevel::Off))
+    })
+    .server;
     let q = format!(
         "{PROLOG}
          for $c in c:CUSTOMER()
@@ -307,7 +325,7 @@ fn pushdown_off_compiles_no_sql_regions() {
     let resp = server
         .execute(QueryRequest::new(&q).principal(demo()).explain_only())
         .expect("explain");
-    let plan = resp.plan_explain.expect("explain text");
+    let plan = resp.plan_explain().expect("explain text");
     assert!(
         !plan.contains("SqlRegion") && !plan.contains("SELECT"),
         "pushdown=off plan still contains SQL:\n{plan}"
@@ -332,7 +350,7 @@ fn deadline_at_tuple_boundary_keeps_prefix_intact() {
         .server
         .execute(QueryRequest::new(&q).principal(demo()))
         .expect("baseline")
-        .items;
+        .into_items();
     // spike fires once the source has returned 20 rows; the 400 ms
     // stall dwarfs the 60 ms deadline
     w.db1.set_faults(vec![Fault {
@@ -406,5 +424,5 @@ fn budget_exhausted_inside_sorted_grouping_is_typed_and_clean() {
                 .memory_budget(1 << 20),
         )
         .expect("roomy budget executes");
-    assert!(serialize_sequence(&roomy.items).contains("<k>Chen</k>"));
+    assert!(serialize_sequence(roomy.items()).contains("<k>Chen</k>"));
 }

@@ -36,10 +36,10 @@ fn ppk_block_join_trace_and_explain() {
                 .trace(TraceLevel::Operators),
         )
         .expect("executes");
-    assert_eq!(resp.items.len(), 10, "one <P> per customer");
+    assert_eq!(resp.items().len(), 10, "one <P> per customer");
 
     // ---- EXPLAIN names the PP-k spec and the SQL pushed to each source
-    let explain = resp.plan_explain.as_deref().expect("explain with trace");
+    let explain = resp.plan_explain().expect("explain with trace");
     assert!(explain.contains("SqlScan connection=db1"), "{explain}");
     assert!(explain.contains("SqlScan connection=db2"), "{explain}");
     assert!(
@@ -57,7 +57,7 @@ fn ppk_block_join_trace_and_explain() {
     );
 
     // ---- the trace's row counts, against the fixture's arithmetic
-    let trace = resp.trace.as_ref().expect("trace requested");
+    let trace = resp.trace().expect("trace requested");
     let node = |key: TraceKey| *trace.node(key).expect("traced node");
 
     // customer scan: one seed tuple in, ten customers out, one roundtrip
@@ -84,7 +84,7 @@ fn ppk_block_join_trace_and_explain() {
     // root: rows_out equals the delivered item count, and matches what
     // the last clause fed into the return
     let root = node(TraceKey::node(1));
-    assert_eq!(root.rows_out, resp.items.len() as u64);
+    assert_eq!(root.rows_out, resp.items().len() as u64);
     assert_eq!(root.rows_out, regroup.rows_out);
 }
 
@@ -109,8 +109,8 @@ fn correlated_join_trace_row_counts() {
         )
         .expect("executes");
     // customers 1,3,5,7,9 have one card each
-    assert_eq!(resp.items.len(), 5);
-    let trace = resp.trace.as_ref().expect("trace requested");
+    assert_eq!(resp.items().len(), 5);
+    let trace = resp.trace().expect("trace requested");
     let node = |key: TraceKey| *trace.node(key).expect("traced node");
 
     let outer = node(TraceKey::clause(1, 0));
@@ -148,14 +148,14 @@ fn sorted_group_by_trace_row_counts() {
                 .trace(TraceLevel::Operators),
         )
         .expect("executes");
-    assert_eq!(resp.items.len(), 6);
-    let explain = resp.plan_explain.as_deref().expect("explain with trace");
+    assert_eq!(resp.items().len(), 6);
+    let explain = resp.plan_explain().expect("explain with trace");
     assert!(
         explain.contains("GroupBy mode=sorted (buffers groups)"),
         "{explain}"
     );
 
-    let trace = resp.trace.as_ref().expect("trace requested");
+    let trace = resp.trace().expect("trace requested");
     let node = |key: TraceKey| *trace.node(key).expect("traced node");
     let scan = node(TraceKey::clause(1, 0));
     assert_eq!((scan.rows_in, scan.rows_out), (1, 9));
@@ -189,7 +189,7 @@ fn concurrent_traces_are_isolated() {
         let join_thread = s.spawn(|| {
             for _ in 0..50 {
                 let resp = run(&join);
-                let t = resp.trace.as_ref().expect("trace");
+                let t = resp.trace().expect("trace");
                 assert_eq!(t.node(TraceKey::node(1)).expect("root").rows_out, 5);
                 assert_eq!(
                     t.node(TraceKey::clause(1, 1)).expect("inner").rows_out,
@@ -201,7 +201,7 @@ fn concurrent_traces_are_isolated() {
         let scan_thread = s.spawn(|| {
             for _ in 0..50 {
                 let resp = run(&scan);
-                let t = resp.trace.as_ref().expect("trace");
+                let t = resp.trace().expect("trace");
                 let root = t.node(TraceKey::node(1)).expect("root");
                 assert_eq!(root.rows_out, 10);
                 assert!(
@@ -225,17 +225,17 @@ fn trace_is_opt_in_and_explain_only_runs_nothing() {
         .server
         .execute(QueryRequest::new(&q).principal(demo()))
         .expect("executes");
-    assert!(plain.trace.is_none());
-    assert!(plain.plan_explain.is_none());
-    assert_eq!(plain.items.len(), 4);
+    assert!(plain.trace().is_none());
+    assert!(plain.plan_explain().is_none());
+    assert_eq!(plain.items().len(), 4);
 
     let before = w.db1.stats().roundtrips;
     let explained = w
         .server
         .execute(QueryRequest::new(&q).principal(demo()).explain_only())
         .expect("explains");
-    assert!(explained.items.is_empty());
-    let explain = explained.plan_explain.as_deref().expect("explain");
+    assert!(explained.items().is_empty());
+    let explain = explained.plan_explain().expect("explain");
     assert!(explain.contains("sql> FROM \"CUSTOMER\" t1"), "{explain}");
     assert_eq!(
         w.db1.stats().roundtrips,

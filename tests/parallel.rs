@@ -1,0 +1,240 @@
+//! Morsel-driven parallel execution: the contract is that worker count
+//! is invisible in the answer. Every query here runs at workers
+//! {1, 2, 4} and the serialized outputs must be byte-identical — the
+//! morsel merges (ordered concat for map tails, stable key-merge for
+//! group tails, tie-left merge for sort tails) reproduce sequential
+//! output exactly. On top of identity: the worker pool must shut down
+//! cleanly under churn, and a 4-worker query must stay inside the same
+//! single memory budget a sequential run gets.
+
+mod common;
+
+use aldsp::security::Principal;
+use aldsp::xdm::xml::serialize_sequence;
+use aldsp::{ExecutionOptions, QueryRequest, QueryResponse, ServerError};
+use common::{world, World, PROLOG};
+
+fn demo() -> Principal {
+    Principal::new("demo", &[])
+}
+
+/// Run `query` at the given worker count and morsel size. The compile
+/// knobs stay at their defaults, which match the server's, so the
+/// override reuses the cached plan — only the runtime fan-out changes.
+fn run_at(
+    w: &World,
+    query: &str,
+    workers: usize,
+    morsel_size: usize,
+) -> Result<QueryResponse, ServerError> {
+    w.server.execute(
+        QueryRequest::new(query).principal(demo()).execution(
+            ExecutionOptions::new()
+                .workers(workers)
+                .morsel_size(morsel_size),
+        ),
+    )
+}
+
+/// The identity corpus: single-scan FLWORs with map, group, and sort
+/// tails (the three parallel tails), plus shapes the planner must
+/// *refuse* to parallelize — a pre-clustered group-by, a fully pushed
+/// sort, a pushed join — which pin that the engagement gate changes
+/// nothing when it stays closed. The `bool` says whether the plan is
+/// expected to carry a parallel mark (middleware clauses survive
+/// pushdown because of the `fn:` calls).
+const CORPUS: &[(&str, bool)] = &[
+    // map tail: computed let + a predicate over it
+    (
+        "for $o in c:ORDER()
+         let $tag := fn:concat($o/CID, \"-\", $o/OID)
+         where fn:string-length($tag) ge 6
+         return <T>{ $tag }</T>",
+        true,
+    ),
+    // map tail: predicates the SQL dialect won't take
+    (
+        "for $c in c:CUSTOMER()
+         where fn:starts-with($c/LAST_NAME, \"J\") and $c/SINCE mod 2 eq 0
+         return $c/CID",
+        true,
+    ),
+    // map tail: nested FLWOR in the return body (inner scans run from
+    // worker threads; ordered concat keeps the answer sequential)
+    (
+        "for $c in c:CUSTOMER()
+         where $c/SINCE ge 1005
+         return <C>{ $c/CID,
+           for $o in c:ORDER() where $o/CID eq $c/CID return $o/OID }</C>",
+        true,
+    ),
+    // group tail: computed (non-pushable) key, aggregate over groups
+    (
+        "for $o in c:ORDER()
+         where $o/AMOUNT ge 3.00
+         let $oid := $o/OID
+         group $oid as $ids by fn:substring($o/CID, 1, 3) as $k
+         return <G>{ $k, fn:count($ids) }</G>",
+        true,
+    ),
+    // sort tail: two specs, mixed directions, computed key
+    (
+        "for $o in c:ORDER()
+         where $o/OID ge 2
+         order by fn:substring($o/CID, 2, 3) descending, $o/OID ascending
+         return <O>{ $o/OID }</O>",
+        true,
+    ),
+    // not eligible: plain-column key — SQL pre-clusters the scan, and a
+    // pre-clustered group-by needs the globally ordered stream
+    (
+        "for $c in c:CUSTOMER()
+         let $cid := $c/CID
+         group $cid as $ids by $c/LAST_NAME as $name
+         return <G name=\"{$name}\">{ fn:count($ids) }</G>",
+        false,
+    ),
+    // not eligible: the sort pushes into the SQL ORDER BY
+    (
+        "for $c in c:CUSTOMER()
+         order by $c/LAST_NAME
+         return $c/CID",
+        false,
+    ),
+    // not eligible: two-source join collapses into one SQL region
+    (
+        "for $c in c:CUSTOMER(), $o in c:ORDER()
+         where $c/CID eq $o/CID and $o/AMOUNT ge 40.00
+         return <CO>{ $c/CID, $o/OID }</CO>",
+        false,
+    ),
+];
+
+/// Workers {1, 2, 4} × morsel sizes {1, 3} over the corpus: every
+/// configuration serializes to the workers=1 bytes, and the eligible
+/// queries actually fan out (morsels executed > 0) at every multi-
+/// worker setting.
+#[test]
+fn worker_count_is_invisible_in_the_answer() {
+    let w = world(40);
+    for (q, eligible) in CORPUS {
+        let query = format!("{PROLOG}\n{q}");
+        let baseline = run_at(&w, &query, 1, 1024).expect("sequential run");
+        let expected = serialize_sequence(baseline.items());
+        for &(workers, morsel) in &[(2usize, 1usize), (4, 1), (4, 3)] {
+            let resp = run_at(&w, &query, workers, morsel)
+                .unwrap_or_else(|e| panic!("workers={workers} failed: {e}\n{q}"));
+            assert_eq!(
+                serialize_sequence(resp.items()),
+                expected,
+                "workers={workers} morsel_size={morsel} diverged on:\n{q}"
+            );
+            assert_eq!(
+                resp.per_query_stats().morsels_executed > 0,
+                *eligible,
+                "engagement mismatch at workers={workers} morsel_size={morsel} on:\n{q}"
+            );
+        }
+    }
+}
+
+/// Worker-count auto-detection (`workers(0)`) is still byte-identical;
+/// it just resolves the count from the machine.
+#[test]
+fn auto_worker_count_matches_sequential() {
+    let w = world(30);
+    let q = format!(
+        "{PROLOG}
+         for $o in c:ORDER()
+         where $o/AMOUNT ge 5.00
+         let $oid := $o/OID
+         group $oid as $ids by fn:substring($o/CID, 1, 3) as $k
+         return <G>{{ $k, fn:count($ids) }}</G>"
+    );
+    let expected = serialize_sequence(run_at(&w, &q, 1, 1024).expect("sequential").items());
+    let auto = run_at(&w, &q, 0, 2).expect("auto workers");
+    assert_eq!(serialize_sequence(auto.items()), expected);
+}
+
+/// Pool churn: servers created, hammered from several threads with
+/// 4-worker queries, and dropped in a loop. The pool's shutdown path
+/// (close flag + join on drop) must neither hang nor panic, and every
+/// query must still produce the sequential answer.
+#[test]
+fn pool_shutdown_under_load_is_clean() {
+    let q = format!(
+        "{PROLOG}
+         for $o in c:ORDER()
+         where $o/OID ge 1
+         order by fn:substring($o/CID, 2, 3) descending, $o/OID ascending
+         return $o/OID"
+    );
+    for _ in 0..5 {
+        let w = world(24);
+        let expected = serialize_sequence(run_at(&w, &q, 1, 1024).expect("sequential").items());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..4 {
+                        let resp = run_at(&w, &q, 4, 2).expect("parallel run");
+                        assert_eq!(serialize_sequence(resp.items()), expected);
+                    }
+                });
+            }
+        });
+        // dropping the world drops the runtime: shutdown + join here
+        drop(w);
+    }
+}
+
+/// Four workers share ONE memory budget — fan-out must not quadruple a
+/// query's allowance. The buffering group-by that blows a 1 KiB budget
+/// sequentially blows the same budget at workers=4, and with a roomy
+/// budget the 4-worker answer matches the sequential one while staying
+/// accounted.
+#[test]
+fn four_workers_share_a_single_memory_budget() {
+    let w = world(50);
+    // the substring key keeps the group-by (and its buffering) in the
+    // middleware, eligible for fan-out; 50 buffered customers cannot
+    // fit 1 KiB no matter how many workers buffer them
+    let q = format!(
+        "{PROLOG}
+         for $c in c:CUSTOMER()
+         let $cid := $c/CID
+         group $cid as $ids by fn:substring($c/LAST_NAME, 1, 10) as $name
+         return <G name=\"{{$name}}\">{{ $ids }}</G>"
+    );
+    let exec = || ExecutionOptions::new().workers(4).morsel_size(4);
+    let err = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .memory_budget(1024)
+                .execution(exec()),
+        )
+        .expect_err("50 buffered tuples cannot fit 1 KiB, workers or not");
+    assert!(err.is_budget_exceeded(), "typed budget error: {err}");
+
+    let expected = serialize_sequence(run_at(&w, &q, 1, 1024).expect("sequential").items());
+    let resp = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .memory_budget(64 * 1024)
+                .execution(exec()),
+        )
+        .expect("64 KiB is plenty at any worker count");
+    assert_eq!(serialize_sequence(resp.items()), expected);
+    let stats = resp.per_query_stats();
+    assert!(stats.peak_memory_bytes > 0, "peak accounted");
+    assert!(
+        stats.peak_memory_bytes <= 64 * 1024,
+        "peak {} exceeds the promised budget",
+        stats.peak_memory_bytes
+    );
+    assert!(stats.morsels_executed > 0, "the pool actually engaged");
+    assert!(stats.worker_busy_ns > 0, "busy time accounted");
+}

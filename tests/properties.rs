@@ -167,7 +167,7 @@ proptest! {
                     .bind("t", vec![Item::int(threshold)]),
             )
             .expect("executes")
-            .items;
+            .into_items();
         let expected = rows.iter().filter(|r| r.since >= threshold).count();
         prop_assert_eq!(out.len(), expected);
     }
@@ -185,7 +185,7 @@ proptest! {
         let out = server
             .execute(QueryRequest::new(q).principal(demo()))
             .expect("executes")
-            .items;
+            .into_items();
         let mut expected: HashMap<&str, usize> = HashMap::new();
         for r in &rows {
             *expected.entry(LASTS[r.last]).or_default() += 1;
@@ -224,7 +224,7 @@ proptest! {
         let out = server
             .execute(QueryRequest::new(q).principal(demo()))
             .expect("executes")
-            .items;
+            .into_items();
         prop_assert_eq!(out.len(), rows.len());
         // one SQL statement total (the merged LEFT OUTER JOIN)
         prop_assert_eq!(db.stats().roundtrips, 1);
@@ -262,7 +262,7 @@ proptest! {
         let out = server
             .execute(QueryRequest::new(&q).principal(demo()))
             .expect("executes")
-            .items;
+            .into_items();
         let total = rows.len() as i64;
         let expected = ((start + len - 1).min(total) - (start - 1).max(0)).max(0) as usize;
         prop_assert_eq!(out.len(), expected);
@@ -281,7 +281,7 @@ proptest! {
         let out = server
             .execute(QueryRequest::new(q).principal(demo()))
             .expect("executes")
-            .items;
+            .into_items();
         for (i, item) in out.iter().enumerate() {
             let s = item.as_node().expect("element").string_value();
             let expected: i64 = rows[i].orders.iter().sum();

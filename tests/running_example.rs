@@ -53,7 +53,7 @@ fn get_profile_integrates_both_databases() {
         .server
         .execute(QueryRequest::call(QName::new("urn:profileDS", "getProfile")).principal(demo()))
         .expect("executes")
-        .items;
+        .into_items();
     assert_eq!(out.len(), 12);
     let s = serialize_sequence(&out);
     // a customer with orders and cards: C0005 (5%3=2 orders, 5%2=1 card)
@@ -82,7 +82,7 @@ fn get_profile_by_id_pushes_the_view_predicate() {
                 .principal(demo()),
         )
         .expect("executes")
-        .items;
+        .into_items();
     assert_eq!(out.len(), 1);
     assert!(serialize_sequence(&out).contains("<CID>C0007</CID>"));
     // the $id predicate reached db1's SQL — the customer scan returns 1
@@ -109,7 +109,7 @@ fn navigation_method_compiles_to_a_join() {
         .server
         .execute(QueryRequest::new(&q).principal(demo()))
         .expect("executes")
-        .items;
+        .into_items();
     assert_eq!(out.len(), 6); // 0+1+2+0+1+2
     assert_eq!(
         w.db1.stats().roundtrips,
@@ -152,7 +152,7 @@ fn mediator_call_criteria_filter_sort_limit() {
                 .principal(demo()),
         )
         .expect("executes")
-        .items;
+        .into_items();
     assert_eq!(out.len(), 2);
     let s = serialize_sequence(&out);
     // Smiths are customers 1,4,7; descending by CID, limited to 2
@@ -175,12 +175,12 @@ fn streaming_results_match_materialized() {
         .server
         .execute(QueryRequest::new(&q).principal(demo()))
         .expect("first run")
-        .items;
+        .into_items();
     let b = w
         .server
         .execute(QueryRequest::new(&q).principal(demo()))
         .expect("second run")
-        .items;
+        .into_items();
     assert_eq!(serialize_sequence(&a), serialize_sequence(&b));
 }
 
@@ -205,7 +205,7 @@ fn async_figure3_variant_overlaps_service_calls() {
         .server
         .execute(QueryRequest::new(&q).principal(demo()))
         .expect("executes")
-        .items;
+        .into_items();
     // 2 customers × 2 parallel calls of 25ms ≈ 2×25ms, not 4×25ms
     assert!(
         t0.elapsed() < std::time::Duration::from_millis(90),
@@ -230,21 +230,24 @@ fn streaming_delivery_and_early_stop() {
         .server
         .execute(QueryRequest::new(&q).principal(demo()).stream_to(&mut sink))
         .expect("streams")
-        .delivered;
+        .delivered();
     assert_eq!(delivered, 5);
     assert_eq!(seen, vec!["C0000", "C0001", "C0002", "C0003", "C0004"]);
     // full streaming run matches the materialized result
     let mut all = String::new();
     let n = w
         .server
-        .query_to_writer(&demo(), &q, &[], &mut unsafe_writer(&mut all))
+        .query_to_writer(
+            QueryRequest::new(&q).principal(demo()),
+            &mut unsafe_writer(&mut all),
+        )
         .expect("writes");
     assert_eq!(n, 50);
     let materialized = w
         .server
         .execute(QueryRequest::new(&q).principal(demo()))
         .expect("query")
-        .items;
+        .into_items();
     assert_eq!(all, serialize_sequence(&materialized));
 }
 
@@ -296,7 +299,7 @@ fn user_defined_navigation_method_figure3() {
                 .principal(demo()),
         )
         .expect("profile")
-        .items;
+        .into_items();
     let orders = w
         .server
         .execute(
@@ -305,7 +308,7 @@ fn user_defined_navigation_method_figure3() {
                 .principal(demo()),
         )
         .expect("navigates")
-        .items;
+        .into_items();
     // customer 5 has 5%3 = 2 orders
     assert_eq!(orders.len(), 2, "{}", serialize_sequence(&orders));
 }

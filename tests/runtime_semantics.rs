@@ -15,7 +15,7 @@ fn run(w: &common::World, q: &str) -> String {
         .server
         .execute(QueryRequest::new(&src).principal(Principal::new("demo", &[])))
         .unwrap_or_else(|e| panic!("query failed: {e}\n{q}"))
-        .items;
+        .into_items();
     serialize_sequence(&out)
 }
 
@@ -208,7 +208,7 @@ fn deep_view_stacks_execute_correctly() {
         .server
         .execute(QueryRequest::new(&src).principal(Principal::new("demo", &[])))
         .expect("query")
-        .items;
+        .into_items();
     let s = serialize_sequence(&out);
     assert!(s.contains("<CID>C0004</CID>") && s.contains("Smith"), "{s}");
     // the compiled plan pushed everything into one statement

@@ -181,7 +181,7 @@ fn run(w: &common::World, q: &str) -> String {
         .server
         .execute(QueryRequest::new(&src).principal(Principal::new("demo", &[])))
         .unwrap_or_else(|e| panic!("query failed: {e}\n{q}"))
-        .items;
+        .into_items();
     serialize_sequence(&out)
 }
 
@@ -233,7 +233,7 @@ fn explain_keeps_variable_names() {
                 .explain_only(),
         )
         .expect("explain only")
-        .plan_explain
+        .into_plan_explain()
         .expect("explain requested");
     for base in ["$o", "$oid", "$ids", "$k"] {
         assert!(

@@ -32,7 +32,7 @@ fn compile_and_run(w: &common::World, query: &str) -> (String, String) {
         .server
         .execute(QueryRequest::new(&src).principal(demo()))
         .expect("execution")
-        .items;
+        .into_items();
     (sql, serialize_sequence(&out))
 }
 
@@ -208,7 +208,7 @@ fn table_2i_subsequence_rownum_pagination() {
         .server
         .execute(QueryRequest::new(&src).principal(demo()))
         .expect("executes")
-        .items;
+        .into_items();
     assert_eq!(
         out.len(),
         20,
@@ -259,6 +259,6 @@ fn inverse_function_parameter_pushdown() {
             vec![Item::Atomic(AtomicValue::DateTime(DateTime(1005)))],
         ))
         .expect("executes")
-        .items;
+        .into_items();
     assert_eq!(out.len(), 4, "{}", serialize_sequence(&out));
 }

@@ -141,12 +141,12 @@ fn element_security_is_per_user_over_shared_plans() {
         .server
         .execute(QueryRequest::new(&q).principal(intern))
         .expect("executes")
-        .items;
+        .into_items();
     let full = w
         .server
         .execute(QueryRequest::new(&q).principal(admin))
         .expect("executes")
-        .items;
+        .into_items();
     assert!(serialize_sequence(&masked).contains("<SSN>###</SSN>"));
     assert!(!serialize_sequence(&full).contains("###"));
     // both users shared one compiled plan

@@ -12,7 +12,7 @@ mod common;
 
 use aldsp::security::Principal;
 use aldsp::xdm::xml::serialize_sequence;
-use aldsp::{AldspServer, PushdownLevel, QueryRequest, TraceKey, TraceLevel};
+use aldsp::{AldspServer, ExecutionOptions, PushdownLevel, QueryRequest, TraceKey, TraceLevel};
 use common::{world_tuned, PROLOG};
 
 fn demo() -> Principal {
@@ -21,7 +21,7 @@ fn demo() -> Principal {
 
 fn run(server: &AldspServer, q: &str) -> String {
     match server.execute(QueryRequest::new(q).principal(demo())) {
-        Ok(resp) => serialize_sequence(&resp.items),
+        Ok(resp) => serialize_sequence(resp.items()),
         Err(e) => format!("<error: {e}>"),
     }
 }
@@ -70,7 +70,10 @@ const CORPUS: &[&str] = &[
 ];
 
 fn vm_world(n: usize, vm: bool) -> common::World {
-    world_tuned(n, |b| b.pushdown(PushdownLevel::Off).vm(vm))
+    world_tuned(n, |b| {
+        b.execution(ExecutionOptions::new().pushdown(PushdownLevel::Off))
+            .vm(vm)
+    })
 }
 
 /// The VM is an implementation detail: every corpus query serializes
@@ -112,7 +115,7 @@ fn explain_pins_program_disassembly() {
         .server
         .execute(QueryRequest::new(&q).principal(demo()).explain_only())
         .expect("explains");
-    let explain = resp.plan_explain.as_deref().expect("explain-only output");
+    let explain = resp.plan_explain().expect("explain-only output");
     assert!(explain.contains("-- vm: programs="), "{explain}");
     // the where predicate's program, op for op
     let want = "-- program: ops=5 stack=2\n\
@@ -133,7 +136,7 @@ fn explain_pins_program_disassembly() {
         .server
         .execute(QueryRequest::new(&q).principal(demo()).explain_only())
         .expect("explains");
-    let explain = resp.plan_explain.as_deref().expect("explain-only output");
+    let explain = resp.plan_explain().expect("explain-only output");
     assert!(!explain.contains("-- program:"), "{explain}");
 }
 
@@ -149,7 +152,7 @@ fn vm_stats_count_ops_and_fallbacks() {
          where $o/AMOUNT ge 0.00
          return $o/OID"
     );
-    let s1 = exec(&w.server, &q).per_query_stats;
+    let s1 = *exec(&w.server, &q).per_query_stats();
     assert!(s1.vm_ops_executed > 0, "covered predicate ran on the VM");
 
     // a quantified where cannot lower: the fallback counter moves, and
@@ -161,10 +164,10 @@ fn vm_stats_count_ops_and_fallbacks() {
          where some $o in c:ORDER() satisfies $o/CID eq $c/CID
          return $c/CID"
     );
-    let a = exec(&w.server, &q).per_query_stats.vm_fallback_subtrees;
+    let a = exec(&w.server, &q).per_query_stats().vm_fallback_subtrees;
     assert!(a > 0, "quantified predicate must be declined");
     assert!(a < 5, "fallbacks are per-execution, not per-tuple");
-    let b = exec(&w.server, &q).per_query_stats.vm_fallback_subtrees;
+    let b = exec(&w.server, &q).per_query_stats().vm_fallback_subtrees;
     assert_eq!(b, a, "the declined count is a static plan property");
 }
 
@@ -184,8 +187,8 @@ fn vm_time_only_when_traced() {
         .server
         .execute(QueryRequest::new(&q).principal(demo()))
         .expect("executes");
-    assert!(resp.trace.is_none(), "untraced by default");
-    assert!(resp.per_query_stats.vm_ops_executed > 0);
+    assert!(resp.trace().is_none(), "untraced by default");
+    assert!(resp.per_query_stats().vm_ops_executed > 0);
 
     let resp = w
         .server
@@ -195,7 +198,7 @@ fn vm_time_only_when_traced() {
                 .trace(TraceLevel::Operators),
         )
         .expect("executes");
-    let trace = resp.trace.as_ref().expect("trace requested");
+    let trace = resp.trace().expect("trace requested");
     let whole = trace.node(TraceKey::node(1)).expect("flwor node traced");
     let wc = trace
         .node(TraceKey::clause(1, 1))

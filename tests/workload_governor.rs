@@ -11,7 +11,7 @@ mod common;
 
 use aldsp::relational::LatencyModel;
 use aldsp::security::Principal;
-use aldsp::{Priority, QueryRequest, TraceLevel};
+use aldsp::{ExecutionOptions, Priority, QueryRequest, TraceLevel};
 use common::{world, world_tuned, PROLOG};
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
@@ -55,7 +55,7 @@ fn admission_sheds_overflow_and_prefers_interactive() {
                 .expect("queued batch query");
             order.lock().unwrap().push("batch");
             assert!(
-                resp.per_query_stats.admission_wait_ns > 0,
+                resp.per_query_stats().admission_wait_ns > 0,
                 "queued query reports its admission wait"
             );
         });
@@ -174,7 +174,10 @@ fn deadline_interrupts_slow_roundtrip() {
 /// the remaining block roundtrips to db2 are never issued.
 #[test]
 fn deadline_stops_streaming_mid_flight() {
-    let w = world_tuned(60, |b| b.ppk_block_size(5).ppk_prefetch_depth(0));
+    let w = world_tuned(60, |b| {
+        b.ppk_block_size(5)
+            .execution(ExecutionOptions::new().ppk_prefetch_depth(0))
+    });
     w.db2.set_latency(LatencyModel::lan(30_000)); // 30 ms per block fetch
     let q = format!(
         "{PROLOG}
@@ -236,9 +239,9 @@ fn group_by_respects_memory_budget() {
                 .memory_budget(64 * 1024),
         )
         .expect("64 KiB is plenty");
-    assert_eq!(resp.items.len(), 3, "Jones, Smith, Chen");
+    assert_eq!(resp.items().len(), 3, "Jones, Smith, Chen");
     assert!(
-        resp.per_query_stats.peak_memory_bytes > 0,
+        resp.per_query_stats().peak_memory_bytes > 0,
         "the operator's high-water mark lands in per-query stats"
     );
 }
@@ -290,7 +293,7 @@ fn explain_annotates_governor_terms() {
                 .explain_only(),
         )
         .expect("explain only")
-        .plan_explain
+        .into_plan_explain()
         .expect("explain requested");
     assert!(explain.contains("-- governor: priority=batch"), "{explain}");
     assert!(explain.contains("deadline=2s"), "{explain}");
@@ -307,7 +310,7 @@ fn explain_annotates_governor_terms() {
                 .trace(TraceLevel::Operators),
         )
         .expect("traced run")
-        .plan_explain
+        .into_plan_explain()
         .expect("trace implies explain");
     assert!(!plain.contains("governor"), "{plain}");
 }
