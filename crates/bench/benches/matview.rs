@@ -1,0 +1,137 @@
+//! Incremental materialization under a read-mostly workload (95/5
+//! read/write mix): a materialized data service — maintained in place
+//! by the write path — against the two §5.5 alternatives, no caching
+//! and the TTL function cache.
+//!
+//! Each iteration runs 20 operations: 19 calls of the profile service
+//! and one point write submitted through it. The materialized server
+//! serves reads from the registry and patches on write; the TTL server
+//! caches the underlying `CUSTOMER()` scan (shape work still runs per
+//! read, and the cached scan goes stale until expiry — it is the
+//! *freshness* strawman, not a correctness peer); the uncached server
+//! recomputes everything.
+
+use aldsp::security::Principal;
+use aldsp::updates::ConcurrencyPolicy;
+use aldsp::xdm::value::AtomicValue;
+use aldsp::xdm::QName;
+use aldsp::{AldspServer, CallCriteria, MatViewPolicy, QueryRequest};
+use aldsp_bench::fixtures::{build_world_tuned, World, WorldSize, PROLOG};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const PROFILE_MODULE: &str = r#"
+    declare namespace p = "urn:profileDS";
+    declare function p:getProfile() as element(PROFILE)* {
+      for $c in c:CUSTOMER()
+      return
+        <PROFILE>
+          <CID>{fn:data($c/CID)}</CID>
+          <LAST_NAME>{fn:data($c/LAST_NAME)}</LAST_NAME>
+          <SINCE>{lib:int2date($c/SINCE)}</SINCE>
+        </PROFILE>
+    };
+"#;
+
+fn provider() -> QName {
+    QName::new("urn:profileDS", "getProfile")
+}
+
+fn size() -> WorldSize {
+    WorldSize {
+        customers: 200,
+        orders_per_customer: 0,
+        cards_per_customer: 0,
+    }
+}
+
+fn deployed(tune: impl FnOnce(aldsp::ServerBuilder) -> aldsp::ServerBuilder) -> World {
+    let w = build_world_tuned(size(), tune);
+    w.server
+        .deploy(&format!("{PROLOG}{PROFILE_MODULE}"))
+        .expect("deploys");
+    w
+}
+
+/// 19 reads + 1 write, the write rotating through customers.
+fn mixed_round(server: &AldspServer, user: &Principal, round: &mut u64) {
+    for op in 0..20u64 {
+        if op == 7 {
+            let cid = format!("C{:06}", *round % size().customers as u64);
+            let criteria = CallCriteria {
+                filter: vec![("CID".into(), AtomicValue::str(&cid))],
+                ..Default::default()
+            };
+            let mut sdo = server
+                .read_object(user, &provider(), vec![], &criteria)
+                .expect("reads")
+                .expect("row exists");
+            sdo.set("LAST_NAME", Some(AtomicValue::str(&format!("N{round}"))))
+                .expect("writable");
+            server
+                .submit(user, &provider(), &sdo, ConcurrencyPolicy::UpdatedValues)
+                .expect("submits");
+            *round += 1;
+        } else {
+            let resp = server
+                .execute(QueryRequest::call(provider()).principal(user.clone()))
+                .expect("reads");
+            assert_eq!(resp.delivered(), size().customers as u64);
+        }
+    }
+}
+
+/// One materialized (or recomputed) read of the whole profile service.
+fn one_read(server: &AldspServer, user: &Principal) {
+    let resp = server
+        .execute(QueryRequest::call(provider()).principal(user.clone()))
+        .expect("reads");
+    assert_eq!(resp.delivered(), size().customers as u64);
+}
+
+fn bench(c: &mut Criterion) {
+    let user = Principal::new("bench", &[]);
+    let mut group = c.benchmark_group("matview");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    let mat = deployed(|b| b.materialize(provider(), MatViewPolicy::PatchOrInvalidate));
+    one_read(&mat.server, &user); // warm
+    group.bench_function("materialized_read", |b| {
+        b.iter(|| one_read(&mat.server, &user))
+    });
+    let mut round = 0u64;
+    group.bench_function("materialized_95_5", |b| {
+        b.iter(|| mixed_round(&mat.server, &user, &mut round))
+    });
+    let s = mat.server.stats();
+    assert!(
+        s.matview_hits > 0 && s.matview_patches > 0,
+        "mix did not exercise hit+patch: {s:?}"
+    );
+
+    let ttl = deployed(|b| b);
+    ttl.server.enable_function_cache(
+        QName::new("urn:custDS", "CUSTOMER"),
+        Duration::from_secs(3600),
+    );
+    one_read(&ttl.server, &user); // warm
+    group.bench_function("ttl_cache_read", |b| {
+        b.iter(|| one_read(&ttl.server, &user))
+    });
+    let mut round = 0u64;
+    group.bench_function("ttl_cache_95_5", |b| {
+        b.iter(|| mixed_round(&ttl.server, &user, &mut round))
+    });
+
+    let raw = deployed(|b| b);
+    group.bench_function("uncached_read", |b| b.iter(|| one_read(&raw.server, &user)));
+    let mut round = 0u64;
+    group.bench_function("uncached_95_5", |b| {
+        b.iter(|| mixed_round(&raw.server, &user, &mut round))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -30,6 +30,10 @@ pub struct ExplainContext<'a> {
     /// so EXPLAIN shows how the query will be scheduled, not just how
     /// it will be evaluated. `None` leaves the plan text unchanged.
     pub governor: Option<String>,
+    /// Materialization terms for this function (policy, dependency /
+    /// entry counts) — server state from the matview registry, rendered
+    /// as a `-- matview:` header. `None` leaves the plan text unchanged.
+    pub matview: Option<String>,
     /// The pushdown level the plan was compiled under (from
     /// [`crate::CompiledQuery::pushdown`]), rendered as a
     /// `-- pushdown:` header so the differential oracle — and a human
@@ -64,6 +68,9 @@ pub fn explain_plan(plan: &CExpr, ctx: &ExplainContext<'_>) -> String {
     let _ = writeln!(out, "-- pushdown: {}", ctx.pushdown);
     if let Some(g) = &ctx.governor {
         let _ = writeln!(out, "-- governor: {g}");
+    }
+    if let Some(m) = &ctx.matview {
+        let _ = writeln!(out, "-- matview: {m}");
     }
     if let Some(p) = ctx.programs {
         let _ = writeln!(out, "-- vm: {p}");

@@ -23,6 +23,7 @@
 
 pub use aldsp_adaptors as adaptors;
 pub use aldsp_compiler as compiler;
+pub use aldsp_matview as matview;
 pub use aldsp_metadata as metadata;
 pub use aldsp_parser as parser;
 pub use aldsp_relational as relational;
@@ -37,6 +38,8 @@ use aldsp_adaptors::{
 };
 use aldsp_compiler::{explain_plan, CompiledQuery, Compiler, ExplainContext, Mode, Options};
 pub use aldsp_compiler::{Mutation, PushdownLevel};
+pub use aldsp_matview::MatViewPolicy;
+use aldsp_matview::{Dependencies, MatViewRegistry};
 use aldsp_metadata::{
     introspect_relational, introspect_web_service, FunctionKind, ParamDecl, PhysicalFunction,
     Registry, SourceBinding, WebServiceDescription,
@@ -47,7 +50,8 @@ use aldsp_runtime::Runtime;
 pub use aldsp_runtime::{NodeTrace, QueryTrace, StatsSnapshot, TraceKey, TraceLevel};
 use aldsp_security::{AccessDenied, AuditLog, Principal, SecurityPolicy};
 use aldsp_updates::{
-    analyze, ConcurrencyPolicy, DataObject, Lineage, SubmitError, SubmitProcessor, SubmitReport,
+    analyze, ConcurrencyPolicy, DataObject, Lineage, SourceDelta, SubmitError, SubmitProcessor,
+    SubmitReport,
 };
 use aldsp_workload::{Governor, GovernorConfig, QueryBudget};
 pub use aldsp_workload::{GovernorSnapshot, Priority, WorkloadError};
@@ -57,6 +61,7 @@ use aldsp_xdm::value::AtomicValue;
 use aldsp_xdm::QName;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Server-level errors.
@@ -294,6 +299,7 @@ pub struct ServerBuilder {
     default_memory_budget: Option<u64>,
     source_concurrency_cap: usize,
     vm: bool,
+    materialized: Vec<(QName, MatViewPolicy)>,
 }
 
 impl Default for ServerBuilder {
@@ -319,7 +325,21 @@ impl ServerBuilder {
             default_memory_budget: None,
             source_concurrency_cap: 0,
             vm: true,
+            materialized: Vec::new(),
         }
+    }
+
+    /// Declare a data service **materialized**: its results are kept as
+    /// an incrementally maintained view in `crates/matview`. The first
+    /// evaluation registers a dependency record derived from the
+    /// function's lineage; afterwards every [`AldspServer::submit`]
+    /// routes its per-source deltas through that record — writes outside
+    /// the view's read set leave cached answers live, single-row point
+    /// writes to displayed columns are patched in place, and anything
+    /// else surgically invalidates (recompute on next read, no TTL).
+    pub fn materialize(mut self, function: QName, policy: MatViewPolicy) -> Self {
+        self.materialized.push((function, policy));
+        self
     }
 
     /// Set the server-default [`ExecutionOptions`]. Individual requests
@@ -372,17 +392,6 @@ impl ServerBuilder {
         self
     }
 
-    /// Limit how much of each plan SQL pushdown may claim
-    /// ([`PushdownLevel::Full`] — everything — by default).
-    /// [`PushdownLevel::Off`] compiles the naive middleware-only plans
-    /// the differential correctness harness uses as its oracle; every
-    /// level must return byte-identical results.
-    #[deprecated(note = "use `execution(ExecutionOptions::new().pushdown(..))`")]
-    pub fn pushdown(mut self, level: PushdownLevel) -> Self {
-        self.execution.pushdown = level;
-        self
-    }
-
     /// Plant a deliberately wrong rewrite ([`Mutation`]) so a
     /// correctness harness can prove it detects optimizer bugs. Never
     /// use outside the mutation smoke test.
@@ -401,15 +410,6 @@ impl ServerBuilder {
     /// Override the PP-k local join method (§5.2).
     pub fn ppk_local_method(mut self, m: aldsp_compiler::LocalJoinMethod) -> Self {
         self.ppk_local_method = m;
-        self
-    }
-
-    /// Override how many PP-k blocks may be prefetched ahead of the
-    /// local join (0 disables prefetch; the default is 1, i.e. double
-    /// buffering).
-    #[deprecated(note = "use `execution(ExecutionOptions::new().ppk_prefetch_depth(..))`")]
-    pub fn ppk_prefetch_depth(mut self, depth: usize) -> Self {
-        self.execution.ppk_prefetch_depth = depth;
         self
     }
 
@@ -557,6 +557,10 @@ impl ServerBuilder {
             compiler.declare_inverse(f, inv);
         }
         let runtime = Runtime::new(metadata.clone(), adaptors.clone());
+        let matviews = MatViewRegistry::new();
+        for (f, policy) in self.materialized {
+            matviews.materialize(f, policy);
+        }
         AldspServer {
             metadata,
             adaptors,
@@ -571,6 +575,7 @@ impl ServerBuilder {
             plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
             lineage_cache: Mutex::new(HashMap::new()),
             update_overrides: Mutex::new(HashMap::new()),
+            matviews,
         }
     }
 }
@@ -939,6 +944,7 @@ pub struct AldspServer {
     plan_cache: PlanCache,
     lineage_cache: Mutex<HashMap<QName, Arc<Lineage>>>,
     update_overrides: Mutex<HashMap<QName, UpdateOverride>>,
+    matviews: MatViewRegistry,
 }
 
 /// A user-supplied update handler (§6: "an update override facility that
@@ -983,11 +989,12 @@ impl AldspServer {
         } = request;
         let exec = execution.unwrap_or_else(|| self.execution.clone());
         let trace = trace.unwrap_or(exec.trace_level);
-        let (plan, call_args, criteria) = match target {
+        let (plan, call_args, criteria, call_fn) = match target {
             RequestTarget::Query { source } => (
                 self.cached_plan(source, &exec)?,
                 None,
                 CallCriteria::default(),
+                None,
             ),
             RequestTarget::Call {
                 function,
@@ -1002,12 +1009,18 @@ impl AldspServer {
                     self.cached_call_plan(&function, &exec)?,
                     Some(args),
                     criteria,
+                    Some(function),
                 )
             }
         };
         let mem_cap = memory_budget.or(self.default_memory_budget);
-        let plan_explain = (explain_only || trace != TraceLevel::Off)
-            .then(|| self.explain_for(&plan, self.governor_note(priority, deadline, mem_cap)));
+        let plan_explain = (explain_only || trace != TraceLevel::Off).then(|| {
+            self.explain_for(
+                &plan,
+                self.governor_note(priority, deadline, mem_cap),
+                call_fn.as_ref().and_then(|f| self.matview_note(f)),
+            )
+        });
         if explain_only {
             return Ok(QueryResponse {
                 items: Vec::new(),
@@ -1016,6 +1029,58 @@ impl AldspServer {
                 trace: None,
                 plan_explain,
             });
+        }
+        // Materialized data services: a live cached answer (raw,
+        // pre-security) bypasses execution and admission entirely —
+        // element-level security and call criteria still apply per
+        // principal below, so cached entries stay shared across users.
+        let mut fill = None;
+        if let (Some(f), Some(args)) = (&call_fn, &call_args) {
+            if self.matviews.is_materialized(f) {
+                let key = MatViewRegistry::arg_key(args);
+                if let Some(raw) = self.matviews.get(f, &key) {
+                    let stats = &self.runtime.inner().stats;
+                    stats.inc(&stats.matview_hits);
+                    let mut pq = StatsSnapshot::default();
+                    pq.matview_hits = 1;
+                    let filtered = self.security.filter_result(&principal, raw, &self.audit);
+                    let items = apply_criteria(filtered, &criteria);
+                    if let Some(on_item) = sink.take() {
+                        if !criteria.is_empty() {
+                            return Err(ServerError::Other(
+                                "call criteria (filter/sort/limit) require materialized \
+                                 execution; drop stream_to or the criteria"
+                                    .into(),
+                            ));
+                        }
+                        let mut delivered = 0u64;
+                        for item in items {
+                            if !on_item(item) {
+                                break;
+                            }
+                            delivered += 1;
+                        }
+                        return Ok(QueryResponse {
+                            items: Vec::new(),
+                            delivered,
+                            per_query_stats: pq,
+                            trace: None,
+                            plan_explain,
+                        });
+                    }
+                    let delivered = items.len() as u64;
+                    return Ok(QueryResponse {
+                        items,
+                        delivered,
+                        per_query_stats: pq,
+                        trace: None,
+                        plan_explain,
+                    });
+                }
+                // miss: recompute below, then install the raw answer —
+                // unless an affecting write lands while we compute
+                fill = self.matviews.fill_ticket(f, &key);
+            }
         }
         // Workload governance: one budget shared by every thread of the
         // query (PP-k prefetch, async), created only when something is
@@ -1053,6 +1118,11 @@ impl AldspServer {
                             .into(),
                     ));
                 }
+                // Tee raw (pre-security) items for the matview fill; a
+                // consumer abort leaves the tee partial, so the fill is
+                // dropped rather than caching a truncated answer.
+                let mut raw_tee: Sequence = Vec::new();
+                let mut aborted = false;
                 let mut ex = self
                     .runtime
                     .execute_streaming_tuned(
@@ -1062,11 +1132,15 @@ impl AldspServer {
                         budget.clone(),
                         tuning,
                         &mut |item| {
+                            if fill.is_some() {
+                                raw_tee.push(item.clone());
+                            }
                             let filtered =
                                 self.security
                                     .filter_result(&principal, vec![item], &self.audit);
                             for f in filtered {
                                 if !on_item(f) {
+                                    aborted = true;
                                     return false;
                                 }
                             }
@@ -1075,6 +1149,10 @@ impl AldspServer {
                     )
                     .map_err(map_rt_error)?;
                 ex.per_query_stats.admission_wait_ns = admission_wait_ns;
+                if let (Some(ticket), Some(f)) = (fill, &call_fn) {
+                    self.finish_fill(f, ticket, (!aborted).then_some(raw_tee));
+                    ex.per_query_stats.matview_recomputes += 1;
+                }
                 Ok(QueryResponse {
                     items: Vec::new(),
                     delivered: ex.delivered,
@@ -1089,6 +1167,10 @@ impl AldspServer {
                     .execute_tuned(&plan, &borrowed, trace, budget.clone(), tuning)
                     .map_err(map_rt_error)?;
                 ex.per_query_stats.admission_wait_ns = admission_wait_ns;
+                if let (Some(ticket), Some(f)) = (fill, &call_fn) {
+                    self.finish_fill(f, ticket, Some(ex.items.clone()));
+                    ex.per_query_stats.matview_recomputes += 1;
+                }
                 let filtered = self
                     .security
                     .filter_result(&principal, ex.items, &self.audit);
@@ -1103,6 +1185,32 @@ impl AldspServer {
                 })
             }
         }
+    }
+
+    /// Complete a materialized-view fill: derive the dependency record
+    /// from the function's canonical lineage and install the raw
+    /// (pre-security) answer. `items` is `None` when the computed result
+    /// is partial (aborted stream) — the recompute still counts, but
+    /// nothing is cached. Lineage failures (e.g. a non-updatable shape)
+    /// leave the view permanently cold rather than failing the read.
+    fn finish_fill(&self, function: &QName, ticket: matview::FillTicket, items: Option<Sequence>) {
+        let stats = &self.runtime.inner().stats;
+        stats.inc(&stats.matview_recomputes);
+        let Some(items) = items else { return };
+        if let Ok(lineage) = self.lineage_of(function) {
+            let deps = Arc::new(Dependencies::from_lineage(&lineage));
+            self.matviews.complete_fill(ticket, items, deps);
+        }
+    }
+
+    /// The `-- matview:` EXPLAIN header for a materialized function.
+    fn matview_note(&self, function: &QName) -> Option<String> {
+        self.matviews.status(function).map(|s| {
+            format!(
+                "policy={} tables={} entries={}",
+                s.policy, s.tables, s.entries
+            )
+        })
     }
 
     /// Read one instance from a data-service function as a change-tracked
@@ -1164,6 +1272,16 @@ impl AldspServer {
         if let Some(f) = override_fn {
             // a None falls through to the default decomposition
             if let Some(report) = f(sdo, &lineage).map_err(ServerError::Other)? {
+                // An override that emitted no deltas wrote through a
+                // channel the registry cannot see — coarsely invalidate
+                // every view over the provider's source tables.
+                if report.deltas.is_empty() && sdo.is_dirty() {
+                    let n = self.matviews.invalidate_tables(&lineage_tables(&lineage));
+                    let stats = &self.runtime.inner().stats;
+                    stats.matview_invalidations.fetch_add(n, Ordering::Relaxed);
+                } else {
+                    self.route_deltas(&report.deltas);
+                }
                 return Ok(report);
             }
         }
@@ -1174,12 +1292,94 @@ impl AldspServer {
             &self.inverses,
             policy,
         );
-        proc.submit(sdo).map_err(ServerError::Submit)
+        match proc.submit(sdo) {
+            Ok(report) => {
+                self.route_deltas(&report.deltas);
+                Ok(report)
+            }
+            Err(e) => {
+                // NotWritable is decided before any source is touched;
+                // everything else may have left sources in a state the
+                // registry didn't observe — invalidate coarsely.
+                if !matches!(e, SubmitError::NotWritable(_)) {
+                    let n = self.matviews.invalidate_tables(&lineage_tables(&lineage));
+                    let stats = &self.runtime.inner().stats;
+                    stats.matview_invalidations.fetch_add(n, Ordering::Relaxed);
+                }
+                Err(ServerError::Submit(e))
+            }
+        }
+    }
+
+    /// Route a committed submit's per-source deltas through every
+    /// materialized view (write-through maintenance).
+    fn route_deltas(&self, deltas: &[SourceDelta]) {
+        if deltas.is_empty() {
+            return;
+        }
+        let outcome = self
+            .matviews
+            .apply_deltas(deltas, &|f, v| self.apply_forward(f, v));
+        let stats = &self.runtime.inner().stats;
+        stats
+            .matview_patches
+            .fetch_add(outcome.patched, Ordering::Relaxed);
+        stats
+            .matview_invalidations
+            .fetch_add(outcome.invalidated, Ordering::Relaxed);
+    }
+
+    /// Apply a forward transform (a registered library native, §4.4) to
+    /// a stored column value — the patch path's dual of submit
+    /// processing's inverse application.
+    fn apply_forward(&self, f: &QName, v: &AtomicValue) -> Result<AtomicValue, String> {
+        let function = self
+            .metadata
+            .function(f)
+            .ok_or_else(|| format!("unknown transform function {f}"))?;
+        let SourceBinding::Native { id } = &function.source else {
+            return Err(format!("transform {f} is not a native library function"));
+        };
+        let native = self.adaptors.native(id).map_err(|e| e.to_string())?;
+        let result = native
+            .call(&[vec![Item::Atomic(v.clone())]])
+            .map_err(|e| e.to_string())?;
+        match result.as_slice() {
+            [Item::Atomic(out)] => Ok(out.clone()),
+            other => Err(format!(
+                "transform {f} returned {} items instead of one",
+                other.len()
+            )),
+        }
     }
 
     /// Register an update override for a data-service provider (§6).
     pub fn register_update_override(&self, provider: QName, f: UpdateOverride) {
         self.update_overrides.lock().insert(provider, f);
+    }
+
+    /// Declare `function` materialized at runtime (the builder-time
+    /// equivalent is [`ServerBuilder::materialize`]). Re-declaring an
+    /// already-materialized function drops its cached entries.
+    pub fn materialize(&self, function: QName, policy: MatViewPolicy) {
+        self.matviews.materialize(function, policy);
+    }
+
+    /// Policy / dependency / occupancy snapshot of one materialized
+    /// function, or `None` when it is not materialized.
+    pub fn matview_status(&self, function: &QName) -> Option<matview::MatViewStatus> {
+        self.matviews.status(function)
+    }
+
+    /// Stop TTL-caching `function` and drop its cached entries (§5.5).
+    pub fn disable_function_cache(&self, function: &QName) {
+        self.runtime.cache().disable(function);
+    }
+
+    /// Drop every TTL-cached entry for `function` without disabling
+    /// future caching; returns how many entries were dropped.
+    pub fn purge_function_cache(&self, function: &QName) -> usize {
+        self.runtime.cache().purge(function)
     }
 
     /// Run a request and serialize the results incrementally to a
@@ -1265,7 +1465,6 @@ impl AldspServer {
     /// admission behavior next to the operator counters. Stored rather
     /// than added — the governor is the source of truth.
     fn sync_governor_stats(&self) {
-        use std::sync::atomic::Ordering;
         let snap = self.governor.snapshot();
         let stats = &self.runtime.inner().stats;
         stats.queries_shed.store(snap.shed, Ordering::Relaxed);
@@ -1412,19 +1611,41 @@ impl AldspServer {
     /// renderer with runtime state the compiler can't know: connection
     /// dialects, per-function cache enablement (§5.5), and the workload
     /// terms the query would run under.
-    fn explain_for(&self, plan: &CompiledQuery, governor: Option<String>) -> String {
+    fn explain_for(
+        &self,
+        plan: &CompiledQuery,
+        governor: Option<String>,
+        matview: Option<String>,
+    ) -> String {
         let dialects = self.adaptors.connection_dialects();
         let cache = self.runtime.cache();
         let ctx = ExplainContext {
             dialects: &dialects,
             cache_enabled: &|q| cache.enabled(q),
             governor,
+            matview,
             pushdown: plan.pushdown,
             programs: Some(&plan.programs),
             parallel: Some(&plan.parallel),
         };
         explain_plan(&plan.plan, &ctx)
     }
+}
+
+/// Every `(connection, table)` a lineage analysis touches — the coarse
+/// invalidation scope when per-row deltas are unavailable.
+fn lineage_tables(lineage: &Lineage) -> Vec<(String, String)> {
+    let mut tables: Vec<(String, String)> = lineage
+        .entries
+        .iter()
+        .map(|e| (e.connection.clone(), e.table.clone()))
+        .chain(lineage.referenced.keys().cloned())
+        .chain(lineage.restricting.keys().cloned())
+        .chain(lineage.opaque_tables.iter().cloned())
+        .collect();
+    tables.sort();
+    tables.dedup();
+    tables
 }
 
 /// Apply mediator call criteria to a method-call result (§2.2).

@@ -26,9 +26,11 @@ pub mod gen;
 pub mod model;
 pub mod oracle;
 pub mod shrink;
+pub mod writes;
 
 pub use fault::{generate_plan, run_fault_trial, FaultOutcome, FaultPlan};
 pub use gen::{generate, GenQuery};
 pub use model::{CatalogModel, ColTy};
 pub use oracle::{default_matrix, CellSpec, Mismatch, Oracle};
 pub use shrink::shrink;
+pub use writes::{generate_writes, WriteOp};

@@ -129,6 +129,29 @@ impl FunctionCache {
         self.policies.write().remove(function);
     }
 
+    /// Drop every cached entry for one function across all shards,
+    /// returning how many were removed. Unlike [`FunctionCache::disable`]
+    /// this evicts eagerly — the next call recomputes even if the policy
+    /// stays enabled.
+    pub fn purge(&self, function: &QName) -> usize {
+        let lexical = function.lexical();
+        let prefix = format!("{lexical}\u{1}");
+        let mut removed = 0usize;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.entries.retain(|_, bucket| {
+                bucket.retain(|e| {
+                    let gone = e.key == lexical || e.key.starts_with(&prefix);
+                    removed += gone as usize;
+                    !gone
+                });
+                !bucket.is_empty()
+            });
+            s.len = s.entries.values().map(Vec::len).sum();
+        }
+        removed
+    }
+
     /// Is caching enabled for this function?
     pub fn enabled(&self, function: &QName) -> bool {
         self.policies.read().contains_key(function)
@@ -310,6 +333,38 @@ mod tests {
         assert!(c.is_empty());
         c.disable(&f());
         assert!(!c.enabled(&f()));
+    }
+
+    #[test]
+    fn purge_drops_only_the_named_function() {
+        let c = FunctionCache::new();
+        let g = QName::new("urn:ws", "getRatingHistory");
+        c.enable(f(), Duration::from_secs(60));
+        c.enable(g.clone(), Duration::from_secs(60));
+        c.put(&f(), &[], vec![Item::int(1)]);
+        c.put(&f(), &[vec![Item::str("Jones")]], vec![Item::int(2)]);
+        // a name sharing `f`'s lexical form as a prefix must survive
+        c.put(&g, &[vec![Item::str("Jones")]], vec![Item::int(3)]);
+        assert_eq!(c.purge(&f()), 2);
+        assert!(c.get(&f(), &[]).is_none());
+        assert!(c.get(&f(), &[vec![Item::str("Jones")]]).is_none());
+        assert_eq!(
+            c.get(&g, &[vec![Item::str("Jones")]]),
+            Some(vec![Item::int(3)])
+        );
+        // the policy survives a purge: the next call re-caches
+        assert!(c.enabled(&f()));
+        c.put(&f(), &[], vec![Item::int(9)]);
+        assert_eq!(c.get(&f(), &[]), Some(vec![Item::int(9)]));
+    }
+
+    #[test]
+    fn purge_of_unknown_function_is_a_noop() {
+        let c = FunctionCache::new();
+        c.enable(f(), Duration::from_secs(60));
+        c.put(&f(), &[], vec![Item::int(1)]);
+        assert_eq!(c.purge(&QName::new("urn:ws", "other")), 0);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -71,6 +71,15 @@ pub struct ExecStats {
     /// workers (so it can exceed wall-clock time — that excess *is* the
     /// parallelism).
     pub worker_busy_ns: AtomicU64,
+    /// Reads served from a materialized data service's live cache.
+    pub matview_hits: AtomicU64,
+    /// Materialized entries surgically invalidated by the write path
+    /// (they recompute on next read — never on TTL expiry).
+    pub matview_invalidations: AtomicU64,
+    /// Cached result instances patched in place by the write path.
+    pub matview_patches: AtomicU64,
+    /// Materialized reads that recomputed (cold or post-invalidation).
+    pub matview_recomputes: AtomicU64,
 }
 
 impl ExecStats {
@@ -111,6 +120,10 @@ impl ExecStats {
             vm_fallback_subtrees: self.vm_fallback_subtrees.load(Ordering::Relaxed),
             morsels_executed: self.morsels_executed.load(Ordering::Relaxed),
             worker_busy_ns: self.worker_busy_ns.load(Ordering::Relaxed),
+            matview_hits: self.matview_hits.load(Ordering::Relaxed),
+            matview_invalidations: self.matview_invalidations.load(Ordering::Relaxed),
+            matview_patches: self.matview_patches.load(Ordering::Relaxed),
+            matview_recomputes: self.matview_recomputes.load(Ordering::Relaxed),
         }
     }
 
@@ -141,6 +154,10 @@ impl ExecStats {
             &self.vm_fallback_subtrees,
             &self.morsels_executed,
             &self.worker_busy_ns,
+            &self.matview_hits,
+            &self.matview_invalidations,
+            &self.matview_patches,
+            &self.matview_recomputes,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -181,4 +198,8 @@ pub struct StatsSnapshot {
     pub vm_fallback_subtrees: u64,
     pub morsels_executed: u64,
     pub worker_busy_ns: u64,
+    pub matview_hits: u64,
+    pub matview_invalidations: u64,
+    pub matview_patches: u64,
+    pub matview_recomputes: u64,
 }

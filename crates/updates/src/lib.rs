@@ -16,8 +16,8 @@ pub mod sdo;
 pub mod submit;
 
 pub use lineage::{analyze, Lineage, LineageEntry};
-pub use sdo::{Change, ChangeLog, DataObject, Path};
-pub use submit::{ConcurrencyPolicy, SubmitError, SubmitProcessor, SubmitReport};
+pub use sdo::{rewrite_value, Change, ChangeLog, DataObject, Path};
+pub use submit::{ConcurrencyPolicy, SourceDelta, SubmitError, SubmitProcessor, SubmitReport};
 
 #[cfg(test)]
 pub(crate) mod tests {

@@ -19,7 +19,10 @@ use aldsp_compiler::CompiledQuery;
 use aldsp_metadata::Registry;
 use aldsp_relational::{ScalarExpr, TableRef};
 use aldsp_xdm::QName;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+
+/// `(connection, table, column)` triples collected by the dependency pass.
+type ColumnSet = BTreeSet<(String, String, String)>;
 
 /// One writable output location.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +48,27 @@ pub struct Lineage {
     /// For each `(connection, table)`: its primary-key columns and the
     /// result paths where they surface (used to key UPDATE statements).
     pub keys: HashMap<(String, String), Vec<(String, Path)>>,
+    /// Every source column the plan reads, per `(connection, table)`:
+    /// SQL projections plus predicate/grouping/ordering columns. A write
+    /// to a column outside this set cannot change the service's answer.
+    pub referenced: HashMap<(String, String), Vec<String>>,
+    /// Columns whose value determines *which* rows appear (or how the
+    /// result is arranged) rather than just a displayed value: SQL
+    /// WHERE/HAVING/GROUP BY/ORDER BY/join-ON columns, PP-k correlation
+    /// keys, and columns consumed by middleware clauses or opaque
+    /// result-shape expressions. A write to one of these may change
+    /// membership, so a cached answer cannot be patched in place.
+    pub restricting: HashMap<(String, String), Vec<String>>,
+    /// Relational tables read through unpushed physical calls (e.g. with
+    /// pushdown off). Column-level analysis is unavailable for these, so
+    /// any write to the table must be treated as affecting the plan.
+    pub opaque_tables: Vec<(String, String)>,
+    /// `true` when the plan is a single scan-and-construct FLWOR (one
+    /// `SqlFor`, only `Let`/`Where` beside it, no nested iteration in
+    /// the return shape) — the shape whose cached answers are row-wise
+    /// patchable: each output instance carries the columns of exactly
+    /// one scanned row.
+    pub simple_shape: bool,
 }
 
 impl Lineage {
@@ -163,7 +187,264 @@ pub fn analyze(registry: &Registry, plan: &CompiledQuery) -> Result<Lineage, Str
         }
     }
     lineage.keys = keys;
+    // pass 4: dependency metadata for write-through cache maintenance
+    // (crates/matview): which columns the plan reads, which of them
+    // restrict membership, and which tables it reads opaquely.
+    let mut referenced = ColumnSet::new();
+    let mut restricting = ColumnSet::new();
+    collect_sql_columns(&plan.plan, &mut referenced, &mut restricting);
+    collect_clause_uses(&plan.plan, &fields, &mut restricting);
+    collect_shape_uses(root_content, &fields, registry, &mut restricting);
+    referenced.extend(restricting.iter().cloned());
+    let mut opaque: BTreeSet<(String, String)> = BTreeSet::new();
+    plan.plan.walk(&mut |e| {
+        if let CKind::PhysicalCall { name, .. } = &e.kind {
+            if let Some(f) = registry.function(name) {
+                match &f.source {
+                    aldsp_metadata::SourceBinding::RelationalTable {
+                        connection, table, ..
+                    } => {
+                        opaque.insert((connection.clone(), table.clone()));
+                    }
+                    aldsp_metadata::SourceBinding::RelationalNavigation {
+                        connection,
+                        to_table,
+                        ..
+                    } => {
+                        opaque.insert((connection.clone(), to_table.clone()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    });
+    for (c, t, col) in referenced {
+        lineage.referenced.entry((c, t)).or_default().push(col);
+    }
+    for (c, t, col) in restricting {
+        lineage.restricting.entry((c, t)).or_default().push(col);
+    }
+    lineage.opaque_tables = opaque.into_iter().collect();
+    lineage.simple_shape = compute_simple_shape(&plan.plan);
     Ok(lineage)
+}
+
+/// Collect referenced / restricting columns from every pushed SQL
+/// statement: projections are referenced; predicate, grouping, ordering,
+/// join-ON, and PP-k correlation columns additionally restrict.
+fn collect_sql_columns(e: &CExpr, referenced: &mut ColumnSet, restricting: &mut ColumnSet) {
+    if let CKind::Flwor { clauses, .. } = &e.kind {
+        for c in clauses {
+            let Clause::SqlFor {
+                connection,
+                select,
+                ppk,
+                ..
+            } = c
+            else {
+                continue;
+            };
+            let mut alias_tables: HashMap<String, String> = HashMap::new();
+            fn tables(t: &TableRef, out: &mut HashMap<String, String>) {
+                match t {
+                    TableRef::Table { name, alias } => {
+                        out.insert(alias.clone(), name.clone());
+                    }
+                    TableRef::Join { left, right, .. } => {
+                        tables(left, out);
+                        tables(right, out);
+                    }
+                    TableRef::Derived { .. } => {}
+                }
+            }
+            tables(&select.from, &mut alias_tables);
+            let mark = |expr: &ScalarExpr, out: &mut ColumnSet| {
+                expr.walk(&mut |s| {
+                    if let ScalarExpr::Column { table, column } = s {
+                        if let Some(t) = alias_tables.get(table) {
+                            out.insert((connection.clone(), t.clone(), column.clone()));
+                        }
+                    }
+                });
+            };
+            for col in &select.columns {
+                mark(&col.expr, referenced);
+            }
+            for pred in select.where_.iter().chain(select.having.iter()) {
+                mark(pred, restricting);
+            }
+            for key in &select.group_by {
+                mark(key, restricting);
+            }
+            for ob in &select.order_by {
+                mark(&ob.expr, restricting);
+            }
+            fn on_columns(
+                t: &TableRef,
+                mark: &dyn Fn(&ScalarExpr, &mut ColumnSet),
+                out: &mut ColumnSet,
+            ) {
+                if let TableRef::Join {
+                    left, right, on, ..
+                } = t
+                {
+                    on_columns(left, mark, out);
+                    on_columns(right, mark, out);
+                    mark(on, out);
+                }
+            }
+            on_columns(&select.from, &mark, restricting);
+            if let Some(spec) = ppk {
+                for col in &spec.key_columns {
+                    mark(col, restricting);
+                }
+            }
+        }
+    }
+    e.for_each_child(&mut |c| collect_sql_columns(c, referenced, restricting));
+}
+
+/// Record the source column of every field variable consumed by a
+/// middleware clause (a where predicate, a non-transparent let, a group
+/// key, an order key, a correlation parameter, a non-SQL for source):
+/// such uses restrict membership or arrangement, so writes to those
+/// columns must invalidate rather than patch.
+fn collect_clause_uses(e: &CExpr, fields: &HashMap<String, FieldSource>, out: &mut ColumnSet) {
+    if let CKind::Flwor { clauses, .. } = &e.kind {
+        for c in clauses {
+            match c {
+                Clause::For { source, .. } => mark_field_vars(source, fields, out),
+                Clause::Let { value, .. } => {
+                    if transparent_source(value, fields).is_none() {
+                        mark_field_vars(value, fields, out);
+                    }
+                }
+                Clause::Where(cond) => mark_field_vars(cond, fields, out),
+                Clause::GroupBy { keys, .. } => {
+                    for (k, _) in keys {
+                        mark_field_vars(k, fields, out);
+                    }
+                }
+                Clause::OrderBy(specs) => {
+                    for s in specs {
+                        mark_field_vars(&s.expr, fields, out);
+                    }
+                }
+                Clause::SqlFor { params, ppk, .. } => {
+                    for p in params {
+                        mark_field_vars(p, fields, out);
+                    }
+                    if let Some(spec) = ppk {
+                        for k in &spec.outer_keys {
+                            mark_field_vars(k, fields, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    e.for_each_child(&mut |c| collect_clause_uses(c, fields, out));
+}
+
+/// Mirror of [`walk_shape`] that records *non-display* uses of field
+/// variables in the constructed result: attribute values, `if`
+/// conditions, opaque content expressions, and any display chain that
+/// consumes more than one field. Those columns cannot be patched blind.
+fn collect_shape_uses(
+    e: &CExpr,
+    fields: &HashMap<String, FieldSource>,
+    registry: &Registry,
+    out: &mut ColumnSet,
+) {
+    match &e.kind {
+        CKind::ElementCtor {
+            attributes,
+            content,
+            ..
+        } => {
+            for (_, _, value) in attributes {
+                mark_field_vars(value, fields, out);
+            }
+            if backing_field(content, fields, registry).is_some() {
+                // a clean display chain reads exactly one field; a chain
+                // that also consults *other* fields (guards comparing
+                // neighbours) makes every one of them restricting
+                let mut names: BTreeSet<String> = BTreeSet::new();
+                content.walk(&mut |x| {
+                    if let CKind::Var { name, .. } = &x.kind {
+                        if fields.contains_key(name) {
+                            names.insert(name.clone());
+                        }
+                    }
+                });
+                if names.len() > 1 {
+                    mark_field_vars(content, fields, out);
+                }
+            } else {
+                collect_shape_uses(content, fields, registry, out);
+            }
+        }
+        CKind::Seq(parts) => {
+            for p in parts {
+                collect_shape_uses(p, fields, registry, out);
+            }
+        }
+        // nested-iteration clauses are covered by `collect_clause_uses`
+        CKind::Flwor { ret, .. } => collect_shape_uses(ret, fields, registry, out),
+        CKind::If { cond, then, els } => {
+            mark_field_vars(cond, fields, out);
+            collect_shape_uses(then, fields, registry, out);
+            collect_shape_uses(els, fields, registry, out);
+        }
+        _ => mark_field_vars(e, fields, out),
+    }
+}
+
+/// Record the source column of every field variable in the subtree.
+fn mark_field_vars(e: &CExpr, fields: &HashMap<String, FieldSource>, out: &mut ColumnSet) {
+    e.walk(&mut |x| {
+        if let CKind::Var { name, .. } = &x.kind {
+            if let Some(src) = fields.get(name) {
+                out.insert((
+                    src.connection.clone(),
+                    src.table.clone(),
+                    src.column.clone(),
+                ));
+            }
+        }
+    });
+}
+
+/// Is the plan one scan-and-construct FLWOR whose answers are row-wise
+/// patchable? (Exactly one `SqlFor`, only `Let`/`Where` beside it, and
+/// no nested iteration in the constructed shape — so each output
+/// instance corresponds to one scanned row.)
+fn compute_simple_shape(plan: &CExpr) -> bool {
+    let e = match &plan.kind {
+        CKind::Seq(parts) if parts.len() == 1 => &parts[0],
+        _ => plan,
+    };
+    let CKind::Flwor { clauses, ret } = &e.kind else {
+        return false;
+    };
+    let mut sql_fors = 0usize;
+    for c in clauses {
+        match c {
+            Clause::SqlFor { .. } => sql_fors += 1,
+            Clause::Let { .. } | Clause::Where(_) => {}
+            _ => return false,
+        }
+    }
+    if sql_fors != 1 {
+        return false;
+    }
+    let mut nested = false;
+    ret.walk(&mut |x| {
+        if matches!(&x.kind, CKind::Flwor { .. }) {
+            nested = true;
+        }
+    });
+    !nested
 }
 
 /// Collect field-variable sources from every `SqlFor` in the plan.

@@ -150,6 +150,18 @@ pub fn locate(root: &NodeRef, path: &[(QName, usize)]) -> Option<NodeRef> {
 }
 
 /// Produce a copy of `root` with the simple content at `path` replaced
+/// (or the element removed for `None`). Exposed for write-through cache
+/// maintenance (`crates/matview`), which patches cached result instances
+/// in place with post-submit column values.
+pub fn rewrite_value(
+    root: &NodeRef,
+    path: &[(QName, usize)],
+    value: &Option<AtomicValue>,
+) -> Result<NodeRef, String> {
+    rewrite(root, path, value)
+}
+
+/// Produce a copy of `root` with the simple content at `path` replaced
 /// (or the element removed/created for `None`/newly-set values).
 fn rewrite(
     root: &NodeRef,

@@ -71,6 +71,23 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// One committed row change at one source: the columns written
+/// (post-inverse, round-tripped through their SQL type so they compare
+/// equal to what a fresh scan would return) and the primary-key values
+/// identifying the row. Emitted by [`SubmitProcessor::submit`] for
+/// write-through cache maintenance (`crates/matview`).
+#[derive(Debug, Clone)]
+pub struct SourceDelta {
+    /// Source connection.
+    pub connection: String,
+    /// Updated table.
+    pub table: String,
+    /// `(column, new value)` — `None` is SQL NULL.
+    pub columns: Vec<(String, Option<AtomicValue>)>,
+    /// `(primary-key column, value)` identifying the updated row.
+    pub key: Vec<(String, AtomicValue)>,
+}
+
 /// What a submit did.
 #[derive(Debug, Clone, Default)]
 pub struct SubmitReport {
@@ -80,6 +97,8 @@ pub struct SubmitReport {
     pub rows_affected: usize,
     /// The connections that participated (unaffected sources stay out).
     pub sources_touched: Vec<String>,
+    /// Per-row change records for cache maintenance, in statement order.
+    pub deltas: Vec<SourceDelta>,
 }
 
 /// The submit processor: lineage + inverse registrations + policy.
@@ -230,12 +249,15 @@ impl<'a> SubmitProcessor<'a> {
                 })?;
             let mut params: Vec<SqlValue> = Vec::new();
             let mut sets = Vec::with_capacity(upd.sets.len());
+            let mut delta_cols = Vec::with_capacity(upd.sets.len());
             for (col, val) in upd.sets {
+                delta_cols.push((col.clone(), val.to_xml()));
                 params.push(val);
                 sets.push((col, ScalarExpr::Param(params.len() - 1)));
             }
             // key condition from the object's exposed key values
             let mut pred: Option<ScalarExpr> = None;
+            let mut delta_key = Vec::with_capacity(pk.len());
             for (col, path) in pk {
                 let v = crate::sdo::locate(sdo.original(), path)
                     .and_then(|n| n.typed_value())
@@ -245,13 +267,23 @@ impl<'a> SubmitProcessor<'a> {
                             path_string(path)
                         ))
                     })?;
-                params.push(to_sql(Some(&v)).map_err(SubmitError::Other)?);
+                let sql = to_sql(Some(&v)).map_err(SubmitError::Other)?;
+                if let Some(x) = sql.to_xml() {
+                    delta_key.push((col.clone(), x));
+                }
+                params.push(sql);
                 let term = ScalarExpr::col("t1", col).eq(ScalarExpr::Param(params.len() - 1));
                 pred = Some(match pred {
                     Some(p) => p.and(term),
                     None => term,
                 });
             }
+            report.deltas.push(SourceDelta {
+                connection: conn.clone(),
+                table: table.clone(),
+                columns: delta_cols,
+                key: delta_key,
+            });
             // "the sameness required is expressed as part of the where
             // clause for the update statements" (§6)
             for (col, old) in upd.verify {

@@ -1,24 +1,30 @@
 #!/usr/bin/env bash
-# Run the tuple-pipeline benchmark and record per-case medians as JSON.
+# Run one aldsp-bench benchmark and record per-case medians as JSON.
+#
+#   scripts/bench_json.sh [bench-name] [out.json]
+#
+# Defaults preserve the original PR-4 invocation: bench tuple_pipeline,
+# output BENCH_PR4.json. PR 8 records the matview read/write mix with
+#   scripts/bench_json.sh matview BENCH_PR8.json
 #
 # The vendored criterion shim reports each case as
 #   <name>  time: [<min> <median> <max>]  (mean <mean>, <n> samples)
 # This script parses the median (the middle bracket value), normalizes
-# it to nanoseconds per iteration, and writes BENCH_PR4.json at the repo
-# root:
-#   { "bench": "tuple_pipeline", "cases": { "<case>": <median_ns>, ... } }
+# it to nanoseconds per iteration, and writes the JSON at the repo root:
+#   { "bench": "<name>", "cases": { "<case>": <median_ns>, ... } }
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+bench="${1:-tuple_pipeline}"
+out="${2:-BENCH_PR4.json}"
 
-raw=$(cargo bench -q --bench tuple_pipeline -p aldsp-bench 2>&1 | grep 'time: \[')
+raw=$(cargo bench -q --bench "$bench" -p aldsp-bench 2>&1 | grep 'time: \[')
 if [[ -z "$raw" ]]; then
     echo "bench_json.sh: no benchmark output captured" >&2
     exit 1
 fi
 
-RAW="$raw" python3 - "$out" <<'PY'
+RAW="$raw" BENCH="$bench" python3 - "$out" <<'PY'
 import json
 import os
 import re
@@ -47,7 +53,7 @@ if not cases:
     sys.exit("bench_json.sh: no cases parsed")
 
 with open(sys.argv[1], "w") as f:
-    json.dump({"bench": "tuple_pipeline", "unit": "ns/iter", "cases": cases}, f, indent=2)
+    json.dump({"bench": os.environ["BENCH"], "unit": "ns/iter", "cases": cases}, f, indent=2)
     f.write("\n")
 print(f"wrote {sys.argv[1]}: {len(cases)} cases")
 PY

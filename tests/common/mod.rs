@@ -80,6 +80,14 @@ pub fn world(n: usize) -> World {
     world_tuned(n, |b| b)
 }
 
+/// A second, independently configured server over the SAME simulated
+/// sources as `w` — writes submitted through either server are visible
+/// to reads on both. The differential matview cell compares a
+/// materialized server against an uncached twin this way.
+pub fn twin_server(w: &World, tune: impl FnOnce(ServerBuilder) -> ServerBuilder) -> AldspServer {
+    tune(builder_over(w.db1.clone(), w.db2.clone(), w.rating.clone())).build()
+}
+
 /// [`world`] with a hook to tune the [`ServerBuilder`] before `build()`
 /// — admission limits, memory budgets, source caps, PP-k settings.
 pub fn world_tuned(n: usize, tune: impl FnOnce(ServerBuilder) -> ServerBuilder) -> World {
@@ -170,13 +178,37 @@ pub fn world_tuned(n: usize, tune: impl FnOnce(ServerBuilder) -> ServerBuilder) 
     ));
     let db1 = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db1));
     let db2 = Arc::new(RelationalServer::new("db2", Dialect::Db2, db2));
+    let server = tune(builder_over(db1.clone(), db2.clone(), rating.clone())).build();
+    World {
+        server,
+        db1,
+        db2,
+        rating,
+    }
+}
+
+/// The running example's standard registrations over already-built
+/// sources (shared by [`world_tuned`] and [`twin_server`]).
+fn builder_over(
+    db1: Arc<RelationalServer>,
+    db2: Arc<RelationalServer>,
+    rating: Arc<SimulatedWebService>,
+) -> ServerBuilder {
+    let ws_ns = "urn:ratingTypes";
+    let wsin = ShapeBuilder::element(QName::new(ws_ns, "getRating"))
+        .required("lName", AtomicType::String)
+        .required("ssn", AtomicType::String)
+        .build();
+    let wsout = ShapeBuilder::element(QName::new(ws_ns, "getRatingResponse"))
+        .required("getRatingResult", AtomicType::Integer)
+        .build();
     let (i2d, d2i) = aldsp::adaptors::native::int2date_pair();
     let opt_int = SequenceType::Seq(ItemType::Atomic(AtomicType::Integer), Occurrence::Optional);
     let opt_dt = SequenceType::Seq(ItemType::Atomic(AtomicType::DateTime), Occurrence::Optional);
-    let builder = ServerBuilder::new()
-        .relational_source(db1.clone(), &cat1, "urn:custDS")
+    ServerBuilder::new()
+        .relational_source(db1, &customer_catalog(), "urn:custDS")
         .expect("register db1")
-        .relational_source(db2.clone(), &cat2, "urn:ccDS")
+        .relational_source(db2, &card_catalog(), "urn:ccDS")
         .expect("register db2")
         .web_service(
             &WebServiceDescription {
@@ -188,7 +220,7 @@ pub fn world_tuned(n: usize, tune: impl FnOnce(ServerBuilder) -> ServerBuilder) 
                     output: wsout,
                 }],
             },
-            rating.clone(),
+            rating,
         )
         .expect("register ws")
         .native_function(
@@ -203,12 +235,5 @@ pub fn world_tuned(n: usize, tune: impl FnOnce(ServerBuilder) -> ServerBuilder) 
         .inverse(
             QName::new("urn:lib", "int2date"),
             QName::new("urn:lib", "date2int"),
-        );
-    let server = tune(builder).build();
-    World {
-        server,
-        db1,
-        db2,
-        rating,
-    }
+        )
 }

@@ -157,6 +157,124 @@ fn generator_is_deterministic() {
     }
 }
 
+// ---- the matview cell -------------------------------------------------------
+
+/// Materialized data services under an interleaved, seeded write
+/// workload: a materialized server and an uncached twin share the same
+/// simulated sources; after *every* submitted write, each materialized
+/// function must answer byte-identically to the twin's cold recompute
+/// — whether the registry skipped, patched, or invalidated.
+#[test]
+fn matview_cell_identical_under_interleaved_writes() {
+    use aldsp::updates::ConcurrencyPolicy;
+    use aldsp::xdm::QName;
+    use aldsp::{CallCriteria, MatViewPolicy};
+    use aldsp_qgen::generate_writes;
+    use common::twin_server;
+
+    const MODULE: &str = r#"
+        declare namespace tns = "urn:mvDS";
+        declare namespace c = "urn:custDS";
+        declare namespace lib = "urn:lib";
+
+        declare function tns:writer() as element(W)* {
+          for $c in c:CUSTOMER()
+          return
+            <W>
+              <CID>{fn:data($c/CID)}</CID>
+              <LAST_NAME>{fn:data($c/LAST_NAME)}</LAST_NAME>
+              <FIRST_NAME>{fn:data($c/FIRST_NAME)}</FIRST_NAME>
+              <SINCE>{lib:int2date($c/SINCE)}</SINCE>
+              <SSN>{fn:data($c/SSN)}</SSN>
+            </W>
+        };
+
+        declare function tns:profile() as element(P)* {
+          for $c in c:CUSTOMER()
+          return
+            <P>
+              <CID>{fn:data($c/CID)}</CID>
+              <LAST_NAME>{fn:data($c/LAST_NAME)}</LAST_NAME>
+              <SINCE>{lib:int2date($c/SINCE)}</SINCE>
+            </P>
+        };
+
+        declare function tns:smiths() as element(S)* {
+          for $c in c:CUSTOMER()
+          where $c/LAST_NAME = "Smith"
+          return <S><CID>{fn:data($c/CID)}</CID></S>
+        };
+
+        declare function tns:spenders() as element(T)* {
+          for $c in c:CUSTOMER()
+          for $o in c:getORDER($c)
+          order by $o/OID
+          return <T><CID>{fn:data($c/CID)}</CID><A>{fn:data($o/AMOUNT)}</A></T>
+        };
+    "#;
+    let f = |name: &str| QName::new("urn:mvDS", name);
+    let views = ["profile", "smiths", "spenders"];
+    let w = world_tuned(WORLD_N, |b| {
+        b.materialize(f("profile"), MatViewPolicy::PatchOrInvalidate)
+            .materialize(f("smiths"), MatViewPolicy::PatchOrInvalidate)
+            .materialize(f("spenders"), MatViewPolicy::InvalidateOnly)
+    });
+    let reference = twin_server(&w, |b| b);
+    w.server.deploy(MODULE).expect("deploys on live");
+    reference.deploy(MODULE).expect("deploys on twin");
+    let call = |server: &AldspServer, name: &str| -> String {
+        serialize_sequence(
+            server
+                .execute(QueryRequest::call(f(name)).principal(demo()))
+                .expect("materializable call executes")
+                .items(),
+        )
+    };
+    let write_seeds = env_u64("DIFFTEST_WRITE_SEEDS", 4);
+    for seed in 0..write_seeds {
+        for op in generate_writes(seed, 8, WORLD_N) {
+            let criteria = CallCriteria {
+                filter: vec![("CID".into(), aldsp::xdm::value::AtomicValue::str(&op.cid))],
+                ..Default::default()
+            };
+            let mut sdo = w
+                .server
+                .read_object(&demo(), &f("writer"), vec![], &criteria)
+                .expect("reads writer SDO")
+                .expect("customer exists");
+            sdo.set(&op.field, op.value.clone()).expect("writable path");
+            w.server
+                .submit(
+                    &demo(),
+                    &f("writer"),
+                    &sdo,
+                    ConcurrencyPolicy::UpdatedValues,
+                )
+                .expect("submits");
+            for name in views {
+                // first read may hit a patched entry or recompute; the
+                // second must hit — both byte-identical to the twin
+                let expected = call(&reference, name);
+                for pass in 0..2 {
+                    let got = call(&w.server, name);
+                    assert_eq!(
+                        got,
+                        expected,
+                        "view {name} diverged (pass {pass}, seed {seed}, write {})",
+                        op.describe()
+                    );
+                }
+            }
+        }
+    }
+    // the workload actually exercised the maintenance machinery
+    let stats = w.server.stats();
+    assert!(stats.matview_hits > 0, "{stats:?}");
+    assert!(stats.matview_patches > 0, "{stats:?}");
+    assert!(stats.matview_invalidations > 0, "{stats:?}");
+    assert!(stats.matview_recomputes > 0, "{stats:?}");
+}
+
 // ---- mutation smoke ---------------------------------------------------------
 
 /// The harness must be able to catch a real optimizer bug: plant one
