@@ -96,6 +96,10 @@ pub struct Options {
     /// runtime's expression VM (differential-testing knob; on in every
     /// real configuration).
     pub vm: bool,
+    /// Middleware join-method selection for the join-planning pass:
+    /// cost-based by default, with forced levels for the differential
+    /// harness (every level returns byte-identical results).
+    pub join_strategy: crate::joins::JoinStrategy,
 }
 
 impl Default for Options {
@@ -110,6 +114,7 @@ impl Default for Options {
             ppk_local_method: crate::ir::LocalJoinMethod::IndexNestedLoop,
             ppk_prefetch_depth: 1,
             vm: true,
+            join_strategy: crate::joins::JoinStrategy::default(),
         }
     }
 }
@@ -139,6 +144,11 @@ pub struct CompiledQuery {
     /// execution regions), keyed by FLWOR `node_id`. Shared so each
     /// execution references the analysis without re-deriving it.
     pub parallel: Arc<crate::parallel::ParallelPlan>,
+    /// Middleware join decisions (hash / sort-merge bulk fetches with
+    /// build-side choice), keyed by `(flwor node_id, clause index)`.
+    /// Shared so each execution references the plan without copying the
+    /// decorrelated bulk statements.
+    pub joins: Arc<crate::joins::JoinPlan>,
 }
 
 /// Cache/statistics counters for the view sub-optimizer.
@@ -194,6 +204,7 @@ impl Compiler {
         ctx.pushdown = self.options.pushdown;
         ctx.mutation = self.options.mutation;
         ctx.vm = self.options.vm;
+        ctx.join_strategy = self.options.join_strategy;
         // seed with deployed (partially optimized) functions
         for (name, f) in self.views.lock().iter() {
             ctx.functions.insert(name.clone(), f.clone());
@@ -298,7 +309,8 @@ impl Compiler {
             return Err(diags);
         };
         let external_vars: Vec<String> = module.variables.iter().map(|v| v.name.clone()).collect();
-        let (frame, programs, parallel) = self.finish(&mut ctx, &mut plan, &external_vars)?;
+        let (frame, programs, parallel, joins) =
+            self.finish(&mut ctx, &mut plan, &external_vars)?;
         diags.extend(ctx.diags);
         if self.options.mode == Mode::FailFast && !diags.is_empty() {
             return Err(diags);
@@ -312,6 +324,7 @@ impl Compiler {
             diagnostics: diags,
             programs,
             parallel,
+            joins,
         })
     }
 
@@ -355,7 +368,8 @@ impl Compiler {
             }
         };
         let mut plan = CExpr::new(kind, span);
-        let (frame, programs, parallel) = self.finish(&mut ctx, &mut plan, &external_vars)?;
+        let (frame, programs, parallel, joins) =
+            self.finish(&mut ctx, &mut plan, &external_vars)?;
         let diags = std::mem::take(&mut ctx.diags);
         if self.options.mode == Mode::FailFast && !diags.is_empty() {
             return Err(diags);
@@ -369,12 +383,19 @@ impl Compiler {
             diagnostics: diags,
             programs,
             parallel,
+            joins,
         })
     }
 
-    /// The per-query stages: type check, inline/optimize, push down SQL,
-    /// lay out the tuple frame over the final plan, then lower scalar
-    /// subtrees to bytecode (post-frames, so programs see final slots).
+    /// The per-query stages, each an explicit pass run exactly once:
+    /// type check → **normalize** (view unfolding + the local rewrite
+    /// rules to fixpoint) → re-infer types → **predicate placement**
+    /// (global duplicate elimination and contradiction pruning) →
+    /// **SQL pushdown** → frame layout → node ids → bytecode lowering →
+    /// **join planning** and parallel analysis over the final shape.
+    /// Debug builds assert each rewriting pass is idempotent (re-running
+    /// it is a no-op), which is what lets them run once instead of
+    /// inside one shared fixpoint.
     #[allow(clippy::type_complexity)]
     fn finish(
         &self,
@@ -386,6 +407,7 @@ impl Compiler {
             Arc<FrameLayout>,
             Arc<crate::program::ProgramSet>,
             Arc<crate::parallel::ParallelPlan>,
+            Arc<crate::joins::JoinPlan>,
         ),
         Vec<Diagnostic>,
     > {
@@ -397,14 +419,15 @@ impl Compiler {
         if self.options.mode == Mode::FailFast && ctx.has_errors() {
             return Err(std::mem::take(&mut ctx.diags));
         }
-        rules::optimize(ctx, plan);
+        run_pass(ctx, plan, "normalize", rules::optimize);
         // re-infer types after rewriting (rewrites preserve or refine)
         let mut tenv2: typecheck::TypeEnv = external_vars
             .iter()
             .map(|v| (v.clone(), aldsp_xdm::types::SequenceType::any()))
             .collect();
         typecheck::typecheck(ctx, plan, &mut tenv2);
-        sqlgen::push_down(ctx, plan);
+        run_pass(ctx, plan, "place-predicates", rules::place_predicates);
+        run_pass(ctx, plan, "pushdown", sqlgen::push_down);
         // slots are derived from the final plan: every rewrite above is
         // name-based and slot-agnostic
         let frame = frames::layout(plan, external_vars);
@@ -414,16 +437,22 @@ impl Compiler {
         } else {
             crate::program::ProgramSet::default()
         };
-        // parallel eligibility is a property of the final plan shape and
-        // needs the node ids assigned just above
+        // join planning and parallel eligibility are properties of the
+        // final plan shape and need the node ids assigned just above
+        let joins = crate::joins::analyze(ctx, plan);
         let parallel = crate::parallel::analyze(plan);
-        Ok((Arc::new(frame), Arc::new(programs), Arc::new(parallel)))
+        Ok((
+            Arc::new(frame),
+            Arc::new(programs),
+            Arc::new(parallel),
+            Arc::new(joins),
+        ))
     }
 
     /// A compiler over the same metadata, inverses, and deployed views
     /// as this one, but with different [`Options`] — the per-request
     /// override path for compile-affecting knobs (pushdown level, PP-k
-    /// prefetch depth).
+    /// prefetch depth, join strategy).
     pub fn with_options(&self, options: Options) -> Compiler {
         Compiler {
             registry: Arc::clone(&self.registry),
@@ -437,5 +466,25 @@ impl Compiler {
     /// The options this compiler was built with.
     pub fn options(&self) -> &Options {
         &self.options
+    }
+}
+
+/// Run one optimizer pass. Debug builds re-run the pass on a copy of
+/// its own output and assert nothing changes: every staged pass must be
+/// idempotent, which is the property that lets the pipeline run each
+/// one exactly once instead of looping a shared fixpoint (the structure
+/// whose ordering sensitivity caused the `hoist_wheres` hang). Plan
+/// equality ignores `node_id`s, so the check is purely structural.
+fn run_pass(
+    ctx: &mut Context<'_>,
+    plan: &mut CExpr,
+    name: &str,
+    pass: impl Fn(&mut Context<'_>, &mut CExpr),
+) {
+    pass(ctx, plan);
+    if cfg!(debug_assertions) {
+        let before = plan.clone();
+        pass(ctx, plan);
+        assert!(*plan == before, "optimizer pass '{name}' is not idempotent");
     }
 }

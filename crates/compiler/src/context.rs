@@ -95,6 +95,10 @@ pub struct Context<'r> {
     /// Lower scalar subtrees to expression-VM bytecode after frame
     /// layout (differential-testing knob, on in production).
     pub vm: bool,
+    /// Middleware join-method selection for the join-planning pass
+    /// (cost-based by default; forced levels for the differential
+    /// harness).
+    pub join_strategy: crate::joins::JoinStrategy,
     var_counter: u32,
 }
 
@@ -114,6 +118,7 @@ impl<'r> Context<'r> {
             pushdown: crate::compile::PushdownLevel::default(),
             mutation: None,
             vm: true,
+            join_strategy: crate::joins::JoinStrategy::default(),
             var_counter: 0,
         }
     }

@@ -51,6 +51,13 @@ pub struct ExplainContext<'a> {
     /// driven execution may fan out, so parallelizability regressions
     /// are visible in review. `None` leaves the plan text unchanged.
     pub parallel: Option<&'a crate::parallel::ParallelPlan>,
+    /// The plan's middleware-join decisions (from
+    /// [`crate::CompiledQuery::joins`]): rendered as a `-- join:` header
+    /// listing, per marked join, the chosen strategy, estimated build /
+    /// probe cardinalities and whether the build side was reordered —
+    /// so join-planning regressions are visible in review. `None`
+    /// leaves the plan text unchanged.
+    pub joins: Option<&'a crate::joins::JoinPlan>,
 }
 
 impl<'a> ExplainContext<'a> {
@@ -77,6 +84,9 @@ pub fn explain_plan(plan: &CExpr, ctx: &ExplainContext<'_>) -> String {
     }
     if let Some(p) = ctx.parallel {
         let _ = writeln!(out, "-- parallel: {p}");
+    }
+    if let Some(j) = ctx.joins {
+        let _ = writeln!(out, "-- join: {j}");
     }
     render_expr(plan, ctx, 0, &mut out);
     out

@@ -17,6 +17,7 @@ pub mod context;
 pub mod explain;
 pub mod frames;
 pub mod ir;
+pub mod joins;
 pub mod parallel;
 pub mod program;
 pub mod rules;
@@ -29,6 +30,7 @@ pub use context::{Context, InverseRegistry, Mode, UserFunction};
 pub use explain::{explain_plan, ExplainContext};
 pub use frames::FrameLayout;
 pub use ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec, NO_SLOT};
+pub use joins::{JoinMark, JoinPlan, JoinStrategy};
 pub use parallel::{ParTail, ParallelMark, ParallelPlan};
 pub use program::{Op, Program, ProgramSet};
 

@@ -755,6 +755,121 @@ fn simplify_flwor(
     changed
 }
 
+/// The staged predicate-placement pass: global analyses over whole
+/// clause lists that the per-node rewrite walk cannot express — run
+/// once, after normalization, before SQL pushdown.
+///
+/// * **Redundant-predicate elimination** — a pure `where` clause that
+///   structurally repeats an earlier filter in the same scope (a common
+///   residue of view unfolding, where caller and callee guard the same
+///   condition) is dropped.
+/// * **Contradiction pruning** — two value-comparison filters
+///   `expr eq C1` … `expr eq C2` with `C1 ≠ C2` can never both hold,
+///   so the *later* one is replaced by `where false()` (replacing the
+///   later clause keeps error semantics: the first comparison still
+///   evaluates, and when it held, the second was type-safe and false).
+///
+/// Both rewrites are idempotent by construction — the staged-pass
+/// contract `run_pass` asserts in debug builds.
+pub fn place_predicates(_ctx: &mut Context<'_>, e: &mut CExpr) {
+    place_predicates_rec(e);
+}
+
+fn place_predicates_rec(e: &mut CExpr) {
+    e.for_each_child_mut(&mut place_predicates_rec);
+    if let CKind::Flwor { clauses, .. } = &mut e.kind {
+        prune_contradictions(clauses);
+        drop_duplicate_wheres(clauses);
+    }
+}
+
+/// Match a value comparison `expr eq <literal>` (either side) against
+/// a type whose structural equality is semantic equality.
+fn const_equality(w: &CExpr) -> Option<(&CExpr, &aldsp_xdm::value::AtomicValue)> {
+    use aldsp_xdm::value::AtomicValue;
+    let CKind::Compare {
+        op: aldsp_xdm::item::CompOp::Eq,
+        general: false,
+        lhs,
+        rhs,
+    } = &w.kind
+    else {
+        return None;
+    };
+    let (expr, v) = match (&lhs.kind, &rhs.kind) {
+        (_, CKind::Const(v)) => (&**lhs, v),
+        (CKind::Const(v), _) => (&**rhs, v),
+        _ => return None,
+    };
+    // Integer/String/Boolean literals compare structurally iff they
+    // compare semantically; decimals (1.0 vs 1.00) and dates do not
+    matches!(
+        v,
+        AtomicValue::Integer(_) | AtomicValue::String(_) | AtomicValue::Boolean(_)
+    )
+    .then_some((expr, v))
+}
+
+fn prune_contradictions(clauses: &mut [Clause]) {
+    for j in 1..clauses.len() {
+        let Clause::Where(w) = &clauses[j] else {
+            continue;
+        };
+        let Some((expr, v)) = const_equality(w) else {
+            continue;
+        };
+        let (expr, v, span) = (expr.clone(), v.clone(), w.span);
+        let mut found = false;
+        for c in clauses[..j].iter().rev() {
+            match c {
+                // grouping/ordering rebinds or reorders scope: stop looking
+                Clause::GroupBy { .. } | Clause::OrderBy(_) => break,
+                Clause::Where(prev) => {
+                    if let Some((pe, pv)) = const_equality(prev) {
+                        if *pe == expr && pv.type_of() == v.type_of() && *pv != v {
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if found {
+            clauses[j] = Clause::Where(CExpr::constant(
+                aldsp_xdm::value::AtomicValue::Boolean(false),
+                span,
+            ));
+        }
+    }
+}
+
+fn drop_duplicate_wheres(clauses: &mut Vec<Clause>) {
+    let mut i = 1;
+    while i < clauses.len() {
+        let mut duplicate = false;
+        if let Clause::Where(w) = &clauses[i] {
+            if is_pure(w) {
+                for c in clauses[..i].iter().rev() {
+                    match c {
+                        Clause::GroupBy { .. } | Clause::OrderBy(_) => break,
+                        Clause::Where(prev) if prev == w => {
+                            duplicate = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if duplicate {
+            clauses.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
 /// Move `where` clauses up to just after the clause that binds the last
 /// of their free variables (§4.3's "where conditions pushed into joins").
 fn hoist_wheres(clauses: &mut Vec<Clause>) -> bool {
@@ -1044,5 +1159,125 @@ mod rules_tests {
                where $cc/CID eq $c/CID and lib:int2date($c/SINCE) le lib:int2date(1005)
                return $c/CID"#,
         );
+    }
+}
+
+#[cfg(test)]
+mod predicate_placement_tests {
+    use super::*;
+    use aldsp_parser::ast::Span;
+    use aldsp_xdm::item::CompOp;
+    use aldsp_xdm::value::AtomicValue;
+
+    fn sp() -> Span {
+        Span::default()
+    }
+
+    fn eq_const(var: &str, v: AtomicValue) -> CExpr {
+        CExpr::new(
+            CKind::Compare {
+                op: CompOp::Eq,
+                general: false,
+                lhs: Box::new(CExpr::var(var, sp())),
+                rhs: Box::new(CExpr::constant(v, sp())),
+            },
+            sp(),
+        )
+    }
+
+    fn wheres(filters: Vec<CExpr>) -> Vec<Clause> {
+        filters.into_iter().map(Clause::Where).collect()
+    }
+
+    fn is_where_false(c: &Clause) -> bool {
+        matches!(c, Clause::Where(w)
+            if matches!(&w.kind, CKind::Const(AtomicValue::Boolean(false))))
+    }
+
+    #[test]
+    fn contradictory_equalities_prune_the_later_filter() {
+        let mut clauses = wheres(vec![
+            eq_const("x", AtomicValue::String("a".into())),
+            eq_const("x", AtomicValue::String("b".into())),
+        ]);
+        prune_contradictions(&mut clauses);
+        assert!(matches!(&clauses[0], Clause::Where(w)
+            if matches!(w.kind, CKind::Compare { .. })));
+        assert!(is_where_false(&clauses[1]));
+
+        // same value: no contradiction (duplicate elimination's job)
+        let mut same = wheres(vec![
+            eq_const("x", AtomicValue::Integer(7)),
+            eq_const("x", AtomicValue::Integer(7)),
+        ]);
+        prune_contradictions(&mut same);
+        assert!(!same.iter().any(is_where_false));
+
+        // non-Integer/String/Boolean literal types are excluded from the rule
+        let mut dec = wheres(vec![
+            eq_const(
+                "x",
+                AtomicValue::Decimal(aldsp_xdm::value::Decimal::from_int(1)),
+            ),
+            eq_const(
+                "x",
+                AtomicValue::Decimal(aldsp_xdm::value::Decimal::from_int(2)),
+            ),
+        ]);
+        prune_contradictions(&mut dec);
+        assert!(!dec.iter().any(is_where_false));
+
+        // a group-by between the filters rebinds scope: no pruning across it
+        let mut grouped = vec![
+            Clause::Where(eq_const("x", AtomicValue::Integer(1))),
+            Clause::GroupBy {
+                bindings: vec![],
+                keys: vec![],
+                carry: vec![],
+                pre_clustered: false,
+            },
+            Clause::Where(eq_const("x", AtomicValue::Integer(2))),
+        ];
+        prune_contradictions(&mut grouped);
+        assert!(!grouped.iter().any(is_where_false));
+    }
+
+    #[test]
+    fn duplicate_pure_wheres_collapse_to_one() {
+        let mut clauses = wheres(vec![
+            eq_const("x", AtomicValue::Integer(7)),
+            eq_const("x", AtomicValue::Integer(7)),
+            eq_const("x", AtomicValue::Integer(7)),
+        ]);
+        drop_duplicate_wheres(&mut clauses);
+        assert_eq!(clauses.len(), 1);
+    }
+
+    #[test]
+    fn place_predicates_is_idempotent_on_mixed_filters() {
+        let reg = aldsp_metadata::Registry::new();
+        let mut ctx = Context::new(&reg, crate::context::Mode::FailFast);
+        let clauses = vec![
+            Clause::Where(eq_const("x", AtomicValue::Integer(1))),
+            Clause::Where(eq_const("x", AtomicValue::Integer(1))),
+            Clause::Where(eq_const("x", AtomicValue::Integer(2))),
+        ];
+        let mut plan = CExpr::new(
+            CKind::Flwor {
+                clauses,
+                ret: Box::new(CExpr::var("x", sp())),
+            },
+            sp(),
+        );
+        place_predicates(&mut ctx, &mut plan);
+        let CKind::Flwor { clauses, .. } = &plan.kind else {
+            panic!("flwor survived");
+        };
+        // dup removed, contradiction replaced with `where false`
+        assert_eq!(clauses.len(), 2);
+        assert!(is_where_false(&clauses[1]));
+        let once = plan.clone();
+        place_predicates(&mut ctx, &mut plan);
+        assert_eq!(plan, once);
     }
 }

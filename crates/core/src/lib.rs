@@ -37,7 +37,7 @@ use aldsp_adaptors::{
     AdaptorRegistry, CsvFileSource, NativeFunction, SimulatedWebService, XmlFileSource,
 };
 use aldsp_compiler::{explain_plan, CompiledQuery, Compiler, ExplainContext, Mode, Options};
-pub use aldsp_compiler::{Mutation, PushdownLevel};
+pub use aldsp_compiler::{JoinStrategy, Mutation, PushdownLevel};
 pub use aldsp_matview::MatViewPolicy;
 use aldsp_matview::{Dependencies, MatViewRegistry};
 use aldsp_metadata::{
@@ -221,6 +221,10 @@ pub struct ExecutionOptions {
     /// Default per-query instrumentation level
     /// ([`QueryRequest::trace`] still overrides per request).
     pub trace_level: TraceLevel,
+    /// Middleware join-method selection ([`JoinStrategy::Auto`] by
+    /// default: cost-based from introspected statistics; forced levels
+    /// exist for the differential harness).
+    pub join_strategy: JoinStrategy,
 }
 
 impl Default for ExecutionOptions {
@@ -231,6 +235,7 @@ impl Default for ExecutionOptions {
             ppk_prefetch_depth: 1,
             pushdown: PushdownLevel::default(),
             trace_level: TraceLevel::Off,
+            join_strategy: JoinStrategy::default(),
         }
     }
 }
@@ -269,6 +274,12 @@ impl ExecutionOptions {
     /// Set [`ExecutionOptions::trace_level`].
     pub fn trace_level(mut self, level: TraceLevel) -> Self {
         self.trace_level = level;
+        self
+    }
+
+    /// Set [`ExecutionOptions::join_strategy`].
+    pub fn join_strategy(mut self, strategy: JoinStrategy) -> Self {
+        self.join_strategy = strategy;
         self
     }
 
@@ -431,6 +442,25 @@ impl ServerBuilder {
     ) -> Result<Self, String> {
         let ds = introspect_relational(catalog, server.name(), namespace)?;
         self.metadata.register_service(&ds)?;
+        // Capture data statistics and the source's latency term while we
+        // hold the introspection view — the join planner costs middleware
+        // strategies from exactly this snapshot.
+        for schema in catalog.tables() {
+            if let Some(stats) = server.table_stats(&schema.name) {
+                self.metadata.set_table_stats(
+                    server.name(),
+                    &schema.name,
+                    aldsp_metadata::TableStats {
+                        row_count: stats.row_count,
+                        column_distinct: stats.column_distinct.into_iter().collect(),
+                    },
+                );
+            }
+        }
+        self.metadata.set_source_latency(
+            server.name(),
+            server.latency().per_roundtrip.as_nanos() as u64,
+        );
         self.adaptors.register_connection(server);
         Ok(self)
     }
@@ -548,6 +578,7 @@ impl ServerBuilder {
             ppk_local_method: self.ppk_local_method,
             ppk_prefetch_depth: self.execution.ppk_prefetch_depth,
             vm: self.vm,
+            join_strategy: self.execution.join_strategy,
             ..Default::default()
         };
         let mut compiler = Compiler::new(metadata.clone(), options);
@@ -1548,15 +1579,19 @@ impl AldspServer {
     /// `None` means the server's compiler (and bare cache keys) serve.
     fn override_compiler(&self, exec: &ExecutionOptions) -> Option<(Compiler, String)> {
         let base = self.compiler.options();
-        if exec.pushdown == base.pushdown && exec.ppk_prefetch_depth == base.ppk_prefetch_depth {
+        if exec.pushdown == base.pushdown
+            && exec.ppk_prefetch_depth == base.ppk_prefetch_depth
+            && exec.join_strategy == base.join_strategy
+        {
             return None;
         }
         let mut options = base.clone();
         options.pushdown = exec.pushdown;
         options.ppk_prefetch_depth = exec.ppk_prefetch_depth;
+        options.join_strategy = exec.join_strategy;
         let suffix = format!(
-            "\u{1}pushdown={};ppk-depth={}",
-            exec.pushdown, exec.ppk_prefetch_depth
+            "\u{1}pushdown={};ppk-depth={};join={}",
+            exec.pushdown, exec.ppk_prefetch_depth, exec.join_strategy
         );
         Some((self.compiler.with_options(options), suffix))
     }
@@ -1627,6 +1662,7 @@ impl AldspServer {
             pushdown: plan.pushdown,
             programs: Some(&plan.programs),
             parallel: Some(&plan.parallel),
+            joins: Some(&plan.joins),
         };
         explain_plan(&plan.plan, &ctx)
     }
@@ -1707,6 +1743,7 @@ mod plan_cache_tests {
             diagnostics: vec![],
             programs: Arc::new(Default::default()),
             parallel: Arc::new(Default::default()),
+            joins: Arc::new(Default::default()),
         })
     }
 

@@ -17,4 +17,4 @@ pub use introspect::{
     WebServiceOperation,
 };
 pub use model::{FunctionKind, ParamDecl, PhysicalDataService, PhysicalFunction, SourceBinding};
-pub use registry::Registry;
+pub use registry::{Registry, TableStats};

@@ -11,11 +11,27 @@ use aldsp_xdm::schema::Schema;
 use aldsp_xdm::QName;
 use std::collections::HashMap;
 
-/// Shared metadata: physical functions and schemas.
+/// Statistics introspected from one source table, consumed by the
+/// cost-based join planner. Counts are estimates captured at
+/// registration time: sources keep changing underneath the mediator, so
+/// the optimizer treats them as magnitudes, never as exact answers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Total rows in the table.
+    pub row_count: u64,
+    /// Estimated distinct values per column, by column name.
+    pub column_distinct: HashMap<String, u64>,
+}
+
+/// Shared metadata: physical functions, schemas, and per-source
+/// statistics (table cardinalities + the latency model's per-roundtrip
+/// cost, both feeding the join cost model).
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     functions: HashMap<QName, PhysicalFunction>,
     schemas: HashMap<String, Schema>,
+    stats: HashMap<(String, String), TableStats>,
+    source_latency: HashMap<String, u64>,
 }
 
 impl Registry {
@@ -68,6 +84,28 @@ impl Registry {
     pub fn functions(&self) -> impl Iterator<Item = &PhysicalFunction> {
         self.functions.values()
     }
+
+    /// Record statistics for `connection.table` (replacing any earlier
+    /// capture).
+    pub fn set_table_stats(&mut self, connection: &str, table: &str, stats: TableStats) {
+        self.stats
+            .insert((connection.to_string(), table.to_string()), stats);
+    }
+
+    /// Statistics for `connection.table`, if captured.
+    pub fn table_stats(&self, connection: &str, table: &str) -> Option<&TableStats> {
+        self.stats.get(&(connection.to_string(), table.to_string()))
+    }
+
+    /// Record a source's per-roundtrip latency (nanoseconds).
+    pub fn set_source_latency(&mut self, connection: &str, nanos: u64) {
+        self.source_latency.insert(connection.to_string(), nanos);
+    }
+
+    /// A source's per-roundtrip latency (nanoseconds), if recorded.
+    pub fn source_latency(&self, connection: &str) -> Option<u64> {
+        self.source_latency.get(connection).copied()
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +136,23 @@ mod tests {
         assert!(r.function(&QName::new("urn:other", "A")).is_none());
         assert!(r.register_function(func("A")).is_err());
         assert_eq!(r.functions().count(), 1);
+    }
+
+    #[test]
+    fn table_stats_and_latency_round_trip() {
+        let mut r = Registry::new();
+        assert!(r.table_stats("db1", "CUSTOMER").is_none());
+        assert!(r.source_latency("db1").is_none());
+        let mut s = TableStats {
+            row_count: 1000,
+            column_distinct: HashMap::new(),
+        };
+        s.column_distinct.insert("CID".into(), 1000);
+        r.set_table_stats("db1", "CUSTOMER", s.clone());
+        r.set_source_latency("db1", 250_000);
+        assert_eq!(r.table_stats("db1", "CUSTOMER"), Some(&s));
+        assert_eq!(r.source_latency("db1"), Some(250_000));
+        assert!(r.table_stats("db2", "CUSTOMER").is_none());
     }
 
     #[test]

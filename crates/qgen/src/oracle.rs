@@ -13,7 +13,9 @@
 use aldsp::security::Principal;
 use aldsp::xdm::item::Item;
 use aldsp::xdm::xml::serialize_sequence;
-use aldsp::{AldspServer, ExecutionOptions, PushdownLevel, QueryRequest, ServerError};
+use aldsp::{
+    AldspServer, ExecutionOptions, JoinStrategy, PushdownLevel, QueryRequest, ServerError,
+};
 
 /// One configuration cell of the differential matrix.
 #[derive(Debug, Clone)]
@@ -42,6 +44,10 @@ pub struct CellSpec {
     /// mid-fan-out may surface at a different tuple than sequential
     /// execution, and the oracle pins *successful* outputs.
     pub workers: usize,
+    /// Middleware join-method selection for the join planner
+    /// ([`JoinStrategy::Auto`] = cost-based; forced levels pin every
+    /// strategy's output to the naive reference).
+    pub join_strategy: JoinStrategy,
 }
 
 /// The default 11-cell matrix from the roadmap: pushdown {off, joins,
@@ -54,24 +60,63 @@ pub struct CellSpec {
 /// expression VM, so every other cell's bytecode programs are
 /// differentially checked against pure tree-walking.
 pub fn default_matrix() -> Vec<CellSpec> {
-    let cell = |name, pushdown, prefetch_depth, streaming, memory_budget, vm, workers| CellSpec {
-        name,
-        pushdown,
-        prefetch_depth,
-        streaming,
-        memory_budget,
-        vm,
-        workers,
-    };
+    let cell =
+        |name, pushdown, prefetch_depth, streaming, memory_budget, vm, workers, join| CellSpec {
+            name,
+            pushdown,
+            prefetch_depth,
+            streaming,
+            memory_budget,
+            vm,
+            workers,
+            join_strategy: join,
+        };
+    let auto = JoinStrategy::Auto;
     vec![
-        cell("off", PushdownLevel::Off, 0, false, None, false, 1),
-        cell("off+vm", PushdownLevel::Off, 0, false, None, true, 1),
-        cell("off+stream", PushdownLevel::Off, 0, true, None, true, 1),
-        cell("joins", PushdownLevel::Joins, 0, false, None, true, 1),
-        cell("joins+pp2", PushdownLevel::Joins, 2, true, None, true, 1),
-        cell("full", PushdownLevel::Full, 0, false, None, true, 1),
-        cell("full+pp2", PushdownLevel::Full, 2, false, None, true, 1),
-        cell("full+stream", PushdownLevel::Full, 2, true, None, true, 1),
+        cell("off", PushdownLevel::Off, 0, false, None, false, 1, auto),
+        cell("off+vm", PushdownLevel::Off, 0, false, None, true, 1, auto),
+        cell(
+            "off+stream",
+            PushdownLevel::Off,
+            0,
+            true,
+            None,
+            true,
+            1,
+            auto,
+        ),
+        cell("joins", PushdownLevel::Joins, 0, false, None, true, 1, auto),
+        cell(
+            "joins+pp2",
+            PushdownLevel::Joins,
+            2,
+            true,
+            None,
+            true,
+            1,
+            auto,
+        ),
+        cell("full", PushdownLevel::Full, 0, false, None, true, 1, auto),
+        cell(
+            "full+pp2",
+            PushdownLevel::Full,
+            2,
+            false,
+            None,
+            true,
+            1,
+            auto,
+        ),
+        cell(
+            "full+stream",
+            PushdownLevel::Full,
+            2,
+            true,
+            None,
+            true,
+            1,
+            auto,
+        ),
         cell(
             "full+budget",
             PushdownLevel::Full,
@@ -80,9 +125,70 @@ pub fn default_matrix() -> Vec<CellSpec> {
             Some(64 << 20),
             true,
             1,
+            auto,
         ),
-        cell("full+mt4", PushdownLevel::Full, 0, false, None, true, 4),
-        cell("joins+mt4", PushdownLevel::Joins, 0, false, None, true, 4),
+        cell(
+            "full+mt4",
+            PushdownLevel::Full,
+            0,
+            false,
+            None,
+            true,
+            4,
+            auto,
+        ),
+        cell(
+            "joins+mt4",
+            PushdownLevel::Joins,
+            0,
+            false,
+            None,
+            true,
+            4,
+            auto,
+        ),
+        // the join-strategy axis: every middleware join method must be
+        // byte-identical to the naive nested-loop reference
+        cell(
+            "joins+hash",
+            PushdownLevel::Joins,
+            0,
+            false,
+            None,
+            true,
+            1,
+            JoinStrategy::Hash,
+        ),
+        cell(
+            "joins+merge",
+            PushdownLevel::Joins,
+            0,
+            false,
+            None,
+            true,
+            1,
+            JoinStrategy::Merge,
+        ),
+        cell(
+            "joins+inl",
+            PushdownLevel::Joins,
+            0,
+            false,
+            None,
+            true,
+            1,
+            JoinStrategy::IndexNl,
+        ),
+        cell(
+            "full+hash",
+            PushdownLevel::Full,
+            2,
+            false,
+            None,
+            true,
+            1,
+            JoinStrategy::Hash,
+        ),
     ]
 }
 
@@ -164,7 +270,7 @@ impl Oracle {
         if let Some(b) = spec.memory_budget {
             req = req.memory_budget(b);
         }
-        if spec.workers != 1 {
+        if spec.workers != 1 || spec.join_strategy != JoinStrategy::Auto {
             // a tiny morsel size so the small fixture actually fans
             // out; compile knobs repeat the cell's own settings (the
             // override replaces the whole set)
@@ -173,7 +279,8 @@ impl Oracle {
                     .workers(spec.workers)
                     .morsel_size(2)
                     .pushdown(spec.pushdown)
-                    .ppk_prefetch_depth(spec.prefetch_depth),
+                    .ppk_prefetch_depth(spec.prefetch_depth)
+                    .join_strategy(spec.join_strategy),
             );
         }
         if spec.streaming {

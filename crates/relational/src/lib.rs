@@ -27,7 +27,9 @@ pub use dialect::{render_select, Dialect};
 pub use dml::{render_dml, Delete, Dml, Insert, Update};
 pub use error::SourceError;
 pub use exec::ResultSet;
-pub use server::{Fault, FaultKind, FaultTrigger, LatencyModel, RelationalServer, ServerStats};
+pub use server::{
+    Fault, FaultKind, FaultTrigger, LatencyModel, RelationalServer, ServerStats, TableStatistics,
+};
 pub use sql::{
     ppk_block_predicate, AggFunc, JoinKind, OrderBy, OutputColumn, ScalarExpr, Select, TableRef,
 };

@@ -64,8 +64,24 @@ impl LatencyModel {
     }
 }
 
+/// Data statistics introspected from one table — the input to the
+/// mediator's cost-based join planner. Captured by scanning the current
+/// store contents, so they reflect the data at introspection time, not
+/// a live count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableStatistics {
+    /// Rows currently in the table.
+    pub row_count: u64,
+    /// `(column name, distinct value count)` in declaration order.
+    pub column_distinct: Vec<(String, u64)>,
+}
+
 /// Execution statistics — the observable side of the PP-k trade-off
 /// (§4.2: "k trades roundtrips against middleware memory").
+///
+/// Counters are **monotonic** for the lifetime of the server: they only
+/// ever increase, so concurrent readers can difference two snapshots to
+/// get an interval's activity without coordinating with writers.
 #[derive(Debug, Clone, Default)]
 pub struct ServerStats {
     /// Number of statement executions.
@@ -262,8 +278,46 @@ impl RelationalServer {
     }
 
     /// Reset counters and the statement log.
+    ///
+    /// Deprecated for the same reason the server-wide runtime counter
+    /// reset was: a reset races against in-flight queries, silently
+    /// corrupting every other observer's deltas. Snapshot
+    /// [`RelationalServer::stats`] before and after the interval of
+    /// interest and difference the (monotonic) counters instead.
+    #[deprecated(note = "racy under concurrency; difference two `stats()` snapshots instead")]
     pub fn reset_stats(&self) {
         *self.stats.lock() = ServerStats::default();
+    }
+
+    /// The installed latency model.
+    pub fn latency(&self) -> LatencyModel {
+        *self.latency.read()
+    }
+
+    /// Introspect data statistics for `table`: current row count plus a
+    /// per-column distinct-value count (computed over rendered SQL
+    /// literals, so `NULL` counts as one value). `None` when the table
+    /// does not exist. This is the source-side half of the cost model
+    /// the mediator's join planner runs on.
+    pub fn table_stats(&self, table: &str) -> Option<TableStatistics> {
+        self.db.read().table(table).map(|t| {
+            let cols = &t.schema().columns;
+            let mut distinct: Vec<std::collections::HashSet<String>> =
+                vec![std::collections::HashSet::new(); cols.len()];
+            for row in t.rows() {
+                for (set, v) in distinct.iter_mut().zip(row.iter()) {
+                    set.insert(v.sql_literal());
+                }
+            }
+            TableStatistics {
+                row_count: t.len() as u64,
+                column_distinct: cols
+                    .iter()
+                    .zip(&distinct)
+                    .map(|(c, set)| (c.name.clone(), set.len() as u64))
+                    .collect(),
+            }
+        })
     }
 
     /// Direct read access to the underlying database (tests, loaders).
@@ -469,6 +523,25 @@ mod tests {
         assert_eq!(st.roundtrips, 1);
         assert_eq!(st.rows_returned, 1);
         assert!(st.statements[0].starts_with("SELECT t1.\"CID\" AS c1"));
+    }
+
+    #[test]
+    fn table_stats_count_rows_and_distinct_values() {
+        let s = server();
+        s.with_db_mut(|db| {
+            db.insert(
+                "CUSTOMER",
+                vec![SqlValue::str("C2"), SqlValue::str("Jones")],
+            )
+            .unwrap();
+        });
+        let st = s.table_stats("CUSTOMER").unwrap();
+        assert_eq!(st.row_count, 2);
+        assert_eq!(
+            st.column_distinct,
+            vec![("CID".to_string(), 2), ("LAST_NAME".to_string(), 1)]
+        );
+        assert!(s.table_stats("NOPE").is_none());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::vm::{atomize_first_val, ExprVM, Val};
 use aldsp_adaptors::{AdaptorError, AdaptorRegistry};
 use aldsp_compiler::frames::FrameLayout;
 use aldsp_compiler::ir::{Builtin, CExpr, CKind, Clause, LocalJoinMethod, OrderSpec, PpkSpec};
+use aldsp_compiler::joins::{JoinMark, JoinPlan, JoinStrategy};
 use aldsp_compiler::parallel::{ParTail, ParallelMark, ParallelPlan};
 use aldsp_compiler::program::{Program, ProgramSet};
 use aldsp_metadata::Registry;
@@ -132,6 +133,10 @@ pub struct ExecCtx {
     /// The executing plan's parallel-eligibility marks (empty when the
     /// plan predates the analysis or was built by hand).
     pub parallel: Arc<ParallelPlan>,
+    /// The executing plan's middleware-join decisions (empty when the
+    /// plan predates the join-planning pass or was built by hand; every
+    /// unmarked `SqlFor` runs as a nested-loop probe).
+    pub joins: Arc<JoinPlan>,
     /// Worker count for morsel-driven regions; 1 executes everything on
     /// the calling thread (the default, and the behavior every
     /// stats/trace assertion in the test suite pins).
@@ -154,6 +159,7 @@ impl ExecCtx {
             frame: Arc::new(FrameLayout::default()),
             programs: Arc::new(ProgramSet::default()),
             parallel: Arc::new(ParallelPlan::default()),
+            joins: Arc::new(JoinPlan::default()),
             workers: 1,
             morsel_size: 1024,
             tuple_mem: TUPLE_MEM_BYTES,
@@ -172,6 +178,12 @@ impl ExecCtx {
         self.parallel = parallel;
         self.workers = workers.max(1);
         self.morsel_size = morsel_size.max(1);
+        self
+    }
+
+    /// Attach the executing plan's middleware-join decisions.
+    pub fn with_joins(mut self, joins: Arc<JoinPlan>) -> ExecCtx {
+        self.joins = joins;
         self
     }
 
@@ -1466,7 +1478,9 @@ fn parallel_region<'a>(
         let mut it: TupleIter<'a> =
             Box::new(range.map(move |i| Ok(bind_row(&env, &slots, &rows[i]))));
         for c in maps {
-            it = build_clause(cx, None, c, it, base.clone(), None);
+            // morsel pipelines address no real (flwor, clause) key: no
+            // trace key, and join marks never target parallel map clauses
+            it = build_clause(cx, 0, 0, None, c, it, base.clone(), None);
         }
         it
     };
@@ -1476,9 +1490,16 @@ fn parallel_region<'a>(
         let it = pipeline(0..ranges.last().map(|r| r.end).unwrap_or(0));
         return match mark.tail {
             ParTail::Map => it,
-            ParTail::Group | ParTail::Sort => {
-                build_clause(cx, None, &clauses[mark.clauses - 1], it, base.clone(), None)
-            }
+            ParTail::Group | ParTail::Sort => build_clause(
+                cx,
+                0,
+                0,
+                None,
+                &clauses[mark.clauses - 1],
+                it,
+                base.clone(),
+                None,
+            ),
         };
     }
     match mark.tail {
@@ -1790,7 +1811,9 @@ fn apply_clause<'a>(
         _ => input,
     };
     let t0 = tkey.map(|_| std::time::Instant::now());
-    let out = build_clause(cx, tkey, clause, input, flwor_base, scan_seed);
+    let out = build_clause(
+        cx, flwor_id, idx, tkey, clause, input, flwor_base, scan_seed,
+    );
     match (&cx.trace, tkey) {
         (Some(sink), Some(key)) => Box::new(CountOut {
             inner: out,
@@ -1803,8 +1826,11 @@ fn apply_clause<'a>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_clause<'a>(
     cx: &'a ExecCtx,
+    flwor_id: u32,
+    idx: usize,
     tkey: Option<TraceKey>,
     clause: &'a Clause,
     input: TupleIter<'a>,
@@ -1955,16 +1981,25 @@ fn build_clause<'a>(
                     key_buf: String::new(),
                     buffered_charge: 0,
                 }),
-                None => sql_for_plain(
-                    cx,
-                    tkey,
-                    connection,
-                    select,
-                    params,
-                    bind_slots.into(),
-                    input,
-                    scan_seed,
-                ),
+                None => match cx.joins.mark(flwor_id, idx) {
+                    Some(mark)
+                        if matches!(mark.strategy, JoinStrategy::Hash | JoinStrategy::Merge) =>
+                    {
+                        Box::new(HashJoinIter::new(
+                            cx, tkey, connection, mark, params, bind_slots, input,
+                        ))
+                    }
+                    _ => sql_for_plain(
+                        cx,
+                        tkey,
+                        connection,
+                        select,
+                        params,
+                        bind_slots.into(),
+                        input,
+                        scan_seed,
+                    ),
+                },
             }
         }
     }
@@ -2706,6 +2741,286 @@ fn sql_for_plain<'a>(
             Err(e) => one_err(e),
         }
     }))
+}
+
+// ---- middleware hash / merge join (cost-based join planning) ----------------------
+
+/// A correlated `SqlFor` the join planner marked for middleware
+/// execution: instead of one parameterized roundtrip per outer tuple
+/// (the nested-loop probe of [`sql_for_plain`]), fetch the decorrelated
+/// bulk statement **once**, build an equality index over it in the
+/// middleware, and probe locally.
+///
+/// Output order is exactly the nested-loop order — per outer tuple, in
+/// the bulk statement's scan order — so every strategy is byte-identical
+/// to the naive plan. Three physical shapes:
+///
+/// * build-inner hash (default): hash all bulk rows by join key, probe
+///   per outer tuple;
+/// * build-outer hash (`mark.build_outer`, the planner's cardinality
+///   reorder): buffer the estimated-smaller *outer* side instead, stream
+///   the bulk scan against it keeping only matching rows, then emit
+///   outer-major;
+/// * sort-merge (forced via [`JoinStrategy::Merge`]): stable-sort the
+///   bulk rows by key and binary-search each probe — same output, a
+///   comparison-based local method for the differential harness.
+///
+/// Every buffered row — bulk rows, and buffered outers under reorder —
+/// is charged to the query's memory budget and released on drop, so a
+/// tight [`QueryBudget`] surfaces the build's footprint as a typed
+/// `BudgetExceeded` error.
+struct HashJoinIter<'a> {
+    cx: &'a ExecCtx,
+    tkey: Option<TraceKey>,
+    connection: &'a str,
+    mark: &'a JoinMark,
+    params: &'a [CExpr],
+    bind_slots: Vec<u32>,
+    input: TupleIter<'a>,
+    built: bool,
+    /// Terminal failure already emitted: stop producing.
+    failed: bool,
+    /// Buffered rows (all bulk rows when building inner; matched bulk
+    /// rows only when building outer).
+    rows: Vec<Vec<SqlValue>>,
+    /// Hash: key literal → `rows` indices in scan order.
+    lookup: HashMap<String, Vec<usize>>,
+    /// Merge: `(key literal, rows index)` stably sorted.
+    sorted: Vec<(String, usize)>,
+    /// Staged output (whole result under build-outer; the current outer
+    /// tuple's matches otherwise).
+    pending: std::collections::VecDeque<RtResult<Env>>,
+    charged: u64,
+    key_buf: String,
+}
+
+impl<'a> HashJoinIter<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        cx: &'a ExecCtx,
+        tkey: Option<TraceKey>,
+        connection: &'a str,
+        mark: &'a JoinMark,
+        params: &'a [CExpr],
+        bind_slots: Vec<u32>,
+        input: TupleIter<'a>,
+    ) -> HashJoinIter<'a> {
+        HashJoinIter {
+            cx,
+            tkey,
+            connection,
+            mark,
+            params,
+            bind_slots,
+            input,
+            built: false,
+            failed: false,
+            rows: Vec::new(),
+            lookup: HashMap::new(),
+            sorted: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            charged: 0,
+            key_buf: String::new(),
+        }
+    }
+
+    /// Charge one buffered row against the memory budget.
+    fn charge_row(&mut self) -> RtResult<()> {
+        self.cx.charge_mem(self.cx.tuple_mem)?;
+        self.charged += self.cx.tuple_mem;
+        Ok(())
+    }
+
+    /// The probe key for one outer tuple: `None` when the param is SQL
+    /// NULL (which never equi-joins).
+    fn probe_key(&mut self, env: &Env) -> RtResult<Option<String>> {
+        let vals = eval_sql_params(self.cx, self.params, env)?;
+        if vals.iter().any(|v| matches!(v, SqlValue::Null)) {
+            return Ok(None);
+        }
+        self.key_buf.clear();
+        values_key_into(&mut self.key_buf, &vals);
+        Ok(Some(self.key_buf.clone()))
+    }
+
+    /// Fetch the decorrelated bulk statement (one roundtrip).
+    fn fetch_bulk(&mut self) -> RtResult<ResultSet> {
+        self.cx.trace_roundtrip(self.tkey);
+        exec_sql(self.cx, self.connection, &self.mark.bulk, &[])
+    }
+
+    /// The key literal of one bulk row; `None` for NULL keys, which can
+    /// never match and are left out of the index.
+    fn row_key(buf: &mut String, row: &[SqlValue], k: usize) -> Option<String> {
+        let v = row.get(k)?;
+        if matches!(v, SqlValue::Null) {
+            return None;
+        }
+        buf.clear();
+        values_key_into(buf, std::slice::from_ref(v));
+        Some(buf.clone())
+    }
+
+    /// Build-inner (and merge): fetch all bulk rows up front and index
+    /// them by key; probing streams the outer side.
+    fn build_inner(&mut self) -> RtResult<()> {
+        let merge = self.mark.strategy == JoinStrategy::Merge;
+        if !merge {
+            self.cx.inc(|s| &s.hash_joins);
+        }
+        let rs = self.fetch_bulk()?;
+        let k = self.mark.key_row_index;
+        for row in rs.rows {
+            self.charge_row()?;
+            let i = self.rows.len();
+            if let Some(key) = Self::row_key(&mut self.key_buf, &row, k) {
+                if merge {
+                    self.sorted.push((key, i));
+                } else {
+                    self.lookup.entry(key).or_default().push(i);
+                }
+            }
+            self.rows.push(row);
+        }
+        if merge {
+            // stable by construction: ties keep ascending scan order
+            self.sorted.sort();
+        }
+        let n = self.rows.len() as u64;
+        self.cx.add(|s| &s.join_build_rows, n);
+        self.cx.trace_record(
+            self.tkey,
+            NodeTrace {
+                join_build_rows: n,
+                ..Default::default()
+            },
+        );
+        Ok(())
+    }
+
+    /// Build-outer (the planner's reorder): buffer the outer side and
+    /// its probe keys, stream the bulk scan keeping only matching rows,
+    /// then stage the whole outer-major output.
+    fn build_outer(&mut self) -> RtResult<()> {
+        self.cx.inc(|s| &s.hash_joins);
+        self.cx.inc(|s| &s.join_reorders);
+        // 1. drain + hash the outer side (errors keep their stream slot)
+        let mut outers: Vec<RtResult<(Env, Option<String>)>> = Vec::new();
+        while let Some(tuple) = self.input.next() {
+            self.charge_row()?;
+            outers.push(tuple.and_then(|env| {
+                let key = self.probe_key(&env)?;
+                Ok((env, key))
+            }));
+            if let Ok((_, Some(key))) = outers.last().expect("just pushed") {
+                self.lookup
+                    .entry(key.clone())
+                    .or_default()
+                    .push(outers.len() - 1);
+            }
+        }
+        let n = outers.len() as u64;
+        self.cx.add(|s| &s.join_build_rows, n);
+        self.cx.trace_record(
+            self.tkey,
+            NodeTrace {
+                join_build_rows: n,
+                ..Default::default()
+            },
+        );
+        // 2. stream the bulk scan, keeping matching rows only
+        let rs = self.fetch_bulk()?;
+        let k = self.mark.key_row_index;
+        let mut matches: Vec<Vec<usize>> = vec![Vec::new(); outers.len()];
+        for row in rs.rows {
+            let Some(key) = Self::row_key(&mut self.key_buf, &row, k) else {
+                continue;
+            };
+            if !self.lookup.contains_key(&key) {
+                continue;
+            }
+            self.charge_row()?;
+            let ri = self.rows.len();
+            self.rows.push(row);
+            for &oi in &self.lookup[&key] {
+                matches[oi].push(ri);
+            }
+        }
+        // 3. stage nested-loop order: per outer, bulk scan order
+        for (oi, entry) in outers.into_iter().enumerate() {
+            match entry {
+                Err(e) => self.pending.push_back(Err(e)),
+                Ok((_, None)) => {}
+                Ok((env, Some(_))) => {
+                    for &ri in &matches[oi] {
+                        self.pending.push_back(Ok(bind_row(
+                            &env,
+                            &self.bind_slots,
+                            &self.rows[ri],
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for HashJoinIter<'_> {
+    type Item = RtResult<Env>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.built {
+            self.built = true;
+            let r = if self.mark.build_outer {
+                self.build_outer()
+            } else {
+                self.build_inner()
+            };
+            if let Err(e) = r {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        }
+        loop {
+            if let Some(out) = self.pending.pop_front() {
+                return Some(out);
+            }
+            if self.failed || self.mark.build_outer {
+                return None;
+            }
+            // probe phase: one outer tuple at a time
+            let env = match self.input.next()? {
+                Ok(env) => env,
+                Err(e) => return Some(Err(e)),
+            };
+            let key = match self.probe_key(&env) {
+                Ok(Some(k)) => k,
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            };
+            if self.mark.strategy == JoinStrategy::Merge {
+                let start = self
+                    .sorted
+                    .partition_point(|(k, _)| k.as_str() < key.as_str());
+                for (_, ri) in self.sorted[start..].iter().take_while(|(k, _)| *k == key) {
+                    self.pending
+                        .push_back(Ok(bind_row(&env, &self.bind_slots, &self.rows[*ri])));
+                }
+            } else if let Some(idxs) = self.lookup.get(&key) {
+                for &ri in idxs {
+                    self.pending
+                        .push_back(Ok(bind_row(&env, &self.bind_slots, &self.rows[ri])));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for HashJoinIter<'_> {
+    fn drop(&mut self) {
+        self.cx.release_mem(self.charged);
+    }
 }
 
 // ---- the PP-k distributed join (§4.2, §5.2) ---------------------------------------

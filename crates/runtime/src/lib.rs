@@ -145,6 +145,7 @@ impl Runtime {
         let cx = cx
             .with_frame(Arc::clone(&query.frame))
             .with_programs(Arc::clone(&query.programs))
+            .with_joins(Arc::clone(&query.joins))
             .with_parallel(
                 Arc::clone(&query.parallel),
                 tuning.workers,
@@ -246,6 +247,7 @@ impl Runtime {
         let cx = cx
             .with_frame(Arc::clone(&query.frame))
             .with_programs(Arc::clone(&query.programs))
+            .with_joins(Arc::clone(&query.joins))
             .with_parallel(
                 Arc::clone(&query.parallel),
                 tuning.workers,

@@ -80,6 +80,14 @@ pub struct ExecStats {
     pub matview_patches: AtomicU64,
     /// Materialized reads that recomputed (cold or post-invalidation).
     pub matview_recomputes: AtomicU64,
+    /// Middleware symmetric hash joins executed (one per hash-join
+    /// operator run, not per probe).
+    pub hash_joins: AtomicU64,
+    /// Rows buffered on the build side of middleware hash/merge joins.
+    pub join_build_rows: AtomicU64,
+    /// Hash joins the planner ran build-side-swapped (the estimated
+    /// smaller input buffered instead of the inner).
+    pub join_reorders: AtomicU64,
 }
 
 impl ExecStats {
@@ -124,6 +132,9 @@ impl ExecStats {
             matview_invalidations: self.matview_invalidations.load(Ordering::Relaxed),
             matview_patches: self.matview_patches.load(Ordering::Relaxed),
             matview_recomputes: self.matview_recomputes.load(Ordering::Relaxed),
+            hash_joins: self.hash_joins.load(Ordering::Relaxed),
+            join_build_rows: self.join_build_rows.load(Ordering::Relaxed),
+            join_reorders: self.join_reorders.load(Ordering::Relaxed),
         }
     }
 
@@ -158,6 +169,9 @@ impl ExecStats {
             &self.matview_invalidations,
             &self.matview_patches,
             &self.matview_recomputes,
+            &self.hash_joins,
+            &self.join_build_rows,
+            &self.join_reorders,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -202,4 +216,7 @@ pub struct StatsSnapshot {
     pub matview_invalidations: u64,
     pub matview_patches: u64,
     pub matview_recomputes: u64,
+    pub hash_joins: u64,
+    pub join_build_rows: u64,
+    pub join_reorders: u64,
 }

@@ -78,6 +78,9 @@ pub struct NodeTrace {
     /// compiled programs; the remainder is interpreted (tree-walker)
     /// plus operator-machinery time. Only measured when tracing is on.
     pub vm_ns: u64,
+    /// Rows this operator buffered as a middleware join's build side
+    /// (zero for everything but hash/merge join clauses).
+    pub join_build_rows: u64,
 }
 
 impl NodeTrace {
@@ -87,6 +90,7 @@ impl NodeTrace {
         self.wall_ns += other.wall_ns;
         self.source_roundtrips += other.source_roundtrips;
         self.vm_ns += other.vm_ns;
+        self.join_build_rows += other.join_build_rows;
     }
 }
 

@@ -198,7 +198,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The view-reuse case: the $id predicate travels through getProfile
     // and lands in db1's SQL.
-    db1.reset_stats();
+    let mark = db1.stats().statements.len();
     let one = aldsp
         .execute(
             QueryRequest::call(QName::new("urn:profileDS", "getProfileByID"))
@@ -210,7 +210,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", serialize_sequence(&one));
 
     println!("\nSQL sent to db1 for getProfileByID (note the pushed parameter):");
-    for sql in db1.stats().statements {
+    for sql in &db1.stats().statements[mark..] {
         println!("---\n{sql}");
     }
     println!("\nPP-k statements sent to db2 (one disjunctive fetch per block of 20):");

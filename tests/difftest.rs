@@ -21,7 +21,7 @@ mod common;
 use aldsp::relational::{Fault, FaultKind, FaultTrigger};
 use aldsp::security::Principal;
 use aldsp::xdm::xml::serialize_sequence;
-use aldsp::{AldspServer, ExecutionOptions, Mutation, PushdownLevel, QueryRequest};
+use aldsp::{AldspServer, ExecutionOptions, JoinStrategy, Mutation, PushdownLevel, QueryRequest};
 use aldsp_qgen::gen::Pred;
 use aldsp_qgen::{
     default_matrix, generate, generate_plan, run_fault_trial, shrink, CatalogModel, CellSpec,
@@ -77,7 +77,8 @@ fn build_cell(spec: &CellSpec) -> AldspServer {
         b.execution(
             ExecutionOptions::new()
                 .pushdown(spec.pushdown)
-                .ppk_prefetch_depth(spec.prefetch_depth),
+                .ppk_prefetch_depth(spec.prefetch_depth)
+                .join_strategy(spec.join_strategy),
         )
         .vm(spec.vm)
     })
@@ -424,6 +425,48 @@ fn explain_reports_pushdown_level() {
     }
 }
 
+/// The `-- join:` EXPLAIN header is golden: the exact planner decision
+/// — strategy, both cardinality estimates from the introspected
+/// catalog statistics, and the reorder bit — for every strategy knob.
+/// world(25) registers CUSTOMER=25 rows and CREDIT_CARD=12 rows
+/// (customers 1,3,…,23), so the estimates are exact.
+#[test]
+fn explain_join_header_is_golden() {
+    let q = format!(
+        "{PROLOG}
+         for $c in c:CUSTOMER(), $k in cc:CREDIT_CARD()
+         where $k/CID eq $c/CID
+         return <R>{{ $c/CID, $k/CCN }}</R>"
+    );
+    for (strategy, line) in [
+        // auto leaves a 25×13 join on the per-tuple plan (< 256 rows)
+        (JoinStrategy::Auto, "-- join: none"),
+        (JoinStrategy::NestedLoop, "-- join: none"),
+        (JoinStrategy::IndexNl, "-- join: none"),
+        (
+            JoinStrategy::Hash,
+            "-- join: #1.1 strategy=hash est-build=12 est-probe=25 reordered=false",
+        ),
+        (
+            JoinStrategy::Merge,
+            "-- join: #1.1 strategy=merge est-build=12 est-probe=25 reordered=false",
+        ),
+    ] {
+        let server = world_tuned(WORLD_N, |b| {
+            b.execution(ExecutionOptions::new().join_strategy(strategy))
+        })
+        .server;
+        let resp = server
+            .execute(QueryRequest::new(&q).principal(demo()).explain_only())
+            .expect("explain");
+        let plan = resp.plan_explain().expect("explain text");
+        assert!(
+            plan.lines().any(|l| l == line),
+            "{strategy}: missing '{line}' in:\n{plan}"
+        );
+    }
+}
+
 /// With pushdown off, no SQL region may appear in the plan at all —
 /// the reference cell really is the naive middleware path.
 #[test]
@@ -543,4 +586,59 @@ fn budget_exhausted_inside_sorted_grouping_is_typed_and_clean() {
         )
         .expect("roomy budget executes");
     assert!(serialize_sequence(roomy.items()).contains("<k>Chen</k>"));
+}
+
+/// The hash join's build side is charged against the query's memory
+/// budget: under a tight budget the bulk buffering trips a *typed*
+/// budget error before any row escapes, and a workable budget returns
+/// output byte-identical to the per-tuple nested-loop reference.
+#[test]
+fn hash_join_build_respects_memory_budget() {
+    let w = world_tuned(60, |b| {
+        b.execution(ExecutionOptions::new().join_strategy(JoinStrategy::Hash))
+    });
+    let q = format!(
+        "{PROLOG}
+         for $c in c:CUSTOMER(), $k in cc:CREDIT_CARD()
+         where $k/CID eq $c/CID
+         return <R>{{ $c/CID, $k/CCN }}</R>"
+    );
+    let mut delivered = Vec::new();
+    let mut sink = |item| {
+        delivered.push(item);
+        true
+    };
+    let err = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .memory_budget(1024)
+                .stream_to(&mut sink),
+        )
+        .expect_err("30 buffered build rows must blow a 1 KiB budget");
+    assert!(err.is_budget_exceeded(), "typed budget error: {err}");
+    assert!(
+        delivered.is_empty(),
+        "rows escaped before the build finished: {}",
+        serialize_sequence(&delivered)
+    );
+
+    // a workable budget answers, byte-identical to nested loop
+    let hashed = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .memory_budget(1 << 20),
+        )
+        .expect("roomy budget executes");
+    let reference = world_tuned(60, |b| b)
+        .server
+        .execute(QueryRequest::new(&q).principal(demo()))
+        .expect("nested-loop reference");
+    assert_eq!(
+        serialize_sequence(hashed.items()),
+        serialize_sequence(reference.items())
+    );
 }

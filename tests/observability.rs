@@ -9,7 +9,7 @@
 mod common;
 
 use aldsp::security::Principal;
-use aldsp::{QueryRequest, TraceKey, TraceLevel};
+use aldsp::{ExecutionOptions, JoinStrategy, QueryRequest, TraceKey, TraceLevel};
 use common::{world, PROLOG};
 
 fn demo() -> Principal {
@@ -123,6 +123,104 @@ fn correlated_join_trace_row_counts() {
 
     let root = node(TraceKey::node(1));
     assert_eq!(root.rows_out, 5);
+}
+
+/// Forcing the symmetric hash join on the flat cross-source join turns
+/// ten-per-outer probe statements into ONE bulk fetch, and every
+/// counter is hand-computable: world(40) has 20 credit cards (customers
+/// 1,3,…,39), all of which land on the build side.
+#[test]
+fn forced_hash_join_counters_and_trace() {
+    let w = world(40);
+    let q = format!(
+        "{PROLOG}
+         for $c in c:CUSTOMER(), $k in cc:CREDIT_CARD()
+         where $k/CID eq $c/CID
+         return <R>{{ $c/CID, $k/CCN }}</R>"
+    );
+    let resp = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .execution(ExecutionOptions::new().join_strategy(JoinStrategy::Hash))
+                .trace(TraceLevel::Operators),
+        )
+        .expect("executes");
+    assert_eq!(resp.items().len(), 20, "one <R> per card-holding customer");
+
+    // ---- per-query counters: one hash join, 20 build rows, no reorder
+    // (outer CUSTOMER=40 is the larger side, so the inner is built)
+    let pq = resp.per_query_stats();
+    assert_eq!(pq.hash_joins, 1);
+    assert_eq!(pq.join_build_rows, 20, "every CREDIT_CARD row is buffered");
+    assert_eq!(pq.join_reorders, 0);
+
+    // ---- EXPLAIN carries the join planner's decision
+    let explain = resp.plan_explain().expect("explain with trace");
+    assert!(
+        explain.contains("-- join: #1.1 strategy=hash est-build=20 est-probe=40 reordered=false"),
+        "{explain}"
+    );
+
+    // ---- trace: the join clause fetched ONCE and buffered 20 rows
+    let trace = resp.trace().expect("trace requested");
+    let node = |key: TraceKey| *trace.node(key).expect("traced node");
+    let outer = node(TraceKey::clause(1, 0));
+    assert_eq!((outer.rows_in, outer.rows_out), (1, 40));
+    assert_eq!(outer.source_roundtrips, 1);
+    let join = node(TraceKey::clause(1, 1));
+    assert_eq!((join.rows_in, join.rows_out), (40, 20));
+    assert_eq!(join.source_roundtrips, 1, "bulk fetch, not per-outer");
+    assert_eq!(join.join_build_rows, 20);
+
+    // ---- the backends' own counters agree: one statement each
+    assert_eq!(w.db1.stats().roundtrips, 1);
+    assert_eq!(w.db2.stats().roundtrips, 1, "40 probes collapsed to 1");
+}
+
+/// With the smaller side *outer* (20 cards driving into 40 customers),
+/// the planner's cardinality-driven reorder buffers the outer side
+/// instead — `join_reorders` ticks, and the build-row count is the
+/// outer cardinality.
+#[test]
+fn reordered_hash_join_buffers_the_smaller_outer_side() {
+    let w = world(40);
+    let q = format!(
+        "{PROLOG}
+         for $k in cc:CREDIT_CARD(), $c in c:CUSTOMER()
+         where $c/CID eq $k/CID
+         return <R>{{ $k/CCN, $c/LAST_NAME }}</R>"
+    );
+    let resp = w
+        .server
+        .execute(
+            QueryRequest::new(&q)
+                .principal(demo())
+                .execution(ExecutionOptions::new().join_strategy(JoinStrategy::Hash))
+                .trace(TraceLevel::Operators),
+        )
+        .expect("executes");
+    assert_eq!(resp.items().len(), 20, "each card matches its one holder");
+
+    let pq = resp.per_query_stats();
+    assert_eq!(pq.hash_joins, 1);
+    assert_eq!(pq.join_reorders, 1, "outer est 20 < inner est 40");
+    assert_eq!(pq.join_build_rows, 20, "the buffered side is the outer");
+
+    let explain = resp.plan_explain().expect("explain with trace");
+    assert!(
+        explain.contains("-- join: #1.1 strategy=hash est-build=20 est-probe=40 reordered=true"),
+        "{explain}"
+    );
+
+    let trace = resp.trace().expect("trace requested");
+    let join = *trace.node(TraceKey::clause(1, 1)).expect("join clause");
+    assert_eq!((join.rows_in, join.rows_out), (20, 20));
+    assert_eq!(join.source_roundtrips, 1);
+    assert_eq!(join.join_build_rows, 20);
+    assert_eq!(w.db1.stats().roundtrips, 1, "20 probes collapsed to 1");
+    assert_eq!(w.db2.stats().roundtrips, 1);
 }
 
 /// A group-by whose key the SQL generator cannot push falls back to the

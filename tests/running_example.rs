@@ -73,7 +73,7 @@ fn get_profile_integrates_both_databases() {
 fn get_profile_by_id_pushes_the_view_predicate() {
     let w = world(12);
     w.server.deploy(PROFILE_MODULE).expect("deploys");
-    w.db1.reset_stats();
+    let mark = w.db1.stats().statements.len();
     let out = w
         .server
         .execute(
@@ -88,8 +88,7 @@ fn get_profile_by_id_pushes_the_view_predicate() {
     // the $id predicate reached db1's SQL — the customer scan returns 1
     // row, not 12 (§4.2's efficiency-through-views requirement)
     let stats = w.db1.stats();
-    let scan = stats
-        .statements
+    let scan = stats.statements[mark..]
         .iter()
         .find(|s| s.contains("\"CUSTOMER\""))
         .expect("customer scan");
