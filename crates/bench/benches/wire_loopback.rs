@@ -1,0 +1,63 @@
+//! Wire-protocol overhead: the same query in-process, ad-hoc over a
+//! loopback connection, and via a prepared plan handle. The gap
+//! between the three is what the `aldspd` front door costs — framing,
+//! per-item streaming, and (for ad-hoc) the plan-cache probe.
+
+use aldsp::security::Principal;
+use aldsp::QueryRequest;
+use aldsp_client::Client;
+use aldsp_protocol::WireOptions;
+use aldsp_server::demo::{demo_world, PROLOG};
+use aldsp_server::{serve, WireConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = demo_world(25);
+    let listener =
+        serve("127.0.0.1:0", world.server.clone(), WireConfig::default()).expect("bind loopback");
+    let addr = listener.local_addr();
+    let query = format!(
+        "{PROLOG}
+         for $c in c:CUSTOMER()
+         where $c/LAST_NAME = \"Jones\"
+         order by $c/CID
+         return <P>{{$c/CID}}{{$c/LAST_NAME}}</P>"
+    );
+    let principal = Principal::new("bench", &[]);
+    let mut group = c.benchmark_group("wire_loopback");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("in_process", |b| {
+        b.iter(|| {
+            world
+                .server
+                .execute(QueryRequest::new(&query).principal(principal.clone()))
+                .expect("executes")
+        })
+    });
+
+    let mut adhoc = Client::connect(addr, "bench", &[]).expect("connect");
+    group.bench_function("wire_adhoc", |b| {
+        b.iter(|| {
+            adhoc
+                .execute(&query, &WireOptions::default())
+                .expect("executes")
+        })
+    });
+
+    let mut prepared_client = Client::connect(addr, "bench", &[]).expect("connect");
+    let prepared = prepared_client.prepare(&query).expect("prepares");
+    group.bench_function("wire_prepared", |b| {
+        b.iter(|| {
+            prepared_client
+                .execute_prepared(prepared.handle, &WireOptions::default())
+                .expect("executes")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -277,18 +277,6 @@ impl RelationalServer {
         self.stats.lock().clone()
     }
 
-    /// Reset counters and the statement log.
-    ///
-    /// Deprecated for the same reason the server-wide runtime counter
-    /// reset was: a reset races against in-flight queries, silently
-    /// corrupting every other observer's deltas. Snapshot
-    /// [`RelationalServer::stats`] before and after the interval of
-    /// interest and difference the (monotonic) counters instead.
-    #[deprecated(note = "racy under concurrency; difference two `stats()` snapshots instead")]
-    pub fn reset_stats(&self) {
-        *self.stats.lock() = ServerStats::default();
-    }
-
     /// The installed latency model.
     pub fn latency(&self) -> LatencyModel {
         *self.latency.read()

@@ -1,0 +1,155 @@
+//! A self-contained demo deployment for the `aldspd` binary and the
+//! loopback bench: the paper's running-example relational sources
+//! (CUSTOMER/ORDER on an Oracle-dialect db, CREDIT_CARD on a
+//! DB2-dialect db) without the web-service and native-function
+//! registrations the integration tests add on top.
+
+use aldsp::relational::{
+    Catalog, Database, Dialect, RelationalServer, SqlType, SqlValue, TableSchema,
+};
+use aldsp::xdm::value::Decimal;
+use aldsp::{AldspServer, ServerBuilder};
+use std::sync::Arc;
+
+/// Namespace declarations matching the demo deployment, for pasting in
+/// front of ad-hoc queries.
+pub const PROLOG: &str = r#"
+    declare namespace c = "urn:custDS";
+    declare namespace cc = "urn:ccDS";
+"#;
+
+/// A built demo deployment plus its backing simulated sources.
+pub struct DemoWorld {
+    pub server: Arc<AldspServer>,
+    pub db1: Arc<RelationalServer>,
+    pub db2: Arc<RelationalServer>,
+}
+
+fn customer_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(
+        TableSchema::builder("CUSTOMER")
+            .col("CID", SqlType::Varchar)
+            .col("LAST_NAME", SqlType::Varchar)
+            .col_null("FIRST_NAME", SqlType::Varchar)
+            .col_null("SINCE", SqlType::Integer)
+            .col_null("SSN", SqlType::Varchar)
+            .pk(&["CID"])
+            .build()
+            .expect("static schema"),
+    )
+    .expect("fresh catalog");
+    cat.add(
+        TableSchema::builder("ORDER")
+            .col("OID", SqlType::Integer)
+            .col("CID", SqlType::Varchar)
+            .col("AMOUNT", SqlType::Decimal)
+            .pk(&["OID"])
+            .fk(&["CID"], "CUSTOMER", &["CID"])
+            .build()
+            .expect("static schema"),
+    )
+    .expect("fresh catalog");
+    cat
+}
+
+fn card_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(
+        TableSchema::builder("CREDIT_CARD")
+            .col("CCN", SqlType::Varchar)
+            .col("CID", SqlType::Varchar)
+            .pk(&["CCN"])
+            .build()
+            .expect("static schema"),
+    )
+    .expect("fresh catalog");
+    cat
+}
+
+/// [`demo_world`] with a hook to tune the [`ServerBuilder`] before
+/// `build()` — admission limits, security policy, execution defaults.
+pub fn demo_world_tuned(
+    customers: usize,
+    tune: impl FnOnce(ServerBuilder) -> ServerBuilder,
+) -> DemoWorld {
+    let cat1 = customer_catalog();
+    let cat2 = card_catalog();
+    let mut db1 = Database::new();
+    for t in cat1.tables() {
+        db1.create_table(t.clone()).expect("fresh db");
+    }
+    // same data scheme as the integration-test world so wire results
+    // can be compared against in-process references over it
+    let mut oid = 0;
+    for i in 0..customers {
+        let cid = format!("C{i:04}");
+        db1.insert(
+            "CUSTOMER",
+            vec![
+                SqlValue::str(&cid),
+                SqlValue::str(["Jones", "Smith", "Chen"][i % 3]),
+                if i % 7 == 0 {
+                    SqlValue::Null
+                } else {
+                    SqlValue::str(&format!("F{i}"))
+                },
+                SqlValue::Int(1000 + i as i64),
+                SqlValue::str(&format!("{i:09}")),
+            ],
+        )
+        .expect("generated row");
+        for _ in 0..(i % 3) {
+            oid += 1;
+            db1.insert(
+                "ORDER",
+                vec![
+                    SqlValue::Int(oid),
+                    SqlValue::str(&cid),
+                    SqlValue::Dec(Decimal::from_int((i as i64 % 50) + 1)),
+                ],
+            )
+            .expect("generated row");
+        }
+    }
+    let mut db2 = Database::new();
+    for t in cat2.tables() {
+        db2.create_table(t.clone()).expect("fresh db");
+    }
+    let mut ccn = 0;
+    for i in 0..customers {
+        let cid = format!("C{i:04}");
+        for _ in 0..(i % 2) {
+            ccn += 1;
+            db2.insert(
+                "CREDIT_CARD",
+                vec![
+                    SqlValue::str(&format!("4000-{ccn:06}")),
+                    SqlValue::str(&cid),
+                ],
+            )
+            .expect("generated row");
+        }
+    }
+    let db1 = Arc::new(RelationalServer::new("db1", Dialect::Oracle, db1));
+    let db2 = Arc::new(RelationalServer::new("db2", Dialect::Db2, db2));
+    let server = tune(
+        ServerBuilder::new()
+            .relational_source(db1.clone(), &cat1, "urn:custDS")
+            .expect("register db1")
+            .relational_source(db2.clone(), &cat2, "urn:ccDS")
+            .expect("register db2"),
+    )
+    .build();
+    DemoWorld {
+        server: Arc::new(server),
+        db1,
+        db2,
+    }
+}
+
+/// Build the demo deployment with `customers` customers (customer i
+/// has i%3 orders and i%2 cards; every 7th has no FIRST_NAME).
+pub fn demo_world(customers: usize) -> DemoWorld {
+    demo_world_tuned(customers, |b| b)
+}

@@ -1,0 +1,50 @@
+//! Network front-door quickstart: start an in-process `aldspd`
+//! listener on an ephemeral port, connect with the blocking client,
+//! prepare a plan handle, and run it twice as two different
+//! principals.
+//!
+//! ```text
+//! cargo run --example wire_quickstart
+//! ```
+
+use aldsp_client::Client;
+use aldsp_protocol::WireOptions;
+use aldsp_server::demo::{demo_world, PROLOG};
+use aldsp_server::{serve, WireConfig};
+
+fn main() {
+    let world = demo_world(10);
+    let listener = serve("127.0.0.1:0", world.server.clone(), WireConfig::default())
+        .expect("bind ephemeral port");
+    let addr = listener.local_addr();
+    println!("aldspd listening on {addr}");
+
+    let query = format!(
+        "{PROLOG} for $c in c:CUSTOMER() where $c/LAST_NAME = \"Jones\" \
+         order by $c/CID return <P>{{$c/CID}}{{$c/LAST_NAME}}</P>"
+    );
+
+    let mut alice = Client::connect(addr, "alice", &["csr"]).expect("connect");
+    let prepared = alice.prepare(&query).expect("prepare");
+    println!(
+        "alice prepared handle {} (shared: {})",
+        prepared.handle, prepared.shared
+    );
+    let result = alice
+        .execute_prepared(prepared.handle, &WireOptions::default())
+        .expect("execute");
+    println!("alice got {} item(s):\n{}", result.delivered, result.text());
+
+    // a second session preparing the same text gets the SAME handle —
+    // plans are user-independent, results are per-principal
+    let mut bob = Client::connect(addr, "bob", &[]).expect("connect");
+    let again = bob.prepare(&query).expect("prepare");
+    println!(
+        "bob prepared handle {} (shared: {})",
+        again.handle, again.shared
+    );
+    assert_eq!(prepared.handle, again.handle);
+
+    alice.goodbye().expect("clean close");
+    bob.goodbye().expect("clean close");
+}

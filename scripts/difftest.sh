@@ -2,7 +2,9 @@
 # Differential query-correctness run (see DESIGN.md, "Differential
 # testing"). Generates N_SEEDS random FLWGOR queries and executes each
 # under the full optimizer/runtime config matrix plus seeded fault
-# schedules, demanding byte-identical results or typed errors.
+# schedules, demanding byte-identical results or typed errors. The
+# same seeds also replay over a loopback aldspd through aldsp-client
+# (the `wire` cell), demanding byte-identity with the in-process run.
 #
 # Usage:
 #   scripts/difftest.sh [N_SEEDS] [SEED_START]

@@ -10,8 +10,13 @@ cargo clippy --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 # 50-seed differential smoke: random FLWGOR queries under the full
-# pushdown/prefetch/streaming/budget matrix (nightly runs 2,000 seeds)
+# pushdown/prefetch/streaming/budget matrix plus the wire cell, which
+# replays the same seeds through aldsp-client against a loopback
+# aldspd (nightly runs 2,000 seeds)
 ./scripts/difftest.sh 50
 # benches must at least compile (they are exercised manually /
 # via scripts/bench_json.sh, not run in CI)
 cargo bench --no-run
+# server smoke: a real aldspd process on an ephemeral port must answer
+# one query over the wire and shut down cleanly when stdin closes
+./scripts/server_smoke.sh

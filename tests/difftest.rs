@@ -642,3 +642,69 @@ fn hash_join_build_respects_memory_budget() {
         serialize_sequence(reference.items())
     );
 }
+
+// ---- the wire cell ----------------------------------------------------------
+
+/// The network front door as an oracle cell: every generated seed runs
+/// once in-process and once over a real loopback connection through
+/// `aldsp-client`, and the reassembled wire text must be byte-identical
+/// (typed server errors compare against the reference's error
+/// rendering). Odd seeds exercise the prepared-handle path so plan
+/// handles get the same coverage as ad-hoc execution. 50 seeds in
+/// tier-1; the nightly runs it at 2,000 via `DIFFTEST_SEEDS`.
+#[test]
+fn wire_cell_identical_over_loopback() {
+    use aldsp_client::{Client, ClientError};
+    use aldsp_protocol::WireOptions;
+    use aldsp_server::{serve, WireConfig};
+    use std::sync::Arc;
+
+    let model = model();
+    let server = Arc::new(world(WORLD_N).server);
+    let listener =
+        serve("127.0.0.1:0", server.clone(), WireConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(listener.local_addr(), "demo", &[]).expect("connect");
+    let n = env_u64("DIFFTEST_SEEDS", 50);
+    let start = env_u64("DIFFTEST_SEED_START", 0);
+    let mut failures: Vec<String> = Vec::new();
+    for seed in start..start + n {
+        let text = generate(&model, seed).render(&model);
+        let reference = run(&server, &text);
+        let outcome = if seed % 2 == 0 {
+            client.execute(&text, &WireOptions::default())
+        } else {
+            match client.prepare(&text) {
+                Ok(p) => {
+                    let r = client.execute_prepared(p.handle, &WireOptions::default());
+                    assert!(client.close_handle(p.handle).expect("close"), "seed {seed}");
+                    r
+                }
+                Err(e) => Err(e),
+            }
+        };
+        let wire = match outcome {
+            Ok(rs) => rs.text(),
+            // the server renders the same ServerError Display the
+            // in-process reference wraps
+            Err(ClientError::Server { message, .. }) => format!("<error: {message}>"),
+            Err(e) => panic!("seed {seed}: transport failure: {e}"),
+        };
+        if wire != reference {
+            failures.push(format!(
+                "seed {seed}: wire differs from in-process\n--- query ---\n{text}\n\
+                 --- in-process ---\n{reference}\n--- wire ---\n{wire}"
+            ));
+            if failures.len() >= 3 {
+                break; // enough to debug; don't spam
+            }
+        }
+    }
+    client.goodbye().expect("clean close");
+    if !failures.is_empty() {
+        let report = failures.join("\n\n========\n\n");
+        if let Ok(path) = std::env::var("DIFFTEST_ARTIFACT") {
+            let _ = std::fs::write(path, &report);
+        }
+        panic!("{report}");
+    }
+}
