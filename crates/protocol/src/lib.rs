@@ -361,6 +361,9 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 }
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
+    // the `as u32` cast cannot corrupt framing: any string long enough
+    // to truncate (> 4 GiB) also pushes the frame past MAX_FRAME_LEN,
+    // so write_frame refuses to emit it
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
@@ -472,54 +475,109 @@ impl<'a> Reader<'a> {
 
 // ---- framing ----------------------------------------------------------------
 
-/// Write one frame: `u32` length, kind byte, payload.
+/// Write one frame: `u32` length, kind byte, payload. The encoded
+/// length is validated against [`MAX_FRAME_LEN`] *at the sender*: a
+/// frame the peer is guaranteed to reject as oversized (or, past
+/// `u32::MAX`, one whose length field would silently truncate and
+/// corrupt the framing) fails here with
+/// [`std::io::ErrorKind::InvalidData`] instead of on the wire.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
-    let len = 1 + payload.len() as u32;
-    w.write_all(&len.to_be_bytes())?;
+    let len = payload.len() as u64 + 1;
+    if len > MAX_FRAME_LEN as u64 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"),
+        ));
+    }
+    w.write_all(&(len as u32).to_be_bytes())?;
     w.write_all(&[kind])?;
     w.write_all(payload)
 }
 
-/// Read one raw frame. `Ok(None)` is a clean close (EOF before any
-/// header byte); EOF anywhere later is [`WireError::Truncated`]. The
-/// announced length is validated against [`MAX_FRAME_LEN`] *before*
-/// any allocation.
+/// Read one raw frame from a *blocking* stream. `Ok(None)` is a clean
+/// close (EOF before any header byte); EOF anywhere later is
+/// [`WireError::Truncated`]. The announced length is validated against
+/// [`MAX_FRAME_LEN`] *before* any allocation.
+///
+/// Every call starts from a frame boundary, so an [`WireError::Io`]
+/// failure mid-frame loses the consumed prefix — correct only when
+/// `Io` is fatal to the connection. A socket with a read timeout must
+/// use a [`FrameReader`] instead.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError> {
-    let mut header = [0u8; 4];
-    match r.read(&mut header)? {
-        0 => return Ok(None),
-        mut n => {
-            while n < 4 {
-                match r.read(&mut header[n..])? {
-                    0 => return Err(WireError::Truncated),
-                    m => n += m,
-                }
-            }
-        }
-    }
-    let len = u32::from_be_bytes(header);
-    if len == 0 {
-        return Err(WireError::Malformed("zero-length frame"));
-    }
-    if len > MAX_FRAME_LEN {
-        return Err(WireError::Oversized { len });
-    }
-    let mut body = vec![0u8; len as usize];
-    read_exact_or_truncated(r, &mut body)?;
-    let kind = body[0];
-    body.remove(0);
-    Ok(Some((kind, body)))
+    FrameReader::new().read_frame(r)
 }
 
-fn read_exact_or_truncated(r: &mut impl Read, buf: &mut [u8]) -> Result<(), WireError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..])? {
-            0 => return Err(WireError::Truncated),
-            n => filled += n,
+/// Resumable frame reader for polling sockets.
+///
+/// A socket with a read *timeout* (the server polls its shutdown flag
+/// this way) can time out after part of a frame has already been
+/// consumed; restarting [`read_frame`] from scratch would discard
+/// those bytes and desync the stream — later bytes would be misparsed
+/// as a different message or rejected as malformed. `FrameReader`
+/// keeps the partial header/body buffered across [`WireError::Io`]
+/// failures, so the next call resumes exactly where the timeout hit.
+#[derive(Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    header_filled: usize,
+    /// Allocated once the header is complete and length-validated.
+    body: Option<Vec<u8>>,
+    body_filled: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Read one raw frame, resuming any partial read left behind by a
+    /// prior `Io` error. Semantics otherwise match [`read_frame`]:
+    /// `Ok(None)` is a clean close on a frame boundary, EOF inside a
+    /// frame is [`WireError::Truncated`], and the announced length is
+    /// validated against [`MAX_FRAME_LEN`] *before* any allocation.
+    pub fn read_frame(&mut self, r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+        while self.body.is_none() {
+            match r.read(&mut self.header[self.header_filled..])? {
+                0 if self.header_filled == 0 => return Ok(None),
+                0 => return Err(WireError::Truncated),
+                n => self.header_filled += n,
+            }
+            if self.header_filled == 4 {
+                let len = u32::from_be_bytes(self.header);
+                if len == 0 {
+                    return Err(WireError::Malformed("zero-length frame"));
+                }
+                if len > MAX_FRAME_LEN {
+                    return Err(WireError::Oversized { len });
+                }
+                self.body = Some(vec![0u8; len as usize]);
+                self.body_filled = 0;
+            }
+        }
+        let body = self.body.as_mut().expect("body allocated above");
+        while self.body_filled < body.len() {
+            match r.read(&mut body[self.body_filled..])? {
+                0 => return Err(WireError::Truncated),
+                n => self.body_filled += n,
+            }
+        }
+        let mut body = self.body.take().expect("body allocated above");
+        self.header_filled = 0;
+        self.body_filled = 0;
+        let kind = body[0];
+        body.remove(0);
+        Ok(Some((kind, body)))
+    }
+
+    /// Read one client message through the resumable reader;
+    /// `Ok(None)` is a clean close.
+    pub fn read_client(&mut self, r: &mut impl Read) -> Result<Option<ClientMsg>, WireError> {
+        match self.read_frame(r)? {
+            None => Ok(None),
+            Some((kind, payload)) => Ok(Some(ClientMsg::decode(kind, &payload)?)),
         }
     }
-    Ok(())
 }
 
 // ---- message encode/decode --------------------------------------------------
@@ -606,8 +664,24 @@ impl ClientMsg {
         Ok(msg)
     }
 
-    /// Write as one frame.
+    /// Write as one frame. A [`ClientMsg::Hello`] carrying more than
+    /// [`MAX_ROLES`] roles fails here with
+    /// [`std::io::ErrorKind::InvalidInput`] — the server would reject
+    /// it as malformed anyway (and past `u16::MAX` roles the count
+    /// field would silently truncate and desync the payload), so
+    /// misuse fails locally with a clear error instead.
     pub fn write(&self, w: &mut impl Write) -> std::io::Result<()> {
+        if let ClientMsg::Hello { roles, .. } = self {
+            if roles.len() > MAX_ROLES {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "{} roles exceeds the {MAX_ROLES}-role handshake cap",
+                        roles.len()
+                    ),
+                ));
+            }
+        }
         let (kind, payload) = self.encode();
         write_frame(w, kind, &payload)
     }
@@ -799,6 +873,86 @@ mod tests {
             let err = ClientMsg::read(&mut &buf[..cut]).unwrap_err();
             assert!(matches!(err, WireError::Truncated), "cut at {cut}: {err:?}");
         }
+    }
+
+    /// Yields one byte per read and a `WouldBlock` error between every
+    /// byte — the worst-case model of a polling socket whose 50ms read
+    /// timeout keeps firing mid-frame.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_timeouts_without_desyncing() {
+        // two back-to-back messages so a lost prefix in the first
+        // would misparse or corrupt the second
+        let first = ClientMsg::Prepare {
+            source: "for $i in (1,2,3) return $i * $i".into(),
+        };
+        let second = ClientMsg::CloseHandle { handle: 7 };
+        let mut wire = Vec::new();
+        first.write(&mut wire).unwrap();
+        second.write(&mut wire).unwrap();
+        let mut trickle = Trickle {
+            data: &wire,
+            pos: 0,
+            ready: false,
+        };
+        let mut frames = FrameReader::new();
+        let mut got = Vec::new();
+        loop {
+            match frames.read_client(&mut trickle) {
+                Ok(None) => break,
+                Ok(Some(m)) => got.push(m),
+                Err(WireError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("stream desynced: {e:?}"),
+            }
+        }
+        assert_eq!(got, vec![first, second]);
+    }
+
+    #[test]
+    fn write_frame_refuses_frames_the_peer_would_reject() {
+        let payload = vec![0u8; MAX_FRAME_LEN as usize]; // +1 kind byte puts it over
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, K_ITEM, &payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(out.is_empty(), "no partial frame may reach the wire");
+        // exactly at the cap is fine
+        let payload = vec![0u8; MAX_FRAME_LEN as usize - 1];
+        write_frame(&mut out, K_ITEM, &payload).unwrap();
+    }
+
+    #[test]
+    fn hello_with_too_many_roles_fails_at_encode_time() {
+        let msg = ClientMsg::Hello {
+            version: PROTOCOL_VERSION,
+            principal: "alice".into(),
+            roles: (0..=MAX_ROLES).map(|i| format!("r{i}")).collect(),
+            token: String::new(),
+        };
+        let mut out = Vec::new();
+        let err = msg.write(&mut out).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(out.is_empty());
     }
 
     #[test]

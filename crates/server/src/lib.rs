@@ -43,13 +43,19 @@ use aldsp_protocol::{code, ClientMsg, ServerMsg, WireError, WireOptions};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// How often blocked reads wake up to check the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Write timeout on session sockets: a peer that stops *reading*
+/// mid-stream fills the send buffer and would otherwise park the
+/// session thread in `write_all` forever (and with it, shutdown's
+/// join). A timed-out write is treated as a disconnect.
+const WRITE_STALL: Duration = Duration::from_secs(10);
 
 /// Front-door configuration.
 #[derive(Debug, Clone, Default)]
@@ -149,13 +155,21 @@ impl HandleRegistry {
     }
 }
 
+/// A live session: its thread plus a handle on the socket so
+/// [`WireListener::shutdown`] can force blocked reads *and writes* to
+/// error out before joining.
+struct SessionSlot {
+    thread: std::thread::JoinHandle<()>,
+    stream: TcpStream,
+}
+
 /// A running front door. Dropping (or [`WireListener::shutdown`])
 /// stops accepting, wakes every session, and joins all threads.
 pub struct WireListener {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
-    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    sessions: Arc<Mutex<Vec<SessionSlot>>>,
     handles: Arc<HandleRegistry>,
 }
 
@@ -182,9 +196,16 @@ impl WireListener {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // accept is joined, so no new slots can appear after the take
         let sessions = std::mem::take(&mut *self.sessions.lock());
+        // force-close the sockets first: a session parked in write_all
+        // behind a peer that stopped reading errors out immediately
+        // instead of holding the join until its write timeout fires
+        for s in &sessions {
+            let _ = s.stream.shutdown(Shutdown::Both);
+        }
         for s in sessions {
-            let _ = s.join();
+            let _ = s.thread.join();
         }
     }
 }
@@ -205,7 +226,7 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+    let sessions: Arc<Mutex<Vec<SessionSlot>>> = Arc::default();
     let handles = Arc::new(HandleRegistry::default());
     let accept_thread = {
         let shutdown = shutdown.clone();
@@ -219,6 +240,11 @@ pub fn serve(
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // without a second handle shutdown() could never
+                    // unblock this socket, so refuse the connection
+                    let Ok(stream_handle) = stream.try_clone() else {
+                        continue;
+                    };
                     let session = Session {
                         server: server.clone(),
                         handles: handles.clone(),
@@ -234,8 +260,11 @@ pub fn serve(
                     let mut live = sessions.lock();
                     // reap finished sessions so a long-lived server
                     // doesn't accumulate join handles forever
-                    live.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
-                    live.push(t);
+                    live.retain(|s: &SessionSlot| !s.thread.is_finished());
+                    live.push(SessionSlot {
+                        thread: t,
+                        stream: stream_handle,
+                    });
                 }
             })?
     };
@@ -262,11 +291,31 @@ pub fn error_code(e: &ServerError) -> u16 {
 }
 
 /// Encode `msg` into one buffer and write it with a single syscall —
-/// `write_frame` directly on a `TcpStream` would issue three.
+/// `write_frame` directly on a `TcpStream` would issue three. Encoding
+/// fails (`InvalidData`, nothing written) when the frame would exceed
+/// `MAX_FRAME_LEN`; see the oversized-item handling in `run_query`.
 fn send(writer: &mut TcpStream, msg: &ServerMsg) -> std::io::Result<()> {
     let mut buf = Vec::with_capacity(64);
-    msg.write(&mut buf).expect("vec writes are infallible");
+    msg.write(&mut buf)?;
     writer.write_all(&buf)
+}
+
+/// Constant-time handshake-token check: both values are digested
+/// through one per-call randomly keyed SipHash and the fixed-width
+/// digests compared without early exit, so neither the outcome's
+/// timing nor its variance leaks prefix or length information about
+/// the required token to unauthenticated peers. (A forged collision
+/// would need to beat a keyed 64-bit PRF blind, once per connection.)
+fn token_matches(presented: &str, required: &str) -> bool {
+    use std::hash::{BuildHasher, Hasher};
+    let keys = std::collections::hash_map::RandomState::new();
+    let digest = |s: &str| {
+        let mut h = keys.build_hasher();
+        h.write(s.as_bytes());
+        h.finish().to_be_bytes()
+    };
+    let (a, b) = (digest(presented), digest(required));
+    a.iter().zip(b).fold(0u8, |diff, (x, y)| diff | (x ^ y)) == 0
 }
 
 /// Why a session loop ended (internal control flow).
@@ -291,7 +340,13 @@ impl Session {
     fn run(mut self, stream: TcpStream) {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(READ_POLL));
+        let _ = stream.set_write_timeout(Some(WRITE_STALL));
         let _ = self.serve_connection(&stream);
+        // close the TCP connection explicitly: the listener's
+        // SessionSlot holds a clone of this socket (so shutdown() can
+        // unblock it), and dropping our handles alone would leave the
+        // peer without a FIN until that slot is reaped
+        let _ = stream.shutdown(Shutdown::Both);
         // release this session's plan-handle references whatever the
         // exit path — clean Goodbye, mid-stream disconnect, or error
         for id in std::mem::take(&mut self.held) {
@@ -304,11 +359,14 @@ impl Session {
     fn serve_connection(&mut self, stream: &TcpStream) -> std::io::Result<SessionEnd> {
         let mut reader = stream.try_clone()?;
         let mut writer = stream.try_clone()?;
-        if !self.handshake(&mut reader, &mut writer)? {
+        // one resumable frame reader for the connection's lifetime, so
+        // a poll timeout mid-frame never discards consumed bytes
+        let mut frames = proto::FrameReader::new();
+        if !self.handshake(&mut frames, &mut reader, &mut writer)? {
             return Ok(SessionEnd::Clean);
         }
         loop {
-            let msg = match self.read_polling(&mut reader) {
+            let msg = match self.read_polling(&mut frames, &mut reader) {
                 Ok(None) => return Ok(SessionEnd::Clean),
                 Ok(Some(m)) => m,
                 Err(WireError::Io(_)) | Err(WireError::Truncated) => {
@@ -389,10 +447,11 @@ impl Session {
     /// sent).
     fn handshake(
         &mut self,
+        frames: &mut proto::FrameReader,
         reader: &mut TcpStream,
         writer: &mut TcpStream,
     ) -> std::io::Result<bool> {
-        let hello = match self.read_polling(reader) {
+        let hello = match self.read_polling(frames, reader) {
             Ok(Some(m)) => m,
             Ok(None) | Err(WireError::Io(_)) | Err(WireError::Truncated) => return Ok(false),
             Err(e) => {
@@ -436,7 +495,7 @@ impl Session {
             return Ok(false);
         }
         if let Some(required) = &self.config.token {
-            if &token != required {
+            if !token_matches(&token, required) {
                 let _ = send(
                     writer,
                     &ServerMsg::Error {
@@ -460,10 +519,17 @@ impl Session {
 
     /// Blocking read that honors the listener's shutdown flag: the
     /// stream has a [`READ_POLL`] read timeout, so a quiet connection
-    /// re-checks the flag a few times a second.
-    fn read_polling(&self, reader: &mut TcpStream) -> Result<Option<ClientMsg>, WireError> {
+    /// re-checks the flag a few times a second. The timeout can fire
+    /// *inside* a frame (a client that stalls >50ms mid-send is
+    /// legitimate); `frames` keeps the consumed prefix buffered so the
+    /// retry resumes mid-frame instead of desyncing the stream.
+    fn read_polling(
+        &self,
+        frames: &mut proto::FrameReader,
+        reader: &mut TcpStream,
+    ) -> Result<Option<ClientMsg>, WireError> {
         loop {
-            match ClientMsg::read(reader) {
+            match frames.read_client(reader) {
                 Err(WireError::Io(e))
                     if matches!(
                         e.kind(),
@@ -540,11 +606,20 @@ impl Session {
             }
         }
         let mut write_err: Option<std::io::Error> = None;
+        let mut oversized: Option<std::io::Error> = None;
         let mut sink = |item: Item| {
             let atomic = matches!(item, Item::Atomic(_));
             let text = serialize_sequence(&[item]);
             match send(&mut *writer, &ServerMsg::Item { atomic, text }) {
                 Ok(()) => true,
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    // the item exceeds MAX_FRAME_LEN — undeliverable
+                    // in one frame; abort the stream and report a
+                    // typed error (nothing was written, so the
+                    // connection stays framed and usable)
+                    oversized = Some(e);
+                    false
+                }
                 Err(e) => {
                     // peer gone mid-stream: abort the query cleanly
                     write_err = Some(e);
@@ -555,6 +630,16 @@ impl Session {
         let outcome = self.server.execute(req.stream_to(&mut sink));
         if write_err.is_some() {
             return Ok(SessionEnd::Disconnected);
+        }
+        if let Some(e) = oversized {
+            send(
+                writer,
+                &ServerMsg::Error {
+                    code: code::INTERNAL,
+                    message: format!("result item undeliverable: {e}"),
+                },
+            )?;
+            return Ok(SessionEnd::Clean);
         }
         match outcome {
             Ok(resp) => send(
@@ -625,6 +710,16 @@ mod tests {
         let (h4, shared4) = reg.acquire("q1", false);
         assert!(!shared4);
         assert_ne!(h1, h4);
+    }
+
+    #[test]
+    fn token_comparison_is_exact_across_lengths() {
+        assert!(token_matches("s3cret", "s3cret"));
+        assert!(token_matches("", ""));
+        assert!(!token_matches("s3cret", "s3crex"));
+        assert!(!token_matches("s3cre", "s3cret"));
+        assert!(!token_matches("s3cret-and-more", "s3cret"));
+        assert!(!token_matches("", "s3cret"));
     }
 
     #[test]

@@ -151,6 +151,58 @@ fn first_frame_must_be_hello() {
     assert!(ServerMsg::read(&mut s).expect("clean close").is_none());
 }
 
+#[test]
+fn client_stalling_mid_frame_does_not_desync_the_stream() {
+    // the session socket polls with a 50ms read timeout; a client that
+    // stalls longer than that *inside* a frame must not lose the
+    // already-consumed prefix (regression: the retry used to restart
+    // from scratch and misparse the remainder of the frame)
+    let w = wired(3, |b| b);
+    let mut s = TcpStream::connect(w.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.set_nodelay(true).unwrap();
+    let drip = |s: &mut TcpStream, frame: &[u8]| {
+        // stall past the poll timeout inside the header, on the
+        // header/body boundary, and inside the body
+        for chunk in [&frame[..2], &frame[2..4], &frame[4..7], &frame[7..]] {
+            s.write_all(chunk).expect("send chunk");
+            s.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(120));
+        }
+    };
+    let mut hello = Vec::new();
+    ClientMsg::Hello {
+        version: proto::PROTOCOL_VERSION,
+        principal: "slowpoke".into(),
+        roles: vec![],
+        token: String::new(),
+    }
+    .write(&mut hello)
+    .unwrap();
+    drip(&mut s, &hello);
+    let reply = ServerMsg::read(&mut s).expect("reply").expect("frame");
+    assert!(matches!(reply, ServerMsg::HelloAck { .. }), "{reply:?}");
+    // and the connection keeps working for a stalled query frame too
+    let mut exec = Vec::new();
+    ClientMsg::Execute {
+        source: "1 + 1".into(),
+        options: WireOptions::default(),
+    }
+    .write(&mut exec)
+    .unwrap();
+    drip(&mut s, &exec);
+    let reply = ServerMsg::read(&mut s).expect("reply").expect("frame");
+    assert!(
+        matches!(reply, ServerMsg::Item { ref text, .. } if text == "2"),
+        "{reply:?}"
+    );
+    let reply = ServerMsg::read(&mut s).expect("reply").expect("frame");
+    assert!(
+        matches!(reply, ServerMsg::Done { delivered: 1 }),
+        "{reply:?}"
+    );
+}
+
 // ---- plan handles -----------------------------------------------------------
 
 #[test]
